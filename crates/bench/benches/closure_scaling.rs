@@ -1,0 +1,45 @@
+//! E5 — scaling of `A(R)` (unfold + closure + check) across the four
+//! schema families of `secflow_workloads::scale`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use secflow::algorithm::check_against;
+use secflow::closure::Closure;
+use secflow::unfold::NProgram;
+use secflow_workloads::scale::{attr_fanout, call_chain, deep_expr, wide_grants, ScaleCase};
+
+fn run_analysis(case: &ScaleCase) -> bool {
+    let caps = case.schema.user_str("u").expect("scale user");
+    let prog = NProgram::unfold(&case.schema, caps).expect("unfolds");
+    let closure = Closure::compute(&prog).expect("closure");
+    check_against(&prog, &closure, &case.requirement).is_violated()
+}
+
+fn bench_family(
+    c: &mut Criterion,
+    name: &str,
+    gen: fn(usize) -> ScaleCase,
+    params: &[usize],
+) {
+    let mut group = c.benchmark_group(name);
+    for &p in params {
+        let case = gen(p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &case, |b, case| {
+            b.iter(|| run_analysis(std::hint::black_box(case)))
+        });
+    }
+    group.finish();
+}
+
+fn closure_scaling(c: &mut Criterion) {
+    // Sizes are capped where a single analysis stays in the milliseconds:
+    // the chain and deep-expression families grow superlinearly (origin
+    // proliferation over equality chains — EXPERIMENTS.md E5 reports the
+    // one-shot numbers for the larger instances).
+    bench_family(c, "closure/call_chain", call_chain, &[1, 4, 8]);
+    bench_family(c, "closure/wide_grants", wide_grants, &[1, 4, 16, 64]);
+    bench_family(c, "closure/deep_expr", deep_expr, &[1, 2, 3, 4]);
+    bench_family(c, "closure/attr_fanout", attr_fanout, &[1, 4, 8, 16]);
+}
+
+criterion_group!(benches, closure_scaling);
+criterion_main!(benches);

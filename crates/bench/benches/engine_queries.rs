@@ -1,0 +1,54 @@
+//! E6 — substrate throughput: select-from-where evaluation over growing
+//! extents, with and without a filtering where clause, plus the §3.1
+//! probe-query shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oodb_engine::exec::run_query;
+use oodb_lang::parse_query;
+use oodb_model::UserName;
+use secflow_bench::seeded_db;
+
+fn engine_queries(c: &mut Criterion) {
+    let admin = UserName::new("admin");
+    let probe = parse_query(
+        "select checkBudget(b), r_name(b) from b in Broker where r_salary(b) > 100",
+    )
+    .expect("query parses");
+    let scan = parse_query("select r_name(b) from b in Broker").expect("query parses");
+    let attack = parse_query(
+        "select w_budget(b, 1500), checkBudget(b), w_budget(b, 1499), checkBudget(b) \
+         from b in Broker where r_salary(b) > 100",
+    )
+    .expect("query parses");
+
+    let mut group = c.benchmark_group("engine");
+    for n in [100usize, 1_000, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let db = seeded_db(n);
+        group.bench_with_input(BenchmarkId::new("probe_query", n), &db, |b, db| {
+            b.iter_batched(
+                || db.clone(),
+                |mut db| run_query(&mut db, Some(&admin), &probe).expect("runs"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("scan", n), &db, |b, db| {
+            b.iter_batched(
+                || db.clone(),
+                |mut db| run_query(&mut db, Some(&admin), &scan).expect("runs"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("probing_attack", n), &db, |b, db| {
+            b.iter_batched(
+                || db.clone(),
+                |mut db| run_query(&mut db, Some(&admin), &attack).expect("runs"),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_queries);
+criterion_main!(benches);

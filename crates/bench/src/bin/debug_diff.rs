@@ -1,0 +1,38 @@
+//! Developer tool: find and print differential soundness violations.
+
+use secflow_dynamic::differential::{classify, DiffOutcome};
+use secflow_dynamic::strategy::StrategySpec;
+use secflow_dynamic::AttackerConfig;
+use secflow_workloads::random::{random_case, RandomSpec};
+
+fn main() {
+    let spec = RandomSpec::default();
+    let cfg = AttackerConfig {
+        strategies: StrategySpec {
+            max_steps: 2,
+            max_assignments: 2048,
+            max_shapes: 64,
+            ..StrategySpec::default()
+        },
+        ..AttackerConfig::default()
+    };
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    for seed in 0..n {
+        let case = random_case(seed, &spec);
+        for req in &case.requirements {
+            match classify(&case.schema, req, &cfg) {
+                Ok(c) if c.outcome == DiffOutcome::DynamicOnly => {
+                    println!("== seed {seed}: DYNAMIC-ONLY ==");
+                    println!("requirement: {req}");
+                    println!("witness: {:?}", c.witness);
+                    println!("schema:\n{}", case.schema);
+                }
+                Ok(_) => {}
+                Err(e) => println!("seed {seed}: error {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # secflow-bench
+//!
+//! Experiment implementations shared by the `harness` binary (which prints
+//! the EXPERIMENTS.md rows) and the Criterion benches. See DESIGN.md §4 for
+//! the experiment index E1–E7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,521 @@
+//! # secflow-cli
+//!
+//! The command-line front end. All behaviour lives here (unit-testable);
+//! `main.rs` is a thin argument shim.
+//!
+//! ```text
+//! secflow check  policy.sfl [--explain]        # run every `require`
+//! secflow unfold policy.sfl --user clerk       # print S'(F)
+//! secflow attack policy.sfl [--steps N]        # bounded concrete attacker
+//! secflow fix    policy.sfl                    # minimal revocation repairs
+//! secflow fmt    policy.sfl                    # parse + pretty-print
+//! ```
+//!
+//! Exit codes: 0 = all requirements satisfied, 1 = at least one violated,
+//! 2 = usage / parse / type errors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use oodb_lang::{check_schema, parse_schema, Schema};
+use secflow::algorithm::{analyze, occurrences};
+use secflow::closure::Closure;
+use secflow::report::{render_derivation, render_term, Verdict};
+use secflow::unfold::NProgram;
+use secflow_dynamic::attack_requirement;
+use secflow_dynamic::strategy::StrategySpec;
+use secflow_dynamic::AttackerConfig;
+use std::fmt::Write as _;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// `check <file> [--explain]`
+    Check {
+        /// Policy file path.
+        file: String,
+        /// Print derivations for each violation.
+        explain: bool,
+    },
+    /// `unfold <file> --user <name>`
+    Unfold {
+        /// Policy file path.
+        file: String,
+        /// User whose capability list to unfold.
+        user: String,
+    },
+    /// `attack <file> [--steps N]`
+    Attack {
+        /// Policy file path.
+        file: String,
+        /// Probe-sequence bound.
+        steps: usize,
+    },
+    /// `fix <file>`
+    Fix {
+        /// Policy file path.
+        file: String,
+    },
+    /// `fmt <file>`
+    Fmt {
+        /// Policy file path.
+        file: String,
+    },
+    /// `--help` or no arguments.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+secflow — static detection of security flaws in object-oriented databases
+         (Tajima, SIGMOD 1996)
+
+USAGE:
+  secflow check  <policy-file> [--explain]   run every `require`; exit 1 on flaws
+  secflow unfold <policy-file> --user <u>    print the numbered unfolding S'(F)
+  secflow attack <policy-file> [--steps N]   try to realise each flaw concretely
+  secflow fix    <policy-file>               suggest minimal revocations per flaw
+  secflow fmt    <policy-file>               parse and pretty-print the policy
+
+POLICY FILES contain class, fn, user and require declarations:
+
+  class Broker { name: string, salary: int, budget: int }
+  fn checkBudget(b: Broker): bool { r_budget(b) >= 10 * r_salary(b) }
+  user clerk { checkBudget, w_budget }
+  require (clerk, r_salary(x) : ti)
+";
+
+/// Parse a command line (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "-h" | "--help" | "help" => Ok(Command::Help),
+        "check" => {
+            let mut file = None;
+            let mut explain = false;
+            for a in it {
+                match a.as_str() {
+                    "--explain" => explain = true,
+                    _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            let file = file.ok_or("check: missing policy file")?;
+            Ok(Command::Check { file, explain })
+        }
+        "unfold" => {
+            let mut file = None;
+            let mut user = None;
+            let mut args = it.peekable();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--user" => {
+                        user = Some(
+                            args.next()
+                                .ok_or("unfold: --user needs a value")?
+                                .clone(),
+                        )
+                    }
+                    _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Unfold {
+                file: file.ok_or("unfold: missing policy file")?,
+                user: user.ok_or("unfold: missing --user")?,
+            })
+        }
+        "attack" => {
+            let mut file = None;
+            let mut steps = 2usize;
+            let mut args = it.peekable();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--steps" => {
+                        steps = args
+                            .next()
+                            .ok_or("attack: --steps needs a value")?
+                            .parse()
+                            .map_err(|_| "attack: --steps must be a number")?;
+                    }
+                    _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
+                    other => return Err(format!("unexpected argument `{other}`")),
+                }
+            }
+            Ok(Command::Attack {
+                file: file.ok_or("attack: missing policy file")?,
+                steps,
+            })
+        }
+        "fix" => {
+            let file = it.next().ok_or("fix: missing policy file")?;
+            Ok(Command::Fix { file: file.clone() })
+        }
+        "fmt" => {
+            let file = it.next().ok_or("fmt: missing policy file")?;
+            Ok(Command::Fmt { file: file.clone() })
+        }
+        other => Err(format!("unknown command `{other}` (try --help)")),
+    }
+}
+
+/// Parse + type-check policy text (exposed for tests).
+pub fn load_str(src: &str) -> Result<Schema, String> {
+    let schema = parse_schema(src).map_err(|e| e.to_string())?;
+    check_schema(&schema).map_err(|e| e.to_string())?;
+    Ok(schema)
+}
+
+/// Run a command against policy *text*; returns (report, exit code).
+pub fn run_on_source(cmd: &Command, src: &str) -> (String, i32) {
+    match cmd {
+        Command::Help => (USAGE.to_owned(), 0),
+        Command::Fmt { .. } => match load_str(src) {
+            Ok(schema) => (schema.to_string(), 0),
+            Err(e) => (format!("error: {e}\n"), 2),
+        },
+        Command::Check { explain, .. } => match load_str(src) {
+            Ok(schema) => check_report(&schema, *explain),
+            Err(e) => (format!("error: {e}\n"), 2),
+        },
+        Command::Unfold { user, .. } => match load_str(src) {
+            Ok(schema) => unfold_report(&schema, user),
+            Err(e) => (format!("error: {e}\n"), 2),
+        },
+        Command::Attack { steps, .. } => match load_str(src) {
+            Ok(schema) => attack_report(&schema, *steps),
+            Err(e) => (format!("error: {e}\n"), 2),
+        },
+        Command::Fix { .. } => match load_str(src) {
+            Ok(schema) => fix_report(&schema),
+            Err(e) => (format!("error: {e}\n"), 2),
+        },
+    }
+}
+
+/// Run a command end-to-end (file IO included); returns (report, exit code).
+pub fn run(cmd: &Command) -> (String, i32) {
+    match cmd {
+        Command::Help => (USAGE.to_owned(), 0),
+        Command::Check { file, .. }
+        | Command::Unfold { file, .. }
+        | Command::Attack { file, .. }
+        | Command::Fix { file }
+        | Command::Fmt { file } => match std::fs::read_to_string(file) {
+            Ok(src) => run_on_source(cmd, &src),
+            Err(e) => (format!("error: cannot read `{file}`: {e}\n"), 2),
+        },
+    }
+}
+
+fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
+    let mut out = String::new();
+    if schema.requirements.is_empty() {
+        let _ = writeln!(out, "no `require` declarations in the policy — nothing to check");
+        return (out, 0);
+    }
+    let mut violated = 0usize;
+    for req in &schema.requirements {
+        match analyze(schema, req) {
+            Ok(Verdict::Satisfied) => {
+                let _ = writeln!(out, "ok    {req}");
+            }
+            Ok(Verdict::Violated(violations)) => {
+                violated += 1;
+                let _ = writeln!(out, "FLAW  {req}  ({} occurrence(s))", violations.len());
+                if explain {
+                    // Reconstruct the program/closure for rendering.
+                    if let Some(caps) = schema.user(&req.user) {
+                        if let Ok(prog) = NProgram::unfold(schema, caps) {
+                            if let Ok(closure) = Closure::compute(&prog) {
+                                for v in &violations {
+                                    for w in &v.witnesses {
+                                        let _ = writeln!(
+                                            out,
+                                            "  witness {}",
+                                            render_term(&prog, w)
+                                        );
+                                        let derivation =
+                                            render_derivation(&prog, &closure, w);
+                                        for line in derivation.lines() {
+                                            let _ = writeln!(out, "    {line}");
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error {req}: {e}");
+                return (out, 2);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} requirement(s), {} violated",
+        schema.requirements.len(),
+        violated
+    );
+    (out, i32::from(violated > 0))
+}
+
+fn unfold_report(schema: &Schema, user: &str) -> (String, i32) {
+    let Some(caps) = schema.user_str(user) else {
+        return (format!("error: unknown user `{user}`\n"), 2);
+    };
+    match NProgram::unfold(schema, caps) {
+        Ok(prog) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "S'(F) for {user} = {caps}:");
+            for outer in &prog.outers {
+                let _ = writeln!(out, "  {}: {}", outer.fn_ref, prog.render(outer.root));
+            }
+            let _ = writeln!(out, "{} numbered occurrences", prog.len());
+            // Also list the occurrences of every required target for this
+            // user, as orientation.
+            for req in schema.requirements.iter().filter(|r| r.user.as_str() == user) {
+                let occ = occurrences(&prog, &req.target);
+                let _ = writeln!(out, "occurrences of {}: {}", req.target, occ.len());
+            }
+            (out, 0)
+        }
+        Err(e) => (format!("error: {e}\n"), 2),
+    }
+}
+
+fn attack_report(schema: &Schema, steps: usize) -> (String, i32) {
+    let mut out = String::new();
+    if schema.requirements.is_empty() {
+        let _ = writeln!(out, "no `require` declarations — nothing to attack");
+        return (out, 0);
+    }
+    let cfg = AttackerConfig {
+        strategies: StrategySpec {
+            max_steps: steps,
+            ..StrategySpec::default()
+        },
+        ..AttackerConfig::default()
+    };
+    let mut realised = 0usize;
+    for req in &schema.requirements {
+        match attack_requirement(schema, req, &cfg) {
+            Ok(o) if o.achieved => {
+                realised += 1;
+                let _ = writeln!(
+                    out,
+                    "REALISED {req}\n  {}",
+                    o.witness.map(|w| w.summary).unwrap_or_default()
+                );
+            }
+            Ok(o) => {
+                let _ = writeln!(
+                    out,
+                    "not realised {req}{}",
+                    if o.skipped_shapes > 0 {
+                        format!("  ({} shapes skipped by bounds)", o.skipped_shapes)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error {req}: {e}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} requirement(s), {} realised within bounds",
+        schema.requirements.len(),
+        realised
+    );
+    (out, i32::from(realised > 0))
+}
+
+fn fix_report(schema: &Schema) -> (String, i32) {
+    use secflow::advisor::{advise, Advice, AdvisorConfig};
+    let mut out = String::new();
+    if schema.requirements.is_empty() {
+        let _ = writeln!(out, "no `require` declarations — nothing to fix");
+        return (out, 0);
+    }
+    let mut flawed = 0usize;
+    for req in &schema.requirements {
+        match advise(schema, req, &AdvisorConfig::default()) {
+            Ok(Advice::AlreadySatisfied) => {
+                let _ = writeln!(out, "ok    {req}");
+            }
+            Ok(Advice::Repairs(repairs)) => {
+                flawed += 1;
+                let _ = writeln!(out, "FLAW  {req} — minimal repairs:");
+                for r in repairs {
+                    let _ = writeln!(out, "        {r}");
+                }
+            }
+            Ok(Advice::BudgetExhausted(repairs)) => {
+                flawed += 1;
+                let _ = writeln!(
+                    out,
+                    "FLAW  {req} — search budget exhausted; repairs found so far:"
+                );
+                for r in repairs {
+                    let _ = writeln!(out, "        {r}");
+                }
+            }
+            Ok(Advice::Unrepairable) => {
+                flawed += 1;
+                let _ = writeln!(out, "FLAW  {req} — no revocation subset helps");
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error {req}: {e}");
+                return (out, 2);
+            }
+        }
+    }
+    (out, i32::from(flawed > 0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The unit-threshold variant: the attack subcommand's probe domain is
+    // {0,1,2}, which can bracket `salary` but not `10 * salary`.
+    const POLICY: &str = r#"
+        class Broker { salary: int, budget: int }
+        fn checkBudget(b: Broker): bool { r_budget(b) >= r_salary(b) }
+        user clerk { checkBudget, w_budget }
+        user safe_clerk { checkBudget }
+        require (clerk, r_salary(x) : ti)
+        require (safe_clerk, r_salary(x) : ti)
+    "#;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn arg_parsing() {
+        assert_eq!(parse_args(&[]), Ok(Command::Help));
+        assert_eq!(parse_args(&s(&["--help"])), Ok(Command::Help));
+        assert_eq!(
+            parse_args(&s(&["check", "p.sfl", "--explain"])),
+            Ok(Command::Check {
+                file: "p.sfl".into(),
+                explain: true
+            })
+        );
+        assert_eq!(
+            parse_args(&s(&["unfold", "p.sfl", "--user", "clerk"])),
+            Ok(Command::Unfold {
+                file: "p.sfl".into(),
+                user: "clerk".into()
+            })
+        );
+        assert_eq!(
+            parse_args(&s(&["attack", "p.sfl", "--steps", "3"])),
+            Ok(Command::Attack {
+                file: "p.sfl".into(),
+                steps: 3
+            })
+        );
+        assert!(parse_args(&s(&["bogus"])).is_err());
+        assert!(parse_args(&s(&["unfold", "p.sfl"])).is_err());
+        assert!(parse_args(&s(&["attack", "p.sfl", "--steps", "x"])).is_err());
+    }
+
+    #[test]
+    fn check_flags_the_flaw_and_exits_one() {
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: false,
+        };
+        let (report, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 1);
+        assert!(report.contains("FLAW  (clerk, r_salary(x):ti)"));
+        assert!(report.contains("ok    (safe_clerk, r_salary(x):ti)"));
+        assert!(report.contains("2 requirement(s), 1 violated"));
+    }
+
+    #[test]
+    fn check_explain_prints_a_derivation() {
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: true,
+        };
+        let (report, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 1);
+        assert!(report.contains("witness ti["));
+        assert!(report.contains("(axiom for =)"));
+    }
+
+    #[test]
+    fn unfold_prints_numbered_program() {
+        let cmd = Command::Unfold {
+            file: "-".into(),
+            user: "clerk".into(),
+        };
+        let (report, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 0);
+        assert!(report.contains("checkBudget: 5>="));
+        assert!(report.contains("occurrences of r_salary: 1"));
+
+        let cmd = Command::Unfold {
+            file: "-".into(),
+            user: "ghost".into(),
+        };
+        let (report, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 2);
+        assert!(report.contains("unknown user"));
+    }
+
+    #[test]
+    fn attack_realises_the_flaw() {
+        // Total inference over unbounded integers needs bracketing probes:
+        // two write+probe rounds, i.e. four steps.
+        let cmd = Command::Attack {
+            file: "-".into(),
+            steps: 4,
+        };
+        let (report, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 1);
+        assert!(report.contains("REALISED (clerk, r_salary(x):ti)"));
+        assert!(report.contains("not realised (safe_clerk, r_salary(x):ti)"));
+    }
+
+    #[test]
+    fn fix_suggests_the_papers_repair() {
+        let cmd = Command::Fix { file: "-".into() };
+        let (report, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 1);
+        assert!(report.contains("FLAW  (clerk, r_salary(x):ti)"));
+        assert!(report.contains("revoke {w_budget}"));
+        assert!(report.contains("ok    (safe_clerk, r_salary(x):ti)"));
+    }
+
+    #[test]
+    fn fmt_round_trips() {
+        let cmd = Command::Fmt { file: "-".into() };
+        let (report, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 0);
+        // The pretty-printed policy re-parses and re-checks.
+        load_str(&report).unwrap();
+    }
+
+    #[test]
+    fn errors_exit_two() {
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: false,
+        };
+        let (report, code) = run_on_source(&cmd, "class C { x: bogus_type }");
+        assert_eq!(code, 2);
+        assert!(report.contains("error"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Thin binary shim over [`secflow_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match secflow_cli::parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", secflow_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let (report, code) = secflow_cli::run(&cmd);
+    print!("{report}");
+    std::process::exit(code);
+}

@@ -1,0 +1,947 @@
+//! The closure engine: semi-naive saturation of `F(F)` with proof recording.
+//!
+//! Terms are kept in a hash set with per-expression capability indexes; a
+//! worklist drives propagation, so every rule fires once per new premise.
+//! Every derived term records the rule label and the exact premise terms
+//! that produced it, which is what lets [`crate::report`] print Figure-1
+//! style derivations.
+//!
+//! Termination: the term universe is finite — origins range over
+//! `{0..N} × {+,−}` for `N` numbered occurrences, so there are at most
+//! `O(N²)` capability terms, `O(N²)` equalities and `O(N³)` pi* terms. A
+//! configurable budget aborts pathological closures long before memory
+//! pressure.
+
+use crate::basics::{rules_for, LCap, LTerm, LocalRule, Slot};
+use crate::rules::{axioms_with, labels, RuleConfig};
+use crate::term::{Dir, Origin, Term};
+use crate::unfold::{ExprId, NKind, NProgram};
+use oodb_lang::BasicOp;
+use oodb_model::AttrName;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// How a term entered the closure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Derivation {
+    /// Rule label (Figure-1 style).
+    pub rule: &'static str,
+    /// The premise terms, in rule order. Empty for axioms.
+    pub premises: Vec<Term>,
+}
+
+/// Closure failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClosureError {
+    /// The term budget was exhausted.
+    TermLimit {
+        /// The configured budget.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for ClosureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClosureError::TermLimit { limit } => {
+                write!(f, "closure exceeded the budget of {limit} terms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClosureError {}
+
+/// Default term budget.
+pub const DEFAULT_TERM_LIMIT: usize = 2_000_000;
+
+/// The computed closure of all derivable `F(F)` terms for one unfolded
+/// program.
+#[derive(Debug)]
+pub struct Closure {
+    terms: HashSet<Term>,
+    proofs: HashMap<Term, Derivation>,
+    ta: HashSet<ExprId>,
+    pa: HashSet<ExprId>,
+    ti: HashMap<ExprId, Vec<Origin>>,
+    pi: HashMap<ExprId, Vec<Origin>>,
+    pistar: HashMap<ExprId, Vec<(ExprId, Origin)>>,
+    eq: HashMap<ExprId, Vec<ExprId>>,
+    rounds: usize,
+}
+
+impl Closure {
+    /// Compute the closure with default configuration and budget.
+    pub fn compute(prog: &NProgram) -> Result<Closure, ClosureError> {
+        Self::compute_with(prog, &RuleConfig::default(), DEFAULT_TERM_LIMIT)
+    }
+
+    /// Compute with explicit rule configuration and term budget.
+    pub fn compute_with(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+    ) -> Result<Closure, ClosureError> {
+        Engine::new(prog, *config, limit).run()
+    }
+
+    /// Number of terms in the closure.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Is the closure empty (only possible for empty programs)?
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of worklist steps taken (for the scaling experiments).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Does the closure contain this exact term?
+    pub fn contains(&self, t: &Term) -> bool {
+        self.terms.contains(t)
+    }
+
+    /// Total alterability may be achievable on the occurrence.
+    pub fn has_ta(&self, e: ExprId) -> bool {
+        self.ta.contains(&e)
+    }
+
+    /// Partial alterability may be achievable.
+    pub fn has_pa(&self, e: ExprId) -> bool {
+        self.pa.contains(&e)
+    }
+
+    /// Total inferability may be achievable (any origin).
+    pub fn has_ti(&self, e: ExprId) -> bool {
+        self.ti.contains_key(&e)
+    }
+
+    /// Partial inferability may be achievable (any origin).
+    pub fn has_pi(&self, e: ExprId) -> bool {
+        self.pi.contains_key(&e)
+    }
+
+    /// The occurrences the user may know to be equal to `e`.
+    pub fn equal_to(&self, e: ExprId) -> &[ExprId] {
+        self.eq.get(&e).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The derivation of a term, if it is in the closure.
+    pub fn proof(&self, t: &Term) -> Option<&Derivation> {
+        self.proofs.get(t)
+    }
+
+    /// Any `ti` term (with its origin) on the occurrence — the witness used
+    /// in reports.
+    pub fn ti_witness(&self, e: ExprId) -> Option<Term> {
+        self.ti.get(&e).map(|os| Term::Ti(e, os[0]))
+    }
+
+    /// Any `pi` witness.
+    pub fn pi_witness(&self, e: ExprId) -> Option<Term> {
+        self.pi.get(&e).map(|os| Term::Pi(e, os[0]))
+    }
+
+    /// Iterate over all terms (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = &Term> {
+        self.terms.iter()
+    }
+}
+
+struct Engine<'p> {
+    prog: &'p NProgram,
+    config: RuleConfig,
+    limit: usize,
+    out: Closure,
+    queue: VecDeque<Term>,
+    // structural indexes
+    basic_slots: HashMap<ExprId, Vec<(ExprId, Slot)>>,
+    /// Binary nodes whose diagonal (equal arguments) is informative:
+    /// node → (arg0, arg1). See `try_diagonal`.
+    diag_nodes: HashMap<ExprId, (ExprId, ExprId)>,
+    read_by_recv: HashMap<ExprId, Vec<ExprId>>,
+    writes_by_recv: HashMap<ExprId, Vec<(AttrName, ExprId)>>,
+    op_rules: HashMap<BasicOp, Vec<LocalRule>>,
+}
+
+impl<'p> Engine<'p> {
+    fn new(prog: &'p NProgram, config: RuleConfig, limit: usize) -> Engine<'p> {
+        let mut basic_slots: HashMap<ExprId, Vec<(ExprId, Slot)>> = HashMap::new();
+        let mut diag_nodes: HashMap<ExprId, (ExprId, ExprId)> = HashMap::new();
+        let mut read_by_recv: HashMap<ExprId, Vec<ExprId>> = HashMap::new();
+        let mut writes_by_recv: HashMap<ExprId, Vec<(AttrName, ExprId)>> = HashMap::new();
+        let mut op_rules: HashMap<BasicOp, Vec<LocalRule>> = HashMap::new();
+
+        for e in prog.iter() {
+            match &e.kind {
+                NKind::Basic(op, args) => {
+                    for (i, a) in args.iter().enumerate() {
+                        basic_slots.entry(*a).or_default().push((e.id, Slot::Arg(i)));
+                    }
+                    basic_slots.entry(e.id).or_default().push((e.id, Slot::Ret));
+                    op_rules.entry(*op).or_insert_with(|| rules_for(*op));
+                    // Diagonal candidates: ops whose restriction to equal
+                    // arguments is injective (x+x = 2x, x*x = x², s++s).
+                    if matches!(op, BasicOp::Add | BasicOp::Mul | BasicOp::Concat)
+                        && args.len() == 2
+                        && args[0] != args[1]
+                    {
+                        diag_nodes.insert(e.id, (args[0], args[1]));
+                    }
+                }
+                NKind::Read(_attr, recv) => {
+                    read_by_recv.entry(*recv).or_default().push(e.id);
+                }
+                NKind::Write(attr, recv, val) => {
+                    writes_by_recv
+                        .entry(*recv)
+                        .or_default()
+                        .push((attr.clone(), *val));
+                }
+                _ => {}
+            }
+        }
+
+        Engine {
+            prog,
+            config,
+            limit,
+            out: Closure {
+                terms: HashSet::new(),
+                proofs: HashMap::new(),
+                ta: HashSet::new(),
+                pa: HashSet::new(),
+                ti: HashMap::new(),
+                pi: HashMap::new(),
+                pistar: HashMap::new(),
+                eq: HashMap::new(),
+                rounds: 0,
+            },
+            queue: VecDeque::new(),
+            basic_slots,
+            diag_nodes,
+            read_by_recv,
+            writes_by_recv,
+            op_rules,
+        }
+    }
+
+    fn run(mut self) -> Result<Closure, ClosureError> {
+        for (t, rule) in axioms_with(self.prog, self.config.printable_oids) {
+            self.derive(t, rule, Vec::new())?;
+        }
+        // Constructor-read on direct receivers: r_att(new C(…)) reads the
+        // matching constructor argument without needing an equality step.
+        if self.config.write_read {
+            let direct: Vec<Term> = self
+                .prog
+                .iter()
+                .filter_map(|e| match &e.kind {
+                    NKind::Read(attr, recv) => self
+                        .ctor_arg(*recv, attr)
+                        .and_then(|arg| Term::eq(arg, e.id)),
+                    _ => None,
+                })
+                .collect();
+            for t in direct {
+                self.derive(t, labels::RULE_EQ, Vec::new())?;
+            }
+        }
+        while let Some(t) = self.queue.pop_front() {
+            self.out.rounds += 1;
+            self.propagate(t)?;
+        }
+        Ok(self.out)
+    }
+
+    /// The constructor argument feeding attribute `attr` when `e` is a
+    /// `new C(…)` node (unfolding pairs each constructor argument with the
+    /// attribute it initialises).
+    fn ctor_arg(&self, e: ExprId, attr: &AttrName) -> Option<ExprId> {
+        match &self.prog.get(e).kind {
+            NKind::New(_class, args) => args
+                .iter()
+                .find(|(name, _)| name == attr)
+                .map(|(_, id)| *id),
+            _ => None,
+        }
+    }
+
+    fn derive(
+        &mut self,
+        t: Term,
+        rule: &'static str,
+        premises: Vec<Term>,
+    ) -> Result<(), ClosureError> {
+        if self.out.terms.contains(&t) {
+            return Ok(());
+        }
+        if self.out.terms.len() >= self.limit {
+            return Err(ClosureError::TermLimit { limit: self.limit });
+        }
+        self.out.terms.insert(t);
+        self.out.proofs.insert(t, Derivation { rule, premises });
+        match t {
+            Term::Ta(e) => {
+                self.out.ta.insert(e);
+            }
+            Term::Pa(e) => {
+                self.out.pa.insert(e);
+            }
+            Term::Ti(e, o) => self.out.ti.entry(e).or_default().push(o),
+            Term::Pi(e, o) => self.out.pi.entry(e).or_default().push(o),
+            Term::PiStar(a, b, o) => {
+                self.out.pistar.entry(a).or_default().push((b, o));
+                self.out.pistar.entry(b).or_default().push((a, o));
+            }
+            Term::Eq(a, b) => {
+                self.out.eq.entry(a).or_default().push(b);
+                self.out.eq.entry(b).or_default().push(a);
+            }
+        }
+        self.queue.push_back(t);
+        Ok(())
+    }
+
+    fn propagate(&mut self, t: Term) -> Result<(), ClosureError> {
+        match t {
+            Term::Ta(e) => {
+                // Lattice.
+                self.derive(Term::Pa(e), labels::LATTICE, vec![t])?;
+                // Receiver alterability: steering the receiver over the
+                // extent reaches at least the attribute values already
+                // present — partial alterability (total comes only through
+                // write-read equality).
+                for n in self.read_by_recv.get(&e).cloned().unwrap_or_default() {
+                    self.derive(Term::Pa(n), labels::READ_RECEIVER, vec![t])?;
+                }
+                self.transfer_by_eq(t, e)?;
+                self.fire_local_rules(e)?;
+            }
+            Term::Pa(e) => {
+                for n in self.read_by_recv.get(&e).cloned().unwrap_or_default() {
+                    self.derive(Term::Pa(n), labels::READ_RECEIVER, vec![t])?;
+                }
+                self.transfer_by_eq(t, e)?;
+                self.fire_local_rules(e)?;
+            }
+            Term::Ti(e, o) => {
+                self.derive(Term::Pi(e, o), labels::LATTICE, vec![t])?;
+                self.transfer_by_eq(t, e)?;
+                self.fire_local_rules(e)?;
+                self.try_diagonal(e)?;
+            }
+            Term::Pi(e, o) => {
+                // pi-join: another pi with a different origin → ti.
+                if self.config.pi_join {
+                    let other = self
+                        .out
+                        .pi
+                        .get(&e)
+                        .and_then(|os| os.iter().find(|o2| **o2 != o).copied());
+                    if let Some(o2) = other {
+                        self.derive(Term::Ti(e, o), labels::PI_JOIN, vec![Term::Pi(e, o2), t])?;
+                    }
+                }
+                self.transfer_by_eq(t, e)?;
+                self.fire_local_rules(e)?;
+                self.try_diagonal(e)?;
+            }
+            Term::PiStar(a, b, o) => {
+                if self.config.pi_star {
+                    // Joint constraint on equals (see the Eq arm).
+                    if o != Origin::AXIOM && self.out.terms.contains(&Term::Eq(a, b)) {
+                        let eq = Term::Eq(a, b);
+                        self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, vec![eq, t])?;
+                        self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, vec![eq, t])?;
+                    }
+                    // Compose pi* chains.
+                    for (end, via) in [(a, b), (b, a)] {
+                        let neighbours = self.out.pistar.get(&via).cloned().unwrap_or_default();
+                        for (c, o2) in neighbours {
+                            if c != end && c != via {
+                                if let Some(nt) = Term::pi_star(end, c, o) {
+                                    let other =
+                                        Term::pi_star(via, c, o2).expect("stored pi* is proper");
+                                    self.derive(nt, labels::PI_STAR_JOIN, vec![t, other])?;
+                                }
+                            }
+                        }
+                    }
+                    // Transfer across equalities.
+                    self.transfer_by_eq(t, a)?;
+                    self.transfer_by_eq(t, b)?;
+                    self.fire_local_rules(a)?;
+                    self.fire_local_rules(b)?;
+                }
+            }
+            Term::Eq(a, b) => {
+                // Transitivity.
+                for (x, y) in [(a, b), (b, a)] {
+                    for c in self.out.eq.get(&x).cloned().unwrap_or_default() {
+                        if let Some(nt) = Term::eq(c, y) {
+                            let prem =
+                                Term::eq(x, c).expect("adjacency implies distinct");
+                            self.derive(nt, labels::RULE_EQ, vec![t, prem])?;
+                        }
+                    }
+                }
+                // Attribute congruence: r_att(a) = r_att(b).
+                let reads_a = self.read_by_recv.get(&a).cloned().unwrap_or_default();
+                let reads_b = self.read_by_recv.get(&b).cloned().unwrap_or_default();
+                for ra in &reads_a {
+                    for rb in &reads_b {
+                        let attr_a = self.read_attr_of(*ra);
+                        let attr_b = self.read_attr_of(*rb);
+                        if attr_a == attr_b {
+                            if let Some(nt) = Term::eq(*ra, *rb) {
+                                self.derive(nt, labels::RULE_EQ, vec![t])?;
+                            }
+                        }
+                    }
+                }
+                if self.config.write_read {
+                    // Write-read: w_att(a, v) and r_att(b) ⇒ v = r_att(b).
+                    for (wrecv, rrecv) in [(a, b), (b, a)] {
+                        let writes = self.writes_by_recv.get(&wrecv).cloned().unwrap_or_default();
+                        for (attr, val) in writes {
+                            for r in self.read_by_recv.get(&rrecv).cloned().unwrap_or_default() {
+                                if self.read_attr_of(r) == Some(attr.clone()) {
+                                    if let Some(nt) = Term::eq(val, r) {
+                                        self.derive(nt, labels::RULE_EQ, vec![t])?;
+                                    }
+                                }
+                            }
+                        }
+                        // Constructor-read: new C(…,a_j,…) = wrecv side.
+                        for r in self.read_by_recv.get(&rrecv).cloned().unwrap_or_default() {
+                            if let Some(attr) = self.read_attr_of(r) {
+                                if let Some(arg) = self.ctor_arg(wrecv, &attr) {
+                                    if let Some(nt) = Term::eq(arg, r) {
+                                        self.derive(nt, labels::RULE_EQ, vec![t])?;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                // Joint constraint on equals: a (non-equality-derived)
+                // pi* between two expressions the user knows to be equal
+                // restricts the shared value itself — the diagonal of the
+                // joint set may be a proper subset (I(E): join of rule 5
+                // with the joint term).
+                if self.config.pi_star {
+                    let stars = self.out.pistar.get(&a).cloned().unwrap_or_default();
+                    for (x, o) in stars {
+                        if x == b && o != Origin::AXIOM {
+                            let star = Term::pi_star(a, b, o).expect("stored pi* is proper");
+                            self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, vec![t, star])?;
+                            self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, vec![t, star])?;
+                        }
+                    }
+                }
+                // Diagonal: the equality may pair the two arguments of a
+                // candidate node.
+                let diag_hits: Vec<ExprId> = self
+                    .diag_nodes
+                    .iter()
+                    .filter(|(_, &(x, y))| (x, y) == (a, b) || (x, y) == (b, a))
+                    .map(|(n, _)| *n)
+                    .collect();
+                for n in diag_hits {
+                    self.try_diagonal(n)?;
+                }
+                // pi* from equality.
+                if self.config.pi_star {
+                    if let Some(nt) = Term::pi_star(a, b, Origin::AXIOM) {
+                        self.derive(nt, labels::PI_STAR_FROM_EQ, vec![t])?;
+                    }
+                }
+                // Capability transfer in both directions.
+                if self.config.eq_transfer {
+                    self.transfer_all_caps(a, b, t)?;
+                    self.transfer_all_caps(b, a, t)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn read_attr_of(&self, read_node: ExprId) -> Option<AttrName> {
+        match &self.prog.get(read_node).kind {
+            NKind::Read(attr, _) => Some(attr.clone()),
+            _ => None,
+        }
+    }
+
+    /// Diagonal inversion (reconstruction of the I(E) join of Table 1's
+    /// rule 5 with a basic-function dependency): when the two arguments of
+    /// `e1 ⊕ e2` are known equal, the node computes an injective function of
+    /// that shared value (`x+x`, `x*x` up to the pessimistic reading,
+    /// `s++s`), so inferability of the result transfers to the arguments:
+    ///
+    /// ```text
+    /// =[e1,e2], ti[⊕(e1,e2), n, d] → ti[e1, l, −], ti[e2, l, −]   (n ≠ l)
+    /// =[e1,e2], pi[⊕(e1,e2), n, d] → pi[e1, l, −], pi[e2, l, −]   (n ≠ l)
+    /// ```
+    ///
+    /// Without this rule the analysis misses flaws like
+    /// `w_a0(c, r_a1(c) + r_a1(c))` + granted `r_a0` — the user reads 2·a1
+    /// and halves it (found by the differential experiment E3).
+    fn try_diagonal(&mut self, node: ExprId) -> Result<(), ClosureError> {
+        if !self.config.basic_rules {
+            return Ok(());
+        }
+        let Some(&(a, b)) = self.diag_nodes.get(&node) else {
+            return Ok(());
+        };
+        let eq = Term::eq(a, b).expect("diagonal args are distinct");
+        if !self.out.terms.contains(&eq) {
+            return Ok(());
+        }
+        let origin = Origin::new(node, Dir::Up);
+        let no_guard = !self.config.feedback_guard;
+        let guard_ok = move |o: &Origin| no_guard || o.num != node;
+        let ti_src = self
+            .out
+            .ti
+            .get(&node)
+            .and_then(|os| os.iter().copied().find(|o| guard_ok(o)));
+        if let Some(o) = ti_src {
+            let prem = Term::Ti(node, o);
+            for arg in [a, b] {
+                self.derive(
+                    Term::Ti(arg, origin),
+                    "basic function: diagonal inversion",
+                    vec![eq, prem],
+                )?;
+            }
+        }
+        let pi_src = self
+            .out
+            .pi
+            .get(&node)
+            .and_then(|os| os.iter().copied().find(|o| guard_ok(o)));
+        if let Some(o) = pi_src {
+            let prem = Term::Pi(node, o);
+            for arg in [a, b] {
+                self.derive(
+                    Term::Pi(arg, origin),
+                    "basic function: diagonal inversion",
+                    vec![eq, prem],
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn transfer_all_caps(&mut self, from: ExprId, to: ExprId, eq: Term) -> Result<(), ClosureError> {
+        if self.out.ta.contains(&from) {
+            self.derive(Term::Ta(to), labels::ALTER_BY_EQ, vec![eq, Term::Ta(from)])?;
+        }
+        if self.out.pa.contains(&from) {
+            self.derive(Term::Pa(to), labels::ALTER_BY_EQ, vec![eq, Term::Pa(from)])?;
+        }
+        for o in self.out.ti.get(&from).cloned().unwrap_or_default() {
+            self.derive(
+                Term::Ti(to, o),
+                labels::INFER_BY_EQ,
+                vec![eq, Term::Ti(from, o)],
+            )?;
+        }
+        for o in self.out.pi.get(&from).cloned().unwrap_or_default() {
+            self.derive(
+                Term::Pi(to, o),
+                labels::INFER_BY_EQ,
+                vec![eq, Term::Pi(from, o)],
+            )?;
+        }
+        if self.config.pi_star {
+            for (other, o) in self.out.pistar.get(&from).cloned().unwrap_or_default() {
+                if other != to {
+                    if let Some(nt) = Term::pi_star(to, other, o) {
+                        let prem = Term::pi_star(from, other, o).expect("stored pi* is proper");
+                        self.derive(nt, labels::INFER_BY_EQ, vec![eq, prem])?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Transfer a single capability term across all known equalities of `e`.
+    fn transfer_by_eq(&mut self, t: Term, e: ExprId) -> Result<(), ClosureError> {
+        if !self.config.eq_transfer {
+            return Ok(());
+        }
+        for b in self.out.eq.get(&e).cloned().unwrap_or_default() {
+            let eq_term = Term::eq(e, b).expect("adjacency implies distinct");
+            let (derived, label) = match t {
+                Term::Ta(_) => (Some(Term::Ta(b)), labels::ALTER_BY_EQ),
+                Term::Pa(_) => (Some(Term::Pa(b)), labels::ALTER_BY_EQ),
+                Term::Ti(_, o) => (Some(Term::Ti(b, o)), labels::INFER_BY_EQ),
+                Term::Pi(_, o) => (Some(Term::Pi(b, o)), labels::INFER_BY_EQ),
+                Term::PiStar(x, y, o) => {
+                    let other = if x == e { y } else { x };
+                    if other == b {
+                        (None, labels::INFER_BY_EQ)
+                    } else {
+                        (Term::pi_star(b, other, o), labels::INFER_BY_EQ)
+                    }
+                }
+                Term::Eq(..) => (None, labels::RULE_EQ),
+            };
+            if let Some(nt) = derived {
+                self.derive(nt, label, vec![eq_term, t])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fire every local (basic-function) rule at the nodes where `e` fills a
+    /// slot.
+    fn fire_local_rules(&mut self, e: ExprId) -> Result<(), ClosureError> {
+        if !self.config.basic_rules {
+            return Ok(());
+        }
+        let nodes: Vec<ExprId> = self
+            .basic_slots
+            .get(&e)
+            .map(|v| v.iter().map(|(n, _)| *n).collect())
+            .unwrap_or_default();
+        for node in nodes {
+            self.try_node(node)?;
+        }
+        Ok(())
+    }
+
+    fn try_node(&mut self, node: ExprId) -> Result<(), ClosureError> {
+        let (op, args) = match &self.prog.get(node).kind {
+            NKind::Basic(op, args) => (*op, args.clone()),
+            _ => return Ok(()),
+        };
+        let rules = self.op_rules.get(&op).cloned().unwrap_or_default();
+        for rule in &rules {
+            self.try_rule(node, &args, rule)?;
+        }
+        Ok(())
+    }
+
+    fn slot_expr(&self, node: ExprId, args: &[ExprId], slot: Slot) -> ExprId {
+        match slot {
+            Slot::Arg(i) => args[i],
+            Slot::Ret => node,
+        }
+    }
+
+    fn try_rule(
+        &mut self,
+        node: ExprId,
+        args: &[ExprId],
+        rule: &LocalRule,
+    ) -> Result<(), ClosureError> {
+        // Direction of the conclusion decides the feedback guard.
+        let conclusion_down = match rule.conclusion {
+            LTerm::Cap(_, Slot::Ret) => true,
+            LTerm::Cap(_, Slot::Arg(_)) => false,
+            LTerm::PiStar(a, b) => matches!(a, Slot::Ret) || matches!(b, Slot::Ret),
+        };
+        let guard_ok = |o: Origin| -> bool {
+            if !self.config.feedback_guard {
+                return true;
+            }
+            if conclusion_down {
+                !(o.num == node && o.dir == Dir::Up)
+            } else {
+                o.num != node
+            }
+        };
+
+        let mut premises = Vec::with_capacity(rule.premises.len());
+        for p in &rule.premises {
+            let found = match *p {
+                LTerm::Cap(LCap::Ta, s) => {
+                    let e = self.slot_expr(node, args, s);
+                    self.out.ta.contains(&e).then_some(Term::Ta(e))
+                }
+                LTerm::Cap(LCap::Pa, s) => {
+                    let e = self.slot_expr(node, args, s);
+                    self.out.pa.contains(&e).then_some(Term::Pa(e))
+                }
+                LTerm::Cap(LCap::Ti, s) => {
+                    let e = self.slot_expr(node, args, s);
+                    self.out
+                        .ti
+                        .get(&e)
+                        .and_then(|os| os.iter().copied().find(|o| guard_ok(*o)))
+                        .map(|o| Term::Ti(e, o))
+                }
+                LTerm::Cap(LCap::Pi, s) => {
+                    let e = self.slot_expr(node, args, s);
+                    self.out
+                        .pi
+                        .get(&e)
+                        .and_then(|os| os.iter().copied().find(|o| guard_ok(*o)))
+                        .map(|o| Term::Pi(e, o))
+                }
+                LTerm::PiStar(s1, s2) => {
+                    if !self.config.pi_star {
+                        None
+                    } else {
+                        let a = self.slot_expr(node, args, s1);
+                        let b = self.slot_expr(node, args, s2);
+                        self.out
+                            .pistar
+                            .get(&a)
+                            .and_then(|v| {
+                                v.iter()
+                                    .find(|(other, o)| *other == b && guard_ok(*o))
+                                    .map(|(_, o)| *o)
+                            })
+                            .and_then(|o| Term::pi_star(a, b, o))
+                    }
+                }
+            };
+            match found {
+                Some(t) => premises.push(t),
+                None => return Ok(()),
+            }
+        }
+
+        let dir = if conclusion_down { Dir::Down } else { Dir::Up };
+        let origin = Origin::new(node, dir);
+        let conclusion = match rule.conclusion {
+            LTerm::Cap(LCap::Ta, s) => Some(Term::Ta(self.slot_expr(node, args, s))),
+            LTerm::Cap(LCap::Pa, s) => Some(Term::Pa(self.slot_expr(node, args, s))),
+            LTerm::Cap(LCap::Ti, s) => Some(Term::Ti(self.slot_expr(node, args, s), origin)),
+            LTerm::Cap(LCap::Pi, s) => Some(Term::Pi(self.slot_expr(node, args, s), origin)),
+            LTerm::PiStar(s1, s2) => {
+                if !self.config.pi_star {
+                    None
+                } else {
+                    Term::pi_star(
+                        self.slot_expr(node, args, s1),
+                        self.slot_expr(node, args, s2),
+                        origin,
+                    )
+                }
+            }
+        };
+        if let Some(c) = conclusion {
+            self.derive(c, rule.name, premises)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::parse_schema;
+
+    fn closure_for(src: &str, user: &str) -> (NProgram, Closure) {
+        let schema = parse_schema(src).unwrap();
+        oodb_lang::check_schema(&schema).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str(user).unwrap()).unwrap();
+        let c = Closure::compute(&prog).unwrap();
+        (prog, c)
+    }
+
+    const STOCKBROKER: &str = r#"
+        class Broker { name: string, salary: int, budget: int, profit: int }
+        fn checkBudget(broker: Broker): bool {
+          r_budget(broker) >= 10 * r_salary(broker)
+        }
+        user clerk { checkBudget, w_budget }
+        user safe_clerk { checkBudget }
+    "#;
+
+    #[test]
+    fn figure_one_flaw_is_derived() {
+        // §4.2 / Figure 1: ti on 5r_salary(4broker) must be in the closure.
+        let (_p, c) = closure_for(STOCKBROKER, "clerk");
+        assert!(c.has_ti(5), "clerk can infer the salary read (Figure 1)");
+        // The key intermediate judgments of Figure 1.
+        assert!(c.contains(&Term::Eq(1, 8))); // =[8o, 1broker]
+        assert!(c.contains(&Term::Eq(2, 9))); // =[9v, 2r_budget(1broker)]
+        assert!(c.has_ti(2)); // ti[2r_budget(1broker)]
+        assert!(c.has_pa(2)); // pa[2r_budget(1broker)]
+        assert!(c.has_ti(6)); // ti[6*(10, 5r_salary(4broker))]
+    }
+
+    #[test]
+    fn without_write_capability_no_flaw() {
+        // A clerk with only checkBudget cannot infer the salary.
+        let (_p, c) = closure_for(STOCKBROKER, "safe_clerk");
+        assert!(!c.has_ti(5), "no ti on the salary read without w_budget");
+        assert!(!c.has_pi(5), "no pi either");
+    }
+
+    #[test]
+    fn proofs_recorded_for_every_term() {
+        let (_p, c) = closure_for(STOCKBROKER, "clerk");
+        for t in c.iter() {
+            assert!(c.proof(t).is_some(), "no proof for {t}");
+        }
+        // Axioms have no premises; derived terms have in-closure premises.
+        for t in c.iter() {
+            let d = c.proof(t).unwrap();
+            for p in &d.premises {
+                assert!(c.contains(p), "dangling premise {p} of {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_write_read_kills_figure_one() {
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let cfg = RuleConfig {
+            write_read: false,
+            ..RuleConfig::default()
+        };
+        let c = Closure::compute_with(&prog, &cfg, DEFAULT_TERM_LIMIT).unwrap();
+        assert!(
+            !c.has_ti(5),
+            "without write-read equality the attack is invisible (unsound!)"
+        );
+    }
+
+    #[test]
+    fn ablation_eq_transfer_kills_alterability_flow() {
+        // Inferability has a redundant pi*-based route, but alterability
+        // only flows through the =-transfer rules: disabling them loses the
+        // payroll-style ta detection (the written value stops being ta).
+        let schema = parse_schema(
+            r#"
+            class Broker { salary: int, budget: int, profit: int }
+            fn calcSalary(budget: int, profit: int): int { budget / 10 + profit / 2 }
+            fn updateSalary(broker: Broker): null {
+              w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)))
+            }
+            user payroll { updateSalary, w_budget }
+            "#,
+        )
+        .unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("payroll").unwrap()).unwrap();
+        let full = Closure::compute(&prog).unwrap();
+        let cfg = RuleConfig {
+            eq_transfer: false,
+            ..RuleConfig::default()
+        };
+        let ablated = Closure::compute_with(&prog, &cfg, DEFAULT_TERM_LIMIT).unwrap();
+        // The value argument of w_salary is the let(calcSalary) node — the
+        // binding of the occurrence found by the algorithm.
+        let w_salary_val = prog
+            .iter()
+            .find_map(|e| match &e.kind {
+                crate::unfold::NKind::Write(attr, _, val) if attr.as_str() == "salary" => {
+                    Some(*val)
+                }
+                _ => None,
+            })
+            .expect("w_salary occurs");
+        assert!(full.has_ta(w_salary_val), "full rules detect the ta flow");
+        assert!(!ablated.has_ta(w_salary_val), "no ta without =-transfer");
+    }
+
+    #[test]
+    fn term_limit_aborts() {
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        assert!(matches!(
+            Closure::compute_with(&prog, &RuleConfig::default(), 5),
+            Err(ClosureError::TermLimit { limit: 5 })
+        ));
+    }
+
+    #[test]
+    fn closure_is_deterministic() {
+        let (_p, c1) = closure_for(STOCKBROKER, "clerk");
+        let (_p, c2) = closure_for(STOCKBROKER, "clerk");
+        let mut t1: Vec<Term> = c1.iter().copied().collect();
+        let mut t2: Vec<Term> = c2.iter().copied().collect();
+        t1.sort();
+        t2.sort();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn feedback_guard_blocks_self_derivation() {
+        // f(x:int) = x + 1 granted alone: the user knows x (ti axiom) and
+        // the result (body axiom). Fine. But pi on the result must not loop
+        // through the + node to create fresh "different ways" on x.
+        let (_p, c) = closure_for(
+            "fn f(x: int): int { x + 1 } user u { f }",
+            "u",
+        );
+        // x (id 1) is ti — both by axiom and by inversion through +; the
+        // guard only blocks re-derivation through the same node, not this.
+        assert!(c.has_ti(1));
+        // Every pi on the constant keeps its axiom origin or a distinct
+        // node origin — no (2, Up)-style self-feedback on the constant's
+        // own node (the constant is node 2, never a basic node).
+        assert!(c.has_ti(2));
+        assert!(c.has_ti(3)); // the + node: computable and observed
+    }
+
+    #[test]
+    fn let_propagation_via_equalities() {
+        // g(y) = y * 2 inside f: alterability of the outer argument flows
+        // through the let binding into the body.
+        let (p, c) = closure_for(
+            r#"
+            fn g(y: int): int { y * 2 }
+            fn f(x: int): int { g(x) }
+            user u { f }
+            "#,
+            "u",
+        );
+        // 1x, 2y, 3:2, 4*(2y,3), 5let(g)…
+        assert!(c.has_ta(1), "outer arg");
+        assert!(c.has_ta(2), "let-bound occurrence via =");
+        assert!(c.has_ta(4), "through *");
+        assert!(c.has_ta(5), "let node via body equality");
+        assert_eq!(p.render(p.outers[0].root), "5let(g) y=1x in 4*(2y, 3:2) end");
+    }
+
+    #[test]
+    fn printable_oids_extend_inferability_to_objects() {
+        // §3.2's "former case": with printable identifiers the user can
+        // read the object arguments they pass, so object-typed argument
+        // variables get ti axioms too. Default (opaque) regime: they don't.
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let opaque = Closure::compute(&prog).unwrap();
+        assert!(!opaque.has_ti(1), "opaque OIDs are not inferable");
+        let cfg = RuleConfig {
+            printable_oids: true,
+            ..RuleConfig::default()
+        };
+        let printable = Closure::compute_with(&prog, &cfg, DEFAULT_TERM_LIMIT).unwrap();
+        assert!(printable.has_ti(1), "printable OIDs are directly known");
+        // The regime only adds terms (monotone).
+        assert!(printable.len() >= opaque.len());
+    }
+
+    #[test]
+    fn constructor_read_links_argument() {
+        // mk(v) = r_x(new C(v)): reading the attribute of a fresh object
+        // returns the constructor argument, so ta flows.
+        let (_p, c) = closure_for(
+            r#"
+            class C { x: int }
+            fn mk(v: int): int { r_x(new C(v)) }
+            user u { mk }
+            "#,
+            "u",
+        );
+        // 1v, 2new C(1v), 3r_x(2new…): ta[1] ⇒ =[1,3] ⇒ ta[3].
+        assert!(c.contains(&Term::Eq(1, 3)));
+        assert!(c.has_ta(3));
+    }
+}

@@ -1,0 +1,49 @@
+//! # secflow — the paper's contribution
+//!
+//! A faithful implementation of the static security-flaw detection of
+//! *K. Tajima, “Static Detection of Security Flaws in Object-Oriented
+//! Databases”, SIGMOD 1996*:
+//!
+//! * [`unfold`] — given a user's capability list `F`, build `S'(F)`: every
+//!   granted function unfolded (inner access-function calls become
+//!   `let(f) x1=e1,… in body end` forms) with every subexpression occurrence
+//!   assigned a serial number in evaluation order (§4.1).
+//! * [`term`] — the term language of the inference system `F(F)`:
+//!   `ta[e] | pa[e] | ti[e,num,dir] | pi[e,num,dir] | pi*[(e,e),num,dir] |
+//!   =[e1,e2]` (§4.1).
+//! * [`rules`] — the structural axioms and rules of Table 2 (alterability,
+//!   equality, inferability, capability lattice), reconstructed where the
+//!   published table is ambiguous — see the module docs for the
+//!   reconstruction notes.
+//! * [`basics`] — the per-basic-function rule sets generated following the
+//!   paper's §4.1 metarules, including the verbatim `>=` and `*` instances.
+//! * [`closure`] — the semi-naive fixpoint computing the closure of all
+//!   derivable terms, with full proof recording.
+//! * [`algorithm`] — `A(R)` (§4.1 Definition 6): a requirement `R` is
+//!   *not satisfied* iff some occurrence of its target function carries all
+//!   the specified capability terms in the closure.
+//! * [`report`] — verdicts and Figure-1-style derivation rendering.
+//!
+//! The analysis is **sound** (paper Theorem 1): every flaw that a user could
+//! actually realise is reported. It is deliberately **pessimistic**: it may
+//! report flaws no concrete attack realises. `secflow-dynamic` quantifies
+//! both properties experimentally (EXPERIMENTS.md, E3/E4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod algorithm;
+pub mod basics;
+pub mod closure;
+pub mod report;
+pub mod rules;
+pub mod term;
+pub mod unfold;
+
+pub use advisor::{advise, Advice, AdvisorConfig, Repair};
+pub use algorithm::{analyze, analyze_with_config, AnalysisConfig, AnalysisError};
+pub use closure::Closure;
+pub use report::{Verdict, Violation};
+pub use term::{Dir, Origin, Term};
+pub use unfold::{ExprId, NExpr, NKind, NProgram, Outer};

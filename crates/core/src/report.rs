@@ -1,0 +1,268 @@
+//! Verdicts and Figure-1 style derivation rendering.
+//!
+//! `A(R)` answers *satisfied* or *not satisfied*; when not satisfied we also
+//! carry the violating occurrence(s) and, for each required capability, the
+//! witness term whose recorded derivation can be printed in the style of
+//! the paper's Figure 1:
+//!
+//! ```text
+//! =[1broker, 8a1]                                   (axiom for =)
+//! =[2r_budget(1broker), 9a2]                        (rule for =)
+//! ti[9a2, 9, +]                                     (axiom)
+//! ti[2r_budget(1broker), 9, +]                      (inferability based on =)
+//! …
+//! ti[5r_salary(4broker), 6, -]                      (basic function: * quotient inference)
+//! ```
+
+use crate::closure::Closure;
+use crate::term::Term;
+use crate::unfold::{ExprId, NProgram};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Where an occurrence of the target function sits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OccurrenceKind {
+    /// The target is in the user's capability list and invoked directly.
+    OuterAccess {
+        /// Index into [`NProgram::outers`].
+        outer: usize,
+    },
+    /// The target occurs inside an unfolded body: a `let(f)` node or a
+    /// special-function node.
+    Inner {
+        /// The node's serial number.
+        node: ExprId,
+    },
+}
+
+/// One occurrence of the requirement's target function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Outer grant or inner node.
+    pub kind: OccurrenceKind,
+    /// Argument expressions by position (empty for outer access grants —
+    /// the user supplies those directly).
+    pub args: Vec<ExprId>,
+    /// The expression carrying the returned value.
+    pub ret: ExprId,
+}
+
+/// One violating occurrence with the witnessing closure terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The occurrence.
+    pub occurrence: Occurrence,
+    /// One witness term per capability listed in the requirement, in
+    /// requirement order (arguments left to right, then the return).
+    pub witnesses: Vec<Term>,
+}
+
+/// The outcome of `A(R)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// No occurrence achieves all required capabilities: the requirement is
+    /// satisfied (no flaw found — and by Theorem 1, no flaw exists that the
+    /// requirement describes).
+    Satisfied,
+    /// At least one occurrence achieves them all: a (potential) security
+    /// flaw.
+    Violated(Vec<Violation>),
+}
+
+impl Verdict {
+    /// Is this a violation?
+    pub fn is_violated(&self) -> bool {
+        matches!(self, Verdict::Violated(_))
+    }
+
+    /// The violations (empty when satisfied).
+    pub fn violations(&self) -> &[Violation] {
+        match self {
+            Verdict::Satisfied => &[],
+            Verdict::Violated(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Satisfied => write!(f, "satisfied"),
+            Verdict::Violated(v) => write!(f, "NOT satisfied ({} occurrence(s))", v.len()),
+        }
+    }
+}
+
+/// Render a term against a program: expression ids are replaced by the
+/// paper's numbered notation.
+pub fn render_term(prog: &NProgram, t: &Term) -> String {
+    match t {
+        Term::Ta(e) => format!("ta[{}]", prog.render_shallow(*e)),
+        Term::Pa(e) => format!("pa[{}]", prog.render_shallow(*e)),
+        Term::Ti(e, o) => format!("ti[{}, {}]", prog.render_shallow(*e), o),
+        Term::Pi(e, o) => format!("pi[{}, {}]", prog.render_shallow(*e), o),
+        Term::PiStar(a, b, o) => format!(
+            "pi*[({}, {}), {}]",
+            prog.render_shallow(*a),
+            prog.render_shallow(*b),
+            o
+        ),
+        Term::Eq(a, b) => format!(
+            "=[{}, {}]",
+            prog.render_shallow(*a),
+            prog.render_shallow(*b)
+        ),
+    }
+}
+
+/// Produce a Figure-1 style linear derivation of `goal`: premises above
+/// conclusions, each line annotated with its rule, duplicates folded.
+pub fn render_derivation(prog: &NProgram, closure: &Closure, goal: &Term) -> String {
+    let mut lines: Vec<(Term, &'static str)> = Vec::new();
+    let mut seen: HashSet<Term> = HashSet::new();
+    collect(closure, goal, &mut seen, &mut lines);
+    let width = lines
+        .iter()
+        .map(|(t, _)| render_term(prog, t).len())
+        .max()
+        .unwrap_or(0)
+        .min(72);
+    let mut out = String::new();
+    for (t, rule) in lines {
+        let rendered = render_term(prog, &t);
+        let pad = width.saturating_sub(rendered.len()) + 3;
+        out.push_str(&rendered);
+        out.extend(std::iter::repeat_n(' ', pad));
+        out.push('(');
+        out.push_str(rule);
+        out.push_str(")\n");
+    }
+    out
+}
+
+fn collect(
+    closure: &Closure,
+    goal: &Term,
+    seen: &mut HashSet<Term>,
+    out: &mut Vec<(Term, &'static str)>,
+) {
+    // Iterative post-order over the proof DAG — long equality chains can
+    // make the DAG thousands of steps deep, which must not overflow the
+    // stack when rendering from the CLI.
+    enum Frame {
+        Visit(Term),
+        Emit(Term, &'static str),
+    }
+    let mut stack = vec![Frame::Visit(*goal)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Visit(t) => {
+                if !seen.insert(t) {
+                    continue;
+                }
+                if let Some(d) = closure.proof(&t) {
+                    stack.push(Frame::Emit(t, d.rule));
+                    // Premises are pushed in reverse so they pop — and thus
+                    // print — in rule order.
+                    for p in d.premises.iter().rev() {
+                        stack.push(Frame::Visit(*p));
+                    }
+                }
+            }
+            Frame::Emit(t, rule) => out.push((t, rule)),
+        }
+    }
+}
+
+/// A one-paragraph human summary of a verdict for a requirement, with the
+/// full derivation of the first witness.
+pub fn explain(prog: &NProgram, closure: &Closure, verdict: &Verdict) -> String {
+    match verdict {
+        Verdict::Satisfied => "requirement satisfied: no occurrence of the target achieves all \
+                               specified capabilities"
+            .to_owned(),
+        Verdict::Violated(violations) => {
+            let mut out = String::new();
+            for (i, v) in violations.iter().enumerate() {
+                out.push_str(&format!(
+                    "violation {} of {}: occurrence at {} with witnesses:\n",
+                    i + 1,
+                    violations.len(),
+                    match v.occurrence.kind {
+                        OccurrenceKind::OuterAccess { outer } =>
+                            format!("outer grant #{outer}"),
+                        OccurrenceKind::Inner { node } => prog.render_shallow(node),
+                    }
+                ));
+                for w in &v.witnesses {
+                    out.push_str("  ");
+                    out.push_str(&render_term(prog, w));
+                    out.push('\n');
+                }
+                if let Some(first) = v.witnesses.first() {
+                    out.push_str("derivation of the first witness:\n");
+                    out.push_str(&render_derivation(prog, closure, first));
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closure::Closure;
+    use crate::unfold::NProgram;
+    use oodb_lang::parse_schema;
+
+    fn setup() -> (NProgram, Closure) {
+        let schema = parse_schema(
+            r#"
+            class Broker { name: string, salary: int, budget: int, profit: int }
+            fn checkBudget(broker: Broker): bool {
+              r_budget(broker) >= 10 * r_salary(broker)
+            }
+            user clerk { checkBudget, w_budget }
+            "#,
+        )
+        .unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let c = Closure::compute(&prog).unwrap();
+        (prog, c)
+    }
+
+    #[test]
+    fn derivation_of_figure_one_goal() {
+        let (prog, c) = setup();
+        let goal = c.ti_witness(5).expect("figure 1 goal must be derivable");
+        let text = render_derivation(&prog, &c, &goal);
+        // The derivation must be non-empty, end at the goal, and mention
+        // the key Figure-1 judgments.
+        assert!(text.contains("ti[5r_salary(4)"));
+        assert!(text.contains("axiom"));
+        assert!(text.contains("basic function"));
+        // Premises precede conclusions: the goal is the last line.
+        let last = text.lines().last().unwrap();
+        assert!(last.starts_with("ti[5r_salary(4)"), "last line: {last}");
+    }
+
+    #[test]
+    fn render_terms() {
+        let (prog, _c) = setup();
+        assert_eq!(render_term(&prog, &Term::Ta(9)), "ta[9a2]");
+        assert_eq!(
+            render_term(&prog, &Term::Eq(1, 8)),
+            "=[1broker, 8a1]"
+        );
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Satisfied.to_string(), "satisfied");
+        let v = Verdict::Violated(vec![]);
+        assert!(v.is_violated());
+        assert!(Verdict::Satisfied.violations().is_empty());
+    }
+}

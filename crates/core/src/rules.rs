@@ -1,0 +1,311 @@
+//! Structural axioms and rules of the inference system `F(F)` (Table 2),
+//! plus the rule-group configuration used by the ablation experiments.
+//!
+//! ## Reconstruction notes
+//!
+//! The SIGMOD'96 scan of Table 2 is OCR-damaged in places. The
+//! implementation below reconstructs the rule set from (a) the readable
+//! rows, (b) the prose of §3.2/§4.1, (c) the worked derivation of Figure 1,
+//! and (d) the soundness direction (when ambiguous, the stronger —
+//! more-pessimistic — reading is used, which preserves Theorem 1). The
+//! groups:
+//!
+//! **1. Alterability**
+//! * `→ ta[x]` for every occurrence of an argument variable of an outer-most
+//!   function (the user supplies those values directly).
+//! * receiver alterability: `ta[e] → pa[r_att(e)]`, `pa[e] → pa[r_att(e)]` —
+//!   §3.2: *"The user can alter the result of read operations also by
+//!   changing the objects to be accessed."* Steering the receiver across
+//!   the extent only reaches attribute values that already exist, so the
+//!   conclusion is *partial*; total alterability of a read arises only via
+//!   the write-read equality (group 3).
+//! * propagation through `let` (variable occurrences, body/whole) is
+//!   realised through the equality axioms of group 3 plus group 4's
+//!   equality-transfer, which derive exactly the paper's
+//!   `ta[e] → ta[z]` / `ta[e] → ta[let … in e end]` conclusions.
+//!
+//! **2. Inferability**
+//! * `→ ti[c, l, +]` for basic-typed constants (own serial number as `num`).
+//! * `→ ti[x, l, +]` for basic-typed outer argument variables.
+//! * `→ ti[e, 0, −]` for the result the user directly observes: the body of
+//!   an outer-most access function, or an outer-most special read — when of
+//!   basic type.
+//! * `=[e1,e2] → pi*[(e1,e2), 0, +]`.
+//! * pi-join: `pi[e,n1,d1], pi[e,n2,d2] → ti[e,n2,d2]` when
+//!   `(n1,d1) ≠ (n2,d2)` — two *different ways* of partial inference may
+//!   intersect to a singleton.
+//! * pi*-join: `pi*[(a,b),n1,d1], pi*[(b,c),n2,d2] → pi*[(a,c),n1,d1]`.
+//! * pi* is **only** eliminated through the per-basic-function rules (e.g.
+//!   `pi*[(e1,e2)] → ti[>=(e1,e2)]`), never by a generic
+//!   pi*-plus-marginal rule: a generic elimination would launder the
+//!   `(num,dir)` origin of a term past the feedback guards and make the
+//!   analysis derive inferences from a node's own argument back onto its
+//!   sibling (observed and rejected during reconstruction).
+//! * per-basic-function rules: see [`crate::basics`].
+//!
+//! **3. Equality**
+//! * any two occurrences of argument variables of outer-most functions with
+//!   the same type are `=` (covers the paper's "different occurrences of the
+//!   same argument variable" *and* "passed values through the same
+//!   from-clause variable" — in a query the user may route one value or
+//!   object into both positions);
+//! * `=[z, e]` for a `let`-bound variable occurrence `z` and its binding
+//!   expression `e`;
+//! * `=[e, let … in e end]` — a `let` denotes its body;
+//! * transitivity (symmetry is structural: terms are normalised);
+//! * attribute congruence: `=[e1,e2] → =[r_att(e1), r_att(e2)]` — the
+//!   analysis assumes (pessimistically, §3.3) that two operations on the
+//!   same attribute of the same object always see the same value;
+//! * write-read: `=[e1,e2] → =[e3, r_att(e2)]` when `w_att(e1,e3) ∈ S'(F)` —
+//!   the value written is the value read;
+//! * constructor-read (extension, same justification as write-read):
+//!   `=[n, e2] → =[a_j, r_att_j(e2)]` when `n = new C(a_1,…)` — attribute
+//!   `j` of a fresh object is its constructor argument.
+//!
+//! **4. Implications and transfer**
+//! * lattice: `ta[e] → pa[e]`, `ti[e,n,d] → pi[e,n,d]`;
+//! * equality transfer (origins preserved):
+//!   `=[e1,e2], ti[e1,n,d] → ti[e2,n,d]` and likewise for `pi`, `ta`, `pa`,
+//!   `pi*` (on either endpoint).
+
+use crate::term::{Dir, Origin, Term};
+use crate::unfold::{NKind, NProgram};
+
+/// Which rule groups are active. All on by default; the ablation bench (E7)
+/// switches groups off to show each is load-bearing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Equality-based capability transfer (group 4's `=`-transfer rules).
+    pub eq_transfer: bool,
+    /// The pi-join rule (two different partial inferences → total).
+    pub pi_join: bool,
+    /// pi* joint-constraint machinery (axiom from `=`, join, elimination,
+    /// and the per-op pi* rules).
+    pub pi_star: bool,
+    /// Write-read (and constructor-read) equality propagation.
+    pub write_read: bool,
+    /// The per-basic-function rules of [`crate::basics`].
+    pub basic_rules: bool,
+    /// The `(n,d)` feedback guards. Disabling them demonstrates the
+    /// feedback problem the paper describes: inferences re-derive their own
+    /// causes and spurious `ti` terms appear.
+    pub feedback_guard: bool,
+    /// §3.2's *former case*: object identifiers have a printable form
+    /// (`(id:730710)`), so users can read and forge them. Inferability
+    /// axioms then also apply to object-typed arguments and observed
+    /// object-typed results — "capability on object type expressions can
+    /// be treated in the same way as that on basic type expressions". The
+    /// paper (and this reproduction's default) assume the latter case:
+    /// opaque identifiers.
+    pub printable_oids: bool,
+}
+
+impl Default for RuleConfig {
+    fn default() -> RuleConfig {
+        RuleConfig {
+            eq_transfer: true,
+            pi_join: true,
+            pi_star: true,
+            write_read: true,
+            basic_rules: true,
+            feedback_guard: true,
+            printable_oids: false,
+        }
+    }
+}
+
+/// A named axiom or derived fact, paired with the Figure-1 style rule label
+/// used in proofs.
+pub type Fact = (Term, &'static str);
+
+/// Rule labels, matching the paper's Figure 1 annotations where they exist.
+pub mod labels {
+    /// Alterability axiom on outer argument variables.
+    pub const AXIOM_TA: &str = "axiom";
+    /// Inferability axiom (constants, outer argument variables, observed
+    /// results).
+    pub const AXIOM_TI: &str = "axiom";
+    /// Equality axioms.
+    pub const AXIOM_EQ: &str = "axiom for =";
+    /// Derived equalities (transitivity, congruence, write-read).
+    pub const RULE_EQ: &str = "rule for =";
+    /// `ti`/`pi` through `=`.
+    pub const INFER_BY_EQ: &str = "inferability based on =";
+    /// `ta`/`pa` through `=`.
+    pub const ALTER_BY_EQ: &str = "alterability based on =";
+    /// Capability lattice.
+    pub const LATTICE: &str = "implication";
+    /// Join of two different partial inferences.
+    pub const PI_JOIN: &str = "join of partial inferences";
+    /// pi* composition.
+    pub const PI_STAR_JOIN: &str = "join of joint constraints";
+    /// `=[e1,e2] → pi*`.
+    pub const PI_STAR_FROM_EQ: &str = "joint constraint from =";
+    /// `=[e1,e2], pi*[(e1,e2)] → pi[e1], pi[e2]`.
+    pub const PI_STAR_ON_EQUALS: &str = "joint constraint on equals";
+    /// Receiver alterability of reads.
+    pub const READ_RECEIVER: &str = "read receiver alterability";
+}
+
+/// Generate the axioms of `F(F)` for an unfolded program (opaque-OID
+/// regime; see [`axioms_with`]).
+pub fn axioms(prog: &NProgram) -> Vec<Fact> {
+    axioms_with(prog, false)
+}
+
+/// Generate the axioms, optionally under §3.2's printable-OID regime where
+/// object-typed user inputs and observations are directly inferable too.
+pub fn axioms_with(prog: &NProgram, printable_oids: bool) -> Vec<Fact> {
+    let mut out = Vec::new();
+    let observable = |ty: &oodb_model::Type| ty.is_basic() || (printable_oids && ty.is_class());
+
+    // Group the argument-variable occurrences for the equality axioms.
+    let mut arg_vars: Vec<&crate::unfold::NExpr> = Vec::new();
+
+    for e in prog.iter() {
+        match &e.kind {
+            NKind::ArgVar { .. } => {
+                // ta[x]: the user chooses every outer argument.
+                out.push((Term::Ta(e.id), labels::AXIOM_TA));
+                if observable(&e.ty) {
+                    // ti[x, l, +]: the user knows what they pass.
+                    out.push((
+                        Term::Ti(e.id, Origin::new(e.id, Dir::Down)),
+                        labels::AXIOM_TI,
+                    ));
+                }
+                arg_vars.push(e);
+            }
+            NKind::Const(_)
+                if e.ty.is_basic() => {
+                    // ti[c, l, +]: program text is readable (§3.1: users can
+                    // read the code of access functions).
+                    out.push((
+                        Term::Ti(e.id, Origin::new(e.id, Dir::Down)),
+                        labels::AXIOM_TI,
+                    ));
+                }
+            NKind::LetVar { binding, .. } => {
+                // =[z, e]: a variable occurrence denotes its binding.
+                if let Some(t) = Term::eq(e.id, *binding) {
+                    out.push((t, labels::AXIOM_EQ));
+                }
+            }
+            NKind::Let { body, .. } => {
+                // =[e, let … in e end].
+                if let Some(t) = Term::eq(*body, e.id) {
+                    out.push((t, labels::AXIOM_EQ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // =[x1, x2] for outer argument variables of the same type: the user can
+    // route the same value/object into both (same from-clause variable or
+    // same constant).
+    for (i, a) in arg_vars.iter().enumerate() {
+        for b in &arg_vars[i + 1..] {
+            if a.ty == b.ty {
+                if let Some(t) = Term::eq(a.id, b.id) {
+                    out.push((t, labels::AXIOM_EQ));
+                }
+            }
+        }
+    }
+
+    // ti on directly observed results: outer access-function bodies and
+    // outer special reads, when basic-typed.
+    for outer in &prog.outers {
+        if outer.root == 0 {
+            continue; // defensive: unfolding failed mid-way
+        }
+        let root = prog.get(outer.root);
+        if observable(&root.ty) {
+            out.push((
+                Term::Ti(root.id, Origin::new(0, Dir::Up)),
+                labels::AXIOM_TI,
+            ));
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::parse_schema;
+
+    fn program() -> NProgram {
+        let schema = parse_schema(
+            r#"
+            class Broker { name: string, salary: int, budget: int, profit: int }
+            fn checkBudget(broker: Broker): bool {
+              r_budget(broker) >= 10 * r_salary(broker)
+            }
+            user clerk { checkBudget, w_budget }
+            "#,
+        )
+        .unwrap();
+        NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn axioms_for_stockbroker() {
+        let p = program();
+        let facts = axioms(&p);
+        let terms: Vec<Term> = facts.iter().map(|(t, _)| *t).collect();
+        // ta on all four argument-variable occurrences (1broker, 4broker,
+        // 8o, 9v).
+        for id in [1, 4, 8, 9] {
+            assert!(terms.contains(&Term::Ta(id)), "missing ta[{id}]");
+        }
+        // ti on the constant 10 (id 3) and the basic argument v (id 9).
+        assert!(terms.contains(&Term::Ti(3, Origin::new(3, Dir::Down))));
+        assert!(terms.contains(&Term::Ti(9, Origin::new(9, Dir::Down))));
+        // ti on the observed checkBudget body (id 7); none on the null-typed
+        // w_budget root (id 10).
+        assert!(terms.contains(&Term::Ti(7, Origin::new(0, Dir::Up))));
+        assert!(!terms.iter().any(|t| matches!(t, Term::Ti(10, _))));
+        // Equalities: the same `broker` twice, and both with `o` (all of
+        // type Broker). Not with `v` (int).
+        assert!(terms.contains(&Term::Eq(1, 4)));
+        assert!(terms.contains(&Term::Eq(1, 8)));
+        assert!(terms.contains(&Term::Eq(4, 8)));
+        assert!(!terms.contains(&Term::Eq(1, 9)));
+        // No ti axiom on the object-typed argument variables.
+        assert!(!terms.iter().any(|t| matches!(t, Term::Ti(1, _))));
+    }
+
+    #[test]
+    fn let_axioms() {
+        let schema = parse_schema(
+            r#"
+            fn f(x: int): int { let y = x + 1 in y * y end }
+            user u { f }
+            "#,
+        )
+        .unwrap();
+        let p = NProgram::unfold(&schema, schema.user_str("u").unwrap()).unwrap();
+        // 7let y=3+(1x, 2:1) in 6*(4y, 5y) end
+        let facts = axioms(&p);
+        let terms: Vec<Term> = facts.iter().map(|(t, _)| *t).collect();
+        assert!(terms.contains(&Term::Eq(3, 4))); // y occurrence = binding
+        assert!(terms.contains(&Term::Eq(3, 5)));
+        assert!(terms.contains(&Term::Eq(6, 7))); // body = let
+    }
+
+    #[test]
+    fn default_config_enables_everything() {
+        let c = RuleConfig::default();
+        assert!(
+            c.eq_transfer
+                && c.pi_join
+                && c.pi_star
+                && c.write_read
+                && c.basic_rules
+                && c.feedback_guard
+        );
+    }
+}

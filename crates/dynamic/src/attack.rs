@@ -1,0 +1,909 @@
+//! The bounded concrete attacker: decides, by exhaustive search over
+//! worlds, probe shapes and argument assignments, whether a user can
+//! actually realise all capabilities a requirement forbids.
+//!
+//! Capability semantics (bounded versions of Definitions 2–5; see the
+//! crate docs for the possible-worlds reading):
+//!
+//! * `ta` on a site: varying the supplied arguments (initial state fixed)
+//!   drives the site over the whole *type domain* — the configured integer
+//!   domain for `int` sites, `{false,true}` for `bool`. Sites whose image
+//!   misses a domain value are not totally alterable, mirroring the paper's
+//!   `∀v ∈ Dom(ᵏe)`;
+//! * `pa`: over at least two values;
+//! * `ti`: for some argument assignment, every world consistent with the
+//!   observations gives the site the same value;
+//! * `pi`: the observations *strictly shrink* the site's possible-value set
+//!   (posterior ⊊ prior, the prior being the site's values across all
+//!   worlds for the same probes). This "knowledge gain" reading replaces
+//!   the paper's literal `S ⊊ Dom`, which is trivially true for derived
+//!   expressions (the user can read the program code, so `x + x` is known
+//!   even before any query); strict gain is the operationally meaningful
+//!   notion and is what `A(R)`'s pi terms over-approximate.
+//!
+//! Capabilities are combined the way `A(R)` combines them (and the way the
+//! paper's Definition 1 effectively does after its §4.1 pessimistic
+//! assumption): each capability may be realised by its own argument
+//! assignment, but all against the same initial world, probe shape, and
+//! occurrence instance.
+
+use crate::eval::eval_outer;
+use crate::idealized::infer_idealized;
+use crate::infer::Probe;
+use crate::strategy::{assignments, shapes, ArgChoice, Shape, StrategySpec};
+use crate::worlds::{enumerate_worlds, WorldError, WorldSpec};
+use oodb_engine::Database;
+use oodb_lang::requirement::{Cap, Requirement};
+use oodb_lang::Schema;
+use oodb_model::Value;
+use secflow::algorithm::occurrences;
+use secflow::report::OccurrenceKind;
+use secflow::unfold::{ExprId, NProgram, UnfoldError};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Attacker bounds.
+#[derive(Clone, Debug)]
+pub struct AttackerConfig {
+    /// World enumeration bounds (`int_domain` inside is overridden by
+    /// `domains` below).
+    pub worlds: WorldSpec,
+    /// Strategy enumeration bounds (`int_domain` likewise overridden).
+    pub strategies: StrategySpec,
+    /// The integer domains the attack must succeed under — **all** of them.
+    ///
+    /// The paper's `Dom(int)` is unbounded; a single small non-negative
+    /// domain lets one boolean observation pin a secret purely because so
+    /// few worlds exist (e.g. `-2a0² >= a1` forces `a1 = 0` when secrets
+    /// are non-negative, but over ℤ constrains nothing). Requiring the
+    /// capability to be realised under two structurally different domains
+    /// (one containing negatives, non-contiguous) filters those artefacts
+    /// while keeping every genuine attack (probing, write-read, algebraic
+    /// inversion), which succeeds regardless of the domain.
+    pub domains: Vec<Vec<i64>>,
+}
+
+impl Default for AttackerConfig {
+    fn default() -> AttackerConfig {
+        AttackerConfig {
+            worlds: WorldSpec::default(),
+            strategies: StrategySpec::default(),
+            domains: vec![vec![0, 1, 2], vec![-1, 0, 1, 3]],
+        }
+    }
+}
+
+impl AttackerConfig {
+    /// A configuration suitable for the differential experiments: 1 object
+    /// per class, 2 probes, domains `{0,1,2}` and `{-1,0,1,3}`.
+    pub fn small() -> AttackerConfig {
+        AttackerConfig::default()
+    }
+}
+
+/// Attack failure (bounds exceeded or schema problems).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AttackError {
+    /// Unknown user in the requirement.
+    UnknownUser(String),
+    /// Unfolding failed.
+    Unfold(UnfoldError),
+    /// World enumeration failed.
+    Worlds(WorldError),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::UnknownUser(u) => write!(f, "unknown user `{u}`"),
+            AttackError::Unfold(e) => write!(f, "{e}"),
+            AttackError::Worlds(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<UnfoldError> for AttackError {
+    fn from(e: UnfoldError) -> Self {
+        AttackError::Unfold(e)
+    }
+}
+
+impl From<WorldError> for AttackError {
+    fn from(e: WorldError) -> Self {
+        AttackError::Worlds(e)
+    }
+}
+
+/// A successful attack's description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttackWitness {
+    /// The probe shape (outer function names per step).
+    pub shape: Vec<String>,
+    /// Index of the initial world.
+    pub world: usize,
+    /// Which occurrence instance (step index within the shape).
+    pub step: usize,
+    /// Human-readable summary.
+    pub summary: String,
+}
+
+/// Outcome of an attack attempt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Did the attacker realise every forbidden capability?
+    pub achieved: bool,
+    /// Witness, when achieved.
+    pub witness: Option<AttackWitness>,
+    /// Shapes skipped because their assignment space exceeded the cap.
+    pub skipped_shapes: usize,
+}
+
+/// One step's outcome in one run: the rendered observation and the values
+/// of the sites of interest.
+struct StepRun {
+    obs: String,
+    sites: HashMap<ExprId, Value>,
+}
+
+/// Try to realise all capabilities of `req` with the bounded attacker.
+///
+/// Alterability capabilities are decided constructively by the
+/// possible-worlds machinery (and must hold under every configured integer
+/// domain — see [`AttackerConfig::domains`]). Inferability capabilities are
+/// decided by the **idealized** engine ([`crate::idealized`]), whose
+/// deductions are valid over unbounded integers, so finite-domain
+/// truncation can never masquerade as inference. Capabilities combine the
+/// way `A(R)` combines them: each may use its own probes.
+pub fn attack_requirement(
+    schema: &Schema,
+    req: &Requirement,
+    cfg: &AttackerConfig,
+) -> Result<AttackOutcome, AttackError> {
+    let (alter_req, infer_req) = split_requirement(req);
+
+    let mut witness: Option<AttackWitness> = None;
+    let mut skipped_total = 0usize;
+    if let Some(ir) = &infer_req {
+        let (out, skipped) = idealized_achieves(schema, ir, cfg)?;
+        skipped_total = skipped_total.max(skipped);
+        match out {
+            Some(w) => witness = Some(w),
+            None => {
+                return Ok(AttackOutcome {
+                    achieved: false,
+                    witness: None,
+                    skipped_shapes: skipped_total,
+                })
+            }
+        }
+    }
+    let Some(ar) = alter_req else {
+        return Ok(AttackOutcome {
+            achieved: infer_req.is_some(),
+            witness,
+            skipped_shapes: skipped_total,
+        });
+    };
+    let out = attack_alterability(schema, &ar, cfg)?;
+    Ok(AttackOutcome {
+        achieved: out.achieved && (infer_req.is_none() || witness.is_some()),
+        witness: out.witness.or(witness),
+        skipped_shapes: skipped_total.max(out.skipped_shapes),
+    })
+}
+
+/// Split a requirement into its alterability-only and inferability-only
+/// parts (either may be absent).
+fn split_requirement(req: &Requirement) -> (Option<Requirement>, Option<Requirement>) {
+    let filter = |caps: &[Cap], want_infer: bool| -> Vec<Cap> {
+        caps.iter()
+            .copied()
+            .filter(|c| c.is_inferability() == want_infer)
+            .collect()
+    };
+    let build = |want_infer: bool| -> Option<Requirement> {
+        let arg_caps: Vec<Vec<Cap>> = req
+            .arg_caps
+            .iter()
+            .map(|caps| filter(caps, want_infer))
+            .collect();
+        let ret_caps = filter(&req.ret_caps, want_infer);
+        if arg_caps.iter().all(Vec::is_empty) && ret_caps.is_empty() {
+            None
+        } else {
+            Some(Requirement {
+                user: req.user.clone(),
+                target: req.target.clone(),
+                arg_names: req.arg_names.clone(),
+                arg_caps,
+                ret_caps,
+            })
+        }
+    };
+    (build(false), build(true))
+}
+
+/// Decide the inferability part with the idealized (ℤ-valid) engine.
+fn idealized_achieves(
+    schema: &Schema,
+    req: &Requirement,
+    cfg: &AttackerConfig,
+) -> Result<(Option<AttackWitness>, usize), AttackError> {
+    let caps = schema
+        .user(&req.user)
+        .ok_or_else(|| AttackError::UnknownUser(req.user.to_string()))?;
+    let prog = NProgram::unfold(schema, caps)?;
+    let occs = occurrences(&prog, &req.target);
+    if occs.is_empty() {
+        return Ok((None, 0));
+    }
+    let core: Vec<i64> = cfg
+        .domains
+        .iter()
+        .skip(1)
+        .fold(cfg.domains.first().cloned().unwrap_or_default(), |acc, d| {
+            acc.into_iter().filter(|v| d.contains(v)).collect()
+        });
+    let mut one = cfg.clone();
+    if let Some(d) = cfg.domains.first() {
+        one.worlds.int_domain = d.clone();
+        one.strategies.int_domain = d.clone();
+    }
+    let worlds = enumerate_worlds(schema, &one.worlds)?;
+    let mut skipped = 0usize;
+    for shape in shapes(&prog, &one.strategies) {
+        let Some(asgs) = assignments(&prog, &shape, &one.strategies) else {
+            skipped += 1;
+            continue;
+        };
+        for asg in &asgs {
+            for (wi, world) in worlds.iter().enumerate() {
+                let probes: Vec<Probe> = shape
+                    .iter()
+                    .zip(asg)
+                    .map(|(&outer, choices)| Probe {
+                        outer,
+                        args: choices.iter().map(|c| resolve2(c, world)).collect(),
+                    })
+                    .collect();
+                let d = infer_idealized(&prog, &probes, world);
+                for occ in &occs {
+                    let Some(outer_idx) = (match occ.kind {
+                        OccurrenceKind::OuterAccess { outer } => Some(outer),
+                        OccurrenceKind::Inner { node } => prog.outer_index_of(node),
+                    }) else {
+                        continue;
+                    };
+                    for (t, &o) in shape.iter().enumerate() {
+                        if o != outer_idx {
+                            continue;
+                        }
+                        if idealized_occ_ok(&prog, req, occ, &d, t, &core) {
+                            let shape_names: Vec<String> = shape
+                                .iter()
+                                .map(|&o| prog.outers[o].fn_ref.to_string())
+                                .collect();
+                            return Ok((
+                                Some(AttackWitness {
+                                    summary: format!(
+                                        "idealized deduction: shape [{}] from world {wi}                                          realises {req}",
+                                        shape_names.join(", ")
+                                    ),
+                                    shape: shape_names,
+                                    world: wi,
+                                    step: t,
+                                }),
+                                skipped,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok((None, skipped))
+}
+
+fn resolve2(choice: &ArgChoice, db: &Database) -> Value {
+    match choice {
+        ArgChoice::Val(v) => v.clone(),
+        ArgChoice::Object(class, idx) => db
+            .extent(class)
+            .get(*idx)
+            .copied()
+            .map(Value::Obj)
+            .unwrap_or(Value::Null),
+    }
+}
+
+fn idealized_occ_ok(
+    prog: &NProgram,
+    req: &Requirement,
+    occ: &secflow::report::Occurrence,
+    d: &crate::idealized::IdealDeductions,
+    t: usize,
+    core: &[i64],
+) -> bool {
+    let check = |cap: Cap, e: secflow::unfold::ExprId| -> bool {
+        match cap {
+            Cap::Ti => d.is_total((t, e)),
+            Cap::Pi => d.is_partial((t, e), core) || d.is_total((t, e)),
+            // Alterability never reaches this path.
+            Cap::Ta | Cap::Pa => false,
+        }
+    };
+    match occ.kind {
+        OccurrenceKind::OuterAccess { outer } => {
+            let out = &prog.outers[outer];
+            for (i, caps) in req.arg_caps.iter().enumerate() {
+                let basic = out.params.get(i).map(|(_, ty)| ty.is_basic()).unwrap_or(false);
+                for c in caps {
+                    if !basic {
+                        return false;
+                    }
+                    let _ = c;
+                }
+            }
+            req.ret_caps.iter().all(|c| check(*c, occ.ret))
+        }
+        OccurrenceKind::Inner { .. } => {
+            for (i, caps) in req.arg_caps.iter().enumerate() {
+                let Some(&arg) = occ.args.get(i) else {
+                    if caps.is_empty() {
+                        continue;
+                    }
+                    return false;
+                };
+                for c in caps {
+                    if !check(*c, arg) {
+                        return false;
+                    }
+                }
+            }
+            req.ret_caps.iter().all(|c| check(*c, occ.ret))
+        }
+    }
+}
+
+/// The alterability part, by possible-worlds image search under every
+/// configured domain.
+fn attack_alterability(
+    schema: &Schema,
+    req: &Requirement,
+    cfg: &AttackerConfig,
+) -> Result<AttackOutcome, AttackError> {
+    let mut first: Option<AttackOutcome> = None;
+    let mut skipped = 0usize;
+    // The common core of all configured domains: a partial-inferability
+    // claim must exclude a value *in the core* — an exclusion that only
+    // exists because a domain is truncated (the secret's co-domain cannot
+    // represent a function value) is an artefact of bounded enumeration,
+    // not an inference the paper's unbounded-integer semantics admits.
+    let core: Vec<i64> = cfg
+        .domains
+        .iter()
+        .skip(1)
+        .fold(cfg.domains.first().cloned().unwrap_or_default(), |acc, d| {
+            acc.into_iter().filter(|v| d.contains(v)).collect()
+        });
+    for domain in &cfg.domains {
+        let mut one = cfg.clone();
+        one.worlds.int_domain = domain.clone();
+        one.strategies.int_domain = domain.clone();
+        let out = attack_under(schema, req, &one, &core)?;
+        skipped = skipped.max(out.skipped_shapes);
+        if !out.achieved {
+            return Ok(AttackOutcome {
+                achieved: false,
+                witness: None,
+                skipped_shapes: skipped,
+            });
+        }
+        if first.is_none() {
+            first = Some(out);
+        }
+    }
+    Ok(first.unwrap_or(AttackOutcome {
+        achieved: false,
+        witness: None,
+        skipped_shapes: skipped,
+    }))
+}
+
+/// One attack attempt under a single fixed integer domain.
+fn attack_under(
+    schema: &Schema,
+    req: &Requirement,
+    cfg: &AttackerConfig,
+    core: &[i64],
+) -> Result<AttackOutcome, AttackError> {
+    let caps = schema
+        .user(&req.user)
+        .ok_or_else(|| AttackError::UnknownUser(req.user.to_string()))?;
+    let prog = NProgram::unfold(schema, caps)?;
+    let occs = occurrences(&prog, &req.target);
+    if occs.is_empty() {
+        return Ok(AttackOutcome {
+            achieved: false,
+            witness: None,
+            skipped_shapes: 0,
+        });
+    }
+    let worlds = enumerate_worlds(schema, &cfg.worlds)?;
+
+    // Sites whose values we must record.
+    let mut interest: BTreeSet<ExprId> = BTreeSet::new();
+    for occ in &occs {
+        interest.extend(occ.args.iter().copied());
+        interest.insert(occ.ret);
+    }
+
+    let all_shapes = shapes(&prog, &cfg.strategies);
+    let mut skipped = 0usize;
+
+    for shape in &all_shapes {
+        let Some(asgs) = assignments(&prog, shape, &cfg.strategies) else {
+            skipped += 1;
+            continue;
+        };
+        // runs[a][w] = per-step outcomes.
+        let runs: Vec<Vec<Vec<StepRun>>> = asgs
+            .iter()
+            .map(|asg| {
+                worlds
+                    .iter()
+                    .map(|w| run_probes(&prog, shape, asg, w, &interest))
+                    .collect()
+            })
+            .collect();
+
+        // Precompute observation strings once per (assignment, world).
+        let obs: Vec<Vec<String>> = runs
+            .iter()
+            .map(|per_world| per_world.iter().map(|r| full_obs(r)).collect())
+            .collect();
+        if let Some(w) = check_shape(
+            &prog,
+            req,
+            &occs,
+            shape,
+            &asgs.len(),
+            &runs,
+            &obs,
+            worlds.len(),
+            &cfg.worlds.int_domain,
+            core,
+        ) {
+            let shape_names: Vec<String> = shape
+                .iter()
+                .map(|&o| prog.outers[o].fn_ref.to_string())
+                .collect();
+            return Ok(AttackOutcome {
+                achieved: true,
+                witness: Some(AttackWitness {
+                    summary: format!(
+                        "shape [{}] from world {} realises {}",
+                        shape_names.join(", "),
+                        w.0,
+                        req
+                    ),
+                    shape: shape_names,
+                    world: w.0,
+                    step: w.1,
+                }),
+                skipped_shapes: skipped,
+            });
+        }
+    }
+
+    Ok(AttackOutcome {
+        achieved: false,
+        witness: None,
+        skipped_shapes: skipped,
+    })
+}
+
+/// Run one probe sequence on (a clone of) one world.
+fn run_probes(
+    prog: &NProgram,
+    shape: &Shape,
+    asg: &[Vec<ArgChoice>],
+    world: &Database,
+    interest: &BTreeSet<ExprId>,
+) -> Vec<StepRun> {
+    let mut db = world.clone();
+    let mut out = Vec::with_capacity(shape.len());
+    for (step, &outer) in shape.iter().enumerate() {
+        let args: Vec<Value> = asg[step]
+            .iter()
+            .map(|c| resolve(c, &db))
+            .collect();
+        match eval_outer(&mut db, prog, outer, &args) {
+            Ok((root, sites)) => {
+                let kept: HashMap<ExprId, Value> = sites
+                    .into_iter()
+                    .filter(|(id, _)| interest.contains(id))
+                    .collect();
+                out.push(StepRun {
+                    obs: observable(&root),
+                    sites: kept,
+                });
+            }
+            Err(e) => {
+                // The user observes the failure; state changes up to the
+                // error persist (the evaluator applied them in order).
+                out.push(StepRun {
+                    obs: format!("ERR:{e}"),
+                    sites: HashMap::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn resolve(choice: &ArgChoice, db: &Database) -> Value {
+    match choice {
+        ArgChoice::Val(v) => v.clone(),
+        ArgChoice::Object(class, idx) => db
+            .extent(class)
+            .get(*idx)
+            .copied()
+            .map(Value::Obj)
+            .unwrap_or(Value::Null),
+    }
+}
+
+/// What the user sees of a value: OIDs are opaque (§3.2).
+fn observable(v: &Value) -> String {
+    match v {
+        Value::Obj(_) => "(obj)".to_owned(),
+        Value::Set(items) => {
+            let mut parts: Vec<String> = items.iter().map(observable).collect();
+            parts.sort();
+            format!("{{{}}}", parts.join(","))
+        }
+        other => other.to_string(),
+    }
+}
+
+/// ⊥ marker for "site not evaluated in this run".
+const BOTTOM: &str = "\u{22a5}";
+
+fn site_key(run: &[StepRun], step: usize, e: ExprId) -> String {
+    run.get(step)
+        .and_then(|s| s.sites.get(&e))
+        .map(|v| format!("{v:?}"))
+        .unwrap_or_else(|| BOTTOM.to_owned())
+}
+
+fn full_obs(run: &[StepRun]) -> String {
+    run.iter()
+        .map(|s| s.obs.as_str())
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Check every occurrence instance against every initial world for this
+/// shape; returns `(world, step)` of the first success.
+#[allow(clippy::too_many_arguments)]
+fn check_shape(
+    prog: &NProgram,
+    req: &Requirement,
+    occs: &[secflow::report::Occurrence],
+    shape: &Shape,
+    n_asgs: &usize,
+    runs: &[Vec<Vec<StepRun>>],
+    obs: &[Vec<String>],
+    n_worlds: usize,
+    int_domain: &[i64],
+    core: &[i64],
+) -> Option<(usize, usize)> {
+    for occ in occs {
+        let outer_idx = match occ.kind {
+            OccurrenceKind::OuterAccess { outer } => outer,
+            OccurrenceKind::Inner { node } => prog.outer_index_of(node)?,
+        };
+        for (step, &o) in shape.iter().enumerate() {
+            if o != outer_idx {
+                continue;
+            }
+            // Collect the capability checks for this occurrence.
+            let mut checks: Vec<(Cap, SiteRef)> = Vec::new();
+            let mut direct_ok = true;
+            match occ.kind {
+                OccurrenceKind::OuterAccess { outer } => {
+                    let out = &prog.outers[outer];
+                    for (i, caps) in req.arg_caps.iter().enumerate() {
+                        for c in caps {
+                            let basic = out
+                                .params
+                                .get(i)
+                                .map(|(_, t)| t.is_basic())
+                                .unwrap_or(false);
+                            match c {
+                                Cap::Ta | Cap::Pa => {}
+                                Cap::Ti | Cap::Pi if basic => {}
+                                _ => direct_ok = false,
+                            }
+                        }
+                    }
+                    for c in &req.ret_caps {
+                        checks.push((*c, SiteRef(step, occ.ret)));
+                    }
+                }
+                OccurrenceKind::Inner { .. } => {
+                    for (i, caps) in req.arg_caps.iter().enumerate() {
+                        let Some(&arg) = occ.args.get(i) else {
+                            direct_ok = false;
+                            continue;
+                        };
+                        for c in caps {
+                            checks.push((*c, SiteRef(step, arg)));
+                        }
+                    }
+                    for c in &req.ret_caps {
+                        checks.push((*c, SiteRef(step, occ.ret)));
+                    }
+                }
+            }
+            if !direct_ok {
+                continue;
+            }
+            'world: for w0 in 0..n_worlds {
+                for (cap, site) in &checks {
+                    if !cap_holds(
+                        *cap, *site, w0, *n_asgs, runs, obs, n_worlds, prog, int_domain, core,
+                    ) {
+                        continue 'world;
+                    }
+                }
+                return Some((w0, step));
+            }
+        }
+    }
+    None
+}
+
+#[derive(Clone, Copy)]
+struct SiteRef(usize, ExprId);
+
+#[allow(clippy::too_many_arguments)]
+fn cap_holds(
+    cap: Cap,
+    site: SiteRef,
+    w0: usize,
+    n_asgs: usize,
+    runs: &[Vec<Vec<StepRun>>],
+    obs: &[Vec<String>],
+    n_worlds: usize,
+    prog: &NProgram,
+    int_domain: &[i64],
+    core: &[i64],
+) -> bool {
+    let SiteRef(step, e) = site;
+    let is_int_site = prog.get(e).ty == oodb_model::Type::INT;
+    let core_keys: BTreeSet<String> = core
+        .iter()
+        .map(|v| format!("{:?}", Value::Int(*v)))
+        .collect();
+    match cap {
+        Cap::Ta | Cap::Pa => {
+            // Image: values the site takes at w0 as the arguments vary.
+            let mut image = BTreeSet::new();
+            for per_world in runs.iter().take(n_asgs) {
+                let k = site_key(&per_world[w0], step, e);
+                if k != BOTTOM {
+                    image.insert(k);
+                }
+            }
+            match cap {
+                Cap::Ta => {
+                    // Total: the image covers the site's type domain.
+                    let dom: Vec<String> = match &prog.get(e).ty {
+                        oodb_model::Type::Basic(oodb_model::BasicType::Int) => int_domain
+                            .iter()
+                            .map(|i| format!("{:?}", Value::Int(*i)))
+                            .collect(),
+                        oodb_model::Type::Basic(oodb_model::BasicType::Bool) => {
+                            vec![
+                                format!("{:?}", Value::Bool(false)),
+                                format!("{:?}", Value::Bool(true)),
+                            ]
+                        }
+                        // Other types have no enumerable bounded domain:
+                        // never report total alterability (under-claims are
+                        // safe for the soundness direction).
+                        _ => return false,
+                    };
+                    dom.len() >= 2 && dom.iter().all(|k| image.contains(k))
+                }
+                Cap::Pa => image.len() >= 2,
+                _ => unreachable!("outer match restricts to alterability"),
+            }
+        }
+        Cap::Ti | Cap::Pi => {
+            for a0 in 0..n_asgs {
+                // Prior: the site's values across all worlds for these
+                // probes. Posterior: across worlds indistinguishable from
+                // w0 by their observations.
+                let target_obs = &obs[a0][w0];
+                let mut prior = BTreeSet::new();
+                let mut posterior = BTreeSet::new();
+                for w in 0..n_worlds {
+                    let k = site_key(&runs[a0][w], step, e);
+                    prior.insert(k.clone());
+                    if &obs[a0][w] == target_obs {
+                        posterior.insert(k);
+                    }
+                }
+                let ok = match cap {
+                    Cap::Ti => posterior.len() == 1 && !posterior.contains(BOTTOM),
+                    Cap::Pi => {
+                        let shrunk = !posterior.is_empty()
+                            && !posterior.contains(BOTTOM)
+                            && posterior.len() < prior.len();
+                        if shrunk && is_int_site {
+                            // Require an excluded value in the domains'
+                            // common core (see attack_requirement).
+                            prior
+                                .difference(&posterior)
+                                .any(|v| core_keys.contains(v))
+                        } else {
+                            shrunk
+                        }
+                    }
+                    _ => unreachable!("outer match restricts to inferability"),
+                };
+                if ok {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::{parse_requirement, parse_schema};
+
+    const STOCKBROKER: &str = r#"
+        class Broker { salary: int, budget: int }
+        fn checkBudget(broker: Broker): bool {
+          r_budget(broker) >= r_salary(broker)
+        }
+        user clerk { checkBudget, w_budget }
+        user safe_clerk { checkBudget }
+    "#;
+
+    fn schema() -> Schema {
+        let s = parse_schema(STOCKBROKER).unwrap();
+        oodb_lang::check_schema(&s).unwrap();
+        s
+    }
+
+    #[test]
+    fn clerk_attack_succeeds() {
+        // With w_budget the clerk pins the salary by bracketing it: probe
+        // below (false ⇒ salary ≥ v+1) and at the value (true ⇒ salary ≤ v).
+        // Over unbounded integers this needs two write+probe rounds — four
+        // steps. (Three steps give only one bound: partial, not total.)
+        let s = schema();
+        let req = parse_requirement("(clerk, r_salary(x) : ti)").unwrap();
+        let cfg = AttackerConfig {
+            strategies: StrategySpec {
+                max_steps: 4,
+                max_shapes: 64,
+                ..StrategySpec::default()
+            },
+            ..AttackerConfig::default()
+        };
+        let out = attack_requirement(&s, &req, &cfg).unwrap();
+        assert!(out.achieved, "bracketing probes must pin the salary");
+        let w = out.witness.unwrap();
+        assert!(w.shape.iter().any(|f| f == "w_budget"));
+
+        // And indeed three steps only yield one bound: no ti.
+        let cfg3 = AttackerConfig {
+            strategies: StrategySpec {
+                max_steps: 3,
+                ..StrategySpec::default()
+            },
+            ..AttackerConfig::default()
+        };
+        let out = attack_requirement(&s, &req, &cfg3).unwrap();
+        assert!(!out.achieved, "one bound is not total inferability over Z");
+    }
+
+    #[test]
+    fn safe_clerk_attack_fails_for_ti() {
+        let s = schema();
+        let req = parse_requirement("(safe_clerk, r_salary(x) : ti)").unwrap();
+        let out = attack_requirement(&s, &req, &AttackerConfig::small()).unwrap();
+        assert!(!out.achieved, "one comparison cannot pin a 3-value salary");
+    }
+
+    #[test]
+    fn safe_clerk_gets_no_marginal_partial_inference() {
+        // budget >= salary with BOTH sides secret: the observation is a
+        // joint half-plane that constrains no marginal over unbounded
+        // integers — the attacker (with its core-domain discipline) must
+        // not claim pi.
+        let s = schema();
+        let req = parse_requirement("(safe_clerk, r_salary(x) : pi)").unwrap();
+        let out = attack_requirement(&s, &req, &AttackerConfig::small()).unwrap();
+        assert!(!out.achieved, "joint half-planes constrain no marginal");
+    }
+
+    #[test]
+    fn clerk_with_write_gets_partial_inference_in_one_probe() {
+        // With w_budget one probe pins salary to a half-line: genuine pi.
+        let s = schema();
+        let req = parse_requirement("(clerk, r_salary(x) : pi)").unwrap();
+        let out = attack_requirement(&s, &req, &AttackerConfig::small()).unwrap();
+        assert!(out.achieved, "set budget = v, observe salary <= v or > v");
+    }
+
+    #[test]
+    fn unreachable_target_fails() {
+        let s = parse_schema(
+            r#"
+            class C { a: int, b: int }
+            fn getA(c: C): int { r_a(c) }
+            user u { getA }
+            "#,
+        )
+        .unwrap();
+        let req = parse_requirement("(u, r_b(x) : pi)").unwrap();
+        let out = attack_requirement(&s, &req, &AttackerConfig::small()).unwrap();
+        assert!(!out.achieved);
+    }
+
+    #[test]
+    fn direct_grant_read_is_trivially_inferable() {
+        let s = parse_schema(
+            r#"
+            class C { a: int }
+            user u { r_a }
+            "#,
+        )
+        .unwrap();
+        let req = parse_requirement("(u, r_a(x) : ti)").unwrap();
+        let out = attack_requirement(&s, &req, &AttackerConfig::small()).unwrap();
+        assert!(out.achieved);
+    }
+
+    #[test]
+    fn write_argument_is_totally_alterable() {
+        let s = parse_schema(
+            r#"
+            class C { a: int }
+            fn setA(c: C, v: int): null { w_a(c, v) }
+            user u { setA }
+            "#,
+        )
+        .unwrap();
+        let req = parse_requirement("(u, w_a(x, v: ta))").unwrap();
+        let out = attack_requirement(&s, &req, &AttackerConfig::small()).unwrap();
+        assert!(out.achieved, "v flows straight into the write");
+    }
+
+    #[test]
+    fn constant_write_is_not_alterable() {
+        let s = parse_schema(
+            r#"
+            class C { a: int }
+            fn reset(c: C): null { w_a(c, 0) }
+            user u { reset }
+            "#,
+        )
+        .unwrap();
+        let req = parse_requirement("(u, w_a(x, v: pa))").unwrap();
+        let out = attack_requirement(&s, &req, &AttackerConfig::small()).unwrap();
+        assert!(!out.achieved, "the written value is the constant 0");
+    }
+}

@@ -1,0 +1,203 @@
+//! Evaluator for unfolded, numbered programs with per-occurrence value
+//! recording — producing the paper's *execution instances* (§3.3).
+//!
+//! Running an outer-most function of an [`NProgram`] against a database
+//! yields not just the result but the value of **every numbered
+//! subexpression** `[ᵏe]_E`, which is exactly what the capability
+//! definitions quantify over. Unfolding preserves evaluation order, so the
+//! recorded values agree with what `oodb-engine` computes for the original
+//! nested calls (property P1, tested below).
+
+use oodb_engine::{Database, RuntimeError};
+use oodb_model::Value;
+use secflow::unfold::{ExprId, NKind, NProgram};
+use std::collections::HashMap;
+
+/// The values every numbered occurrence took during one invocation of one
+/// outer-most function.
+pub type SiteValues = HashMap<ExprId, Value>;
+
+/// Evaluate outer function `outer_idx` of `prog` with the given argument
+/// values, mutating `db`, and recording each numbered occurrence's value.
+pub fn eval_outer(
+    db: &mut Database,
+    prog: &NProgram,
+    outer_idx: usize,
+    args: &[Value],
+) -> Result<(Value, SiteValues), RuntimeError> {
+    let outer = &prog.outers[outer_idx];
+    if args.len() != outer.params.len() {
+        return Err(RuntimeError::ArityMismatch {
+            target: outer.fn_ref.to_string(),
+            expected: outer.params.len(),
+            actual: args.len(),
+        });
+    }
+    let mut sites = SiteValues::new();
+    let v = eval(db, prog, outer.root, outer_idx, args, &mut sites)?;
+    Ok((v, sites))
+}
+
+fn eval(
+    db: &mut Database,
+    prog: &NProgram,
+    id: ExprId,
+    outer_idx: usize,
+    args: &[Value],
+    sites: &mut SiteValues,
+) -> Result<Value, RuntimeError> {
+    let node = prog.get(id);
+    let value = match &node.kind {
+        NKind::Const(l) => l.to_value(),
+        NKind::ArgVar { outer, param, .. } => {
+            debug_assert_eq!(*outer, outer_idx, "ArgVar belongs to another outer");
+            args.get(*param)
+                .cloned()
+                .ok_or_else(|| RuntimeError::UnboundVariable {
+                    var: format!("argument #{param}"),
+                })?
+        }
+        NKind::LetVar { binding, .. } => sites
+            .get(binding)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnboundVariable {
+                var: format!("binding {binding}"),
+            })?,
+        NKind::Basic(op, children) => {
+            let mut vals = Vec::with_capacity(children.len());
+            for c in children {
+                vals.push(eval(db, prog, *c, outer_idx, args, sites)?);
+            }
+            oodb_engine::ops::eval_basic(*op, &vals)?
+        }
+        NKind::Read(attr, recv) => {
+            let r = eval(db, prog, *recv, outer_idx, args, sites)?;
+            db.read_attr(&r, attr)?
+        }
+        NKind::Write(attr, recv, val) => {
+            let r = eval(db, prog, *recv, outer_idx, args, sites)?;
+            let v = eval(db, prog, *val, outer_idx, args, sites)?;
+            db.write_attr(&r, attr, v)?
+        }
+        NKind::New(class, ctor_args) => {
+            let mut vals = Vec::with_capacity(ctor_args.len());
+            for (_, c) in ctor_args {
+                vals.push(eval(db, prog, *c, outer_idx, args, sites)?);
+            }
+            Value::Obj(db.create(class.clone(), vals)?)
+        }
+        NKind::Let { bindings, body, .. } => {
+            for (_, rhs) in bindings {
+                eval(db, prog, *rhs, outer_idx, args, sites)?;
+            }
+            eval(db, prog, *body, outer_idx, args, sites)?
+        }
+    };
+    sites.insert(id, value.clone());
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::parse_schema;
+    use oodb_model::FnRef;
+    use secflow::unfold::NProgram;
+
+    fn setup() -> (Database, NProgram) {
+        let schema = parse_schema(
+            r#"
+            class Broker { name: string, salary: int, budget: int, profit: int }
+            fn checkBudget(broker: Broker): bool {
+              r_budget(broker) >= 10 * r_salary(broker)
+            }
+            user clerk { checkBudget, w_budget }
+            "#,
+        )
+        .unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let mut db = Database::new(schema).unwrap();
+        db.create(
+            "Broker",
+            vec![
+                Value::str("John"),
+                Value::Int(150),
+                Value::Int(1000),
+                Value::Int(0),
+            ],
+        )
+        .unwrap();
+        (db, prog)
+    }
+
+    #[test]
+    fn records_every_site() {
+        let (mut db, prog) = setup();
+        let john = Value::Obj(db.extent(&"Broker".into())[0]);
+        let (v, sites) = eval_outer(&mut db, &prog, 0, std::slice::from_ref(&john)).unwrap();
+        // budget 1000 < 10*150 = 1500.
+        assert_eq!(v, Value::Bool(false));
+        // The Figure-1 numbering: 1broker…7>=.
+        assert_eq!(sites[&1], john);
+        assert_eq!(sites[&2], Value::Int(1000)); // r_budget
+        assert_eq!(sites[&3], Value::Int(10));
+        assert_eq!(sites[&5], Value::Int(150)); // r_salary
+        assert_eq!(sites[&6], Value::Int(1500));
+        assert_eq!(sites[&7], Value::Bool(false));
+        assert_eq!(sites.len(), 7);
+    }
+
+    #[test]
+    fn write_outer_mutates_database() {
+        let (mut db, prog) = setup();
+        let john = Value::Obj(db.extent(&"Broker".into())[0]);
+        // outer 1 = w_budget(a1, a2).
+        let (v, sites) = eval_outer(&mut db, &prog, 1, &[john.clone(), Value::Int(7)]).unwrap();
+        assert_eq!(v, Value::Null);
+        assert_eq!(sites[&9], Value::Int(7));
+        assert_eq!(db.read_attr(&john, &"budget".into()).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn unfolding_preserves_engine_semantics() {
+        // P1: evaluating the unfolded checkBudget equals invoking it
+        // through the engine.
+        let (mut db, prog) = setup();
+        let john = Value::Obj(db.extent(&"Broker".into())[0]);
+        let mut db2 = db.clone();
+        let (via_prog, _) = eval_outer(&mut db, &prog, 0, std::slice::from_ref(&john)).unwrap();
+        let via_engine = db2
+            .invoke(&FnRef::access("checkBudget"), vec![john])
+            .unwrap();
+        assert_eq!(via_prog, via_engine);
+    }
+
+    #[test]
+    fn arity_checked() {
+        let (mut db, prog) = setup();
+        assert!(matches!(
+            eval_outer(&mut db, &prog, 0, &[]),
+            Err(RuntimeError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn let_bindings_recorded_for_inner_calls() {
+        let schema = parse_schema(
+            r#"
+            fn g(y: int): int { y * 2 }
+            fn f(x: int): int { g(x) + 1 }
+            user u { f }
+            "#,
+        )
+        .unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("u").unwrap()).unwrap();
+        let mut db = Database::new(schema).unwrap();
+        let (v, sites) = eval_outer(&mut db, &prog, 0, &[Value::Int(5)]).unwrap();
+        assert_eq!(v, Value::Int(11));
+        // 6+(4let(g) y=1x in 3*(2y, …) end, 5:1) — the let node carries the
+        // body's value.
+        assert_eq!(sites[&1], Value::Int(5));
+        assert_eq!(sites[&4], Value::Int(10));
+    }
+}

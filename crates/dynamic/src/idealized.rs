@@ -1,0 +1,1056 @@
+//! Idealized deduction: `I(E)` over **unbounded** integer domains.
+//!
+//! The possible-worlds machinery in [`crate::attack`] grounds `Dom(int)` in
+//! a small finite set, which lets *co-domain truncation* masquerade as
+//! inference: observing `a0² − a1 = 9` pins `a1` when secrets live in
+//! `{0,1,2}` (only `a0 = 3` has a representable square) but constrains the
+//! marginal of `a1` not at all over ℤ. Scale-stability filters many such
+//! artefacts; polynomially-growing ones survive any fixed domain.
+//!
+//! This module is the artifact-free arbiter for **inferability** claims: a
+//! propagation engine identical in structure to [`crate::infer`], but whose
+//! variable domains are abstract subsets of ℤ —
+//!
+//! ```text
+//! ZSet ::= ⊤ | Finite{…} | [lo, hi] | [lo, +∞) | (−∞, hi]
+//! ```
+//!
+//! Every site starts at ⊤ ("the user knows nothing about values they have
+//! not observed"); only *deductions* — pinned observations, arithmetic
+//! inversions, half-planes from comparisons, equality meets, diagonal
+//! inversions — can narrow a domain. All transfer functions only ever
+//! *under*-approximate what is deducible (unsupported combinations leave
+//! the domain unchanged), so a `ti`/`pi` claim from this engine is valid
+//! over ℤ, never a truncation artefact.
+//!
+//! `ti[site]` = domain narrowed to a singleton; `pi[site]` = domain
+//! excludes at least one *core* value (the experiment's common integer
+//! domain), i.e. a marginal constraint with actual content.
+
+use crate::eval::eval_outer;
+use crate::infer::Probe;
+use oodb_engine::Database;
+use oodb_model::Value;
+use secflow::unfold::{ExprId, NKind, NProgram};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Cap on explicit finite sets; bigger sets degrade to their interval hull.
+const FINITE_CAP: usize = 512;
+
+/// An abstract subset of ℤ.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ZSet {
+    /// All integers (no knowledge).
+    Top,
+    /// Exactly these values.
+    Finite(BTreeSet<i64>),
+    /// `[lo, hi]`, `[lo, ∞)` or `(−∞, hi]`; at least one bound present.
+    Interval {
+        /// Lower bound (inclusive), if any.
+        lo: Option<i64>,
+        /// Upper bound (inclusive), if any.
+        hi: Option<i64>,
+    },
+}
+
+impl ZSet {
+    /// Singleton.
+    pub fn one(v: i64) -> ZSet {
+        ZSet::Finite([v].into_iter().collect())
+    }
+
+    fn finite(set: BTreeSet<i64>) -> ZSet {
+        if set.len() > FINITE_CAP {
+            let lo = *set.iter().next().expect("non-empty");
+            let hi = *set.iter().last().expect("non-empty");
+            ZSet::Interval {
+                lo: Some(lo),
+                hi: Some(hi),
+            }
+        } else {
+            ZSet::Finite(set)
+        }
+    }
+
+    /// Is the set exactly one value?
+    pub fn singleton(&self) -> Option<i64> {
+        match self {
+            ZSet::Finite(s) if s.len() == 1 => s.iter().next().copied(),
+            ZSet::Interval {
+                lo: Some(a),
+                hi: Some(b),
+            } if a == b => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Does the set (provably) exclude `v`?
+    pub fn excludes(&self, v: i64) -> bool {
+        match self {
+            ZSet::Top => false,
+            ZSet::Finite(s) => !s.contains(&v),
+            ZSet::Interval { lo, hi } => {
+                lo.map(|l| v < l).unwrap_or(false) || hi.map(|h| v > h).unwrap_or(false)
+            }
+        }
+    }
+
+    /// Greatest lower bound of the two sets (set intersection, abstracted).
+    pub fn meet(&self, other: &ZSet) -> ZSet {
+        match (self, other) {
+            (ZSet::Top, x) | (x, ZSet::Top) => x.clone(),
+            (ZSet::Finite(a), ZSet::Finite(b)) => {
+                let s: BTreeSet<i64> = a.intersection(b).copied().collect();
+                if s.is_empty() {
+                    // Contradiction: keep the smaller side (defensive — can
+                    // only happen via an unsound caller pin).
+                    self.clone()
+                } else {
+                    ZSet::Finite(s)
+                }
+            }
+            (ZSet::Finite(a), iv @ ZSet::Interval { .. })
+            | (iv @ ZSet::Interval { .. }, ZSet::Finite(a)) => {
+                let s: BTreeSet<i64> = a.iter().copied().filter(|v| !iv.excludes(*v)).collect();
+                if s.is_empty() {
+                    ZSet::Finite(a.clone())
+                } else {
+                    ZSet::Finite(s)
+                }
+            }
+            (ZSet::Interval { lo: l1, hi: h1 }, ZSet::Interval { lo: l2, hi: h2 }) => {
+                let lo = match (l1, l2) {
+                    (Some(a), Some(b)) => Some(*a.max(b)),
+                    (a, b) => a.or(*b),
+                };
+                let hi = match (h1, h2) {
+                    (Some(a), Some(b)) => Some(*a.min(b)),
+                    (a, b) => a.or(*b),
+                };
+                match (lo, hi) {
+                    (Some(a), Some(b)) if a > b => self.clone(), // contradiction: defensive
+                    (Some(a), Some(b)) if (b - a) <= FINITE_CAP as i64 => {
+                        ZSet::Finite((a..=b).collect())
+                    }
+                    _ => ZSet::Interval { lo, hi },
+                }
+            }
+        }
+    }
+
+    fn bounds(&self) -> (Option<i64>, Option<i64>) {
+        match self {
+            ZSet::Top => (None, None),
+            ZSet::Finite(s) => (s.iter().next().copied(), s.iter().last().copied()),
+            ZSet::Interval { lo, hi } => (*lo, *hi),
+        }
+    }
+
+    fn as_finite(&self) -> Option<&BTreeSet<i64>> {
+        match self {
+            ZSet::Finite(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Abstract knowledge about one site's value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IDom {
+    /// Nothing known.
+    Top,
+    /// An integer site.
+    Int(ZSet),
+    /// A finite set of non-integer values (bools, strings, objects, null).
+    Vals(BTreeSet<Value>),
+}
+
+impl IDom {
+    fn pin(v: &Value) -> IDom {
+        match v {
+            Value::Int(i) => IDom::Int(ZSet::one(*i)),
+            other => IDom::Vals([other.clone()].into_iter().collect()),
+        }
+    }
+
+    /// Exactly one value known?
+    pub fn singleton(&self) -> bool {
+        match self {
+            IDom::Top => false,
+            IDom::Int(z) => z.singleton().is_some(),
+            IDom::Vals(s) => s.len() == 1,
+        }
+    }
+
+    fn meet(&self, other: &IDom) -> IDom {
+        match (self, other) {
+            (IDom::Top, x) | (x, IDom::Top) => x.clone(),
+            (IDom::Int(a), IDom::Int(b)) => IDom::Int(a.meet(b)),
+            (IDom::Vals(a), IDom::Vals(b)) => {
+                let s: BTreeSet<Value> = a.intersection(b).cloned().collect();
+                if s.is_empty() {
+                    self.clone()
+                } else {
+                    IDom::Vals(s)
+                }
+            }
+            // Type mismatch: defensive, keep the left.
+            _ => self.clone(),
+        }
+    }
+
+    fn as_int(&self) -> Option<&ZSet> {
+        match self {
+            IDom::Int(z) => Some(z),
+            _ => None,
+        }
+    }
+
+    fn as_bool_singleton(&self) -> Option<bool> {
+        match self {
+            IDom::Vals(s) if s.len() == 1 => s.iter().next().and_then(Value::as_bool),
+            _ => None,
+        }
+    }
+}
+
+/// A site: (probe step, numbered occurrence) — as in [`crate::infer`].
+pub type Site = (usize, ExprId);
+
+/// The deductions of the idealized engine for one instance.
+#[derive(Debug)]
+pub struct IdealDeductions {
+    domains: HashMap<Site, IDom>,
+}
+
+impl IdealDeductions {
+    /// Total inferability over ℤ: the domain is a singleton.
+    pub fn is_total(&self, site: Site) -> bool {
+        self.domains.get(&site).map(IDom::singleton).unwrap_or(false)
+    }
+
+    /// Partial inferability with content: the domain provably excludes one
+    /// of the `core` values (for int sites), or shrank below the full bool
+    /// domain (for bool sites).
+    pub fn is_partial(&self, site: Site, core: &[i64]) -> bool {
+        match self.domains.get(&site) {
+            None | Some(IDom::Top) => false,
+            Some(IDom::Int(z)) => core.iter().any(|v| z.excludes(*v)),
+            Some(IDom::Vals(s)) => s.len() == 1,
+        }
+    }
+
+    /// The abstract domain of a site.
+    pub fn domain(&self, site: Site) -> Option<&IDom> {
+        self.domains.get(&site)
+    }
+}
+
+/// Run the idealized engine for the instance obtained by executing `probes`
+/// against `world`.
+pub fn infer_idealized(prog: &NProgram, probes: &[Probe], world: &Database) -> IdealDeductions {
+    // Execute once to obtain the observations and the concrete dataflow.
+    let mut db = world.clone();
+    let actual: Vec<Option<HashMap<ExprId, Value>>> = probes
+        .iter()
+        .map(|p| {
+            eval_outer(&mut db, prog, p.outer, &p.args)
+                .ok()
+                .map(|(_, sites)| sites)
+        })
+        .collect();
+
+    let mut domains: HashMap<Site, IDom> = HashMap::new();
+
+    // ---- Pins: constants, supplied arguments, observed (basic) results.
+    for (t, probe) in probes.iter().enumerate() {
+        let Some(sites) = &actual[t] else { continue };
+        for e in prog.iter() {
+            if prog.outer_index_of(e.id) != Some(probe.outer) {
+                continue;
+            }
+            match &e.kind {
+                NKind::Const(l) => {
+                    domains.insert((t, e.id), IDom::pin(&l.to_value()));
+                }
+                NKind::ArgVar { param, .. } => {
+                    if let Some(v) = probe.args.get(*param) {
+                        domains.insert((t, e.id), IDom::pin(v));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let outer = &prog.outers[probe.outer];
+        let root = prog.get(outer.root);
+        if root.ty.is_basic() {
+            if let Some(v) = sites.get(&outer.root) {
+                domains.insert((t, outer.root), IDom::pin(v));
+            }
+        }
+    }
+
+    // ---- Equalities (as in crate::infer: syntactic + concrete cells).
+    let equalities = instance_equalities(prog, probes, &actual);
+    let classes = union_find(&equalities);
+
+    // ---- Saturate.
+    let get = |domains: &HashMap<Site, IDom>, s: Site| -> IDom {
+        domains.get(&s).cloned().unwrap_or(IDom::Top)
+    };
+    for _round in 0..64 {
+        let mut changed = false;
+
+        // Equality meets.
+        for (a, b) in &equalities {
+            let da = get(&domains, *a);
+            let db_ = get(&domains, *b);
+            let m = da.meet(&db_);
+            if m != da {
+                domains.insert(*a, m.clone());
+                changed = true;
+            }
+            if m != db_ {
+                domains.insert(*b, m);
+                changed = true;
+            }
+        }
+
+        // Basic-function transfer functions.
+        for (t, step) in actual.iter().enumerate() {
+            if step.is_none() {
+                continue;
+            }
+            let outer_idx = probes[t].outer;
+            for e in prog.iter() {
+                if prog.outer_index_of(e.id) != Some(outer_idx) {
+                    continue;
+                }
+                let NKind::Basic(op, args) = &e.kind else { continue };
+                let arg_doms: Vec<IDom> = args.iter().map(|a| get(&domains, (t, *a))).collect();
+                let ret_dom = get(&domains, (t, e.id));
+                let diag = args.len() == 2
+                    && find(&classes, (t, args[0])) == find(&classes, (t, args[1]));
+
+                // Forward.
+                let fwd = forward(*op, &arg_doms, diag);
+                let new_ret = ret_dom.meet(&fwd);
+                if new_ret != ret_dom {
+                    domains.insert((t, e.id), new_ret.clone());
+                    changed = true;
+                }
+                // Backward, per argument.
+                for (i, a) in args.iter().enumerate() {
+                    let refined = backward(*op, i, &new_ret, &arg_doms, diag);
+                    let cur = &arg_doms[i];
+                    let met = cur.meet(&refined);
+                    if met != *cur {
+                        domains.insert((t, *a), met);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    IdealDeductions { domains }
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn instance_equalities(
+    prog: &NProgram,
+    probes: &[Probe],
+    actual: &[Option<HashMap<ExprId, Value>>],
+) -> Vec<(Site, Site)> {
+    let mut eqs: Vec<(Site, Site)> = Vec::new();
+    let mut arg_occ: Vec<(Site, usize)> = Vec::new(); // (site, param) with step in site
+    for (t, probe) in probes.iter().enumerate() {
+        if actual[t].is_none() {
+            continue;
+        }
+        for e in prog.iter() {
+            if prog.outer_index_of(e.id) != Some(probe.outer) {
+                continue;
+            }
+            match &e.kind {
+                NKind::LetVar { binding, .. } => eqs.push(((t, e.id), (t, *binding))),
+                NKind::Let { body, .. } => eqs.push(((t, e.id), (t, *body))),
+                NKind::ArgVar { param, .. } => arg_occ.push(((t, e.id), *param)),
+                _ => {}
+            }
+        }
+    }
+    for (i, (s1, p1)) in arg_occ.iter().enumerate() {
+        for (s2, p2) in &arg_occ[i + 1..] {
+            let v1 = probes[s1.0].args.get(*p1);
+            let v2 = probes[s2.0].args.get(*p2);
+            if v1.is_some() && v1 == v2 {
+                eqs.push((*s1, *s2));
+            }
+        }
+    }
+    // Concrete attribute cells: read ↔ latest preceding write, read ↔ read.
+    #[derive(Clone)]
+    enum Ev {
+        W(Site),
+        R(Site),
+    }
+    let mut cells: BTreeMap<(u64, String), Vec<Ev>> = BTreeMap::new();
+    for (t, step) in actual.iter().enumerate() {
+        let Some(sites) = step else { continue };
+        let outer_idx = probes[t].outer;
+        for e in prog.iter() {
+            if prog.outer_index_of(e.id) != Some(outer_idx) {
+                continue;
+            }
+            match &e.kind {
+                NKind::Read(attr, recv) => {
+                    if let Some(Value::Obj(oid)) = sites.get(recv) {
+                        cells
+                            .entry((oid.raw(), attr.to_string()))
+                            .or_default()
+                            .push(Ev::R((t, e.id)));
+                    }
+                }
+                NKind::Write(attr, recv, val) => {
+                    if let Some(Value::Obj(oid)) = sites.get(recv) {
+                        cells
+                            .entry((oid.raw(), attr.to_string()))
+                            .or_default()
+                            .push(Ev::W((t, *val)));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for events in cells.values() {
+        let mut last_write: Option<Site> = None;
+        let mut reads: Vec<Site> = Vec::new();
+        for ev in events {
+            match ev {
+                Ev::W(v) => {
+                    last_write = Some(*v);
+                    reads.clear();
+                }
+                Ev::R(site) => {
+                    if let Some(w) = last_write {
+                        eqs.push((*site, w));
+                    }
+                    for r in &reads {
+                        eqs.push((*site, *r));
+                    }
+                    reads.push(*site);
+                }
+            }
+        }
+    }
+    eqs
+}
+
+fn union_find(eqs: &[(Site, Site)]) -> HashMap<Site, Site> {
+    let mut parent: HashMap<Site, Site> = HashMap::new();
+    for (a, b) in eqs {
+        let ra = find_mut(&mut parent, *a);
+        let rb = find_mut(&mut parent, *b);
+        if ra != rb {
+            parent.insert(ra, rb);
+        }
+    }
+    parent
+}
+
+fn find_mut(parent: &mut HashMap<Site, Site>, x: Site) -> Site {
+    let p = *parent.entry(x).or_insert(x);
+    if p == x {
+        x
+    } else {
+        let r = find_mut(parent, p);
+        parent.insert(x, r);
+        r
+    }
+}
+
+fn find(parent: &HashMap<Site, Site>, x: Site) -> Site {
+    let mut cur = x;
+    while let Some(&p) = parent.get(&cur) {
+        if p == cur {
+            break;
+        }
+        cur = p;
+    }
+    cur
+}
+
+/// Saturating interval ops (`None` = unbounded).
+fn opt_add(a: Option<i64>, b: Option<i64>) -> Option<i64> {
+    a?.checked_add(b?)
+}
+
+fn opt_neg(a: Option<i64>) -> Option<i64> {
+    a?.checked_neg()
+}
+
+fn forward(op: oodb_lang::BasicOp, args: &[IDom], diag: bool) -> IDom {
+    use oodb_lang::BasicOp::*;
+    // Exact finite-set evaluation when every operand is finite.
+    let finite_args: Option<Vec<Vec<Value>>> = args
+        .iter()
+        .map(|d| match d {
+            IDom::Int(z) => z
+                .as_finite()
+                .map(|s| s.iter().map(|v| Value::Int(*v)).collect()),
+            IDom::Vals(s) => Some(s.iter().cloned().collect()),
+            IDom::Top => None,
+        })
+        .collect();
+    if let Some(fa) = finite_args {
+        let combos: usize = fa.iter().map(Vec::len).product();
+        if combos <= FINITE_CAP {
+            let mut ints = BTreeSet::new();
+            let mut vals = BTreeSet::new();
+            let idx: Vec<usize> = vec![0; fa.len()];
+            let mut idx = idx;
+            loop {
+                let tuple: Vec<Value> = idx.iter().zip(&fa).map(|(i, c)| c[*i].clone()).collect();
+                let skip_diag = diag && fa.len() == 2 && tuple[0] != tuple[1];
+                if !skip_diag {
+                    if let Ok(r) = oodb_engine::ops::eval_basic(op, &tuple) {
+                        match r {
+                            Value::Int(i) => {
+                                ints.insert(i);
+                            }
+                            other => {
+                                vals.insert(other);
+                            }
+                        }
+                    }
+                }
+                // increment
+                let mut k = 0;
+                loop {
+                    if k == idx.len() {
+                        // done
+                        if !ints.is_empty() && vals.is_empty() {
+                            return IDom::Int(ZSet::finite(ints));
+                        }
+                        if !vals.is_empty() && ints.is_empty() {
+                            return IDom::Vals(vals);
+                        }
+                        return IDom::Top;
+                    }
+                    idx[k] += 1;
+                    if idx[k] < fa[k].len() {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if idx.iter().all(|&x| x == 0) {
+                    if !ints.is_empty() && vals.is_empty() {
+                        return IDom::Int(ZSet::finite(ints));
+                    }
+                    if !vals.is_empty() && ints.is_empty() {
+                        return IDom::Vals(vals);
+                    }
+                    return IDom::Top;
+                }
+            }
+        }
+    }
+    // Interval reasoning for addition/subtraction/negation.
+    match op {
+        Add => {
+            let (l1, h1) = int_bounds(&args[0]);
+            let (l2, h2) = int_bounds(&args[1]);
+            interval(opt_add(l1, l2), opt_add(h1, h2))
+        }
+        Sub => {
+            let (l1, h1) = int_bounds(&args[0]);
+            let (l2, h2) = int_bounds(&args[1]);
+            interval(opt_add(l1, opt_neg(h2)), opt_add(h1, opt_neg(l2)))
+        }
+        Neg => {
+            let (l, h) = int_bounds(&args[0]);
+            interval(opt_neg(h), opt_neg(l))
+        }
+        _ => IDom::Top,
+    }
+}
+
+fn int_bounds(d: &IDom) -> (Option<i64>, Option<i64>) {
+    match d {
+        IDom::Int(z) => z.bounds(),
+        _ => (None, None),
+    }
+}
+
+fn interval(lo: Option<i64>, hi: Option<i64>) -> IDom {
+    if lo.is_none() && hi.is_none() {
+        IDom::Top
+    } else {
+        IDom::Int(ZSet::Interval { lo, hi })
+    }
+}
+
+/// Refinement for argument `i` from the result and the other operands.
+/// Returning [`IDom::Top`] means "no deduction" — always sound.
+fn backward(op: oodb_lang::BasicOp, i: usize, ret: &IDom, args: &[IDom], diag: bool) -> IDom {
+    use oodb_lang::BasicOp::*;
+    match op {
+        Add => {
+            if diag {
+                // a + a = r  ⇒  a = r/2 (exact halves only).
+                if let Some(rf) = ret.as_int().and_then(ZSet::as_finite) {
+                    let s: BTreeSet<i64> =
+                        rf.iter().filter(|r| *r % 2 == 0).map(|r| r / 2).collect();
+                    if !s.is_empty() {
+                        return IDom::Int(ZSet::finite(s));
+                    }
+                    return IDom::Top;
+                }
+            }
+            // a = ret − b.
+            let j = 1 - i;
+            backward_affine(ret, &args[j], /*sub=*/ true)
+        }
+        Sub => {
+            if diag {
+                return IDom::Top; // a − a = 0 reveals nothing about a.
+            }
+            if i == 0 {
+                // a = ret + b.
+                backward_affine(ret, &args[1], false)
+            } else {
+                // b = a − ret.
+                backward_affine(&args[0], ret, true)
+            }
+        }
+        Neg => match ret {
+            IDom::Int(z) => match z {
+                ZSet::Finite(s) => IDom::Int(ZSet::finite(
+                    s.iter().filter_map(|v| v.checked_neg()).collect(),
+                )),
+                ZSet::Interval { lo, hi } => interval(opt_neg(*hi), opt_neg(*lo)),
+                ZSet::Top => IDom::Top,
+            },
+            _ => IDom::Top,
+        },
+        Mul => {
+            if diag {
+                // a · a = r  ⇒  a ∈ {±√r}.
+                if let Some(rf) = ret.as_int().and_then(ZSet::as_finite) {
+                    let mut s = BTreeSet::new();
+                    for r in rf {
+                        if *r >= 0 {
+                            let q = (*r as f64).sqrt().round() as i64;
+                            for c in [q - 1, q, q + 1] {
+                                if c.checked_mul(c) == Some(*r) {
+                                    s.insert(c);
+                                    s.insert(-c);
+                                }
+                            }
+                        }
+                    }
+                    if !s.is_empty() {
+                        return IDom::Int(ZSet::finite(s));
+                    }
+                }
+                return IDom::Top;
+            }
+            // a = ret / b for every exactly-dividing pair, when both finite.
+            let j = 1 - i;
+            let (rf, bf) = (
+                ret.as_int().and_then(ZSet::as_finite),
+                args[j].as_int().and_then(ZSet::as_finite),
+            );
+            if let (Some(rf), Some(bf)) = (rf, bf) {
+                if rf.len() * bf.len() <= FINITE_CAP {
+                    let mut s = BTreeSet::new();
+                    let mut complete = true;
+                    for r in rf {
+                        for b in bf {
+                            if *b != 0 {
+                                if r % b == 0 {
+                                    s.insert(r / b);
+                                }
+                            } else if *r == 0 {
+                                // 0 · a = 0 for every a: no constraint.
+                                complete = false;
+                            }
+                        }
+                    }
+                    if complete && !s.is_empty() {
+                        return IDom::Int(ZSet::finite(s));
+                    }
+                }
+            }
+            IDom::Top
+        }
+        Ge | Gt | Le | Lt => {
+            let Some(truth) = ret.as_bool_singleton() else {
+                return IDom::Top;
+            };
+            let j = 1 - i;
+            let (lo_j, hi_j) = int_bounds(&args[j]);
+            // Normalise to "arg_i REL arg_j".
+            // i == 0: a OP b; i == 1: b = other side.
+            let (ge_like, strict) = match op {
+                Ge => (true, false),
+                Gt => (true, true),
+                Le => (false, false),
+                Lt => (false, true),
+                _ => unreachable!("outer match restricts"),
+            };
+            // For argument position 1 the relation flips.
+            let ge = if i == 0 { ge_like } else { !ge_like };
+            // Apply truth.
+            let ge = if truth { ge } else { !ge };
+            let strict_eff = if truth { strict } else { !strict };
+            if ge {
+                // arg_i >= other (or > when strict): lower bound from the
+                // other's lower bound.
+                match lo_j {
+                    Some(l) => interval(Some(l + i64::from(strict_eff)), None),
+                    None => IDom::Top,
+                }
+            } else {
+                match hi_j {
+                    Some(h) => interval(None, Some(h - i64::from(strict_eff))),
+                    None => IDom::Top,
+                }
+            }
+        }
+        EqOp => {
+            if ret.as_bool_singleton() == Some(true) {
+                args[1 - i].clone()
+            } else {
+                IDom::Top
+            }
+        }
+        NeOp => {
+            if ret.as_bool_singleton() == Some(false) {
+                args[1 - i].clone()
+            } else {
+                IDom::Top
+            }
+        }
+        And => {
+            if ret.as_bool_singleton() == Some(true) {
+                IDom::Vals([Value::Bool(true)].into_iter().collect())
+            } else {
+                IDom::Top
+            }
+        }
+        Or => {
+            if ret.as_bool_singleton() == Some(false) {
+                IDom::Vals([Value::Bool(false)].into_iter().collect())
+            } else {
+                IDom::Top
+            }
+        }
+        Not => match ret.as_bool_singleton() {
+            Some(b) => IDom::Vals([Value::Bool(!b)].into_iter().collect()),
+            None => IDom::Top,
+        },
+        Div | Mod | Concat => IDom::Top,
+    }
+}
+
+/// `true`: result = a − b; `false`: result = a + b — both with finite sets
+/// or interval bounds.
+fn backward_affine(a: &IDom, b: &IDom, sub: bool) -> IDom {
+    let (af, bf) = (
+        a.as_int().and_then(ZSet::as_finite),
+        b.as_int().and_then(ZSet::as_finite),
+    );
+    if let (Some(af), Some(bf)) = (af, bf) {
+        if af.len() * bf.len() <= FINITE_CAP {
+            let mut s = BTreeSet::new();
+            for x in af {
+                for y in bf {
+                    let r = if sub { x.checked_sub(*y) } else { x.checked_add(*y) };
+                    if let Some(r) = r {
+                        s.insert(r);
+                    }
+                }
+            }
+            if !s.is_empty() {
+                return IDom::Int(ZSet::finite(s));
+            }
+        }
+    }
+    let (la, ha) = int_bounds(a);
+    let (lb, hb) = int_bounds(b);
+    if sub {
+        interval(opt_add(la, opt_neg(hb)), opt_add(ha, opt_neg(lb)))
+    } else {
+        interval(opt_add(la, lb), opt_add(ha, hb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::{enumerate_worlds, WorldSpec};
+    use oodb_lang::parse_schema;
+
+    fn setup(src: &str, user: &str) -> (NProgram, Vec<Database>) {
+        let schema = parse_schema(src).unwrap();
+        oodb_lang::check_schema(&schema).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str(user).unwrap()).unwrap();
+        let worlds = enumerate_worlds(
+            &schema,
+            &WorldSpec {
+                objects_per_class: 1,
+                int_domain: vec![0, 1, 2, 3],
+                max_worlds: 4096,
+            },
+        )
+        .unwrap();
+        (prog, worlds)
+    }
+
+    fn obj(db: &Database, class: &str) -> Value {
+        Value::Obj(db.extent(&class.into())[0])
+    }
+
+    fn read_site(prog: &NProgram, attr: &str) -> ExprId {
+        prog.iter()
+            .find(|e| matches!(&e.kind, NKind::Read(a, _) if a.as_str() == attr))
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn zset_algebra() {
+        let f = ZSet::finite([1, 2, 3].into_iter().collect());
+        assert_eq!(ZSet::one(2).singleton(), Some(2));
+        assert!(f.excludes(5));
+        assert!(!f.excludes(2));
+        let half = ZSet::Interval {
+            lo: Some(2),
+            hi: None,
+        };
+        assert!(half.excludes(1));
+        let m = f.meet(&half);
+        assert_eq!(m, ZSet::Finite([2, 3].into_iter().collect()));
+        // Interval ∩ interval with a small range materialises.
+        let a = ZSet::Interval {
+            lo: Some(0),
+            hi: None,
+        };
+        let b = ZSet::Interval {
+            lo: None,
+            hi: Some(2),
+        };
+        assert_eq!(a.meet(&b), ZSet::Finite([0, 1, 2].into_iter().collect()));
+    }
+
+    #[test]
+    fn write_read_pins_over_z() {
+        let (prog, worlds) = setup(
+            r#"
+            class C { a: int }
+            fn getA(c: C): int { r_a(c) }
+            user u { getA, w_a }
+            "#,
+            "u",
+        );
+        let world = &worlds[0];
+        let o = obj(world, "C");
+        let probes = vec![
+            Probe {
+                outer: 1,
+                args: vec![o.clone(), Value::Int(3)],
+            },
+            Probe {
+                outer: 0,
+                args: vec![o],
+            },
+        ];
+        let d = infer_idealized(&prog, &probes, world);
+        assert!(d.is_total((1, prog.outers[0].root)));
+    }
+
+    #[test]
+    fn binary_search_narrows_and_pins() {
+        let (prog, worlds) = setup(
+            r#"
+            class Broker { salary: int, budget: int }
+            fn checkBudget(b: Broker): bool { r_budget(b) >= r_salary(b) }
+            user clerk { checkBudget, w_budget }
+            "#,
+            "clerk",
+        );
+        let world = worlds
+            .iter()
+            .find(|w| {
+                let o = obj(w, "Broker");
+                w.read_attr(&o, &"salary".into()).unwrap() == Value::Int(2)
+            })
+            .unwrap();
+        let o = obj(world, "Broker");
+        let salary = read_site(&prog, "salary");
+        // budget := 1, probe (false ⇒ salary ≥ 2): a genuine half-plane.
+        let probes = vec![
+            Probe {
+                outer: 1,
+                args: vec![o.clone(), Value::Int(1)],
+            },
+            Probe {
+                outer: 0,
+                args: vec![o.clone()],
+            },
+        ];
+        let d = infer_idealized(&prog, &probes, world);
+        assert!(d.is_partial((1, salary), &[0, 1, 2]));
+        assert!(!d.is_total((1, salary)));
+
+        // Add budget := 2, probe (true ⇒ salary ≤ 2): pinned to {2}.
+        let probes = vec![
+            Probe {
+                outer: 1,
+                args: vec![o.clone(), Value::Int(1)],
+            },
+            Probe {
+                outer: 0,
+                args: vec![o.clone()],
+            },
+            Probe {
+                outer: 1,
+                args: vec![o.clone(), Value::Int(2)],
+            },
+            Probe {
+                outer: 0,
+                args: vec![o],
+            },
+        ];
+        let d = infer_idealized(&prog, &probes, world);
+        assert!(d.is_total((3, salary)), "{:?}", d.domain((3, salary)));
+    }
+
+    #[test]
+    fn diagonal_sum_inverts_over_z() {
+        let (prog, worlds) = setup(
+            r#"
+            class C { a: int }
+            fn leak(c: C): int { r_a(c) + r_a(c) }
+            user u { leak }
+            "#,
+            "u",
+        );
+        let world = worlds
+            .iter()
+            .find(|w| {
+                let o = obj(w, "C");
+                w.read_attr(&o, &"a".into()).unwrap() == Value::Int(2)
+            })
+            .unwrap();
+        let o = obj(world, "C");
+        let d = infer_idealized(
+            &prog,
+            &[Probe {
+                outer: 0,
+                args: vec![o],
+            }],
+            world,
+        );
+        let a = read_site(&prog, "a");
+        assert!(d.is_total((0, a)));
+    }
+
+    #[test]
+    fn quadratic_truncation_artifact_rejected() {
+        // f1 = a0·a0 − a1 observed: over ℤ this constrains a1 only to the
+        // coset {k² − r}, never a singleton — the seed-485 artefact.
+        let (prog, worlds) = setup(
+            r#"
+            class C { a0: int, a1: int }
+            fn f1(c: C): int { r_a0(c) * r_a0(c) - (0 + r_a1(c)) }
+            user u { f1 }
+            "#,
+            "u",
+        );
+        let a1 = read_site(&prog, "a1");
+        for world in &worlds {
+            let o = obj(world, "C");
+            let d = infer_idealized(
+                &prog,
+                &[Probe {
+                    outer: 0,
+                    args: vec![o],
+                }],
+                world,
+            );
+            assert!(
+                !d.is_total((0, a1)),
+                "ti on a1 is a truncation artefact: {:?}",
+                d.domain((0, a1))
+            );
+        }
+    }
+
+    #[test]
+    fn joint_half_plane_gives_no_marginal() {
+        // budget >= salary with both secret: no marginal over ℤ.
+        let (prog, worlds) = setup(
+            r#"
+            class B { salary: int, budget: int }
+            fn probe(b: B): bool { r_budget(b) >= r_salary(b) }
+            user u { probe }
+            "#,
+            "u",
+        );
+        let salary = read_site(&prog, "salary");
+        for world in worlds.iter().take(4) {
+            let o = obj(world, "B");
+            let d = infer_idealized(
+                &prog,
+                &[Probe {
+                    outer: 0,
+                    args: vec![o],
+                }],
+                world,
+            );
+            assert!(!d.is_partial((0, salary), &[0, 1, 2]));
+        }
+    }
+
+    #[test]
+    fn constant_threshold_gives_genuine_half_plane() {
+        let (prog, worlds) = setup(
+            r#"
+            class P { age: int }
+            fn adult(p: P): bool { r_age(p) >= 2 }
+            user u { adult }
+            "#,
+            "u",
+        );
+        let age = read_site(&prog, "age");
+        let world = worlds
+            .iter()
+            .find(|w| {
+                let o = obj(w, "P");
+                w.read_attr(&o, &"age".into()).unwrap() == Value::Int(3)
+            })
+            .unwrap();
+        let o = obj(world, "P");
+        let d = infer_idealized(
+            &prog,
+            &[Probe {
+                outer: 0,
+                args: vec![o],
+            }],
+            world,
+        );
+        // true ⇒ age ≥ 2: excludes 0 and 1 of the core.
+        assert!(d.is_partial((0, age), &[0, 1, 2]));
+        assert!(!d.is_total((0, age)));
+    }
+}

@@ -1,0 +1,46 @@
+//! # secflow-dynamic
+//!
+//! The dynamic counterpart of the static analysis: concrete *execution
+//! instances* (§3.3) and a bounded attacker that decides the capability
+//! predicates `Can(D, L, cap, ᵏe)` (Definitions 2–5) by brute force over
+//! small value domains.
+//!
+//! The paper defines user knowledge through the inference system `I(E)`
+//! (Table 1) over observed executions. This crate implements the
+//! *semantic* counterpart `I(E)` is an approximation of —
+//! **indistinguishability over possible worlds**:
+//!
+//! * the attacker knows the program code, the arguments it supplied, and
+//!   every (basic-typed) value a query returned;
+//! * a *world* is a candidate initial database state; the attacker's
+//!   knowledge after a probe sequence is the set of worlds producing the
+//!   same observations;
+//! * **total inferability** of an occurrence = its value is identical in
+//!   every consistent world (Definition 4's `[ᵏe ∈ {v}]`);
+//! * **partial inferability** = the set of possible values is a proper
+//!   subset of the occurrence's value universe (Definition 5);
+//! * **total/partial alterability** = varying the supplied arguments drives
+//!   the occurrence's value over its whole universe / over ≥ 2 values
+//!   (Definitions 2–3).
+//!
+//! Because the possible-worlds attacker is information-theoretically
+//! optimal (for its bounded probe budget), every capability it realises is
+//! realisable, so the differential experiment E3 checks the paper's
+//! Theorem 1 in its strongest form: *whenever the concrete attacker
+//! succeeds, `A(R)` must have reported the flaw*. E4 measures the converse
+//! gap — the analysis' deliberate pessimism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod differential;
+pub mod eval;
+pub mod idealized;
+pub mod infer;
+pub mod strategy;
+pub mod worlds;
+
+pub use attack::{attack_requirement, AttackOutcome, AttackerConfig};
+pub use differential::{classify, DiffCase, DiffOutcome, DiffReport};
+pub use infer::{Deductions, Probe};

@@ -1,0 +1,248 @@
+//! Probe-strategy enumeration.
+//!
+//! A *shape* is a sequence of outer-most functions to invoke — the paper's
+//! function sequence `L`. An *assignment* supplies concrete arguments for
+//! every step. Enumerating all assignments of a shape gives the attacker
+//! the full power of adaptivity over the bounded domain: an adaptive
+//! attacker's decision tree is a subset of the exhaustive probe table.
+
+use oodb_model::{Type, Value};
+use secflow::unfold::NProgram;
+
+/// Bounds for strategy enumeration.
+#[derive(Clone, Debug)]
+pub struct StrategySpec {
+    /// Maximum probes per sequence.
+    pub max_steps: usize,
+    /// Values integer arguments range over.
+    pub int_domain: Vec<i64>,
+    /// Objects available per class (must match the world layout).
+    pub objects_per_class: usize,
+    /// Hard cap on assignments per shape (shapes above the cap are
+    /// skipped and reported).
+    pub max_assignments: usize,
+    /// Hard cap on shapes.
+    pub max_shapes: usize,
+}
+
+impl Default for StrategySpec {
+    fn default() -> StrategySpec {
+        StrategySpec {
+            max_steps: 2,
+            int_domain: vec![0, 1, 2],
+            objects_per_class: 1,
+            max_assignments: 4096,
+            max_shapes: 512,
+        }
+    }
+}
+
+/// One shape: the outer indexes invoked at each step.
+pub type Shape = Vec<usize>;
+
+/// One fully concrete probe sequence: per step, the argument values.
+pub type Assignment = Vec<Vec<Value>>;
+
+/// Enumerate shapes: all non-empty sequences over the outers up to
+/// `max_steps`, capped at `max_shapes`.
+pub fn shapes(prog: &NProgram, spec: &StrategySpec) -> Vec<Shape> {
+    let n = prog.outers.len();
+    let mut out: Vec<Shape> = Vec::new();
+    let mut frontier: Vec<Shape> = vec![Vec::new()];
+    for _ in 0..spec.max_steps {
+        let mut next = Vec::new();
+        for base in &frontier {
+            for o in 0..n {
+                let mut s = base.clone();
+                s.push(o);
+                if out.len() < spec.max_shapes {
+                    out.push(s.clone());
+                }
+                next.push(s);
+            }
+        }
+        frontier = next;
+        if out.len() >= spec.max_shapes {
+            break;
+        }
+    }
+    out
+}
+
+/// The candidate values for one parameter type. Object choices are
+/// world-independent indices (all worlds share the layout), resolved to
+/// OIDs by the runner.
+pub fn arg_choices(ty: &Type, spec: &StrategySpec) -> Vec<ArgChoice> {
+    match ty {
+        Type::Basic(oodb_model::BasicType::Int) => {
+            spec.int_domain.iter().map(|i| ArgChoice::Val(Value::Int(*i))).collect()
+        }
+        Type::Basic(oodb_model::BasicType::Bool) => vec![
+            ArgChoice::Val(Value::Bool(false)),
+            ArgChoice::Val(Value::Bool(true)),
+        ],
+        Type::Basic(oodb_model::BasicType::Str) => vec![ArgChoice::Val(Value::str("s"))],
+        Type::Class(c) => (0..spec.objects_per_class)
+            .map(|i| ArgChoice::Object(c.clone(), i))
+            .collect(),
+        Type::Null => vec![ArgChoice::Val(Value::Null)],
+        Type::Set(_) => vec![ArgChoice::Val(Value::set(vec![]))],
+    }
+}
+
+/// A world-independent argument choice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgChoice {
+    /// A concrete value.
+    Val(Value),
+    /// The i-th object of a class (same index in every world).
+    Object(oodb_model::ClassName, usize),
+}
+
+/// Enumerate all assignments for a shape (cross product over per-step,
+/// per-parameter choices). Returns `None` when the count exceeds
+/// `max_assignments`.
+pub fn assignments(
+    prog: &NProgram,
+    shape: &Shape,
+    spec: &StrategySpec,
+) -> Option<Vec<Vec<Vec<ArgChoice>>>> {
+    // choices[step][param] = candidate list
+    let mut choices: Vec<Vec<Vec<ArgChoice>>> = Vec::with_capacity(shape.len());
+    let mut total: usize = 1;
+    for &o in shape {
+        let outer = &prog.outers[o];
+        let per_param: Vec<Vec<ArgChoice>> = outer
+            .params
+            .iter()
+            .map(|(_, t)| arg_choices(t, spec))
+            .collect();
+        for p in &per_param {
+            total = total.checked_mul(p.len().max(1))?;
+            if total > spec.max_assignments {
+                return None;
+            }
+        }
+        choices.push(per_param);
+    }
+    // Odometer over the flattened choice lists.
+    let flat: Vec<(usize, usize)> = choices
+        .iter()
+        .enumerate()
+        .flat_map(|(s, ps)| (0..ps.len()).map(move |p| (s, p)))
+        .collect();
+    let mut idx = vec![0usize; flat.len()];
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut assignment: Vec<Vec<ArgChoice>> = choices
+            .iter()
+            .map(|ps| Vec::with_capacity(ps.len()))
+            .collect();
+        for (k, &(s, p)) in flat.iter().enumerate() {
+            assignment[s].push(choices[s][p][idx[k]].clone());
+        }
+        out.push(assignment);
+        // Increment.
+        let mut i = 0;
+        loop {
+            if i == idx.len() {
+                return Some(out);
+            }
+            idx[i] += 1;
+            if idx[i] < choices[flat[i].0][flat[i].1].len() {
+                break;
+            }
+            idx[i] = 0;
+            i += 1;
+        }
+        if idx.iter().all(|&x| x == 0) {
+            return Some(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::parse_schema;
+
+    fn prog() -> NProgram {
+        let schema = parse_schema(
+            r#"
+            class Broker { name: string, salary: int, budget: int, profit: int }
+            fn checkBudget(broker: Broker): bool {
+              r_budget(broker) >= 10 * r_salary(broker)
+            }
+            user clerk { checkBudget, w_budget }
+            "#,
+        )
+        .unwrap();
+        NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap()
+    }
+
+    #[test]
+    fn shapes_enumerated_breadth_first() {
+        let p = prog();
+        let spec = StrategySpec {
+            max_steps: 2,
+            ..StrategySpec::default()
+        };
+        let s = shapes(&p, &spec);
+        // 2 outers: 2 shapes of length 1 + 4 of length 2.
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0], vec![0]);
+        assert_eq!(s[2], vec![0, 0]);
+    }
+
+    #[test]
+    fn shape_cap() {
+        let p = prog();
+        let spec = StrategySpec {
+            max_steps: 5,
+            max_shapes: 10,
+            ..StrategySpec::default()
+        };
+        assert_eq!(shapes(&p, &spec).len(), 10);
+    }
+
+    #[test]
+    fn assignments_cross_product() {
+        let p = prog();
+        let spec = StrategySpec {
+            int_domain: vec![0, 1, 2],
+            objects_per_class: 1,
+            ..StrategySpec::default()
+        };
+        // w_budget(Broker, int): 1 object × 3 ints = 3 assignments.
+        let a = assignments(&p, &vec![1], &spec).unwrap();
+        assert_eq!(a.len(), 3);
+        // checkBudget(Broker): 1.
+        let a = assignments(&p, &vec![0], &spec).unwrap();
+        assert_eq!(a.len(), 1);
+        // [w_budget, checkBudget]: 3 × 1.
+        let a = assignments(&p, &vec![1, 0], &spec).unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].len(), 2);
+        assert_eq!(a[0][0].len(), 2); // two args for w_budget
+    }
+
+    #[test]
+    fn assignment_cap_returns_none() {
+        let p = prog();
+        let spec = StrategySpec {
+            int_domain: (0..100).collect(),
+            max_assignments: 50,
+            ..StrategySpec::default()
+        };
+        assert!(assignments(&p, &vec![1], &spec).is_none());
+    }
+
+    #[test]
+    fn arg_choices_by_type() {
+        let spec = StrategySpec::default();
+        assert_eq!(arg_choices(&Type::INT, &spec).len(), 3);
+        assert_eq!(arg_choices(&Type::BOOL, &spec).len(), 2);
+        assert_eq!(arg_choices(&Type::STR, &spec).len(), 1);
+        assert_eq!(arg_choices(&Type::class("C"), &spec).len(), 1);
+    }
+}

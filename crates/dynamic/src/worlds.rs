@@ -1,0 +1,240 @@
+//! Possible-world enumeration.
+//!
+//! A *world* is a candidate initial database state. The attacker knows the
+//! schema and the database's shape (how many objects exist) but not the
+//! secret attribute values; Definitions 1–5 existentially quantify over the
+//! initial state `D`, so the experiments range over every world.
+//!
+//! Bounded construction: every class gets a fixed number of objects;
+//! integer attributes range over a small domain, booleans over both values,
+//! strings are fixed (`"s"`), object references are `null` and sets empty.
+//! The bounds are deliberate: the differential experiments need exhaustive
+//! enumeration, and the workload generator keeps schemas inside them.
+
+use oodb_engine::Database;
+use oodb_lang::Schema;
+use oodb_model::{Type, Value};
+use std::fmt;
+
+/// Bounds for world enumeration.
+#[derive(Clone, Debug)]
+pub struct WorldSpec {
+    /// Instances created per class.
+    pub objects_per_class: usize,
+    /// Values integer attributes (and integer arguments) range over.
+    pub int_domain: Vec<i64>,
+    /// Hard cap on the number of worlds.
+    pub max_worlds: usize,
+}
+
+impl Default for WorldSpec {
+    fn default() -> WorldSpec {
+        WorldSpec {
+            objects_per_class: 1,
+            int_domain: vec![0, 1, 2],
+            max_worlds: 4096,
+        }
+    }
+}
+
+/// World enumeration failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorldError {
+    /// The secret space exceeds the cap — shrink the schema or the domain.
+    TooManyWorlds {
+        /// Worlds that would be required.
+        required: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// Database construction failed (schema not checked).
+    Build(String),
+}
+
+impl fmt::Display for WorldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorldError::TooManyWorlds { required, cap } => {
+                write!(f, "{required} worlds required, cap is {cap}")
+            }
+            WorldError::Build(m) => write!(f, "world construction failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WorldError {}
+
+/// One secret slot: (class index in name order, object index, attr index).
+#[derive(Clone, Debug)]
+struct Secret {
+    class: oodb_model::ClassName,
+    object: usize,
+    attr: usize,
+    choices: Vec<Value>,
+}
+
+/// Enumerate every world for the schema under the spec. All worlds share
+/// the same object layout (classes in name order, objects in creation
+/// order) so OIDs align across worlds.
+pub fn enumerate_worlds(schema: &Schema, spec: &WorldSpec) -> Result<Vec<Database>, WorldError> {
+    let mut secrets: Vec<Secret> = Vec::new();
+    for class in schema.classes.iter() {
+        for object in 0..spec.objects_per_class {
+            for (ai, attr) in class.attrs.iter().enumerate() {
+                let choices = match &attr.ty {
+                    Type::Basic(oodb_model::BasicType::Int) => {
+                        spec.int_domain.iter().map(|i| Value::Int(*i)).collect()
+                    }
+                    Type::Basic(oodb_model::BasicType::Bool) => {
+                        vec![Value::Bool(false), Value::Bool(true)]
+                    }
+                    // Strings, object references and sets are fixed — see
+                    // the module docs.
+                    Type::Basic(oodb_model::BasicType::Str) => vec![Value::str("s")],
+                    Type::Class(_) | Type::Null => vec![Value::Null],
+                    Type::Set(_) => vec![Value::set(vec![])],
+                };
+                secrets.push(Secret {
+                    class: class.name.clone(),
+                    object,
+                    attr: ai,
+                    choices,
+                });
+            }
+        }
+    }
+
+    let required: usize = secrets
+        .iter()
+        .map(|s| s.choices.len())
+        .try_fold(1usize, |acc, n| acc.checked_mul(n))
+        .unwrap_or(usize::MAX);
+    if required > spec.max_worlds {
+        return Err(WorldError::TooManyWorlds {
+            required,
+            cap: spec.max_worlds,
+        });
+    }
+
+    let mut worlds = Vec::with_capacity(required);
+    let mut indices = vec![0usize; secrets.len()];
+    loop {
+        worlds.push(build_world(schema, spec, &secrets, &indices)?);
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == indices.len() {
+                return Ok(worlds);
+            }
+            indices[i] += 1;
+            if indices[i] < secrets[i].choices.len() {
+                break;
+            }
+            indices[i] = 0;
+            i += 1;
+        }
+        if indices.iter().all(|&x| x == 0) {
+            return Ok(worlds);
+        }
+    }
+}
+
+fn build_world(
+    schema: &Schema,
+    spec: &WorldSpec,
+    secrets: &[Secret],
+    indices: &[usize],
+) -> Result<Database, WorldError> {
+    let mut db = Database::new_unchecked(schema.clone());
+    for class in schema.classes.iter() {
+        for object in 0..spec.objects_per_class {
+            let attrs: Vec<Value> = class
+                .attrs
+                .iter()
+                .enumerate()
+                .map(|(ai, _)| {
+                    let pos = secrets
+                        .iter()
+                        .position(|s| s.class == class.name && s.object == object && s.attr == ai)
+                        .expect("every attribute slot is a secret");
+                    secrets[pos].choices[indices[pos]].clone()
+                })
+                .collect();
+            db.create(class.name.clone(), attrs)
+                .map_err(|e| WorldError::Build(e.to_string()))?;
+        }
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::parse_schema;
+    use oodb_model::Value;
+
+    #[test]
+    fn world_count_is_product_of_choices() {
+        let schema = parse_schema("class C { a: int, b: bool, n: string }").unwrap();
+        let spec = WorldSpec {
+            objects_per_class: 1,
+            int_domain: vec![0, 1, 2],
+            max_worlds: 100,
+        };
+        let worlds = enumerate_worlds(&schema, &spec).unwrap();
+        // 3 (int) × 2 (bool) × 1 (string).
+        assert_eq!(worlds.len(), 6);
+        // All worlds share the object layout.
+        for w in &worlds {
+            assert_eq!(w.object_count(), 1);
+        }
+    }
+
+    #[test]
+    fn each_combination_appears_once() {
+        let schema = parse_schema("class C { a: int, b: int }").unwrap();
+        let spec = WorldSpec {
+            objects_per_class: 1,
+            int_domain: vec![0, 1],
+            max_worlds: 100,
+        };
+        let worlds = enumerate_worlds(&schema, &spec).unwrap();
+        assert_eq!(worlds.len(), 4);
+        let mut seen = std::collections::BTreeSet::new();
+        for w in &worlds {
+            let o = Value::Obj(w.extent(&"C".into())[0]);
+            let a = w.read_attr(&o, &"a".into()).unwrap();
+            let b = w.read_attr(&o, &"b".into()).unwrap();
+            assert!(seen.insert((a.as_int().unwrap(), b.as_int().unwrap())));
+        }
+    }
+
+    #[test]
+    fn cap_enforced() {
+        let schema = parse_schema("class C { a: int, b: int, c: int }").unwrap();
+        let spec = WorldSpec {
+            objects_per_class: 2,
+            int_domain: vec![0, 1, 2, 3],
+            max_worlds: 100,
+        };
+        assert!(matches!(
+            enumerate_worlds(&schema, &spec),
+            Err(WorldError::TooManyWorlds { .. })
+        ));
+    }
+
+    #[test]
+    fn multiple_objects_and_classes() {
+        let schema = parse_schema("class A { x: int } class B { y: bool }").unwrap();
+        let spec = WorldSpec {
+            objects_per_class: 2,
+            int_domain: vec![0, 1],
+            max_worlds: 1000,
+        };
+        let worlds = enumerate_worlds(&schema, &spec).unwrap();
+        // (2 ints)^2 objects × (2 bools)^2 objects = 16.
+        assert_eq!(worlds.len(), 16);
+        assert_eq!(worlds[0].extent(&"A".into()).len(), 2);
+        assert_eq!(worlds[0].extent(&"B".into()).len(), 2);
+    }
+}

@@ -1,0 +1,342 @@
+//! [`Database`]: a checked schema plus a heap, with the attribute- and
+//! function-level operations everything else builds on.
+
+use crate::error::RuntimeError;
+use crate::eval;
+use crate::heap::Heap;
+use oodb_lang::typeck::{check_schema, fn_ref_signature};
+use oodb_lang::{Expr, Schema};
+use oodb_model::{AttrName, ClassName, FnRef, Oid, UserName, Value};
+
+/// A database instance: schema + object heap.
+///
+/// All mutation goes through methods here so the heap's extents and the
+/// schema's attribute indices stay consistent.
+#[derive(Clone, Debug)]
+pub struct Database {
+    schema: Schema,
+    heap: Heap,
+}
+
+impl Database {
+    /// Create a database over a schema, running the full type checker first.
+    pub fn new(schema: Schema) -> Result<Database, oodb_lang::TypeError> {
+        check_schema(&schema)?;
+        Ok(Database {
+            schema,
+            heap: Heap::new(),
+        })
+    }
+
+    /// Create without re-checking (for callers that already validated, e.g.
+    /// the workload generators which construct thousands of schemas).
+    pub fn new_unchecked(schema: Schema) -> Database {
+        Database {
+            schema,
+            heap: Heap::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The heap (read access; used by tests and the dynamic analysis).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Number of live objects.
+    pub fn object_count(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Create an object with positional attribute values.
+    pub fn create(
+        &mut self,
+        class: impl Into<ClassName>,
+        attrs: Vec<Value>,
+    ) -> Result<Oid, RuntimeError> {
+        let class = class.into();
+        let def = self
+            .schema
+            .classes
+            .get(&class)
+            .ok_or_else(|| RuntimeError::UnknownClass {
+                class: class.clone(),
+            })?;
+        if attrs.len() != def.attrs.len() {
+            return Err(RuntimeError::ArityMismatch {
+                target: format!("new {class}"),
+                expected: def.attrs.len(),
+                actual: attrs.len(),
+            });
+        }
+        Ok(self.heap.alloc(class, attrs))
+    }
+
+    /// The extent of a class in creation order.
+    pub fn extent(&self, class: &ClassName) -> &[Oid] {
+        self.heap.extent(class)
+    }
+
+    /// The class of an object.
+    pub fn class_of(&self, oid: Oid) -> Result<&ClassName, RuntimeError> {
+        self.heap.class_of(oid)
+    }
+
+    fn attr_index(&self, oid: Oid, attr: &AttrName) -> Result<usize, RuntimeError> {
+        let class = self.heap.class_of(oid)?.clone();
+        let def = self
+            .schema
+            .classes
+            .get(&class)
+            .ok_or_else(|| RuntimeError::UnknownClass {
+                class: class.clone(),
+            })?;
+        def.attr_index(attr).ok_or(RuntimeError::NoSuchAttribute {
+            class,
+            attr: attr.clone(),
+        })
+    }
+
+    /// `r_att(recv)` on a value receiver.
+    pub fn read_attr(&self, recv: &Value, attr: &AttrName) -> Result<Value, RuntimeError> {
+        let oid = recv.as_obj().ok_or_else(|| RuntimeError::BadReceiver {
+            value: recv.to_string(),
+        })?;
+        let idx = self.attr_index(oid, attr)?;
+        Ok(self.heap.read(oid, idx)?.clone())
+    }
+
+    /// `w_att(recv, value)`; returns `null` like the paper's `w_att`.
+    pub fn write_attr(
+        &mut self,
+        recv: &Value,
+        attr: &AttrName,
+        value: Value,
+    ) -> Result<Value, RuntimeError> {
+        let oid = recv.as_obj().ok_or_else(|| RuntimeError::BadReceiver {
+            value: recv.to_string(),
+        })?;
+        let idx = self.attr_index(oid, attr)?;
+        self.heap.write(oid, idx, value)?;
+        Ok(Value::Null)
+    }
+
+    /// Invoke anything invocable with concrete argument values, *without*
+    /// capability checking (the trusted path used inside function bodies).
+    pub fn invoke(&mut self, target: &FnRef, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        match target {
+            FnRef::Access(name) => {
+                let def = self.schema.function(name).cloned().ok_or_else(|| {
+                    RuntimeError::UnknownFunction {
+                        name: name.to_string(),
+                    }
+                })?;
+                if args.len() != def.arity() {
+                    return Err(RuntimeError::ArityMismatch {
+                        target: name.to_string(),
+                        expected: def.arity(),
+                        actual: args.len(),
+                    });
+                }
+                let env: Vec<(oodb_model::VarName, Value)> = def
+                    .params
+                    .iter()
+                    .map(|(p, _)| p.clone())
+                    .zip(args)
+                    .collect();
+                eval::eval_with_env(self, &def.body, env)
+            }
+            FnRef::Read(attr) => {
+                if args.len() != 1 {
+                    return Err(RuntimeError::ArityMismatch {
+                        target: target.to_string(),
+                        expected: 1,
+                        actual: args.len(),
+                    });
+                }
+                self.read_attr(&args[0], attr)
+            }
+            FnRef::Write(attr) => {
+                if args.len() != 2 {
+                    return Err(RuntimeError::ArityMismatch {
+                        target: target.to_string(),
+                        expected: 2,
+                        actual: args.len(),
+                    });
+                }
+                let mut it = args.into_iter();
+                let recv = it.next().expect("len checked");
+                let val = it.next().expect("len checked");
+                self.write_attr(&recv, attr, val)
+            }
+            FnRef::New(class) => self.create(class.clone(), args).map(Value::Obj),
+        }
+    }
+
+    /// Invoke on behalf of a user: checks the capability list first. This is
+    /// the paper's access-control boundary — access functions run with full
+    /// rights once entered.
+    pub fn invoke_as(
+        &mut self,
+        user: &UserName,
+        target: &FnRef,
+        args: Vec<Value>,
+    ) -> Result<Value, RuntimeError> {
+        let caps = self
+            .schema
+            .user(user)
+            .ok_or_else(|| RuntimeError::UnknownFunction {
+                name: format!("user {user}"),
+            })?;
+        if !caps.allows(target) {
+            return Err(RuntimeError::NotAuthorized {
+                user: user.clone(),
+                target: target.clone(),
+            });
+        }
+        self.invoke(target, args)
+    }
+
+    /// Evaluate a bare expression in an empty environment (administrative /
+    /// test convenience).
+    pub fn eval_expr(&mut self, expr: &Expr) -> Result<Value, RuntimeError> {
+        eval::eval_with_env(self, expr, Vec::new())
+    }
+
+    /// Signature of an invocable, delegated to the type checker.
+    pub fn signature(
+        &self,
+        target: &FnRef,
+        receiver: Option<&ClassName>,
+    ) -> Result<(Vec<oodb_model::Type>, oodb_model::Type), oodb_lang::TypeError> {
+        fn_ref_signature(&self.schema, target, receiver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::parse_schema;
+
+    fn db() -> Database {
+        let schema = parse_schema(
+            r#"
+            class Broker { name: string, salary: int, budget: int, profit: int }
+            fn checkBudget(broker: Broker): bool {
+              r_budget(broker) >= 10 * r_salary(broker)
+            }
+            user clerk { checkBudget, w_budget }
+            "#,
+        )
+        .unwrap();
+        Database::new(schema).unwrap()
+    }
+
+    fn john(db: &mut Database) -> Value {
+        Value::Obj(
+            db.create(
+                "Broker",
+                vec![
+                    Value::str("John"),
+                    Value::Int(150),
+                    Value::Int(1000),
+                    Value::Int(50),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn create_and_attrs() {
+        let mut db = db();
+        let j = john(&mut db);
+        assert_eq!(db.read_attr(&j, &"salary".into()).unwrap(), Value::Int(150));
+        assert_eq!(
+            db.write_attr(&j, &"salary".into(), Value::Int(200)).unwrap(),
+            Value::Null
+        );
+        assert_eq!(db.read_attr(&j, &"salary".into()).unwrap(), Value::Int(200));
+        assert_eq!(db.extent(&"Broker".into()).len(), 1);
+    }
+
+    #[test]
+    fn invoke_access_function() {
+        let mut db = db();
+        let j = john(&mut db);
+        // budget 1000 < 10*150: within regulation.
+        let v = db
+            .invoke(&FnRef::access("checkBudget"), vec![j.clone()])
+            .unwrap();
+        assert_eq!(v, Value::Bool(false));
+        db.write_attr(&j, &"budget".into(), Value::Int(2000)).unwrap();
+        let v = db.invoke(&FnRef::access("checkBudget"), vec![j]).unwrap();
+        assert_eq!(v, Value::Bool(true));
+    }
+
+    #[test]
+    fn capability_enforcement() {
+        let mut db = db();
+        let j = john(&mut db);
+        let clerk = UserName::new("clerk");
+        // Granted: checkBudget, w_budget.
+        db.invoke_as(&clerk, &FnRef::access("checkBudget"), vec![j.clone()])
+            .unwrap();
+        db.invoke_as(&clerk, &FnRef::write("budget"), vec![j.clone(), Value::Int(5)])
+            .unwrap();
+        // Denied: direct read of salary — the paper's whole point.
+        let err = db
+            .invoke_as(&clerk, &FnRef::read("salary"), vec![j])
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::NotAuthorized { .. }));
+    }
+
+    #[test]
+    fn create_arity_checked() {
+        let mut db = db();
+        assert!(matches!(
+            db.create("Broker", vec![Value::str("x")]),
+            Err(RuntimeError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.create("Nope", vec![]),
+            Err(RuntimeError::UnknownClass { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_receivers() {
+        let mut db = db();
+        assert!(matches!(
+            db.read_attr(&Value::Null, &"salary".into()),
+            Err(RuntimeError::BadReceiver { .. })
+        ));
+        let j = john(&mut db);
+        assert!(matches!(
+            db.read_attr(&j, &"missing".into()),
+            Err(RuntimeError::NoSuchAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn new_via_invoke() {
+        let mut db = db();
+        let v = db
+            .invoke(
+                &FnRef::new_class("Broker"),
+                vec![
+                    Value::str("Jane"),
+                    Value::Int(100),
+                    Value::Int(900),
+                    Value::Int(10),
+                ],
+            )
+            .unwrap();
+        assert!(v.as_obj().is_some());
+        assert_eq!(db.extent(&"Broker".into()).len(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Runtime errors.
+
+use oodb_model::{AttrName, ClassName, FnRef, Oid, UserName, Value};
+use std::fmt;
+
+/// An error raised while evaluating an expression or query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A user invoked a function outside their capability list.
+    NotAuthorized {
+        /// The user.
+        user: UserName,
+        /// The denied function.
+        target: FnRef,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Arithmetic overflow (the engine uses checked `i64` arithmetic — the
+    /// paper's integers are unbounded, so overflow is an error rather than a
+    /// silent wrap).
+    Overflow,
+    /// The receiver of an attribute operation was `null` or not an object.
+    BadReceiver {
+        /// The offending value (rendered).
+        value: String,
+    },
+    /// The receiving object's class does not declare the attribute.
+    NoSuchAttribute {
+        /// The object's class.
+        class: ClassName,
+        /// The missing attribute.
+        attr: AttrName,
+    },
+    /// A dangling object reference (only possible with hand-built OIDs).
+    DanglingOid {
+        /// The bad OID.
+        oid: Oid,
+    },
+    /// An unknown access function was called.
+    UnknownFunction {
+        /// Missing name.
+        name: String,
+    },
+    /// An unknown class was referenced.
+    UnknownClass {
+        /// Missing class.
+        class: ClassName,
+    },
+    /// A variable had no binding at runtime (indicates a type-check bypass).
+    UnboundVariable {
+        /// Variable name.
+        var: String,
+    },
+    /// An operation got a value of the wrong shape (indicates a type-check
+    /// bypass; the evaluator is defensive).
+    TypeMismatch {
+        /// What was expected.
+        expected: &'static str,
+        /// What arrived (rendered).
+        actual: String,
+    },
+    /// Wrong number of arguments at runtime.
+    ArityMismatch {
+        /// What was invoked.
+        target: String,
+        /// Expected count.
+        expected: usize,
+        /// Actual count.
+        actual: usize,
+    },
+    /// The call stack exceeded its bound. Cannot occur for schemas accepted
+    /// by the type checker (recursion-free), but the evaluator guards anyway.
+    CallDepthExceeded,
+    /// A from-clause source evaluated to a non-set value.
+    NotASet {
+        /// What arrived (rendered).
+        actual: String,
+    },
+}
+
+impl RuntimeError {
+    /// Helper for [`RuntimeError::TypeMismatch`].
+    pub fn mismatch(expected: &'static str, actual: &Value) -> RuntimeError {
+        RuntimeError::TypeMismatch {
+            expected,
+            actual: actual.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NotAuthorized { user, target } => {
+                write!(f, "user `{user}` is not authorized to invoke `{target}`")
+            }
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::Overflow => write!(f, "integer overflow"),
+            RuntimeError::BadReceiver { value } => {
+                write!(f, "attribute operation on non-object value {value}")
+            }
+            RuntimeError::NoSuchAttribute { class, attr } => {
+                write!(f, "class `{class}` has no attribute `{attr}`")
+            }
+            RuntimeError::DanglingOid { oid } => write!(f, "dangling object reference {oid:?}"),
+            RuntimeError::UnknownFunction { name } => write!(f, "unknown function `{name}`"),
+            RuntimeError::UnknownClass { class } => write!(f, "unknown class `{class}`"),
+            RuntimeError::UnboundVariable { var } => write!(f, "unbound variable `{var}`"),
+            RuntimeError::TypeMismatch { expected, actual } => {
+                write!(f, "expected {expected}, found {actual}")
+            }
+            RuntimeError::ArityMismatch {
+                target,
+                expected,
+                actual,
+            } => write!(f, "`{target}` expects {expected} argument(s), got {actual}"),
+            RuntimeError::CallDepthExceeded => write!(f, "call depth exceeded"),
+            RuntimeError::NotASet { actual } => {
+                write!(f, "from-clause source is not a set: {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = RuntimeError::NotAuthorized {
+            user: UserName::new("clerk"),
+            target: FnRef::read("salary"),
+        };
+        assert_eq!(
+            e.to_string(),
+            "user `clerk` is not authorized to invoke `r_salary`"
+        );
+        assert_eq!(
+            RuntimeError::mismatch("an integer", &Value::Bool(true)).to_string(),
+            "expected an integer, found true"
+        );
+    }
+}

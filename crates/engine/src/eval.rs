@@ -1,0 +1,216 @@
+//! Evaluator for function-definition-language expressions.
+//!
+//! Evaluation order is the paper's: arguments left to right, `let` bindings
+//! in order, each expression evaluated exactly once. This order matters to
+//! both the analysis' numbering scheme (subexpression numbers are assigned
+//! "corresponding to the order of the evaluation in the actual execution",
+//! §3.3) and to side-effect visibility (a write performed by an earlier
+//! subexpression is seen by a later read).
+
+use crate::db::Database;
+use crate::error::RuntimeError;
+use crate::ops::eval_basic;
+use oodb_lang::Expr;
+use oodb_model::{Value, VarName};
+
+/// Hard bound on call nesting. The type checker guarantees recursion-freedom
+/// so real schemas cannot hit this; it protects against unchecked schemas.
+pub const MAX_CALL_DEPTH: usize = 256;
+
+struct Frame {
+    vars: Vec<(VarName, Value)>,
+}
+
+/// Evaluate `expr` against the database with the given initial variable
+/// bindings (the function's parameters).
+pub fn eval_with_env(
+    db: &mut Database,
+    expr: &Expr,
+    env: Vec<(VarName, Value)>,
+) -> Result<Value, RuntimeError> {
+    let mut frame = Frame { vars: env };
+    eval(db, expr, &mut frame, 0)
+}
+
+fn eval(
+    db: &mut Database,
+    expr: &Expr,
+    frame: &mut Frame,
+    depth: usize,
+) -> Result<Value, RuntimeError> {
+    if depth > MAX_CALL_DEPTH {
+        return Err(RuntimeError::CallDepthExceeded);
+    }
+    match expr {
+        Expr::Const(l) => Ok(l.to_value()),
+        Expr::Var(v) => frame
+            .vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == v)
+            .map(|(_, val)| val.clone())
+            .ok_or_else(|| RuntimeError::UnboundVariable { var: v.to_string() }),
+        Expr::Basic(op, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(db, a, frame, depth)?);
+            }
+            eval_basic(*op, &vals)
+        }
+        Expr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(db, a, frame, depth)?);
+            }
+            let def = db
+                .schema()
+                .function(name)
+                .cloned()
+                .ok_or_else(|| RuntimeError::UnknownFunction {
+                    name: name.to_string(),
+                })?;
+            if vals.len() != def.arity() {
+                return Err(RuntimeError::ArityMismatch {
+                    target: name.to_string(),
+                    expected: def.arity(),
+                    actual: vals.len(),
+                });
+            }
+            let mut callee = Frame {
+                vars: def
+                    .params
+                    .iter()
+                    .map(|(p, _)| p.clone())
+                    .zip(vals)
+                    .collect(),
+            };
+            eval(db, &def.body, &mut callee, depth + 1)
+        }
+        Expr::Read(attr, recv) => {
+            let r = eval(db, recv, frame, depth)?;
+            db.read_attr(&r, attr)
+        }
+        Expr::Write(attr, recv, val) => {
+            let r = eval(db, recv, frame, depth)?;
+            let v = eval(db, val, frame, depth)?;
+            db.write_attr(&r, attr, v)
+        }
+        Expr::New(class, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(db, a, frame, depth)?);
+            }
+            db.create(class.clone(), vals).map(Value::Obj)
+        }
+        Expr::Let { bindings, body } => {
+            let mark = frame.vars.len();
+            for (name, value) in bindings {
+                let v = eval(db, value, frame, depth)?;
+                frame.vars.push((name.clone(), v));
+            }
+            let result = eval(db, body, frame, depth);
+            frame.vars.truncate(mark);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::{parse_expr, parse_schema};
+    use oodb_model::FnRef;
+
+    fn db() -> Database {
+        let schema = parse_schema(
+            r#"
+            class Broker { name: string, salary: int, budget: int, profit: int }
+            fn calcSalary(budget: int, profit: int): int { budget / 10 + profit / 2 }
+            fn updateSalary(broker: Broker): null {
+              w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)))
+            }
+            "#,
+        )
+        .unwrap();
+        Database::new(schema).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_let() {
+        let mut db = db();
+        let e = parse_expr("let x = 2, y = x * 3 in y + 1 end").unwrap();
+        assert_eq!(db.eval_expr(&e).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn nested_call_with_side_effects() {
+        let mut db = db();
+        let oid = db
+            .create(
+                "Broker",
+                vec![
+                    Value::str("John"),
+                    Value::Int(1),
+                    Value::Int(1000),
+                    Value::Int(50),
+                ],
+            )
+            .unwrap();
+        let j = Value::Obj(oid);
+        db.invoke(&FnRef::access("updateSalary"), vec![j.clone()])
+            .unwrap();
+        // New salary = 1000/10 + 50/2 = 125.
+        assert_eq!(db.read_attr(&j, &"salary".into()).unwrap(), Value::Int(125));
+    }
+
+    #[test]
+    fn write_then_read_order() {
+        let mut db = db();
+        let oid = db
+            .create(
+                "Broker",
+                vec![Value::str("J"), Value::Int(0), Value::Int(0), Value::Int(0)],
+            )
+            .unwrap();
+        // Let bindings evaluate in order: the read sees the earlier write.
+        let e = parse_expr("let a = w_salary(b, 42), s = r_salary(b) in s end").unwrap();
+        let v = eval_with_env(&mut db, &e, vec![(VarName::new("b"), Value::Obj(oid))]).unwrap();
+        assert_eq!(v, Value::Int(42));
+    }
+
+    #[test]
+    fn unbound_variable() {
+        let mut db = db();
+        let e = parse_expr("x + 1").unwrap();
+        assert!(matches!(
+            db.eval_expr(&e),
+            Err(RuntimeError::UnboundVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn new_allocates_into_extent() {
+        let mut db = db();
+        let e = parse_expr("new Broker(\"Jane\", 10, 20, 30)").unwrap();
+        let v = db.eval_expr(&e).unwrap();
+        assert!(v.as_obj().is_some());
+        assert_eq!(db.extent(&"Broker".into()).len(), 1);
+    }
+
+    #[test]
+    fn runtime_division_by_zero() {
+        let mut db = db();
+        let e = parse_expr("1 / 0").unwrap();
+        assert_eq!(db.eval_expr(&e), Err(RuntimeError::DivisionByZero));
+    }
+
+    #[test]
+    fn let_scope_restored_after_error() {
+        let mut db = db();
+        let e = parse_expr("let x = 1 in x / 0 end").unwrap();
+        assert_eq!(db.eval_expr(&e), Err(RuntimeError::DivisionByZero));
+        // Evaluator still usable.
+        let e = parse_expr("2 + 2").unwrap();
+        assert_eq!(db.eval_expr(&e).unwrap(), Value::Int(4));
+    }
+}

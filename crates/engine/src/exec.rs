@@ -1,0 +1,410 @@
+//! Select-from-where query execution with capability enforcement.
+//!
+//! Semantics (§2):
+//!
+//! * from-clause bindings nest left to right; later sources may mention
+//!   earlier variables (`from p in Person, q in r_child(p)`);
+//! * class extents are *snapshotted* when a binding starts iterating, so a
+//!   `new C(…)` item cannot extend the loop it sits in;
+//! * for each binding tuple the where clause runs first (left-to-right,
+//!   short-circuit), then the select items **in order from left to right** —
+//!   the ordering the paper's probing attack (`select w_budget(b,1),
+//!   checkBudget(b), w_budget(b,2), checkBudget(b), …`) relies on;
+//! * authorization is syntactic and up-front: every invocation occurring in
+//!   the query (items, from clause, where clause, nested queries) must be in
+//!   the issuing user's capability list. Function bodies then run trusted.
+
+use crate::db::Database;
+use crate::error::RuntimeError;
+use crate::ops::eval_basic;
+use oodb_lang::query::{Atom, CmpOp, CmpRhs, Cond, FromSource, Invocation, Query, SelectItem};
+use oodb_lang::BasicOp;
+use oodb_model::{UserName, Value, VarName};
+use std::fmt;
+
+/// One result row: the values of the select items for one binding tuple.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row(pub Vec<Value>);
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The result of a query: rows in deterministic (extent) order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryOutput {
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryOutput {
+    /// Render as the paper's set-of-tuples notation.
+    pub fn render(&self) -> String {
+        let mut s = String::from("{");
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&r.to_string());
+        }
+        s.push('}');
+        s
+    }
+
+    /// Flatten single-column outputs.
+    pub fn column(&self, i: usize) -> Vec<&Value> {
+        self.rows.iter().filter_map(|r| r.0.get(i)).collect()
+    }
+}
+
+/// Run a query as a user (capability-checked) or administratively (`None`).
+pub fn run_query(
+    db: &mut Database,
+    user: Option<&UserName>,
+    query: &Query,
+) -> Result<QueryOutput, RuntimeError> {
+    if let Some(u) = user {
+        authorize(db, u, query)?;
+    }
+    let mut rows = Vec::new();
+    let mut env: Vec<(VarName, Value)> = Vec::new();
+    bind_from(db, query, 0, &mut env, &mut rows)?;
+    Ok(QueryOutput { rows })
+}
+
+/// Check that every invocation in the query is within the user's capability
+/// list. This is the paper's access-control model: rights are per function
+/// name, verified *only* at the direct-invocation boundary.
+pub fn authorize(db: &Database, user: &UserName, query: &Query) -> Result<(), RuntimeError> {
+    let caps = db
+        .schema()
+        .user(user)
+        .ok_or_else(|| RuntimeError::UnknownFunction {
+            name: format!("user {user}"),
+        })?;
+    for inv in query.invocations() {
+        if !caps.allows(&inv.target) {
+            return Err(RuntimeError::NotAuthorized {
+                user: user.clone(),
+                target: inv.target.clone(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn bind_from(
+    db: &mut Database,
+    query: &Query,
+    level: usize,
+    env: &mut Vec<(VarName, Value)>,
+    rows: &mut Vec<Row>,
+) -> Result<(), RuntimeError> {
+    if level == query.from.len() {
+        if let Some(cond) = &query.filter {
+            if !eval_cond(db, cond, env)? {
+                return Ok(());
+            }
+        }
+        let mut row = Vec::with_capacity(query.items.len());
+        for item in &query.items {
+            row.push(eval_item(db, item, env)?);
+        }
+        rows.push(Row(row));
+        return Ok(());
+    }
+    let (var, source) = &query.from[level];
+    let candidates: Vec<Value> = match source {
+        FromSource::Class(c) => db.extent(c).iter().copied().map(Value::Obj).collect(),
+        FromSource::SetExpr(inv) => {
+            let v = eval_invocation(db, inv, env)?;
+            match v {
+                Value::Set(items) => items,
+                other => {
+                    return Err(RuntimeError::NotASet {
+                        actual: other.to_string(),
+                    })
+                }
+            }
+        }
+    };
+    for value in candidates {
+        env.push((var.clone(), value));
+        bind_from(db, query, level + 1, env, rows)?;
+        env.pop();
+    }
+    Ok(())
+}
+
+fn eval_atom(atom: &Atom, env: &[(VarName, Value)]) -> Result<Value, RuntimeError> {
+    match atom {
+        Atom::Lit(l) => Ok(l.to_value()),
+        Atom::Var(v) => env
+            .iter()
+            .rev()
+            .find(|(n, _)| n == v)
+            .map(|(_, val)| val.clone())
+            .ok_or_else(|| RuntimeError::UnboundVariable { var: v.to_string() }),
+    }
+}
+
+fn eval_invocation(
+    db: &mut Database,
+    inv: &Invocation,
+    env: &[(VarName, Value)],
+) -> Result<Value, RuntimeError> {
+    let mut args = Vec::with_capacity(inv.args.len());
+    for a in &inv.args {
+        args.push(eval_atom(a, env)?);
+    }
+    db.invoke(&inv.target, args)
+}
+
+fn eval_item(
+    db: &mut Database,
+    item: &SelectItem,
+    env: &mut Vec<(VarName, Value)>,
+) -> Result<Value, RuntimeError> {
+    match item {
+        SelectItem::Invoke(inv) => eval_invocation(db, inv, env),
+        SelectItem::Atom(a) => eval_atom(a, env),
+        SelectItem::Nested(q) => {
+            let mut inner_rows = Vec::new();
+            bind_from(db, q, 0, env, &mut inner_rows)?;
+            // A single-item nested select yields the set of its values;
+            // multi-item selects yield a set of rendered tuples.
+            let items: Vec<Value> = if q.items.len() == 1 {
+                inner_rows
+                    .into_iter()
+                    .map(|mut r| r.0.pop().expect("single-item row"))
+                    .collect()
+            } else {
+                inner_rows
+                    .into_iter()
+                    .map(|r| Value::Str(r.to_string()))
+                    .collect()
+            };
+            Ok(Value::set(items))
+        }
+    }
+}
+
+fn eval_cond(
+    db: &mut Database,
+    cond: &Cond,
+    env: &[(VarName, Value)],
+) -> Result<bool, RuntimeError> {
+    match cond {
+        Cond::True => Ok(true),
+        Cond::And(a, b) => Ok(eval_cond(db, a, env)? && eval_cond(db, b, env)?),
+        Cond::Or(a, b) => Ok(eval_cond(db, a, env)? || eval_cond(db, b, env)?),
+        Cond::Cmp { lhs, op, rhs } => {
+            let l = eval_invocation(db, lhs, env)?;
+            let r = match rhs {
+                CmpRhs::Atom(a) => eval_atom(a, env)?,
+                CmpRhs::Invoke(i) => eval_invocation(db, i, env)?,
+            };
+            let basic = match op {
+                CmpOp::Ge => BasicOp::Ge,
+                CmpOp::Gt => BasicOp::Gt,
+                CmpOp::Le => BasicOp::Le,
+                CmpOp::Lt => BasicOp::Lt,
+                CmpOp::Eq => BasicOp::EqOp,
+                CmpOp::Ne => BasicOp::NeOp,
+            };
+            let v = eval_basic(basic, &[l, r])?;
+            v.as_bool()
+                .ok_or_else(|| RuntimeError::mismatch("a boolean condition", &v))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::{parse_query, parse_schema};
+
+    fn db() -> Database {
+        let schema = parse_schema(
+            r#"
+            class Broker { name: string, salary: int, budget: int, profit: int }
+            fn checkBudget(broker: Broker): bool {
+              r_budget(broker) >= 10 * r_salary(broker)
+            }
+            user clerk { checkBudget, w_budget, r_name }
+            user auditor { r_name, r_salary }
+            "#,
+        )
+        .unwrap();
+        let mut db = Database::new(schema).unwrap();
+        for (name, salary, budget) in [("John", 150, 1000), ("Jane", 90, 2000)] {
+            db.create(
+                "Broker",
+                vec![
+                    Value::str(name),
+                    Value::Int(salary),
+                    Value::Int(budget),
+                    Value::Int(0),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn simple_select() {
+        let mut db = db();
+        let q = parse_query("select r_name(b), r_salary(b) from b in Broker").unwrap();
+        let out = run_query(&mut db, None, &q).unwrap();
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].0, vec![Value::str("John"), Value::Int(150)]);
+        assert_eq!(out.render(), "{(\"John\", 150), (\"Jane\", 90)}");
+    }
+
+    #[test]
+    fn where_clause_filters() {
+        let mut db = db();
+        let q = parse_query(
+            "select r_name(b) from b in Broker where r_salary(b) > 100",
+        )
+        .unwrap();
+        let out = run_query(&mut db, None, &q).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0].0, vec![Value::str("John")]);
+    }
+
+    #[test]
+    fn authorization_blocks_unlisted_functions() {
+        let mut db = db();
+        let clerk = UserName::new("clerk");
+        let q = parse_query("select r_salary(b) from b in Broker").unwrap();
+        let err = run_query(&mut db, Some(&clerk), &q).unwrap_err();
+        assert!(matches!(err, RuntimeError::NotAuthorized { .. }));
+        // …including inside the where clause.
+        let q = parse_query(
+            "select r_name(b) from b in Broker where r_salary(b) > 0",
+        )
+        .unwrap();
+        let err = run_query(&mut db, Some(&clerk), &q).unwrap_err();
+        assert!(matches!(err, RuntimeError::NotAuthorized { .. }));
+        // The clerk's own capabilities all pass.
+        let q = parse_query("select checkBudget(b) from b in Broker").unwrap();
+        run_query(&mut db, Some(&clerk), &q).unwrap();
+    }
+
+    #[test]
+    fn papers_probing_attack_runs() {
+        // §3.1: by interleaving writes and checkBudget probes the clerk
+        // narrows John's salary. The engine happily executes it — showing
+        // why static detection is needed.
+        let mut db = db();
+        let clerk = UserName::new("clerk");
+        let q = parse_query(
+            "select w_budget(b, 1500), checkBudget(b), w_budget(b, 1499), checkBudget(b) \
+             from b in Broker where r_name(b) == \"John\"",
+        )
+        .unwrap();
+        let out = run_query(&mut db, Some(&clerk), &q).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        // salary = 150 → threshold 1500: budget 1500 >= 1500 true; 1499 false.
+        assert_eq!(
+            out.rows[0].0,
+            vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Null,
+                Value::Bool(false)
+            ]
+        );
+        // The writes persisted.
+        let j = Value::Obj(db.extent(&"Broker".into())[0]);
+        assert_eq!(db.read_attr(&j, &"budget".into()).unwrap(), Value::Int(1499));
+    }
+
+    #[test]
+    fn nested_select_over_set_attribute() {
+        let schema = parse_schema(
+            r#"
+            class Person { name: string, child: {Person} }
+            user u { r_name, r_child }
+            "#,
+        )
+        .unwrap();
+        let mut db = Database::new(schema).unwrap();
+        let kid1 = db
+            .create("Person", vec![Value::str("Ann"), Value::set(vec![])])
+            .unwrap();
+        let kid2 = db
+            .create("Person", vec![Value::str("Bob"), Value::set(vec![])])
+            .unwrap();
+        db.create(
+            "Person",
+            vec![
+                Value::str("John"),
+                Value::set(vec![Value::Obj(kid1), Value::Obj(kid2)]),
+            ],
+        )
+        .unwrap();
+        let q = parse_query(
+            "select (select r_name(q) from q in r_child(p)) from p in Person \
+             where r_name(p) == \"John\"",
+        )
+        .unwrap();
+        let out = run_query(&mut db, Some(&UserName::new("u")), &q).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(
+            out.rows[0].0[0],
+            Value::set(vec![Value::str("Ann"), Value::str("Bob")])
+        );
+    }
+
+    #[test]
+    fn extent_snapshot_prevents_new_loops() {
+        let schema = parse_schema(
+            r#"
+            class C { n: int }
+            user u { new C, r_n }
+            "#,
+        )
+        .unwrap();
+        let mut db = Database::new(schema).unwrap();
+        db.create("C", vec![Value::Int(1)]).unwrap();
+        // `new C` per row would extend the extent; the snapshot stops the
+        // loop from chasing it.
+        let q = parse_query("select new C(2) from c in C").unwrap();
+        let out = run_query(&mut db, Some(&UserName::new("u")), &q).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(db.extent(&"C".into()).len(), 2);
+    }
+
+    #[test]
+    fn item_order_side_effects() {
+        let mut db = db();
+        // Write then read in the same row: left-to-right evaluation.
+        let q = parse_query(
+            "select w_budget(b, 7), checkBudget(b) from b in Broker \
+             where r_name(b) == \"Jane\"",
+        )
+        .unwrap();
+        let out = run_query(&mut db, None, &q).unwrap();
+        // Jane: salary 90, budget now 7 → 7 >= 900 is false.
+        assert_eq!(out.rows[0].0[1], Value::Bool(false));
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let mut db = db();
+        let q = parse_query("select r_name(b) from b in Broker").unwrap();
+        assert!(run_query(&mut db, Some(&UserName::new("ghost")), &q).is_err());
+    }
+}

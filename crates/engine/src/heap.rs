@@ -1,0 +1,152 @@
+//! The mutable object heap.
+//!
+//! Objects are slots holding a class name plus attribute values in
+//! declaration order. Extents (the set of all instances of a class, §2's
+//! `(c_name, {obj})` pairs) are maintained incrementally. The heap is
+//! `Clone`, which gives cheap database snapshots — the differential
+//! experiments reset state between attacker probes by cloning.
+
+use crate::error::RuntimeError;
+use oodb_model::{ClassName, Oid, Value};
+use std::collections::BTreeMap;
+
+/// One heap slot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Object {
+    class: ClassName,
+    attrs: Vec<Value>,
+}
+
+/// The object heap.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Heap {
+    slots: Vec<Object>,
+    extents: BTreeMap<ClassName, Vec<Oid>>,
+}
+
+impl Heap {
+    /// Empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocate an object. The caller (the [`Database`](crate::Database)
+    /// layer) is responsible for arity/type agreement with the schema.
+    pub fn alloc(&mut self, class: ClassName, attrs: Vec<Value>) -> Oid {
+        let oid = Oid::from_raw(self.slots.len() as u64);
+        self.extents.entry(class.clone()).or_default().push(oid);
+        self.slots.push(Object { class, attrs });
+        oid
+    }
+
+    /// The class of an object.
+    pub fn class_of(&self, oid: Oid) -> Result<&ClassName, RuntimeError> {
+        self.slot(oid).map(|o| &o.class)
+    }
+
+    /// Read an attribute by declaration index.
+    pub fn read(&self, oid: Oid, index: usize) -> Result<&Value, RuntimeError> {
+        let obj = self.slot(oid)?;
+        obj.attrs.get(index).ok_or(RuntimeError::NoSuchAttribute {
+            class: obj.class.clone(),
+            attr: format!("#{index}").into(),
+        })
+    }
+
+    /// Write an attribute by declaration index.
+    pub fn write(&mut self, oid: Oid, index: usize, value: Value) -> Result<(), RuntimeError> {
+        let obj = self.slot_mut(oid)?;
+        match obj.attrs.get_mut(index) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(RuntimeError::NoSuchAttribute {
+                class: obj.class.clone(),
+                attr: format!("#{index}").into(),
+            }),
+        }
+    }
+
+    /// The extent of a class, in creation order. Unknown classes have empty
+    /// extents.
+    pub fn extent(&self, class: &ClassName) -> &[Oid] {
+        self.extents.get(class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Is the heap empty?
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn slot(&self, oid: Oid) -> Result<&Object, RuntimeError> {
+        self.slots
+            .get(oid.raw() as usize)
+            .ok_or(RuntimeError::DanglingOid { oid })
+    }
+
+    fn slot_mut(&mut self, oid: Oid) -> Result<&mut Object, RuntimeError> {
+        self.slots
+            .get_mut(oid.raw() as usize)
+            .ok_or(RuntimeError::DanglingOid { oid })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write() {
+        let mut h = Heap::new();
+        let oid = h.alloc(ClassName::new("C"), vec![Value::Int(1), Value::Bool(true)]);
+        assert_eq!(h.read(oid, 0).unwrap(), &Value::Int(1));
+        h.write(oid, 0, Value::Int(42)).unwrap();
+        assert_eq!(h.read(oid, 0).unwrap(), &Value::Int(42));
+        assert_eq!(h.class_of(oid).unwrap().as_str(), "C");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn extents_track_creation_order() {
+        let mut h = Heap::new();
+        let a = h.alloc(ClassName::new("C"), vec![]);
+        let _ = h.alloc(ClassName::new("D"), vec![]);
+        let c = h.alloc(ClassName::new("C"), vec![]);
+        assert_eq!(h.extent(&ClassName::new("C")), &[a, c]);
+        assert_eq!(h.extent(&ClassName::new("Nope")), &[] as &[Oid]);
+    }
+
+    #[test]
+    fn bad_accesses() {
+        let mut h = Heap::new();
+        let oid = h.alloc(ClassName::new("C"), vec![Value::Int(1)]);
+        assert!(matches!(
+            h.read(Oid::from_raw(99), 0),
+            Err(RuntimeError::DanglingOid { .. })
+        ));
+        assert!(matches!(
+            h.read(oid, 5),
+            Err(RuntimeError::NoSuchAttribute { .. })
+        ));
+        assert!(matches!(
+            h.write(oid, 5, Value::Null),
+            Err(RuntimeError::NoSuchAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let mut h = Heap::new();
+        let oid = h.alloc(ClassName::new("C"), vec![Value::Int(1)]);
+        let snapshot = h.clone();
+        h.write(oid, 0, Value::Int(2)).unwrap();
+        assert_eq!(snapshot.read(oid, 0).unwrap(), &Value::Int(1));
+        assert_eq!(h.read(oid, 0).unwrap(), &Value::Int(2));
+    }
+}

@@ -1,0 +1,42 @@
+//! # oodb-engine
+//!
+//! The runtime substrate the paper assumes: an in-memory object-oriented
+//! database executing the function-definition and query languages of
+//! `oodb-lang` under capability-list access control.
+//!
+//! * [`heap`] — the mutable object heap with per-class extents.
+//! * [`db`] — [`Database`]: schema + heap, attribute access, function
+//!   invocation, object creation.
+//! * [`eval`] — the expression evaluator for access-function bodies.
+//! * [`exec`] — select-from-where query evaluation with left-to-right item
+//!   evaluation (§2: *"Items in a select clause are evaluated in order from
+//!   left to right"* — the ordering the paper's attack query exploits) and
+//!   capability enforcement.
+//! * [`session`] — a convenience layer: a user + database, parsing and
+//!   running query text, recording an observation log.
+//! * [`snapshot`] — human-readable text dumps of database state that
+//!   reload against the same schema.
+//!
+//! The engine enforces access control *in the abstract operation level*
+//! exactly as the paper describes: users invoke whole functions from their
+//! capability list; the primitive `r_att`/`w_att` operations inside those
+//! functions run unchecked. That asymmetry is precisely what creates the
+//! security flaws the `secflow` analysis detects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod error;
+pub mod eval;
+pub mod exec;
+pub mod heap;
+pub mod ops;
+pub mod session;
+pub mod snapshot;
+
+pub use db::Database;
+pub use error::RuntimeError;
+pub use exec::{QueryOutput, Row};
+pub use heap::Heap;
+pub use session::Session;

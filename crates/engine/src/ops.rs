@@ -1,0 +1,182 @@
+//! Semantics of the basic functions `fb`.
+//!
+//! This single definition is shared by the engine's evaluator and by
+//! `secflow-dynamic`'s execution-instance machinery, so the concrete
+//! attacker and the database agree exactly on primitive behaviour.
+//!
+//! Integers are checked `i64`: the paper's integers are unbounded, so wrap
+//! would silently change semantics — overflow is surfaced as
+//! [`RuntimeError::Overflow`] instead (unreachable for the small domains the
+//! experiments use).
+
+use crate::error::RuntimeError;
+use oodb_lang::BasicOp;
+use oodb_model::Value;
+
+/// Evaluate a basic function on argument values.
+pub fn eval_basic(op: BasicOp, args: &[Value]) -> Result<Value, RuntimeError> {
+    if args.len() != op.arity() {
+        return Err(RuntimeError::ArityMismatch {
+            target: op.symbol().to_owned(),
+            expected: op.arity(),
+            actual: args.len(),
+        });
+    }
+    let int = |v: &Value| v.as_int().ok_or_else(|| RuntimeError::mismatch("an integer", v));
+    let boolean = |v: &Value| v.as_bool().ok_or_else(|| RuntimeError::mismatch("a boolean", v));
+
+    Ok(match op {
+        BasicOp::Add => Value::Int(
+            int(&args[0])?
+                .checked_add(int(&args[1])?)
+                .ok_or(RuntimeError::Overflow)?,
+        ),
+        BasicOp::Sub => Value::Int(
+            int(&args[0])?
+                .checked_sub(int(&args[1])?)
+                .ok_or(RuntimeError::Overflow)?,
+        ),
+        BasicOp::Mul => Value::Int(
+            int(&args[0])?
+                .checked_mul(int(&args[1])?)
+                .ok_or(RuntimeError::Overflow)?,
+        ),
+        BasicOp::Div => {
+            let d = int(&args[1])?;
+            if d == 0 {
+                return Err(RuntimeError::DivisionByZero);
+            }
+            Value::Int(int(&args[0])?.checked_div(d).ok_or(RuntimeError::Overflow)?)
+        }
+        BasicOp::Mod => {
+            let d = int(&args[1])?;
+            if d == 0 {
+                return Err(RuntimeError::DivisionByZero);
+            }
+            Value::Int(int(&args[0])?.checked_rem(d).ok_or(RuntimeError::Overflow)?)
+        }
+        BasicOp::Neg => Value::Int(int(&args[0])?.checked_neg().ok_or(RuntimeError::Overflow)?),
+        BasicOp::Ge => Value::Bool(int(&args[0])? >= int(&args[1])?),
+        BasicOp::Gt => Value::Bool(int(&args[0])? > int(&args[1])?),
+        BasicOp::Le => Value::Bool(int(&args[0])? <= int(&args[1])?),
+        BasicOp::Lt => Value::Bool(int(&args[0])? < int(&args[1])?),
+        BasicOp::EqOp => Value::Bool(args[0] == args[1]),
+        BasicOp::NeOp => Value::Bool(args[0] != args[1]),
+        BasicOp::And => Value::Bool(boolean(&args[0])? && boolean(&args[1])?),
+        BasicOp::Or => Value::Bool(boolean(&args[0])? || boolean(&args[1])?),
+        BasicOp::Not => Value::Bool(!boolean(&args[0])?),
+        BasicOp::Concat => {
+            let a = args[0]
+                .as_str()
+                .ok_or_else(|| RuntimeError::mismatch("a string", &args[0]))?;
+            let b = args[1]
+                .as_str()
+                .ok_or_else(|| RuntimeError::mismatch("a string", &args[1]))?;
+            Value::Str(format!("{a}{b}"))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(x: i64) -> Value {
+        Value::Int(x)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_basic(BasicOp::Add, &[i(2), i(3)]).unwrap(), i(5));
+        assert_eq!(eval_basic(BasicOp::Sub, &[i(2), i(3)]).unwrap(), i(-1));
+        assert_eq!(eval_basic(BasicOp::Mul, &[i(4), i(3)]).unwrap(), i(12));
+        assert_eq!(eval_basic(BasicOp::Div, &[i(7), i(2)]).unwrap(), i(3));
+        assert_eq!(eval_basic(BasicOp::Mod, &[i(7), i(2)]).unwrap(), i(1));
+        assert_eq!(eval_basic(BasicOp::Neg, &[i(7)]).unwrap(), i(-7));
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(
+            eval_basic(BasicOp::Div, &[i(1), i(0)]),
+            Err(RuntimeError::DivisionByZero)
+        );
+        assert_eq!(
+            eval_basic(BasicOp::Mod, &[i(1), i(0)]),
+            Err(RuntimeError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        assert_eq!(
+            eval_basic(BasicOp::Add, &[i(i64::MAX), i(1)]),
+            Err(RuntimeError::Overflow)
+        );
+        assert_eq!(
+            eval_basic(BasicOp::Neg, &[i(i64::MIN)]),
+            Err(RuntimeError::Overflow)
+        );
+        assert_eq!(
+            eval_basic(BasicOp::Div, &[i(i64::MIN), i(-1)]),
+            Err(RuntimeError::Overflow)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            eval_basic(BasicOp::Ge, &[i(10), i(10)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_basic(BasicOp::Lt, &[i(10), i(10)]).unwrap(),
+            Value::Bool(false)
+        );
+        // The paper's checkBudget comparison.
+        assert_eq!(
+            eval_basic(BasicOp::Ge, &[i(1000), i(10 * 150)]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn equality_is_polymorphic_over_values() {
+        assert_eq!(
+            eval_basic(BasicOp::EqOp, &[Value::str("a"), Value::str("a")]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_basic(BasicOp::NeOp, &[Value::Bool(true), Value::Bool(false)]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn boolean_ops_and_concat() {
+        assert_eq!(
+            eval_basic(BasicOp::And, &[Value::Bool(true), Value::Bool(false)]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_basic(BasicOp::Not, &[Value::Bool(false)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_basic(BasicOp::Concat, &[Value::str("ab"), Value::str("cd")]).unwrap(),
+            Value::str("abcd")
+        );
+    }
+
+    #[test]
+    fn type_errors_are_defensive() {
+        assert!(matches!(
+            eval_basic(BasicOp::Add, &[Value::Bool(true), i(1)]),
+            Err(RuntimeError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_basic(BasicOp::Add, &[i(1)]),
+            Err(RuntimeError::ArityMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! A user session: parse → type-check → authorize → execute, with an
+//! observation log.
+//!
+//! The log records everything the user *sees* — exactly the observations the
+//! paper's inference systems reason about. `secflow-dynamic` replays the
+//! same observations through I(E); the examples print them.
+
+use crate::db::Database;
+use crate::error::RuntimeError;
+use crate::exec::{run_query, QueryOutput};
+use oodb_lang::typeck::check_query;
+use oodb_lang::{parse_query, ParseError, TypeError};
+use oodb_model::UserName;
+use std::fmt;
+
+/// Anything that can go wrong when a session runs query text.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SessionError {
+    /// The query text did not parse.
+    Parse(ParseError),
+    /// The query did not type-check.
+    Type(TypeError),
+    /// Execution failed (including authorization failures).
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Parse(e) => write!(f, "{e}"),
+            SessionError::Type(e) => write!(f, "{e}"),
+            SessionError::Runtime(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ParseError> for SessionError {
+    fn from(e: ParseError) -> Self {
+        SessionError::Parse(e)
+    }
+}
+
+impl From<TypeError> for SessionError {
+    fn from(e: TypeError) -> Self {
+        SessionError::Type(e)
+    }
+}
+
+impl From<RuntimeError> for SessionError {
+    fn from(e: RuntimeError) -> Self {
+        SessionError::Runtime(e)
+    }
+}
+
+/// One logged interaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// The query text as issued.
+    pub query: String,
+    /// The rendered result set.
+    pub result: String,
+}
+
+/// A live session of one user against a database.
+#[derive(Debug)]
+pub struct Session<'db> {
+    db: &'db mut Database,
+    user: UserName,
+    log: Vec<LogEntry>,
+}
+
+impl<'db> Session<'db> {
+    /// Open a session.
+    pub fn open(db: &'db mut Database, user: impl Into<UserName>) -> Session<'db> {
+        Session {
+            db,
+            user: user.into(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The session's user.
+    pub fn user(&self) -> &UserName {
+        &self.user
+    }
+
+    /// Parse, type-check, authorize and run a query; the observation is
+    /// appended to the log.
+    pub fn query(&mut self, text: &str) -> Result<QueryOutput, SessionError> {
+        let q = parse_query(text)?;
+        check_query(self.db.schema(), &q)?;
+        let out = run_query(self.db, Some(&self.user), &q)?;
+        self.log.push(LogEntry {
+            query: text.to_owned(),
+            result: out.render(),
+        });
+        Ok(out)
+    }
+
+    /// Everything this user has observed so far.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Access the underlying database (e.g. for administrative seeding
+    /// between queries in tests).
+    pub fn database(&mut self) -> &mut Database {
+        self.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oodb_lang::parse_schema;
+    use oodb_model::Value;
+
+    fn db() -> Database {
+        let schema = parse_schema(
+            r#"
+            class Broker { name: string, salary: int, budget: int, profit: int }
+            fn checkBudget(broker: Broker): bool {
+              r_budget(broker) >= 10 * r_salary(broker)
+            }
+            user clerk { checkBudget, w_budget, r_name }
+            "#,
+        )
+        .unwrap();
+        let mut db = Database::new(schema).unwrap();
+        db.create(
+            "Broker",
+            vec![
+                Value::str("John"),
+                Value::Int(150),
+                Value::Int(1000),
+                Value::Int(0),
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn session_logs_observations() {
+        let mut db = db();
+        let mut s = Session::open(&mut db, "clerk");
+        s.query("select checkBudget(b) from b in Broker").unwrap();
+        s.query("select w_budget(b, 1500), checkBudget(b) from b in Broker")
+            .unwrap();
+        assert_eq!(s.log().len(), 2);
+        assert_eq!(s.log()[0].result, "{(false)}");
+        assert_eq!(s.log()[1].result, "{(null, true)}");
+    }
+
+    #[test]
+    fn session_propagates_all_error_kinds() {
+        let mut db = db();
+        let mut s = Session::open(&mut db, "clerk");
+        assert!(matches!(
+            s.query("select from nowhere"),
+            Err(SessionError::Parse(_))
+        ));
+        assert!(matches!(
+            s.query("select r_name(b) from b in Nobody"),
+            Err(SessionError::Type(_))
+        ));
+        assert!(matches!(
+            s.query("select r_salary(b) from b in Broker"),
+            Err(SessionError::Runtime(RuntimeError::NotAuthorized { .. }))
+        ));
+        // Failed queries are not logged.
+        assert!(s.log().is_empty());
+    }
+}

@@ -1,0 +1,405 @@
+//! Hand-written lexer for the concrete syntax.
+//!
+//! Comments run from `#` or `//` to end of line. String literals use double
+//! quotes with `\"`, `\\`, `\n`, `\t` escapes. Identifiers beginning with
+//! `r_` / `w_` are ordinary identifiers at the lexical level; the parser
+//! decides whether they denote special functions.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognised by the parser through
+    /// [`Token::is_kw`]).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (unescaped contents).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `+`
+    Plus,
+    /// `++`
+    PlusPlus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl Token {
+    /// Is this the given keyword?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::Comma => write!(f, ","),
+            Token::Colon => write!(f, ":"),
+            Token::Assign => write!(f, "="),
+            Token::EqEq => write!(f, "=="),
+            Token::NotEq => write!(f, "!="),
+            Token::Ge => write!(f, ">="),
+            Token::Gt => write!(f, ">"),
+            Token::Le => write!(f, "<="),
+            Token::Lt => write!(f, "<"),
+            Token::Plus => write!(f, "+"),
+            Token::PlusPlus => write!(f, "++"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+        }
+    }
+}
+
+/// A token plus its 1-based line number, for error messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise a source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { token: $t, line })
+        };
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    push!(Token::Slash);
+                }
+            }
+            '(' => {
+                chars.next();
+                push!(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                push!(Token::RParen);
+            }
+            '{' => {
+                chars.next();
+                push!(Token::LBrace);
+            }
+            '}' => {
+                chars.next();
+                push!(Token::RBrace);
+            }
+            ',' => {
+                chars.next();
+                push!(Token::Comma);
+            }
+            ':' => {
+                chars.next();
+                push!(Token::Colon);
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Token::EqEq);
+                } else {
+                    push!(Token::Assign);
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Token::NotEq);
+                } else {
+                    return Err(LexError {
+                        message: "unexpected `!` (did you mean `!=` or `not`?)".to_owned(),
+                        line,
+                    });
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Token::Ge);
+                } else {
+                    push!(Token::Gt);
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Token::Le);
+                } else {
+                    push!(Token::Lt);
+                }
+            }
+            '+' => {
+                chars.next();
+                if chars.peek() == Some(&'+') {
+                    chars.next();
+                    push!(Token::PlusPlus);
+                } else {
+                    push!(Token::Plus);
+                }
+            }
+            '-' => {
+                chars.next();
+                push!(Token::Minus);
+            }
+            '*' => {
+                chars.next();
+                push!(Token::Star);
+            }
+            '%' => {
+                chars.next();
+                push!(Token::Percent);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".to_owned(),
+                                line,
+                            })
+                        }
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            other => {
+                                return Err(LexError {
+                                    message: format!("bad escape {other:?} in string literal"),
+                                    line,
+                                })
+                            }
+                        },
+                        Some('\n') => {
+                            return Err(LexError {
+                                message: "newline in string literal".to_owned(),
+                                line,
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                push!(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let value: i64 = n.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{n}` out of range"),
+                    line,
+                })?;
+                push!(Token::Int(value));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                push!(Token::Ident(s));
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("f(x) >= 10 * r_salary"),
+            vec![
+                Token::Ident("f".into()),
+                Token::LParen,
+                Token::Ident("x".into()),
+                Token::RParen,
+                Token::Ge,
+                Token::Int(10),
+                Token::Star,
+                Token::Ident("r_salary".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let spanned = lex("a # comment\nb // another\nc").unwrap();
+        assert_eq!(spanned.len(), 3);
+        assert_eq!(spanned[0].line, 1);
+        assert_eq!(spanned[1].line, 2);
+        assert_eq!(spanned[2].line, 3);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""John \"the\" broker\n""#),
+            vec![Token::Str("John \"the\" broker\n".into())]
+        );
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("\"bad \\q escape\"").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("== != >= > <= < = + ++ - * / %"),
+            vec![
+                Token::EqEq,
+                Token::NotEq,
+                Token::Ge,
+                Token::Gt,
+                Token::Le,
+                Token::Lt,
+                Token::Assign,
+                Token::Plus,
+                Token::PlusPlus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_bang_is_error() {
+        let err = lex("!x").unwrap_err();
+        assert!(err.message.contains("!"));
+    }
+
+    #[test]
+    fn unexpected_char_reports_line() {
+        let err = lex("ok\n@").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn integer_overflow_is_error() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

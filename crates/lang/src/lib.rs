@@ -1,0 +1,40 @@
+//! # oodb-lang
+//!
+//! The three surface languages of *Tajima, SIGMOD 1996* (§2–§3):
+//!
+//! 1. the **function definition language** in which access-function bodies
+//!    are written,
+//!
+//!    ```text
+//!    e ::= c | a | fb(e,…,e) | fa(e,…,e) | r_att(e) | w_att(e,e)
+//!        | new C(e,…,e) | let x = e, … in e end
+//!    ```
+//!
+//! 2. the **SQL-like query language** users issue
+//!    (`select … from x in C, … where …`), and
+//! 3. the **security-requirement language**
+//!    `(u, f(x1 : c…:c, …, xn : c…:c) : c…:c)` of §3.1.
+//!
+//! The crate provides the ASTs ([`ast`], [`query`], [`requirement`]), a
+//! hand-written lexer/parser for a concrete syntax ([`parse`]), a
+//! precedence-aware pretty-printer ([`pretty`]), and a type checker
+//! ([`typeck`]) that also enforces the paper's recursion-freedom restriction
+//! (§2: *"We do not consider recursive functions"*) — the static analysis in
+//! `secflow` relies on it for its unfolding to terminate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parse;
+pub mod pretty;
+pub mod query;
+pub mod requirement;
+pub mod typeck;
+
+pub use ast::{AccessFnDef, BasicOp, Expr, Literal, Schema};
+pub use parse::{parse_expr, parse_query, parse_requirement, parse_schema, ParseError};
+pub use query::{Atom, CmpOp, Cond, FromSource, Invocation, Query, SelectItem};
+pub use requirement::{Cap, Requirement};
+pub use typeck::{check_schema, TypeError};

@@ -1,0 +1,1088 @@
+//! Recursive-descent parser for the concrete syntax.
+//!
+//! Top-level forms of a schema source:
+//!
+//! ```text
+//! class Broker { name: string, salary: int, budget: int, profit: int }
+//!
+//! fn checkBudget(broker: Broker): bool {
+//!   r_budget(broker) >= 10 * r_salary(broker)
+//! }
+//!
+//! user clerk { checkBudget, w_budget }
+//!
+//! require (clerk, r_salary(x) : ti)
+//! ```
+//!
+//! Queries are parsed separately by [`parse_query`]:
+//!
+//! ```text
+//! select r_name(p), profile(p) from p in Person where r_age(p) > 20
+//! ```
+//!
+//! Identifiers starting with `r_` / `w_` are reserved for the special
+//! read/write functions in call position; `new C(…)` is the constructor.
+
+use crate::ast::{AccessFnDef, BasicOp, Expr, Literal, Schema};
+use crate::lexer::{lex, LexError, Spanned, Token};
+use crate::query::{Atom, CmpOp, CmpRhs, Cond, FromSource, Invocation, Query, SelectItem};
+use crate::requirement::{Cap, Requirement};
+use oodb_model::{CapabilityList, ClassDef, FnRef, Type, VarName};
+use std::fmt;
+
+/// Parse error with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based line, 0 when at end of input.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "parse error at end of input: {}", self.message)
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            line: e.line,
+        }
+    }
+}
+
+/// Keywords that cannot be used as identifiers.
+pub const KEYWORDS: &[&str] = &[
+    "class", "fn", "user", "require", "let", "in", "end", "select", "from", "where", "new",
+    "null", "true", "false", "and", "or", "not", "int", "bool", "string",
+];
+
+/// Maximum nesting depth for expressions, types and conditions. The parser
+/// is recursive-descent; without a bound, adversarial input (thousands of
+/// nested parentheses) would overflow the stack instead of erroring.
+const MAX_DEPTH: u32 = 200;
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            tokens: lex(src)?,
+            pos: 0,
+            depth: 0,
+        })
+    }
+
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return self.err(format!("nesting deeper than {MAX_DEPTH} levels"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens.get(self.pos).map(|s| s.line).unwrap_or(
+            self.tokens.last().map(|s| s.line).unwrap_or(0),
+        )
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            line: self.line(),
+        })
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected `{want}`, found `{t}`"))
+            }
+            None => self.err(format!("expected `{want}`, found end of input")),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t.is_kw(kw) => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected `{kw}`, found `{t}`"))
+            }
+            None => self.err(format!("expected `{kw}`, found end of input")),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(t) if t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if !KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.err(format!("keyword `{s}` cannot be used as {what}"))
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected {what}, found `{t}`"))
+            }
+            None => self.err(format!("expected {what}, found end of input")),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    // ------------------------------------------------------------ types
+
+    fn ty(&mut self) -> Result<Type, ParseError> {
+        self.enter()?;
+        let r = self.ty_inner();
+        self.leave();
+        r
+    }
+
+    fn ty_inner(&mut self) -> Result<Type, ParseError> {
+        if self.eat(&Token::LBrace) {
+            let inner = self.ty()?;
+            self.expect(&Token::RBrace)?;
+            return Ok(Type::set(inner));
+        }
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(match s.as_str() {
+                    "int" => Type::INT,
+                    "bool" => Type::BOOL,
+                    "string" => Type::STR,
+                    "null" => Type::Null,
+                    other if KEYWORDS.contains(&other) => {
+                        return self.err(format!("keyword `{other}` is not a type"))
+                    }
+                    _ => Type::class(s),
+                })
+            }
+            _ => self.err("expected a type"),
+        }
+    }
+
+    // ------------------------------------------------------ expressions
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.or_expr();
+        self.leave();
+        r
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("or") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BasicOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("and") {
+            let rhs = self.not_expr()?;
+            lhs = Expr::bin(BasicOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            Ok(Expr::Basic(BasicOp::Not, vec![inner]))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Ge) => Some(BasicOp::Ge),
+            Some(Token::Gt) => Some(BasicOp::Gt),
+            Some(Token::Le) => Some(BasicOp::Le),
+            Some(Token::Lt) => Some(BasicOp::Lt),
+            Some(Token::EqEq) => Some(BasicOp::EqOp),
+            Some(Token::NotEq) => Some(BasicOp::NeOp),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            Ok(Expr::bin(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BasicOp::Add,
+                Some(Token::Minus) => BasicOp::Sub,
+                Some(Token::PlusPlus) => BasicOp::Concat,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BasicOp::Mul,
+                Some(Token::Slash) => BasicOp::Div,
+                Some(Token::Percent) => BasicOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            // Fold `-` on an integer literal into a negative constant, so
+            // pretty-printed negative literals round-trip structurally.
+            if let Expr::Const(Literal::Int(n)) = inner {
+                return Ok(Expr::Const(Literal::Int(-n)));
+            }
+            Ok(Expr::Basic(BasicOp::Neg, vec![inner]))
+        } else {
+            self.primary_expr()
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Literal::Int(i)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Literal::Str(s)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(s)) => match s.as_str() {
+                "true" => {
+                    self.pos += 1;
+                    Ok(Expr::Const(Literal::Bool(true)))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(Expr::Const(Literal::Bool(false)))
+                }
+                "null" => {
+                    self.pos += 1;
+                    Ok(Expr::Const(Literal::Null))
+                }
+                "let" => self.let_expr(),
+                "new" => {
+                    self.pos += 1;
+                    let class = self.ident("a class name")?;
+                    self.expect(&Token::LParen)?;
+                    let args = self.expr_args()?;
+                    Ok(Expr::New(class.into(), args))
+                }
+                _ if KEYWORDS.contains(&s.as_str()) => {
+                    self.err(format!("unexpected keyword `{s}` in expression"))
+                }
+                _ => {
+                    self.pos += 1;
+                    if self.peek() == Some(&Token::LParen) {
+                        self.pos += 1;
+                        let args = self.expr_args()?;
+                        self.call_from_name(&s, args)
+                    } else {
+                        Ok(Expr::var(s))
+                    }
+                }
+            },
+            Some(t) => self.err(format!("unexpected `{t}` in expression")),
+            None => self.err("unexpected end of input in expression"),
+        }
+    }
+
+    /// Resolve a call by name: `r_att` / `w_att` are special, anything else
+    /// is an access-function invocation.
+    fn call_from_name(&mut self, name: &str, args: Vec<Expr>) -> Result<Expr, ParseError> {
+        if let Some(attr) = name.strip_prefix("r_") {
+            if attr.is_empty() {
+                return self.err("`r_` must be followed by an attribute name");
+            }
+            if args.len() != 1 {
+                return self.err(format!("`{name}` takes exactly 1 argument, got {}", args.len()));
+            }
+            let mut it = args.into_iter();
+            return Ok(Expr::read(attr, it.next().expect("checked len")));
+        }
+        if let Some(attr) = name.strip_prefix("w_") {
+            if attr.is_empty() {
+                return self.err("`w_` must be followed by an attribute name");
+            }
+            if args.len() != 2 {
+                return self.err(format!("`{name}` takes exactly 2 arguments, got {}", args.len()));
+            }
+            let mut it = args.into_iter();
+            let recv = it.next().expect("checked len");
+            let val = it.next().expect("checked len");
+            return Ok(Expr::write(attr, recv, val));
+        }
+        Ok(Expr::call(name, args))
+    }
+
+    fn expr_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.eat(&Token::RParen) {
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            if self.eat(&Token::Comma) {
+                continue;
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(args);
+        }
+    }
+
+    fn let_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("let")?;
+        let mut bindings = Vec::new();
+        loop {
+            let name = self.ident("a variable name")?;
+            self.expect(&Token::Assign)?;
+            let value = self.expr()?;
+            bindings.push((VarName::new(name), value));
+            if self.eat(&Token::Comma) {
+                continue;
+            }
+            break;
+        }
+        self.expect_kw("in")?;
+        let body = self.expr()?;
+        self.expect_kw("end")?;
+        Ok(Expr::Let {
+            bindings,
+            body: Box::new(body),
+        })
+    }
+
+    // ------------------------------------------------------------ schema
+
+    fn schema(&mut self) -> Result<Schema, ParseError> {
+        let mut schema = Schema::new();
+        while let Some(t) = self.peek() {
+            if t.is_kw("class") {
+                let def = self.class_def()?;
+                schema
+                    .classes
+                    .insert(def)
+                    .map_err(|e| ParseError {
+                        message: e.to_string(),
+                        line: self.line(),
+                    })?;
+            } else if t.is_kw("fn") {
+                let def = self.fn_def()?;
+                if schema.functions.contains_key(&def.name) {
+                    return self.err(format!("function `{}` defined more than once", def.name));
+                }
+                schema.functions.insert(def.name.clone(), def);
+            } else if t.is_kw("user") {
+                let (name, caps) = self.user_def()?;
+                if schema.users.contains_key(name.as_str()) {
+                    return self.err(format!("user `{name}` defined more than once"));
+                }
+                schema.users.insert(name.into(), caps);
+            } else if t.is_kw("require") {
+                let req = self.require_def()?;
+                schema.requirements.push(req);
+            } else {
+                let t = t.clone();
+                return self.err(format!(
+                    "expected `class`, `fn`, `user` or `require`, found `{t}`"
+                ));
+            }
+        }
+        Ok(schema)
+    }
+
+    fn class_def(&mut self) -> Result<ClassDef, ParseError> {
+        self.expect_kw("class")?;
+        let name = self.ident("a class name")?;
+        self.expect(&Token::LBrace)?;
+        let mut attrs = Vec::new();
+        if !self.eat(&Token::RBrace) {
+            loop {
+                let attr = self.ident("an attribute name")?;
+                self.expect(&Token::Colon)?;
+                let ty = self.ty()?;
+                attrs.push((attr.into(), ty));
+                if self.eat(&Token::Comma) {
+                    continue;
+                }
+                self.expect(&Token::RBrace)?;
+                break;
+            }
+        }
+        ClassDef::new(name, attrs).map_err(|e| ParseError {
+            message: e.to_string(),
+            line: self.line(),
+        })
+    }
+
+    fn fn_def(&mut self) -> Result<AccessFnDef, ParseError> {
+        self.expect_kw("fn")?;
+        let name = self.ident("a function name")?;
+        if name.starts_with("r_") || name.starts_with("w_") {
+            return self.err(format!(
+                "function name `{name}` collides with the special-function namespace (`r_…`/`w_…`)"
+            ));
+        }
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                let p = self.ident("a parameter name")?;
+                self.expect(&Token::Colon)?;
+                let ty = self.ty()?;
+                params.push((VarName::new(p), ty));
+                if self.eat(&Token::Comma) {
+                    continue;
+                }
+                self.expect(&Token::RParen)?;
+                break;
+            }
+        }
+        self.expect(&Token::Colon)?;
+        let ret = self.ty()?;
+        self.expect(&Token::LBrace)?;
+        let body = self.expr()?;
+        self.expect(&Token::RBrace)?;
+        Ok(AccessFnDef {
+            name: name.into(),
+            params,
+            ret,
+            body,
+        })
+    }
+
+    fn fn_ref(&mut self) -> Result<FnRef, ParseError> {
+        if self.eat_kw("new") {
+            let class = self.ident("a class name")?;
+            return Ok(FnRef::new_class(class));
+        }
+        let name = self.ident("a function reference")?;
+        if let Some(attr) = name.strip_prefix("r_") {
+            if !attr.is_empty() {
+                return Ok(FnRef::read(attr));
+            }
+        }
+        if let Some(attr) = name.strip_prefix("w_") {
+            if !attr.is_empty() {
+                return Ok(FnRef::write(attr));
+            }
+        }
+        Ok(FnRef::access(name))
+    }
+
+    fn user_def(&mut self) -> Result<(String, CapabilityList), ParseError> {
+        self.expect_kw("user")?;
+        let name = self.ident("a user name")?;
+        self.expect(&Token::LBrace)?;
+        let mut caps = CapabilityList::new();
+        if !self.eat(&Token::RBrace) {
+            loop {
+                let f = self.fn_ref()?;
+                caps.grant(f);
+                if self.eat(&Token::Comma) {
+                    continue;
+                }
+                self.expect(&Token::RBrace)?;
+                break;
+            }
+        }
+        Ok((name, caps))
+    }
+
+    fn cap(&mut self) -> Result<Cap, ParseError> {
+        let kw = self.ident("a capability (ti, pi, ta, pa)")?;
+        match kw.as_str() {
+            "ti" => Ok(Cap::Ti),
+            "pi" => Ok(Cap::Pi),
+            "ta" => Ok(Cap::Ta),
+            "pa" => Ok(Cap::Pa),
+            other => self.err(format!("unknown capability `{other}` (expected ti, pi, ta, pa)")),
+        }
+    }
+
+    fn require_def(&mut self) -> Result<Requirement, ParseError> {
+        self.expect_kw("require")?;
+        self.expect(&Token::LParen)?;
+        let user = self.ident("a user name")?;
+        self.expect(&Token::Comma)?;
+        let target = self.fn_ref()?;
+        self.expect(&Token::LParen)?;
+        let mut arg_names = Vec::new();
+        let mut arg_caps = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                let name = self.ident("an argument name")?;
+                let mut caps = Vec::new();
+                while self.eat(&Token::Colon) {
+                    caps.push(self.cap()?);
+                }
+                arg_names.push(VarName::new(name));
+                arg_caps.push(caps);
+                if self.eat(&Token::Comma) {
+                    continue;
+                }
+                self.expect(&Token::RParen)?;
+                break;
+            }
+        }
+        let mut ret_caps = Vec::new();
+        while self.eat(&Token::Colon) {
+            ret_caps.push(self.cap()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Requirement {
+            user: user.into(),
+            target,
+            arg_names,
+            arg_caps,
+            ret_caps,
+        })
+    }
+
+    // ------------------------------------------------------------ query
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Int(i)) => {
+                self.pos += 1;
+                Ok(Atom::Lit(Literal::Int(i)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Atom::Lit(Literal::Str(s)))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                match self.bump() {
+                    Some(Token::Int(i)) => Ok(Atom::Lit(Literal::Int(-i))),
+                    _ => self.err("expected integer after `-`"),
+                }
+            }
+            Some(Token::Ident(s)) => match s.as_str() {
+                "true" => {
+                    self.pos += 1;
+                    Ok(Atom::Lit(Literal::Bool(true)))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(Atom::Lit(Literal::Bool(false)))
+                }
+                "null" => {
+                    self.pos += 1;
+                    Ok(Atom::Lit(Literal::Null))
+                }
+                _ if KEYWORDS.contains(&s.as_str()) => {
+                    self.err(format!("unexpected keyword `{s}` in query atom"))
+                }
+                _ => {
+                    self.pos += 1;
+                    Ok(Atom::var(s))
+                }
+            },
+            Some(t) => self.err(format!("unexpected `{t}` in query atom")),
+            None => self.err("unexpected end of input in query atom"),
+        }
+    }
+
+    fn invocation(&mut self) -> Result<Invocation, ParseError> {
+        let target = self.fn_ref()?;
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                args.push(self.atom()?);
+                if self.eat(&Token::Comma) {
+                    continue;
+                }
+                self.expect(&Token::RParen)?;
+                break;
+            }
+        }
+        Ok(Invocation::new(target, args))
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let q = self.query()?;
+                self.expect(&Token::RParen)?;
+                Ok(SelectItem::Nested(Box::new(q)))
+            }
+            Some(Token::Ident(s)) if s == "new" || (!KEYWORDS.contains(&s.as_str())) => {
+                // Lookahead: IDENT "(" is an invocation, otherwise an atom.
+                if s == "new" || self.peek2() == Some(&Token::LParen) {
+                    Ok(SelectItem::Invoke(self.invocation()?))
+                } else {
+                    Ok(SelectItem::Atom(self.atom()?))
+                }
+            }
+            _ => Ok(SelectItem::Atom(self.atom()?)),
+        }
+    }
+
+    fn parse_from_binding(&mut self) -> Result<(VarName, FromSource), ParseError> {
+        let var = self.ident("a from-clause variable")?;
+        self.expect_kw("in")?;
+        match self.peek() {
+            Some(Token::Ident(s)) if s == "new" || self.peek2() == Some(&Token::LParen) => {
+                let s = s.clone();
+                if KEYWORDS.contains(&s.as_str()) && s != "new" {
+                    return self.err(format!("unexpected keyword `{s}` in from clause"));
+                }
+                let inv = self.invocation()?;
+                Ok((VarName::new(var), FromSource::SetExpr(inv)))
+            }
+            Some(Token::Ident(_)) => {
+                let class = self.ident("a class name")?;
+                Ok((VarName::new(var), FromSource::Class(class.into())))
+            }
+            _ => self.err("expected a class name or set-valued invocation in from clause"),
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        self.enter()?;
+        let r = self.cond_body();
+        self.leave();
+        r
+    }
+
+    fn cond_body(&mut self) -> Result<Cond, ParseError> {
+        let mut lhs = self.cond_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.cond_and()?;
+            lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_and(&mut self) -> Result<Cond, ParseError> {
+        let mut lhs = self.cond_atom()?;
+        while self.eat_kw("and") {
+            let rhs = self.cond_atom()?;
+            lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cond_atom(&mut self) -> Result<Cond, ParseError> {
+        if self.eat(&Token::LParen) {
+            let c = self.cond()?;
+            self.expect(&Token::RParen)?;
+            return Ok(c);
+        }
+        if matches!(self.peek(), Some(t) if t.is_kw("true")) {
+            self.pos += 1;
+            return Ok(Cond::True);
+        }
+        let lhs = self.invocation()?;
+        let op = match self.peek() {
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::EqEq) => CmpOp::Eq,
+            Some(Token::NotEq) => CmpOp::Ne,
+            _ => return self.err("expected a comparison operator in where clause"),
+        };
+        self.pos += 1;
+        // RHS: an invocation (IDENT "(" …) or an atom.
+        let rhs = match self.peek() {
+            Some(Token::Ident(s))
+                if s == "new"
+                    || (!KEYWORDS.contains(&s.as_str()) && self.peek2() == Some(&Token::LParen)) =>
+            {
+                CmpRhs::Invoke(self.invocation()?)
+            }
+            _ => CmpRhs::Atom(self.atom()?),
+        };
+        Ok(Cond::Cmp { lhs, op, rhs })
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw("select")?;
+        let mut items = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let mut from = vec![self.parse_from_binding()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.parse_from_binding()?);
+        }
+        let filter = if self.eat_kw("where") {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            items,
+            from,
+            filter,
+        })
+    }
+}
+
+/// Parse a full schema source (classes, functions, users, requirements).
+///
+/// ```
+/// let schema = oodb_lang::parse_schema(r#"
+///     class Person { name: string, age: int }
+///     fn isAdult(p: Person): bool { r_age(p) >= 18 }
+///     user app { isAdult, r_name }
+///     require (app, r_age(x) : ti)
+/// "#).unwrap();
+/// assert_eq!(schema.functions.len(), 1);
+/// assert_eq!(schema.requirements.len(), 1);
+/// oodb_lang::check_schema(&schema).unwrap();
+/// ```
+pub fn parse_schema(src: &str) -> Result<Schema, ParseError> {
+    let mut p = Parser::new(src)?;
+    let s = p.schema()?;
+    if !p.at_end() {
+        return p.err("trailing input after schema");
+    }
+    Ok(s)
+}
+
+/// Parse a single expression of the function definition language.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    if !p.at_end() {
+        return p.err("trailing input after expression");
+    }
+    Ok(e)
+}
+
+/// Parse a query.
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(src)?;
+    let q = p.query()?;
+    if !p.at_end() {
+        return p.err("trailing input after query");
+    }
+    Ok(q)
+}
+
+/// Parse a single requirement, e.g. `(clerk, r_salary(x) : ti)` (the
+/// leading `require` keyword is optional here).
+pub fn parse_requirement(src: &str) -> Result<Requirement, ParseError> {
+    let full = if src.trim_start().starts_with("require") {
+        src.to_owned()
+    } else {
+        format!("require {src}")
+    };
+    let mut p = Parser::new(&full)?;
+    let r = p.require_def()?;
+    if !p.at_end() {
+        return p.err("trailing input after requirement");
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_check_budget_body() {
+        let e = parse_expr("r_budget(broker) >= 10 * r_salary(broker)").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BasicOp::Ge,
+                Expr::read("budget", Expr::var("broker")),
+                Expr::bin(
+                    BasicOp::Mul,
+                    Expr::int(10),
+                    Expr::read("salary", Expr::var("broker"))
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("1 + 2 * 3 - 4").unwrap();
+        // (1 + (2*3)) - 4
+        assert_eq!(
+            e,
+            Expr::bin(
+                BasicOp::Sub,
+                Expr::bin(
+                    BasicOp::Add,
+                    Expr::int(1),
+                    Expr::bin(BasicOp::Mul, Expr::int(2), Expr::int(3))
+                ),
+                Expr::int(4)
+            )
+        );
+        let e = parse_expr("not a and b or c").unwrap();
+        // ((not a) and b) or c
+        assert_eq!(
+            e,
+            Expr::bin(
+                BasicOp::Or,
+                Expr::bin(
+                    BasicOp::And,
+                    Expr::Basic(BasicOp::Not, vec![Expr::var("a")]),
+                    Expr::var("b")
+                ),
+                Expr::var("c")
+            )
+        );
+    }
+
+    #[test]
+    fn unary_minus_and_parens() {
+        let e = parse_expr("-(x + 1) * 2").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BasicOp::Mul,
+                Expr::Basic(
+                    BasicOp::Neg,
+                    vec![Expr::bin(BasicOp::Add, Expr::var("x"), Expr::int(1))]
+                ),
+                Expr::int(2)
+            )
+        );
+    }
+
+    #[test]
+    fn let_and_new() {
+        let e = parse_expr("let x = 1, y = new Point(2, 3) in x + r_x(y) end").unwrap();
+        match e {
+            Expr::Let { bindings, body } => {
+                assert_eq!(bindings.len(), 2);
+                assert!(matches!(bindings[1].1, Expr::New(_, _)));
+                assert!(matches!(*body, Expr::Basic(BasicOp::Add, _)));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn special_fn_arity_checked_at_parse() {
+        assert!(parse_expr("r_salary(a, b)").is_err());
+        assert!(parse_expr("w_salary(a)").is_err());
+        assert!(parse_expr("r_(a)").is_err());
+    }
+
+    #[test]
+    fn parse_full_schema() {
+        let src = r#"
+            # The paper's running example (§1, §4.2).
+            class Broker { name: string, salary: int, budget: int, profit: int }
+
+            fn checkBudget(broker: Broker): bool {
+              r_budget(broker) >= 10 * r_salary(broker)
+            }
+
+            user clerk { checkBudget, w_budget }
+
+            require (clerk, r_salary(x) : ti)
+        "#;
+        let s = parse_schema(src).unwrap();
+        assert_eq!(s.classes.len(), 1);
+        assert_eq!(s.functions.len(), 1);
+        assert_eq!(s.users.len(), 1);
+        assert_eq!(s.requirements.len(), 1);
+        let caps = s.user_str("clerk").unwrap();
+        assert!(caps.allows(&FnRef::access("checkBudget")));
+        assert!(caps.allows(&FnRef::write("budget")));
+        let r = &s.requirements[0];
+        assert_eq!(r.target, FnRef::read("salary"));
+        assert_eq!(r.ret_caps, vec![Cap::Ti]);
+    }
+
+    #[test]
+    fn requirement_with_arg_caps() {
+        let r = parse_requirement("(clerk, w_salary(x, v: ta))").unwrap();
+        assert_eq!(r.target, FnRef::write("salary"));
+        assert_eq!(r.arg_caps, vec![vec![], vec![Cap::Ta]]);
+        assert!(r.ret_caps.is_empty());
+
+        let r = parse_requirement("require (u, f(x: ti: pa) : pi)").unwrap();
+        assert_eq!(r.arg_caps, vec![vec![Cap::Ti, Cap::Pa]]);
+        assert_eq!(r.ret_caps, vec![Cap::Pi]);
+    }
+
+    #[test]
+    fn parse_queries() {
+        let q = parse_query("select r_name(p), profile(p) from p in Person where r_age(p) > 20")
+            .unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.from.len(), 1);
+        assert!(q.filter.is_some());
+
+        // The paper's nested query.
+        let q = parse_query(
+            "select (select r_name(q) from q in r_child(p)) from p in Person where r_name(p) == \"John\"",
+        )
+        .unwrap();
+        assert!(matches!(q.items[0], SelectItem::Nested(_)));
+
+        // The attack query from §3.1.
+        let q = parse_query(
+            "select w_budget(b, 1), checkBudget(b), w_budget(b, 2), checkBudget(b) \
+             from b in Broker where r_name(b) == \"John\"",
+        )
+        .unwrap();
+        assert_eq!(q.items.len(), 4);
+    }
+
+    #[test]
+    fn query_with_true_condition_and_atom_item() {
+        let q = parse_query("select p from p in Person where true").unwrap();
+        assert!(matches!(q.items[0], SelectItem::Atom(Atom::Var(_))));
+        assert_eq!(q.filter, Some(Cond::True));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse_schema("class C { x: int }\nfn f(: int { 1 }").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse_expr("1 +").is_err());
+        assert!(parse_expr("1 1").is_err());
+        assert!(parse_query("select from x in C").is_err());
+    }
+
+    #[test]
+    fn reserved_fn_names_rejected() {
+        let err = parse_schema("fn r_evil(x: int): int { x }").unwrap_err();
+        assert!(err.message.contains("special-function namespace"));
+    }
+
+    #[test]
+    fn duplicate_definitions_rejected() {
+        assert!(parse_schema("fn f(): int { 1 } fn f(): int { 2 }").is_err());
+        assert!(parse_schema("user u { } user u { }").is_err());
+        assert!(parse_schema("class C { } class C { }").is_err());
+    }
+
+    #[test]
+    fn set_types_parse() {
+        let s = parse_schema("class Person { child: {Person}, tags: {{string}} }").unwrap();
+        let c = s.classes.get_str("Person").unwrap();
+        assert_eq!(
+            c.attr_type(&"child".into()),
+            Some(&Type::set(Type::class("Person")))
+        );
+        assert_eq!(
+            c.attr_type(&"tags".into()),
+            Some(&Type::set(Type::set(Type::STR)))
+        );
+    }
+
+    #[test]
+    fn new_in_capability_list() {
+        let s = parse_schema("user u { new Broker, r_salary }").unwrap();
+        let caps = s.user_str("u").unwrap();
+        assert!(caps.allows(&FnRef::new_class("Broker")));
+        assert!(caps.allows(&FnRef::read("salary")));
+    }
+}

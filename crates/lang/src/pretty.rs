@@ -1,0 +1,215 @@
+//! Precedence-aware pretty-printer.
+//!
+//! `parse_expr(pretty(e)) == e` is property-tested in the crate's tests;
+//! the printer emits parentheses only where the grammar requires them.
+
+use crate::ast::{AccessFnDef, BasicOp, Expr, Schema};
+use std::fmt;
+
+/// Binding strength of an expression for parenthesisation.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Basic(op, _) => match op {
+            BasicOp::Or => 1,
+            BasicOp::And => 2,
+            BasicOp::Not => 3,
+            BasicOp::Ge
+            | BasicOp::Gt
+            | BasicOp::Le
+            | BasicOp::Lt
+            | BasicOp::EqOp
+            | BasicOp::NeOp => 4,
+            BasicOp::Add | BasicOp::Sub | BasicOp::Concat => 5,
+            BasicOp::Mul | BasicOp::Div | BasicOp::Mod => 6,
+            BasicOp::Neg => 7,
+        },
+        // `let … in … end` has explicit delimiters but its body extends as
+        // far right as possible; print it parenthesised when nested inside
+        // an operator to stay unambiguous.
+        Expr::Let { .. } => 0,
+        _ => 8,
+    }
+}
+
+fn write_prec(f: &mut fmt::Formatter<'_>, e: &Expr, min: u8) -> fmt::Result {
+    if prec(e) < min {
+        write!(f, "(")?;
+        write_expr(f, e)?;
+        write!(f, ")")
+    } else {
+        write_expr(f, e)
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+    match e {
+        Expr::Const(l) => write!(f, "{l}"),
+        Expr::Var(v) => write!(f, "{v}"),
+        Expr::Basic(op, args) => match op {
+            BasicOp::Not => {
+                write!(f, "not ")?;
+                write_prec(f, &args[0], 3)
+            }
+            BasicOp::Neg => {
+                write!(f, "-")?;
+                write_prec(f, &args[0], 7)
+            }
+            _ => {
+                let p = prec(e);
+                // All binary operators are left-associative except the
+                // comparisons, which are non-associative: both operands of a
+                // comparison must bind strictly tighter.
+                let (lmin, rmin) = if p == 4 { (p + 1, p + 1) } else { (p, p + 1) };
+                write_prec(f, &args[0], lmin)?;
+                write!(f, " {} ", op.symbol())?;
+                write_prec(f, &args[1], rmin)
+            }
+        },
+        Expr::Call(name, args) => {
+            write!(f, "{name}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, a)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Read(attr, recv) => {
+            write!(f, "r_{attr}(")?;
+            write_expr(f, recv)?;
+            write!(f, ")")
+        }
+        Expr::Write(attr, recv, val) => {
+            write!(f, "w_{attr}(")?;
+            write_expr(f, recv)?;
+            write!(f, ", ")?;
+            write_expr(f, val)?;
+            write!(f, ")")
+        }
+        Expr::New(class, args) => {
+            write!(f, "new {class}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, a)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Let { bindings, body } => {
+            write!(f, "let ")?;
+            for (i, (name, value)) in bindings.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name} = ")?;
+                write_expr(f, value)?;
+            }
+            write!(f, " in ")?;
+            write_expr(f, body)?;
+            write!(f, " end")
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self)
+    }
+}
+
+impl fmt::Display for AccessFnDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, (p, t)) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}: {t}")?;
+        }
+        write!(f, "): {} {{ {} }}", self.ret, self.body)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for class in self.classes.iter() {
+            writeln!(f, "{class}")?;
+        }
+        for func in self.functions.values() {
+            writeln!(f, "{func}")?;
+        }
+        for (user, caps) in &self.users {
+            writeln!(f, "user {user} {caps}")?;
+        }
+        for req in &self.requirements {
+            writeln!(f, "require {req}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    
+    use crate::parse::parse_expr;
+
+    #[track_caller]
+    fn round_trip(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("re-parse of `{printed}` failed: {err}"));
+        assert_eq!(reparsed, e, "round trip of `{src}` via `{printed}`");
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip("r_budget(broker) >= 10 * r_salary(broker)");
+        round_trip("1 + 2 * 3 - 4 / 5 % 6");
+        round_trip("(1 + 2) * 3");
+        round_trip("-(x + 1) * -y");
+        round_trip("not (a and b) or c");
+        round_trip("let x = 1, y = x + 1 in y * y end");
+        round_trip("w_salary(b, calcSalary(r_budget(b), r_profit(b)))");
+        round_trip("new Point(1 + 2, \"label\")");
+        round_trip("(let x = 1 in x end) + 1");
+        round_trip("\"a\" ++ \"b\" ++ \"c\"");
+    }
+
+    #[test]
+    fn minimal_parens() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.to_string(), "1 + 2 * 3");
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+        let e = parse_expr("a and (b or c)").unwrap();
+        assert_eq!(e.to_string(), "a and (b or c)");
+    }
+
+    #[test]
+    fn comparison_is_nonassociative() {
+        // A comparison under a comparison must print parenthesised.
+        use crate::ast::{BasicOp, Expr};
+        let e = Expr::bin(
+            BasicOp::EqOp,
+            Expr::bin(BasicOp::Ge, Expr::var("a"), Expr::var("b")),
+            Expr::var("c"),
+        );
+        assert_eq!(e.to_string(), "(a >= b) == c");
+        round_trip(&e.to_string());
+    }
+
+    #[test]
+    fn fn_def_display() {
+        let s = crate::parse::parse_schema(
+            "fn checkBudget(broker: Broker): bool { r_budget(broker) >= 10 * r_salary(broker) }",
+        )
+        .unwrap();
+        assert_eq!(
+            s.function_str("checkBudget").unwrap().to_string(),
+            "fn checkBudget(broker: Broker): bool { r_budget(broker) >= 10 * r_salary(broker) }"
+        );
+    }
+}

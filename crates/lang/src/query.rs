@@ -1,0 +1,379 @@
+//! AST of the SQL-like query language (§2).
+//!
+//! ```text
+//! query ::= select item, … from A1 in C1, …, An in Cn where condition
+//! item  ::= f(v,…,v) | r_att(v) | w_att(v,v) | nested-select | v
+//! v     ::= constant | Ai
+//! cond  ::= bool-term (and|or bool-term)*
+//! bool-term ::= f(v,…) OP v | f(v,…) OP f(v,…)
+//! ```
+//!
+//! The paper restricts the arguments of invocations inside queries to
+//! *atoms* — constants or from-clause variables — which is what makes the
+//! static analysis' treatment of "directly invoked" functions clean: every
+//! value a user feeds in arrives through an atom. We keep that restriction.
+//!
+//! Set-valued invocations (including reads of set-valued attributes) may be
+//! used in place of a class name in the from clause, as in the paper's
+//! `select … from q in child(p)` example.
+
+use crate::ast::Literal;
+use oodb_model::{ClassName, FnRef, VarName};
+use std::fmt;
+
+/// An atomic query argument: a constant or a from-clause variable.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// Literal constant.
+    Lit(Literal),
+    /// From-clause variable.
+    Var(VarName),
+}
+
+impl Atom {
+    /// Variable shorthand.
+    pub fn var(name: impl Into<VarName>) -> Atom {
+        Atom::Var(name.into())
+    }
+
+    /// Integer shorthand.
+    pub fn int(i: i64) -> Atom {
+        Atom::Lit(Literal::Int(i))
+    }
+
+    /// String shorthand.
+    pub fn str(s: impl Into<String>) -> Atom {
+        Atom::Lit(Literal::Str(s.into()))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Lit(l) => write!(f, "{l}"),
+            Atom::Var(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Invocation of an access or special function with atomic arguments.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Invocation {
+    /// What is invoked.
+    pub target: FnRef,
+    /// Atomic arguments.
+    pub args: Vec<Atom>,
+}
+
+impl Invocation {
+    /// Construct an invocation.
+    pub fn new(target: FnRef, args: Vec<Atom>) -> Invocation {
+        Invocation { target, args }
+    }
+}
+
+impl fmt::Display for Invocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.target {
+            FnRef::New(c) => write!(f, "new {c}")?,
+            other => write!(f, "{other}")?,
+        }
+        write!(f, "(")?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One item of a select clause.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum SelectItem {
+    /// A function invocation (`checkBudget(b)`, `r_name(p)`, …).
+    Invoke(Invocation),
+    /// A nested select (the language's queries nest, §2).
+    Nested(Box<Query>),
+    /// A bare atom — e.g. `select p from p in Person`, whose object results
+    /// print as `(an object)`.
+    Atom(Atom),
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Invoke(i) => write!(f, "{i}"),
+            SelectItem::Nested(q) => write!(f, "({q})"),
+            SelectItem::Atom(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A from-clause source.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FromSource {
+    /// The extension of a class.
+    Class(ClassName),
+    /// A set-valued invocation over outer from-clause variables.
+    SetExpr(Invocation),
+}
+
+impl fmt::Display for FromSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FromSource::Class(c) => write!(f, "{c}"),
+            FromSource::SetExpr(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Comparison operators allowed in where clauses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Surface token.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The right-hand side of a boolean term.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CmpRhs {
+    /// An atomic value.
+    Atom(Atom),
+    /// Another invocation.
+    Invoke(Invocation),
+}
+
+impl fmt::Display for CmpRhs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpRhs::Atom(a) => write!(f, "{a}"),
+            CmpRhs::Invoke(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A where-clause condition.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// `f(v,…) OP v` or `f(v,…) OP f(v,…)`.
+    Cmp {
+        /// Left invocation.
+        lhs: Invocation,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: CmpRhs,
+    },
+    /// Constant `true` — the paper notes a user "can invoke `profile` for
+    /// all Person objects simply by using true in where clause".
+    True,
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::And(a, b) => write!(f, "({a} and {b})"),
+            Cond::Or(a, b) => write!(f, "({a} or {b})"),
+            Cond::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Cond::True => write!(f, "true"),
+        }
+    }
+}
+
+/// A select-from-where query.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Query {
+    /// Select items, evaluated left to right (§2: "Items in a select clause
+    /// are evaluated in order from left to right" — this ordering is what
+    /// gives the paper's attack query its power: interleaved writes and
+    /// reads).
+    pub items: Vec<SelectItem>,
+    /// From bindings, each scoping over the later ones and the items.
+    pub from: Vec<(VarName, FromSource)>,
+    /// Optional where clause.
+    pub filter: Option<Cond>,
+}
+
+impl Query {
+    /// All invocations syntactically present in this query, including the
+    /// where clause and nested queries. Used for capability enforcement.
+    pub fn invocations(&self) -> Vec<&Invocation> {
+        let mut out = Vec::new();
+        self.collect_invocations(&mut out);
+        out
+    }
+
+    fn collect_invocations<'a>(&'a self, out: &mut Vec<&'a Invocation>) {
+        for (_, src) in &self.from {
+            if let FromSource::SetExpr(inv) = src {
+                out.push(inv);
+            }
+        }
+        for item in &self.items {
+            match item {
+                SelectItem::Invoke(inv) => out.push(inv),
+                SelectItem::Nested(q) => q.collect_invocations(out),
+                SelectItem::Atom(_) => {}
+            }
+        }
+        if let Some(cond) = &self.filter {
+            Self::collect_cond(cond, out);
+        }
+    }
+
+    fn collect_cond<'a>(cond: &'a Cond, out: &mut Vec<&'a Invocation>) {
+        match cond {
+            Cond::And(a, b) | Cond::Or(a, b) => {
+                Self::collect_cond(a, out);
+                Self::collect_cond(b, out);
+            }
+            Cond::Cmp { lhs, rhs, .. } => {
+                out.push(lhs);
+                if let CmpRhs::Invoke(i) = rhs {
+                    out.push(i);
+                }
+            }
+            Cond::True => {}
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "select ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, " from ")?;
+        for (i, (v, src)) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} in {src}")?;
+        }
+        if let Some(cond) = &self.filter {
+            write!(f, " where {cond}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Query {
+        Query {
+            items: vec![
+                SelectItem::Invoke(Invocation::new(
+                    FnRef::read("name"),
+                    vec![Atom::var("p")],
+                )),
+                SelectItem::Invoke(Invocation::new(
+                    FnRef::access("profile"),
+                    vec![Atom::var("p")],
+                )),
+            ],
+            from: vec![(VarName::new("p"), FromSource::Class(ClassName::new("Person")))],
+            filter: Some(Cond::Cmp {
+                lhs: Invocation::new(FnRef::read("age"), vec![Atom::var("p")]),
+                op: CmpOp::Gt,
+                rhs: CmpRhs::Atom(Atom::int(20)),
+            }),
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_shape() {
+        assert_eq!(
+            sample().to_string(),
+            "select r_name(p), profile(p) from p in Person where r_age(p) > 20"
+        );
+    }
+
+    #[test]
+    fn invocations_cover_everything() {
+        let q = sample();
+        let invs = q.invocations();
+        assert_eq!(invs.len(), 3);
+        assert_eq!(invs[0].target, FnRef::read("name"));
+        assert_eq!(invs[2].target, FnRef::read("age"));
+    }
+
+    #[test]
+    fn nested_query_invocations() {
+        let inner = Query {
+            items: vec![SelectItem::Invoke(Invocation::new(
+                FnRef::read("name"),
+                vec![Atom::var("q")],
+            ))],
+            from: vec![(
+                VarName::new("q"),
+                FromSource::SetExpr(Invocation::new(FnRef::read("child"), vec![Atom::var("p")])),
+            )],
+            filter: None,
+        };
+        let outer = Query {
+            items: vec![SelectItem::Nested(Box::new(inner))],
+            from: vec![(VarName::new("p"), FromSource::Class(ClassName::new("Person")))],
+            filter: None,
+        };
+        assert_eq!(outer.invocations().len(), 2);
+        assert_eq!(
+            outer.to_string(),
+            "select (select r_name(q) from q in r_child(p)) from p in Person"
+        );
+    }
+
+    #[test]
+    fn cond_display() {
+        let c = Cond::And(
+            Box::new(Cond::True),
+            Box::new(Cond::Cmp {
+                lhs: Invocation::new(FnRef::access("f"), vec![]),
+                op: CmpOp::Eq,
+                rhs: CmpRhs::Invoke(Invocation::new(FnRef::access("g"), vec![])),
+            }),
+        );
+        assert_eq!(c.to_string(), "(true and f() == g())");
+    }
+}

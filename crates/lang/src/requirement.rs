@@ -1,0 +1,197 @@
+//! The security-requirement language (§3.1).
+//!
+//! ```text
+//! req   ::= (u, f(x1 : clist, …, xn : clist) : clist)
+//! clist ::= cap : … : cap          (possibly empty)
+//! cap   ::= ti | pi | ta | pa
+//! ```
+//!
+//! *"A requirement `(u, f(x1:c…,…):c…)` means that the user `u` should not be
+//! able to invoke the function `f` in a context where he can simultaneously
+//! achieve all specified capabilities on each argument and on the returned
+//! value."* `f` may be an access function or one of the special functions
+//! `r_att` / `w_att` / `new C`.
+
+use oodb_model::{FnRef, UserName, VarName};
+use std::fmt;
+
+/// One of the four capabilities of §3.1.
+///
+/// * **Total inferability** (`ti`): the user can infer the exact value.
+/// * **Partial inferability** (`pi`): the user can infer a proper subset of
+///   the domain the value must lie in — "at least one value that an
+///   expression can NOT be".
+/// * **Total alterability** (`ta`): the user can steer the value to *any*
+///   value of its type.
+/// * **Partial alterability** (`pa`): the user can steer the value within
+///   some set of at least two values.
+///
+/// Controllability = inferability + alterability (§3.1 decomposes it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cap {
+    /// Total inferability.
+    Ti,
+    /// Partial inferability.
+    Pi,
+    /// Total alterability.
+    Ta,
+    /// Partial alterability.
+    Pa,
+}
+
+impl Cap {
+    /// Surface keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            Cap::Ti => "ti",
+            Cap::Pi => "pi",
+            Cap::Ta => "ta",
+            Cap::Pa => "pa",
+        }
+    }
+
+    /// The capability implied by this one (`ti ⇒ pi`, `ta ⇒ pa`), if any.
+    pub fn weakened(self) -> Option<Cap> {
+        match self {
+            Cap::Ti => Some(Cap::Pi),
+            Cap::Ta => Some(Cap::Pa),
+            Cap::Pi | Cap::Pa => None,
+        }
+    }
+
+    /// Is this an inferability capability?
+    pub fn is_inferability(self) -> bool {
+        matches!(self, Cap::Ti | Cap::Pi)
+    }
+
+    /// All four capabilities.
+    pub const ALL: [Cap; 4] = [Cap::Ti, Cap::Pi, Cap::Ta, Cap::Pa];
+}
+
+impl fmt::Display for Cap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A parsed security requirement.
+///
+/// `arg_caps[i]` holds the capability list attached to the i-th argument
+/// position; `ret_caps` the list attached to the returned value. Positions
+/// without capabilities carry empty vectors. `arg_names` records the bound
+/// variable names purely for display (the paper writes `(u, r_salary(x):ti)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Requirement {
+    /// The constrained user.
+    pub user: UserName,
+    /// The function whose invocation context is constrained.
+    pub target: FnRef,
+    /// Display names for the argument positions.
+    pub arg_names: Vec<VarName>,
+    /// Capabilities required (by the attacker) on each argument position.
+    pub arg_caps: Vec<Vec<Cap>>,
+    /// Capabilities required on the returned value.
+    pub ret_caps: Vec<Cap>,
+}
+
+impl Requirement {
+    /// A requirement with capabilities only on the returned value, e.g. the
+    /// paper's `(u, r_salary(x) : ti)`.
+    pub fn on_return(user: impl Into<UserName>, target: FnRef, arity: usize, caps: Vec<Cap>) -> Requirement {
+        Requirement {
+            user: user.into(),
+            target,
+            arg_names: (0..arity).map(|i| VarName::new(format!("x{}", i + 1))).collect(),
+            arg_caps: vec![Vec::new(); arity],
+            ret_caps: caps,
+        }
+    }
+
+    /// A requirement with capabilities on a single argument position, e.g.
+    /// the paper's `(u, w_salary(x, v:ta))`.
+    pub fn on_arg(
+        user: impl Into<UserName>,
+        target: FnRef,
+        arity: usize,
+        position: usize,
+        caps: Vec<Cap>,
+    ) -> Requirement {
+        let mut arg_caps = vec![Vec::new(); arity];
+        arg_caps[position] = caps;
+        Requirement {
+            user: user.into(),
+            target,
+            arg_names: (0..arity).map(|i| VarName::new(format!("x{}", i + 1))).collect(),
+            arg_caps,
+            ret_caps: Vec::new(),
+        }
+    }
+
+    /// Total number of capabilities mentioned. A requirement with zero
+    /// capabilities is vacuous (trivially violated whenever the function is
+    /// reachable); the type checker rejects it.
+    pub fn cap_count(&self) -> usize {
+        self.arg_caps.iter().map(Vec::len).sum::<usize>() + self.ret_caps.len()
+    }
+
+    /// Arity implied by the requirement's argument list.
+    pub fn arity(&self) -> usize {
+        self.arg_caps.len()
+    }
+}
+
+impl fmt::Display for Requirement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}(", self.user, self.target)?;
+        for i in 0..self.arg_caps.len() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            let name = self
+                .arg_names
+                .get(i)
+                .cloned()
+                .unwrap_or_else(|| VarName::new(format!("x{}", i + 1)));
+            write!(f, "{name}")?;
+            for c in &self.arg_caps[i] {
+                write!(f, ":{c}")?;
+            }
+        }
+        write!(f, ")")?;
+        for c in &self.ret_caps {
+            write!(f, ":{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_lattice() {
+        assert_eq!(Cap::Ti.weakened(), Some(Cap::Pi));
+        assert_eq!(Cap::Ta.weakened(), Some(Cap::Pa));
+        assert_eq!(Cap::Pi.weakened(), None);
+        assert!(Cap::Ti.is_inferability());
+        assert!(!Cap::Pa.is_inferability());
+    }
+
+    #[test]
+    fn display_paper_style() {
+        let r = Requirement::on_return("u", FnRef::read("salary"), 1, vec![Cap::Ti]);
+        assert_eq!(r.to_string(), "(u, r_salary(x1):ti)");
+
+        let r = Requirement::on_arg("u", FnRef::write("salary"), 2, 1, vec![Cap::Ta]);
+        assert_eq!(r.to_string(), "(u, w_salary(x1, x2:ta))");
+    }
+
+    #[test]
+    fn cap_count() {
+        let mut r = Requirement::on_return("u", FnRef::access("f"), 2, vec![Cap::Ti, Cap::Pa]);
+        r.arg_caps[0] = vec![Cap::Pi];
+        assert_eq!(r.cap_count(), 3);
+        assert_eq!(r.arity(), 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Class definitions and the class table.
+//!
+//! A schema's class part (§2): `c_name : [att : t, …]` declares that
+//! instances of `c_name` have mutable attributes `att` of type `t`.
+//! Attribute names are unique within a class; the paper additionally treats
+//! the pair (attribute name, receiver class) as determining the special
+//! functions `r_att` / `w_att`.
+
+use crate::error::ModelError;
+use crate::ident::{AttrName, ClassName};
+use crate::ty::Type;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One attribute declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrDef {
+    /// Attribute name.
+    pub name: AttrName,
+    /// Declared type.
+    pub ty: Type,
+}
+
+/// One class definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: ClassName,
+    /// Attribute declarations, in declaration order (order matters for the
+    /// `new C(e, …)` constructor's positional arguments).
+    pub attrs: Vec<AttrDef>,
+}
+
+impl ClassDef {
+    /// Create a class definition, rejecting duplicate attribute names.
+    pub fn new(
+        name: impl Into<ClassName>,
+        attrs: Vec<(AttrName, Type)>,
+    ) -> Result<ClassDef, ModelError> {
+        let name = name.into();
+        let mut seen = std::collections::BTreeSet::new();
+        for (a, _) in &attrs {
+            if !seen.insert(a.clone()) {
+                return Err(ModelError::DuplicateAttribute {
+                    class: name,
+                    attr: a.clone(),
+                });
+            }
+        }
+        Ok(ClassDef {
+            name,
+            attrs: attrs
+                .into_iter()
+                .map(|(name, ty)| AttrDef { name, ty })
+                .collect(),
+        })
+    }
+
+    /// Look up an attribute's declared type.
+    pub fn attr_type(&self, attr: &AttrName) -> Option<&Type> {
+        self.attrs.iter().find(|a| &a.name == attr).map(|a| &a.ty)
+    }
+
+    /// Index of an attribute in declaration order.
+    pub fn attr_index(&self, attr: &AttrName) -> Option<usize> {
+        self.attrs.iter().position(|a| &a.name == attr)
+    }
+}
+
+impl fmt::Display for ClassDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class {} {{ ", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// All class definitions of a schema, with name-based lookup.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClassTable {
+    classes: BTreeMap<ClassName, ClassDef>,
+}
+
+impl ClassTable {
+    /// Empty table.
+    pub fn new() -> ClassTable {
+        ClassTable::default()
+    }
+
+    /// Insert a class, rejecting duplicates and attributes of undeclarable
+    /// types (class-typed attributes may reference classes inserted later;
+    /// call [`ClassTable::validate`] once the table is complete).
+    pub fn insert(&mut self, def: ClassDef) -> Result<(), ModelError> {
+        if self.classes.contains_key(&def.name) {
+            return Err(ModelError::DuplicateClass { class: def.name });
+        }
+        self.classes.insert(def.name.clone(), def);
+        Ok(())
+    }
+
+    /// Look up a class.
+    pub fn get(&self, name: &ClassName) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    /// Look up a class by bare string.
+    pub fn get_str(&self, name: &str) -> Option<&ClassDef> {
+        self.classes.get(name)
+    }
+
+    /// Iterate over classes in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.values()
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Check that every class type mentioned by an attribute exists.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for def in self.classes.values() {
+            for attr in &def.attrs {
+                self.validate_type(&attr.ty, def, attr)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_type(&self, ty: &Type, def: &ClassDef, attr: &AttrDef) -> Result<(), ModelError> {
+        match ty {
+            Type::Basic(_) | Type::Null => Ok(()),
+            Type::Class(c) => {
+                if self.classes.contains_key(c) {
+                    Ok(())
+                } else {
+                    Err(ModelError::UnknownClass {
+                        class: c.clone(),
+                        context: format!("attribute {}.{}", def.name, attr.name),
+                    })
+                }
+            }
+            Type::Set(inner) => self.validate_type(inner, def, attr),
+        }
+    }
+
+    /// The classes that declare an attribute with this name, in name order.
+    /// The paper indexes `r_att` / `w_att` by attribute name; type checking
+    /// uses this to resolve the receiver class.
+    pub fn classes_with_attr(&self, attr: &AttrName) -> Vec<&ClassDef> {
+        self.classes
+            .values()
+            .filter(|c| c.attr_type(attr).is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker() -> ClassDef {
+        ClassDef::new(
+            "Broker",
+            vec![
+                (AttrName::new("name"), Type::STR),
+                (AttrName::new("salary"), Type::INT),
+                (AttrName::new("budget"), Type::INT),
+                (AttrName::new("profit"), Type::INT),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = ClassDef::new(
+            "C",
+            vec![
+                (AttrName::new("x"), Type::INT),
+                (AttrName::new("x"), Type::BOOL),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateAttribute { .. }));
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let b = broker();
+        assert_eq!(b.attr_type(&AttrName::new("salary")), Some(&Type::INT));
+        assert_eq!(b.attr_index(&AttrName::new("budget")), Some(2));
+        assert_eq!(b.attr_type(&AttrName::new("nope")), None);
+    }
+
+    #[test]
+    fn table_insert_and_duplicate() {
+        let mut t = ClassTable::new();
+        t.insert(broker()).unwrap();
+        let err = t.insert(broker()).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicateClass { .. }));
+        assert_eq!(t.len(), 1);
+        assert!(t.get_str("Broker").is_some());
+    }
+
+    #[test]
+    fn validate_forward_references() {
+        let mut t = ClassTable::new();
+        t.insert(
+            ClassDef::new(
+                "Person",
+                vec![(AttrName::new("child"), Type::set(Type::class("Person")))],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        t.validate().unwrap();
+
+        let mut bad = ClassTable::new();
+        bad.insert(
+            ClassDef::new("A", vec![(AttrName::new("b"), Type::class("Missing"))]).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            bad.validate(),
+            Err(ModelError::UnknownClass { .. })
+        ));
+    }
+
+    #[test]
+    fn classes_with_attr_finds_all() {
+        let mut t = ClassTable::new();
+        t.insert(broker()).unwrap();
+        t.insert(
+            ClassDef::new("Employee", vec![(AttrName::new("salary"), Type::INT)]).unwrap(),
+        )
+        .unwrap();
+        let hits = t.classes_with_attr(&AttrName::new("salary"));
+        assert_eq!(hits.len(), 2);
+        let hits = t.classes_with_attr(&AttrName::new("profit"));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name.as_str(), "Broker");
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            broker().to_string(),
+            "class Broker { name: string, salary: int, budget: int, profit: int }"
+        );
+    }
+}

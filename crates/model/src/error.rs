@@ -1,0 +1,64 @@
+//! Model-level errors.
+
+use crate::ident::{AttrName, ClassName};
+use std::fmt;
+
+/// Errors raised while constructing or validating model-level entities.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A class was defined twice.
+    DuplicateClass {
+        /// Offending class name.
+        class: ClassName,
+    },
+    /// An attribute name appeared twice within one class.
+    DuplicateAttribute {
+        /// Class holding the duplicate.
+        class: ClassName,
+        /// Offending attribute name.
+        attr: AttrName,
+    },
+    /// A type referenced a class that does not exist.
+    UnknownClass {
+        /// Missing class name.
+        class: ClassName,
+        /// Where it was referenced from.
+        context: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateClass { class } => {
+                write!(f, "class `{class}` defined more than once")
+            }
+            ModelError::DuplicateAttribute { class, attr } => {
+                write!(f, "attribute `{attr}` defined more than once in class `{class}`")
+            }
+            ModelError::UnknownClass { class, context } => {
+                write!(f, "unknown class `{class}` referenced from {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = ModelError::DuplicateClass {
+            class: ClassName::new("Broker"),
+        };
+        assert_eq!(e.to_string(), "class `Broker` defined more than once");
+        let e = ModelError::UnknownClass {
+            class: ClassName::new("X"),
+            context: "attribute A.b".to_owned(),
+        };
+        assert!(e.to_string().contains("attribute A.b"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Interned-ish name newtypes.
+//!
+//! The paper distinguishes class names, attribute names, function names,
+//! (from-clause / argument) variable names, and user names. Using distinct
+//! newtypes keeps the rest of the workspace honest about which namespace a
+//! string lives in: a capability list cannot accidentally hold an attribute
+//! name, a requirement cannot name a class, and so on.
+//!
+//! All newtypes are cheap to clone (`Arc<str>`) because names are copied
+//! freely into unfolded expression arenas and proof trees.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+macro_rules! name_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(Arc<str>);
+
+        impl $name {
+            /// Create a new name from anything string-like.
+            pub fn new(s: impl AsRef<str>) -> Self {
+                Self(Arc::from(s.as_ref()))
+            }
+
+            /// View the name as a `&str`.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({:?})"), &*self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                Self::new(s)
+            }
+        }
+
+        impl From<String> for $name {
+            fn from(s: String) -> Self {
+                Self::new(s)
+            }
+        }
+
+        impl Borrow<str> for $name {
+            fn borrow(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl AsRef<str> for $name {
+            fn as_ref(&self) -> &str {
+                &self.0
+            }
+        }
+    };
+}
+
+name_newtype!(
+    /// Name of a class (`Broker`, `Person`, …).
+    ClassName
+);
+name_newtype!(
+    /// Name of an attribute (`salary`, `budget`, …). Attribute names are
+    /// global in the paper's model: the special functions `r_att` / `w_att`
+    /// are indexed by attribute name alone, and the receiving class is
+    /// recovered by type checking.
+    AttrName
+);
+name_newtype!(
+    /// Name of an access function (`checkBudget`, `updateSalary`, …).
+    FnName
+);
+name_newtype!(
+    /// Name of an argument variable or from-clause variable.
+    VarName
+);
+name_newtype!(
+    /// Name of a database user (the `u` of a security requirement).
+    UserName
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_is_bare() {
+        assert_eq!(ClassName::new("Broker").to_string(), "Broker");
+        assert_eq!(format!("{:?}", AttrName::new("salary")), "AttrName(\"salary\")");
+    }
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        let a = FnName::new("checkBudget");
+        let b = FnName::from("checkBudget".to_string());
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains("checkBudget"));
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = [VarName::new("z"), VarName::new("a"), VarName::new("m")];
+        v.sort();
+        let names: Vec<&str> = v.iter().map(|n| n.as_str()).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let a = UserName::new("clerk");
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(b.as_str(), "clerk");
+    }
+}

@@ -1,0 +1,43 @@
+//! # oodb-model
+//!
+//! Data-model substrate for the reproduction of
+//! *K. Tajima, “Static Detection of Security Flaws in Object-Oriented
+//! Databases”, SIGMOD 1996*.
+//!
+//! The paper (§2) assumes a deliberately simple object-oriented data model:
+//!
+//! * **basic types** (`int`, `bool`, `string`) plus the special value `null`,
+//! * **classes** whose instances are mutable objects with typed attributes,
+//! * **set types** `{t}`,
+//! * object identifiers with *no printable form* (the paper's §3.2 "latter
+//!   case": users can only compare objects for identity via from-clause
+//!   variables, never print or forge an OID),
+//! * per-user **capability lists**: the set of access-function names and
+//!   *special function* names (`r_att`, `w_att`, `new C`) the user may invoke
+//!   in queries.
+//!
+//! This crate owns exactly those vocabulary items — no syntax, no evaluation,
+//! no analysis. The function-definition and query languages live in
+//! [`oodb-lang`], the runtime in [`oodb-engine`], and the paper's
+//! contribution (the static flaw-detection algorithm) in [`secflow`].
+//!
+//! [`oodb-lang`]: ../oodb_lang/index.html
+//! [`oodb-engine`]: ../oodb_engine/index.html
+//! [`secflow`]: ../secflow/index.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod class;
+pub mod error;
+pub mod ident;
+pub mod ty;
+pub mod value;
+
+pub use capability::{CapabilityList, FnRef, User};
+pub use class::{AttrDef, ClassDef, ClassTable};
+pub use error::ModelError;
+pub use ident::{AttrName, ClassName, FnName, UserName, VarName};
+pub use ty::{BasicType, Type};
+pub use value::{Oid, Value};

@@ -1,0 +1,168 @@
+//! The type language of the paper's data model (§2):
+//!
+//! ```text
+//! t ::= b | c_name | {t}
+//! b ::= int | bool | string
+//! ```
+//!
+//! plus `null`, which the paper uses both as the "no useful value" result of
+//! `w_att` and as the declared return type of procedures such as
+//! `updateSalary(broker):null`. We model it as its own unit type [`Type::Null`]
+//! whose sole inhabitant is the value `null`.
+
+use crate::ident::ClassName;
+use std::fmt;
+
+/// A basic (printable, user-suppliable) type.
+///
+/// Basic types matter to the analysis: the paper's inferability axioms only
+/// apply to expressions of basic type (object identifiers have no printable
+/// form, §3.2), while alterability applies to every type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BasicType {
+    /// Mathematical integers; realised as `i64` in the engine.
+    Int,
+    /// Booleans.
+    Bool,
+    /// Character strings.
+    Str,
+}
+
+impl fmt::Display for BasicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BasicType::Int => "int",
+            BasicType::Bool => "bool",
+            BasicType::Str => "string",
+        })
+    }
+}
+
+/// A type in the paper's model.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// A basic type.
+    Basic(BasicType),
+    /// An object type: instances of the named class.
+    Class(ClassName),
+    /// A (finite) set of elements of the inner type.
+    Set(Box<Type>),
+    /// The unit type of the special value `null`.
+    Null,
+}
+
+impl Type {
+    /// Shorthand for `Type::Basic(BasicType::Int)`.
+    pub const INT: Type = Type::Basic(BasicType::Int);
+    /// Shorthand for `Type::Basic(BasicType::Bool)`.
+    pub const BOOL: Type = Type::Basic(BasicType::Bool);
+    /// Shorthand for `Type::Basic(BasicType::Str)`.
+    pub const STR: Type = Type::Basic(BasicType::Str);
+
+    /// Build an object type.
+    pub fn class(name: impl Into<ClassName>) -> Type {
+        Type::Class(name.into())
+    }
+
+    /// Build a set type.
+    pub fn set(inner: Type) -> Type {
+        Type::Set(Box::new(inner))
+    }
+
+    /// Is this a basic (printable) type? Only such expressions receive
+    /// inferability axioms in the analysis.
+    pub fn is_basic(&self) -> bool {
+        matches!(self, Type::Basic(_))
+    }
+
+    /// Is this an object type?
+    pub fn is_class(&self) -> bool {
+        matches!(self, Type::Class(_))
+    }
+
+    /// The class name if this is an object type.
+    pub fn as_class(&self) -> Option<&ClassName> {
+        match self {
+            Type::Class(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The element type if this is a set type.
+    pub fn as_set_elem(&self) -> Option<&Type> {
+        match self {
+            Type::Set(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether a value of type `other` may be used where `self` is expected.
+    ///
+    /// The paper's language has no subtyping (§3.1 explicitly defers
+    /// subtyping/overloading), so assignability is plain equality — except
+    /// that `null` is additionally accepted for class types, mirroring the
+    /// paper's use of `null` as an object placeholder.
+    pub fn accepts(&self, other: &Type) -> bool {
+        self == other || (self.is_class() && *other == Type::Null)
+    }
+}
+
+impl From<BasicType> for Type {
+    fn from(b: BasicType) -> Type {
+        Type::Basic(b)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Basic(b) => write!(f, "{b}"),
+            Type::Class(c) => write!(f, "{c}"),
+            Type::Set(t) => write!(f, "{{{t}}}"),
+            Type::Null => write!(f, "null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Type::INT.to_string(), "int");
+        assert_eq!(Type::class("Broker").to_string(), "Broker");
+        assert_eq!(Type::set(Type::class("Person")).to_string(), "{Person}");
+        assert_eq!(Type::set(Type::set(Type::BOOL)).to_string(), "{{bool}}");
+        assert_eq!(Type::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn basic_predicate() {
+        assert!(Type::INT.is_basic());
+        assert!(Type::STR.is_basic());
+        assert!(!Type::class("C").is_basic());
+        assert!(!Type::set(Type::INT).is_basic());
+        assert!(!Type::Null.is_basic());
+    }
+
+    #[test]
+    fn accepts_null_for_classes_only() {
+        assert!(Type::class("C").accepts(&Type::Null));
+        assert!(!Type::INT.accepts(&Type::Null));
+        assert!(Type::Null.accepts(&Type::Null));
+        assert!(Type::INT.accepts(&Type::INT));
+        assert!(!Type::INT.accepts(&Type::BOOL));
+        assert!(!Type::set(Type::INT).accepts(&Type::Null));
+    }
+
+    #[test]
+    fn as_accessors() {
+        let c = Type::class("Broker");
+        assert_eq!(c.as_class().unwrap().as_str(), "Broker");
+        assert!(Type::INT.as_class().is_none());
+        let s = Type::set(Type::INT);
+        assert_eq!(s.as_set_elem(), Some(&Type::INT));
+        assert!(Type::INT.as_set_elem().is_none());
+    }
+}

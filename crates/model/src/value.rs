@@ -1,0 +1,271 @@
+//! Runtime values and object identifiers.
+//!
+//! The paper's §3.2 fixes the "non-printable OID" regime: object identifiers
+//! have no external form, so users can neither forge nor print them — they
+//! can only route objects through from-clause variables and observe object
+//! *identity* (two expressions denoting the same object). [`Oid`] is
+//! therefore deliberately opaque: its `Display` prints `(a <Class> object)`
+//! exactly as the paper sketches, never the internal index.
+
+use crate::ident::ClassName;
+use crate::ty::{BasicType, Type};
+use std::fmt;
+
+/// An opaque object identifier.
+///
+/// Equality is identity. Ordering exists only so OIDs can live in sorted
+/// containers; it is not observable through the query surface.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid(u64);
+
+impl Oid {
+    /// Construct from a raw slot index. Only the engine's object heap should
+    /// call this; everything else treats OIDs as opaque.
+    pub fn from_raw(raw: u64) -> Oid {
+        Oid(raw)
+    }
+
+    /// The raw slot index, for the heap only.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Debug output is for developers; it may show the index.
+        write!(f, "Oid#{}", self.0)
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// Reference to a mutable object.
+    Obj(Oid),
+    /// A set value. Kept sorted and deduplicated so that set equality is
+    /// structural equality.
+    Set(Vec<Value>),
+    /// The special value `null`.
+    Null,
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Build a set value, normalising order and duplicates.
+    pub fn set(mut items: Vec<Value>) -> Value {
+        items.sort();
+        items.dedup();
+        Value::Set(items)
+    }
+
+    /// The most specific type of this value, given a way to look up the class
+    /// of an object. Returns `None` for heterogeneous or empty sets where the
+    /// element type cannot be recovered (the caller should consult declared
+    /// types instead).
+    pub fn type_of(&self, class_of: &dyn Fn(Oid) -> Option<ClassName>) -> Option<Type> {
+        match self {
+            Value::Int(_) => Some(Type::INT),
+            Value::Bool(_) => Some(Type::BOOL),
+            Value::Str(_) => Some(Type::STR),
+            Value::Obj(oid) => class_of(*oid).map(Type::Class),
+            Value::Null => Some(Type::Null),
+            Value::Set(items) => {
+                let mut elem: Option<Type> = None;
+                for item in items {
+                    let t = item.type_of(class_of)?;
+                    match &elem {
+                        None => elem = Some(t),
+                        Some(prev) if *prev == t => {}
+                        Some(_) => return None,
+                    }
+                }
+                elem.map(Type::set)
+            }
+        }
+    }
+
+    /// Does this value inhabit the given basic type?
+    pub fn has_basic_type(&self, b: BasicType) -> bool {
+        matches!(
+            (self, b),
+            (Value::Int(_), BasicType::Int)
+                | (Value::Bool(_), BasicType::Bool)
+                | (Value::Str(_), BasicType::Str)
+        )
+    }
+
+    /// Integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object payload, if any.
+    pub fn as_obj(&self) -> Option<Oid> {
+        match self {
+            Value::Obj(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// Set payload, if any.
+    pub fn as_set(&self) -> Option<&[Value]> {
+        match self {
+            Value::Set(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Is this `null`?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl fmt::Display for Value {
+    /// The *user-visible* rendering: object identifiers print as
+    /// `(a object)` with no distinguishing content, per §3.2.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Obj(_) => write!(f, "(an object)"),
+            Value::Null => write!(f, "null"),
+            Value::Set(items) => {
+                write!(f, "{{")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<Oid> for Value {
+    fn from(o: Oid) -> Value {
+        Value::Obj(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oids_are_opaque_in_display() {
+        let v = Value::Obj(Oid::from_raw(730710));
+        assert_eq!(v.to_string(), "(an object)");
+        // Debug, for developers, may reveal the slot.
+        assert_eq!(format!("{:?}", Oid::from_raw(7)), "Oid#7");
+    }
+
+    #[test]
+    fn set_normalisation() {
+        let a = Value::set(vec![Value::Int(2), Value::Int(1), Value::Int(2)]);
+        let b = Value::set(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn type_of_values() {
+        let class_of = |_o: Oid| Some(ClassName::new("Broker"));
+        assert_eq!(Value::Int(3).type_of(&class_of), Some(Type::INT));
+        assert_eq!(
+            Value::Obj(Oid::from_raw(0)).type_of(&class_of),
+            Some(Type::class("Broker"))
+        );
+        assert_eq!(
+            Value::set(vec![Value::Int(1), Value::Int(2)]).type_of(&class_of),
+            Some(Type::set(Type::INT))
+        );
+        // Heterogeneous sets have no recoverable type.
+        assert_eq!(
+            Value::set(vec![Value::Int(1), Value::Bool(true)]).type_of(&class_of),
+            None
+        );
+        // Empty sets have no recoverable element type either.
+        assert_eq!(Value::set(vec![]).type_of(&class_of), None);
+    }
+
+    #[test]
+    fn basic_type_checks() {
+        assert!(Value::Int(0).has_basic_type(BasicType::Int));
+        assert!(!Value::Int(0).has_basic_type(BasicType::Bool));
+        assert!(Value::str("x").has_basic_type(BasicType::Str));
+        assert!(!Value::Null.has_basic_type(BasicType::Int));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Int(7).as_obj(), None);
+        let s = Value::set(vec![Value::Int(1)]);
+        assert_eq!(s.as_set().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::str("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(
+            Value::set(vec![Value::Int(2), Value::Int(1)]).to_string(),
+            "{1, 2}"
+        );
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

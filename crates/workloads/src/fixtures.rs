@@ -1,0 +1,157 @@
+//! The paper's own scenarios as ready-made, type-checked schemas.
+
+use oodb_engine::Database;
+use oodb_lang::{check_schema, parse_schema, Schema};
+use oodb_model::Value;
+
+/// The stockbroker scenario of §1 and §4.2: a clerk may test the budget
+/// regulation (`checkBudget`) and adjust budgets (`w_budget`) but must not
+/// learn salaries; a payroll user runs the weekly salary update. Users
+/// `safe_clerk` / `safe_payroll` are the repaired policies.
+pub const STOCKBROKER_SRC: &str = r#"
+    # Tajima, SIGMOD'96 — the running example.
+    class Broker { name: string, salary: int, budget: int, profit: int }
+
+    # New salary from last week's budget and profit (§1).
+    fn calcSalary(budget: int, profit: int): int {
+      budget / 10 + profit / 2
+    }
+
+    # "the budget of each broker should not be higher than ten times his
+    #  salary" (§1).
+    fn checkBudget(broker: Broker): bool {
+      r_budget(broker) >= 10 * r_salary(broker)
+    }
+
+    # The weekly update (§1).
+    fn updateSalary(broker: Broker): null {
+      w_salary(broker, calcSalary(r_budget(broker), r_profit(broker)))
+    }
+
+    user clerk { checkBudget, w_budget }
+    user safe_clerk { checkBudget }
+    user payroll { updateSalary, w_budget }
+    user safe_payroll { updateSalary }
+    user admin { checkBudget, updateSalary, calcSalary, r_name, r_salary, r_budget, r_profit, w_name, w_salary, w_budget, w_profit, new Broker }
+
+    # §4.2: the clerk must not infer any broker's exact salary.
+    require (clerk, r_salary(x) : ti)
+    # §3.1: the payroll user must not control the written salary.
+    require (payroll, w_salary(x, v: ta))
+    # The repaired policies must pass the same requirements.
+    require (safe_clerk, r_salary(x) : ti)
+    require (safe_payroll, w_salary(x, v: ta))
+"#;
+
+/// Parse and check the stockbroker schema.
+pub fn stockbroker() -> Schema {
+    let s = parse_schema(STOCKBROKER_SRC).expect("fixture parses");
+    check_schema(&s).expect("fixture checks");
+    s
+}
+
+/// A stockbroker database seeded with the brokers used in examples/tests.
+pub fn stockbroker_db() -> Database {
+    let mut db = Database::new(stockbroker()).expect("fixture checks");
+    for (name, salary, budget, profit) in
+        [("John", 150, 1000, 50), ("Jane", 90, 2000, 120), ("Ken", 200, 1500, -30)]
+    {
+        db.create(
+            "Broker",
+            vec![
+                Value::str(name),
+                Value::Int(salary),
+                Value::Int(budget),
+                Value::Int(profit),
+            ],
+        )
+        .expect("seeding fits the schema");
+    }
+    db
+}
+
+/// The payroll slice of the scenario alone (used by the payroll example).
+pub fn payroll() -> Schema {
+    stockbroker()
+}
+
+/// The person/profile schema of §2, including the set-valued `child`
+/// attribute and the paper's nested query example.
+pub const PERSON_SRC: &str = r#"
+    class Person { name: string, age: int, child: {Person} }
+
+    fn profile(p: Person): string {
+      "name: " ++ r_name(p)
+    }
+
+    fn isAdult(p: Person): bool {
+      r_age(p) >= 18
+    }
+
+    user u { profile, isAdult, r_name, r_child }
+
+    # u may learn who is an adult but not the exact age.
+    require (u, r_age(x) : ti)
+"#;
+
+/// Parse and check the person schema.
+pub fn person() -> Schema {
+    let s = parse_schema(PERSON_SRC).expect("fixture parses");
+    check_schema(&s).expect("fixture checks");
+    s
+}
+
+/// A small hospital scenario used by the auditor example: an auditor can
+/// compare a patient's bill against a cap and reset the cap, recreating the
+/// paper's flaw shape in a second domain.
+pub const HOSPITAL_SRC: &str = r#"
+    class Patient { name: string, bill: int, cap: int, visits: int }
+
+    fn overCap(p: Patient): bool {
+      r_bill(p) > r_cap(p)
+    }
+
+    fn averageVisitCost(p: Patient): int {
+      r_bill(p) / (r_visits(p) + 1)
+    }
+
+    user auditor { overCap, w_cap }
+    user safe_auditor { overCap }
+    user analyst { averageVisitCost }
+
+    require (auditor, r_bill(x) : ti)
+    require (safe_auditor, r_bill(x) : ti)
+    require (analyst, r_bill(x) : ti)
+"#;
+
+/// Parse and check the hospital schema.
+pub fn hospital() -> Schema {
+    let s = parse_schema(HOSPITAL_SRC).expect("fixture parses");
+    check_schema(&s).expect("fixture checks");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_parse_and_check() {
+        assert_eq!(stockbroker().functions.len(), 3);
+        assert_eq!(person().functions.len(), 2);
+        assert_eq!(hospital().functions.len(), 2);
+    }
+
+    #[test]
+    fn stockbroker_db_seeded() {
+        let db = stockbroker_db();
+        assert_eq!(db.extent(&"Broker".into()).len(), 3);
+    }
+
+    #[test]
+    fn fixture_requirements_present() {
+        assert_eq!(stockbroker().requirements.len(), 4);
+        assert_eq!(person().requirements.len(), 1);
+        assert_eq!(hospital().requirements.len(), 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! # secflow-workloads
+//!
+//! Deterministic, seeded generators of schemas, policies and databases for
+//! the test suite and the benchmark harness:
+//!
+//! * [`fixtures`] — the paper's own scenarios (stockbroker §1/§4.2, payroll
+//!   §1, person/profile §2) as ready-made schemas;
+//! * [`random`] — a seeded corpus of small random policies sized to fit the
+//!   bounded concrete attacker (experiments E3/E4);
+//! * [`scale`] — parametric schema families for the closure-scaling
+//!   experiment (E5): call chains, wide capability lists, big expression
+//!   trees, attribute fan-out.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fixtures;
+pub mod random;
+pub mod scale;
+
+pub use fixtures::{payroll, person, stockbroker};
+pub use random::{random_case, RandomCase, RandomSpec};

@@ -1,0 +1,302 @@
+//! Seeded random policy generator for the differential experiments.
+//!
+//! Every case is a small schema (one class of integer attributes), a
+//! handful of access functions drawn from a grammar of reads, writes,
+//! arithmetic and comparisons, a random capability list, and a requirement
+//! targeting one of the attributes. Sizes are chosen so the bounded
+//! concrete attacker ([`secflow_dynamic`]) can enumerate all worlds and
+//! probes exhaustively.
+//!
+//! [`secflow_dynamic`]: ../../secflow_dynamic/index.html
+
+use oodb_lang::ast::{AccessFnDef, BasicOp, Expr, Literal};
+use oodb_lang::requirement::{Cap, Requirement};
+use oodb_lang::Schema;
+use oodb_model::{CapabilityList, ClassDef, FnRef, Type, VarName};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct RandomSpec {
+    /// Attributes of the single class (all `int`).
+    pub attrs: usize,
+    /// Access functions generated.
+    pub functions: usize,
+    /// Maximum depth of generated integer expressions.
+    pub depth: usize,
+    /// Probability that a generated function is a setter (writes an attr).
+    pub setter_prob: f64,
+    /// Probability that each special function (`r_a`, `w_a`) is granted
+    /// directly.
+    pub special_grant_prob: f64,
+    /// Probability that an integer leaf becomes a call to an earlier
+    /// integer-returning function (exercising the unfolding machinery).
+    pub call_prob: f64,
+}
+
+impl Default for RandomSpec {
+    fn default() -> RandomSpec {
+        RandomSpec {
+            attrs: 2,
+            functions: 2,
+            depth: 2,
+            setter_prob: 0.4,
+            special_grant_prob: 0.2,
+            call_prob: 0.25,
+        }
+    }
+}
+
+/// One generated case.
+#[derive(Clone, Debug)]
+pub struct RandomCase {
+    /// The schema (type-checked).
+    pub schema: Schema,
+    /// The user under test.
+    pub user: String,
+    /// Requirements to check for that user.
+    pub requirements: Vec<Requirement>,
+}
+
+fn attr_name(i: usize) -> String {
+    format!("a{i}")
+}
+
+/// Generate one case from a seed. The same seed always yields the same
+/// case.
+pub fn random_case(seed: u64, spec: &RandomSpec) -> RandomCase {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut schema = Schema::new();
+    let attrs: Vec<(oodb_model::AttrName, Type)> = (0..spec.attrs)
+        .map(|i| (attr_name(i).into(), Type::INT))
+        .collect();
+    schema
+        .classes
+        .insert(ClassDef::new("C", attrs).expect("distinct attr names"))
+        .expect("single class");
+
+    // Earlier int-returning getters are available as callees for later
+    // function bodies (the call graph stays acyclic by construction).
+    let mut int_callees: Vec<(String, bool)> = Vec::new(); // (name, takes_int)
+    for f in 0..spec.functions {
+        let def = gen_function(&mut rng, spec, f, &int_callees);
+        if def.ret == Type::INT {
+            int_callees.push((
+                def.name.to_string(),
+                def.params.len() > 1,
+            ));
+        }
+        schema.functions.insert(def.name.clone(), def);
+    }
+
+    // Capability list: a non-empty random subset of the functions, plus
+    // occasional direct specials.
+    let mut caps = CapabilityList::new();
+    let mut any = false;
+    for f in 0..spec.functions {
+        if rng.gen_bool(0.7) {
+            caps.grant(FnRef::access(format!("f{f}")));
+            any = true;
+        }
+    }
+    if !any {
+        caps.grant(FnRef::access("f0"));
+    }
+    for a in 0..spec.attrs {
+        if rng.gen_bool(spec.special_grant_prob) {
+            caps.grant(FnRef::read(attr_name(a)));
+        }
+        if rng.gen_bool(spec.special_grant_prob) {
+            caps.grant(FnRef::write(attr_name(a)));
+        }
+    }
+    schema.users.insert("u".into(), caps);
+
+    // Requirements: for a random attribute, one inferability and one
+    // alterability requirement.
+    let a = rng.gen_range(0..spec.attrs);
+    let infer_cap = if rng.gen_bool(0.5) { Cap::Ti } else { Cap::Pi };
+    let alter_cap = if rng.gen_bool(0.5) { Cap::Ta } else { Cap::Pa };
+    let requirements = vec![
+        Requirement::on_return("u", FnRef::read(attr_name(a)), 1, vec![infer_cap]),
+        Requirement::on_arg("u", FnRef::write(attr_name(a)), 2, 1, vec![alter_cap]),
+    ];
+
+    oodb_lang::check_schema(&schema).expect("generated schema always checks");
+    RandomCase {
+        schema,
+        user: "u".to_owned(),
+        requirements,
+    }
+}
+
+fn gen_function(
+    rng: &mut StdRng,
+    spec: &RandomSpec,
+    index: usize,
+    callees: &[(String, bool)],
+) -> AccessFnDef {
+    let takes_int = rng.gen_bool(0.6);
+    let mut params: Vec<(VarName, Type)> = vec![(VarName::new("c"), Type::class("C"))];
+    if takes_int {
+        params.push((VarName::new("x"), Type::INT));
+    }
+    let is_setter = rng.gen_bool(spec.setter_prob);
+    let ctx = GenCtx {
+        spec,
+        has_x: takes_int,
+        callees,
+    };
+    let (ret, body) = if is_setter {
+        let attr = attr_name(rng.gen_range(0..spec.attrs));
+        let value = gen_int(rng, &ctx, spec.depth);
+        (
+            Type::Null,
+            Expr::write(attr, Expr::var("c"), value),
+        )
+    } else if rng.gen_bool(0.5) {
+        // Boolean probe: comparison of two integer expressions.
+        let op = match rng.gen_range(0..4) {
+            0 => BasicOp::Ge,
+            1 => BasicOp::Gt,
+            2 => BasicOp::EqOp,
+            _ => BasicOp::Le,
+        };
+        (
+            Type::BOOL,
+            Expr::bin(
+                op,
+                gen_int(rng, &ctx, spec.depth),
+                gen_int(rng, &ctx, spec.depth),
+            ),
+        )
+    } else {
+        // Integer getter.
+        (Type::INT, gen_int(rng, &ctx, spec.depth))
+    };
+    AccessFnDef {
+        name: format!("f{index}").into(),
+        params,
+        ret,
+        body,
+    }
+}
+
+struct GenCtx<'a> {
+    spec: &'a RandomSpec,
+    has_x: bool,
+    callees: &'a [(String, bool)],
+}
+
+fn gen_int(rng: &mut StdRng, ctx: &GenCtx<'_>, depth: usize) -> Expr {
+    // A leaf may be a call to an earlier int-returning access function —
+    // the unfolded program then contains inner `let(f)` forms.
+    if !ctx.callees.is_empty() && rng.gen_bool(ctx.spec.call_prob) {
+        let (name, callee_takes_int) = &ctx.callees[rng.gen_range(0..ctx.callees.len())];
+        let mut args = vec![Expr::var("c")];
+        if *callee_takes_int {
+            args.push(if depth == 0 {
+                Expr::Const(Literal::Int(rng.gen_range(0..3)))
+            } else {
+                gen_int(rng, ctx, depth - 1)
+            });
+        }
+        return Expr::call(name.as_str(), args);
+    }
+    if depth == 0 || rng.gen_bool(0.4) {
+        // Leaf.
+        match rng.gen_range(0..3) {
+            0 if ctx.has_x => Expr::var("x"),
+            1 => Expr::Const(Literal::Int(rng.gen_range(0..3))),
+            _ => Expr::read(attr_name(rng.gen_range(0..ctx.spec.attrs)), Expr::var("c")),
+        }
+    } else {
+        let op = match rng.gen_range(0..3) {
+            0 => BasicOp::Add,
+            1 => BasicOp::Sub,
+            _ => BasicOp::Mul,
+        };
+        Expr::bin(
+            op,
+            gen_int(rng, ctx, depth - 1),
+            gen_int(rng, ctx, depth - 1),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_case(42, &RandomSpec::default());
+        let b = random_case(42, &RandomSpec::default());
+        assert_eq!(a.schema, b.schema);
+        assert_eq!(a.requirements, b.requirements);
+        let c = random_case(43, &RandomSpec::default());
+        assert!(
+            a.schema != c.schema || a.requirements != c.requirements,
+            "different seeds should differ (overwhelmingly)"
+        );
+    }
+
+    #[test]
+    fn generated_schemas_type_check() {
+        for seed in 0..200 {
+            let case = random_case(seed, &RandomSpec::default());
+            oodb_lang::check_schema(&case.schema).unwrap();
+            assert!(!case.schema.functions.is_empty());
+            assert!(!case
+                .schema
+                .user_str(&case.user)
+                .expect("user exists")
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn requirements_reference_real_attributes() {
+        for seed in 0..50 {
+            let case = random_case(seed, &RandomSpec::default());
+            for req in &case.requirements {
+                oodb_lang::typeck::check_requirement(&case.schema, req).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn composition_appears_in_the_corpus() {
+        let spec = RandomSpec {
+            functions: 3,
+            call_prob: 0.5,
+            ..RandomSpec::default()
+        };
+        let mut saw_call = false;
+        for seed in 0..100 {
+            let case = random_case(seed, &spec);
+            for def in case.schema.functions.values() {
+                if !def.body.called_functions().is_empty() {
+                    saw_call = true;
+                }
+            }
+        }
+        assert!(saw_call, "the generator should compose functions");
+    }
+
+    #[test]
+    fn sizes_respect_spec() {
+        let spec = RandomSpec {
+            attrs: 3,
+            functions: 4,
+            ..RandomSpec::default()
+        };
+        let case = random_case(7, &spec);
+        assert_eq!(case.schema.functions.len(), 4);
+        assert_eq!(
+            case.schema.classes.get_str("C").unwrap().attrs.len(),
+            3
+        );
+    }
+}

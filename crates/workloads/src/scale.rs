@@ -1,0 +1,204 @@
+//! Parametric schema families for the closure-scaling experiment (E5).
+//!
+//! Each generator returns a type-checked schema with user `u` plus the
+//! requirement the harness times `A(R)` against. The families stress
+//! different cost drivers of the analysis:
+//!
+//! * [`call_chain`] — unfolding depth: `f_n` calls `f_{n-1}` calls …;
+//! * [`wide_grants`] — capability-list width: `n` independent probes over
+//!   `n` attributes (many outer functions, many equalities);
+//! * [`deep_expr`] — expression size: one function whose body is a
+//!   comparison over a big arithmetic tree;
+//! * [`attr_fanout`] — write-read pairs: `n` attributes each written and
+//!   read, quadratic equality propagation.
+
+use oodb_lang::ast::{AccessFnDef, BasicOp, Expr};
+use oodb_lang::requirement::{Cap, Requirement};
+use oodb_lang::Schema;
+use oodb_model::{CapabilityList, ClassDef, FnRef, Type, VarName};
+
+/// A scaling case: schema + the requirement to time.
+#[derive(Clone, Debug)]
+pub struct ScaleCase {
+    /// Type-checked schema with user `u`.
+    pub schema: Schema,
+    /// Requirement for the timing run.
+    pub requirement: Requirement,
+}
+
+fn single_int_class(attrs: usize) -> ClassDef {
+    ClassDef::new(
+        "C",
+        (0..attrs.max(1))
+            .map(|i| (format!("a{i}").into(), Type::INT))
+            .collect(),
+    )
+    .expect("distinct names")
+}
+
+fn finish(mut schema: Schema, caps: CapabilityList, requirement: Requirement) -> ScaleCase {
+    schema.users.insert("u".into(), caps);
+    oodb_lang::check_schema(&schema).expect("scale schema checks");
+    ScaleCase { schema, requirement }
+}
+
+/// `f0(x) = x + r_a0(c)…`, `f_i = f_{i-1}(c, x) + 1`: unfolding depth `n`.
+pub fn call_chain(n: usize) -> ScaleCase {
+    let mut schema = Schema::new();
+    schema.classes.insert(single_int_class(1)).expect("one class");
+    let params = vec![
+        (VarName::new("c"), Type::class("C")),
+        (VarName::new("x"), Type::INT),
+    ];
+    schema.functions.insert(
+        "f0".into(),
+        AccessFnDef {
+            name: "f0".into(),
+            params: params.clone(),
+            ret: Type::INT,
+            body: Expr::bin(
+                BasicOp::Add,
+                Expr::var("x"),
+                Expr::read("a0", Expr::var("c")),
+            ),
+        },
+    );
+    for i in 1..n.max(1) {
+        schema.functions.insert(
+            format!("f{i}").into(),
+            AccessFnDef {
+                name: format!("f{i}").into(),
+                params: params.clone(),
+                ret: Type::INT,
+                body: Expr::bin(
+                    BasicOp::Add,
+                    Expr::call(format!("f{}", i - 1), vec![Expr::var("c"), Expr::var("x")]),
+                    Expr::int(1),
+                ),
+            },
+        );
+    }
+    let caps: CapabilityList = [
+        FnRef::access(format!("f{}", n.max(1) - 1)),
+        FnRef::write("a0"),
+    ]
+    .into_iter()
+    .collect();
+    let req = Requirement::on_return("u", FnRef::read("a0"), 1, vec![Cap::Ti]);
+    finish(schema, caps, req)
+}
+
+/// `n` probes `p_i(c) = r_a_i(c) >= i` over `n` attributes; the user holds
+/// all of them plus `w_a0`.
+pub fn wide_grants(n: usize) -> ScaleCase {
+    let n = n.max(1);
+    let mut schema = Schema::new();
+    schema.classes.insert(single_int_class(n)).expect("one class");
+    let mut caps = CapabilityList::new();
+    for i in 0..n {
+        schema.functions.insert(
+            format!("p{i}").into(),
+            AccessFnDef {
+                name: format!("p{i}").into(),
+                params: vec![(VarName::new("c"), Type::class("C"))],
+                ret: Type::BOOL,
+                body: Expr::bin(
+                    BasicOp::Ge,
+                    Expr::read(format!("a{i}"), Expr::var("c")),
+                    Expr::int(i as i64),
+                ),
+            },
+        );
+        caps.grant(FnRef::access(format!("p{i}")));
+    }
+    caps.grant(FnRef::write("a0"));
+    let req = Requirement::on_return("u", FnRef::read("a0"), 1, vec![Cap::Ti]);
+    finish(schema, caps, req)
+}
+
+/// One probe whose body compares a full binary `+`-tree of `2^depth`
+/// attribute reads against a constant.
+pub fn deep_expr(depth: usize) -> ScaleCase {
+    let mut schema = Schema::new();
+    schema.classes.insert(single_int_class(1)).expect("one class");
+    fn tree(d: usize) -> Expr {
+        if d == 0 {
+            Expr::read("a0", Expr::var("c"))
+        } else {
+            Expr::bin(BasicOp::Add, tree(d - 1), tree(d - 1))
+        }
+    }
+    schema.functions.insert(
+        "p".into(),
+        AccessFnDef {
+            name: "p".into(),
+            params: vec![(VarName::new("c"), Type::class("C"))],
+            ret: Type::BOOL,
+            body: Expr::bin(BasicOp::Ge, tree(depth), Expr::int(100)),
+        },
+    );
+    let caps: CapabilityList = [FnRef::access("p"), FnRef::write("a0")]
+        .into_iter()
+        .collect();
+    let req = Requirement::on_return("u", FnRef::read("a0"), 1, vec![Cap::Ti]);
+    finish(schema, caps, req)
+}
+
+/// `n` attributes, each with a granted reader and writer pair: the
+/// equality graph gets `O(n²)` argument-variable edges.
+pub fn attr_fanout(n: usize) -> ScaleCase {
+    let n = n.max(1);
+    let mut schema = Schema::new();
+    schema.classes.insert(single_int_class(n)).expect("one class");
+    let mut caps = CapabilityList::new();
+    for i in 0..n {
+        caps.grant(FnRef::read(format!("a{i}")));
+        caps.grant(FnRef::write(format!("a{i}")));
+    }
+    let req = Requirement::on_return("u", FnRef::read("a0"), 1, vec![Cap::Ti]);
+    finish(schema, caps, req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secflow::algorithm::analyze;
+
+    #[test]
+    fn chain_sizes_grow() {
+        for n in [1, 4, 8] {
+            let case = call_chain(n);
+            assert_eq!(case.schema.functions.len(), n);
+            let v = analyze(&case.schema, &case.requirement).unwrap();
+            // The chain exposes a0 through the returned value; with w_a0 the
+            // user probes it — always flagged.
+            assert!(v.is_violated(), "chain {n}");
+        }
+    }
+
+    #[test]
+    fn wide_grants_flagged_only_via_written_attr() {
+        let case = wide_grants(6);
+        let v = analyze(&case.schema, &case.requirement).unwrap();
+        assert!(v.is_violated());
+        // A non-written attribute is only partially leaked.
+        let req = Requirement::on_return("u", FnRef::read("a1"), 1, vec![Cap::Ti]);
+        let v = analyze(&case.schema, &req).unwrap();
+        assert!(!v.is_violated());
+    }
+
+    #[test]
+    fn deep_expr_scales_and_detects() {
+        let case = deep_expr(4);
+        let v = analyze(&case.schema, &case.requirement).unwrap();
+        assert!(v.is_violated());
+    }
+
+    #[test]
+    fn attr_fanout_detects_direct_grant() {
+        let case = attr_fanout(4);
+        let v = analyze(&case.schema, &case.requirement).unwrap();
+        // r_a0 is granted directly: trivially violated.
+        assert!(v.is_violated());
+    }
+}

@@ -1,0 +1,67 @@
+//! Partial inferability and the static/dynamic comparison, on a second
+//! domain (hospital billing).
+//!
+//! `overCap(p) = r_bill(p) > r_cap(p)` compares two secrets: the
+//! observation is a *joint* constraint with no marginal content — on its
+//! own it leaks nothing about the bill. The flaw appears the moment the
+//! auditor can also move the cap (`w_cap`): the bit becomes a binary
+//! search and the leak total. This example runs both the static analysis
+//! and the bounded concrete attacker on all three policies.
+//!
+//! ```text
+//! cargo run --example auditor
+//! ```
+
+use oodb_lang::parse_requirement;
+use secflow::algorithm::analyze;
+use secflow_dynamic::attack::attack_requirement;
+use secflow_dynamic::strategy::StrategySpec;
+use secflow_dynamic::AttackerConfig;
+use secflow_workloads::fixtures::hospital;
+
+fn main() {
+    let schema = hospital();
+    let cfg = AttackerConfig {
+        strategies: StrategySpec {
+            max_steps: 3,
+            max_assignments: 8192,
+            ..StrategySpec::default()
+        },
+        ..AttackerConfig::default()
+    };
+
+    println!(
+        "{:<44} {:>10} {:>10}",
+        "requirement", "static", "attacker"
+    );
+    for text in [
+        "(auditor, r_bill(x) : ti)",      // flaw: probe + move the cap
+        "(auditor, r_bill(x) : pi)",      // implied by the above
+        "(safe_auditor, r_bill(x) : ti)", // safe: one bit only
+        "(safe_auditor, r_bill(x) : pi)", // still a one-bit leak!
+        "(analyst, r_bill(x) : ti)",      // averageVisitCost reveals a ratio
+    ] {
+        let req = parse_requirement(text).expect("requirement parses");
+        let verdict = analyze(&schema, &req).expect("analysis runs");
+        let attack = attack_requirement(&schema, &req, &cfg).expect("attack runs");
+        println!(
+            "{:<44} {:>10} {:>10}",
+            text,
+            if verdict.is_violated() { "flaw" } else { "ok" },
+            if attack.achieved { "realised" } else { "-" },
+        );
+    }
+
+    println!();
+    println!("Readings:");
+    println!("* (auditor, ti): the cap is writable, so the auditor binary-");
+    println!("  searches the bill — flagged statically, realised concretely.");
+    println!("* (safe_auditor, ti/pi): revoking w_cap removes the probe;");
+    println!("  a comparison of two *secrets* constrains neither one");
+    println!("  marginally, so both verdicts clear the repaired policy.");
+    println!("* (analyst, ti): averageVisitCost = bill/(visits+1) is a");
+    println!("  lossy projection; the static analysis pessimistically");
+    println!("  flags it (division is invertible when visits is known and");
+    println!("  alterable), the bounded attacker shows whether the leak is");
+    println!("  realisable within its budget.");
+}

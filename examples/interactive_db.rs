@@ -1,0 +1,90 @@
+//! Substrate demo: the OODB engine on its own — schema definition, object
+//! creation, queries (including the paper's nested select), updates, and
+//! capability enforcement.
+//!
+//! ```text
+//! cargo run --example interactive_db
+//! ```
+
+use oodb_engine::{Database, Session};
+use oodb_lang::parse_schema;
+use oodb_model::Value;
+
+fn main() {
+    let schema = parse_schema(
+        r#"
+        class Person { name: string, age: int, child: {Person} }
+        class Note { text: string, stars: int }
+
+        fn profile(p: Person): string { "name: " ++ r_name(p) }
+        fn isAdult(p: Person): bool { r_age(p) >= 18 }
+
+        user app { profile, isAdult, r_name, r_age, r_child, w_age, new Note, r_text }
+        user guest { profile }
+        "#,
+    )
+    .expect("schema parses");
+    let mut db = Database::new(schema).expect("schema checks");
+
+    // Seed: John with two children.
+    let ann = db
+        .create("Person", vec![Value::str("Ann"), Value::Int(12), Value::set(vec![])])
+        .expect("create");
+    let bob = db
+        .create("Person", vec![Value::str("Bob"), Value::Int(9), Value::set(vec![])])
+        .expect("create");
+    db.create(
+        "Person",
+        vec![
+            Value::str("John"),
+            Value::Int(41),
+            Value::set(vec![Value::Obj(ann), Value::Obj(bob)]),
+        ],
+    )
+    .expect("create");
+
+    {
+        let mut app = Session::open(&mut db, "app");
+        for q in [
+            // §2's first query shape.
+            "select r_name(p), profile(p) from p in Person where r_age(p) > 20",
+            // §2's nested query: names of John's children.
+            "select (select r_name(q) from q in r_child(p)) from p in Person \
+             where r_name(p) == \"John\"",
+            // An update through a special function; items evaluate in order,
+            // so the read sees the write.
+            "select w_age(p, 13), r_age(p) from p in Person where r_name(p) == \"Ann\"",
+            // Object creation from a query: one note per adult (query
+            // arguments are atoms — constants or from-clause variables).
+            "select new Note(\"seen an adult\", 5) from p in Person where r_age(p) >= 18",
+        ] {
+            match app.query(q) {
+                Ok(out) => println!("app> {q}\n  => {}", out.render()),
+                Err(e) => println!("app> {q}\n  !! {e}"),
+            }
+        }
+        println!();
+        println!("observation log of `app` ({} entries):", app.log().len());
+        for entry in app.log() {
+            println!("  {} => {}", entry.query, entry.result);
+        }
+    }
+
+    println!();
+    println!("notes created: {}", db.extent(&"Note".into()).len());
+    println!();
+
+    // Capability enforcement: the guest can profile people but not read
+    // ages — not even inside a where clause.
+    let mut guest = Session::open(&mut db, "guest");
+    for q in [
+        "select profile(p) from p in Person",
+        "select r_age(p) from p in Person",
+        "select profile(p) from p in Person where r_age(p) > 18",
+    ] {
+        match guest.query(q) {
+            Ok(out) => println!("guest> {q}\n  => {}", out.render()),
+            Err(e) => println!("guest> {q}\n  !! {e}"),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The paper's second running example (§1, §3.1): write-side
+//! controllability. The payroll user runs the weekly salary update
+//! (`updateSalary`) and can also adjust budgets (`w_budget`) — so by setting
+//! a broker's budget first, they choose the salary the update writes.
+//!
+//! ```text
+//! cargo run --example payroll
+//! ```
+
+use oodb_engine::Session;
+use oodb_lang::parse_requirement;
+use oodb_model::Value;
+use secflow::algorithm::analyze;
+use secflow_workloads::fixtures::{stockbroker, stockbroker_db};
+
+fn main() {
+    println!("== the live attack: choosing John's next salary ==");
+    let mut db = stockbroker_db();
+    let mut session = Session::open(&mut db, "payroll");
+
+    // calcSalary(budget, profit) = budget/10 + profit/2; John's profit is
+    // 50, so to pay John 1000 the payroll user sets budget = (1000-25)*10.
+    let target = 1000i64;
+    let budget = (target - 25) * 10;
+    // payroll holds exactly {updateSalary, w_budget}: run the update over
+    // the extent, steering John's (the first broker's) salary.
+    session
+        .query(&format!(
+            "select w_budget(b, {budget}), updateSalary(b) from b in Broker"
+        ))
+        .expect("payroll is authorized");
+
+    let john = Value::Obj(db.extent(&"Broker".into())[0]);
+    let salary = db.read_attr(&john, &"salary".into()).expect("read salary");
+    println!("John's salary after the 'update': {salary} (attacker chose {target})");
+    println!();
+
+    println!("== the static detection ==");
+    let schema = stockbroker();
+    let req = parse_requirement("(payroll, w_salary(x, v: ta))").expect("parses");
+    let verdict = analyze(&schema, &req).expect("runs");
+    println!("A(R) for {req}: {verdict}");
+    println!();
+    println!("The requirement forbids *total alterability* on the value");
+    println!("argument of any write to `salary`. Unfolding updateSalary");
+    println!("shows the written value is calcSalary(r_budget(b), …); the");
+    println!("write-read equality lets ta flow from w_budget's argument");
+    println!("into r_budget(b) and on through the arithmetic.");
+    println!();
+
+    let req_safe = parse_requirement("(safe_payroll, w_salary(x, v: ta))").expect("parses");
+    let verdict = analyze(&schema, &req_safe).expect("runs");
+    println!("after revoking w_budget (user safe_payroll): {verdict}");
+    println!();
+    println!("Note the repair still lets safe_payroll *run* the update —");
+    println!("only the ability to steer its input is gone.");
+}

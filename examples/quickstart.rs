@@ -1,0 +1,62 @@
+//! Quickstart: declare a schema with a policy, state a security
+//! requirement, and run the static analysis.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use oodb_lang::{check_schema, parse_requirement, parse_schema};
+use secflow::algorithm::analyze;
+
+fn main() {
+    // 1. A schema in the surface syntax: one class, one access function,
+    //    one user. The clerk may test accounts against a limit and may
+    //    move the limit — but must never learn a balance exactly.
+    let schema = parse_schema(
+        r#"
+        class Account { owner: string, balance: int, limit: int }
+
+        fn overLimit(a: Account): bool {
+          r_balance(a) > r_limit(a)
+        }
+
+        user clerk { overLimit, w_limit }
+        "#,
+    )
+    .expect("schema parses");
+    check_schema(&schema).expect("schema type-checks");
+
+    // 2. A requirement in the paper's notation: the clerk should not have
+    //    total inferability on the result of reading `balance`.
+    let requirement = parse_requirement("(clerk, r_balance(x) : ti)").expect("requirement parses");
+
+    // 3. Run A(R).
+    let verdict = analyze(&schema, &requirement).expect("analysis runs");
+    println!("requirement {requirement}: {verdict}");
+
+    if verdict.is_violated() {
+        println!();
+        println!("The policy is flawed: by repeatedly moving the limit and");
+        println!("probing overLimit, the clerk binary-searches the balance.");
+        println!("Fix: revoke w_limit, or gate limit changes behind a");
+        println!("function whose value the clerk cannot choose.");
+    }
+
+    // 4. The repaired policy passes.
+    let repaired = parse_schema(
+        r#"
+        class Account { owner: string, balance: int, limit: int }
+
+        fn overLimit(a: Account): bool {
+          r_balance(a) > r_limit(a)
+        }
+
+        user clerk { overLimit }
+        "#,
+    )
+    .expect("schema parses");
+    check_schema(&repaired).expect("schema type-checks");
+    let verdict = analyze(&repaired, &requirement).expect("analysis runs");
+    println!();
+    println!("after revoking w_limit: {verdict}");
+}

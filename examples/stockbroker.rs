@@ -1,0 +1,80 @@
+//! The paper's running example end-to-end (§1, §3.1, §4.2):
+//!
+//! 1. run the clerk's *actual probing attack* against the live database —
+//!    the engine permits it, because every invoked function is in the
+//!    clerk's capability list;
+//! 2. run the static analysis and print the Figure-1 derivation that
+//!    detects the same flaw without executing anything.
+//!
+//! ```text
+//! cargo run --example stockbroker
+//! ```
+
+use oodb_engine::Session;
+use oodb_lang::parse_requirement;
+use secflow::algorithm::{check_against, occurrences};
+use secflow::closure::Closure;
+use secflow::report::{explain, render_derivation};
+use secflow::unfold::NProgram;
+use secflow_workloads::fixtures::{stockbroker, stockbroker_db};
+
+fn main() {
+    let mut db = stockbroker_db();
+    println!("== the live attack (engine permits it) ==");
+    println!("John's salary is 150; the regulation threshold is 10x salary.");
+    println!();
+
+    let mut session = Session::open(&mut db, "clerk");
+    // Binary search over the budget: each probe writes a candidate
+    // threshold and tests it — §3.1's query shape.
+    let mut lo = 0i64;
+    let mut hi = 4096i64;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        // The clerk's capability list is exactly the paper's
+        // {checkBudget, w_budget}: no name filter available, so the probe
+        // scans the extent and watches John's row (the first broker).
+        let q = format!("select w_budget(b, {mid}), checkBudget(b) from b in Broker");
+        let out = session.query(&q).expect("clerk is authorized");
+        let over = out.rows[0].0[1] == oodb_model::Value::Bool(true);
+        if over {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    println!("probes issued: {}", session.log().len());
+    println!("inferred 10*salary = {lo}, so John's salary = {}", lo / 10);
+    println!();
+
+    println!("== the static detection (no execution needed) ==");
+    let schema = stockbroker();
+    let req = parse_requirement("(clerk, r_salary(x) : ti)").expect("requirement parses");
+    let caps = schema.user_str("clerk").expect("clerk exists");
+    let prog = NProgram::unfold(&schema, caps).expect("unfolds");
+    println!("S'(F):");
+    for outer in &prog.outers {
+        println!("  {}: {}", outer.fn_ref, prog.render(outer.root));
+    }
+    let closure = Closure::compute(&prog).expect("closure");
+    let verdict = check_against(&prog, &closure, &req);
+    println!();
+    println!("A(R) for {req}: {verdict}");
+    println!();
+    println!("Figure 1 (machine-derived):");
+    if let Some(goal) = closure.ti_witness(5) {
+        print!("{}", render_derivation(&prog, &closure, &goal));
+    }
+    println!();
+    println!("{}", explain(&prog, &closure, &verdict));
+
+    // The occurrence list shows where the leak sits.
+    let occ = occurrences(&prog, &req.target);
+    println!("occurrences of r_salary in S'(F): {}", occ.len());
+
+    // And the repaired policy passes.
+    let req_safe = parse_requirement("(safe_clerk, r_salary(x) : ti)").expect("parses");
+    let verdict = secflow::algorithm::analyze(&schema, &req_safe).expect("runs");
+    println!();
+    println!("after revoking w_budget (user safe_clerk): {verdict}");
+}

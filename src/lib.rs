@@ -1,0 +1,12 @@
+//! Umbrella crate for the `secflow` workspace: re-exports every layer so the
+//! examples and integration tests can use one import root.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! experiment index.
+
+pub use oodb_engine as engine;
+pub use oodb_lang as lang;
+pub use oodb_model as model;
+pub use secflow as analysis;
+pub use secflow_dynamic as dynamic;
+pub use secflow_workloads as workloads;

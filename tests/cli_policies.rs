@@ -1,0 +1,96 @@
+//! End-to-end CLI runs over the checked-in policy files in `policies/`.
+
+use secflow_cli::{run, Command};
+
+fn policy(name: &str) -> String {
+    format!("{}/policies/{name}.sfl", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_stockbroker_policy_file() {
+    let (report, code) = run(&Command::Check {
+        file: policy("stockbroker"),
+        explain: true,
+    });
+    assert_eq!(code, 1);
+    assert!(report.contains("FLAW  (clerk, r_salary(x):ti)"));
+    assert!(report.contains("ok    (safe_clerk, r_salary(x):ti)"));
+    assert!(report.contains("FLAW  (payroll, w_salary(x, v:ta))"));
+    assert!(report.contains("ok    (safe_payroll, w_salary(x, v:ta))"));
+    // --explain prints a Figure-1 style derivation.
+    assert!(report.contains("(axiom for =)"));
+    assert!(report.contains("4 requirement(s), 2 violated"));
+}
+
+#[test]
+fn check_hospital_policy_file() {
+    let (report, code) = run(&Command::Check {
+        file: policy("hospital"),
+        explain: false,
+    });
+    assert_eq!(code, 1);
+    assert!(report.contains("FLAW  (auditor, r_bill(x):ti)"));
+    assert!(report.contains("ok    (safe_auditor, r_bill(x):ti)"));
+}
+
+#[test]
+fn bank_policy_shows_pessimism() {
+    // The static check flags the self-referential bumpLimit (the paper's
+    // §3.3 always-equal assumption)…
+    let (report, code) = run(&Command::Check {
+        file: policy("bank"),
+        explain: false,
+    });
+    assert_eq!(code, 1);
+    assert!(report.contains("FLAW  (teller, r_balance(x):ti)"));
+    assert!(report.contains("FLAW  (flawed_teller, r_balance(x):ti)"));
+    assert!(report.contains("ok    (teller, w_limit(x, v:ta))"));
+
+    // …while the bounded attacker only realises the raw-write variant.
+    let (report, code) = run(&Command::Attack {
+        file: policy("bank"),
+        steps: 4,
+    });
+    assert_eq!(code, 1);
+    assert!(report.contains("not realised (teller, r_balance(x):ti)"));
+    assert!(report.contains("REALISED (flawed_teller, r_balance(x):ti)"));
+}
+
+#[test]
+fn unfold_stockbroker_policy_file() {
+    let (report, code) = run(&Command::Unfold {
+        file: policy("stockbroker"),
+        user: "clerk".into(),
+    });
+    assert_eq!(code, 0);
+    assert!(report.contains("7>=(2r_budget(1broker), 6*(3:10, 5r_salary(4broker)))"));
+}
+
+#[test]
+fn fix_stockbroker_policy_file() {
+    let (report, code) = run(&Command::Fix {
+        file: policy("stockbroker"),
+    });
+    assert_eq!(code, 1);
+    assert!(report.contains("revoke {w_budget}"));
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let (report, code) = run(&Command::Check {
+        file: policy("does_not_exist"),
+        explain: false,
+    });
+    assert_eq!(code, 2);
+    assert!(report.contains("cannot read"));
+}
+
+#[test]
+fn fmt_policy_files_round_trip() {
+    for name in ["stockbroker", "hospital", "bank"] {
+        let (report, code) = run(&Command::Fmt { file: policy(name) });
+        assert_eq!(code, 0, "{name}");
+        // The pretty-printed output re-parses and re-checks.
+        secflow_cli::load_str(&report).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}

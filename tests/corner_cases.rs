@@ -1,0 +1,236 @@
+//! Corner-case integration tests across the crates: constructor targets,
+//! set-valued sources, ambiguous attributes, multi-occurrence targets,
+//! and requirement semantics at the edges.
+
+use oodb_engine::exec::run_query;
+use oodb_engine::Database;
+use oodb_lang::{check_schema, parse_query, parse_schema};
+use oodb_model::{FnRef, UserName, Value};
+use secflow::algorithm::{analyze, occurrences};
+use secflow::unfold::NProgram;
+
+#[test]
+fn constructor_as_requirement_target() {
+    // A user holding `new C` supplies every attribute directly: ta on any
+    // constructor argument is axiomatically achievable.
+    let s = parse_schema(
+        r#"
+        class C { secret: int }
+        user maker { new C }
+        require (maker, new C(v: ta))
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    let v = analyze(&s, &s.requirements[0]).unwrap();
+    assert!(v.is_violated(), "the maker controls what gets constructed");
+
+    // A user who merely triggers a constant-valued construction does not.
+    let s = parse_schema(
+        r#"
+        class C { secret: int }
+        fn mk(x: int): C { new C(0) }
+        user trigger { mk }
+        require (trigger, new C(v: ta))
+        require (trigger, new C(v: pa))
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    for req in &s.requirements {
+        assert!(
+            !analyze(&s, req).unwrap().is_violated(),
+            "{req}: the constructed value is the constant 0"
+        );
+    }
+}
+
+#[test]
+fn multiple_occurrences_any_one_violates() {
+    // The target appears twice; only the second occurrence is fed by the
+    // user's argument — one violating occurrence suffices.
+    let s = parse_schema(
+        r#"
+        class C { a: int, b: int }
+        fn two(c: C, x: int): null {
+          let u = w_a(c, 0), v = w_b(c, x) in u end
+        }
+        user u { two }
+        require (u, w_b(x, v: ta))
+        require (u, w_a(x, v: pa))
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    assert!(analyze(&s, &s.requirements[0]).unwrap().is_violated());
+    assert!(
+        !analyze(&s, &s.requirements[1]).unwrap().is_violated(),
+        "w_a's value is the constant 0"
+    );
+}
+
+#[test]
+fn ambiguous_attribute_checks_every_class() {
+    // `v` lives in two classes; the requirement ranges over both
+    // implementations (paper §3.1's subtyping discussion).
+    let s = parse_schema(
+        r#"
+        class A { v: int }
+        class B { v: int }
+        fn leakA(a: A): int { r_v(a) }
+        user u { leakA }
+        require (u, r_v(x) : ti)
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    // The A-implementation leaks (direct return), so the requirement —
+    // which ranges over all implementations — is violated.
+    assert!(analyze(&s, &s.requirements[0]).unwrap().is_violated());
+
+    // occurrences() sees the read inside leakA only (B has no reads).
+    let caps = s.user_str("u").unwrap();
+    let prog = NProgram::unfold(&s, caps).unwrap();
+    assert_eq!(occurrences(&prog, &FnRef::read("v")).len(), 1);
+}
+
+#[test]
+fn set_valued_function_as_from_source() {
+    let s = parse_schema(
+        r#"
+        class Team { name: string, members: {Person} }
+        class Person { name: string, age: int }
+        fn roster(t: Team): {Person} { r_members(t) }
+        user hr { roster, r_name, r_age }
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    let mut db = Database::new(s).unwrap();
+    let p1 = db
+        .create("Person", vec![Value::str("Ann"), Value::Int(34)])
+        .unwrap();
+    let p2 = db
+        .create("Person", vec![Value::str("Bob"), Value::Int(29)])
+        .unwrap();
+    db.create(
+        "Team",
+        vec![
+            Value::str("core"),
+            Value::set(vec![Value::Obj(p1), Value::Obj(p2)]),
+        ],
+    )
+    .unwrap();
+    // A user-defined set-valued function in the from clause.
+    let q = parse_query("select r_name(m) from t in Team, m in roster(t) where r_age(m) > 30")
+        .unwrap();
+    let out = run_query(&mut db, Some(&UserName::new("hr")), &q).unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows[0].0[0], Value::str("Ann"));
+}
+
+#[test]
+fn requirement_on_arguments_of_access_function() {
+    // Caps on the *arguments* of an inner access-function occurrence: the
+    // binding expression carries them.
+    let s = parse_schema(
+        r#"
+        class C { a: int }
+        fn inner(x: int): int { x + 1 }
+        fn outerFixed(c: C): int { inner(2) }
+        fn outerFree(c: C, y: int): int { inner(y) }
+        user fixed { outerFixed }
+        user free { outerFree }
+        require (fixed, inner(x: ta) : ti)
+        require (free, inner(x: ta) : ti)
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    // outerFixed passes the constant 2: no alterability.
+    assert!(!analyze(&s, &s.requirements[0]).unwrap().is_violated());
+    // outerFree routes the user's own argument in: ta + observed result.
+    assert!(analyze(&s, &s.requirements[1]).unwrap().is_violated());
+}
+
+#[test]
+fn null_and_set_attributes_round_trip_through_engine() {
+    let s = parse_schema(
+        r#"
+        class Node { next: Node, tags: {int} }
+        user u { r_next, r_tags, w_next, w_tags, new Node }
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    let mut db = Database::new(s).unwrap();
+    let n1 = db
+        .create("Node", vec![Value::Null, Value::set(vec![Value::Int(1)])])
+        .unwrap();
+    let n2 = db
+        .create(
+            "Node",
+            vec![Value::Obj(n1), Value::set(vec![Value::Int(2), Value::Int(3)])],
+        )
+        .unwrap();
+    let v2 = Value::Obj(n2);
+    assert_eq!(db.read_attr(&v2, &"next".into()).unwrap(), Value::Obj(n1));
+    let tags = db.read_attr(&v2, &"tags".into()).unwrap();
+    assert_eq!(tags, Value::set(vec![Value::Int(2), Value::Int(3)]));
+    // Null is a legal object-typed value.
+    db.write_attr(&v2, &"next".into(), Value::Null).unwrap();
+    assert_eq!(db.read_attr(&v2, &"next".into()).unwrap(), Value::Null);
+}
+
+#[test]
+fn pi_requirement_weaker_than_ti() {
+    // Wherever ti is violated, pi must be too (ti ⇒ pi).
+    let s = parse_schema(
+        r#"
+        class C { a: int }
+        user direct { r_a }
+        require (direct, r_a(x) : ti)
+        require (direct, r_a(x) : pi)
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    let ti = analyze(&s, &s.requirements[0]).unwrap();
+    let pi = analyze(&s, &s.requirements[1]).unwrap();
+    assert!(ti.is_violated());
+    assert!(pi.is_violated());
+}
+
+#[test]
+fn requirement_with_caps_on_multiple_positions() {
+    // All caps must co-occur on ONE occurrence: ta on the value AND pi on
+    // the return of the same read... use a write: ta on value and pa on
+    // receiver simultaneously.
+    let s = parse_schema(
+        r#"
+        class C { a: int }
+        fn setA(c: C, v: int): null { w_a(c, v) }
+        user u { setA }
+        require (u, w_a(x: pa, v: ta))
+        "#,
+    )
+    .unwrap();
+    check_schema(&s).unwrap();
+    // The receiver is the user's object argument (pa ✓ via ta axiom) and
+    // the value flows from the int argument (ta ✓): violated.
+    assert!(analyze(&s, &s.requirements[0]).unwrap().is_violated());
+
+    let s2 = parse_schema(
+        r#"
+        class C { a: int }
+        fn resetA(c: C): null { w_a(c, 0) }
+        user u { resetA }
+        require (u, w_a(x: pa, v: ta))
+        "#,
+    )
+    .unwrap();
+    check_schema(&s2).unwrap();
+    // pa on the receiver holds, ta on the constant value does not: the
+    // conjunction fails.
+    assert!(!analyze(&s2, &s2.requirements[0]).unwrap().is_violated());
+}

@@ -1,0 +1,179 @@
+//! Deduction correctness: whatever the dynamic inference engines claim to
+//! know must be *true* — the actual execution values always lie inside the
+//! deduced candidate sets, and a `ti` claim always names the actual value.
+//!
+//! This is the semantic counterpart of the paper's Definitions 4/5: the
+//! engines may under-deduce (they are bounded) but must never mis-deduce.
+
+use oodb_model::Value;
+use proptest::prelude::*;
+use secflow::unfold::NProgram;
+use secflow_dynamic::eval::eval_outer;
+use secflow_dynamic::idealized::{infer_idealized, IDom};
+use secflow_dynamic::infer::{infer, Probe};
+use secflow_dynamic::worlds::{enumerate_worlds, WorldSpec};
+use secflow_workloads::random::{random_case, RandomSpec};
+
+/// Build deterministic probes for a case: every outer invoked once or
+/// twice with argument values drawn from the seed.
+fn probes_for(
+    prog: &NProgram,
+    world: &oodb_engine::Database,
+    seed: u64,
+) -> Vec<Probe> {
+    let mut probes = Vec::new();
+    let n = prog.outers.len();
+    for step in 0..(2 * n).min(4) {
+        let outer_idx = (seed as usize + step) % n;
+        let outer = &prog.outers[outer_idx];
+        let args: Vec<Value> = outer
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, (_, ty))| match ty {
+                t if t.is_basic() => match t {
+                    oodb_model::Type::Basic(oodb_model::BasicType::Int) => {
+                        Value::Int(((seed as i64) + step as i64 + i as i64) % 3)
+                    }
+                    oodb_model::Type::Basic(oodb_model::BasicType::Bool) => {
+                        Value::Bool((seed + step as u64 + i as u64).is_multiple_of(2))
+                    }
+                    _ => Value::str("s"),
+                },
+                oodb_model::Type::Class(c) => world
+                    .extent(c)
+                    .first()
+                    .copied()
+                    .map(Value::Obj)
+                    .unwrap_or(Value::Null),
+                _ => Value::Null,
+            })
+            .collect();
+        probes.push(Probe {
+            outer: outer_idx,
+            args,
+        });
+    }
+    probes
+}
+
+/// The actual per-step site values of the instance.
+fn actual_sites(
+    prog: &NProgram,
+    probes: &[Probe],
+    world: &oodb_engine::Database,
+) -> Vec<Option<std::collections::HashMap<u32, Value>>> {
+    let mut db = world.clone();
+    probes
+        .iter()
+        .map(|p| {
+            eval_outer(&mut db, prog, p.outer, &p.args)
+                .ok()
+                .map(|(_, s)| s)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The finite I(E) engine never excludes the true value.
+    #[test]
+    fn finite_ie_is_truthful(seed in 0u64..3000) {
+        let case = random_case(seed, &RandomSpec::default());
+        let caps = case.schema.user_str(&case.user).unwrap();
+        let prog = NProgram::unfold(&case.schema, caps).unwrap();
+        let worlds = enumerate_worlds(&case.schema, &WorldSpec::default()).unwrap();
+        let world = &worlds[(seed as usize) % worlds.len()];
+        let probes = probes_for(&prog, world, seed);
+        let actual = actual_sites(&prog, &probes, world);
+
+        let d = infer(&prog, &probes, world, &worlds);
+        for (t, step) in actual.iter().enumerate() {
+            let Some(sites) = step else { continue };
+            for (e, v) in sites {
+                if let Some(c) = d.candidates((t, *e)) {
+                    prop_assert!(
+                        c.contains(v),
+                        "I(E) excluded the true value {v} of site ({t},{e}): {c:?}"
+                    );
+                }
+                if d.is_total((t, *e)) {
+                    prop_assert_eq!(d.value((t, *e)), Some(v));
+                }
+            }
+        }
+    }
+
+    /// The idealized engine never excludes the true value either — its
+    /// half-planes and finite sets always contain the actual execution.
+    #[test]
+    fn idealized_is_truthful(seed in 0u64..3000) {
+        let case = random_case(seed, &RandomSpec::default());
+        let caps = case.schema.user_str(&case.user).unwrap();
+        let prog = NProgram::unfold(&case.schema, caps).unwrap();
+        let worlds = enumerate_worlds(&case.schema, &WorldSpec::default()).unwrap();
+        let world = &worlds[(seed as usize) % worlds.len()];
+        let probes = probes_for(&prog, world, seed);
+        let actual = actual_sites(&prog, &probes, world);
+
+        let d = infer_idealized(&prog, &probes, world);
+        for (t, step) in actual.iter().enumerate() {
+            let Some(sites) = step else { continue };
+            for (e, v) in sites {
+                let Some(dom) = d.domain((t, *e)) else { continue };
+                match (dom, v) {
+                    (IDom::Int(z), Value::Int(i)) => {
+                        prop_assert!(
+                            !z.excludes(*i),
+                            "idealized excluded true value {i} at ({t},{e}): {z:?}"
+                        );
+                    }
+                    (IDom::Vals(s), other) => {
+                        prop_assert!(
+                            s.contains(other),
+                            "idealized excluded true value {other} at ({t},{e}): {s:?}"
+                        );
+                    }
+                    (IDom::Top, _) => {}
+                    // Type mismatch between abstract domain and value would
+                    // itself be a bug.
+                    (IDom::Int(_), other) => {
+                        prop_assert!(false, "int domain for non-int value {other}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The finite engine is at least as strong as the idealized one on
+    /// totals (it knows the bounded world priors), never weaker the other
+    /// way: anything the idealized engine pins, the finite engine pins too.
+    #[test]
+    fn idealized_totals_are_a_subset(seed in 0u64..1500) {
+        let case = random_case(seed, &RandomSpec::default());
+        let caps = case.schema.user_str(&case.user).unwrap();
+        let prog = NProgram::unfold(&case.schema, caps).unwrap();
+        let worlds = enumerate_worlds(&case.schema, &WorldSpec::default()).unwrap();
+        let world = &worlds[(seed as usize) % worlds.len()];
+        let probes = probes_for(&prog, world, seed);
+        let actual = actual_sites(&prog, &probes, world);
+
+        let fin = infer(&prog, &probes, world, &worlds);
+        let ideal = infer_idealized(&prog, &probes, world);
+        for (t, step) in actual.iter().enumerate() {
+            if step.is_none() {
+                continue;
+            }
+            let Some(sites) = step else { continue };
+            for e in sites.keys() {
+                if ideal.is_total((t, *e)) {
+                    prop_assert!(
+                        fin.is_total((t, *e)),
+                        "idealized pinned ({t},{e}) but the finite engine did not"
+                    );
+                }
+            }
+        }
+    }
+}

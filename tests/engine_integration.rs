@@ -1,0 +1,142 @@
+//! Cross-crate integration tests for the OODB substrate: schema text →
+//! parse → check → database → sessions → queries, including the paper's §2
+//! examples verbatim.
+
+use oodb_engine::exec::run_query;
+use oodb_engine::{Database, Session};
+use oodb_lang::{parse_query, parse_schema};
+use oodb_model::{UserName, Value};
+
+fn person_db() -> Database {
+    let schema = parse_schema(
+        r#"
+        class Person { name: string, age: int, child: {Person} }
+        fn profile(p: Person): string { "name: " ++ r_name(p) }
+        user u { profile, r_name, r_age, r_child }
+        "#,
+    )
+    .unwrap();
+    let mut db = Database::new(schema).unwrap();
+    let kid1 = db
+        .create("Person", vec![Value::str("Ann"), Value::Int(12), Value::set(vec![])])
+        .unwrap();
+    let kid2 = db
+        .create("Person", vec![Value::str("Bob"), Value::Int(9), Value::set(vec![])])
+        .unwrap();
+    db.create(
+        "Person",
+        vec![
+            Value::str("John"),
+            Value::Int(41),
+            Value::set(vec![Value::Obj(kid1), Value::Obj(kid2)]),
+        ],
+    )
+    .unwrap();
+    db.create("Person", vec![Value::str("Mia"), Value::Int(25), Value::set(vec![])])
+        .unwrap();
+    db
+}
+
+/// §2's first query: names and profiles of persons over 20.
+#[test]
+fn paper_query_select_where() {
+    let mut db = person_db();
+    let q = parse_query("select r_name(p), profile(p) from p in Person where r_age(p) > 20")
+        .unwrap();
+    let out = run_query(&mut db, Some(&UserName::new("u")), &q).unwrap();
+    assert_eq!(out.rows.len(), 2);
+    assert_eq!(out.rows[0].0[0], Value::str("John"));
+    assert_eq!(out.rows[0].0[1], Value::str("name: John"));
+    assert_eq!(out.rows[1].0[0], Value::str("Mia"));
+}
+
+/// §2's nested query: names of John's children.
+#[test]
+fn paper_nested_query() {
+    let mut db = person_db();
+    let q = parse_query(
+        "select (select r_name(q) from q in r_child(p)) from p in Person \
+         where r_name(p) == \"John\"",
+    )
+    .unwrap();
+    let out = run_query(&mut db, Some(&UserName::new("u")), &q).unwrap();
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(
+        out.rows[0].0[0],
+        Value::set(vec![Value::str("Ann"), Value::str("Bob")])
+    );
+}
+
+/// Two from-clause bindings form a cross product; the same variable can be
+/// routed into two argument positions (the equality the analysis leans on).
+#[test]
+fn cross_product_and_shared_variable() {
+    let mut db = person_db();
+    let q = parse_query(
+        "select r_name(p), r_name(q) from p in Person, q in Person \
+         where r_age(p) >= r_age(q)",
+    )
+    .unwrap();
+    let out = run_query(&mut db, Some(&UserName::new("u")), &q).unwrap();
+    // 4 persons → 16 pairs, filtered to age(p) >= age(q): exact count
+    // depends on the ages (41, 12, 9, 25 are all distinct → 6 strict pairs
+    // + 4 reflexive = 10).
+    assert_eq!(out.rows.len(), 10);
+}
+
+/// Session log records exactly the user-visible observations.
+#[test]
+fn session_log_is_user_visible_only() {
+    let mut db = person_db();
+    let mut s = Session::open(&mut db, "u");
+    s.query("select profile(p) from p in Person where r_age(p) > 30")
+        .unwrap();
+    assert_eq!(s.log().len(), 1);
+    let entry = &s.log()[0];
+    assert!(entry.result.contains("name: John"));
+    // No OIDs anywhere in what the user sees.
+    assert!(!entry.result.contains("Oid"));
+}
+
+/// Mutations made through queries persist across sessions.
+#[test]
+fn updates_persist_across_sessions() {
+    let schema = parse_schema(
+        r#"
+        class Counter { n: int }
+        user writer { w_n }
+        user reader { r_n }
+        "#,
+    )
+    .unwrap();
+    let mut db = Database::new(schema).unwrap();
+    db.create("Counter", vec![Value::Int(0)]).unwrap();
+    {
+        let mut w = Session::open(&mut db, "writer");
+        w.query("select w_n(c, 41) from c in Counter").unwrap();
+        w.query("select w_n(c, 42) from c in Counter").unwrap();
+    }
+    let mut r = Session::open(&mut db, "reader");
+    let out = r.query("select r_n(c) from c in Counter").unwrap();
+    assert_eq!(out.rows[0].0[0], Value::Int(42));
+}
+
+/// A runtime error (division by zero) surfaces as a session error and does
+/// not poison the database.
+#[test]
+fn runtime_errors_are_recoverable() {
+    let schema = parse_schema(
+        r#"
+        class C { a: int }
+        fn bad(c: C): int { r_a(c) / 0 }
+        user u { bad, r_a }
+        "#,
+    )
+    .unwrap();
+    let mut db = Database::new(schema).unwrap();
+    db.create("C", vec![Value::Int(5)]).unwrap();
+    let mut s = Session::open(&mut db, "u");
+    assert!(s.query("select bad(c) from c in C").is_err());
+    let out = s.query("select r_a(c) from c in C").unwrap();
+    assert_eq!(out.rows[0].0[0], Value::Int(5));
+}

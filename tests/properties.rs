@@ -1,0 +1,173 @@
+//! Property-based tests for the cross-crate invariants of DESIGN.md §6.
+
+use oodb_engine::Database;
+use oodb_lang::ast::{BasicOp, Expr, Literal};
+use oodb_lang::{parse_expr, parse_requirement};
+use oodb_model::{FnRef, Value};
+use proptest::prelude::*;
+use secflow::algorithm::analyze;
+use secflow::closure::Closure;
+use secflow::unfold::NProgram;
+use secflow_workloads::random::{random_case, RandomSpec};
+
+// ---------------------------------------------------------------- P6: parser
+
+/// Generator for closed integer expressions over a variable `x`.
+fn int_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(|i| Expr::Const(Literal::Int(i))),
+        Just(Expr::var("x")),
+    ];
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BasicOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BasicOp::Sub, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BasicOp::Mul, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BasicOp::Div, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BasicOp::Mod, a, b)),
+            // Mirror the parser's constant folding: `-` on an int literal
+            // is a negative constant, not a Neg node.
+            inner.clone().prop_map(|a| match a {
+                Expr::Const(Literal::Int(n)) => Expr::Const(Literal::Int(-n)),
+                other => Expr::Basic(BasicOp::Neg, vec![other]),
+            }),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Let {
+                bindings: vec![("y".into(), a)],
+                body: Box::new(Expr::bin(BasicOp::Add, Expr::var("y"), b)),
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// P6: pretty-print then re-parse is the identity.
+    #[test]
+    fn parser_round_trip(e in int_expr(4)) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("re-parse failed on `{printed}`: {err}"));
+        prop_assert_eq!(reparsed, e);
+    }
+}
+
+// ------------------------------------------------- P1: unfolding ≡ engine
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// P1: evaluating the unfolded numbered program gives the same result
+    /// as the engine's nested evaluation, for random bodies.
+    #[test]
+    fn unfolding_preserves_semantics(e in int_expr(3), x in -20i64..20) {
+        let mut schema = oodb_lang::Schema::new();
+        schema.functions.insert(
+            "f".into(),
+            oodb_lang::AccessFnDef {
+                name: "f".into(),
+                params: vec![("x".into(), oodb_model::Type::INT)],
+                ret: oodb_model::Type::INT,
+                body: e,
+            },
+        );
+        let caps: oodb_model::CapabilityList =
+            [FnRef::access("f")].into_iter().collect();
+        schema.users.insert("u".into(), caps.clone());
+        prop_assume!(oodb_lang::check_schema(&schema).is_ok());
+
+        let prog = NProgram::unfold(&schema, &caps).unwrap();
+        let mut db1 = Database::new_unchecked(schema.clone());
+        let mut db2 = Database::new_unchecked(schema);
+        let via_engine = db1.invoke(&FnRef::access("f"), vec![Value::Int(x)]);
+        let via_prog =
+            secflow_dynamic::eval::eval_outer(&mut db2, &prog, 0, &[Value::Int(x)])
+                .map(|(v, _)| v);
+        match (via_engine, via_prog) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            // Errors (division by zero / overflow) must agree too.
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}", a, b),
+        }
+    }
+}
+
+// --------------------------------------- P3/P4: closure invariants
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// P3 (determinism) and P4 (capability lattice) over the random corpus.
+    #[test]
+    fn closure_invariants(seed in 0u64..5000) {
+        let case = random_case(seed, &RandomSpec::default());
+        let caps = case.schema.user_str(&case.user).unwrap();
+        let prog = NProgram::unfold(&case.schema, caps).unwrap();
+        let c1 = Closure::compute(&prog).unwrap();
+        let c2 = Closure::compute(&prog).unwrap();
+        // P3: deterministic.
+        let mut t1: Vec<_> = c1.iter().copied().collect();
+        let mut t2: Vec<_> = c2.iter().copied().collect();
+        t1.sort();
+        t2.sort();
+        prop_assert_eq!(t1, t2);
+        // P4: ta ⇒ pa and ti ⇒ pi on every occurrence.
+        for e in prog.iter() {
+            if c1.has_ta(e.id) {
+                prop_assert!(c1.has_pa(e.id), "ta without pa on {}", e.id);
+            }
+            if c1.has_ti(e.id) {
+                prop_assert!(c1.has_pi(e.id), "ti without pi on {}", e.id);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- P8: monotonicity
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// P8: granting strictly more capabilities never turns a violated
+    /// verdict into a satisfied one.
+    #[test]
+    fn analysis_monotone_in_grants(seed in 0u64..5000) {
+        let case = random_case(seed, &RandomSpec::default());
+        let mut bigger = case.schema.clone();
+        // Grow the user's list with every attribute's read.
+        let mut caps = bigger.user_str(&case.user).unwrap().clone();
+        let class = bigger.classes.iter().next().unwrap().clone();
+        for attr in &class.attrs {
+            caps.grant(FnRef::read(attr.name.clone()));
+        }
+        bigger.users.insert(case.user.clone().into(), caps);
+
+        for req in &case.requirements {
+            let small = analyze(&case.schema, req).unwrap();
+            let big = analyze(&bigger, req).unwrap();
+            if small.is_violated() {
+                prop_assert!(big.is_violated(), "{req} lost its violation after granting more");
+            }
+        }
+    }
+}
+
+// --------------------------------------------- requirement parsing totality
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Requirement display/parse round-trip.
+    #[test]
+    fn requirement_round_trip(
+        attr in "[a-c]",
+        user in "[uv]",
+        cap in prop_oneof![Just("ti"), Just("pi"), Just("ta"), Just("pa")],
+    ) {
+        let text = format!("({user}, r_{attr}(x) : {cap})");
+        let req = parse_requirement(&text).unwrap();
+        let printed = req.to_string();
+        let reparsed = parse_requirement(&printed).unwrap();
+        prop_assert_eq!(req, reparsed);
+    }
+}

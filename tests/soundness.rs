@@ -1,0 +1,81 @@
+//! Differential soundness (experiment E3 in miniature): across a seeded
+//! corpus of random policies, every capability the bounded concrete
+//! attacker realises must have been flagged by `A(R)` — Theorem 1.
+
+use secflow_dynamic::differential::{classify, DiffOutcome, DiffReport};
+use secflow_dynamic::strategy::StrategySpec;
+use secflow_dynamic::AttackerConfig;
+use secflow_workloads::random::{random_case, RandomSpec};
+
+fn config() -> AttackerConfig {
+    AttackerConfig {
+        strategies: StrategySpec {
+            max_steps: 2,
+            max_assignments: 2048,
+            max_shapes: 64,
+            ..StrategySpec::default()
+        },
+        ..AttackerConfig::default()
+    }
+}
+
+#[test]
+fn no_dynamic_only_cases_in_corpus() {
+    let spec = RandomSpec::default();
+    let cfg = config();
+    let mut report = DiffReport::default();
+    for seed in 0..120u64 {
+        let case = random_case(seed, &spec);
+        for req in &case.requirements {
+            let res = classify(&case.schema, req, &cfg);
+            if let Ok(c) = &res {
+                assert_ne!(
+                    c.outcome,
+                    DiffOutcome::DynamicOnly,
+                    "SOUNDNESS VIOLATION seed {seed}: {} ({:?})",
+                    c.requirement,
+                    c.witness
+                );
+            }
+            report.record(res);
+        }
+    }
+    // The corpus must be non-trivial: some true positives and some
+    // negatives, or the test proves nothing.
+    assert!(report.both > 0, "corpus has no realised flaws: {report}");
+    assert!(report.neither > 0, "corpus has no safe cases: {report}");
+    assert!(report.is_sound());
+}
+
+#[test]
+fn deeper_probes_stay_sound_on_small_corpus() {
+    let spec = RandomSpec {
+        attrs: 2,
+        functions: 2,
+        depth: 1,
+        ..RandomSpec::default()
+    };
+    let cfg = AttackerConfig {
+        strategies: StrategySpec {
+            max_steps: 3,
+            max_assignments: 4096,
+            max_shapes: 128,
+            ..StrategySpec::default()
+        },
+        ..AttackerConfig::default()
+    };
+    for seed in 1000..1020u64 {
+        let case = random_case(seed, &spec);
+        for req in &case.requirements {
+            if let Ok(c) = classify(&case.schema, req, &cfg) {
+                assert_ne!(
+                    c.outcome,
+                    DiffOutcome::DynamicOnly,
+                    "seed {seed}: {} ({:?})",
+                    c.requirement,
+                    c.witness
+                );
+            }
+        }
+    }
+}
