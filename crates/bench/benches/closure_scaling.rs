@@ -14,12 +14,7 @@ fn run_analysis(case: &ScaleCase) -> bool {
     check_against(&prog, &closure, &case.requirement).is_violated()
 }
 
-fn bench_family(
-    c: &mut Criterion,
-    name: &str,
-    gen: fn(usize) -> ScaleCase,
-    params: &[usize],
-) {
+fn bench_family(c: &mut Criterion, name: &str, gen: fn(usize) -> ScaleCase, params: &[usize]) {
     let mut group = c.benchmark_group(name);
     for &p in params {
         let case = gen(p);

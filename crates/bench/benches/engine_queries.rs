@@ -10,10 +10,9 @@ use secflow_bench::seeded_db;
 
 fn engine_queries(c: &mut Criterion) {
     let admin = UserName::new("admin");
-    let probe = parse_query(
-        "select checkBudget(b), r_name(b) from b in Broker where r_salary(b) > 100",
-    )
-    .expect("query parses");
+    let probe =
+        parse_query("select checkBudget(b), r_name(b) from b in Broker where r_salary(b) > 100")
+            .expect("query parses");
     let scan = parse_query("select r_name(b) from b in Broker").expect("query parses");
     let attack = parse_query(
         "select w_budget(b, 1500), checkBudget(b), w_budget(b, 1499), checkBudget(b) \

@@ -5,12 +5,24 @@
 //! cargo run -p secflow-bench --release --bin harness -- e1 e3  # subset
 //! cargo run -p secflow-bench --release --bin harness -- e3=500 # corpus size
 //! ```
+//!
+//! Every run also writes `BENCH_obs.json` next to the working directory: a
+//! machine-readable metrics blob with per-experiment wall times plus the
+//! closure counters for the canonical stockbroker analysis (see
+//! `secflow_obs` for the format). Pass `--no-obs` to skip it.
 
+use secflow::closure::{Closure, DEFAULT_TERM_LIMIT};
+use secflow::rules::RuleConfig;
+use secflow::unfold::NProgram;
 use secflow_bench::*;
+use secflow_obs::{MetricsSink, Phases, Recorder};
+use secflow_workloads::stockbroker;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a.starts_with(name));
+    let want = |name: &str| {
+        args.iter().all(|a| a.starts_with("--")) || args.iter().any(|a| a.starts_with(name))
+    };
     let param = |name: &str, default: usize| {
         args.iter()
             .find_map(|a| a.strip_prefix(&format!("{name}=")))
@@ -18,29 +30,60 @@ fn main() {
             .unwrap_or(default)
     };
 
+    let mut phases = Phases::new();
     if want("e1") {
-        run_e1();
+        phases.time("e1", run_e1);
     }
     if want("e2") {
-        run_e2();
+        phases.time("e2", run_e2);
     }
     if want("e3") || want("e4") {
-        run_e3_e4(param("e3", 500));
+        phases.time("e3_e4", || run_e3_e4(param("e3", 500)));
     }
     if want("e5") {
-        run_e5();
+        phases.time("e5", run_e5);
     }
     if want("e6") {
-        run_e6();
+        phases.time("e6", run_e6);
     }
     if want("e7") {
-        run_e7();
+        phases.time("e7", run_e7);
     }
     if want("e8") {
-        run_e8(param("e8", 60));
+        phases.time("e8", || run_e8(param("e8", 60)));
     }
     if args.iter().any(|a| a == "tables") {
-        run_tables();
+        phases.time("tables", run_tables);
+    }
+
+    if !args.iter().any(|a| a == "--no-obs") {
+        write_obs_blob(&phases);
+    }
+}
+
+/// Emit `BENCH_obs.json`: the harness phase timings plus the closure
+/// counters for the stockbroker fixture (the paper's running example), so
+/// regressions in both wall time and rule behaviour are diffable across
+/// runs without re-parsing the human-readable tables.
+fn write_obs_blob(phases: &Phases) {
+    let mut rec = Recorder::new();
+    phases.record_to(&mut rec);
+
+    let schema = stockbroker();
+    if let Some(caps) = schema.user_str("clerk") {
+        if let Ok(prog) = NProgram::unfold(&schema, caps) {
+            let (_, stats) =
+                Closure::compute_with_stats(&prog, &RuleConfig::default(), DEFAULT_TERM_LIMIT);
+            stats.record_to(&mut rec);
+            rec.counter("fixture.program_nodes", prog.len() as u64);
+        }
+    }
+
+    let report = rec.into_report();
+    let path = "BENCH_obs.json";
+    match std::fs::write(path, report.to_json().pretty()) {
+        Ok(()) => eprintln!("metrics: wrote {path}"),
+        Err(e) => eprintln!("metrics: could not write {path}: {e}"),
     }
 }
 
@@ -81,7 +124,11 @@ fn run_e2() {
             r.requirement,
             if r.expected_flaw { "flaw" } else { "ok" },
             if r.got_flaw { "flaw" } else { "ok" },
-            if r.expected_flaw == r.got_flaw { "yes" } else { "NO" },
+            if r.expected_flaw == r.got_flaw {
+                "yes"
+            } else {
+                "NO"
+            },
         );
     }
 }
@@ -121,7 +168,10 @@ fn run_e5() {
 
 fn run_e6() {
     banner("E6 — engine probe-query throughput");
-    println!("{:>10} {:>10} {:>12} {:>14}", "objects", "rows", "time (us)", "objs/ms");
+    println!(
+        "{:>10} {:>10} {:>12} {:>14}",
+        "objects", "rows", "time (us)", "objs/ms"
+    );
     for r in e6_engine(&[10, 100, 1_000, 10_000]) {
         let per_ms = if r.micros == 0 {
             f64::INFINITY
@@ -141,12 +191,27 @@ fn run_e8(cases: usize) {
     ));
     let r = e8_containment(cases);
     println!("cases                : {}", r.cases);
-    println!("finite I(E) realises : {}  (bounded Table-1 engine)", r.finite_flags);
-    println!("idealized realises   : {}  (Z-valid deductions)", r.ideal_flags);
+    println!(
+        "finite I(E) realises : {}  (bounded Table-1 engine)",
+        r.finite_flags
+    );
+    println!(
+        "idealized realises   : {}  (Z-valid deductions)",
+        r.ideal_flags
+    );
     println!("A(R) flags           : {}", r.static_flags);
-    println!("idealized \\ finite   : {}  (must be 0)", r.ideal_not_finite);
-    println!("idealized \\ A(R)     : {}  (must be 0 — Theorem 1)", r.ideal_not_static);
-    println!("finite \\ A(R)        : {}  (finite-domain truncation artefacts)", r.finite_artifacts);
+    println!(
+        "idealized \\ finite   : {}  (must be 0)",
+        r.ideal_not_finite
+    );
+    println!(
+        "idealized \\ A(R)     : {}  (must be 0 — Theorem 1)",
+        r.ideal_not_static
+    );
+    println!(
+        "finite \\ A(R)        : {}  (finite-domain truncation artefacts)",
+        r.finite_artifacts
+    );
 }
 
 fn run_tables() {

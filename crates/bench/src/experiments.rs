@@ -204,8 +204,7 @@ pub fn e5_scaling_sized(
             let start = Instant::now();
             let prog = NProgram::unfold(&case.schema, caps).expect("scale unfolds");
             let closure = Closure::compute(&prog).expect("scale closure");
-            let verdict =
-                secflow::algorithm::check_against(&prog, &closure, &case.requirement);
+            let verdict = secflow::algorithm::check_against(&prog, &closure, &case.requirement);
             let micros = start.elapsed().as_micros();
             let _ = verdict;
             rows.push(E5Row {
@@ -252,10 +251,9 @@ pub fn seeded_db(n: usize) -> Database {
 
 /// E6 — substrate sanity: probe-query throughput over growing extents.
 pub fn e6_engine(sizes: &[usize]) -> Vec<E6Row> {
-    let query = parse_query(
-        "select checkBudget(b), r_name(b) from b in Broker where r_salary(b) > 100",
-    )
-    .expect("query parses");
+    let query =
+        parse_query("select checkBudget(b), r_name(b) from b in Broker where r_salary(b) > 100")
+            .expect("query parses");
     let admin = UserName::new("admin");
     sizes
         .iter()
@@ -310,16 +308,24 @@ fn ie_achieves(
 ) -> bool {
     use secflow::algorithm::occurrences;
     use secflow::unfold::NProgram;
-    let Some(caps) = schema.user(&req.user) else { return false };
-    let Ok(prog) = NProgram::unfold(schema, caps) else { return false };
+    let Some(caps) = schema.user(&req.user) else {
+        return false;
+    };
+    let Ok(prog) = NProgram::unfold(schema, caps) else {
+        return false;
+    };
     let occs = occurrences(&prog, &req.target);
     if occs.is_empty() {
         return false;
     }
-    let Ok(worlds) = enumerate_worlds(schema, world_spec) else { return false };
+    let Ok(worlds) = enumerate_worlds(schema, world_spec) else {
+        return false;
+    };
     let want_total = req.ret_caps.contains(&oodb_lang::Cap::Ti);
     for shape in shapes(&prog, spec) {
-        let Some(asgs) = assignments(&prog, &shape, spec) else { continue };
+        let Some(asgs) = assignments(&prog, &shape, spec) else {
+            continue;
+        };
         for asg in asgs {
             for world in &worlds {
                 let probes: Vec<Probe> = shape
@@ -343,7 +349,9 @@ fn ie_achieves(
                     .collect();
                 let d = infer(&prog, &probes, world, &worlds);
                 for occ in &occs {
-                    let Some(outer_idx) = prog.outer_index_of(occ.ret) else { continue };
+                    let Some(outer_idx) = prog.outer_index_of(occ.ret) else {
+                        continue;
+                    };
                     for (t, &o) in shape.iter().enumerate() {
                         if o != outer_idx {
                             continue;
@@ -560,8 +568,8 @@ pub fn e7_ablation() -> Vec<E7Row> {
             let mut false_alarms = 0;
             for (schema, req_text, expect) in &cases {
                 let req = parse_requirement(req_text).expect("round-trip");
-                let verdict = analyze_with_config(schema, &req, &config)
-                    .expect("ablation analyses run");
+                let verdict =
+                    analyze_with_config(schema, &req, &config).expect("ablation analyses run");
                 if *expect {
                     total += 1;
                     if verdict.is_violated() {

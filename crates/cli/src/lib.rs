@@ -11,6 +11,12 @@
 //! secflow fmt    policy.sfl                    # parse + pretty-print
 //! ```
 //!
+//! Every command also accepts `--metrics[=text|json]` (pipeline statistics
+//! on stderr — phase timings, closure term/rule counters, fixpoint rounds)
+//! and `--trace` (per-requirement phase lines on stderr as they complete).
+//! Both write to **stderr** only, so stdout stays byte-identical and
+//! diff-stable with and without them.
+//!
 //! Exit codes: 0 = all requirements satisfied, 1 = at least one violated,
 //! 2 = usage / parse / type errors.
 
@@ -18,13 +24,15 @@
 #![warn(missing_docs)]
 
 use oodb_lang::{check_schema, parse_schema, Schema};
-use secflow::algorithm::{analyze, occurrences};
+use secflow::algorithm::{analyze, analyze_with_stats, occurrences, AnalysisConfig};
 use secflow::closure::Closure;
 use secflow::report::{render_derivation, render_term, Verdict};
+use secflow::stats::ClosureStats;
 use secflow::unfold::NProgram;
 use secflow_dynamic::attack_requirement;
 use secflow_dynamic::strategy::StrategySpec;
 use secflow_dynamic::AttackerConfig;
+use secflow_obs::{MetricsSink, Phases, Recorder};
 use std::fmt::Write as _;
 
 /// A parsed command line.
@@ -65,6 +73,33 @@ pub enum Command {
     Help,
 }
 
+/// How to render metrics on stderr.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Human-readable summary table.
+    #[default]
+    Text,
+    /// Machine-readable JSON document.
+    Json,
+}
+
+/// The observability flags, orthogonal to the command: `--metrics[=…]` and
+/// `--trace`. Both emit to stderr only — stdout stays diff-stable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Emit a pipeline metrics summary after the command.
+    pub metrics: Option<MetricsFormat>,
+    /// Emit per-requirement phase lines as analysis progresses.
+    pub trace: bool,
+}
+
+impl ObsOptions {
+    /// Are both facilities off (the plain, uninstrumented path)?
+    pub fn is_off(&self) -> bool {
+        self.metrics.is_none() && !self.trace
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 secflow — static detection of security flaws in object-oriented databases
@@ -77,6 +112,12 @@ USAGE:
   secflow fix    <policy-file>               suggest minimal revocations per flaw
   secflow fmt    <policy-file>               parse and pretty-print the policy
 
+OBSERVABILITY (any command; output goes to stderr, stdout is unchanged):
+  --metrics[=text|json]   pipeline statistics: per-phase timings, closure
+                          term counts per capability kind, rule firings,
+                          fixpoint rounds, worklist peak, dedup rate
+  --trace                 per-requirement phase timing lines as they finish
+
 POLICY FILES contain class, fn, user and require declarations:
 
   class Broker { name: string, salary: int, budget: int }
@@ -84,6 +125,27 @@ POLICY FILES contain class, fn, user and require declarations:
   user clerk { checkBudget, w_budget }
   require (clerk, r_salary(x) : ti)
 ";
+
+/// Parse a command line including the observability flags. `--metrics`,
+/// `--metrics=text`, `--metrics=json` and `--trace` are accepted anywhere
+/// on the line; everything else goes through [`parse_args`].
+pub fn parse_args_with_obs(args: &[String]) -> Result<(Command, ObsOptions), String> {
+    let mut obs = ObsOptions::default();
+    let mut rest = Vec::with_capacity(args.len());
+    for a in args {
+        match a.as_str() {
+            "--metrics" | "--metrics=text" => obs.metrics = Some(MetricsFormat::Text),
+            "--metrics=json" => obs.metrics = Some(MetricsFormat::Json),
+            "--trace" => obs.trace = true,
+            other if other.starts_with("--metrics=") => {
+                let fmt = &other["--metrics=".len()..];
+                return Err(format!("unknown metrics format `{fmt}` (use text or json)"));
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((parse_args(&rest)?, obs))
+}
 
 /// Parse a command line (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
@@ -113,11 +175,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--user" => {
-                        user = Some(
-                            args.next()
-                                .ok_or("unfold: --user needs a value")?
-                                .clone(),
-                        )
+                        user = Some(args.next().ok_or("unfold: --user needs a value")?.clone())
                     }
                     _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
                     other => return Err(format!("unexpected argument `{other}`")),
@@ -211,15 +269,171 @@ pub fn run(cmd: &Command) -> (String, i32) {
     }
 }
 
-fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
+/// Output of an instrumented run: the report (stdout), the observability
+/// stream (stderr) and the exit code.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CliOutput {
+    /// The command's report — byte-identical to the uninstrumented run.
+    pub stdout: String,
+    /// Trace lines and/or the metrics summary; empty when both are off.
+    pub stderr: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+/// Everything collected while an instrumented command runs.
+#[derive(Default)]
+struct Collected {
+    phases: Phases,
+    closure: ClosureStats,
+    program_nodes: u64,
+    occurrences: u64,
+    requirements: u64,
+    trace: String,
+}
+
+impl Collected {
+    fn record_to(&self, sink: &mut dyn MetricsSink) {
+        self.phases.record_to(sink);
+        if self.requirements > 0 {
+            self.closure.record_to(sink);
+            sink.counter("analysis.requirements", self.requirements);
+            sink.counter("analysis.program_nodes", self.program_nodes);
+            sink.counter("analysis.occurrences", self.occurrences);
+        }
+    }
+}
+
+/// Run a command against policy text with observability. When both
+/// facilities are off this is exactly [`run_on_source`] with empty stderr;
+/// otherwise stdout is still byte-identical and stderr carries the trace
+/// lines and/or metrics summary.
+pub fn run_on_source_with_obs(cmd: &Command, src: &str, obs: &ObsOptions) -> CliOutput {
+    if obs.is_off() {
+        let (stdout, code) = run_on_source(cmd, src);
+        return CliOutput {
+            stdout,
+            stderr: String::new(),
+            code,
+        };
+    }
+    if matches!(cmd, Command::Help) {
+        return CliOutput {
+            stdout: USAGE.to_owned(),
+            stderr: String::new(),
+            code: 0,
+        };
+    }
+    let mut col = Collected::default();
+    let (stdout, code) = instrumented(cmd, src, obs.trace, &mut col);
+    let mut stderr = std::mem::take(&mut col.trace);
+    if let Some(format) = obs.metrics {
+        let mut rec = Recorder::new();
+        col.record_to(&mut rec);
+        let report = rec.into_report();
+        match format {
+            MetricsFormat::Text => stderr.push_str(&report.render_table()),
+            MetricsFormat::Json => stderr.push_str(&report.to_json().pretty()),
+        }
+    }
+    CliOutput {
+        stdout,
+        stderr,
+        code,
+    }
+}
+
+/// Run a command end-to-end (file IO included) with observability.
+pub fn run_with_obs(cmd: &Command, obs: &ObsOptions) -> CliOutput {
+    match cmd {
+        Command::Help => CliOutput {
+            stdout: USAGE.to_owned(),
+            stderr: String::new(),
+            code: 0,
+        },
+        Command::Check { file, .. }
+        | Command::Unfold { file, .. }
+        | Command::Attack { file, .. }
+        | Command::Fix { file }
+        | Command::Fmt { file } => match std::fs::read_to_string(file) {
+            Ok(src) => run_on_source_with_obs(cmd, &src, obs),
+            Err(e) => CliOutput {
+                stdout: format!("error: cannot read `{file}`: {e}\n"),
+                stderr: String::new(),
+                code: 2,
+            },
+        },
+    }
+}
+
+fn instrumented(cmd: &Command, src: &str, trace: bool, col: &mut Collected) -> (String, i32) {
+    let schema = match col.phases.time("parse", || parse_schema(src)) {
+        Ok(s) => s,
+        Err(e) => return (format!("error: {e}\n"), 2),
+    };
+    if let Err(e) = col.phases.time("typecheck", || check_schema(&schema)) {
+        return (format!("error: {e}\n"), 2);
+    }
+    match cmd {
+        Command::Help => (USAGE.to_owned(), 0),
+        Command::Fmt { .. } => (schema.to_string(), 0),
+        Command::Check { explain, .. } => check_report_instrumented(&schema, *explain, trace, col),
+        Command::Unfold { user, .. } => col.phases.time("unfold", || unfold_report(&schema, user)),
+        Command::Attack { steps, .. } => {
+            col.phases.time("attack", || attack_report(&schema, *steps))
+        }
+        Command::Fix { .. } => col.phases.time("fix", || fix_report(&schema)),
+    }
+}
+
+/// The `check` loop with per-requirement stats: like [`check_report`] but
+/// every analysis runs through `analyze_with_stats`, phase timings and
+/// closure counters aggregate across requirements, and `--trace` appends a
+/// line per requirement as it completes.
+fn check_report_instrumented(
+    schema: &Schema,
+    explain: bool,
+    trace: bool,
+    col: &mut Collected,
+) -> (String, i32) {
     let mut out = String::new();
     if schema.requirements.is_empty() {
-        let _ = writeln!(out, "no `require` declarations in the policy — nothing to check");
+        let _ = writeln!(
+            out,
+            "no `require` declarations in the policy — nothing to check"
+        );
         return (out, 0);
     }
     let mut violated = 0usize;
     for req in &schema.requirements {
-        match analyze(schema, req) {
+        let (result, stats) = analyze_with_stats(schema, req, &AnalysisConfig::default());
+        for (name, d) in stats.phases.iter() {
+            col.phases.add(name, d);
+        }
+        col.closure.merge(&stats.closure);
+        col.program_nodes = col.program_nodes.max(stats.program_nodes);
+        col.occurrences += stats.occurrences_checked;
+        col.requirements += 1;
+        if trace {
+            let ms = |name: &str| {
+                stats
+                    .phases
+                    .get(name)
+                    .map(|d| d.as_secs_f64() * 1e3)
+                    .unwrap_or(0.0)
+            };
+            let _ = writeln!(
+                col.trace,
+                "trace: {req}: unfold {:.3} ms, closure {:.3} ms ({} terms, {} rounds), \
+                 check {:.3} ms",
+                ms("unfold"),
+                ms("closure"),
+                stats.closure.total_terms(),
+                stats.closure.rounds,
+                ms("check"),
+            );
+        }
+        match result {
             Ok(Verdict::Satisfied) => {
                 let _ = writeln!(out, "ok    {req}");
             }
@@ -227,27 +441,7 @@ fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
                 violated += 1;
                 let _ = writeln!(out, "FLAW  {req}  ({} occurrence(s))", violations.len());
                 if explain {
-                    // Reconstruct the program/closure for rendering.
-                    if let Some(caps) = schema.user(&req.user) {
-                        if let Ok(prog) = NProgram::unfold(schema, caps) {
-                            if let Ok(closure) = Closure::compute(&prog) {
-                                for v in &violations {
-                                    for w in &v.witnesses {
-                                        let _ = writeln!(
-                                            out,
-                                            "  witness {}",
-                                            render_term(&prog, w)
-                                        );
-                                        let derivation =
-                                            render_derivation(&prog, &closure, w);
-                                        for line in derivation.lines() {
-                                            let _ = writeln!(out, "    {line}");
-                                        }
-                                    }
-                                }
-                            }
-                        }
-                    }
+                    render_explanations(schema, req, &violations, &mut out);
                 }
             }
             Err(e) => {
@@ -265,6 +459,69 @@ fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
     (out, i32::from(violated > 0))
 }
 
+fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
+    let mut out = String::new();
+    if schema.requirements.is_empty() {
+        let _ = writeln!(
+            out,
+            "no `require` declarations in the policy — nothing to check"
+        );
+        return (out, 0);
+    }
+    let mut violated = 0usize;
+    for req in &schema.requirements {
+        match analyze(schema, req) {
+            Ok(Verdict::Satisfied) => {
+                let _ = writeln!(out, "ok    {req}");
+            }
+            Ok(Verdict::Violated(violations)) => {
+                violated += 1;
+                let _ = writeln!(out, "FLAW  {req}  ({} occurrence(s))", violations.len());
+                if explain {
+                    render_explanations(schema, req, &violations, &mut out);
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error {req}: {e}");
+                return (out, 2);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} requirement(s), {} violated",
+        schema.requirements.len(),
+        violated
+    );
+    (out, i32::from(violated > 0))
+}
+
+/// Re-derive and print Figure-1 style derivations for every witness of a
+/// violated requirement (the `--explain` path).
+fn render_explanations(
+    schema: &Schema,
+    req: &oodb_lang::requirement::Requirement,
+    violations: &[secflow::Violation],
+    out: &mut String,
+) {
+    // Reconstruct the program/closure for rendering.
+    if let Some(caps) = schema.user(&req.user) {
+        if let Ok(prog) = NProgram::unfold(schema, caps) {
+            if let Ok(closure) = Closure::compute(&prog) {
+                for v in violations {
+                    for w in &v.witnesses {
+                        let _ = writeln!(out, "  witness {}", render_term(&prog, w));
+                        let derivation = render_derivation(&prog, &closure, w);
+                        for line in derivation.lines() {
+                            let _ = writeln!(out, "    {line}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 fn unfold_report(schema: &Schema, user: &str) -> (String, i32) {
     let Some(caps) = schema.user_str(user) else {
         return (format!("error: unknown user `{user}`\n"), 2);
@@ -279,7 +536,11 @@ fn unfold_report(schema: &Schema, user: &str) -> (String, i32) {
             let _ = writeln!(out, "{} numbered occurrences", prog.len());
             // Also list the occurrences of every required target for this
             // user, as orientation.
-            for req in schema.requirements.iter().filter(|r| r.user.as_str() == user) {
+            for req in schema
+                .requirements
+                .iter()
+                .filter(|r| r.user.as_str() == user)
+            {
                 let occ = occurrences(&prog, &req.target);
                 let _ = writeln!(out, "occurrences of {}: {}", req.target, occ.len());
             }
@@ -428,6 +689,146 @@ mod tests {
         assert!(parse_args(&s(&["bogus"])).is_err());
         assert!(parse_args(&s(&["unfold", "p.sfl"])).is_err());
         assert!(parse_args(&s(&["attack", "p.sfl", "--steps", "x"])).is_err());
+    }
+
+    #[test]
+    fn obs_flag_parsing() {
+        let (cmd, obs) =
+            parse_args_with_obs(&s(&["check", "p.sfl", "--metrics=json", "--trace"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                file: "p.sfl".into(),
+                explain: false
+            }
+        );
+        assert_eq!(obs.metrics, Some(MetricsFormat::Json));
+        assert!(obs.trace);
+
+        let (_, obs) = parse_args_with_obs(&s(&["check", "p.sfl", "--metrics"])).unwrap();
+        assert_eq!(obs.metrics, Some(MetricsFormat::Text));
+        let (_, obs) = parse_args_with_obs(&s(&["check", "p.sfl", "--metrics=text"])).unwrap();
+        assert_eq!(obs.metrics, Some(MetricsFormat::Text));
+
+        // No obs flags: defaults off, plain parsing unchanged.
+        let (cmd, obs) = parse_args_with_obs(&s(&["--help"])).unwrap();
+        assert_eq!(cmd, Command::Help);
+        assert!(obs.is_off());
+
+        assert!(parse_args_with_obs(&s(&["check", "p.sfl", "--metrics=xml"])).is_err());
+    }
+
+    #[test]
+    fn metrics_go_to_stderr_and_stdout_is_stable() {
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: false,
+        };
+        let (plain, plain_code) = run_on_source(&cmd, POLICY);
+        let out = run_on_source_with_obs(
+            &cmd,
+            POLICY,
+            &ObsOptions {
+                metrics: Some(MetricsFormat::Text),
+                trace: true,
+            },
+        );
+        assert_eq!(out.stdout, plain, "stdout must stay diff-stable");
+        assert_eq!(out.code, plain_code);
+        assert!(out.stderr.contains("trace: (clerk, r_salary(x):ti):"));
+        assert!(out.stderr.contains("closure.terms.total"));
+        assert!(out.stderr.contains("-- timings"));
+        // Off = byte-identical with empty stderr.
+        let off = run_on_source_with_obs(&cmd, POLICY, &ObsOptions::default());
+        assert_eq!(off.stdout, plain);
+        assert!(off.stderr.is_empty());
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_complete() {
+        use secflow_obs::Json;
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: false,
+        };
+        let out = run_on_source_with_obs(
+            &cmd,
+            POLICY,
+            &ObsOptions {
+                metrics: Some(MetricsFormat::Json),
+                trace: false,
+            },
+        );
+        let doc = Json::parse(&out.stderr).expect("stderr is one valid JSON document");
+        let counters = doc.get("counters").expect("counters object");
+        // Per-capability term counts, rule firings, fixpoint rounds.
+        assert!(
+            counters
+                .get("closure.terms.ti")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert!(
+            counters
+                .get("closure.terms.eq")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert!(
+            counters
+                .get("closure.rounds")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert!(
+            counters
+                .get("closure.rule.axiom")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
+        assert_eq!(
+            counters.get("analysis.requirements").and_then(Json::as_u64),
+            Some(2)
+        );
+        // Per-phase timings.
+        let spans = doc.get("spans_ms").expect("spans object");
+        for phase in ["parse", "typecheck", "unfold", "closure", "check"] {
+            assert!(spans.get(phase).is_some(), "missing span {phase}");
+        }
+    }
+
+    #[test]
+    fn metrics_on_non_check_commands() {
+        let cmd = Command::Unfold {
+            file: "-".into(),
+            user: "clerk".into(),
+        };
+        let (plain, _) = run_on_source(&cmd, POLICY);
+        let out = run_on_source_with_obs(
+            &cmd,
+            POLICY,
+            &ObsOptions {
+                metrics: Some(MetricsFormat::Text),
+                trace: false,
+            },
+        );
+        assert_eq!(out.stdout, plain);
+        assert!(out.stderr.contains("unfold"));
+        // Parse errors still exit 2 with the metrics facility on.
+        let bad = run_on_source_with_obs(
+            &Command::Fmt { file: "-".into() },
+            "class C { x: bogus_type }",
+            &ObsOptions {
+                metrics: Some(MetricsFormat::Text),
+                trace: false,
+            },
+        );
+        assert_eq!(bad.code, 2);
+        assert!(bad.stdout.contains("error"));
     }
 
     #[test]

@@ -2,15 +2,16 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match secflow_cli::parse_args(&args) {
-        Ok(c) => c,
+    let (cmd, obs) = match secflow_cli::parse_args_with_obs(&args) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", secflow_cli::USAGE);
             std::process::exit(2);
         }
     };
-    let (report, code) = secflow_cli::run(&cmd);
-    print!("{report}");
-    std::process::exit(code);
+    let out = secflow_cli::run_with_obs(&cmd, &obs);
+    print!("{}", out.stdout);
+    eprint!("{}", out.stderr);
+    std::process::exit(out.code);
 }

@@ -166,9 +166,7 @@ pub fn advise(
         if exhausted {
             Ok(Advice::BudgetExhausted(Vec::new()))
         } else {
-            Ok(Advice::Repairs(vec![Repair {
-                revoke: grants,
-            }]))
+            Ok(Advice::Repairs(vec![Repair { revoke: grants }]))
         }
     } else if exhausted {
         Ok(Advice::BudgetExhausted(repairs))

@@ -25,11 +25,13 @@
 use crate::closure::{Closure, ClosureError, DEFAULT_TERM_LIMIT};
 use crate::report::{Occurrence, OccurrenceKind, Verdict, Violation};
 use crate::rules::RuleConfig;
+use crate::stats::ClosureStats;
 use crate::term::Term;
 use crate::unfold::{ExprId, NKind, NProgram, UnfoldError, DEFAULT_NODE_LIMIT};
 use oodb_lang::requirement::{Cap, Requirement};
 use oodb_lang::Schema;
 use oodb_model::{FnRef, Type};
+use secflow_obs::{MetricsSink, Phases};
 use std::fmt;
 
 /// Tunables for one analysis run.
@@ -121,6 +123,63 @@ pub fn analyze_with_config(
     let prog = NProgram::unfold_with_limit(schema, caps, config.node_limit)?;
     let closure = Closure::compute_with(&prog, &config.rules, config.term_limit)?;
     Ok(check_against(&prog, &closure, req))
+}
+
+/// Everything measured during one [`analyze_with_stats`] run: per-phase
+/// wall-clock (unfold → closure → check) plus the closure's own counters.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisStats {
+    /// Wall-clock per analysis phase, in execution order.
+    pub phases: Phases,
+    /// Closure counters (defaulted when unfolding failed before closure).
+    pub closure: ClosureStats,
+    /// Unfolded program size in nodes (0 when unfolding failed).
+    pub program_nodes: u64,
+    /// Occurrences of the target function that were checked.
+    pub occurrences_checked: u64,
+}
+
+impl AnalysisStats {
+    /// Report phase spans and closure counters into a sink, plus the
+    /// `analysis.program_nodes` / `analysis.occurrences` counters.
+    pub fn record_to(&self, sink: &mut dyn MetricsSink) {
+        self.phases.record_to(sink);
+        self.closure.record_to(sink);
+        sink.counter("analysis.program_nodes", self.program_nodes);
+        sink.counter("analysis.occurrences", self.occurrences_checked);
+    }
+}
+
+/// Run `A(R)` like [`analyze_with_config`], but also return
+/// [`AnalysisStats`]: per-phase timings and the closure's internal
+/// counters. Stats describe whatever phases ran, even when the analysis
+/// errors out part-way (unknown user, unfolding budget, closure budget).
+pub fn analyze_with_stats(
+    schema: &Schema,
+    req: &Requirement,
+    config: &AnalysisConfig,
+) -> (Result<Verdict, AnalysisError>, AnalysisStats) {
+    let mut stats = AnalysisStats::default();
+    let result = (|| {
+        let caps = schema
+            .user(&req.user)
+            .ok_or_else(|| AnalysisError::UnknownUser(req.user.to_string()))?;
+        let prog = stats.phases.time("unfold", || {
+            NProgram::unfold_with_limit(schema, caps, config.node_limit)
+        })?;
+        stats.program_nodes = prog.iter().count() as u64;
+        let (closure, cstats) = stats.phases.time("closure", || {
+            Closure::compute_with_stats(&prog, &config.rules, config.term_limit)
+        });
+        stats.closure = cstats;
+        let closure = closure?;
+        Ok(stats.phases.time("check", || {
+            let occs = occurrences(&prog, &req.target);
+            stats.occurrences_checked = occs.len() as u64;
+            check_against(&prog, &closure, req)
+        }))
+    })();
+    (result, stats)
 }
 
 /// Check a requirement against an already-computed closure (used when many
@@ -217,7 +276,12 @@ fn occurrence_violates(
         OccurrenceKind::OuterAccess { outer } => {
             let o = &prog.outers[outer];
             for (i, caps) in req.arg_caps.iter().enumerate() {
-                let ty = o.params.get(i).map(|(_, t)| t).cloned().unwrap_or(Type::Null);
+                let ty = o
+                    .params
+                    .get(i)
+                    .map(|(_, t)| t)
+                    .cloned()
+                    .unwrap_or(Type::Null);
                 for cap in caps {
                     // The user supplies the argument directly: alterability
                     // is free; inferability is free exactly for basic types.
@@ -372,6 +436,65 @@ mod tests {
         if vw.is_violated() {
             assert!(vs.is_violated());
         }
+    }
+
+    #[test]
+    fn analyze_with_stats_reports_phases_and_counters() {
+        let s = schema();
+        let r = parse_requirement("(clerk, r_salary(x) : ti)").unwrap();
+        let (v, stats) = analyze_with_stats(&s, &r, &AnalysisConfig::default());
+        assert!(v.unwrap().is_violated(), "same verdict as analyze()");
+        for phase in ["unfold", "closure", "check"] {
+            assert!(stats.phases.get(phase).is_some(), "missing phase {phase}");
+        }
+        assert!(stats.program_nodes > 0);
+        assert!(stats.occurrences_checked > 0);
+        assert!(stats.closure.total_terms() > 0);
+        assert!(!stats.closure.aborted);
+    }
+
+    #[test]
+    fn analyze_with_stats_round_trips_through_json() {
+        use secflow_obs::{Json, MetricsReport, Recorder};
+        let s = schema();
+        let r = parse_requirement("(clerk, r_salary(x) : ti)").unwrap();
+        let (_, stats) = analyze_with_stats(&s, &r, &AnalysisConfig::default());
+        let mut rec = Recorder::new();
+        stats.record_to(&mut rec);
+        let report = rec.into_report();
+        let text = report.to_json().pretty();
+        let back = MetricsReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        for name in [
+            "closure.terms.total",
+            "closure.rounds",
+            "analysis.program_nodes",
+            "analysis.occurrences",
+        ] {
+            assert_eq!(back.counter(name), report.counter(name), "{name}");
+            assert!(report.counter(name).unwrap() > 0, "{name} is zero");
+        }
+        assert!(back.span("closure").is_some());
+    }
+
+    #[test]
+    fn analyze_with_stats_reports_partial_runs() {
+        // Unknown user: no phases ran, stats stay default but come back.
+        let s = schema();
+        let r = parse_requirement("(ghost, r_salary(x) : ti)").unwrap();
+        let (v, stats) = analyze_with_stats(&s, &r, &AnalysisConfig::default());
+        assert!(matches!(v, Err(AnalysisError::UnknownUser(_))));
+        assert!(stats.phases.is_empty());
+        // Closure budget abort: unfold + closure phases ran, check did not.
+        let r = parse_requirement("(clerk, r_salary(x) : ti)").unwrap();
+        let config = AnalysisConfig {
+            term_limit: 5,
+            ..AnalysisConfig::default()
+        };
+        let (v, stats) = analyze_with_stats(&s, &r, &config);
+        assert!(matches!(v, Err(AnalysisError::Closure(_))));
+        assert!(stats.closure.aborted);
+        assert!(stats.phases.get("closure").is_some());
+        assert!(stats.phases.get("check").is_none());
     }
 
     #[test]

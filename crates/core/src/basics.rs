@@ -570,7 +570,11 @@ mod tests {
         assert!(has(&rules, &[Cap(Pa, Arg(0))], Cap(Pa, Ret)));
         assert!(has(&rules, &[Cap(Pa, Arg(1))], Cap(Pa, Ret)));
         // pi[e1], pi[e2] → ti[>=]
-        assert!(has(&rules, &[Cap(Pi, Arg(0)), Cap(Pi, Arg(1))], Cap(Ti, Ret)));
+        assert!(has(
+            &rules,
+            &[Cap(Pi, Arg(0)), Cap(Pi, Arg(1))],
+            Cap(Ti, Ret)
+        ));
         // pi*[(e1,e2)] → ti[>=]
         assert!(has(&rules, &[PiStar(Arg(0), Arg(1))], Cap(Ti, Ret)));
         // ti[e1], pa[e1], ti[>=] → ti[e2]
@@ -580,7 +584,11 @@ mod tests {
             Cap(Ti, Arg(1))
         ));
         // pi[e1], ti[>=] → pi[e2]
-        assert!(has(&rules, &[Cap(Pi, Arg(0)), Cap(Ti, Ret)], Cap(Pi, Arg(1))));
+        assert!(has(
+            &rules,
+            &[Cap(Pi, Arg(0)), Cap(Ti, Ret)],
+            Cap(Pi, Arg(1))
+        ));
         // ti[>=] → pi*[(e1,e2)]
         assert!(has(&rules, &[Cap(Ti, Ret)], PiStar(Arg(0), Arg(1))));
     }
@@ -595,13 +603,25 @@ mod tests {
         // pi[e1] → pi*[(e2, *(e1,e2))]
         assert!(has(&rules, &[Cap(Pi, Arg(0))], PiStar(Arg(1), Ret)));
         // pi[e1], pi[*] → ti[e2]
-        assert!(has(&rules, &[Cap(Pi, Arg(0)), Cap(Pi, Ret)], Cap(Ti, Arg(1))));
+        assert!(has(
+            &rules,
+            &[Cap(Pi, Arg(0)), Cap(Pi, Ret)],
+            Cap(Ti, Arg(1))
+        ));
         // pa[e1], pi[*] → ti[e2]
-        assert!(has(&rules, &[Cap(Pa, Arg(0)), Cap(Pi, Ret)], Cap(Ti, Arg(1))));
+        assert!(has(
+            &rules,
+            &[Cap(Pa, Arg(0)), Cap(Pi, Ret)],
+            Cap(Ti, Arg(1))
+        ));
         // pi[*] → pi[e2]
         assert!(has(&rules, &[Cap(Pi, Ret)], Cap(Pi, Arg(1))));
         // compute
-        assert!(has(&rules, &[Cap(Ti, Arg(0)), Cap(Ti, Arg(1))], Cap(Ti, Ret)));
+        assert!(has(
+            &rules,
+            &[Cap(Ti, Arg(0)), Cap(Ti, Arg(1))],
+            Cap(Ti, Ret)
+        ));
     }
 
     #[test]
@@ -668,8 +688,9 @@ mod tests {
         for op in [BasicOp::Ge, BasicOp::Div, BasicOp::Mod] {
             let rules = rules_for(op);
             assert!(
-                rules.iter().any(|r| r.premises.len() == 3
-                    && matches!(r.conclusion, Cap(Ti, Arg(_)))),
+                rules
+                    .iter()
+                    .any(|r| r.premises.len() == 3 && matches!(r.conclusion, Cap(Ti, Arg(_)))),
                 "no search rule for {op:?}"
             );
         }

@@ -14,6 +14,7 @@
 
 use crate::basics::{rules_for, LCap, LTerm, LocalRule, Slot};
 use crate::rules::{axioms_with, labels, RuleConfig};
+use crate::stats::{ClosureObserver, ClosureStats, NoopObserver};
 use crate::term::{Dir, Origin, Term};
 use crate::unfold::{ExprId, NKind, NProgram};
 use oodb_lang::BasicOp;
@@ -82,7 +83,25 @@ impl Closure {
         config: &RuleConfig,
         limit: usize,
     ) -> Result<Closure, ClosureError> {
-        Engine::new(prog, *config, limit).run()
+        Engine::new(prog, *config, limit, NoopObserver).run().0
+    }
+
+    /// Like [`Closure::compute_with`], but also return [`ClosureStats`]
+    /// describing the run: term counts per capability kind, rule firings,
+    /// rounds, worklist high-water mark and dedup rate. Stats come back
+    /// even when the run aborts on the term budget, so a post-mortem can
+    /// see how far the saturation got.
+    ///
+    /// The plain `compute` paths use a monomorphised no-op observer, so
+    /// this instrumentation costs nothing when unused.
+    pub fn compute_with_stats(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+    ) -> (Result<Closure, ClosureError>, ClosureStats) {
+        let (result, mut stats) = Engine::new(prog, *config, limit, ClosureStats::new(limit)).run();
+        stats.aborted = result.is_err();
+        (result, stats)
     }
 
     /// Number of terms in the closure.
@@ -152,10 +171,11 @@ impl Closure {
     }
 }
 
-struct Engine<'p> {
+struct Engine<'p, O: ClosureObserver> {
     prog: &'p NProgram,
     config: RuleConfig,
     limit: usize,
+    obs: O,
     out: Closure,
     queue: VecDeque<Term>,
     // structural indexes
@@ -168,8 +188,8 @@ struct Engine<'p> {
     op_rules: HashMap<BasicOp, Vec<LocalRule>>,
 }
 
-impl<'p> Engine<'p> {
-    fn new(prog: &'p NProgram, config: RuleConfig, limit: usize) -> Engine<'p> {
+impl<'p, O: ClosureObserver> Engine<'p, O> {
+    fn new(prog: &'p NProgram, config: RuleConfig, limit: usize, obs: O) -> Engine<'p, O> {
         let mut basic_slots: HashMap<ExprId, Vec<(ExprId, Slot)>> = HashMap::new();
         let mut diag_nodes: HashMap<ExprId, (ExprId, ExprId)> = HashMap::new();
         let mut read_by_recv: HashMap<ExprId, Vec<ExprId>> = HashMap::new();
@@ -180,7 +200,10 @@ impl<'p> Engine<'p> {
             match &e.kind {
                 NKind::Basic(op, args) => {
                     for (i, a) in args.iter().enumerate() {
-                        basic_slots.entry(*a).or_default().push((e.id, Slot::Arg(i)));
+                        basic_slots
+                            .entry(*a)
+                            .or_default()
+                            .push((e.id, Slot::Arg(i)));
                     }
                     basic_slots.entry(e.id).or_default().push((e.id, Slot::Ret));
                     op_rules.entry(*op).or_insert_with(|| rules_for(*op));
@@ -210,6 +233,7 @@ impl<'p> Engine<'p> {
             prog,
             config,
             limit,
+            obs,
             out: Closure {
                 terms: HashSet::new(),
                 proofs: HashMap::new(),
@@ -230,7 +254,12 @@ impl<'p> Engine<'p> {
         }
     }
 
-    fn run(mut self) -> Result<Closure, ClosureError> {
+    fn run(mut self) -> (Result<Closure, ClosureError>, O) {
+        let result = self.saturate();
+        (result.map(|_| self.out), self.obs)
+    }
+
+    fn saturate(&mut self) -> Result<(), ClosureError> {
         for (t, rule) in axioms_with(self.prog, self.config.printable_oids) {
             self.derive(t, rule, Vec::new())?;
         }
@@ -253,9 +282,10 @@ impl<'p> Engine<'p> {
         }
         while let Some(t) = self.queue.pop_front() {
             self.out.rounds += 1;
+            self.obs.round();
             self.propagate(t)?;
         }
-        Ok(self.out)
+        Ok(())
     }
 
     /// The constructor argument feeding attribute `attr` when `e` is a
@@ -277,13 +307,16 @@ impl<'p> Engine<'p> {
         rule: &'static str,
         premises: Vec<Term>,
     ) -> Result<(), ClosureError> {
+        self.obs.derive_attempt();
         if self.out.terms.contains(&t) {
+            self.obs.dedup_hit();
             return Ok(());
         }
         if self.out.terms.len() >= self.limit {
             return Err(ClosureError::TermLimit { limit: self.limit });
         }
         self.out.terms.insert(t);
+        self.obs.term_inserted(&t, rule);
         self.out.proofs.insert(t, Derivation { rule, premises });
         match t {
             Term::Ta(e) => {
@@ -304,6 +337,7 @@ impl<'p> Engine<'p> {
             }
         }
         self.queue.push_back(t);
+        self.obs.worklist_len(self.queue.len());
         Ok(())
     }
 
@@ -384,8 +418,7 @@ impl<'p> Engine<'p> {
                 for (x, y) in [(a, b), (b, a)] {
                     for c in self.out.eq.get(&x).cloned().unwrap_or_default() {
                         if let Some(nt) = Term::eq(c, y) {
-                            let prem =
-                                Term::eq(x, c).expect("adjacency implies distinct");
+                            let prem = Term::eq(x, c).expect("adjacency implies distinct");
                             self.derive(nt, labels::RULE_EQ, vec![t, prem])?;
                         }
                     }
@@ -539,7 +572,12 @@ impl<'p> Engine<'p> {
         Ok(())
     }
 
-    fn transfer_all_caps(&mut self, from: ExprId, to: ExprId, eq: Term) -> Result<(), ClosureError> {
+    fn transfer_all_caps(
+        &mut self,
+        from: ExprId,
+        to: ExprId,
+        eq: Term,
+    ) -> Result<(), ClosureError> {
         if self.out.ta.contains(&from) {
             self.derive(Term::Ta(to), labels::ALTER_BY_EQ, vec![eq, Term::Ta(from)])?;
         }
@@ -860,6 +898,63 @@ mod tests {
     }
 
     #[test]
+    fn stats_are_consistent_with_the_closure() {
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let (result, stats) =
+            Closure::compute_with_stats(&prog, &RuleConfig::default(), DEFAULT_TERM_LIMIT);
+        let c = result.unwrap();
+        assert!(!stats.aborted);
+        assert_eq!(stats.rounds as usize, c.rounds());
+        assert_eq!(stats.total_terms() as usize, c.len());
+        // Every derive attempt either deduplicated or inserted.
+        assert_eq!(stats.derive_calls, stats.dedup_hits + stats.total_terms());
+        // Per-kind counters match the actual term population.
+        let count = |pred: fn(&Term) -> bool| c.iter().filter(|t| pred(t)).count() as u64;
+        assert_eq!(stats.terms_ta, count(|t| matches!(t, Term::Ta(_))));
+        assert_eq!(stats.terms_pa, count(|t| matches!(t, Term::Pa(_))));
+        assert_eq!(stats.terms_ti, count(|t| matches!(t, Term::Ti(..))));
+        assert_eq!(stats.terms_pi, count(|t| matches!(t, Term::Pi(..))));
+        assert_eq!(stats.terms_pistar, count(|t| matches!(t, Term::PiStar(..))));
+        assert_eq!(stats.terms_eq, count(|t| matches!(t, Term::Eq(..))));
+        // Rule firings partition the insertions, and each label has a proof.
+        let fired: u64 = stats.firings.iter().map(|(_, n)| *n).sum();
+        assert_eq!(fired, stats.total_terms());
+        assert!(stats.firings_of(labels::INFER_BY_EQ) > 0, "Figure 1 uses =");
+        assert!(stats.worklist_peak > 0);
+        assert!(stats.dedup_hit_rate() > 0.0 && stats.dedup_hit_rate() < 1.0);
+        assert!(stats.budget_headroom() > 0.0);
+    }
+
+    #[test]
+    fn stats_and_plain_compute_agree() {
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let plain = Closure::compute(&prog).unwrap();
+        let (instrumented, _) =
+            Closure::compute_with_stats(&prog, &RuleConfig::default(), DEFAULT_TERM_LIMIT);
+        let instrumented = instrumented.unwrap();
+        let mut t1: Vec<Term> = plain.iter().copied().collect();
+        let mut t2: Vec<Term> = instrumented.iter().copied().collect();
+        t1.sort();
+        t2.sort();
+        assert_eq!(t1, t2, "observer must not change the fixpoint");
+        assert_eq!(plain.rounds(), instrumented.rounds());
+    }
+
+    #[test]
+    fn stats_survive_a_term_limit_abort() {
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let (result, stats) = Closure::compute_with_stats(&prog, &RuleConfig::default(), 5);
+        assert!(matches!(result, Err(ClosureError::TermLimit { limit: 5 })));
+        assert!(stats.aborted);
+        assert_eq!(stats.total_terms(), 5, "budget filled exactly");
+        assert_eq!(stats.budget_headroom(), 0.0);
+        assert_eq!(stats.limit, 5);
+    }
+
+    #[test]
     fn closure_is_deterministic() {
         let (_p, c1) = closure_for(STOCKBROKER, "clerk");
         let (_p, c2) = closure_for(STOCKBROKER, "clerk");
@@ -875,10 +970,7 @@ mod tests {
         // f(x:int) = x + 1 granted alone: the user knows x (ti axiom) and
         // the result (body axiom). Fine. But pi on the result must not loop
         // through the + node to create fresh "different ways" on x.
-        let (_p, c) = closure_for(
-            "fn f(x: int): int { x + 1 } user u { f }",
-            "u",
-        );
+        let (_p, c) = closure_for("fn f(x: int): int { x + 1 } user u { f }", "u");
         // x (id 1) is ti — both by axiom and by inversion through +; the
         // guard only blocks re-derivation through the same node, not this.
         assert!(c.has_ti(1));
@@ -906,7 +998,10 @@ mod tests {
         assert!(c.has_ta(2), "let-bound occurrence via =");
         assert!(c.has_ta(4), "through *");
         assert!(c.has_ta(5), "let node via body equality");
-        assert_eq!(p.render(p.outers[0].root), "5let(g) y=1x in 4*(2y, 3:2) end");
+        assert_eq!(
+            p.render(p.outers[0].root),
+            "5let(g) y=1x in 4*(2y, 3:2) end"
+        );
     }
 
     #[test]

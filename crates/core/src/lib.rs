@@ -23,6 +23,9 @@
 //!   *not satisfied* iff some occurrence of its target function carries all
 //!   the specified capability terms in the closure.
 //! * [`report`] — verdicts and Figure-1-style derivation rendering.
+//! * [`stats`] — closure instrumentation: [`ClosureStats`] collected through
+//!   a zero-cost observer (the plain `compute` paths monomorphise a no-op),
+//!   reportable into any `secflow_obs::MetricsSink`.
 //!
 //! The analysis is **sound** (paper Theorem 1): every flaw that a user could
 //! actually realise is reported. It is deliberately **pessimistic**: it may
@@ -38,12 +41,16 @@ pub mod basics;
 pub mod closure;
 pub mod report;
 pub mod rules;
+pub mod stats;
 pub mod term;
 pub mod unfold;
 
 pub use advisor::{advise, Advice, AdvisorConfig, Repair};
-pub use algorithm::{analyze, analyze_with_config, AnalysisConfig, AnalysisError};
+pub use algorithm::{
+    analyze, analyze_with_config, analyze_with_stats, AnalysisConfig, AnalysisError, AnalysisStats,
+};
 pub use closure::Closure;
 pub use report::{Verdict, Violation};
+pub use stats::ClosureStats;
 pub use term::{Dir, Origin, Term};
 pub use unfold::{ExprId, NExpr, NKind, NProgram, Outer};

@@ -190,8 +190,7 @@ pub fn explain(prog: &NProgram, closure: &Closure, verdict: &Verdict) -> String 
                     i + 1,
                     violations.len(),
                     match v.occurrence.kind {
-                        OccurrenceKind::OuterAccess { outer } =>
-                            format!("outer grant #{outer}"),
+                        OccurrenceKind::OuterAccess { outer } => format!("outer grant #{outer}"),
                         OccurrenceKind::Inner { node } => prog.render_shallow(node),
                     }
                 ));
@@ -252,10 +251,7 @@ mod tests {
     fn render_terms() {
         let (prog, _c) = setup();
         assert_eq!(render_term(&prog, &Term::Ta(9)), "ta[9a2]");
-        assert_eq!(
-            render_term(&prog, &Term::Eq(1, 8)),
-            "=[1broker, 8a1]"
-        );
+        assert_eq!(render_term(&prog, &Term::Eq(1, 8)), "=[1broker, 8a1]");
     }
 
     #[test]

@@ -176,15 +176,14 @@ pub fn axioms_with(prog: &NProgram, printable_oids: bool) -> Vec<Fact> {
                 }
                 arg_vars.push(e);
             }
-            NKind::Const(_)
-                if e.ty.is_basic() => {
-                    // ti[c, l, +]: program text is readable (§3.1: users can
-                    // read the code of access functions).
-                    out.push((
-                        Term::Ti(e.id, Origin::new(e.id, Dir::Down)),
-                        labels::AXIOM_TI,
-                    ));
-                }
+            NKind::Const(_) if e.ty.is_basic() => {
+                // ti[c, l, +]: program text is readable (§3.1: users can
+                // read the code of access functions).
+                out.push((
+                    Term::Ti(e.id, Origin::new(e.id, Dir::Down)),
+                    labels::AXIOM_TI,
+                ));
+            }
             NKind::LetVar { binding, .. } => {
                 // =[z, e]: a variable occurrence denotes its binding.
                 if let Some(t) = Term::eq(e.id, *binding) {
@@ -222,10 +221,7 @@ pub fn axioms_with(prog: &NProgram, printable_oids: bool) -> Vec<Fact> {
         }
         let root = prog.get(outer.root);
         if observable(&root.ty) {
-            out.push((
-                Term::Ti(root.id, Origin::new(0, Dir::Up)),
-                labels::AXIOM_TI,
-            ));
+            out.push((Term::Ti(root.id, Origin::new(0, Dir::Up)), labels::AXIOM_TI));
         }
     }
 

@@ -1,0 +1,280 @@
+//! Closure instrumentation: the observer hook and [`ClosureStats`].
+//!
+//! The closure engine is generic over a [`ClosureObserver`]; the default
+//! [`NoopObserver`] monomorphises every callback to nothing, so the
+//! uninstrumented entry points ([`crate::closure::Closure::compute`],
+//! [`crate::closure::Closure::compute_with`]) compile to exactly the code
+//! they compiled to before this module existed. The stats-collecting entry
+//! point pays for what it counts and nothing else.
+
+use crate::term::Term;
+use secflow_obs::MetricsSink;
+
+/// Callbacks the closure engine reports into. Every method has an empty
+/// default so observers implement only what they care about.
+pub trait ClosureObserver {
+    /// `derive` was called (before dedup).
+    #[inline]
+    fn derive_attempt(&mut self) {}
+
+    /// The attempted term was already in the closure.
+    #[inline]
+    fn dedup_hit(&mut self) {}
+
+    /// A new term entered the closure via `rule`.
+    #[inline]
+    fn term_inserted(&mut self, _t: &Term, _rule: &'static str) {}
+
+    /// One worklist item was taken.
+    #[inline]
+    fn round(&mut self) {}
+
+    /// The worklist length after a push (for high-water tracking).
+    #[inline]
+    fn worklist_len(&mut self, _len: usize) {}
+}
+
+/// The observer that observes nothing. This is what the plain `compute`
+/// paths use; the optimiser deletes every callback.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl ClosureObserver for NoopObserver {}
+
+/// Counters describing one closure run: terms per capability kind, rule
+/// firings per label, fixpoint rounds, worklist high-water mark, dedup hit
+/// rate and budget headroom.
+///
+/// `ClosureStats` is itself the observer — the engine writes straight into
+/// it — and is returned even when the run aborts on
+/// [`crate::closure::ClosureError::TermLimit`], so a budget post-mortem can
+/// see how far the saturation got.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClosureStats {
+    /// `ta[e]` terms inserted.
+    pub terms_ta: u64,
+    /// `pa[e]` terms inserted.
+    pub terms_pa: u64,
+    /// `ti[e,n,d]` terms inserted.
+    pub terms_ti: u64,
+    /// `pi[e,n,d]` terms inserted.
+    pub terms_pi: u64,
+    /// `pi*[(e,e),n,d]` terms inserted.
+    pub terms_pistar: u64,
+    /// `=[e1,e2]` terms inserted.
+    pub terms_eq: u64,
+    /// Insertions per rule label, in first-firing order.
+    pub firings: Vec<(&'static str, u64)>,
+    /// Worklist items processed (equals [`crate::closure::Closure::rounds`]
+    /// when the run completes).
+    pub rounds: u64,
+    /// Worklist length high-water mark.
+    pub worklist_peak: u64,
+    /// Total `derive` attempts, including deduplicated ones.
+    pub derive_calls: u64,
+    /// Attempts that found the term already present.
+    pub dedup_hits: u64,
+    /// The configured term budget.
+    pub limit: u64,
+    /// Did the run abort on the term budget?
+    pub aborted: bool,
+}
+
+impl ClosureStats {
+    /// Fresh stats for a run with the given term budget.
+    pub fn new(limit: usize) -> ClosureStats {
+        ClosureStats {
+            limit: limit as u64,
+            ..ClosureStats::default()
+        }
+    }
+
+    /// Total terms inserted across all capability kinds.
+    pub fn total_terms(&self) -> u64 {
+        self.terms_ta
+            + self.terms_pa
+            + self.terms_ti
+            + self.terms_pi
+            + self.terms_pistar
+            + self.terms_eq
+    }
+
+    /// Fraction of derive attempts that were duplicates (0 when none ran).
+    pub fn dedup_hit_rate(&self) -> f64 {
+        if self.derive_calls == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.derive_calls as f64
+        }
+    }
+
+    /// Fraction of the term budget still unused (0 when aborted).
+    pub fn budget_headroom(&self) -> f64 {
+        if self.limit == 0 {
+            0.0
+        } else {
+            1.0 - (self.total_terms() as f64 / self.limit as f64).min(1.0)
+        }
+    }
+
+    /// Insertions under one rule label (0 if it never fired).
+    pub fn firings_of(&self, label: &str) -> u64 {
+        self.firings
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Fold another run's stats into this one (summing counts and firings;
+    /// high-water marks and the budget take the maximum; `aborted` is
+    /// sticky). Used when one report covers many closures — e.g. `check`
+    /// over several requirements.
+    pub fn merge(&mut self, other: &ClosureStats) {
+        self.terms_ta += other.terms_ta;
+        self.terms_pa += other.terms_pa;
+        self.terms_ti += other.terms_ti;
+        self.terms_pi += other.terms_pi;
+        self.terms_pistar += other.terms_pistar;
+        self.terms_eq += other.terms_eq;
+        self.rounds += other.rounds;
+        self.derive_calls += other.derive_calls;
+        self.dedup_hits += other.dedup_hits;
+        self.worklist_peak = self.worklist_peak.max(other.worklist_peak);
+        self.limit = self.limit.max(other.limit);
+        self.aborted |= other.aborted;
+        for &(label, n) in &other.firings {
+            if let Some((_, m)) = self.firings.iter_mut().find(|(l, _)| *l == label) {
+                *m += n;
+            } else {
+                self.firings.push((label, n));
+            }
+        }
+    }
+
+    /// Report everything into a sink under the `closure.` namespace:
+    /// per-kind and total term counters, `closure.rule.<label>` firing
+    /// counters, round/worklist/dedup counters, and hit-rate/headroom
+    /// gauges.
+    pub fn record_to(&self, sink: &mut dyn MetricsSink) {
+        sink.counter("closure.terms.ta", self.terms_ta);
+        sink.counter("closure.terms.pa", self.terms_pa);
+        sink.counter("closure.terms.ti", self.terms_ti);
+        sink.counter("closure.terms.pi", self.terms_pi);
+        sink.counter("closure.terms.pi_star", self.terms_pistar);
+        sink.counter("closure.terms.eq", self.terms_eq);
+        sink.counter("closure.terms.total", self.total_terms());
+        sink.counter("closure.rounds", self.rounds);
+        sink.counter("closure.worklist_peak", self.worklist_peak);
+        sink.counter("closure.derive_calls", self.derive_calls);
+        sink.counter("closure.dedup_hits", self.dedup_hits);
+        sink.counter("closure.term_limit", self.limit);
+        sink.counter("closure.aborted", u64::from(self.aborted));
+        for (label, n) in &self.firings {
+            let mut name = String::with_capacity(13 + label.len());
+            name.push_str("closure.rule.");
+            name.push_str(label);
+            sink.counter(&name, *n);
+        }
+        sink.gauge("closure.dedup_hit_rate", self.dedup_hit_rate());
+        sink.gauge("closure.budget_headroom", self.budget_headroom());
+    }
+}
+
+impl ClosureObserver for ClosureStats {
+    fn derive_attempt(&mut self) {
+        self.derive_calls += 1;
+    }
+
+    fn dedup_hit(&mut self) {
+        self.dedup_hits += 1;
+    }
+
+    fn term_inserted(&mut self, t: &Term, rule: &'static str) {
+        match t {
+            Term::Ta(_) => self.terms_ta += 1,
+            Term::Pa(_) => self.terms_pa += 1,
+            Term::Ti(..) => self.terms_ti += 1,
+            Term::Pi(..) => self.terms_pi += 1,
+            Term::PiStar(..) => self.terms_pistar += 1,
+            Term::Eq(..) => self.terms_eq += 1,
+        }
+        if let Some((_, n)) = self.firings.iter_mut().find(|(l, _)| *l == rule) {
+            *n += 1;
+        } else {
+            self.firings.push((rule, 1));
+        }
+    }
+
+    fn round(&mut self) {
+        self.rounds += 1;
+    }
+
+    fn worklist_len(&mut self, len: usize) {
+        self.worklist_peak = self.worklist_peak.max(len as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_safe_on_empty_stats() {
+        let s = ClosureStats::default();
+        assert_eq!(s.dedup_hit_rate(), 0.0);
+        assert_eq!(s.budget_headroom(), 0.0);
+        assert_eq!(s.total_terms(), 0);
+        assert_eq!(s.firings_of("anything"), 0);
+    }
+
+    #[test]
+    fn observer_callbacks_accumulate() {
+        let mut s = ClosureStats::new(100);
+        s.derive_attempt();
+        s.term_inserted(&Term::Ta(1), "axiom");
+        s.derive_attempt();
+        s.dedup_hit();
+        s.round();
+        s.worklist_len(3);
+        s.worklist_len(1);
+        assert_eq!(s.terms_ta, 1);
+        assert_eq!(s.firings_of("axiom"), 1);
+        assert_eq!(s.dedup_hit_rate(), 0.5);
+        assert_eq!(s.worklist_peak, 3);
+        assert!(s.budget_headroom() > 0.98);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_keeps_marks() {
+        let mut a = ClosureStats::new(100);
+        a.term_inserted(&Term::Ta(1), "axiom");
+        a.worklist_len(4);
+        let mut b = ClosureStats::new(50);
+        b.term_inserted(&Term::Ta(2), "axiom");
+        b.term_inserted(&Term::Eq(1, 2), "rule for =");
+        b.worklist_len(9);
+        b.aborted = true;
+        a.merge(&b);
+        assert_eq!(a.terms_ta, 2);
+        assert_eq!(a.terms_eq, 1);
+        assert_eq!(a.firings_of("axiom"), 2);
+        assert_eq!(a.firings_of("rule for ="), 1);
+        assert_eq!(a.worklist_peak, 9);
+        assert_eq!(a.limit, 100);
+        assert!(a.aborted);
+    }
+
+    #[test]
+    fn record_to_emits_the_namespace() {
+        let mut s = ClosureStats::new(1000);
+        s.term_inserted(&Term::Eq(1, 2), "axiom for =");
+        let mut rec = secflow_obs::Recorder::new();
+        s.record_to(&mut rec);
+        let report = rec.into_report();
+        assert_eq!(report.counter("closure.terms.eq"), Some(1));
+        assert_eq!(report.counter("closure.rule.axiom for ="), Some(1));
+        assert_eq!(report.counter("closure.term_limit"), Some(1000));
+        assert!(report.gauge("closure.budget_headroom").unwrap() > 0.99);
+    }
+}

@@ -319,7 +319,10 @@ impl NProgram {
                 "{}{}({})",
                 e.id,
                 op.symbol(),
-                args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(",")
+                args.iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
             ),
             NKind::Read(attr, recv) => format!("{}r_{attr}({recv})", e.id),
             NKind::Write(attr, recv, val) => format!("{}w_{attr}({recv},{val})", e.id),
@@ -527,15 +530,16 @@ impl Builder<'_> {
                     .classes
                     .get(class)
                     .map(|d| d.attrs.iter().map(|a| a.name.clone()).collect())
-                    .ok_or_else(|| {
-                        UnfoldError::Malformed(format!("unknown class `{class}`"))
-                    })?;
+                    .ok_or_else(|| UnfoldError::Malformed(format!("unknown class `{class}`")))?;
                 let mut ids = Vec::with_capacity(args.len());
                 for a in args {
                     ids.push(self.unfold_expr(a, scope)?);
                 }
                 let paired = attr_names.into_iter().zip(ids).collect();
-                self.push(NKind::New(class.clone(), paired), Type::Class(class.clone()))
+                self.push(
+                    NKind::New(class.clone(), paired),
+                    Type::Class(class.clone()),
+                )
             }
             Expr::Let { bindings, body } => {
                 let mut scope2 = scope.to_vec();
@@ -665,10 +669,7 @@ mod tests {
         let caps = schema.user_str("u").unwrap();
         let p = NProgram::unfold(&schema, caps).unwrap();
         let f = &p.outers[0];
-        assert_eq!(
-            p.render(f.root),
-            "6+(4let(g) y=1x in 3r_age(2y) end, 5:1)"
-        );
+        assert_eq!(p.render(f.root), "6+(4let(g) y=1x in 3r_age(2y) end, 5:1)");
         let r = &p.outers[1];
         assert_eq!(p.render(r.root), "8r_name(7a1)");
         // The let-var occurrence points at its binding.

@@ -239,13 +239,10 @@ fn idealized_achieves(
     if occs.is_empty() {
         return Ok((None, 0));
     }
-    let core: Vec<i64> = cfg
-        .domains
-        .iter()
-        .skip(1)
-        .fold(cfg.domains.first().cloned().unwrap_or_default(), |acc, d| {
-            acc.into_iter().filter(|v| d.contains(v)).collect()
-        });
+    let core: Vec<i64> = cfg.domains.iter().skip(1).fold(
+        cfg.domains.first().cloned().unwrap_or_default(),
+        |acc, d| acc.into_iter().filter(|v| d.contains(v)).collect(),
+    );
     let mut one = cfg.clone();
     if let Some(d) = cfg.domains.first() {
         one.worlds.int_domain = d.clone();
@@ -338,7 +335,11 @@ fn idealized_occ_ok(
         OccurrenceKind::OuterAccess { outer } => {
             let out = &prog.outers[outer];
             for (i, caps) in req.arg_caps.iter().enumerate() {
-                let basic = out.params.get(i).map(|(_, ty)| ty.is_basic()).unwrap_or(false);
+                let basic = out
+                    .params
+                    .get(i)
+                    .map(|(_, ty)| ty.is_basic())
+                    .unwrap_or(false);
                 for c in caps {
                     if !basic {
                         return false;
@@ -381,13 +382,10 @@ fn attack_alterability(
     // exists because a domain is truncated (the secret's co-domain cannot
     // represent a function value) is an artefact of bounded enumeration,
     // not an inference the paper's unbounded-integer semantics admits.
-    let core: Vec<i64> = cfg
-        .domains
-        .iter()
-        .skip(1)
-        .fold(cfg.domains.first().cloned().unwrap_or_default(), |acc, d| {
-            acc.into_iter().filter(|v| d.contains(v)).collect()
-        });
+    let core: Vec<i64> = cfg.domains.iter().skip(1).fold(
+        cfg.domains.first().cloned().unwrap_or_default(),
+        |acc, d| acc.into_iter().filter(|v| d.contains(v)).collect(),
+    );
     for domain in &cfg.domains {
         let mut one = cfg.clone();
         one.worlds.int_domain = domain.clone();
@@ -516,10 +514,7 @@ fn run_probes(
     let mut db = world.clone();
     let mut out = Vec::with_capacity(shape.len());
     for (step, &outer) in shape.iter().enumerate() {
-        let args: Vec<Value> = asg[step]
-            .iter()
-            .map(|c| resolve(c, &db))
-            .collect();
+        let args: Vec<Value> = asg[step].iter().map(|c| resolve(c, &db)).collect();
         match eval_outer(&mut db, prog, outer, &args) {
             Ok((root, sites)) => {
                 let kept: HashMap<ExprId, Value> = sites
@@ -748,9 +743,7 @@ fn cap_holds(
                         if shrunk && is_int_site {
                             // Require an excluded value in the domains'
                             // common core (see attack_requirement).
-                            prior
-                                .difference(&posterior)
-                                .any(|v| core_keys.contains(v))
+                            prior.difference(&posterior).any(|v| core_keys.contains(v))
                         } else {
                             shrunk
                         }

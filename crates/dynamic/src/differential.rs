@@ -114,17 +114,15 @@ impl DiffReport {
     /// Record one case.
     pub fn record(&mut self, case: Result<DiffCase, DiffError>) {
         match case {
-            Ok(c) => {
-                match c.outcome {
-                    DiffOutcome::BothFlag => self.both += 1,
-                    DiffOutcome::StaticOnly => self.static_only += 1,
-                    DiffOutcome::DynamicOnly => {
-                        self.dynamic_only += 1;
-                        self.violations.push(c);
-                    }
-                    DiffOutcome::Neither => self.neither += 1,
+            Ok(c) => match c.outcome {
+                DiffOutcome::BothFlag => self.both += 1,
+                DiffOutcome::StaticOnly => self.static_only += 1,
+                DiffOutcome::DynamicOnly => {
+                    self.dynamic_only += 1;
+                    self.violations.push(c);
                 }
-            }
+                DiffOutcome::Neither => self.neither += 1,
+            },
             Err(_) => self.errors += 1,
         }
     }
@@ -161,7 +159,11 @@ impl fmt::Display for DiffReport {
         )?;
         writeln!(f, "  both-flag    : {}", self.both)?;
         writeln!(f, "  static-only  : {}", self.static_only)?;
-        writeln!(f, "  dynamic-only : {}  (soundness violations)", self.dynamic_only)?;
+        writeln!(
+            f,
+            "  dynamic-only : {}  (soundness violations)",
+            self.dynamic_only
+        )?;
         writeln!(f, "  neither      : {}", self.neither)?;
         writeln!(
             f,

@@ -57,12 +57,14 @@ fn eval(
                     var: format!("argument #{param}"),
                 })?
         }
-        NKind::LetVar { binding, .. } => sites
-            .get(binding)
-            .cloned()
-            .ok_or_else(|| RuntimeError::UnboundVariable {
-                var: format!("binding {binding}"),
-            })?,
+        NKind::LetVar { binding, .. } => {
+            sites
+                .get(binding)
+                .cloned()
+                .ok_or_else(|| RuntimeError::UnboundVariable {
+                    var: format!("binding {binding}"),
+                })?
+        }
         NKind::Basic(op, children) => {
             let mut vals = Vec::with_capacity(children.len());
             for c in children {
@@ -155,7 +157,10 @@ mod tests {
         let (v, sites) = eval_outer(&mut db, &prog, 1, &[john.clone(), Value::Int(7)]).unwrap();
         assert_eq!(v, Value::Null);
         assert_eq!(sites[&9], Value::Int(7));
-        assert_eq!(db.read_attr(&john, &"budget".into()).unwrap(), Value::Int(7));
+        assert_eq!(
+            db.read_attr(&john, &"budget".into()).unwrap(),
+            Value::Int(7)
+        );
     }
 
     #[test]

@@ -226,7 +226,10 @@ pub struct IdealDeductions {
 impl IdealDeductions {
     /// Total inferability over ℤ: the domain is a singleton.
     pub fn is_total(&self, site: Site) -> bool {
-        self.domains.get(&site).map(IDom::singleton).unwrap_or(false)
+        self.domains
+            .get(&site)
+            .map(IDom::singleton)
+            .unwrap_or(false)
     }
 
     /// Partial inferability with content: the domain provably excludes one
@@ -326,11 +329,13 @@ pub fn infer_idealized(prog: &NProgram, probes: &[Probe], world: &Database) -> I
                 if prog.outer_index_of(e.id) != Some(outer_idx) {
                     continue;
                 }
-                let NKind::Basic(op, args) = &e.kind else { continue };
+                let NKind::Basic(op, args) = &e.kind else {
+                    continue;
+                };
                 let arg_doms: Vec<IDom> = args.iter().map(|a| get(&domains, (t, *a))).collect();
                 let ret_dom = get(&domains, (t, e.id));
-                let diag = args.len() == 2
-                    && find(&classes, (t, args[0])) == find(&classes, (t, args[1]));
+                let diag =
+                    args.len() == 2 && find(&classes, (t, args[0])) == find(&classes, (t, args[1]));
 
                 // Forward.
                 let fwd = forward(*op, &arg_doms, diag);
@@ -774,7 +779,11 @@ fn backward_affine(a: &IDom, b: &IDom, sub: bool) -> IDom {
             let mut s = BTreeSet::new();
             for x in af {
                 for y in bf {
-                    let r = if sub { x.checked_sub(*y) } else { x.checked_add(*y) };
+                    let r = if sub {
+                        x.checked_sub(*y)
+                    } else {
+                        x.checked_add(*y)
+                    };
                     if let Some(r) = r {
                         s.insert(r);
                     }

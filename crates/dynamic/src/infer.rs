@@ -53,18 +53,17 @@ pub struct Deductions {
 impl Deductions {
     /// `[ᵏe ∈ {v}]` deducible: total inferability (Definition 4).
     pub fn is_total(&self, site: Site) -> bool {
-        self.current.get(&site).map(|s| s.len() == 1).unwrap_or(false)
+        self.current
+            .get(&site)
+            .map(|s| s.len() == 1)
+            .unwrap_or(false)
     }
 
     /// The inferred exact value, when total.
     pub fn value(&self, site: Site) -> Option<&Value> {
-        self.current.get(&site).and_then(|s| {
-            if s.len() == 1 {
-                s.iter().next()
-            } else {
-                None
-            }
-        })
+        self.current
+            .get(&site)
+            .and_then(|s| if s.len() == 1 { s.iter().next() } else { None })
     }
 
     /// Strict knowledge gain: the candidate set shrank below its prior
@@ -211,7 +210,9 @@ impl Propagator<'_> {
     /// Table 1 group 1 axioms: what the user directly sees.
     fn pin_observations(&mut self) {
         for (t, probe) in self.probes.iter().enumerate() {
-            let Some(sites) = &self.actual[t] else { continue };
+            let Some(sites) = &self.actual[t] else {
+                continue;
+            };
             let outer = &self.prog.outers[probe.outer];
             // Arguments: pinned at every occurrence of the argument
             // variable (the user supplied them).
@@ -314,12 +315,11 @@ impl Propagator<'_> {
                     }
                     NKind::Write(attr, recv, val) => {
                         if let Some(Value::Obj(oid)) = sites.get(recv) {
-                            cells
-                                .entry((*oid, attr.to_string()))
-                                .or_default()
-                                .push(CellEvent::Write {
+                            cells.entry((*oid, attr.to_string())).or_default().push(
+                                CellEvent::Write {
                                     site_val: (t, *val),
-                                });
+                                },
+                            );
                         }
                     }
                     _ => {}
@@ -356,11 +356,7 @@ impl Propagator<'_> {
 
     /// Saturate: equality merges + pairwise propagation through every
     /// basic-function application, to fixpoint.
-    fn saturate(
-        &mut self,
-        equalities: &[(Site, Site)],
-        classes: &HashMap<Site, Site>,
-    ) -> usize {
+    fn saturate(&mut self, equalities: &[(Site, Site)], classes: &HashMap<Site, Site>) -> usize {
         let mut rounds = 0;
         loop {
             rounds += 1;
@@ -447,9 +443,7 @@ impl Propagator<'_> {
                         if same && a != b {
                             continue;
                         }
-                        if let Ok(r) =
-                            oodb_engine::ops::eval_basic(op, &[a.clone(), b.clone()])
-                        {
+                        if let Ok(r) = oodb_engine::ops::eval_basic(op, &[a.clone(), b.clone()]) {
                             tuples.push((vec![a, b], r));
                         }
                     }
@@ -513,7 +507,7 @@ mod tests {
             fn getA(c: C): int { r_a(c) }
             user u { getA, w_a }
             "#,
-        // outers: getA (idx 0), w_a (idx 1)
+            // outers: getA (idx 0), w_a (idx 1)
             "u",
         );
         let world = &worlds[0];
@@ -566,7 +560,11 @@ mod tests {
             .find(|e| matches!(e.kind, NKind::Read(..)))
             .unwrap()
             .id;
-        assert!(d.is_partial((0, read)), "candidates {:?}", d.candidates((0, read)));
+        assert!(
+            d.is_partial((0, read)),
+            "candidates {:?}",
+            d.candidates((0, read))
+        );
         assert!(!d.is_total((0, read)));
         assert_eq!(
             d.candidates((0, read)).unwrap(),
@@ -680,7 +678,11 @@ mod tests {
             },
         ];
         let d = infer(&prog, &probes, world, &worlds);
-        assert!(d.is_total((3, salary_read)), "{:?}", d.candidates((3, salary_read)));
+        assert!(
+            d.is_total((3, salary_read)),
+            "{:?}",
+            d.candidates((3, salary_read))
+        );
         assert_eq!(d.value((3, salary_read)), Some(&Value::Int(2)));
     }
 

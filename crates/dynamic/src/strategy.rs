@@ -74,9 +74,11 @@ pub fn shapes(prog: &NProgram, spec: &StrategySpec) -> Vec<Shape> {
 /// OIDs by the runner.
 pub fn arg_choices(ty: &Type, spec: &StrategySpec) -> Vec<ArgChoice> {
     match ty {
-        Type::Basic(oodb_model::BasicType::Int) => {
-            spec.int_domain.iter().map(|i| ArgChoice::Val(Value::Int(*i))).collect()
-        }
+        Type::Basic(oodb_model::BasicType::Int) => spec
+            .int_domain
+            .iter()
+            .map(|i| ArgChoice::Val(Value::Int(*i)))
+            .collect(),
         Type::Basic(oodb_model::BasicType::Bool) => vec![
             ArgChoice::Val(Value::Bool(false)),
             ArgChoice::Val(Value::Bool(true)),

@@ -4,6 +4,7 @@
 use crate::error::RuntimeError;
 use crate::eval;
 use crate::heap::Heap;
+use crate::stats::{bump, EngineStats, OpCounters};
 use oodb_lang::typeck::{check_schema, fn_ref_signature};
 use oodb_lang::{Expr, Schema};
 use oodb_model::{AttrName, ClassName, FnRef, Oid, UserName, Value};
@@ -16,6 +17,7 @@ use oodb_model::{AttrName, ClassName, FnRef, Oid, UserName, Value};
 pub struct Database {
     schema: Schema,
     heap: Heap,
+    counters: OpCounters,
 }
 
 impl Database {
@@ -25,6 +27,7 @@ impl Database {
         Ok(Database {
             schema,
             heap: Heap::new(),
+            counters: OpCounters::default(),
         })
     }
 
@@ -34,7 +37,21 @@ impl Database {
         Database {
             schema,
             heap: Heap::new(),
+            counters: OpCounters::default(),
         }
+    }
+
+    /// A snapshot of the execution counters (reads, writes, allocations,
+    /// invocations) plus the current live-object count. Counters survive
+    /// `clone` — a forked database keeps counting from its parent's totals.
+    pub fn stats(&self) -> EngineStats {
+        self.counters.snapshot(self.heap.len() as u64)
+    }
+
+    /// Zero the execution counters (the live-object count is not a counter
+    /// and is unaffected).
+    pub fn reset_stats(&self) {
+        self.counters.reset();
     }
 
     /// The schema.
@@ -73,6 +90,7 @@ impl Database {
                 actual: attrs.len(),
             });
         }
+        bump(&self.counters.allocs);
         Ok(self.heap.alloc(class, attrs))
     }
 
@@ -107,6 +125,7 @@ impl Database {
             value: recv.to_string(),
         })?;
         let idx = self.attr_index(oid, attr)?;
+        bump(&self.counters.reads);
         Ok(self.heap.read(oid, idx)?.clone())
     }
 
@@ -122,12 +141,14 @@ impl Database {
         })?;
         let idx = self.attr_index(oid, attr)?;
         self.heap.write(oid, idx, value)?;
+        bump(&self.counters.writes);
         Ok(Value::Null)
     }
 
     /// Invoke anything invocable with concrete argument values, *without*
     /// capability checking (the trusted path used inside function bodies).
     pub fn invoke(&mut self, target: &FnRef, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        bump(&self.counters.invocations);
         match target {
             FnRef::Access(name) => {
                 let def = self.schema.function(name).cloned().ok_or_else(|| {
@@ -257,7 +278,8 @@ mod tests {
         let j = john(&mut db);
         assert_eq!(db.read_attr(&j, &"salary".into()).unwrap(), Value::Int(150));
         assert_eq!(
-            db.write_attr(&j, &"salary".into(), Value::Int(200)).unwrap(),
+            db.write_attr(&j, &"salary".into(), Value::Int(200))
+                .unwrap(),
             Value::Null
         );
         assert_eq!(db.read_attr(&j, &"salary".into()).unwrap(), Value::Int(200));
@@ -273,7 +295,8 @@ mod tests {
             .invoke(&FnRef::access("checkBudget"), vec![j.clone()])
             .unwrap();
         assert_eq!(v, Value::Bool(false));
-        db.write_attr(&j, &"budget".into(), Value::Int(2000)).unwrap();
+        db.write_attr(&j, &"budget".into(), Value::Int(2000))
+            .unwrap();
         let v = db.invoke(&FnRef::access("checkBudget"), vec![j]).unwrap();
         assert_eq!(v, Value::Bool(true));
     }
@@ -286,8 +309,12 @@ mod tests {
         // Granted: checkBudget, w_budget.
         db.invoke_as(&clerk, &FnRef::access("checkBudget"), vec![j.clone()])
             .unwrap();
-        db.invoke_as(&clerk, &FnRef::write("budget"), vec![j.clone(), Value::Int(5)])
-            .unwrap();
+        db.invoke_as(
+            &clerk,
+            &FnRef::write("budget"),
+            vec![j.clone(), Value::Int(5)],
+        )
+        .unwrap();
         // Denied: direct read of salary — the paper's whole point.
         let err = db
             .invoke_as(&clerk, &FnRef::read("salary"), vec![j])
@@ -320,6 +347,30 @@ mod tests {
             db.read_attr(&j, &"missing".into()),
             Err(RuntimeError::NoSuchAttribute { .. })
         ));
+    }
+
+    #[test]
+    fn stats_count_primitive_operations() {
+        let mut db = db();
+        let j = john(&mut db);
+        assert_eq!(db.stats().allocs, 1);
+        assert_eq!(db.stats().live_objects, 1);
+        db.read_attr(&j, &"salary".into()).unwrap();
+        db.write_attr(&j, &"budget".into(), Value::Int(1)).unwrap();
+        // checkBudget reads budget and salary through one invocation.
+        db.invoke(&FnRef::access("checkBudget"), vec![j.clone()])
+            .unwrap();
+        let s = db.stats();
+        assert_eq!(s.attr_reads, 3);
+        assert_eq!(s.attr_writes, 1);
+        assert_eq!(s.invocations, 1);
+        // Failed operations don't count as reads.
+        let _ = db.read_attr(&j, &"missing".into());
+        assert_eq!(db.stats().attr_reads, 3);
+        db.reset_stats();
+        let s = db.stats();
+        assert_eq!((s.attr_reads, s.attr_writes, s.invocations), (0, 0, 0));
+        assert_eq!(s.live_objects, 1, "live objects are not a counter");
     }
 
     #[test]

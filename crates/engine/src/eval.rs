@@ -62,13 +62,11 @@ fn eval(
             for a in args {
                 vals.push(eval(db, a, frame, depth)?);
             }
-            let def = db
-                .schema()
-                .function(name)
-                .cloned()
-                .ok_or_else(|| RuntimeError::UnknownFunction {
+            let def = db.schema().function(name).cloned().ok_or_else(|| {
+                RuntimeError::UnknownFunction {
                     name: name.to_string(),
-                })?;
+                }
+            })?;
             if vals.len() != def.arity() {
                 return Err(RuntimeError::ArityMismatch {
                     target: name.to_string(),

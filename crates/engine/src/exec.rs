@@ -274,10 +274,7 @@ mod tests {
     #[test]
     fn where_clause_filters() {
         let mut db = db();
-        let q = parse_query(
-            "select r_name(b) from b in Broker where r_salary(b) > 100",
-        )
-        .unwrap();
+        let q = parse_query("select r_name(b) from b in Broker where r_salary(b) > 100").unwrap();
         let out = run_query(&mut db, None, &q).unwrap();
         assert_eq!(out.rows.len(), 1);
         assert_eq!(out.rows[0].0, vec![Value::str("John")]);
@@ -291,10 +288,7 @@ mod tests {
         let err = run_query(&mut db, Some(&clerk), &q).unwrap_err();
         assert!(matches!(err, RuntimeError::NotAuthorized { .. }));
         // …including inside the where clause.
-        let q = parse_query(
-            "select r_name(b) from b in Broker where r_salary(b) > 0",
-        )
-        .unwrap();
+        let q = parse_query("select r_name(b) from b in Broker where r_salary(b) > 0").unwrap();
         let err = run_query(&mut db, Some(&clerk), &q).unwrap_err();
         assert!(matches!(err, RuntimeError::NotAuthorized { .. }));
         // The clerk's own capabilities all pass.
@@ -328,7 +322,10 @@ mod tests {
         );
         // The writes persisted.
         let j = Value::Obj(db.extent(&"Broker".into())[0]);
-        assert_eq!(db.read_attr(&j, &"budget".into()).unwrap(), Value::Int(1499));
+        assert_eq!(
+            db.read_attr(&j, &"budget".into()).unwrap(),
+            Value::Int(1499)
+        );
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   running query text, recording an observation log.
 //! * [`snapshot`] — human-readable text dumps of database state that
 //!   reload against the same schema.
+//! * [`stats`] — execution counters ([`EngineStats`]): attribute reads and
+//!   writes, allocations, invocations and live objects, reportable into any
+//!   `secflow_obs::MetricsSink`.
 //!
 //! The engine enforces access control *in the abstract operation level*
 //! exactly as the paper describes: users invoke whole functions from their
@@ -34,9 +37,11 @@ pub mod heap;
 pub mod ops;
 pub mod session;
 pub mod snapshot;
+pub mod stats;
 
 pub use db::Database;
 pub use error::RuntimeError;
 pub use exec::{QueryOutput, Row};
 pub use heap::Heap;
 pub use session::Session;
+pub use stats::EngineStats;

@@ -22,8 +22,14 @@ pub fn eval_basic(op: BasicOp, args: &[Value]) -> Result<Value, RuntimeError> {
             actual: args.len(),
         });
     }
-    let int = |v: &Value| v.as_int().ok_or_else(|| RuntimeError::mismatch("an integer", v));
-    let boolean = |v: &Value| v.as_bool().ok_or_else(|| RuntimeError::mismatch("a boolean", v));
+    let int = |v: &Value| {
+        v.as_int()
+            .ok_or_else(|| RuntimeError::mismatch("an integer", v))
+    };
+    let boolean = |v: &Value| {
+        v.as_bool()
+            .ok_or_else(|| RuntimeError::mismatch("a boolean", v))
+    };
 
     Ok(match op {
         BasicOp::Add => Value::Int(
@@ -46,14 +52,22 @@ pub fn eval_basic(op: BasicOp, args: &[Value]) -> Result<Value, RuntimeError> {
             if d == 0 {
                 return Err(RuntimeError::DivisionByZero);
             }
-            Value::Int(int(&args[0])?.checked_div(d).ok_or(RuntimeError::Overflow)?)
+            Value::Int(
+                int(&args[0])?
+                    .checked_div(d)
+                    .ok_or(RuntimeError::Overflow)?,
+            )
         }
         BasicOp::Mod => {
             let d = int(&args[1])?;
             if d == 0 {
                 return Err(RuntimeError::DivisionByZero);
             }
-            Value::Int(int(&args[0])?.checked_rem(d).ok_or(RuntimeError::Overflow)?)
+            Value::Int(
+                int(&args[0])?
+                    .checked_rem(d)
+                    .ok_or(RuntimeError::Overflow)?,
+            )
         }
         BasicOp::Neg => Value::Int(int(&args[0])?.checked_neg().ok_or(RuntimeError::Overflow)?),
         BasicOp::Ge => Value::Bool(int(&args[0])? >= int(&args[1])?),

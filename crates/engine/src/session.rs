@@ -11,6 +11,7 @@ use crate::exec::{run_query, QueryOutput};
 use oodb_lang::typeck::check_query;
 use oodb_lang::{parse_query, ParseError, TypeError};
 use oodb_model::UserName;
+use secflow_obs::{MetricsSink, Phases};
 use std::fmt;
 
 /// Anything that can go wrong when a session runs query text.
@@ -69,6 +70,9 @@ pub struct Session<'db> {
     db: &'db mut Database,
     user: UserName,
     log: Vec<LogEntry>,
+    phases: Phases,
+    queries_ok: u64,
+    queries_err: u64,
 }
 
 impl<'db> Session<'db> {
@@ -78,6 +82,9 @@ impl<'db> Session<'db> {
             db,
             user: user.into(),
             log: Vec::new(),
+            phases: Phases::new(),
+            queries_ok: 0,
+            queries_err: 0,
         }
     }
 
@@ -89,19 +96,56 @@ impl<'db> Session<'db> {
     /// Parse, type-check, authorize and run a query; the observation is
     /// appended to the log.
     pub fn query(&mut self, text: &str) -> Result<QueryOutput, SessionError> {
-        let q = parse_query(text)?;
-        check_query(self.db.schema(), &q)?;
-        let out = run_query(self.db, Some(&self.user), &q)?;
-        self.log.push(LogEntry {
-            query: text.to_owned(),
-            result: out.render(),
-        });
-        Ok(out)
+        let result = (|| {
+            let q = self.phases.time("session.parse", || parse_query(text))?;
+            self.phases
+                .time("session.typecheck", || check_query(self.db.schema(), &q))?;
+            let out = self.phases.time("session.execute", || {
+                run_query(self.db, Some(&self.user), &q)
+            })?;
+            Ok(out)
+        })();
+        match &result {
+            Ok(out) => {
+                self.queries_ok += 1;
+                self.log.push(LogEntry {
+                    query: text.to_owned(),
+                    result: out.render(),
+                });
+            }
+            Err(_) => self.queries_err += 1,
+        }
+        result
     }
 
     /// Everything this user has observed so far.
     pub fn log(&self) -> &[LogEntry] {
         &self.log
+    }
+
+    /// Accumulated wall-clock per query phase (parse / typecheck / execute)
+    /// across every query this session ran.
+    pub fn phases(&self) -> &Phases {
+        &self.phases
+    }
+
+    /// Queries that completed successfully.
+    pub fn queries_ok(&self) -> u64 {
+        self.queries_ok
+    }
+
+    /// Queries rejected at any stage (parse, type, authorization, runtime).
+    pub fn queries_err(&self) -> u64 {
+        self.queries_err
+    }
+
+    /// Report session counters and phase timings into a sink, together with
+    /// the underlying database's execution counters.
+    pub fn record_to(&self, sink: &mut dyn MetricsSink) {
+        sink.counter("session.queries_ok", self.queries_ok);
+        sink.counter("session.queries_err", self.queries_err);
+        self.phases.record_to(sink);
+        self.db.stats().record_to(sink);
     }
 
     /// Access the underlying database (e.g. for administrative seeding
@@ -172,5 +216,26 @@ mod tests {
         ));
         // Failed queries are not logged.
         assert!(s.log().is_empty());
+    }
+
+    #[test]
+    fn session_metrics_count_queries_and_phases() {
+        let mut db = db();
+        let mut s = Session::open(&mut db, "clerk");
+        s.query("select checkBudget(b) from b in Broker").unwrap();
+        s.query("select r_salary(b) from b in Broker").unwrap_err();
+        assert_eq!(s.queries_ok(), 1);
+        assert_eq!(s.queries_err(), 1);
+        for phase in ["session.parse", "session.typecheck", "session.execute"] {
+            assert!(s.phases().get(phase).is_some(), "missing {phase}");
+        }
+        let mut rec = secflow_obs::Recorder::new();
+        s.record_to(&mut rec);
+        let r = rec.into_report();
+        assert_eq!(r.counter("session.queries_ok"), Some(1));
+        assert_eq!(r.counter("engine.live_objects"), Some(1));
+        // checkBudget reads budget and salary.
+        assert!(r.counter("engine.attr_reads").unwrap() >= 2);
+        assert!(r.span("session.execute").is_some());
     }
 }

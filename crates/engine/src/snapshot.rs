@@ -106,7 +106,10 @@ pub fn load(schema: Schema, text: &str) -> Result<Database, SnapshotError> {
         if slot as usize != parsed.len() {
             return Err(SnapshotError {
                 line: lineno,
-                message: format!("slots must be dense and ascending; expected {}", parsed.len()),
+                message: format!(
+                    "slots must be dense and ascending; expected {}",
+                    parsed.len()
+                ),
             });
         }
         let (class, body) = rest.split_once('{').ok_or_else(|| SnapshotError {
@@ -177,10 +180,9 @@ pub fn load(schema: Schema, text: &str) -> Result<Database, SnapshotError> {
     for (slot, (_, fields)) in parsed.iter().enumerate() {
         let recv = Value::Obj(Oid::from_raw(slot as u64));
         for (name, raw) in fields {
-            let v = raw.to_value(parsed.len()).map_err(|message| SnapshotError {
-                line: 0,
-                message,
-            })?;
+            let v = raw
+                .to_value(parsed.len())
+                .map_err(|message| SnapshotError { line: 0, message })?;
             db.write_attr(&recv, &name.as_str().into(), v)
                 .map_err(|e: RuntimeError| SnapshotError {
                     line: 0,
@@ -316,9 +318,7 @@ impl RawParser<'_> {
                                 Some('\\') => s.push('\\'),
                                 Some('n') => s.push('\n'),
                                 Some('t') => s.push('\t'),
-                                other => {
-                                    return self.err(format!("bad escape {other:?}"))
-                                }
+                                other => return self.err(format!("bad escape {other:?}")),
                             }
                             self.bump();
                         }
@@ -473,7 +473,8 @@ mod tests {
     #[test]
     fn errors_are_located() {
         // Bad slot ordering.
-        let text = "object 1 Person { name = \"x\", age = 1, vip = false, child = {}, boss = null }";
+        let text =
+            "object 1 Person { name = \"x\", age = 1, vip = false, child = {}, boss = null }";
         let err = load(schema(), text).unwrap_err();
         assert!(err.message.contains("dense"));
 

@@ -1,0 +1,103 @@
+//! Execution counters for the engine.
+//!
+//! The database keeps interior-mutable counters (`Cell` — attribute reads
+//! happen through `&self`) that every primitive operation bumps; a
+//! [`EngineStats`] snapshot reads them out for reporting. Cloning a
+//! [`crate::Database`] clones the counters with it, so a forked snapshot
+//! keeps counting from its parent's totals.
+
+use secflow_obs::MetricsSink;
+use std::cell::Cell;
+
+/// The live counters embedded in a [`crate::Database`].
+#[derive(Clone, Debug, Default)]
+pub(crate) struct OpCounters {
+    pub reads: Cell<u64>,
+    pub writes: Cell<u64>,
+    pub allocs: Cell<u64>,
+    pub invocations: Cell<u64>,
+}
+
+/// A point-in-time snapshot of one database's execution counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Attribute reads (`r_att`) executed.
+    pub attr_reads: u64,
+    /// Attribute writes (`w_att`) executed.
+    pub attr_writes: u64,
+    /// Objects allocated (`new C`).
+    pub allocs: u64,
+    /// Function invocations entered (access functions and primitives).
+    pub invocations: u64,
+    /// Objects currently live on the heap.
+    pub live_objects: u64,
+}
+
+impl EngineStats {
+    /// Report every counter into a sink under the `engine.` namespace.
+    pub fn record_to(&self, sink: &mut dyn MetricsSink) {
+        sink.counter("engine.attr_reads", self.attr_reads);
+        sink.counter("engine.attr_writes", self.attr_writes);
+        sink.counter("engine.allocs", self.allocs);
+        sink.counter("engine.invocations", self.invocations);
+        sink.counter("engine.live_objects", self.live_objects);
+    }
+}
+
+impl OpCounters {
+    pub fn snapshot(&self, live_objects: u64) -> EngineStats {
+        EngineStats {
+            attr_reads: self.reads.get(),
+            attr_writes: self.writes.get(),
+            allocs: self.allocs.get(),
+            invocations: self.invocations.get(),
+            live_objects,
+        }
+    }
+
+    pub fn reset(&self) {
+        self.reads.set(0);
+        self.writes.set(0);
+        self.allocs.set(0);
+        self.invocations.set(0);
+    }
+}
+
+pub(crate) fn bump(cell: &Cell<u64>) {
+    cell.set(cell.get() + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let c = OpCounters::default();
+        bump(&c.reads);
+        bump(&c.reads);
+        bump(&c.writes);
+        let s = c.snapshot(7);
+        assert_eq!(s.attr_reads, 2);
+        assert_eq!(s.attr_writes, 1);
+        assert_eq!(s.live_objects, 7);
+        c.reset();
+        assert_eq!(c.snapshot(7).attr_reads, 0);
+    }
+
+    #[test]
+    fn record_to_uses_the_engine_namespace() {
+        let s = EngineStats {
+            attr_reads: 3,
+            attr_writes: 1,
+            allocs: 2,
+            invocations: 5,
+            live_objects: 2,
+        };
+        let mut rec = secflow_obs::Recorder::new();
+        s.record_to(&mut rec);
+        let r = rec.into_report();
+        assert_eq!(r.counter("engine.attr_reads"), Some(3));
+        assert_eq!(r.counter("engine.live_objects"), Some(2));
+    }
+}

@@ -234,7 +234,9 @@ impl<'db> GuardedSession<'db> {
             Ok(None)
         };
         let verdict = decide()?;
-        self.verdict_cache.borrow_mut().insert(key.clone(), verdict.clone());
+        self.verdict_cache
+            .borrow_mut()
+            .insert(key.clone(), verdict.clone());
         match verdict {
             None => Ok(()),
             Some(requirement) => Err(GuardError::FlawDenied {
@@ -267,9 +269,7 @@ pub fn guarded_query(
 
 /// Check a whole schema statically (all requirements) — the baseline the
 /// guard is compared against in tests and docs.
-pub fn static_verdicts(
-    schema: &oodb_lang::Schema,
-) -> Result<Vec<(String, bool)>, AnalysisError> {
+pub fn static_verdicts(schema: &oodb_lang::Schema) -> Result<Vec<(String, bool)>, AnalysisError> {
     schema
         .requirements
         .iter()
@@ -400,7 +400,10 @@ mod tests {
     fn guarded_query_counts_denials() {
         let mut db = db();
         let mut s = GuardedSession::open_from_schema(&mut db, "clerk");
-        let _ = guarded_query(&mut s, "select w_budget(b, 1), checkBudget(b) from b in Broker");
+        let _ = guarded_query(
+            &mut s,
+            "select w_budget(b, 1), checkBudget(b) from b in Broker",
+        );
         assert_eq!(s.denied_count(), 1);
     }
 }

@@ -385,11 +385,10 @@ mod tests {
     fn called_functions_collects() {
         let e = Expr::call(
             "f",
-            vec![Expr::call("g", vec![]), Expr::bin(
-                BasicOp::Add,
+            vec![
                 Expr::call("g", vec![]),
-                Expr::int(1),
-            )],
+                Expr::bin(BasicOp::Add, Expr::call("g", vec![]), Expr::int(1)),
+            ],
         );
         let names: Vec<String> = e
             .called_functions()

@@ -62,8 +62,8 @@ impl From<LexError> for ParseError {
 
 /// Keywords that cannot be used as identifiers.
 pub const KEYWORDS: &[&str] = &[
-    "class", "fn", "user", "require", "let", "in", "end", "select", "from", "where", "new",
-    "null", "true", "false", "and", "or", "not", "int", "bool", "string",
+    "class", "fn", "user", "require", "let", "in", "end", "select", "from", "where", "new", "null",
+    "true", "false", "and", "or", "not", "int", "bool", "string",
 ];
 
 /// Maximum nesting depth for expressions, types and conditions. The parser
@@ -107,9 +107,10 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
-        self.tokens.get(self.pos).map(|s| s.line).unwrap_or(
-            self.tokens.last().map(|s| s.line).unwrap_or(0),
-        )
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.line)
+            .unwrap_or(self.tokens.last().map(|s| s.line).unwrap_or(0))
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
@@ -396,7 +397,10 @@ impl Parser {
                 return self.err("`r_` must be followed by an attribute name");
             }
             if args.len() != 1 {
-                return self.err(format!("`{name}` takes exactly 1 argument, got {}", args.len()));
+                return self.err(format!(
+                    "`{name}` takes exactly 1 argument, got {}",
+                    args.len()
+                ));
             }
             let mut it = args.into_iter();
             return Ok(Expr::read(attr, it.next().expect("checked len")));
@@ -406,7 +410,10 @@ impl Parser {
                 return self.err("`w_` must be followed by an attribute name");
             }
             if args.len() != 2 {
-                return self.err(format!("`{name}` takes exactly 2 arguments, got {}", args.len()));
+                return self.err(format!(
+                    "`{name}` takes exactly 2 arguments, got {}",
+                    args.len()
+                ));
             }
             let mut it = args.into_iter();
             let recv = it.next().expect("checked len");
@@ -460,13 +467,10 @@ impl Parser {
         while let Some(t) = self.peek() {
             if t.is_kw("class") {
                 let def = self.class_def()?;
-                schema
-                    .classes
-                    .insert(def)
-                    .map_err(|e| ParseError {
-                        message: e.to_string(),
-                        line: self.line(),
-                    })?;
+                schema.classes.insert(def).map_err(|e| ParseError {
+                    message: e.to_string(),
+                    line: self.line(),
+                })?;
             } else if t.is_kw("fn") {
                 let def = self.fn_def()?;
                 if schema.functions.contains_key(&def.name) {
@@ -597,7 +601,9 @@ impl Parser {
             "pi" => Ok(Cap::Pi),
             "ta" => Ok(Cap::Ta),
             "pa" => Ok(Cap::Pa),
-            other => self.err(format!("unknown capability `{other}` (expected ti, pi, ta, pa)")),
+            other => self.err(format!(
+                "unknown capability `{other}` (expected ti, pi, ta, pa)"
+            )),
         }
     }
 
@@ -792,7 +798,8 @@ impl Parser {
         let rhs = match self.peek() {
             Some(Token::Ident(s))
                 if s == "new"
-                    || (!KEYWORDS.contains(&s.as_str()) && self.peek2() == Some(&Token::LParen)) =>
+                    || (!KEYWORDS.contains(&s.as_str())
+                        && self.peek2() == Some(&Token::LParen)) =>
             {
                 CmpRhs::Invoke(self.invocation()?)
             }

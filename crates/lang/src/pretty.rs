@@ -152,7 +152,7 @@ impl fmt::Display for Schema {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::parse::parse_expr;
 
     #[track_caller]

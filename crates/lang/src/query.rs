@@ -304,16 +304,16 @@ mod tests {
     fn sample() -> Query {
         Query {
             items: vec![
-                SelectItem::Invoke(Invocation::new(
-                    FnRef::read("name"),
-                    vec![Atom::var("p")],
-                )),
+                SelectItem::Invoke(Invocation::new(FnRef::read("name"), vec![Atom::var("p")])),
                 SelectItem::Invoke(Invocation::new(
                     FnRef::access("profile"),
                     vec![Atom::var("p")],
                 )),
             ],
-            from: vec![(VarName::new("p"), FromSource::Class(ClassName::new("Person")))],
+            from: vec![(
+                VarName::new("p"),
+                FromSource::Class(ClassName::new("Person")),
+            )],
             filter: Some(Cond::Cmp {
                 lhs: Invocation::new(FnRef::read("age"), vec![Atom::var("p")]),
                 op: CmpOp::Gt,
@@ -354,7 +354,10 @@ mod tests {
         };
         let outer = Query {
             items: vec![SelectItem::Nested(Box::new(inner))],
-            from: vec![(VarName::new("p"), FromSource::Class(ClassName::new("Person")))],
+            from: vec![(
+                VarName::new("p"),
+                FromSource::Class(ClassName::new("Person")),
+            )],
             filter: None,
         };
         assert_eq!(outer.invocations().len(), 2);

@@ -97,11 +97,18 @@ pub struct Requirement {
 impl Requirement {
     /// A requirement with capabilities only on the returned value, e.g. the
     /// paper's `(u, r_salary(x) : ti)`.
-    pub fn on_return(user: impl Into<UserName>, target: FnRef, arity: usize, caps: Vec<Cap>) -> Requirement {
+    pub fn on_return(
+        user: impl Into<UserName>,
+        target: FnRef,
+        arity: usize,
+        caps: Vec<Cap>,
+    ) -> Requirement {
         Requirement {
             user: user.into(),
             target,
-            arg_names: (0..arity).map(|i| VarName::new(format!("x{}", i + 1))).collect(),
+            arg_names: (0..arity)
+                .map(|i| VarName::new(format!("x{}", i + 1)))
+                .collect(),
             arg_caps: vec![Vec::new(); arity],
             ret_caps: caps,
         }
@@ -121,7 +128,9 @@ impl Requirement {
         Requirement {
             user: user.into(),
             target,
-            arg_names: (0..arity).map(|i| VarName::new(format!("x{}", i + 1))).collect(),
+            arg_names: (0..arity)
+                .map(|i| VarName::new(format!("x{}", i + 1)))
+                .collect(),
             arg_caps,
             ret_caps: Vec::new(),
         }

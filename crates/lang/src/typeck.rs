@@ -386,10 +386,13 @@ fn type_of_expr_inner(
 ) -> Result<Type, TypeError> {
     match expr {
         Expr::Const(l) => Ok(l.ty()),
-        Expr::Var(v) => env.lookup(v).cloned().ok_or_else(|| TypeError::UnboundVariable {
-            var: v.clone(),
-            context: ctx.to_owned(),
-        }),
+        Expr::Var(v) => env
+            .lookup(v)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable {
+                var: v.clone(),
+                context: ctx.to_owned(),
+            }),
         Expr::Basic(op, args) => {
             if args.len() != op.arity() {
                 return Err(TypeError::ArityMismatch {
@@ -406,10 +409,12 @@ fn type_of_expr_inner(
             type_of_basic(*op, &tys, ctx)
         }
         Expr::Call(f, args) => {
-            let def = schema.function(f).ok_or_else(|| TypeError::UnknownFunction {
-                name: f.clone(),
-                context: ctx.to_owned(),
-            })?;
+            let def = schema
+                .function(f)
+                .ok_or_else(|| TypeError::UnknownFunction {
+                    name: f.clone(),
+                    context: ctx.to_owned(),
+                })?;
             if args.len() != def.arity() {
                 return Err(TypeError::ArityMismatch {
                     target: f.to_string(),
@@ -437,14 +442,19 @@ fn type_of_expr_inner(
                 actual: recv_ty.clone(),
                 context: ctx.to_owned(),
             })?;
-            let def = schema.classes.get(class).ok_or_else(|| TypeError::UnknownClass {
-                class: class.clone(),
-                context: ctx.to_owned(),
-            })?;
-            def.attr_type(attr).cloned().ok_or_else(|| TypeError::UnknownAttribute {
-                attr: attr.clone(),
-                context: format!("class `{class}` has no such attribute ({ctx})"),
-            })
+            let def = schema
+                .classes
+                .get(class)
+                .ok_or_else(|| TypeError::UnknownClass {
+                    class: class.clone(),
+                    context: ctx.to_owned(),
+                })?;
+            def.attr_type(attr)
+                .cloned()
+                .ok_or_else(|| TypeError::UnknownAttribute {
+                    attr: attr.clone(),
+                    context: format!("class `{class}` has no such attribute ({ctx})"),
+                })
         }
         Expr::Write(attr, recv, val) => {
             let recv_ty = type_of_expr_inner(schema, env, recv, ctx)?;
@@ -453,10 +463,13 @@ fn type_of_expr_inner(
                 actual: recv_ty.clone(),
                 context: ctx.to_owned(),
             })?;
-            let def = schema.classes.get(class).ok_or_else(|| TypeError::UnknownClass {
-                class: class.clone(),
-                context: ctx.to_owned(),
-            })?;
+            let def = schema
+                .classes
+                .get(class)
+                .ok_or_else(|| TypeError::UnknownClass {
+                    class: class.clone(),
+                    context: ctx.to_owned(),
+                })?;
             let want = def
                 .attr_type(attr)
                 .ok_or_else(|| TypeError::UnknownAttribute {
@@ -475,10 +488,13 @@ fn type_of_expr_inner(
             Ok(Type::Null)
         }
         Expr::New(class, args) => {
-            let def = schema.classes.get(class).ok_or_else(|| TypeError::UnknownClass {
-                class: class.clone(),
-                context: ctx.to_owned(),
-            })?;
+            let def = schema
+                .classes
+                .get(class)
+                .ok_or_else(|| TypeError::UnknownClass {
+                    class: class.clone(),
+                    context: ctx.to_owned(),
+                })?;
             if args.len() != def.attrs.len() {
                 return Err(TypeError::ArityMismatch {
                     target: format!("new {class}"),
@@ -558,10 +574,12 @@ pub fn fn_ref_signature(
 ) -> Result<(Vec<Type>, Type), TypeError> {
     match target {
         FnRef::Access(f) => {
-            let def = schema.function(f).ok_or_else(|| TypeError::UnknownFunction {
-                name: f.clone(),
-                context: "signature lookup".to_owned(),
-            })?;
+            let def = schema
+                .function(f)
+                .ok_or_else(|| TypeError::UnknownFunction {
+                    name: f.clone(),
+                    context: "signature lookup".to_owned(),
+                })?;
             Ok((
                 def.params.iter().map(|(_, t)| t.clone()).collect(),
                 def.ret.clone(),
@@ -601,10 +619,13 @@ pub fn fn_ref_signature(
             }
         }
         FnRef::New(c) => {
-            let def = schema.classes.get(c).ok_or_else(|| TypeError::UnknownClass {
-                class: c.clone(),
-                context: "signature lookup".to_owned(),
-            })?;
+            let def = schema
+                .classes
+                .get(c)
+                .ok_or_else(|| TypeError::UnknownClass {
+                    class: c.clone(),
+                    context: "signature lookup".to_owned(),
+                })?;
             Ok((
                 def.attrs.iter().map(|a| a.ty.clone()).collect(),
                 Type::Class(c.clone()),
@@ -702,11 +723,13 @@ fn check_query_inner(
             }
             FromSource::SetExpr(inv) => {
                 let t = type_of_invocation(schema, inv, env)?;
-                t.as_set_elem().cloned().ok_or_else(|| TypeError::Mismatch {
-                    expected: "a set-valued expression in from clause".to_owned(),
-                    actual: t.clone(),
-                    context: format!("binding of `{var}`"),
-                })?
+                t.as_set_elem()
+                    .cloned()
+                    .ok_or_else(|| TypeError::Mismatch {
+                        expected: "a set-valued expression in from clause".to_owned(),
+                        actual: t.clone(),
+                        context: format!("binding of `{var}`"),
+                    })?
             }
         };
         env.push(var.clone(), elem_ty);
@@ -740,18 +763,17 @@ fn check_query_inner(
 fn type_of_atom(_schema: &Schema, atom: &Atom, env: &mut Env) -> Result<Type, TypeError> {
     match atom {
         Atom::Lit(l) => Ok(l.ty()),
-        Atom::Var(v) => env.lookup(v).cloned().ok_or_else(|| TypeError::UnboundVariable {
-            var: v.clone(),
-            context: "query".to_owned(),
-        }),
+        Atom::Var(v) => env
+            .lookup(v)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable {
+                var: v.clone(),
+                context: "query".to_owned(),
+            }),
     }
 }
 
-fn type_of_invocation(
-    schema: &Schema,
-    inv: &Invocation,
-    env: &mut Env,
-) -> Result<Type, TypeError> {
+fn type_of_invocation(schema: &Schema, inv: &Invocation, env: &mut Env) -> Result<Type, TypeError> {
     // Resolve receiver class from the first argument for attribute ops.
     let receiver: Option<ClassName> = match &inv.target {
         FnRef::Read(_) | FnRef::Write(_) => inv.args.first().and_then(|a| {
@@ -856,10 +878,7 @@ mod tests {
 
     #[test]
     fn recursion_is_rejected() {
-        let s = parse_schema(
-            "fn f(x: int): int { g(x) } fn g(x: int): int { f(x) }",
-        )
-        .unwrap();
+        let s = parse_schema("fn f(x: int): int { g(x) } fn g(x: int): int { f(x) }").unwrap();
         match check_schema(&s).unwrap_err() {
             TypeError::RecursiveFunctions { cycle } => {
                 assert!(cycle.len() >= 2);
@@ -904,20 +923,24 @@ mod tests {
         ));
 
         let bad = parse_schema("class C { x: int } fn f(c: C): null { w_x(c, true) }").unwrap();
-        assert!(matches!(check_schema(&bad), Err(TypeError::Mismatch { .. })));
+        assert!(matches!(
+            check_schema(&bad),
+            Err(TypeError::Mismatch { .. })
+        ));
 
         let bad = parse_schema("fn f(x: int): int { r_a(x) }").unwrap();
-        assert!(matches!(check_schema(&bad), Err(TypeError::Mismatch { .. })));
+        assert!(matches!(
+            check_schema(&bad),
+            Err(TypeError::Mismatch { .. })
+        ));
     }
 
     #[test]
     fn new_constructor_typed() {
-        let s =
-            parse_schema("class P { x: int, y: int } fn mk(a: int): P { new P(a, a + 1) }")
-                .unwrap();
+        let s = parse_schema("class P { x: int, y: int } fn mk(a: int): P { new P(a, a + 1) }")
+            .unwrap();
         check_schema(&s).unwrap();
-        let bad =
-            parse_schema("class P { x: int, y: int } fn mk(a: int): P { new P(a) }").unwrap();
+        let bad = parse_schema("class P { x: int, y: int } fn mk(a: int): P { new P(a) }").unwrap();
         assert!(matches!(
             check_schema(&bad),
             Err(TypeError::ArityMismatch { .. })
@@ -1001,17 +1024,13 @@ mod tests {
         .unwrap();
         check_schema(&s).unwrap();
 
-        let q = parse_query(
-            "select r_name(p), profile(p) from p in Person where r_age(p) > 20",
-        )
-        .unwrap();
+        let q = parse_query("select r_name(p), profile(p) from p in Person where r_age(p) > 20")
+            .unwrap();
         let tys = check_query(&s, &q).unwrap();
         assert_eq!(tys, vec![Type::STR, Type::STR]);
 
-        let q = parse_query(
-            "select (select r_name(q) from q in r_child(p)) from p in Person",
-        )
-        .unwrap();
+        let q =
+            parse_query("select (select r_name(q) from q in r_child(p)) from p in Person").unwrap();
         let tys = check_query(&s, &q).unwrap();
         assert_eq!(tys, vec![Type::set(Type::STR)]);
 
@@ -1048,10 +1067,7 @@ mod tests {
 
     #[test]
     fn ambiguous_attribute_needs_receiver() {
-        let s = parse_schema(
-            "class A { v: int } class B { v: bool }",
-        )
-        .unwrap();
+        let s = parse_schema("class A { v: int } class B { v: bool }").unwrap();
         check_schema(&s).unwrap();
         // Signature lookup without a receiver is ambiguous…
         assert!(fn_ref_signature(&s, &FnRef::read("v"), None).is_err());

@@ -257,7 +257,10 @@ mod tests {
 
     #[test]
     fn user_holds_caps() {
-        let u = User::new("clerk", [FnRef::access("checkBudget")].into_iter().collect());
+        let u = User::new(
+            "clerk",
+            [FnRef::access("checkBudget")].into_iter().collect(),
+        );
         assert_eq!(u.name.as_str(), "clerk");
         assert!(u.capabilities.allows(&FnRef::access("checkBudget")));
     }

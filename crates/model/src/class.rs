@@ -228,10 +228,8 @@ mod tests {
         t.validate().unwrap();
 
         let mut bad = ClassTable::new();
-        bad.insert(
-            ClassDef::new("A", vec![(AttrName::new("b"), Type::class("Missing"))]).unwrap(),
-        )
-        .unwrap();
+        bad.insert(ClassDef::new("A", vec![(AttrName::new("b"), Type::class("Missing"))]).unwrap())
+            .unwrap();
         assert!(matches!(
             bad.validate(),
             Err(ModelError::UnknownClass { .. })
@@ -242,10 +240,8 @@ mod tests {
     fn classes_with_attr_finds_all() {
         let mut t = ClassTable::new();
         t.insert(broker()).unwrap();
-        t.insert(
-            ClassDef::new("Employee", vec![(AttrName::new("salary"), Type::INT)]).unwrap(),
-        )
-        .unwrap();
+        t.insert(ClassDef::new("Employee", vec![(AttrName::new("salary"), Type::INT)]).unwrap())
+            .unwrap();
         let hits = t.classes_with_attr(&AttrName::new("salary"));
         assert_eq!(hits.len(), 2);
         let hits = t.classes_with_attr(&AttrName::new("profit"));

@@ -34,7 +34,10 @@ impl fmt::Display for ModelError {
                 write!(f, "class `{class}` defined more than once")
             }
             ModelError::DuplicateAttribute { class, attr } => {
-                write!(f, "attribute `{attr}` defined more than once in class `{class}`")
+                write!(
+                    f,
+                    "attribute `{attr}` defined more than once in class `{class}`"
+                )
             }
             ModelError::UnknownClass { class, context } => {
                 write!(f, "unknown class `{class}` referenced from {context}")

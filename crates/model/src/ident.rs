@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn display_is_bare() {
         assert_eq!(ClassName::new("Broker").to_string(), "Broker");
-        assert_eq!(format!("{:?}", AttrName::new("salary")), "AttrName(\"salary\")");
+        assert_eq!(
+            format!("{:?}", AttrName::new("salary")),
+            "AttrName(\"salary\")"
+        );
     }
 
     #[test]

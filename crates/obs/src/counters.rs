@@ -1,0 +1,117 @@
+//! The counter registry.
+
+/// An insertion-ordered map of named monotone counters.
+///
+/// The registry is a `Vec` rather than a hash map: metric sets are small
+/// (dozens of names), insertion order is the natural display order, and
+/// deterministic iteration keeps text/JSON output diff-stable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counters {
+    entries: Vec<(String, u64)>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `delta` to `name` (creating it at zero first).
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some((_, v)) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            *v += delta;
+        } else {
+            self.entries.push((name.to_owned(), delta));
+        }
+    }
+
+    /// Increment `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Raise `name` to `value` if it is currently lower (high-water marks).
+    pub fn set_max(&mut self, name: &str, value: u64) {
+        if let Some((_, v)) = self.entries.iter_mut().find(|(n, _)| n == name) {
+            *v = (*v).max(value);
+        } else {
+            self.entries.push((name.to_owned(), value));
+        }
+    }
+
+    /// Current value (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Iterate `(name, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fold another registry into this one (summing shared names).
+    pub fn merge(&mut self, other: &Counters) {
+        for (name, v) in other.iter() {
+            self.add(name, v);
+        }
+    }
+
+    /// Report every counter into a sink.
+    pub fn record_to(&self, sink: &mut dyn crate::sink::MetricsSink) {
+        for (name, v) in self.iter() {
+            sink.counter(name, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_inc_get() {
+        let mut c = Counters::new();
+        c.inc("rounds");
+        c.add("rounds", 4);
+        assert_eq!(c.get("rounds"), 5);
+        assert_eq!(c.get("missing"), 0);
+    }
+
+    #[test]
+    fn set_max_is_a_high_water_mark() {
+        let mut c = Counters::new();
+        c.set_max("hwm", 10);
+        c.set_max("hwm", 3);
+        assert_eq!(c.get("hwm"), 10);
+        c.set_max("hwm", 12);
+        assert_eq!(c.get("hwm"), 12);
+    }
+
+    #[test]
+    fn merge_sums_and_keeps_order() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        a.add("y", 2);
+        let mut b = Counters::new();
+        b.add("y", 3);
+        b.add("z", 4);
+        a.merge(&b);
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["x", "y", "z"]);
+        assert_eq!(a.get("y"), 5);
+    }
+}

@@ -1,0 +1,103 @@
+//! Process-global profiling hooks.
+//!
+//! External profilers (or the CLI's `--trace` flag) install a callback once
+//! per process; after that, every [`scope`] guard in the pipeline reports
+//! `(name, wall-clock)` to it when dropped. When no hook is installed the
+//! fast path is a single relaxed atomic load — cheap enough to leave scopes
+//! in release builds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// The installed callback type: `(span name, wall-clock)`.
+type Hook = Box<dyn Fn(&str, Duration) + Send + Sync>;
+
+/// The installed hook, if any. `OnceLock` makes installation race-free;
+/// the separate flag keeps the disabled check branch-predictable.
+static HOOK: OnceLock<Hook> = OnceLock::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Install the process-wide profiling hook. Only the first installation
+/// wins (returns `false` if a hook was already present); hooks cannot be
+/// removed, matching the usual profiler lifecycle.
+pub fn install(hook: impl Fn(&str, Duration) + Send + Sync + 'static) -> bool {
+    let fresh = HOOK.set(Box::new(hook)).is_ok();
+    if fresh {
+        ENABLED.store(true, Ordering::Release);
+    }
+    fresh
+}
+
+/// Is a hook installed?
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Report a completed span directly to the hook (no-op when disabled).
+pub fn report(name: &str, wall: Duration) {
+    if enabled() {
+        if let Some(hook) = HOOK.get() {
+            hook(name, wall);
+        }
+    }
+}
+
+/// A timed scope: reports its wall-clock to the hook on drop. When no hook
+/// is installed, construction skips reading the clock entirely.
+#[must_use = "the scope reports on drop; binding it to `_` drops immediately"]
+pub struct Scope {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Open a timed scope named `name`.
+pub fn scope(name: &'static str) -> Scope {
+    Scope {
+        name,
+        start: if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        },
+    }
+}
+
+impl Drop for Scope {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            report(self.name, start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    // `install` is process-global and tests share one process, so all hook
+    // behaviour lives in a single test.
+    #[test]
+    fn scopes_report_once_installed() {
+        {
+            let _quiet = scope("before-install");
+        }
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = Arc::clone(&hits);
+        let first = install(move |_name, _wall| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        {
+            let _s = scope("unit");
+        }
+        report("direct", Duration::from_millis(1));
+        if first {
+            assert!(enabled());
+            assert_eq!(hits.load(Ordering::SeqCst), 2);
+        }
+        // Second installation is refused.
+        assert!(!install(|_, _| {}));
+    }
+}

@@ -1,0 +1,277 @@
+//! The materialised metrics report: summary table and JSON export.
+
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Everything a [`crate::sink::Recorder`] collected: counters, gauges and
+/// spans, each in first-report order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    spans: Vec<(String, Duration)>,
+}
+
+impl MetricsReport {
+    /// An empty report.
+    pub fn new() -> MetricsReport {
+        MetricsReport::default()
+    }
+
+    /// Set (or overwrite) a counter. Producers report running totals, so
+    /// the last observation wins.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        set(&mut self.counters, name, value);
+    }
+
+    /// Set (or overwrite) a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        set(&mut self.gauges, name, value);
+    }
+
+    /// Add a span observation; repeated names accumulate.
+    pub fn add_span(&mut self, name: &str, wall: Duration) {
+        if let Some((_, total)) = self.spans.iter_mut().find(|(n, _)| n == name) {
+            *total += wall;
+        } else {
+            self.spans.push((name.to_owned(), wall));
+        }
+    }
+
+    /// A counter's value, if reported.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A gauge's value, if reported.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// A span's accumulated wall-clock, if reported.
+    pub fn span(&self, name: &str) -> Option<Duration> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, d)| *d)
+    }
+
+    /// Iterate counters in first-report order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterate gauges in first-report order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Iterate spans in first-report order.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.spans.iter().map(|(n, d)| (n.as_str(), *d))
+    }
+
+    /// True when nothing at all was reported.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
+    }
+
+    /// Fold another report into this one: counters take the other's value,
+    /// gauges take the other's value, spans accumulate.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        for (n, v) in other.counters() {
+            self.set_counter(n, v);
+        }
+        for (n, v) in other.gauges() {
+            self.set_gauge(n, v);
+        }
+        for (n, d) in other.spans() {
+            self.add_span(n, d);
+        }
+    }
+
+    /// Render the human-readable summary table.
+    ///
+    /// Three sections (spans, counters, gauges), aligned on the widest
+    /// name, spans in milliseconds with a percent-of-total column.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+            return out;
+        }
+        let width = self
+            .spans
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.counters.iter().map(|(n, _)| n.len()))
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0)
+            .max("total".len());
+
+        if !self.spans.is_empty() {
+            out.push_str("-- timings ");
+            out.push_str(&"-".repeat(width + 14usize.saturating_sub(11)));
+            out.push('\n');
+            let total = self.spans.iter().map(|(_, d)| *d).sum::<Duration>();
+            let total_ms = total.as_secs_f64() * 1e3;
+            for (name, d) in &self.spans {
+                let ms = d.as_secs_f64() * 1e3;
+                let pct = if total_ms > 0.0 {
+                    ms / total_ms * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!("{name:<width$}  {ms:>10.3} ms  {pct:>5.1}%\n"));
+            }
+            out.push_str(&format!("{:<width$}  {total_ms:>10.3} ms\n", "total"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("-- counters ");
+            out.push_str(&"-".repeat(width + 14usize.saturating_sub(12)));
+            out.push('\n');
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<width$}  {v:>10}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("-- gauges ");
+            out.push_str(&"-".repeat(width + 14usize.saturating_sub(10)));
+            out.push('\n');
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<width$}  {v:>10.3}\n"));
+            }
+        }
+        out
+    }
+
+    /// Export as a JSON value: `{"spans": {name: ms}, "counters": {...},
+    /// "gauges": {...}}`, preserving report order.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "spans_ms".to_owned(),
+                Json::Obj(
+                    self.spans
+                        .iter()
+                        .map(|(n, d)| (n.clone(), Json::Num(d.as_secs_f64() * 1e3)))
+                        .collect(),
+                ),
+            ),
+            (
+                "counters".to_owned(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::count(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_owned(),
+                Json::Obj(
+                    self.gauges
+                        .iter()
+                        .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuild a report from the [`MetricsReport::to_json`] shape.
+    pub fn from_json(value: &Json) -> Result<MetricsReport, String> {
+        let mut report = MetricsReport::new();
+        if let Some(Json::Obj(fields)) = value.get("spans_ms") {
+            for (name, v) in fields {
+                let ms = v
+                    .as_f64()
+                    .ok_or_else(|| format!("span `{name}`: not a number"))?;
+                report.add_span(name, Duration::from_secs_f64((ms / 1e3).max(0.0)));
+            }
+        }
+        if let Some(Json::Obj(fields)) = value.get("counters") {
+            for (name, v) in fields {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| format!("counter `{name}`: not a u64"))?;
+                report.set_counter(name, n);
+            }
+        }
+        if let Some(Json::Obj(fields)) = value.get("gauges") {
+            for (name, v) in fields {
+                let x = v
+                    .as_f64()
+                    .ok_or_else(|| format!("gauge `{name}`: not a number"))?;
+                report.set_gauge(name, x);
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn set<T: Copy>(entries: &mut Vec<(String, T)>, name: &str, value: T) {
+    if let Some((_, v)) = entries.iter_mut().find(|(n, _)| n == name) {
+        *v = value;
+    } else {
+        entries.push((name.to_owned(), value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsReport {
+        let mut r = MetricsReport::new();
+        r.add_span("parse", Duration::from_micros(1500));
+        r.add_span("closure", Duration::from_micros(8500));
+        r.set_counter("closure.terms", 120);
+        r.set_counter("closure.rounds", 4);
+        r.set_gauge("closure.dedup_hit_rate", 0.75);
+        r
+    }
+
+    #[test]
+    fn table_has_all_sections() {
+        let t = sample().render_table();
+        assert!(t.contains("timings"), "{t}");
+        assert!(t.contains("counters"), "{t}");
+        assert!(t.contains("gauges"), "{t}");
+        assert!(t.contains("closure.terms"), "{t}");
+        assert!(t.contains("total"), "{t}");
+    }
+
+    #[test]
+    fn empty_table_says_so() {
+        assert!(MetricsReport::new().render_table().contains("no metrics"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_counters_exactly() {
+        let r = sample();
+        let text = r.to_json().pretty();
+        let back = MetricsReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.counter("closure.terms"), Some(120));
+        assert_eq!(back.counter("closure.rounds"), Some(4));
+        assert_eq!(back.gauge("closure.dedup_hit_rate"), Some(0.75));
+        // Spans round-trip through fractional ms; accept microsecond slop.
+        let orig = r.span("closure").unwrap();
+        let got = back.span("closure").unwrap();
+        let diff = orig.max(got) - orig.min(got);
+        assert!(diff < Duration::from_micros(2), "{orig:?} vs {got:?}");
+    }
+
+    #[test]
+    fn merge_overwrites_counters_and_sums_spans() {
+        let mut a = sample();
+        let mut b = MetricsReport::new();
+        b.set_counter("closure.terms", 200);
+        b.add_span("closure", Duration::from_micros(500));
+        a.merge(&b);
+        assert_eq!(a.counter("closure.terms"), Some(200));
+        assert_eq!(a.span("closure"), Some(Duration::from_micros(9000)));
+    }
+}

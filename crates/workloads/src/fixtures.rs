@@ -53,9 +53,11 @@ pub fn stockbroker() -> Schema {
 /// A stockbroker database seeded with the brokers used in examples/tests.
 pub fn stockbroker_db() -> Database {
     let mut db = Database::new(stockbroker()).expect("fixture checks");
-    for (name, salary, budget, profit) in
-        [("John", 150, 1000, 50), ("Jane", 90, 2000, 120), ("Ken", 200, 1500, -30)]
-    {
+    for (name, salary, budget, profit) in [
+        ("John", 150, 1000, 50),
+        ("Jane", 90, 2000, 120),
+        ("Ken", 200, 1500, -30),
+    ] {
         db.create(
             "Broker",
             vec![

@@ -82,10 +82,7 @@ pub fn random_case(seed: u64, spec: &RandomSpec) -> RandomCase {
     for f in 0..spec.functions {
         let def = gen_function(&mut rng, spec, f, &int_callees);
         if def.ret == Type::INT {
-            int_callees.push((
-                def.name.to_string(),
-                def.params.len() > 1,
-            ));
+            int_callees.push((def.name.to_string(), def.params.len() > 1));
         }
         schema.functions.insert(def.name.clone(), def);
     }
@@ -151,10 +148,7 @@ fn gen_function(
     let (ret, body) = if is_setter {
         let attr = attr_name(rng.gen_range(0..spec.attrs));
         let value = gen_int(rng, &ctx, spec.depth);
-        (
-            Type::Null,
-            Expr::write(attr, Expr::var("c"), value),
-        )
+        (Type::Null, Expr::write(attr, Expr::var("c"), value))
     } else if rng.gen_bool(0.5) {
         // Boolean probe: comparison of two integer expressions.
         let op = match rng.gen_range(0..4) {
@@ -294,9 +288,6 @@ mod tests {
         };
         let case = random_case(7, &spec);
         assert_eq!(case.schema.functions.len(), 4);
-        assert_eq!(
-            case.schema.classes.get_str("C").unwrap().attrs.len(),
-            3
-        );
+        assert_eq!(case.schema.classes.get_str("C").unwrap().attrs.len(), 3);
     }
 }

@@ -39,13 +39,19 @@ fn single_int_class(attrs: usize) -> ClassDef {
 fn finish(mut schema: Schema, caps: CapabilityList, requirement: Requirement) -> ScaleCase {
     schema.users.insert("u".into(), caps);
     oodb_lang::check_schema(&schema).expect("scale schema checks");
-    ScaleCase { schema, requirement }
+    ScaleCase {
+        schema,
+        requirement,
+    }
 }
 
 /// `f0(x) = x + r_a0(c)…`, `f_i = f_{i-1}(c, x) + 1`: unfolding depth `n`.
 pub fn call_chain(n: usize) -> ScaleCase {
     let mut schema = Schema::new();
-    schema.classes.insert(single_int_class(1)).expect("one class");
+    schema
+        .classes
+        .insert(single_int_class(1))
+        .expect("one class");
     let params = vec![
         (VarName::new("c"), Type::class("C")),
         (VarName::new("x"), Type::INT),
@@ -93,7 +99,10 @@ pub fn call_chain(n: usize) -> ScaleCase {
 pub fn wide_grants(n: usize) -> ScaleCase {
     let n = n.max(1);
     let mut schema = Schema::new();
-    schema.classes.insert(single_int_class(n)).expect("one class");
+    schema
+        .classes
+        .insert(single_int_class(n))
+        .expect("one class");
     let mut caps = CapabilityList::new();
     for i in 0..n {
         schema.functions.insert(
@@ -120,7 +129,10 @@ pub fn wide_grants(n: usize) -> ScaleCase {
 /// attribute reads against a constant.
 pub fn deep_expr(depth: usize) -> ScaleCase {
     let mut schema = Schema::new();
-    schema.classes.insert(single_int_class(1)).expect("one class");
+    schema
+        .classes
+        .insert(single_int_class(1))
+        .expect("one class");
     fn tree(d: usize) -> Expr {
         if d == 0 {
             Expr::read("a0", Expr::var("c"))
@@ -149,7 +161,10 @@ pub fn deep_expr(depth: usize) -> ScaleCase {
 pub fn attr_fanout(n: usize) -> ScaleCase {
     let n = n.max(1);
     let mut schema = Schema::new();
-    schema.classes.insert(single_int_class(n)).expect("one class");
+    schema
+        .classes
+        .insert(single_int_class(n))
+        .expect("one class");
     let mut caps = CapabilityList::new();
     for i in 0..n {
         caps.grant(FnRef::read(format!("a{i}")));

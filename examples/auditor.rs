@@ -30,10 +30,7 @@ fn main() {
         ..AttackerConfig::default()
     };
 
-    println!(
-        "{:<44} {:>10} {:>10}",
-        "requirement", "static", "attacker"
-    );
+    println!("{:<44} {:>10} {:>10}", "requirement", "static", "attacker");
     for text in [
         "(auditor, r_bill(x) : ti)",      // flaw: probe + move the cap
         "(auditor, r_bill(x) : pi)",      // implied by the above

@@ -56,7 +56,10 @@ fn main() {
     }
     println!(
         "  exercised so far: {:?}",
-        s.exercised().iter().map(|f| f.to_string()).collect::<Vec<_>>()
+        s.exercised()
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
     );
     println!();
 

@@ -28,10 +28,16 @@ fn main() {
 
     // Seed: John with two children.
     let ann = db
-        .create("Person", vec![Value::str("Ann"), Value::Int(12), Value::set(vec![])])
+        .create(
+            "Person",
+            vec![Value::str("Ann"), Value::Int(12), Value::set(vec![])],
+        )
         .expect("create");
     let bob = db
-        .create("Person", vec![Value::str("Bob"), Value::Int(9), Value::set(vec![])])
+        .create(
+            "Person",
+            vec![Value::str("Bob"), Value::Int(9), Value::set(vec![])],
+        )
         .expect("create");
     db.create(
         "Person",

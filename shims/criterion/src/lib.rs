@@ -1,0 +1,359 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of criterion's API its benches use:
+//! [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`] and [`BenchmarkGroup::throughput`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BenchmarkId`],
+//! [`Throughput`], [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: after a short warm-up the routine is run in batches
+//! sized to the warm-up estimate until a fixed wall-clock budget is spent;
+//! the per-iteration mean, min and max are printed in criterion's familiar
+//! `time: [low mean high]` shape. Under `cargo test` (cargo passes
+//! `--test`) every benchmark runs exactly one iteration as a smoke test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched routine's setup cost relates to the measurement batch.
+/// Only a hint in upstream criterion; accepted and unused here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup output: large batches.
+    SmallInput,
+    /// Large setup output: one setup per measurement batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units-of-work metadata attached to a group (printed with the timing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    /// Total time spent in measured iterations.
+    elapsed: Duration,
+    /// Iterations measured.
+    iters: u64,
+    /// Min/max per-iteration estimates over measurement batches.
+    min: Duration,
+    max: Duration,
+    /// One-iteration smoke-test mode (`cargo test`).
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(test_mode: bool, budget: Duration) -> Bencher {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            test_mode,
+            budget,
+        }
+    }
+
+    fn record_batch(&mut self, batch: Duration, iters: u64) {
+        let per_iter = batch / (iters.max(1) as u32);
+        self.elapsed += batch;
+        self.iters += iters;
+        self.min = self.min.min(per_iter);
+        self.max = self.max.max(per_iter);
+    }
+
+    /// Measure a routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            let start = Instant::now();
+            black_box(routine());
+            self.record_batch(start.elapsed(), 1);
+            return;
+        }
+        // Warm-up and batch-size calibration.
+        let warmup = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warmup.elapsed() < self.budget / 5 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warmup.elapsed() / (warm_iters.max(1) as u32);
+        let batch = (Duration::from_millis(5).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1 << 20) as u64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.record_batch(start.elapsed(), batch);
+        }
+    }
+
+    /// Measure a routine that consumes a per-iteration setup value. The
+    /// setup time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.record_batch(start.elapsed(), 1);
+            return;
+        }
+        let deadline = Instant::now() + self.budget;
+        // Warm-up: one measured round also calibrates nothing further —
+        // setup dominates some workloads, so batches stay at 1 here.
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.record_batch(start.elapsed(), 1);
+        }
+    }
+
+    fn mean(&self) -> Duration {
+        if self.iters == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / (self.iters as u32)
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        // cargo passes `--test` when running bench targets under `cargo
+        // test`, and `--bench` under `cargo bench`; the first free argument
+        // is a substring filter.
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .find(|a| !a.is_empty())
+            .cloned();
+        let budget = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis)
+            .unwrap_or(Duration::from_millis(300));
+        Criterion {
+            filter,
+            test_mode,
+            budget,
+        }
+    }
+}
+
+impl Criterion {
+    fn should_run(&self, id: &str) -> bool {
+        match self.filter.as_deref() {
+            Some(f) => id.contains(f),
+            None => true,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if !self.should_run(id) {
+            return;
+        }
+        let mut b = Bencher::new(self.test_mode, self.budget);
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok (1 iteration, {})", fmt_duration(b.mean()));
+            return;
+        }
+        let mean = b.mean();
+        let mut line = format!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_duration(b.min.min(mean)),
+            fmt_duration(mean),
+            fmt_duration(b.max.max(mean)),
+        );
+        if let Some(t) = throughput {
+            let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  thrpt: {:.0} elem/s", per_sec(n)));
+                }
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  thrpt: {:.0} B/s", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Run a named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Attach units-of-work metadata to subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Run a benchmark without extra input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, f);
+        let _ = throughput;
+        self
+    }
+
+    /// Finish the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("scan", 10).to_string(), "scan/10");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(true, Duration::from_millis(10));
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(b.iters, 1);
+        let mut b = Bencher::new(true, Duration::from_millis(10));
+        b.iter_batched(|| 21u64, |x| x * 2, BatchSize::LargeInput);
+        assert_eq!(b.iters, 1);
+    }
+}

@@ -1,0 +1,795 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the subset of proptest this repo's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`, `prop_recursive` and `boxed`,
+//! * [`prop_oneof!`], [`strategy::Just`], tuple and range strategies,
+//! * regex-lite string strategies (`"[a-c]{1,8}"`, `".{0,200}"`, …),
+//! * [`collection::vec`], [`arbitrary::any`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Differences from upstream: cases are generated from a fixed deterministic
+//! seed (override with `PROPTEST_SEED=<u64>`), and there is **no shrinking**
+//! — a failure reports the case number and message and panics immediately.
+//! Every property the workspace checks is already deterministic per seed, so
+//! reproducing a failure is as simple as re-running the test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Config, error type and the deterministic RNG driving each test.
+
+    /// Per-test configuration (only `cases` is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+        /// Upper bound on rejected cases (via `prop_assume!`) before the
+        /// test aborts as under-constrained.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is not counted.
+        Reject(String),
+        /// An assertion failed; the test panics with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with a reason.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Deterministic xoshiro256++ RNG (same construction as the workspace's
+    /// `rand` shim, but independent so the crates stay decoupled).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seeded construction via SplitMix64.
+        pub fn seed_from_u64(seed: u64) -> TestRng {
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The default test RNG: `PROPTEST_SEED` env var or a fixed seed.
+        pub fn deterministic() -> TestRng {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0x5EC_F10D);
+            TestRng::seed_from_u64(seed)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `0..span` (rejection sampling; `span > 0`).
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            if span.is_power_of_two() {
+                return self.next_u64() & (span - 1);
+            }
+            let zone = u64::MAX - (u64::MAX % span) - 1;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % span;
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// Something that can generate values of one type.
+    ///
+    /// Unlike upstream proptest there is no value tree / shrinking: a
+    /// strategy is just a cloneable generator function.
+    pub trait Strategy: Clone {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through a function.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            F: Fn(Self::Value) -> T,
+        {
+            Map {
+                inner: self,
+                f: Arc::new(f),
+            }
+        }
+
+        /// Build recursive structures: `self` is the leaf strategy, `f`
+        /// wraps an inner strategy into a branch strategy, and `depth`
+        /// bounds the nesting. (`_desired_size` / `_expected_branch_size`
+        /// are accepted for API parity and ignored.)
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                // At each level: half leaves, half branches over the
+                // previous level — bounded depth by construction.
+                current = Union::new(vec![leaf.clone(), f(current).boxed()]).boxed();
+            }
+            current
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] (used by [`BoxedStrategy`]).
+    trait DynStrategy<V> {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_new_value(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F: ?Sized> {
+        inner: S,
+        f: Arc<F>,
+    }
+
+    impl<S: Clone, F: ?Sized> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map {
+                inner: self.inner.clone(),
+                f: Arc::clone(&self.f),
+            }
+        }
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+    impl<V> Union<V> {
+        /// Build from the (non-empty) arms.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.0.len() as u64) as usize;
+            self.0[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $sample:ident),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    $sample(self.clone(), rng)
+                }
+            }
+        )*};
+    }
+
+    fn sample_unsigned<T>(r: Range<T>, rng: &mut TestRng) -> T
+    where
+        T: Copy + PartialOrd + TryFrom<u64> + Into<u64>,
+        <T as TryFrom<u64>>::Error: std::fmt::Debug,
+    {
+        assert!(r.start < r.end, "cannot sample empty range");
+        let span = r.end.into() - r.start.into();
+        T::try_from(r.start.into() + rng.below(span)).expect("in range")
+    }
+
+    fn sample_u(r: Range<u64>, rng: &mut TestRng) -> u64 {
+        sample_unsigned(r, rng)
+    }
+
+    fn sample_u32(r: Range<u32>, rng: &mut TestRng) -> u32 {
+        sample_unsigned(r, rng)
+    }
+
+    fn sample_u8(r: Range<u8>, rng: &mut TestRng) -> u8 {
+        sample_unsigned(r, rng)
+    }
+
+    fn sample_usize(r: Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(r.start < r.end, "cannot sample empty range");
+        let span = (r.end - r.start) as u64;
+        r.start + rng.below(span) as usize
+    }
+
+    fn sample_signed(r: Range<i64>, rng: &mut TestRng) -> i64 {
+        assert!(r.start < r.end, "cannot sample empty range");
+        let span = r.end.wrapping_sub(r.start) as u64;
+        r.start.wrapping_add(rng.below(span) as i64)
+    }
+
+    fn sample_i64(r: Range<i64>, rng: &mut TestRng) -> i64 {
+        sample_signed(r, rng)
+    }
+
+    fn sample_i32(r: Range<i32>, rng: &mut TestRng) -> i32 {
+        sample_signed(r.start as i64..r.end as i64, rng) as i32
+    }
+
+    impl_range_strategy!(
+        u8 => sample_u8,
+        u32 => sample_u32,
+        u64 => sample_u,
+        usize => sample_usize,
+        i32 => sample_i32,
+        i64 => sample_i64
+    );
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($S:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+    /// Regex-lite string strategies: `&'static str` patterns support `.`,
+    /// `[a-z09_ ]` classes, and the repeaters `{n}`, `{n,m}`, `*`, `+`, `?`
+    /// on the preceding unit; all other characters are literals.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::gen_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod string {
+    //! The regex-lite generator backing `&str` strategies.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum Unit {
+        /// Any printable character (`.`).
+        Any,
+        /// One of an explicit set (`[..]` classes and literals).
+        OneOf(Vec<char>),
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => return set,
+                '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let lo = prev.take().expect("checked");
+                    let hi = chars.next().expect("checked");
+                    // `lo` is already in the set; add the rest of the range.
+                    for x in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(x) {
+                            set.push(ch);
+                        }
+                    }
+                }
+                '\\' => {
+                    let esc = chars.next().unwrap_or('\\');
+                    set.push(esc);
+                    prev = Some(esc);
+                }
+                other => {
+                    set.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        set
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Option<(usize, usize)> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                };
+                Some((lo, hi))
+            }
+            Some('*') => {
+                chars.next();
+                Some((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Some((1, 8))
+            }
+            Some('?') => {
+                chars.next();
+                Some((0, 1))
+            }
+            _ => None,
+        }
+    }
+
+    /// Generate a string matching the pattern subset described on
+    /// [`crate::strategy::Strategy`]'s `&str` impl.
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut units: Vec<(Unit, usize, usize)> = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let unit = match c {
+                '.' => Unit::Any,
+                '[' => Unit::OneOf(parse_class(&mut chars)),
+                '\\' => Unit::OneOf(vec![chars.next().unwrap_or('\\')]),
+                lit => Unit::OneOf(vec![lit]),
+            };
+            let (lo, hi) = parse_repeat(&mut chars).unwrap_or((1, 1));
+            units.push((unit, lo, hi));
+        }
+
+        let mut out = String::new();
+        for (unit, lo, hi) in units {
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                match &unit {
+                    Unit::Any => out.push(random_char(rng)),
+                    Unit::OneOf(set) if set.is_empty() => {}
+                    Unit::OneOf(set) => {
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// `.` draws mostly printable ASCII with an occasional non-ASCII char,
+    /// which is what the robustness tests want to throw at the parsers.
+    fn random_char(rng: &mut TestRng) -> char {
+        match rng.below(20) {
+            0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('λ'),
+            1 => '\t',
+            _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of values from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` strategies for primitives.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    // Mix raw values with near-boundary ones: overflow
+                    // properties live at the edges.
+                    match rng.below(8) {
+                        0 => <$t>::MAX,
+                        1 => <$t>::MIN,
+                        2 => <$t>::MAX.wrapping_sub(rng.below(16) as $t),
+                        3 => <$t>::MIN.wrapping_add(rng.below(16) as $t),
+                        4 => rng.below(256) as $t,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
+/// The assertion returning `TestCaseError::Fail` instead of panicking
+/// directly (so the runner can report the case number).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+}
+
+/// Reject the current case (not counted against `cases`).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// The test harness macro: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                let outcome = (move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {
+                        rejected += 1;
+                        if rejected > config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many rejected cases ({rejected})",
+                                stringify!($name),
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(msg),
+                    ) => {
+                        panic!(
+                            "proptest {} failed at case #{accepted}: {msg}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    //! The glob import the tests use.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::new_value(&"[a-c]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+            let t = crate::strategy::Strategy::new_value(&"x[0-9]+", &mut rng);
+            assert!(t.starts_with('x') && t.len() >= 2, "{t:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_oneof_work(
+            x in -5i64..5,
+            s in prop_oneof![Just("a"), Just("b")],
+            v in crate::collection::vec(0u32..3, 0..4),
+        ) {
+            prop_assert!((-5..5).contains(&x));
+            prop_assert!(s == "a" || s == "b");
+            prop_assert!(v.len() < 4);
+            prop_assume!(x != -5); // exercise the reject path
+            prop_assert_ne!(x, -5);
+        }
+
+        #[test]
+        fn recursive_strategies_terminate(n in make_tree(3)) {
+            prop_assert!(depth(&n) <= 4, "depth {} of {:?}", depth(&n), n);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        #[allow(dead_code)]
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn make_tree(depth: u32) -> impl Strategy<Value = Tree> {
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(depth, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        })
+    }
+}

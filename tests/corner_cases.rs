@@ -122,8 +122,8 @@ fn set_valued_function_as_from_source() {
     )
     .unwrap();
     // A user-defined set-valued function in the from clause.
-    let q = parse_query("select r_name(m) from t in Team, m in roster(t) where r_age(m) > 30")
-        .unwrap();
+    let q =
+        parse_query("select r_name(m) from t in Team, m in roster(t) where r_age(m) > 30").unwrap();
     let out = run_query(&mut db, Some(&UserName::new("hr")), &q).unwrap();
     assert_eq!(out.rows.len(), 1);
     assert_eq!(out.rows[0].0[0], Value::str("Ann"));
@@ -170,7 +170,10 @@ fn null_and_set_attributes_round_trip_through_engine() {
     let n2 = db
         .create(
             "Node",
-            vec![Value::Obj(n1), Value::set(vec![Value::Int(2), Value::Int(3)])],
+            vec![
+                Value::Obj(n1),
+                Value::set(vec![Value::Int(2), Value::Int(3)]),
+            ],
         )
         .unwrap();
     let v2 = Value::Obj(n2);

@@ -16,11 +16,7 @@ use secflow_workloads::random::{random_case, RandomSpec};
 
 /// Build deterministic probes for a case: every outer invoked once or
 /// twice with argument values drawn from the seed.
-fn probes_for(
-    prog: &NProgram,
-    world: &oodb_engine::Database,
-    seed: u64,
-) -> Vec<Probe> {
+fn probes_for(prog: &NProgram, world: &oodb_engine::Database, seed: u64) -> Vec<Probe> {
     let mut probes = Vec::new();
     let n = prog.outers.len();
     for step in 0..(2 * n).min(4) {

@@ -18,10 +18,16 @@ fn person_db() -> Database {
     .unwrap();
     let mut db = Database::new(schema).unwrap();
     let kid1 = db
-        .create("Person", vec![Value::str("Ann"), Value::Int(12), Value::set(vec![])])
+        .create(
+            "Person",
+            vec![Value::str("Ann"), Value::Int(12), Value::set(vec![])],
+        )
         .unwrap();
     let kid2 = db
-        .create("Person", vec![Value::str("Bob"), Value::Int(9), Value::set(vec![])])
+        .create(
+            "Person",
+            vec![Value::str("Bob"), Value::Int(9), Value::set(vec![])],
+        )
         .unwrap();
     db.create(
         "Person",
@@ -32,8 +38,11 @@ fn person_db() -> Database {
         ],
     )
     .unwrap();
-    db.create("Person", vec![Value::str("Mia"), Value::Int(25), Value::set(vec![])])
-        .unwrap();
+    db.create(
+        "Person",
+        vec![Value::str("Mia"), Value::Int(25), Value::set(vec![])],
+    )
+    .unwrap();
     db
 }
 
@@ -41,8 +50,8 @@ fn person_db() -> Database {
 #[test]
 fn paper_query_select_where() {
     let mut db = person_db();
-    let q = parse_query("select r_name(p), profile(p) from p in Person where r_age(p) > 20")
-        .unwrap();
+    let q =
+        parse_query("select r_name(p), profile(p) from p in Person where r_age(p) > 20").unwrap();
     let out = run_query(&mut db, Some(&UserName::new("u")), &q).unwrap();
     assert_eq!(out.rows.len(), 2);
     assert_eq!(out.rows[0].0[0], Value::str("John"));

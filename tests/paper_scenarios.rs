@@ -50,7 +50,10 @@ fn live_payroll_attack_chooses_salary() {
             .expect("authorized");
     }
     let john = Value::Obj(db.extent(&"Broker".into())[0]);
-    assert_eq!(db.read_attr(&john, &"salary".into()).unwrap(), Value::Int(777));
+    assert_eq!(
+        db.read_attr(&john, &"salary".into()).unwrap(),
+        Value::Int(777)
+    );
 }
 
 /// The static verdicts for every fixture requirement match the paper.

@@ -101,7 +101,11 @@ fn deeply_nested_parens_do_not_overflow() {
     let err = parse_expr(&src).unwrap_err();
     assert!(err.message.contains("nesting"), "{err}");
     // Same guard for set types and let-chains.
-    let src = format!("class C {{ x: {}int{} }}", "{".repeat(3_000), "}".repeat(3_000));
+    let src = format!(
+        "class C {{ x: {}int{} }}",
+        "{".repeat(3_000),
+        "}".repeat(3_000)
+    );
     assert!(parse_schema(&src).is_err());
 }
 
