@@ -4,7 +4,13 @@
 //! cargo run -p secflow-bench --release --bin harness           # all
 //! cargo run -p secflow-bench --release --bin harness -- e1 e3  # subset
 //! cargo run -p secflow-bench --release --bin harness -- e3=500 # corpus size
+//! cargo run -p secflow-bench --release --bin harness -- fastpath          # old-vs-new closure
+//! cargo run -p secflow-bench --release --bin harness -- fastpath --smoke  # CI-sized
 //! ```
+//!
+//! The `fastpath` experiment additionally writes `BENCH_closure.json`: the
+//! reference-vs-interned closure timings (with a term-set identity check
+//! per case) and the batch-driver wall times per `--jobs` setting.
 //!
 //! Every run also writes `BENCH_obs.json` next to the working directory: a
 //! machine-readable metrics blob with per-experiment wall times plus the
@@ -54,6 +60,11 @@ fn main() {
     }
     if args.iter().any(|a| a == "tables") {
         phases.time("tables", run_tables);
+    }
+    if want("fastpath") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let write_json = !args.iter().any(|a| a == "--no-obs");
+        phases.time("fastpath", || run_fastpath(smoke, write_json));
     }
 
     if !args.iter().any(|a| a == "--no-obs") {
@@ -243,6 +254,86 @@ fn run_tables() {
     for op in oodb_lang::BasicOp::ALL {
         print!("{}", secflow::basics::render_rules(op));
         println!();
+    }
+}
+
+fn run_fastpath(smoke: bool, write_json: bool) {
+    banner(&format!(
+        "fastpath — interned/dense closure vs the reference engine{}",
+        if smoke { " (smoke sizes)" } else { "" }
+    ));
+    println!(
+        "{:<12} {:>6} {:>8} {:>8} {:>10} {:>10} {:>8} {:>10}",
+        "family", "param", "nodes", "terms", "ref (us)", "fast (us)", "speedup", "identical"
+    );
+    let rows = closure_fastpath(smoke);
+    for r in &rows {
+        println!(
+            "{:<12} {:>6} {:>8} {:>8} {:>10} {:>10} {:>7.2}x {:>10}",
+            r.family,
+            r.param,
+            r.nodes,
+            r.terms,
+            r.ref_micros,
+            r.fast_micros,
+            r.speedup(),
+            if r.identical { "yes" } else { "NO" },
+        );
+    }
+
+    let brows = batch_throughput(smoke);
+    if let Some(first) = brows.first() {
+        println!();
+        println!(
+            "batch driver: {} users x {} requirement(s), one unfold+closure per user",
+            first.users,
+            first.requirements / first.users.max(1)
+        );
+        println!(
+            "host parallelism: {} core(s) — jobs beyond that cannot speed up",
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        );
+        println!("{:>6} {:>12} {:>8}", "jobs", "time (us)", "speedup");
+        let base = first.micros;
+        for b in &brows {
+            let speedup = if b.micros == 0 {
+                f64::INFINITY
+            } else {
+                base as f64 / b.micros as f64
+            };
+            println!("{:>6} {:>12} {:>7.2}x", b.jobs, b.micros, speedup);
+        }
+    }
+
+    if write_json {
+        write_fastpath_blob(&rows, &brows);
+    }
+}
+
+/// Emit `BENCH_closure.json`: per-case old-vs-new closure timings with the
+/// identity check, plus batch-driver wall times per jobs setting.
+fn write_fastpath_blob(rows: &[FastpathRow], brows: &[BatchRow]) {
+    let mut rec = Recorder::new();
+    for r in rows {
+        let key = format!("fastpath.{}.{}", r.family, r.param);
+        rec.counter(&format!("{key}.nodes"), r.nodes as u64);
+        rec.counter(&format!("{key}.terms"), r.terms as u64);
+        rec.counter(&format!("{key}.ref_micros"), r.ref_micros as u64);
+        rec.counter(&format!("{key}.fast_micros"), r.fast_micros as u64);
+        rec.counter(&format!("{key}.identical"), u64::from(r.identical));
+        rec.gauge(&format!("{key}.speedup"), r.speedup());
+    }
+    for b in brows {
+        let key = format!("batch.jobs{}", b.jobs);
+        rec.counter(&format!("{key}.users"), b.users as u64);
+        rec.counter(&format!("{key}.requirements"), b.requirements as u64);
+        rec.counter(&format!("{key}.micros"), b.micros as u64);
+    }
+    let report = rec.into_report();
+    let path = "BENCH_closure.json";
+    match std::fs::write(path, report.to_json().pretty()) {
+        Ok(()) => eprintln!("metrics: wrote {path}"),
+        Err(e) => eprintln!("metrics: could not write {path}: {e}"),
     }
 }
 

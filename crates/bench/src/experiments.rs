@@ -10,10 +10,14 @@ use oodb_engine::exec::run_query;
 use oodb_engine::Database;
 use oodb_lang::{parse_query, parse_requirement};
 use oodb_model::{UserName, Value};
-use secflow::algorithm::{analyze, analyze_with_config, AnalysisConfig};
-use secflow::closure::Closure;
+use secflow::algorithm::{
+    analyze, analyze_batch, analyze_with_config, AnalysisConfig, BatchOptions,
+};
+use secflow::closure::{Closure, ProofMode, DEFAULT_TERM_LIMIT};
+use secflow::reference::RefClosure;
 use secflow::report::render_derivation;
 use secflow::rules::RuleConfig;
+use secflow::term::Term;
 use secflow::unfold::NProgram;
 use secflow_dynamic::differential::{classify, DiffReport};
 use secflow_dynamic::infer::{infer, Probe};
@@ -21,7 +25,9 @@ use secflow_dynamic::strategy::{assignments, shapes, ArgChoice, StrategySpec};
 use secflow_dynamic::worlds::{enumerate_worlds, WorldSpec};
 use secflow_dynamic::{attack_requirement, AttackerConfig};
 use secflow_workloads::random::{random_case, RandomSpec};
-use secflow_workloads::scale::{attr_fanout, call_chain, deep_expr, wide_grants, ScaleCase};
+use secflow_workloads::scale::{
+    attr_fanout, call_chain, deep_expr, multi_user, wide_grants, ScaleCase,
+};
 use secflow_workloads::{fixtures, stockbroker};
 use std::time::Instant;
 
@@ -589,6 +595,145 @@ pub fn e7_ablation() -> Vec<E7Row> {
         .collect()
 }
 
+// --------------------------------------------------------------- fastpath
+
+/// One old-vs-new closure measurement (`fastpath` experiment).
+pub struct FastpathRow {
+    /// Schema family.
+    pub family: &'static str,
+    /// Size parameter.
+    pub param: usize,
+    /// Unfolded program size (numbered occurrences).
+    pub nodes: usize,
+    /// Closure size (terms) — identical for both engines by construction.
+    pub terms: usize,
+    /// Reference-engine closure time, microseconds.
+    pub ref_micros: u128,
+    /// Fast-path closure time (proofs off), microseconds.
+    pub fast_micros: u128,
+    /// Whether the two closures derived exactly the same term set.
+    pub identical: bool,
+}
+
+impl FastpathRow {
+    /// Reference time over fast time.
+    pub fn speedup(&self) -> f64 {
+        if self.fast_micros == 0 {
+            f64::INFINITY
+        } else {
+            self.ref_micros as f64 / self.fast_micros as f64
+        }
+    }
+}
+
+/// `fastpath` — time the retained reference engine (SipHash maps, always-on
+/// proofs) against the interned dense engine (`ProofMode::Off`) on the E5
+/// schema families, verifying the closures stay term-for-term identical.
+///
+/// `smoke` shrinks every family to CI-sized instances.
+pub fn closure_fastpath(smoke: bool) -> Vec<FastpathRow> {
+    type Gen = fn(usize) -> ScaleCase;
+    let families: [(&'static str, Gen, &'static [usize]); 4] = if smoke {
+        [
+            ("call_chain", call_chain, &[4]),
+            ("wide_grants", wide_grants, &[8]),
+            ("deep_expr", deep_expr, &[3]),
+            ("attr_fanout", attr_fanout, &[4]),
+        ]
+    } else {
+        [
+            ("call_chain", call_chain, &[8, 12]),
+            ("wide_grants", wide_grants, &[32, 64]),
+            ("deep_expr", deep_expr, &[4, 5]),
+            ("attr_fanout", attr_fanout, &[8, 16]),
+        ]
+    };
+    let rules = RuleConfig::default();
+    let mut rows = Vec::new();
+    for (family, gen, params) in families {
+        for &param in params {
+            let case = gen(param);
+            let caps = case.schema.user_str("u").expect("scale user");
+            let prog = NProgram::unfold(&case.schema, caps).expect("scale unfolds");
+            let start = Instant::now();
+            let slow = RefClosure::compute_with(&prog, &rules, DEFAULT_TERM_LIMIT)
+                .expect("reference closure");
+            let ref_micros = start.elapsed().as_micros();
+            let start = Instant::now();
+            let fast =
+                Closure::compute_with_mode(&prog, &rules, DEFAULT_TERM_LIMIT, ProofMode::Off)
+                    .expect("fast closure");
+            let fast_micros = start.elapsed().as_micros();
+            let mut tf: Vec<Term> = fast.iter().collect();
+            let mut ts: Vec<Term> = slow.iter().collect();
+            tf.sort();
+            ts.sort();
+            rows.push(FastpathRow {
+                family,
+                param,
+                nodes: prog.len(),
+                terms: fast.len(),
+                ref_micros,
+                fast_micros,
+                identical: tf == ts,
+            });
+        }
+    }
+    rows
+}
+
+/// One batch-driver throughput measurement.
+pub struct BatchRow {
+    /// Users (= groups) in the workload.
+    pub users: usize,
+    /// Requirements checked.
+    pub requirements: usize,
+    /// Worker threads actually used.
+    pub jobs: usize,
+    /// Wall time for the whole batch, microseconds.
+    pub micros: u128,
+}
+
+/// `fastpath` part 2 — the batch driver on a multi-user workload at
+/// increasing `--jobs`, asserting the verdict vector never drifts.
+pub fn batch_throughput(smoke: bool) -> Vec<BatchRow> {
+    // Each group must be heavy enough (a few ms of closure) for the pool
+    // to beat thread-spawn overhead; smoke just checks agreement.
+    let (users, width) = if smoke { (4, 4) } else { (8, 64) };
+    let case = multi_user(users, width);
+    let config = AnalysisConfig::default();
+    let mut baseline: Option<Vec<bool>> = None;
+    let mut rows = Vec::new();
+    for jobs in [1usize, 2, 4, 8] {
+        if jobs > users {
+            break;
+        }
+        let opts = BatchOptions {
+            jobs,
+            ..BatchOptions::default()
+        };
+        let start = Instant::now();
+        let out = analyze_batch(&case.schema, &case.requirements, &config, &opts);
+        let micros = start.elapsed().as_micros();
+        let verdicts: Vec<bool> = out
+            .verdicts
+            .iter()
+            .map(|v| v.as_ref().expect("batch verdict").is_violated())
+            .collect();
+        match &baseline {
+            None => baseline = Some(verdicts),
+            Some(b) => assert_eq!(b, &verdicts, "batch verdicts drift at jobs={jobs}"),
+        }
+        rows.push(BatchRow {
+            users,
+            requirements: case.requirements.len(),
+            jobs: out.jobs_used,
+            micros,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -651,6 +796,24 @@ mod tests {
         );
         assert_eq!(r.ideal_not_static, 0, "Theorem 1 over the E8 corpus");
         assert!(r.static_flags >= r.ideal_flags);
+    }
+
+    #[test]
+    fn fastpath_smoke_closures_identical() {
+        for r in closure_fastpath(true) {
+            assert!(r.identical, "{} {} diverged", r.family, r.param);
+            assert!(r.terms > 0, "{} {} empty closure", r.family, r.param);
+        }
+    }
+
+    #[test]
+    fn batch_throughput_smoke_covers_serial_and_parallel() {
+        let rows = batch_throughput(true);
+        assert!(rows.len() >= 2, "need jobs=1 and a parallel point");
+        assert_eq!(rows[0].jobs, 1);
+        for r in &rows {
+            assert_eq!(r.requirements, r.users);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! `main.rs` is a thin argument shim.
 //!
 //! ```text
-//! secflow check  policy.sfl [--explain]        # run every `require`
+//! secflow check  policy.sfl [--explain] [--jobs N]   # run every `require`
 //! secflow unfold policy.sfl --user clerk       # print S'(F)
 //! secflow attack policy.sfl [--steps N]        # bounded concrete attacker
 //! secflow fix    policy.sfl                    # minimal revocation repairs
@@ -24,8 +24,8 @@
 #![warn(missing_docs)]
 
 use oodb_lang::{check_schema, parse_schema, Schema};
-use secflow::algorithm::{analyze, analyze_with_stats, occurrences, AnalysisConfig};
-use secflow::closure::Closure;
+use secflow::algorithm::{analyze_batch, occurrences, AnalysisConfig, BatchOptions, BatchOutcome};
+use secflow::closure::{Closure, ProofMode};
 use secflow::report::{render_derivation, render_term, Verdict};
 use secflow::stats::ClosureStats;
 use secflow::unfold::NProgram;
@@ -38,12 +38,14 @@ use std::fmt::Write as _;
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
-    /// `check <file> [--explain]`
+    /// `check <file> [--explain] [--jobs N]`
     Check {
         /// Policy file path.
         file: String,
         /// Print derivations for each violation.
         explain: bool,
+        /// Worker threads for the batch analysis driver (1 = serial).
+        jobs: usize,
     },
     /// `unfold <file> --user <name>`
     Unfold {
@@ -106,7 +108,9 @@ secflow — static detection of security flaws in object-oriented databases
          (Tajima, SIGMOD 1996)
 
 USAGE:
-  secflow check  <policy-file> [--explain]   run every `require`; exit 1 on flaws
+  secflow check  <policy-file> [--explain] [--jobs N]
+                                             run every `require`; exit 1 on flaws
+                                             (--jobs fans user groups across N threads)
   secflow unfold <policy-file> --user <u>    print the numbered unfolding S'(F)
   secflow attack <policy-file> [--steps N]   try to realise each flaw concretely
   secflow fix    <policy-file>               suggest minimal revocations per flaw
@@ -158,15 +162,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "check" => {
             let mut file = None;
             let mut explain = false;
-            for a in it {
+            let mut jobs = 1usize;
+            let mut args = it.peekable();
+            while let Some(a) = args.next() {
                 match a.as_str() {
                     "--explain" => explain = true,
+                    "--jobs" => {
+                        jobs = args
+                            .next()
+                            .ok_or("check: --jobs needs a value")?
+                            .parse()
+                            .map_err(|_| "check: --jobs must be a number")?;
+                        if jobs == 0 {
+                            return Err("check: --jobs must be at least 1".into());
+                        }
+                    }
                     _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
                     other => return Err(format!("unexpected argument `{other}`")),
                 }
             }
             let file = file.ok_or("check: missing policy file")?;
-            Ok(Command::Check { file, explain })
+            Ok(Command::Check {
+                file,
+                explain,
+                jobs,
+            })
         }
         "unfold" => {
             let mut file = None;
@@ -235,8 +255,8 @@ pub fn run_on_source(cmd: &Command, src: &str) -> (String, i32) {
             Ok(schema) => (schema.to_string(), 0),
             Err(e) => (format!("error: {e}\n"), 2),
         },
-        Command::Check { explain, .. } => match load_str(src) {
-            Ok(schema) => check_report(&schema, *explain),
+        Command::Check { explain, jobs, .. } => match load_str(src) {
+            Ok(schema) => check_report(&schema, *explain, *jobs),
             Err(e) => (format!("error: {e}\n"), 2),
         },
         Command::Unfold { user, .. } => match load_str(src) {
@@ -377,7 +397,9 @@ fn instrumented(cmd: &Command, src: &str, trace: bool, col: &mut Collected) -> (
     match cmd {
         Command::Help => (USAGE.to_owned(), 0),
         Command::Fmt { .. } => (schema.to_string(), 0),
-        Command::Check { explain, .. } => check_report_instrumented(&schema, *explain, trace, col),
+        Command::Check { explain, jobs, .. } => {
+            check_report_instrumented(&schema, *explain, *jobs, trace, col)
+        }
         Command::Unfold { user, .. } => col.phases.time("unfold", || unfold_report(&schema, user)),
         Command::Attack { steps, .. } => {
             col.phases.time("attack", || attack_report(&schema, *steps))
@@ -386,13 +408,49 @@ fn instrumented(cmd: &Command, src: &str, trace: bool, col: &mut Collected) -> (
     }
 }
 
-/// The `check` loop with per-requirement stats: like [`check_report`] but
-/// every analysis runs through `analyze_with_stats`, phase timings and
-/// closure counters aggregate across requirements, and `--trace` appends a
-/// line per requirement as it completes.
+/// Run the batch driver over every `require` of the policy. `--explain`
+/// needs proof-carrying closures (and keeps them as artifacts so the
+/// rendering reuses the group's closure instead of recomputing it per
+/// requirement); the plain path runs membership-only.
+fn check_batch(schema: &Schema, explain: bool, jobs: usize, stats: bool) -> BatchOutcome {
+    let opts = BatchOptions {
+        jobs,
+        proofs: if explain {
+            ProofMode::Full
+        } else {
+            ProofMode::Off
+        },
+        keep_artifacts: explain,
+        collect_stats: stats,
+    };
+    analyze_batch(
+        schema,
+        &schema.requirements,
+        &AnalysisConfig::default(),
+        &opts,
+    )
+}
+
+/// Requirement index → group index, from a batch outcome.
+fn group_of(outcome: &BatchOutcome, n_reqs: usize) -> Vec<usize> {
+    let mut map = vec![0usize; n_reqs];
+    for (gi, g) in outcome.groups.iter().enumerate() {
+        for &i in &g.req_indexes {
+            map[i] = gi;
+        }
+    }
+    map
+}
+
+/// The `check` loop with stats: like [`check_report`] but the batch driver
+/// collects per-group phase timings and closure counters, which aggregate
+/// into the metrics report, and `--trace` appends a line per requirement
+/// (shared unfold/closure timings are the group's; check time is the
+/// requirement's own).
 fn check_report_instrumented(
     schema: &Schema,
     explain: bool,
+    jobs: usize,
     trace: bool,
     col: &mut Collected,
 ) -> (String, i32) {
@@ -404,36 +462,36 @@ fn check_report_instrumented(
         );
         return (out, 0);
     }
-    let mut violated = 0usize;
-    for req in &schema.requirements {
-        let (result, stats) = analyze_with_stats(schema, req, &AnalysisConfig::default());
-        for (name, d) in stats.phases.iter() {
+    let outcome = check_batch(schema, explain, jobs, true);
+    let group_idx = group_of(&outcome, schema.requirements.len());
+    for g in &outcome.groups {
+        for (name, d) in g.stats.phases.iter() {
             col.phases.add(name, d);
         }
-        col.closure.merge(&stats.closure);
-        col.program_nodes = col.program_nodes.max(stats.program_nodes);
-        col.occurrences += stats.occurrences_checked;
-        col.requirements += 1;
+        col.closure.merge(&g.stats.closure);
+        col.program_nodes = col.program_nodes.max(g.stats.program_nodes);
+        col.occurrences += g.stats.occurrences_checked;
+    }
+    col.requirements = schema.requirements.len() as u64;
+    let mut violated = 0usize;
+    for (i, req) in schema.requirements.iter().enumerate() {
+        let g = &outcome.groups[group_idx[i]];
         if trace {
-            let ms = |name: &str| {
-                stats
-                    .phases
-                    .get(name)
-                    .map(|d| d.as_secs_f64() * 1e3)
-                    .unwrap_or(0.0)
-            };
+            let ms =
+                |d: Option<std::time::Duration>| d.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
+            let pos = g.req_indexes.iter().position(|&j| j == i);
             let _ = writeln!(
                 col.trace,
                 "trace: {req}: unfold {:.3} ms, closure {:.3} ms ({} terms, {} rounds), \
                  check {:.3} ms",
-                ms("unfold"),
-                ms("closure"),
-                stats.closure.total_terms(),
-                stats.closure.rounds,
-                ms("check"),
+                ms(g.stats.phases.get("unfold")),
+                ms(g.stats.phases.get("closure")),
+                g.stats.closure.total_terms(),
+                g.stats.closure.rounds,
+                ms(pos.and_then(|p| g.check_times.get(p)).copied()),
             );
         }
-        match result {
+        match &outcome.verdicts[i] {
             Ok(Verdict::Satisfied) => {
                 let _ = writeln!(out, "ok    {req}");
             }
@@ -441,7 +499,9 @@ fn check_report_instrumented(
                 violated += 1;
                 let _ = writeln!(out, "FLAW  {req}  ({} occurrence(s))", violations.len());
                 if explain {
-                    render_explanations(schema, req, &violations, &mut out);
+                    if let Some((prog, closure)) = g.artifacts.as_ref() {
+                        render_explanations(prog, closure, violations, &mut out);
+                    }
                 }
             }
             Err(e) => {
@@ -459,7 +519,7 @@ fn check_report_instrumented(
     (out, i32::from(violated > 0))
 }
 
-fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
+fn check_report(schema: &Schema, explain: bool, jobs: usize) -> (String, i32) {
     let mut out = String::new();
     if schema.requirements.is_empty() {
         let _ = writeln!(
@@ -468,9 +528,11 @@ fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
         );
         return (out, 0);
     }
+    let outcome = check_batch(schema, explain, jobs, false);
+    let group_idx = group_of(&outcome, schema.requirements.len());
     let mut violated = 0usize;
-    for req in &schema.requirements {
-        match analyze(schema, req) {
+    for (i, req) in schema.requirements.iter().enumerate() {
+        match &outcome.verdicts[i] {
             Ok(Verdict::Satisfied) => {
                 let _ = writeln!(out, "ok    {req}");
             }
@@ -478,7 +540,9 @@ fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
                 violated += 1;
                 let _ = writeln!(out, "FLAW  {req}  ({} occurrence(s))", violations.len());
                 if explain {
-                    render_explanations(schema, req, &violations, &mut out);
+                    if let Some((prog, closure)) = outcome.groups[group_idx[i]].artifacts.as_ref() {
+                        render_explanations(prog, closure, violations, &mut out);
+                    }
                 }
             }
             Err(e) => {
@@ -496,27 +560,21 @@ fn check_report(schema: &Schema, explain: bool) -> (String, i32) {
     (out, i32::from(violated > 0))
 }
 
-/// Re-derive and print Figure-1 style derivations for every witness of a
-/// violated requirement (the `--explain` path).
+/// Print Figure-1 style derivations for every witness of a violated
+/// requirement (the `--explain` path), reusing the batch group's
+/// proof-carrying program and closure.
 fn render_explanations(
-    schema: &Schema,
-    req: &oodb_lang::requirement::Requirement,
+    prog: &NProgram,
+    closure: &Closure,
     violations: &[secflow::Violation],
     out: &mut String,
 ) {
-    // Reconstruct the program/closure for rendering.
-    if let Some(caps) = schema.user(&req.user) {
-        if let Ok(prog) = NProgram::unfold(schema, caps) {
-            if let Ok(closure) = Closure::compute(&prog) {
-                for v in violations {
-                    for w in &v.witnesses {
-                        let _ = writeln!(out, "  witness {}", render_term(&prog, w));
-                        let derivation = render_derivation(&prog, &closure, w);
-                        for line in derivation.lines() {
-                            let _ = writeln!(out, "    {line}");
-                        }
-                    }
-                }
+    for v in violations {
+        for w in &v.witnesses {
+            let _ = writeln!(out, "  witness {}", render_term(prog, w));
+            let derivation = render_derivation(prog, closure, w);
+            for line in derivation.lines() {
+                let _ = writeln!(out, "    {line}");
             }
         }
     }
@@ -669,7 +727,8 @@ mod tests {
             parse_args(&s(&["check", "p.sfl", "--explain"])),
             Ok(Command::Check {
                 file: "p.sfl".into(),
-                explain: true
+                explain: true,
+                jobs: 1
             })
         );
         assert_eq!(
@@ -692,6 +751,49 @@ mod tests {
     }
 
     #[test]
+    fn jobs_flag_parsing() {
+        assert_eq!(
+            parse_args(&s(&["check", "p.sfl", "--jobs", "4"])),
+            Ok(Command::Check {
+                file: "p.sfl".into(),
+                explain: false,
+                jobs: 4
+            })
+        );
+        assert!(parse_args(&s(&["check", "p.sfl", "--jobs"])).is_err());
+        assert!(parse_args(&s(&["check", "p.sfl", "--jobs", "x"])).is_err());
+        assert!(parse_args(&s(&["check", "p.sfl", "--jobs", "0"])).is_err());
+    }
+
+    #[test]
+    fn parallel_check_is_byte_identical() {
+        let serial = Command::Check {
+            file: "-".into(),
+            explain: true,
+            jobs: 1,
+        };
+        let parallel = Command::Check {
+            file: "-".into(),
+            explain: true,
+            jobs: 4,
+        };
+        assert_eq!(
+            run_on_source(&serial, POLICY),
+            run_on_source(&parallel, POLICY),
+            "--jobs must not change stdout or the exit code"
+        );
+        // Same under instrumentation (stderr timings differ, stdout not).
+        let obs = ObsOptions {
+            metrics: Some(MetricsFormat::Json),
+            trace: true,
+        };
+        let a = run_on_source_with_obs(&serial, POLICY, &obs);
+        let b = run_on_source_with_obs(&parallel, POLICY, &obs);
+        assert_eq!(a.stdout, b.stdout);
+        assert_eq!(a.code, b.code);
+    }
+
+    #[test]
     fn obs_flag_parsing() {
         let (cmd, obs) =
             parse_args_with_obs(&s(&["check", "p.sfl", "--metrics=json", "--trace"])).unwrap();
@@ -699,7 +801,8 @@ mod tests {
             cmd,
             Command::Check {
                 file: "p.sfl".into(),
-                explain: false
+                explain: false,
+                jobs: 1
             }
         );
         assert_eq!(obs.metrics, Some(MetricsFormat::Json));
@@ -723,6 +826,7 @@ mod tests {
         let cmd = Command::Check {
             file: "-".into(),
             explain: false,
+            jobs: 1,
         };
         let (plain, plain_code) = run_on_source(&cmd, POLICY);
         let out = run_on_source_with_obs(
@@ -750,6 +854,7 @@ mod tests {
         let cmd = Command::Check {
             file: "-".into(),
             explain: false,
+            jobs: 1,
         };
         let out = run_on_source_with_obs(
             &cmd,
@@ -836,6 +941,7 @@ mod tests {
         let cmd = Command::Check {
             file: "-".into(),
             explain: false,
+            jobs: 1,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -849,6 +955,7 @@ mod tests {
         let cmd = Command::Check {
             file: "-".into(),
             explain: true,
+            jobs: 1,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -914,6 +1021,7 @@ mod tests {
         let cmd = Command::Check {
             file: "-".into(),
             explain: false,
+            jobs: 1,
         };
         let (report, code) = run_on_source(&cmd, "class C { x: bogus_type }");
         assert_eq!(code, 2);

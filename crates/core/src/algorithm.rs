@@ -22,7 +22,7 @@
 //!   `ta`/`pa` always, `ti`/`pi` exactly for basic-typed parameters) and
 //!   capabilities on the returned value are read off the body root.
 
-use crate::closure::{Closure, ClosureError, DEFAULT_TERM_LIMIT};
+use crate::closure::{Closure, ClosureError, ProofMode, DEFAULT_TERM_LIMIT};
 use crate::report::{Occurrence, OccurrenceKind, Verdict, Violation};
 use crate::rules::RuleConfig;
 use crate::stats::ClosureStats;
@@ -30,9 +30,13 @@ use crate::term::Term;
 use crate::unfold::{ExprId, NKind, NProgram, UnfoldError, DEFAULT_NODE_LIMIT};
 use oodb_lang::requirement::{Cap, Requirement};
 use oodb_lang::Schema;
-use oodb_model::{FnRef, Type};
+use oodb_model::{FnRef, Type, UserName};
 use secflow_obs::{MetricsSink, Phases};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Tunables for one analysis run.
 #[derive(Clone, Copy, Debug)]
@@ -121,7 +125,10 @@ pub fn analyze_with_config(
         .user(&req.user)
         .ok_or_else(|| AnalysisError::UnknownUser(req.user.to_string()))?;
     let prog = NProgram::unfold_with_limit(schema, caps, config.node_limit)?;
-    let closure = Closure::compute_with(&prog, &config.rules, config.term_limit)?;
+    // Membership-only closure: verdicts never read derivations, so the
+    // proof map would be pure allocation overhead here.
+    let closure =
+        Closure::compute_with_mode(&prog, &config.rules, config.term_limit, ProofMode::Off)?;
     Ok(check_against(&prog, &closure, req))
 }
 
@@ -169,7 +176,12 @@ pub fn analyze_with_stats(
         })?;
         stats.program_nodes = prog.iter().count() as u64;
         let (closure, cstats) = stats.phases.time("closure", || {
-            Closure::compute_with_stats(&prog, &config.rules, config.term_limit)
+            Closure::compute_with_stats_mode(
+                &prog,
+                &config.rules,
+                config.term_limit,
+                ProofMode::Off,
+            )
         });
         stats.closure = cstats;
         let closure = closure?;
@@ -182,10 +194,47 @@ pub fn analyze_with_stats(
     (result, stats)
 }
 
+/// The capability queries `A(R)`'s verdict check needs from a closure.
+///
+/// Both closure engines implement this — the fast dense engine
+/// ([`Closure`]) and the retained slow-path oracle
+/// ([`crate::reference::RefClosure`]) — so [`check_against`] produces
+/// verdicts from either, which is what lets the differential tests compare
+/// end-to-end `analyze` results rather than just term sets.
+pub trait CapabilityView {
+    /// Is `ta[e]` in the closure?
+    fn has_ta(&self, e: ExprId) -> bool;
+    /// Is `pa[e]` in the closure?
+    fn has_pa(&self, e: ExprId) -> bool;
+    /// A `ti` term on `e`, deterministic (first origin derived).
+    fn ti_witness(&self, e: ExprId) -> Option<Term>;
+    /// A `pi` term on `e`, deterministic.
+    fn pi_witness(&self, e: ExprId) -> Option<Term>;
+}
+
+impl CapabilityView for Closure {
+    fn has_ta(&self, e: ExprId) -> bool {
+        Closure::has_ta(self, e)
+    }
+    fn has_pa(&self, e: ExprId) -> bool {
+        Closure::has_pa(self, e)
+    }
+    fn ti_witness(&self, e: ExprId) -> Option<Term> {
+        Closure::ti_witness(self, e)
+    }
+    fn pi_witness(&self, e: ExprId) -> Option<Term> {
+        Closure::pi_witness(self, e)
+    }
+}
+
 /// Check a requirement against an already-computed closure (used when many
 /// requirements share one capability list — the common case in the bench
-/// harness).
-pub fn check_against(prog: &NProgram, closure: &Closure, req: &Requirement) -> Verdict {
+/// harness and the batch driver).
+pub fn check_against<C: CapabilityView>(
+    prog: &NProgram,
+    closure: &C,
+    req: &Requirement,
+) -> Verdict {
     let mut violations = Vec::new();
     for occ in occurrences(prog, &req.target) {
         if let Some(witnesses) = occurrence_violates(prog, closure, req, &occ) {
@@ -265,9 +314,9 @@ pub fn occurrences(prog: &NProgram, target: &FnRef) -> Vec<Occurrence> {
 
 /// If the occurrence achieves every capability of the requirement, return
 /// the witness terms (in requirement order).
-fn occurrence_violates(
+fn occurrence_violates<C: CapabilityView>(
     prog: &NProgram,
-    closure: &Closure,
+    closure: &C,
     req: &Requirement,
     occ: &Occurrence,
 ) -> Option<Vec<Term>> {
@@ -320,13 +369,240 @@ fn occurrence_violates(
     }
 }
 
-fn cap_witness(closure: &Closure, e: ExprId, cap: Cap) -> Option<Term> {
+fn cap_witness<C: CapabilityView>(closure: &C, e: ExprId, cap: Cap) -> Option<Term> {
     match cap {
         Cap::Ta => closure.has_ta(e).then_some(Term::Ta(e)),
         Cap::Pa => closure.has_pa(e).then_some(Term::Pa(e)),
         Cap::Ti => closure.ti_witness(e),
         Cap::Pi => closure.pi_witness(e),
     }
+}
+
+/// Options for [`analyze_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct BatchOptions {
+    /// Worker threads for the group fan-out. `0` or `1` runs serially on
+    /// the calling thread; larger values are clamped to the group count.
+    pub jobs: usize,
+    /// Proof mode for the shared closures. [`ProofMode::Full`] is only
+    /// needed when something will print derivations from the kept
+    /// artifacts (the CLI `--explain` path).
+    pub proofs: ProofMode,
+    /// Keep each group's `(NProgram, Closure)` on [`BatchGroup::artifacts`]
+    /// so callers can render explanations without recomputing.
+    pub keep_artifacts: bool,
+    /// Collect [`ClosureStats`] and per-phase timings per group.
+    pub collect_stats: bool,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            jobs: 1,
+            proofs: ProofMode::Off,
+            keep_artifacts: false,
+            collect_stats: false,
+        }
+    }
+}
+
+/// One unit of shared work in a batch run: all requirements naming the same
+/// user (and therefore sharing one unfolding and one closure).
+#[derive(Debug)]
+pub struct BatchGroup {
+    /// The user whose capability list this group analyzed.
+    pub user: UserName,
+    /// Indexes into the input requirement slice, in input order.
+    pub req_indexes: Vec<usize>,
+    /// Phase timings and closure counters (zeroed unless
+    /// [`BatchOptions::collect_stats`]; `occurrences_checked` sums over the
+    /// group's requirements).
+    pub stats: AnalysisStats,
+    /// Wall-clock of each requirement's check phase, aligned with
+    /// `req_indexes`.
+    pub check_times: Vec<Duration>,
+    /// Occurrences checked per requirement, aligned with `req_indexes`.
+    pub check_occurrences: Vec<u64>,
+    /// The shared unfolding and closure, when
+    /// [`BatchOptions::keep_artifacts`] and the shared phases succeeded.
+    pub artifacts: Option<(NProgram, Closure)>,
+}
+
+/// The result of [`analyze_batch`].
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-requirement verdicts, in input order. A failure in a group's
+    /// shared phase (unknown user, unfold or closure budget) is reported on
+    /// every requirement of that group — exactly what per-requirement
+    /// [`analyze`] calls would have returned.
+    pub verdicts: Vec<Result<Verdict, AnalysisError>>,
+    /// Per-group bookkeeping, in first-seen order of the users.
+    pub groups: Vec<BatchGroup>,
+    /// Worker threads actually used (after clamping).
+    pub jobs_used: usize,
+}
+
+/// Analyze a batch of requirements, unfolding and saturating **once per
+/// user** instead of once per requirement.
+///
+/// `A(R)`'s expensive phases — unfolding `S'(F)` and the `F(F)` closure —
+/// depend only on the requirement's user (its capability list) and the
+/// analysis configuration, which is shared by the whole call. Requirements
+/// are therefore grouped by user in first-seen order; each group runs
+/// unfold → closure once and then the cheap per-requirement verdict check.
+/// Groups fan out across a hand-rolled `std::thread::scope` pool
+/// ([`BatchOptions::jobs`] workers pulling group indexes from an atomic
+/// counter), so a policy file with many users saturates in parallel.
+///
+/// Verdicts are identical to per-requirement [`analyze_with_config`] calls,
+/// in input order, regardless of `jobs` — groups are independent and each
+/// group's work is deterministic.
+pub fn analyze_batch(
+    schema: &Schema,
+    reqs: &[Requirement],
+    config: &AnalysisConfig,
+    opts: &BatchOptions,
+) -> BatchOutcome {
+    // Group requirement indexes by user, first-seen order.
+    let mut group_of: HashMap<UserName, usize> = HashMap::new();
+    let mut grouped: Vec<(UserName, Vec<usize>)> = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        let gi = *group_of.entry(r.user.clone()).or_insert_with(|| {
+            grouped.push((r.user.clone(), Vec::new()));
+            grouped.len() - 1
+        });
+        grouped[gi].1.push(i);
+    }
+
+    let n_groups = grouped.len();
+    let jobs = opts.jobs.max(1).min(n_groups.max(1));
+    type GroupOut = (BatchGroup, Vec<(usize, Result<Verdict, AnalysisError>)>);
+    let mut outs: Vec<Option<GroupOut>> = Vec::with_capacity(n_groups);
+
+    if jobs <= 1 {
+        for (user, idxs) in &grouped {
+            outs.push(Some(run_group(schema, reqs, config, opts, user, idxs)));
+        }
+    } else {
+        // Work-stealing by atomic index: each worker pulls the next
+        // unclaimed group. Per-slot mutexes keep result writes contention-
+        // free and slot order independent of scheduling.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<GroupOut>>> = (0..n_groups).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let gi = next.fetch_add(1, Ordering::Relaxed);
+                    if gi >= n_groups {
+                        break;
+                    }
+                    let (user, idxs) = &grouped[gi];
+                    let out = run_group(schema, reqs, config, opts, user, idxs);
+                    *slots[gi].lock().expect("no panics hold this lock") = Some(out);
+                });
+            }
+        });
+        for slot in slots {
+            outs.push(slot.into_inner().expect("no panics hold this lock"));
+        }
+    }
+
+    let mut verdicts: Vec<Option<Result<Verdict, AnalysisError>>> =
+        reqs.iter().map(|_| None).collect();
+    let mut groups = Vec::with_capacity(n_groups);
+    for out in outs {
+        let (group, vs) = out.expect("every group index was claimed by a worker");
+        for (i, v) in vs {
+            verdicts[i] = Some(v);
+        }
+        groups.push(group);
+    }
+    BatchOutcome {
+        verdicts: verdicts
+            .into_iter()
+            .map(|v| v.expect("every requirement belongs to exactly one group"))
+            .collect(),
+        groups,
+        jobs_used: jobs,
+    }
+}
+
+/// Per-requirement verdicts from one group run, tagged with each
+/// requirement's index in the caller's input order.
+type GroupVerdicts = Vec<(usize, Result<Verdict, AnalysisError>)>;
+
+/// The shared phases plus per-requirement checks for one user group.
+fn run_group(
+    schema: &Schema,
+    reqs: &[Requirement],
+    config: &AnalysisConfig,
+    opts: &BatchOptions,
+    user: &UserName,
+    req_indexes: &[usize],
+) -> (BatchGroup, GroupVerdicts) {
+    let mut group = BatchGroup {
+        user: user.clone(),
+        req_indexes: req_indexes.to_vec(),
+        stats: AnalysisStats::default(),
+        check_times: Vec::with_capacity(req_indexes.len()),
+        check_occurrences: Vec::with_capacity(req_indexes.len()),
+        artifacts: None,
+    };
+    let shared: Result<(NProgram, Closure), AnalysisError> = (|| {
+        let caps = schema
+            .user(user)
+            .ok_or_else(|| AnalysisError::UnknownUser(user.to_string()))?;
+        let prog = group.stats.phases.time("unfold", || {
+            NProgram::unfold_with_limit(schema, caps, config.node_limit)
+        })?;
+        group.stats.program_nodes = prog.len() as u64;
+        let closure = if opts.collect_stats {
+            let (c, cstats) = group.stats.phases.time("closure", || {
+                Closure::compute_with_stats_mode(
+                    &prog,
+                    &config.rules,
+                    config.term_limit,
+                    opts.proofs,
+                )
+            });
+            group.stats.closure = cstats;
+            c?
+        } else {
+            group.stats.phases.time("closure", || {
+                Closure::compute_with_mode(&prog, &config.rules, config.term_limit, opts.proofs)
+            })?
+        };
+        Ok((prog, closure))
+    })();
+
+    let mut verdicts = Vec::with_capacity(req_indexes.len());
+    match shared {
+        Err(e) => {
+            for &i in req_indexes {
+                verdicts.push((i, Err(e.clone())));
+            }
+        }
+        Ok((prog, closure)) => {
+            let mut check_total = Duration::ZERO;
+            for &i in req_indexes {
+                let req = &reqs[i];
+                let start = Instant::now();
+                let occs = occurrences(&prog, &req.target);
+                group.check_occurrences.push(occs.len() as u64);
+                group.stats.occurrences_checked += occs.len() as u64;
+                let v = check_against(&prog, &closure, req);
+                let elapsed = start.elapsed();
+                check_total += elapsed;
+                group.check_times.push(elapsed);
+                verdicts.push((i, Ok(v)));
+            }
+            group.stats.phases.add("check", check_total);
+            if opts.keep_artifacts {
+                group.artifacts = Some((prog, closure));
+            }
+        }
+    }
+    (group, verdicts)
 }
 
 #[cfg(test)]
@@ -515,5 +791,121 @@ mod tests {
         let occ = occurrences(&prog, &FnRef::access("updateSalary"));
         assert_eq!(occ.len(), 1);
         assert!(matches!(occ[0].kind, OccurrenceKind::OuterAccess { .. }));
+    }
+
+    fn batch_reqs() -> Vec<Requirement> {
+        [
+            "(clerk, r_salary(x) : ti)",
+            "(safe_clerk, r_salary(x) : ti)",
+            "(payroll, w_salary(x, v: ta))",
+            "(clerk, r_salary(x) : pi)",
+            "(safe_payroll, w_salary(x, v: ta))",
+        ]
+        .iter()
+        .map(|s| parse_requirement(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn batch_matches_per_requirement_analyze() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let expected: Vec<_> = reqs.iter().map(|r| analyze(&s, r)).collect();
+        for jobs in [1, 4] {
+            let opts = BatchOptions {
+                jobs,
+                ..BatchOptions::default()
+            };
+            let out = analyze_batch(&s, &reqs, &AnalysisConfig::default(), &opts);
+            assert_eq!(out.verdicts, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn batch_groups_by_user_in_first_seen_order() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let out = analyze_batch(
+            &s,
+            &reqs,
+            &AnalysisConfig::default(),
+            &BatchOptions::default(),
+        );
+        let users: Vec<&str> = out.groups.iter().map(|g| g.user.as_str()).collect();
+        assert_eq!(users, ["clerk", "safe_clerk", "payroll", "safe_payroll"]);
+        // clerk's two requirements share one group.
+        assert_eq!(out.groups[0].req_indexes, [0, 3]);
+        assert_eq!(out.jobs_used, 1);
+    }
+
+    #[test]
+    fn batch_reports_group_errors_per_requirement() {
+        let s = schema();
+        let reqs: Vec<_> = [
+            "(ghost, r_salary(x) : ti)",
+            "(clerk, r_salary(x) : ti)",
+            "(ghost, r_budget(x) : ti)",
+        ]
+        .iter()
+        .map(|r| parse_requirement(r).unwrap())
+        .collect();
+        let out = analyze_batch(
+            &s,
+            &reqs,
+            &AnalysisConfig::default(),
+            &BatchOptions::default(),
+        );
+        assert!(matches!(
+            out.verdicts[0],
+            Err(AnalysisError::UnknownUser(_))
+        ));
+        assert!(out.verdicts[1].as_ref().unwrap().is_violated());
+        assert!(matches!(
+            out.verdicts[2],
+            Err(AnalysisError::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn batch_keeps_artifacts_and_stats_when_asked() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let opts = BatchOptions {
+            jobs: 2,
+            proofs: ProofMode::Full,
+            keep_artifacts: true,
+            collect_stats: true,
+        };
+        let out = analyze_batch(&s, &reqs, &AnalysisConfig::default(), &opts);
+        assert_eq!(out.jobs_used, 2);
+        for g in &out.groups {
+            let (prog, closure) = g.artifacts.as_ref().expect("artifacts kept");
+            assert!(!prog.is_empty());
+            assert_eq!(closure.proof_mode(), ProofMode::Full);
+            assert!(g.stats.phases.get("unfold").is_some());
+            assert!(g.stats.phases.get("closure").is_some());
+            assert!(g.stats.phases.get("check").is_some());
+            assert!(g.stats.closure.total_terms() as usize == closure.len());
+            assert_eq!(g.check_times.len(), g.req_indexes.len());
+            assert_eq!(g.check_occurrences.len(), g.req_indexes.len());
+        }
+        // Proof-carrying artifacts can render derivations (the --explain
+        // path reuses them instead of recomputing).
+        let (_, clerk_closure) = out.groups[0].artifacts.as_ref().unwrap();
+        let witness = clerk_closure.ti_witness(5).expect("Figure 1 ti");
+        assert!(clerk_closure.proof(&witness).is_some());
+    }
+
+    #[test]
+    fn batch_on_empty_input_is_empty() {
+        let s = schema();
+        let out = analyze_batch(
+            &s,
+            &[],
+            &AnalysisConfig::default(),
+            &BatchOptions::default(),
+        );
+        assert!(out.verdicts.is_empty());
+        assert!(out.groups.is_empty());
     }
 }

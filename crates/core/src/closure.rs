@@ -1,26 +1,40 @@
 //! The closure engine: semi-naive saturation of `F(F)` with proof recording.
 //!
-//! Terms are kept in a hash set with per-expression capability indexes; a
+//! Terms are interned as packed [`TermId`] keys in an [`FxHashSet`]; dense
+//! per-expression capability tables (plain `Vec`s indexed by `ExprId` and
+//! sized from the [`NProgram`]) replace hash-map indexes on the hot path. A
 //! worklist drives propagation, so every rule fires once per new premise.
-//! Every derived term records the rule label and the exact premise terms
-//! that produced it, which is what lets [`crate::report`] print Figure-1
-//! style derivations.
+//!
+//! Proof recording is a mode: under [`ProofMode::Full`] every derived term
+//! records the rule label and the exact premise terms that produced it,
+//! which is what lets [`crate::report`] print Figure-1 style derivations.
+//! Under [`ProofMode::Off`] the engine keeps only membership — the
+//! `analyze` fast path, where a derivation map would roughly double the
+//! allocation volume for data nobody reads.
 //!
 //! Termination: the term universe is finite — origins range over
 //! `{0..N} × {+,−}` for `N` numbered occurrences, so there are at most
 //! `O(N²)` capability terms, `O(N²)` equalities and `O(N³)` pi* terms. A
 //! configurable budget aborts pathological closures long before memory
 //! pressure.
+//!
+//! Determinism: every iteration the engine performs is over `Vec`s in
+//! insertion order or keyed lookups — never a full hash-map scan — so two
+//! runs over the same program produce the same term set *and* the same
+//! witness origins. [`crate::reference`] keeps a slow-path twin of this
+//! traversal for differential testing.
 
 use crate::basics::{rules_for, LCap, LTerm, LocalRule, Slot};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::rules::{axioms_with, labels, RuleConfig};
 use crate::stats::{ClosureObserver, ClosureStats, NoopObserver};
-use crate::term::{Dir, Origin, Term};
+use crate::term::{Dir, Origin, Term, TermId};
 use crate::unfold::{ExprId, NKind, NProgram};
 use oodb_lang::BasicOp;
 use oodb_model::AttrName;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::rc::Rc;
 
 /// How a term entered the closure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,6 +43,20 @@ pub struct Derivation {
     pub rule: &'static str,
     /// The premise terms, in rule order. Empty for axioms.
     pub premises: Vec<Term>,
+}
+
+/// Whether the engine records a [`Derivation`] per term.
+///
+/// `Full` is required by anything that prints proofs ([`crate::report`],
+/// the CLI `--explain` path); `Off` answers membership queries only and
+/// allocates nothing per derived term beyond the interned key.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ProofMode {
+    /// Record rule label + premises for every term.
+    #[default]
+    Full,
+    /// Record membership only; [`Closure::proof`] always returns `None`.
+    Off,
 }
 
 /// Closure failure.
@@ -58,16 +86,21 @@ pub const DEFAULT_TERM_LIMIT: usize = 2_000_000;
 
 /// The computed closure of all derivable `F(F)` terms for one unfolded
 /// program.
+///
+/// Capability lookups (`has_ta` … `equal_to`) are O(1) reads of dense
+/// tables indexed by `ExprId`; `contains` is one Fx-hash probe of the
+/// interned term set.
 #[derive(Debug)]
 pub struct Closure {
-    terms: HashSet<Term>,
-    proofs: HashMap<Term, Derivation>,
-    ta: HashSet<ExprId>,
-    pa: HashSet<ExprId>,
-    ti: HashMap<ExprId, Vec<Origin>>,
-    pi: HashMap<ExprId, Vec<Origin>>,
-    pistar: HashMap<ExprId, Vec<(ExprId, Origin)>>,
-    eq: HashMap<ExprId, Vec<ExprId>>,
+    terms: FxHashSet<TermId>,
+    proofs: FxHashMap<TermId, Derivation>,
+    mode: ProofMode,
+    ta: Vec<bool>,
+    pa: Vec<bool>,
+    ti: Vec<Vec<Origin>>,
+    pi: Vec<Vec<Origin>>,
+    pistar: Vec<Vec<(ExprId, Origin)>>,
+    eq: Vec<Vec<ExprId>>,
     rounds: usize,
 }
 
@@ -78,12 +111,28 @@ impl Closure {
     }
 
     /// Compute with explicit rule configuration and term budget.
+    ///
+    /// Proofs are recorded ([`ProofMode::Full`]) — use
+    /// [`Closure::compute_with_mode`] to skip them on membership-only
+    /// paths.
     pub fn compute_with(
         prog: &NProgram,
         config: &RuleConfig,
         limit: usize,
     ) -> Result<Closure, ClosureError> {
-        Engine::new(prog, *config, limit, NoopObserver).run().0
+        Self::compute_with_mode(prog, config, limit, ProofMode::Full)
+    }
+
+    /// Compute with explicit configuration, budget and proof mode.
+    pub fn compute_with_mode(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        mode: ProofMode,
+    ) -> Result<Closure, ClosureError> {
+        Engine::new(prog, *config, limit, mode, NoopObserver)
+            .run()
+            .0
     }
 
     /// Like [`Closure::compute_with`], but also return [`ClosureStats`]
@@ -99,7 +148,18 @@ impl Closure {
         config: &RuleConfig,
         limit: usize,
     ) -> (Result<Closure, ClosureError>, ClosureStats) {
-        let (result, mut stats) = Engine::new(prog, *config, limit, ClosureStats::new(limit)).run();
+        Self::compute_with_stats_mode(prog, config, limit, ProofMode::Full)
+    }
+
+    /// [`Closure::compute_with_stats`] with an explicit proof mode.
+    pub fn compute_with_stats_mode(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        mode: ProofMode,
+    ) -> (Result<Closure, ClosureError>, ClosureStats) {
+        let (result, mut stats) =
+            Engine::new(prog, *config, limit, mode, ClosureStats::new(limit)).run();
         stats.aborted = result.is_err();
         (result, stats)
     }
@@ -119,111 +179,166 @@ impl Closure {
         self.rounds
     }
 
+    /// The proof mode the closure was computed under.
+    pub fn proof_mode(&self) -> ProofMode {
+        self.mode
+    }
+
+    /// Allocated capacity of the interned term set (for occupancy stats).
+    pub fn interner_capacity(&self) -> usize {
+        self.terms.capacity()
+    }
+
     /// Does the closure contain this exact term?
     pub fn contains(&self, t: &Term) -> bool {
-        self.terms.contains(t)
+        self.terms.contains(&TermId::new(*t))
     }
 
     /// Total alterability may be achievable on the occurrence.
     pub fn has_ta(&self, e: ExprId) -> bool {
-        self.ta.contains(&e)
+        self.ta.get(e as usize).copied().unwrap_or(false)
     }
 
     /// Partial alterability may be achievable.
     pub fn has_pa(&self, e: ExprId) -> bool {
-        self.pa.contains(&e)
+        self.pa.get(e as usize).copied().unwrap_or(false)
     }
 
     /// Total inferability may be achievable (any origin).
     pub fn has_ti(&self, e: ExprId) -> bool {
-        self.ti.contains_key(&e)
+        self.ti.get(e as usize).is_some_and(|os| !os.is_empty())
     }
 
     /// Partial inferability may be achievable (any origin).
     pub fn has_pi(&self, e: ExprId) -> bool {
-        self.pi.contains_key(&e)
+        self.pi.get(e as usize).is_some_and(|os| !os.is_empty())
     }
 
     /// The occurrences the user may know to be equal to `e`.
     pub fn equal_to(&self, e: ExprId) -> &[ExprId] {
-        self.eq.get(&e).map(Vec::as_slice).unwrap_or(&[])
+        self.eq.get(e as usize).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// The derivation of a term, if it is in the closure.
+    /// The derivation of a term, if it is in the closure and proofs were
+    /// recorded ([`ProofMode::Full`]).
     pub fn proof(&self, t: &Term) -> Option<&Derivation> {
-        self.proofs.get(t)
+        self.proofs.get(&TermId::new(*t))
     }
 
     /// Any `ti` term (with its origin) on the occurrence — the witness used
-    /// in reports.
+    /// in reports. Deterministic: the first origin derived.
     pub fn ti_witness(&self, e: ExprId) -> Option<Term> {
-        self.ti.get(&e).map(|os| Term::Ti(e, os[0]))
+        self.ti
+            .get(e as usize)
+            .and_then(|os| os.first())
+            .map(|o| Term::Ti(e, *o))
     }
 
     /// Any `pi` witness.
     pub fn pi_witness(&self, e: ExprId) -> Option<Term> {
-        self.pi.get(&e).map(|os| Term::Pi(e, os[0]))
+        self.pi
+            .get(e as usize)
+            .and_then(|os| os.first())
+            .map(|o| Term::Pi(e, *o))
     }
 
-    /// Iterate over all terms (unordered).
-    pub fn iter(&self) -> impl Iterator<Item = &Term> {
-        self.terms.iter()
+    /// Iterate over all terms (unordered; decoded from the interned keys).
+    pub fn iter(&self) -> impl Iterator<Item = Term> + '_ {
+        self.terms.iter().map(|id| id.term())
     }
 }
+
+/// Interned attribute name: the engine compares attributes by `u32` id in
+/// the write-read and congruence loops instead of cloning `String`s.
+type AttrId = u32;
 
 struct Engine<'p, O: ClosureObserver> {
     prog: &'p NProgram,
     config: RuleConfig,
     limit: usize,
+    mode: ProofMode,
     obs: O,
     out: Closure,
     queue: VecDeque<Term>,
-    // structural indexes
-    basic_slots: HashMap<ExprId, Vec<(ExprId, Slot)>>,
+    // Dense structural indexes, all indexed by `ExprId as usize` and built
+    // once from the program (immutable during saturation).
+    /// e → basic nodes where e fills a slot (argument or the node itself).
+    basic_nodes: Vec<Vec<ExprId>>,
+    /// node → operator and argument ids, inline (basic ops are unary or
+    /// binary; 4 slots is structural headroom).
+    basic_info: Vec<Option<(BasicOp, [ExprId; 4], u8)>>,
     /// Binary nodes whose diagonal (equal arguments) is informative:
     /// node → (arg0, arg1). See `try_diagonal`.
-    diag_nodes: HashMap<ExprId, (ExprId, ExprId)>,
-    read_by_recv: HashMap<ExprId, Vec<ExprId>>,
-    writes_by_recv: HashMap<ExprId, Vec<(AttrName, ExprId)>>,
-    op_rules: HashMap<BasicOp, Vec<LocalRule>>,
+    diag_args: Vec<Option<(ExprId, ExprId)>>,
+    /// Normalised argument pair → diagonal-candidate nodes, in program
+    /// order. Keyed lookup (not a scan) keeps traversal deterministic.
+    diag_by_pair: FxHashMap<(ExprId, ExprId), Vec<ExprId>>,
+    read_by_recv: Vec<Vec<ExprId>>,
+    /// read node → interned attribute.
+    read_attr: Vec<Option<AttrId>>,
+    writes_by_recv: Vec<Vec<(AttrId, ExprId)>>,
+    /// `new C(…)` node → (interned attribute, argument) pairs.
+    ctor_args: Vec<Vec<(AttrId, ExprId)>>,
+    op_rules: FxHashMap<BasicOp, Rc<[LocalRule]>>,
 }
 
 impl<'p, O: ClosureObserver> Engine<'p, O> {
-    fn new(prog: &'p NProgram, config: RuleConfig, limit: usize, obs: O) -> Engine<'p, O> {
-        let mut basic_slots: HashMap<ExprId, Vec<(ExprId, Slot)>> = HashMap::new();
-        let mut diag_nodes: HashMap<ExprId, (ExprId, ExprId)> = HashMap::new();
-        let mut read_by_recv: HashMap<ExprId, Vec<ExprId>> = HashMap::new();
-        let mut writes_by_recv: HashMap<ExprId, Vec<(AttrName, ExprId)>> = HashMap::new();
-        let mut op_rules: HashMap<BasicOp, Vec<LocalRule>> = HashMap::new();
+    fn new(
+        prog: &'p NProgram,
+        config: RuleConfig,
+        limit: usize,
+        mode: ProofMode,
+        obs: O,
+    ) -> Engine<'p, O> {
+        let n = prog.len() + 1; // ExprIds are 1-based
+        let mut basic_nodes: Vec<Vec<ExprId>> = vec![Vec::new(); n];
+        let mut basic_info: Vec<Option<(BasicOp, [ExprId; 4], u8)>> = vec![None; n];
+        let mut diag_args: Vec<Option<(ExprId, ExprId)>> = vec![None; n];
+        let mut diag_by_pair: FxHashMap<(ExprId, ExprId), Vec<ExprId>> = FxHashMap::default();
+        let mut read_by_recv: Vec<Vec<ExprId>> = vec![Vec::new(); n];
+        let mut read_attr: Vec<Option<AttrId>> = vec![None; n];
+        let mut writes_by_recv: Vec<Vec<(AttrId, ExprId)>> = vec![Vec::new(); n];
+        let mut ctor_args: Vec<Vec<(AttrId, ExprId)>> = vec![Vec::new(); n];
+        let mut op_rules: FxHashMap<BasicOp, Rc<[LocalRule]>> = FxHashMap::default();
+        let mut attr_ids: HashMap<AttrName, AttrId> = HashMap::new();
 
         for e in prog.iter() {
+            let mut intern = |attr: &AttrName| -> AttrId {
+                let next = attr_ids.len() as AttrId;
+                *attr_ids.entry(attr.clone()).or_insert(next)
+            };
             match &e.kind {
                 NKind::Basic(op, args) => {
+                    assert!(args.len() <= 4, "basic operators are at most 4-ary");
+                    let mut buf = [0 as ExprId; 4];
                     for (i, a) in args.iter().enumerate() {
-                        basic_slots
-                            .entry(*a)
-                            .or_default()
-                            .push((e.id, Slot::Arg(i)));
+                        buf[i] = *a;
+                        basic_nodes[*a as usize].push(e.id);
                     }
-                    basic_slots.entry(e.id).or_default().push((e.id, Slot::Ret));
-                    op_rules.entry(*op).or_insert_with(|| rules_for(*op));
+                    basic_nodes[e.id as usize].push(e.id);
+                    basic_info[e.id as usize] = Some((*op, buf, args.len() as u8));
+                    op_rules.entry(*op).or_insert_with(|| rules_for(*op).into());
                     // Diagonal candidates: ops whose restriction to equal
                     // arguments is injective (x+x = 2x, x*x = x², s++s).
                     if matches!(op, BasicOp::Add | BasicOp::Mul | BasicOp::Concat)
                         && args.len() == 2
                         && args[0] != args[1]
                     {
-                        diag_nodes.insert(e.id, (args[0], args[1]));
+                        diag_args[e.id as usize] = Some((args[0], args[1]));
+                        let pair = (args[0].min(args[1]), args[0].max(args[1]));
+                        diag_by_pair.entry(pair).or_default().push(e.id);
                     }
                 }
-                NKind::Read(_attr, recv) => {
-                    read_by_recv.entry(*recv).or_default().push(e.id);
+                NKind::Read(attr, recv) => {
+                    read_by_recv[*recv as usize].push(e.id);
+                    read_attr[e.id as usize] = Some(intern(attr));
                 }
                 NKind::Write(attr, recv, val) => {
-                    writes_by_recv
-                        .entry(*recv)
-                        .or_default()
-                        .push((attr.clone(), *val));
+                    writes_by_recv[*recv as usize].push((intern(attr), *val));
+                }
+                NKind::New(_class, args) => {
+                    ctor_args[e.id as usize] =
+                        args.iter().map(|(a, id)| (intern(a), *id)).collect();
                 }
                 _ => {}
             }
@@ -233,51 +348,60 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             prog,
             config,
             limit,
+            mode,
             obs,
             out: Closure {
-                terms: HashSet::new(),
-                proofs: HashMap::new(),
-                ta: HashSet::new(),
-                pa: HashSet::new(),
-                ti: HashMap::new(),
-                pi: HashMap::new(),
-                pistar: HashMap::new(),
-                eq: HashMap::new(),
+                terms: FxHashSet::default(),
+                proofs: FxHashMap::default(),
+                mode,
+                ta: vec![false; n],
+                pa: vec![false; n],
+                ti: vec![Vec::new(); n],
+                pi: vec![Vec::new(); n],
+                pistar: vec![Vec::new(); n],
+                eq: vec![Vec::new(); n],
                 rounds: 0,
             },
             queue: VecDeque::new(),
-            basic_slots,
-            diag_nodes,
+            basic_nodes,
+            basic_info,
+            diag_args,
+            diag_by_pair,
             read_by_recv,
+            read_attr,
             writes_by_recv,
+            ctor_args,
             op_rules,
         }
     }
 
     fn run(mut self) -> (Result<Closure, ClosureError>, O) {
         let result = self.saturate();
+        self.obs
+            .interner(self.out.terms.capacity(), self.mode == ProofMode::Full);
         (result.map(|_| self.out), self.obs)
     }
 
     fn saturate(&mut self) -> Result<(), ClosureError> {
         for (t, rule) in axioms_with(self.prog, self.config.printable_oids) {
-            self.derive(t, rule, Vec::new())?;
+            self.derive(t, rule, &[])?;
         }
         // Constructor-read on direct receivers: r_att(new C(…)) reads the
         // matching constructor argument without needing an equality step.
         if self.config.write_read {
-            let direct: Vec<Term> = self
-                .prog
-                .iter()
-                .filter_map(|e| match &e.kind {
-                    NKind::Read(attr, recv) => self
-                        .ctor_arg(*recv, attr)
-                        .and_then(|arg| Term::eq(arg, e.id)),
-                    _ => None,
-                })
-                .collect();
+            let mut direct: Vec<Term> = Vec::new();
+            for e in self.prog.iter() {
+                if let NKind::Read(_, recv) = &e.kind {
+                    let attr = self.read_attr[e.id as usize].expect("read nodes have attributes");
+                    if let Some(arg) = self.ctor_arg(*recv, attr) {
+                        if let Some(t) = Term::eq(arg, e.id) {
+                            direct.push(t);
+                        }
+                    }
+                }
+            }
             for t in direct {
-                self.derive(t, labels::RULE_EQ, Vec::new())?;
+                self.derive(t, labels::RULE_EQ, &[])?;
             }
         }
         while let Some(t) = self.queue.pop_front() {
@@ -291,49 +415,56 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
     /// The constructor argument feeding attribute `attr` when `e` is a
     /// `new C(…)` node (unfolding pairs each constructor argument with the
     /// attribute it initialises).
-    fn ctor_arg(&self, e: ExprId, attr: &AttrName) -> Option<ExprId> {
-        match &self.prog.get(e).kind {
-            NKind::New(_class, args) => args
-                .iter()
-                .find(|(name, _)| name == attr)
-                .map(|(_, id)| *id),
-            _ => None,
-        }
+    fn ctor_arg(&self, e: ExprId, attr: AttrId) -> Option<ExprId> {
+        self.ctor_args[e as usize]
+            .iter()
+            .find(|(a, _)| *a == attr)
+            .map(|(_, id)| *id)
+    }
+
+    #[inline]
+    fn has_term(&self, t: Term) -> bool {
+        self.out.terms.contains(&TermId::new(t))
     }
 
     fn derive(
         &mut self,
         t: Term,
         rule: &'static str,
-        premises: Vec<Term>,
+        premises: &[Term],
     ) -> Result<(), ClosureError> {
         self.obs.derive_attempt();
-        if self.out.terms.contains(&t) {
+        let id = TermId::new(t);
+        if !self.out.terms.insert(id) {
             self.obs.dedup_hit();
             return Ok(());
         }
-        if self.out.terms.len() >= self.limit {
+        if self.out.terms.len() > self.limit {
+            self.out.terms.remove(&id);
             return Err(ClosureError::TermLimit { limit: self.limit });
         }
-        self.out.terms.insert(t);
         self.obs.term_inserted(&t, rule);
-        self.out.proofs.insert(t, Derivation { rule, premises });
+        if self.mode == ProofMode::Full {
+            self.out.proofs.insert(
+                id,
+                Derivation {
+                    rule,
+                    premises: premises.to_vec(),
+                },
+            );
+        }
         match t {
-            Term::Ta(e) => {
-                self.out.ta.insert(e);
-            }
-            Term::Pa(e) => {
-                self.out.pa.insert(e);
-            }
-            Term::Ti(e, o) => self.out.ti.entry(e).or_default().push(o),
-            Term::Pi(e, o) => self.out.pi.entry(e).or_default().push(o),
+            Term::Ta(e) => self.out.ta[e as usize] = true,
+            Term::Pa(e) => self.out.pa[e as usize] = true,
+            Term::Ti(e, o) => self.out.ti[e as usize].push(o),
+            Term::Pi(e, o) => self.out.pi[e as usize].push(o),
             Term::PiStar(a, b, o) => {
-                self.out.pistar.entry(a).or_default().push((b, o));
-                self.out.pistar.entry(b).or_default().push((a, o));
+                self.out.pistar[a as usize].push((b, o));
+                self.out.pistar[b as usize].push((a, o));
             }
             Term::Eq(a, b) => {
-                self.out.eq.entry(a).or_default().push(b);
-                self.out.eq.entry(b).or_default().push(a);
+                self.out.eq[a as usize].push(b);
+                self.out.eq[b as usize].push(a);
             }
         }
         self.queue.push_back(t);
@@ -345,26 +476,28 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         match t {
             Term::Ta(e) => {
                 // Lattice.
-                self.derive(Term::Pa(e), labels::LATTICE, vec![t])?;
+                self.derive(Term::Pa(e), labels::LATTICE, &[t])?;
                 // Receiver alterability: steering the receiver over the
                 // extent reaches at least the attribute values already
                 // present — partial alterability (total comes only through
                 // write-read equality).
-                for n in self.read_by_recv.get(&e).cloned().unwrap_or_default() {
-                    self.derive(Term::Pa(n), labels::READ_RECEIVER, vec![t])?;
+                for k in 0..self.read_by_recv[e as usize].len() {
+                    let n = self.read_by_recv[e as usize][k];
+                    self.derive(Term::Pa(n), labels::READ_RECEIVER, &[t])?;
                 }
                 self.transfer_by_eq(t, e)?;
                 self.fire_local_rules(e)?;
             }
             Term::Pa(e) => {
-                for n in self.read_by_recv.get(&e).cloned().unwrap_or_default() {
-                    self.derive(Term::Pa(n), labels::READ_RECEIVER, vec![t])?;
+                for k in 0..self.read_by_recv[e as usize].len() {
+                    let n = self.read_by_recv[e as usize][k];
+                    self.derive(Term::Pa(n), labels::READ_RECEIVER, &[t])?;
                 }
                 self.transfer_by_eq(t, e)?;
                 self.fire_local_rules(e)?;
             }
             Term::Ti(e, o) => {
-                self.derive(Term::Pi(e, o), labels::LATTICE, vec![t])?;
+                self.derive(Term::Pi(e, o), labels::LATTICE, &[t])?;
                 self.transfer_by_eq(t, e)?;
                 self.fire_local_rules(e)?;
                 self.try_diagonal(e)?;
@@ -372,13 +505,9 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             Term::Pi(e, o) => {
                 // pi-join: another pi with a different origin → ti.
                 if self.config.pi_join {
-                    let other = self
-                        .out
-                        .pi
-                        .get(&e)
-                        .and_then(|os| os.iter().find(|o2| **o2 != o).copied());
+                    let other = self.out.pi[e as usize].iter().find(|o2| **o2 != o).copied();
                     if let Some(o2) = other {
-                        self.derive(Term::Ti(e, o), labels::PI_JOIN, vec![Term::Pi(e, o2), t])?;
+                        self.derive(Term::Ti(e, o), labels::PI_JOIN, &[Term::Pi(e, o2), t])?;
                     }
                 }
                 self.transfer_by_eq(t, e)?;
@@ -388,20 +517,22 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             Term::PiStar(a, b, o) => {
                 if self.config.pi_star {
                     // Joint constraint on equals (see the Eq arm).
-                    if o != Origin::AXIOM && self.out.terms.contains(&Term::Eq(a, b)) {
+                    if o != Origin::AXIOM && self.has_term(Term::Eq(a, b)) {
                         let eq = Term::Eq(a, b);
-                        self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, vec![eq, t])?;
-                        self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, vec![eq, t])?;
+                        self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, &[eq, t])?;
+                        self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, &[eq, t])?;
                     }
-                    // Compose pi* chains.
+                    // Compose pi* chains. The snapshot length bounds the
+                    // loop: anything appended mid-loop is requeued anyway.
                     for (end, via) in [(a, b), (b, a)] {
-                        let neighbours = self.out.pistar.get(&via).cloned().unwrap_or_default();
-                        for (c, o2) in neighbours {
+                        let len = self.out.pistar[via as usize].len();
+                        for k in 0..len {
+                            let (c, o2) = self.out.pistar[via as usize][k];
                             if c != end && c != via {
                                 if let Some(nt) = Term::pi_star(end, c, o) {
                                     let other =
                                         Term::pi_star(via, c, o2).expect("stored pi* is proper");
-                                    self.derive(nt, labels::PI_STAR_JOIN, vec![t, other])?;
+                                    self.derive(nt, labels::PI_STAR_JOIN, &[t, other])?;
                                 }
                             }
                         }
@@ -416,23 +547,23 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             Term::Eq(a, b) => {
                 // Transitivity.
                 for (x, y) in [(a, b), (b, a)] {
-                    for c in self.out.eq.get(&x).cloned().unwrap_or_default() {
+                    let len = self.out.eq[x as usize].len();
+                    for k in 0..len {
+                        let c = self.out.eq[x as usize][k];
                         if let Some(nt) = Term::eq(c, y) {
                             let prem = Term::eq(x, c).expect("adjacency implies distinct");
-                            self.derive(nt, labels::RULE_EQ, vec![t, prem])?;
+                            self.derive(nt, labels::RULE_EQ, &[t, prem])?;
                         }
                     }
                 }
                 // Attribute congruence: r_att(a) = r_att(b).
-                let reads_a = self.read_by_recv.get(&a).cloned().unwrap_or_default();
-                let reads_b = self.read_by_recv.get(&b).cloned().unwrap_or_default();
-                for ra in &reads_a {
-                    for rb in &reads_b {
-                        let attr_a = self.read_attr_of(*ra);
-                        let attr_b = self.read_attr_of(*rb);
-                        if attr_a == attr_b {
-                            if let Some(nt) = Term::eq(*ra, *rb) {
-                                self.derive(nt, labels::RULE_EQ, vec![t])?;
+                for i in 0..self.read_by_recv[a as usize].len() {
+                    let ra = self.read_by_recv[a as usize][i];
+                    for j in 0..self.read_by_recv[b as usize].len() {
+                        let rb = self.read_by_recv[b as usize][j];
+                        if self.read_attr[ra as usize] == self.read_attr[rb as usize] {
+                            if let Some(nt) = Term::eq(ra, rb) {
+                                self.derive(nt, labels::RULE_EQ, &[t])?;
                             }
                         }
                     }
@@ -440,22 +571,24 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 if self.config.write_read {
                     // Write-read: w_att(a, v) and r_att(b) ⇒ v = r_att(b).
                     for (wrecv, rrecv) in [(a, b), (b, a)] {
-                        let writes = self.writes_by_recv.get(&wrecv).cloned().unwrap_or_default();
-                        for (attr, val) in writes {
-                            for r in self.read_by_recv.get(&rrecv).cloned().unwrap_or_default() {
-                                if self.read_attr_of(r) == Some(attr.clone()) {
+                        for i in 0..self.writes_by_recv[wrecv as usize].len() {
+                            let (attr, val) = self.writes_by_recv[wrecv as usize][i];
+                            for j in 0..self.read_by_recv[rrecv as usize].len() {
+                                let r = self.read_by_recv[rrecv as usize][j];
+                                if self.read_attr[r as usize] == Some(attr) {
                                     if let Some(nt) = Term::eq(val, r) {
-                                        self.derive(nt, labels::RULE_EQ, vec![t])?;
+                                        self.derive(nt, labels::RULE_EQ, &[t])?;
                                     }
                                 }
                             }
                         }
                         // Constructor-read: new C(…,a_j,…) = wrecv side.
-                        for r in self.read_by_recv.get(&rrecv).cloned().unwrap_or_default() {
-                            if let Some(attr) = self.read_attr_of(r) {
-                                if let Some(arg) = self.ctor_arg(wrecv, &attr) {
+                        for j in 0..self.read_by_recv[rrecv as usize].len() {
+                            let r = self.read_by_recv[rrecv as usize][j];
+                            if let Some(attr) = self.read_attr[r as usize] {
+                                if let Some(arg) = self.ctor_arg(wrecv, attr) {
                                     if let Some(nt) = Term::eq(arg, r) {
-                                        self.derive(nt, labels::RULE_EQ, vec![t])?;
+                                        self.derive(nt, labels::RULE_EQ, &[t])?;
                                     }
                                 }
                             }
@@ -468,30 +601,28 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 // joint set may be a proper subset (I(E): join of rule 5
                 // with the joint term).
                 if self.config.pi_star {
-                    let stars = self.out.pistar.get(&a).cloned().unwrap_or_default();
-                    for (x, o) in stars {
+                    let len = self.out.pistar[a as usize].len();
+                    for k in 0..len {
+                        let (x, o) = self.out.pistar[a as usize][k];
                         if x == b && o != Origin::AXIOM {
                             let star = Term::pi_star(a, b, o).expect("stored pi* is proper");
-                            self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, vec![t, star])?;
-                            self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, vec![t, star])?;
+                            self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, &[t, star])?;
+                            self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, &[t, star])?;
                         }
                     }
                 }
                 // Diagonal: the equality may pair the two arguments of a
-                // candidate node.
-                let diag_hits: Vec<ExprId> = self
-                    .diag_nodes
-                    .iter()
-                    .filter(|(_, &(x, y))| (x, y) == (a, b) || (x, y) == (b, a))
-                    .map(|(n, _)| *n)
-                    .collect();
-                for n in diag_hits {
-                    self.try_diagonal(n)?;
+                // candidate node. Keyed lookup — `Term::eq` normalises, so
+                // `(a, b)` is already the normalised pair.
+                let n_hits = self.diag_by_pair.get(&(a, b)).map_or(0, |v| v.len());
+                for k in 0..n_hits {
+                    let node = self.diag_by_pair[&(a, b)][k];
+                    self.try_diagonal(node)?;
                 }
                 // pi* from equality.
                 if self.config.pi_star {
                     if let Some(nt) = Term::pi_star(a, b, Origin::AXIOM) {
-                        self.derive(nt, labels::PI_STAR_FROM_EQ, vec![t])?;
+                        self.derive(nt, labels::PI_STAR_FROM_EQ, &[t])?;
                     }
                 }
                 // Capability transfer in both directions.
@@ -502,13 +633,6 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             }
         }
         Ok(())
-    }
-
-    fn read_attr_of(&self, read_node: ExprId) -> Option<AttrName> {
-        match &self.prog.get(read_node).kind {
-            NKind::Read(attr, _) => Some(attr.clone()),
-            _ => None,
-        }
     }
 
     /// Diagonal inversion (reconstruction of the I(E) join of Table 1's
@@ -529,43 +653,41 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         if !self.config.basic_rules {
             return Ok(());
         }
-        let Some(&(a, b)) = self.diag_nodes.get(&node) else {
+        let Some((a, b)) = self.diag_args[node as usize] else {
             return Ok(());
         };
         let eq = Term::eq(a, b).expect("diagonal args are distinct");
-        if !self.out.terms.contains(&eq) {
+        if !self.has_term(eq) {
             return Ok(());
         }
         let origin = Origin::new(node, Dir::Up);
         let no_guard = !self.config.feedback_guard;
         let guard_ok = move |o: &Origin| no_guard || o.num != node;
-        let ti_src = self
-            .out
-            .ti
-            .get(&node)
-            .and_then(|os| os.iter().copied().find(|o| guard_ok(o)));
+        let ti_src = self.out.ti[node as usize]
+            .iter()
+            .copied()
+            .find(|o| guard_ok(o));
         if let Some(o) = ti_src {
             let prem = Term::Ti(node, o);
             for arg in [a, b] {
                 self.derive(
                     Term::Ti(arg, origin),
                     "basic function: diagonal inversion",
-                    vec![eq, prem],
+                    &[eq, prem],
                 )?;
             }
         }
-        let pi_src = self
-            .out
-            .pi
-            .get(&node)
-            .and_then(|os| os.iter().copied().find(|o| guard_ok(o)));
+        let pi_src = self.out.pi[node as usize]
+            .iter()
+            .copied()
+            .find(|o| guard_ok(o));
         if let Some(o) = pi_src {
             let prem = Term::Pi(node, o);
             for arg in [a, b] {
                 self.derive(
                     Term::Pi(arg, origin),
                     "basic function: diagonal inversion",
-                    vec![eq, prem],
+                    &[eq, prem],
                 )?;
             }
         }
@@ -578,32 +700,38 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         to: ExprId,
         eq: Term,
     ) -> Result<(), ClosureError> {
-        if self.out.ta.contains(&from) {
-            self.derive(Term::Ta(to), labels::ALTER_BY_EQ, vec![eq, Term::Ta(from)])?;
+        if self.out.ta[from as usize] {
+            self.derive(Term::Ta(to), labels::ALTER_BY_EQ, &[eq, Term::Ta(from)])?;
         }
-        if self.out.pa.contains(&from) {
-            self.derive(Term::Pa(to), labels::ALTER_BY_EQ, vec![eq, Term::Pa(from)])?;
+        if self.out.pa[from as usize] {
+            self.derive(Term::Pa(to), labels::ALTER_BY_EQ, &[eq, Term::Pa(from)])?;
         }
-        for o in self.out.ti.get(&from).cloned().unwrap_or_default() {
+        let n_ti = self.out.ti[from as usize].len();
+        for k in 0..n_ti {
+            let o = self.out.ti[from as usize][k];
             self.derive(
                 Term::Ti(to, o),
                 labels::INFER_BY_EQ,
-                vec![eq, Term::Ti(from, o)],
+                &[eq, Term::Ti(from, o)],
             )?;
         }
-        for o in self.out.pi.get(&from).cloned().unwrap_or_default() {
+        let n_pi = self.out.pi[from as usize].len();
+        for k in 0..n_pi {
+            let o = self.out.pi[from as usize][k];
             self.derive(
                 Term::Pi(to, o),
                 labels::INFER_BY_EQ,
-                vec![eq, Term::Pi(from, o)],
+                &[eq, Term::Pi(from, o)],
             )?;
         }
         if self.config.pi_star {
-            for (other, o) in self.out.pistar.get(&from).cloned().unwrap_or_default() {
+            let n_star = self.out.pistar[from as usize].len();
+            for k in 0..n_star {
+                let (other, o) = self.out.pistar[from as usize][k];
                 if other != to {
                     if let Some(nt) = Term::pi_star(to, other, o) {
                         let prem = Term::pi_star(from, other, o).expect("stored pi* is proper");
-                        self.derive(nt, labels::INFER_BY_EQ, vec![eq, prem])?;
+                        self.derive(nt, labels::INFER_BY_EQ, &[eq, prem])?;
                     }
                 }
             }
@@ -616,7 +744,9 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         if !self.config.eq_transfer {
             return Ok(());
         }
-        for b in self.out.eq.get(&e).cloned().unwrap_or_default() {
+        let len = self.out.eq[e as usize].len();
+        for k in 0..len {
+            let b = self.out.eq[e as usize][k];
             let eq_term = Term::eq(e, b).expect("adjacency implies distinct");
             let (derived, label) = match t {
                 Term::Ta(_) => (Some(Term::Ta(b)), labels::ALTER_BY_EQ),
@@ -634,7 +764,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 Term::Eq(..) => (None, labels::RULE_EQ),
             };
             if let Some(nt) = derived {
-                self.derive(nt, label, vec![eq_term, t])?;
+                self.derive(nt, label, &[eq_term, t])?;
             }
         }
         Ok(())
@@ -646,25 +776,21 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         if !self.config.basic_rules {
             return Ok(());
         }
-        let nodes: Vec<ExprId> = self
-            .basic_slots
-            .get(&e)
-            .map(|v| v.iter().map(|(n, _)| *n).collect())
-            .unwrap_or_default();
-        for node in nodes {
+        for k in 0..self.basic_nodes[e as usize].len() {
+            let node = self.basic_nodes[e as usize][k];
             self.try_node(node)?;
         }
         Ok(())
     }
 
     fn try_node(&mut self, node: ExprId) -> Result<(), ClosureError> {
-        let (op, args) = match &self.prog.get(node).kind {
-            NKind::Basic(op, args) => (*op, args.clone()),
-            _ => return Ok(()),
+        let Some((op, buf, len)) = self.basic_info[node as usize] else {
+            return Ok(());
         };
-        let rules = self.op_rules.get(&op).cloned().unwrap_or_default();
-        for rule in &rules {
-            self.try_rule(node, &args, rule)?;
+        let args = &buf[..len as usize];
+        let rules = Rc::clone(self.op_rules.get(&op).expect("rules built for every op"));
+        for rule in rules.iter() {
+            self.try_rule(node, args, rule)?;
         }
         Ok(())
     }
@@ -699,31 +825,33 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             }
         };
 
-        let mut premises = Vec::with_capacity(rule.premises.len());
+        debug_assert!(rule.premises.len() <= 4, "local rules have ≤ 4 premises");
+        let mut pbuf = [Term::Ta(0); 4];
+        let mut pn = 0usize;
         for p in &rule.premises {
             let found = match *p {
                 LTerm::Cap(LCap::Ta, s) => {
                     let e = self.slot_expr(node, args, s);
-                    self.out.ta.contains(&e).then_some(Term::Ta(e))
+                    self.out.ta[e as usize].then_some(Term::Ta(e))
                 }
                 LTerm::Cap(LCap::Pa, s) => {
                     let e = self.slot_expr(node, args, s);
-                    self.out.pa.contains(&e).then_some(Term::Pa(e))
+                    self.out.pa[e as usize].then_some(Term::Pa(e))
                 }
                 LTerm::Cap(LCap::Ti, s) => {
                     let e = self.slot_expr(node, args, s);
-                    self.out
-                        .ti
-                        .get(&e)
-                        .and_then(|os| os.iter().copied().find(|o| guard_ok(*o)))
+                    self.out.ti[e as usize]
+                        .iter()
+                        .copied()
+                        .find(|o| guard_ok(*o))
                         .map(|o| Term::Ti(e, o))
                 }
                 LTerm::Cap(LCap::Pi, s) => {
                     let e = self.slot_expr(node, args, s);
-                    self.out
-                        .pi
-                        .get(&e)
-                        .and_then(|os| os.iter().copied().find(|o| guard_ok(*o)))
+                    self.out.pi[e as usize]
+                        .iter()
+                        .copied()
+                        .find(|o| guard_ok(*o))
                         .map(|o| Term::Pi(e, o))
                 }
                 LTerm::PiStar(s1, s2) => {
@@ -732,20 +860,19 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                     } else {
                         let a = self.slot_expr(node, args, s1);
                         let b = self.slot_expr(node, args, s2);
-                        self.out
-                            .pistar
-                            .get(&a)
-                            .and_then(|v| {
-                                v.iter()
-                                    .find(|(other, o)| *other == b && guard_ok(*o))
-                                    .map(|(_, o)| *o)
-                            })
+                        self.out.pistar[a as usize]
+                            .iter()
+                            .find(|(other, o)| *other == b && guard_ok(*o))
+                            .map(|(_, o)| *o)
                             .and_then(|o| Term::pi_star(a, b, o))
                     }
                 }
             };
             match found {
-                Some(t) => premises.push(t),
+                Some(t) => {
+                    pbuf[pn] = t;
+                    pn += 1;
+                }
                 None => return Ok(()),
             }
         }
@@ -770,6 +897,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             }
         };
         if let Some(c) = conclusion {
+            let premises = &pbuf[..pn];
             self.derive(c, rule.name, premises)?;
         }
         Ok(())
@@ -822,15 +950,45 @@ mod tests {
     #[test]
     fn proofs_recorded_for_every_term() {
         let (_p, c) = closure_for(STOCKBROKER, "clerk");
+        assert_eq!(c.proof_mode(), ProofMode::Full);
         for t in c.iter() {
-            assert!(c.proof(t).is_some(), "no proof for {t}");
+            assert!(c.proof(&t).is_some(), "no proof for {t}");
         }
         // Axioms have no premises; derived terms have in-closure premises.
         for t in c.iter() {
-            let d = c.proof(t).unwrap();
+            let d = c.proof(&t).unwrap();
             for p in &d.premises {
                 assert!(c.contains(p), "dangling premise {p} of {t}");
             }
+        }
+    }
+
+    #[test]
+    fn proof_mode_off_keeps_membership_drops_proofs() {
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let full = Closure::compute(&prog).unwrap();
+        let fast = Closure::compute_with_mode(
+            &prog,
+            &RuleConfig::default(),
+            DEFAULT_TERM_LIMIT,
+            ProofMode::Off,
+        )
+        .unwrap();
+        assert_eq!(fast.proof_mode(), ProofMode::Off);
+        let mut t1: Vec<Term> = full.iter().collect();
+        let mut t2: Vec<Term> = fast.iter().collect();
+        t1.sort();
+        t2.sort();
+        assert_eq!(t1, t2, "proof mode must not change the fixpoint");
+        assert_eq!(full.rounds(), fast.rounds());
+        for t in fast.iter() {
+            assert!(fast.proof(&t).is_none(), "Off mode records no proofs");
+        }
+        // Witnesses stay identical too (same traversal order).
+        for e in 1..=prog.len() as ExprId {
+            assert_eq!(full.ti_witness(e), fast.ti_witness(e));
+            assert_eq!(full.pi_witness(e), fast.pi_witness(e));
         }
     }
 
@@ -910,7 +1068,7 @@ mod tests {
         // Every derive attempt either deduplicated or inserted.
         assert_eq!(stats.derive_calls, stats.dedup_hits + stats.total_terms());
         // Per-kind counters match the actual term population.
-        let count = |pred: fn(&Term) -> bool| c.iter().filter(|t| pred(t)).count() as u64;
+        let count = |pred: fn(&Term) -> bool| c.iter().filter(pred).count() as u64;
         assert_eq!(stats.terms_ta, count(|t| matches!(t, Term::Ta(_))));
         assert_eq!(stats.terms_pa, count(|t| matches!(t, Term::Pa(_))));
         assert_eq!(stats.terms_ti, count(|t| matches!(t, Term::Ti(..))));
@@ -924,6 +1082,9 @@ mod tests {
         assert!(stats.worklist_peak > 0);
         assert!(stats.dedup_hit_rate() > 0.0 && stats.dedup_hit_rate() < 1.0);
         assert!(stats.budget_headroom() > 0.0);
+        // The interner gauge reflects the actual term set.
+        assert!(stats.interner_capacity as usize >= c.len());
+        assert!(stats.proofs_recorded);
     }
 
     #[test]
@@ -934,8 +1095,8 @@ mod tests {
         let (instrumented, _) =
             Closure::compute_with_stats(&prog, &RuleConfig::default(), DEFAULT_TERM_LIMIT);
         let instrumented = instrumented.unwrap();
-        let mut t1: Vec<Term> = plain.iter().copied().collect();
-        let mut t2: Vec<Term> = instrumented.iter().copied().collect();
+        let mut t1: Vec<Term> = plain.iter().collect();
+        let mut t2: Vec<Term> = instrumented.iter().collect();
         t1.sort();
         t2.sort();
         assert_eq!(t1, t2, "observer must not change the fixpoint");
@@ -958,8 +1119,8 @@ mod tests {
     fn closure_is_deterministic() {
         let (_p, c1) = closure_for(STOCKBROKER, "clerk");
         let (_p, c2) = closure_for(STOCKBROKER, "clerk");
-        let mut t1: Vec<Term> = c1.iter().copied().collect();
-        let mut t2: Vec<Term> = c2.iter().copied().collect();
+        let mut t1: Vec<Term> = c1.iter().collect();
+        let mut t2: Vec<Term> = c2.iter().collect();
         t1.sort();
         t2.sort();
         assert_eq!(t1, t2);
@@ -1038,5 +1199,16 @@ mod tests {
         // 1v, 2new C(1v), 3r_x(2new…): ta[1] ⇒ =[1,3] ⇒ ta[3].
         assert!(c.contains(&Term::Eq(1, 3)));
         assert!(c.has_ta(3));
+    }
+
+    #[test]
+    fn out_of_range_ids_answer_false() {
+        // Dense tables must bounds-guard public queries: callers may probe
+        // ids the program does not contain.
+        let (_p, c) = closure_for(STOCKBROKER, "clerk");
+        assert!(!c.has_ta(9999));
+        assert!(!c.has_ti(9999));
+        assert!(c.equal_to(9999).is_empty());
+        assert_eq!(c.ti_witness(9999), None);
     }
 }

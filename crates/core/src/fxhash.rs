@@ -1,0 +1,131 @@
+//! A std-only FxHash-style hasher for the closure hot path.
+//!
+//! The default `SipHasher13` behind `std::collections::HashMap` is keyed and
+//! DoS-resistant, which the closure engine does not need: every key it
+//! hashes is a [`crate::term::TermId`] or a small integer derived from a
+//! program the analyst wrote themselves. The Firefox/rustc "Fx" multiply-
+//! and-rotate mix is 5-10x cheaper per key and — unlike `RandomState` —
+//! deterministic across processes, which keeps saturation traversal (and so
+//! witness selection) reproducible.
+//!
+//! Only the fixed-width integer fast paths matter here; the byte-slice
+//! fallback exists for completeness (e.g. if a future key type derives
+//! `Hash` through strings).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx mixing constant (golden-ratio derived, as in rustc's FxHasher).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx multiply-and-rotate hasher. Not DoS-resistant — use only for keys
+/// the process itself constructs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] (stateless, so `Default` is the builder).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(42u64), hash_of(42u64));
+        assert_eq!(hash_of(0x1234_5678_9abc_def0_u128), {
+            hash_of(0x1234_5678_9abc_def0_u128)
+        });
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let h: Vec<u64> = (0u64..64).map(hash_of).collect();
+        let distinct: std::collections::HashSet<&u64> = h.iter().collect();
+        assert_eq!(distinct.len(), h.len(), "dense small keys must not collide");
+    }
+
+    #[test]
+    fn byte_slice_fallback_matches_itself() {
+        assert_eq!(hash_of("salary"), hash_of("salary"));
+        assert_ne!(hash_of("salary"), hash_of("budget"));
+    }
+
+    #[test]
+    fn set_and_map_aliases_work() {
+        let mut s: FxHashSet<u128> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+    }
+}

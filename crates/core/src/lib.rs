@@ -18,7 +18,12 @@
 //! * [`basics`] — the per-basic-function rule sets generated following the
 //!   paper's §4.1 metarules, including the verbatim `>=` and `*` instances.
 //! * [`closure`] — the semi-naive fixpoint computing the closure of all
-//!   derivable terms, with full proof recording.
+//!   derivable terms: interned [`term::TermId`] keys, dense per-occurrence
+//!   capability tables, and proof recording as a mode
+//!   ([`closure::ProofMode`]).
+//! * [`fxhash`] — the std-only deterministic hasher behind the interner.
+//! * [`reference`] — the retained slow-path engine, kept traversal-
+//!   equivalent to [`closure`] as a differential-testing oracle.
 //! * [`algorithm`] — `A(R)` (§4.1 Definition 6): a requirement `R` is
 //!   *not satisfied* iff some occurrence of its target function carries all
 //!   the specified capability terms in the closure.
@@ -39,6 +44,8 @@ pub mod advisor;
 pub mod algorithm;
 pub mod basics;
 pub mod closure;
+pub mod fxhash;
+pub mod reference;
 pub mod report;
 pub mod rules;
 pub mod stats;
@@ -47,10 +54,12 @@ pub mod unfold;
 
 pub use advisor::{advise, Advice, AdvisorConfig, Repair};
 pub use algorithm::{
-    analyze, analyze_with_config, analyze_with_stats, AnalysisConfig, AnalysisError, AnalysisStats,
+    analyze, analyze_batch, analyze_with_config, analyze_with_stats, AnalysisConfig, AnalysisError,
+    AnalysisStats, BatchGroup, BatchOptions, BatchOutcome, CapabilityView,
 };
-pub use closure::Closure;
+pub use closure::{Closure, ProofMode};
+pub use reference::{analyze_ref, RefClosure};
 pub use report::{Verdict, Violation};
 pub use stats::ClosureStats;
-pub use term::{Dir, Origin, Term};
+pub use term::{Dir, Origin, Term, TermId};
 pub use unfold::{ExprId, NExpr, NKind, NProgram, Outer};

@@ -32,6 +32,12 @@ pub trait ClosureObserver {
     /// The worklist length after a push (for high-water tracking).
     #[inline]
     fn worklist_len(&mut self, _len: usize) {}
+
+    /// End-of-run report: allocated capacity of the interned term set and
+    /// whether derivations were recorded
+    /// ([`crate::closure::ProofMode::Full`]).
+    #[inline]
+    fn interner(&mut self, _capacity: usize, _proofs_recorded: bool) {}
 }
 
 /// The observer that observes nothing. This is what the plain `compute`
@@ -78,6 +84,10 @@ pub struct ClosureStats {
     pub limit: u64,
     /// Did the run abort on the term budget?
     pub aborted: bool,
+    /// Allocated capacity of the interned term set at end of run.
+    pub interner_capacity: u64,
+    /// Were derivations recorded (`ProofMode::Full`)?
+    pub proofs_recorded: bool,
 }
 
 impl ClosureStats {
@@ -117,6 +127,17 @@ impl ClosureStats {
         }
     }
 
+    /// Fraction of the interner's allocated slots actually holding a term
+    /// (0 when nothing was allocated). A persistently low occupancy means
+    /// the term set over-reserved — a memory regression signal.
+    pub fn interner_occupancy(&self) -> f64 {
+        if self.interner_capacity == 0 {
+            0.0
+        } else {
+            self.total_terms() as f64 / self.interner_capacity as f64
+        }
+    }
+
     /// Insertions under one rule label (0 if it never fired).
     pub fn firings_of(&self, label: &str) -> u64 {
         self.firings
@@ -143,6 +164,10 @@ impl ClosureStats {
         self.worklist_peak = self.worklist_peak.max(other.worklist_peak);
         self.limit = self.limit.max(other.limit);
         self.aborted |= other.aborted;
+        // Summed, not maxed: merged occupancy then stays the terms-weighted
+        // load factor across runs instead of exceeding 1.
+        self.interner_capacity += other.interner_capacity;
+        self.proofs_recorded |= other.proofs_recorded;
         for &(label, n) in &other.firings {
             if let Some((_, m)) = self.firings.iter_mut().find(|(l, _)| *l == label) {
                 *m += n;
@@ -170,6 +195,8 @@ impl ClosureStats {
         sink.counter("closure.dedup_hits", self.dedup_hits);
         sink.counter("closure.term_limit", self.limit);
         sink.counter("closure.aborted", u64::from(self.aborted));
+        sink.counter("closure.interner_capacity", self.interner_capacity);
+        sink.counter("closure.proofs_recorded", u64::from(self.proofs_recorded));
         for (label, n) in &self.firings {
             let mut name = String::with_capacity(13 + label.len());
             name.push_str("closure.rule.");
@@ -178,6 +205,7 @@ impl ClosureStats {
         }
         sink.gauge("closure.dedup_hit_rate", self.dedup_hit_rate());
         sink.gauge("closure.budget_headroom", self.budget_headroom());
+        sink.gauge("closure.interner_occupancy", self.interner_occupancy());
     }
 }
 
@@ -213,6 +241,11 @@ impl ClosureObserver for ClosureStats {
     fn worklist_len(&mut self, len: usize) {
         self.worklist_peak = self.worklist_peak.max(len as u64);
     }
+
+    fn interner(&mut self, capacity: usize, proofs_recorded: bool) {
+        self.interner_capacity = capacity as u64;
+        self.proofs_recorded = proofs_recorded;
+    }
 }
 
 #[cfg(test)]
@@ -224,8 +257,19 @@ mod tests {
         let s = ClosureStats::default();
         assert_eq!(s.dedup_hit_rate(), 0.0);
         assert_eq!(s.budget_headroom(), 0.0);
+        assert_eq!(s.interner_occupancy(), 0.0);
         assert_eq!(s.total_terms(), 0);
         assert_eq!(s.firings_of("anything"), 0);
+    }
+
+    #[test]
+    fn interner_callback_sets_capacity_and_mode() {
+        let mut s = ClosureStats::new(100);
+        s.term_inserted(&Term::Ta(1), "axiom");
+        s.interner(8, true);
+        assert_eq!(s.interner_capacity, 8);
+        assert!(s.proofs_recorded);
+        assert_eq!(s.interner_occupancy(), 1.0 / 8.0);
     }
 
     #[test]
@@ -255,6 +299,7 @@ mod tests {
         b.term_inserted(&Term::Eq(1, 2), "rule for =");
         b.worklist_len(9);
         b.aborted = true;
+        b.interner(16, true);
         a.merge(&b);
         assert_eq!(a.terms_ta, 2);
         assert_eq!(a.terms_eq, 1);
@@ -263,6 +308,8 @@ mod tests {
         assert_eq!(a.worklist_peak, 9);
         assert_eq!(a.limit, 100);
         assert!(a.aborted);
+        assert_eq!(a.interner_capacity, 16);
+        assert!(a.proofs_recorded);
     }
 
     #[test]

@@ -166,6 +166,79 @@ impl fmt::Display for Term {
     }
 }
 
+/// A [`Term`] packed into one 128-bit word — the interned key the fast-path
+/// closure engine stores in its hash set instead of the enum.
+///
+/// Layout (low to high): `dir:1 | num:32 | b:32 | a:32 | tag:3`. Every field
+/// of every variant is a small integer, so the packing is exact and
+/// reversible ([`TermId::term`]); hashing and equality become single-word
+/// operations instead of a derived walk over the enum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u128);
+
+const TAG_TA: u128 = 0;
+const TAG_PA: u128 = 1;
+const TAG_TI: u128 = 2;
+const TAG_PI: u128 = 3;
+const TAG_PISTAR: u128 = 4;
+const TAG_EQ: u128 = 5;
+
+#[inline]
+fn pack(tag: u128, a: ExprId, b: ExprId, o: Option<Origin>) -> u128 {
+    let (num, dir) = match o {
+        Some(o) => (o.num, matches!(o.dir, Dir::Up) as u128),
+        None => (0, 0),
+    };
+    dir | (num as u128) << 1 | (b as u128) << 33 | (a as u128) << 65 | tag << 97
+}
+
+impl TermId {
+    /// Pack a term.
+    #[inline]
+    pub fn new(t: Term) -> TermId {
+        TermId(match t {
+            Term::Ta(e) => pack(TAG_TA, e, 0, None),
+            Term::Pa(e) => pack(TAG_PA, e, 0, None),
+            Term::Ti(e, o) => pack(TAG_TI, e, 0, Some(o)),
+            Term::Pi(e, o) => pack(TAG_PI, e, 0, Some(o)),
+            Term::PiStar(a, b, o) => pack(TAG_PISTAR, a, b, Some(o)),
+            Term::Eq(a, b) => pack(TAG_EQ, a, b, None),
+        })
+    }
+
+    /// Unpack back into the enum.
+    #[inline]
+    pub fn term(self) -> Term {
+        let v = self.0;
+        let a = (v >> 65) as ExprId;
+        let b = (v >> 33) as ExprId;
+        let o = Origin {
+            num: (v >> 1) as ExprId,
+            dir: if v & 1 == 1 { Dir::Up } else { Dir::Down },
+        };
+        match v >> 97 {
+            TAG_TA => Term::Ta(a),
+            TAG_PA => Term::Pa(a),
+            TAG_TI => Term::Ti(a, o),
+            TAG_PI => Term::Pi(a, o),
+            TAG_PISTAR => Term::PiStar(a, b, o),
+            _ => Term::Eq(a, b),
+        }
+    }
+}
+
+impl From<Term> for TermId {
+    fn from(t: Term) -> TermId {
+        TermId::new(t)
+    }
+}
+
+impl From<TermId> for Term {
+    fn from(id: TermId) -> Term {
+        id.term()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +280,48 @@ mod tests {
             Term::Pi(1, Origin::new(3, Dir::Down)).origin(),
             Some(Origin::new(3, Dir::Down))
         );
+    }
+
+    #[test]
+    fn term_id_round_trips_every_shape() {
+        let origins = [
+            Origin::AXIOM,
+            Origin::new(7, Dir::Up),
+            Origin::new(u32::MAX, Dir::Down),
+        ];
+        let mut terms = vec![
+            Term::Ta(0),
+            Term::Ta(u32::MAX),
+            Term::Pa(3),
+            Term::Eq(1, 2),
+            Term::Eq(0, u32::MAX),
+        ];
+        for o in origins {
+            terms.push(Term::Ti(5, o));
+            terms.push(Term::Pi(u32::MAX, o));
+            terms.push(Term::PiStar(1, u32::MAX, o));
+        }
+        for t in terms {
+            assert_eq!(TermId::new(t).term(), t, "round trip of {t}");
+        }
+    }
+
+    #[test]
+    fn term_id_is_injective_across_kinds() {
+        use std::collections::HashSet;
+        // Same payload, different tags must stay distinct.
+        let ids: HashSet<TermId> = [
+            Term::Ta(1),
+            Term::Pa(1),
+            Term::Ti(1, Origin::AXIOM),
+            Term::Pi(1, Origin::AXIOM),
+            Term::PiStar(1, 2, Origin::AXIOM),
+            Term::Eq(1, 2),
+        ]
+        .into_iter()
+        .map(TermId::new)
+        .collect();
+        assert_eq!(ids.len(), 6);
     }
 
     #[test]

@@ -11,6 +11,10 @@
 //!   comparison over a big arithmetic tree;
 //! * [`attr_fanout`] — write-read pairs: `n` attributes each written and
 //!   read, quadratic equality propagation.
+//!
+//! [`multi_user`] builds a *batch* case — one schema, many users, one
+//! requirement each — for the `analyze_batch` driver and the `--jobs`
+//! throughput experiment.
 
 use oodb_lang::ast::{AccessFnDef, BasicOp, Expr};
 use oodb_lang::requirement::{Cap, Requirement};
@@ -156,6 +160,66 @@ pub fn deep_expr(depth: usize) -> ScaleCase {
     finish(schema, caps, req)
 }
 
+/// A batched scaling case: one schema, many users, one requirement each.
+///
+/// Feeding the requirement list to `secflow::analyze_batch` exercises the
+/// per-user grouping (each user is its own unfold + closure) and, with
+/// `jobs > 1`, the thread pool.
+#[derive(Clone, Debug)]
+pub struct BatchCase {
+    /// Type-checked schema with users `u0 … u{n-1}`.
+    pub schema: Schema,
+    /// One requirement per user, in user order.
+    pub requirements: Vec<Requirement>,
+}
+
+/// `users` disjoint copies of the [`wide_grants`] workload over one shared
+/// class: user `u{j}` holds `width` probes over its own attribute slice plus
+/// a write on the slice head, and the requirement list probes every head.
+pub fn multi_user(users: usize, width: usize) -> BatchCase {
+    let users = users.max(1);
+    let width = width.max(1);
+    let mut schema = Schema::new();
+    schema
+        .classes
+        .insert(single_int_class(users * width))
+        .expect("one class");
+    let mut requirements = Vec::new();
+    for j in 0..users {
+        let mut caps = CapabilityList::new();
+        for i in 0..width {
+            let a = j * width + i;
+            schema.functions.insert(
+                format!("p{a}").into(),
+                AccessFnDef {
+                    name: format!("p{a}").into(),
+                    params: vec![(VarName::new("c"), Type::class("C"))],
+                    ret: Type::BOOL,
+                    body: Expr::bin(
+                        BasicOp::Ge,
+                        Expr::read(format!("a{a}"), Expr::var("c")),
+                        Expr::int(a as i64),
+                    ),
+                },
+            );
+            caps.grant(FnRef::access(format!("p{a}")));
+        }
+        caps.grant(FnRef::write(format!("a{}", j * width)));
+        schema.users.insert(format!("u{j}").into(), caps);
+        requirements.push(Requirement::on_return(
+            format!("u{j}"),
+            FnRef::read(format!("a{}", j * width)),
+            1,
+            vec![Cap::Ti],
+        ));
+    }
+    oodb_lang::check_schema(&schema).expect("batch schema checks");
+    BatchCase {
+        schema,
+        requirements,
+    }
+}
+
 /// `n` attributes, each with a granted reader and writer pair: the
 /// equality graph gets `O(n²)` argument-variable edges.
 pub fn attr_fanout(n: usize) -> ScaleCase {
@@ -207,6 +271,25 @@ mod tests {
         let case = deep_expr(4);
         let v = analyze(&case.schema, &case.requirement).unwrap();
         assert!(v.is_violated());
+    }
+
+    #[test]
+    fn multi_user_groups_stay_disjoint() {
+        use secflow::algorithm::{analyze_batch, AnalysisConfig, BatchOptions};
+        let case = multi_user(3, 2);
+        assert_eq!(case.requirements.len(), 3);
+        let out = analyze_batch(
+            &case.schema,
+            &case.requirements,
+            &AnalysisConfig::default(),
+            &BatchOptions::default(),
+        );
+        // Every head attribute is granted read + write to its own user:
+        // each per-user requirement is violated independently.
+        for (i, v) in out.verdicts.iter().enumerate() {
+            assert!(v.as_ref().unwrap().is_violated(), "user {i}");
+        }
+        assert_eq!(out.groups.len(), 3);
     }
 
     #[test]

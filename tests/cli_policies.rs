@@ -11,6 +11,7 @@ fn check_stockbroker_policy_file() {
     let (report, code) = run(&Command::Check {
         file: policy("stockbroker"),
         explain: true,
+        jobs: 1,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (clerk, r_salary(x):ti)"));
@@ -27,6 +28,7 @@ fn check_hospital_policy_file() {
     let (report, code) = run(&Command::Check {
         file: policy("hospital"),
         explain: false,
+        jobs: 1,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (auditor, r_bill(x):ti)"));
@@ -40,6 +42,7 @@ fn bank_policy_shows_pessimism() {
     let (report, code) = run(&Command::Check {
         file: policy("bank"),
         explain: false,
+        jobs: 1,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (teller, r_balance(x):ti)"));
@@ -80,6 +83,7 @@ fn missing_file_exits_two() {
     let (report, code) = run(&Command::Check {
         file: policy("does_not_exist"),
         explain: false,
+        jobs: 1,
     });
     assert_eq!(code, 2);
     assert!(report.contains("cannot read"));

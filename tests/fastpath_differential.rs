@@ -1,0 +1,94 @@
+//! Differential testing of the fast-path closure engine against the
+//! retained slow-path reference (`secflow::reference`).
+//!
+//! The fast engine interns terms, uses dense capability tables and an Fx
+//! hasher, and skips proof recording on `analyze`; the reference keeps the
+//! historical hash-map representation with SipHash and always-on proofs.
+//! Both are supposed to run the *same* deterministic traversal, so on every
+//! workload the closure term sets must be identical — not merely equal as
+//! sets of verdicts — and every `analyze` verdict (including witness terms
+//! inside violations) must match exactly.
+
+use proptest::prelude::*;
+use secflow::algorithm::{analyze_with_config, AnalysisConfig};
+use secflow::closure::Closure;
+use secflow::reference::{analyze_ref, RefClosure};
+use secflow::term::Term;
+use secflow::unfold::{ExprId, NProgram};
+use secflow_workloads::random::{random_case, RandomSpec};
+use secflow_workloads::scale;
+
+/// Both engines on one unfolded program: identical term sets, rounds and
+/// per-occurrence witnesses.
+fn assert_closures_identical(prog: &NProgram, label: &str) {
+    let fast = Closure::compute(prog).unwrap_or_else(|e| panic!("{label}: fast engine: {e}"));
+    let slow = RefClosure::compute(prog).unwrap_or_else(|e| panic!("{label}: reference: {e}"));
+    assert_eq!(fast.len(), slow.len(), "{label}: term counts differ");
+    assert_eq!(fast.rounds(), slow.rounds(), "{label}: rounds differ");
+    let mut tf: Vec<Term> = fast.iter().collect();
+    let mut ts: Vec<Term> = slow.iter().collect();
+    tf.sort();
+    ts.sort();
+    assert_eq!(tf, ts, "{label}: closure term sets differ");
+    for e in 1..=prog.len() as ExprId {
+        assert_eq!(
+            fast.ti_witness(e),
+            slow.ti_witness(e),
+            "{label}: ti witness differs at {e}"
+        );
+        assert_eq!(
+            fast.pi_witness(e),
+            slow.pi_witness(e),
+            "{label}: pi witness differs at {e}"
+        );
+        assert_eq!(fast.has_ta(e), slow.has_ta(e), "{label}: ta differs at {e}");
+        assert_eq!(fast.has_pa(e), slow.has_pa(e), "{label}: pa differs at {e}");
+    }
+}
+
+#[test]
+fn scale_families_are_engine_identical() {
+    let cases = [
+        ("call_chain", scale::call_chain(8)),
+        ("wide_grants", scale::wide_grants(16)),
+        ("deep_expr", scale::deep_expr(4)),
+        ("attr_fanout", scale::attr_fanout(8)),
+    ];
+    let config = AnalysisConfig::default();
+    for (label, case) in cases {
+        let caps = case.schema.user_str("u").unwrap();
+        let prog = NProgram::unfold(&case.schema, caps).unwrap();
+        assert_closures_identical(&prog, label);
+        // End-to-end verdicts agree, witnesses included (Verdict: PartialEq).
+        let fast = analyze_with_config(&case.schema, &case.requirement, &config);
+        let slow = analyze_ref(&case.schema, &case.requirement, &config);
+        assert_eq!(fast, slow, "{label}: verdicts differ");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random corpus: the interned dense engine and the reference engine
+    /// derive byte-identical closures and verdicts.
+    #[test]
+    fn random_cases_are_engine_identical(seed in 0u64..2000) {
+        let case = random_case(seed, &RandomSpec::default());
+        let caps = case.schema.user_str(&case.user).unwrap();
+        let prog = NProgram::unfold(&case.schema, caps).unwrap();
+        let fast = Closure::compute(&prog).unwrap();
+        let slow = RefClosure::compute(&prog).unwrap();
+        let mut tf: Vec<Term> = fast.iter().collect();
+        let mut ts: Vec<Term> = slow.iter().collect();
+        tf.sort();
+        ts.sort();
+        prop_assert_eq!(tf, ts, "closure term sets differ for seed {}", seed);
+        prop_assert_eq!(fast.rounds(), slow.rounds());
+        let config = AnalysisConfig::default();
+        for req in &case.requirements {
+            let vf = analyze_with_config(&case.schema, req, &config);
+            let vs = analyze_ref(&case.schema, req, &config);
+            prop_assert_eq!(&vf, &vs, "verdict differs for seed {} req {}", seed, req);
+        }
+    }
+}

@@ -106,8 +106,8 @@ proptest! {
         let c1 = Closure::compute(&prog).unwrap();
         let c2 = Closure::compute(&prog).unwrap();
         // P3: deterministic.
-        let mut t1: Vec<_> = c1.iter().copied().collect();
-        let mut t2: Vec<_> = c2.iter().copied().collect();
+        let mut t1: Vec<_> = c1.iter().collect();
+        let mut t2: Vec<_> = c2.iter().collect();
         t1.sort();
         t2.sort();
         prop_assert_eq!(t1, t2);
