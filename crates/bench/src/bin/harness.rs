@@ -12,6 +12,11 @@
 //! reference-vs-interned closure timings (with a term-set identity check
 //! per case) and the batch-driver wall times per `--jobs` setting.
 //!
+//! The `demand` experiment (`-- demand [--smoke]`) writes
+//! `BENCH_demand.json`: full-saturation vs demand-driven closure timings
+//! and terms-derived counts per scale family, with a verdict-identity
+//! assertion per row, plus the multi-requirement batch comparison.
+//!
 //! Every run also writes `BENCH_obs.json` next to the working directory: a
 //! machine-readable metrics blob with per-experiment wall times plus the
 //! closure counters for the canonical stockbroker analysis (see
@@ -65,6 +70,11 @@ fn main() {
         let smoke = args.iter().any(|a| a == "--smoke");
         let write_json = !args.iter().any(|a| a == "--no-obs");
         phases.time("fastpath", || run_fastpath(smoke, write_json));
+    }
+    if want("demand") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let write_json = !args.iter().any(|a| a == "--no-obs");
+        phases.time("demand", || run_demand(smoke, write_json));
     }
 
     if !args.iter().any(|a| a == "--no-obs") {
@@ -331,6 +341,98 @@ fn write_fastpath_blob(rows: &[FastpathRow], brows: &[BatchRow]) {
     }
     let report = rec.into_report();
     let path = "BENCH_closure.json";
+    match std::fs::write(path, report.to_json().pretty()) {
+        Ok(()) => eprintln!("metrics: wrote {path}"),
+        Err(e) => eprintln!("metrics: could not write {path}: {e}"),
+    }
+}
+
+fn run_demand(smoke: bool, write_json: bool) {
+    banner(&format!(
+        "demand — goal-directed slicing + early exit vs full saturation{}",
+        if smoke { " (smoke sizes)" } else { "" }
+    ));
+    println!(
+        "{:<12} {:>6} {:>8} {:>10} {:>12} {:>10} {:>12} {:>8} {:>6} {:>10}",
+        "family",
+        "param",
+        "nodes",
+        "full terms",
+        "demand terms",
+        "full (us)",
+        "demand (us)",
+        "speedup",
+        "early",
+        "identical"
+    );
+    let rows = demand_vs_full(smoke);
+    for r in &rows {
+        println!(
+            "{:<12} {:>6} {:>8} {:>10} {:>12} {:>10} {:>12} {:>7.2}x {:>6} {:>10}",
+            r.family,
+            r.param,
+            r.nodes,
+            r.full_terms,
+            r.demand_terms,
+            r.full_micros,
+            r.demand_micros,
+            r.speedup(),
+            if r.early_exit { "yes" } else { "no" },
+            if r.identical { "yes" } else { "NO" },
+        );
+        assert!(r.identical, "{}/{}: verdicts diverged", r.family, r.param);
+    }
+
+    let b = demand_batch(smoke);
+    println!();
+    println!(
+        "batch driver: {} user(s) x {} requirement(s), serial, full vs demand",
+        b.users, b.requirements
+    );
+    println!(
+        "  full saturation : {:>10} terms {:>12} us",
+        b.full_terms, b.full_micros
+    );
+    println!(
+        "  demand-driven   : {:>10} terms {:>12} us   ({:.2}x)",
+        b.demand_terms,
+        b.demand_micros,
+        b.speedup()
+    );
+    assert!(b.identical, "batch: verdicts diverged");
+
+    if write_json {
+        write_demand_blob(&rows, &b);
+    }
+}
+
+/// Emit `BENCH_demand.json`: per-family full-vs-demand closure timings and
+/// terms-derived counts (with the verdict-identity bit), plus the batch
+/// full-vs-demand measurement.
+fn write_demand_blob(rows: &[DemandRow], b: &DemandBatchRow) {
+    let mut rec = Recorder::new();
+    for r in rows {
+        let key = format!("demand.{}.{}", r.family, r.param);
+        rec.counter(&format!("{key}.nodes"), r.nodes as u64);
+        rec.counter(&format!("{key}.full_terms"), r.full_terms as u64);
+        rec.counter(&format!("{key}.demand_terms"), r.demand_terms as u64);
+        rec.counter(&format!("{key}.full_micros"), r.full_micros as u64);
+        rec.counter(&format!("{key}.demand_micros"), r.demand_micros as u64);
+        rec.counter(&format!("{key}.early_exit"), u64::from(r.early_exit));
+        rec.counter(&format!("{key}.identical"), u64::from(r.identical));
+        rec.gauge(&format!("{key}.speedup"), r.speedup());
+    }
+    let key = "demand.batch";
+    rec.counter(&format!("{key}.users"), b.users as u64);
+    rec.counter(&format!("{key}.requirements"), b.requirements as u64);
+    rec.counter(&format!("{key}.full_terms"), b.full_terms);
+    rec.counter(&format!("{key}.demand_terms"), b.demand_terms);
+    rec.counter(&format!("{key}.full_micros"), b.full_micros as u64);
+    rec.counter(&format!("{key}.demand_micros"), b.demand_micros as u64);
+    rec.counter(&format!("{key}.identical"), u64::from(b.identical));
+    rec.gauge(&format!("{key}.speedup"), b.speedup());
+    let report = rec.into_report();
+    let path = "BENCH_demand.json";
     match std::fs::write(path, report.to_json().pretty()) {
         Ok(()) => eprintln!("metrics: wrote {path}"),
         Err(e) => eprintln!("metrics: could not write {path}: {e}"),

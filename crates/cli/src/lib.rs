@@ -24,7 +24,9 @@
 #![warn(missing_docs)]
 
 use oodb_lang::{check_schema, parse_schema, Schema};
-use secflow::algorithm::{analyze_batch, occurrences, AnalysisConfig, BatchOptions, BatchOutcome};
+use secflow::algorithm::{
+    analyze_batch_cached, occurrences, AnalysisConfig, BatchOptions, BatchOutcome, ClosureCache,
+};
 use secflow::closure::{Closure, ProofMode};
 use secflow::report::{render_derivation, render_term, Verdict};
 use secflow::stats::ClosureStats;
@@ -34,11 +36,12 @@ use secflow_dynamic::strategy::StrategySpec;
 use secflow_dynamic::AttackerConfig;
 use secflow_obs::{MetricsSink, Phases, Recorder};
 use std::fmt::Write as _;
+use std::sync::OnceLock;
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
-    /// `check <file> [--explain] [--jobs N]`
+    /// `check <file> [--explain] [--jobs N] [--full-saturation]`
     Check {
         /// Policy file path.
         file: String,
@@ -46,6 +49,10 @@ pub enum Command {
         explain: bool,
         /// Worker threads for the batch analysis driver (1 = serial).
         jobs: usize,
+        /// Saturate the full closure instead of the demand-driven slice.
+        /// Verdicts and output are identical; this is the escape hatch for
+        /// cross-checking the demand engine.
+        full_saturation: bool,
     },
     /// `unfold <file> --user <name>`
     Unfold {
@@ -108,9 +115,12 @@ secflow — static detection of security flaws in object-oriented databases
          (Tajima, SIGMOD 1996)
 
 USAGE:
-  secflow check  <policy-file> [--explain] [--jobs N]
+  secflow check  <policy-file> [--explain] [--jobs N] [--full-saturation]
                                              run every `require`; exit 1 on flaws
-                                             (--jobs fans user groups across N threads)
+                                             (--jobs fans user groups across N threads;
+                                             --full-saturation disables the demand-driven
+                                             engine and computes the complete closure —
+                                             verdicts are identical either way)
   secflow unfold <policy-file> --user <u>    print the numbered unfolding S'(F)
   secflow attack <policy-file> [--steps N]   try to realise each flaw concretely
   secflow fix    <policy-file>               suggest minimal revocations per flaw
@@ -163,10 +173,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut file = None;
             let mut explain = false;
             let mut jobs = 1usize;
+            let mut full_saturation = false;
             let mut args = it.peekable();
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--explain" => explain = true,
+                    "--full-saturation" => full_saturation = true,
                     "--jobs" => {
                         jobs = args
                             .next()
@@ -178,7 +190,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         }
                     }
                     _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
-                    other => return Err(format!("unexpected argument `{other}`")),
+                    other => {
+                        return Err(format!(
+                            "unexpected argument `{other}` (check accepts --explain, \
+                             --jobs N, --full-saturation)"
+                        ))
+                    }
                 }
             }
             let file = file.ok_or("check: missing policy file")?;
@@ -186,6 +203,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 file,
                 explain,
                 jobs,
+                full_saturation,
             })
         }
         "unfold" => {
@@ -255,8 +273,13 @@ pub fn run_on_source(cmd: &Command, src: &str) -> (String, i32) {
             Ok(schema) => (schema.to_string(), 0),
             Err(e) => (format!("error: {e}\n"), 2),
         },
-        Command::Check { explain, jobs, .. } => match load_str(src) {
-            Ok(schema) => check_report(&schema, *explain, *jobs),
+        Command::Check {
+            explain,
+            jobs,
+            full_saturation,
+            ..
+        } => match load_str(src) {
+            Ok(schema) => check_report(&schema, *explain, *jobs, *full_saturation),
             Err(e) => (format!("error: {e}\n"), 2),
         },
         Command::Unfold { user, .. } => match load_str(src) {
@@ -397,9 +420,12 @@ fn instrumented(cmd: &Command, src: &str, trace: bool, col: &mut Collected) -> (
     match cmd {
         Command::Help => (USAGE.to_owned(), 0),
         Command::Fmt { .. } => (schema.to_string(), 0),
-        Command::Check { explain, jobs, .. } => {
-            check_report_instrumented(&schema, *explain, *jobs, trace, col)
-        }
+        Command::Check {
+            explain,
+            jobs,
+            full_saturation,
+            ..
+        } => check_report_instrumented(&schema, *explain, *jobs, *full_saturation, trace, col),
         Command::Unfold { user, .. } => col.phases.time("unfold", || unfold_report(&schema, user)),
         Command::Attack { steps, .. } => {
             col.phases.time("attack", || attack_report(&schema, *steps))
@@ -408,11 +434,27 @@ fn instrumented(cmd: &Command, src: &str, trace: bool, col: &mut Collected) -> (
     }
 }
 
+/// The process-wide closure cache behind plain `check` runs. Repeated
+/// checks of the same policy (shell loops, watch modes, editor
+/// integrations) skip unfolding and saturation entirely.
+fn closure_cache() -> &'static ClosureCache {
+    static CACHE: OnceLock<ClosureCache> = OnceLock::new();
+    CACHE.get_or_init(ClosureCache::default)
+}
+
 /// Run the batch driver over every `require` of the policy. `--explain`
 /// needs proof-carrying closures (and keeps them as artifacts so the
 /// rendering reuses the group's closure instead of recomputing it per
-/// requirement); the plain path runs membership-only.
-fn check_batch(schema: &Schema, explain: bool, jobs: usize, stats: bool) -> BatchOutcome {
+/// requirement); the plain path runs the demand-driven engine through the
+/// process-wide [`ClosureCache`]. `--full-saturation` forces the complete
+/// closure (and bypasses the cache of partial ones).
+fn check_batch(
+    schema: &Schema,
+    explain: bool,
+    jobs: usize,
+    full_saturation: bool,
+    stats: bool,
+) -> BatchOutcome {
     let opts = BatchOptions {
         jobs,
         proofs: if explain {
@@ -422,12 +464,15 @@ fn check_batch(schema: &Schema, explain: bool, jobs: usize, stats: bool) -> Batc
         },
         keep_artifacts: explain,
         collect_stats: stats,
+        full_saturation,
     };
-    analyze_batch(
+    let cache = (!explain && !stats && !full_saturation).then(closure_cache);
+    analyze_batch_cached(
         schema,
         &schema.requirements,
         &AnalysisConfig::default(),
         &opts,
+        cache,
     )
 }
 
@@ -451,6 +496,7 @@ fn check_report_instrumented(
     schema: &Schema,
     explain: bool,
     jobs: usize,
+    full_saturation: bool,
     trace: bool,
     col: &mut Collected,
 ) -> (String, i32) {
@@ -462,7 +508,7 @@ fn check_report_instrumented(
         );
         return (out, 0);
     }
-    let outcome = check_batch(schema, explain, jobs, true);
+    let outcome = check_batch(schema, explain, jobs, full_saturation, true);
     let group_idx = group_of(&outcome, schema.requirements.len());
     for g in &outcome.groups {
         for (name, d) in g.stats.phases.iter() {
@@ -519,7 +565,12 @@ fn check_report_instrumented(
     (out, i32::from(violated > 0))
 }
 
-fn check_report(schema: &Schema, explain: bool, jobs: usize) -> (String, i32) {
+fn check_report(
+    schema: &Schema,
+    explain: bool,
+    jobs: usize,
+    full_saturation: bool,
+) -> (String, i32) {
     let mut out = String::new();
     if schema.requirements.is_empty() {
         let _ = writeln!(
@@ -528,7 +579,7 @@ fn check_report(schema: &Schema, explain: bool, jobs: usize) -> (String, i32) {
         );
         return (out, 0);
     }
-    let outcome = check_batch(schema, explain, jobs, false);
+    let outcome = check_batch(schema, explain, jobs, full_saturation, false);
     let group_idx = group_of(&outcome, schema.requirements.len());
     let mut violated = 0usize;
     for (i, req) in schema.requirements.iter().enumerate() {
@@ -728,7 +779,8 @@ mod tests {
             Ok(Command::Check {
                 file: "p.sfl".into(),
                 explain: true,
-                jobs: 1
+                jobs: 1,
+                full_saturation: false,
             })
         );
         assert_eq!(
@@ -757,7 +809,8 @@ mod tests {
             Ok(Command::Check {
                 file: "p.sfl".into(),
                 explain: false,
-                jobs: 4
+                jobs: 4,
+                full_saturation: false,
             })
         );
         assert!(parse_args(&s(&["check", "p.sfl", "--jobs"])).is_err());
@@ -766,16 +819,87 @@ mod tests {
     }
 
     #[test]
+    fn full_saturation_flag_parsing() {
+        assert_eq!(
+            parse_args(&s(&["check", "p.sfl", "--full-saturation"])),
+            Ok(Command::Check {
+                file: "p.sfl".into(),
+                explain: false,
+                jobs: 1,
+                full_saturation: true,
+            })
+        );
+        // Unknown check flags mention the escape hatch.
+        let err = parse_args(&s(&["check", "p.sfl", "--full"])).unwrap_err();
+        assert!(err.contains("--full-saturation"), "{err}");
+    }
+
+    #[test]
+    fn full_saturation_output_is_byte_identical() {
+        let demand = Command::Check {
+            file: "-".into(),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+        };
+        let full = Command::Check {
+            file: "-".into(),
+            explain: false,
+            jobs: 1,
+            full_saturation: true,
+        };
+        assert_eq!(
+            run_on_source(&demand, POLICY),
+            run_on_source(&full, POLICY),
+            "--full-saturation must not change stdout or the exit code"
+        );
+    }
+
+    #[test]
+    fn explain_works_with_full_saturation() {
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: true,
+            jobs: 1,
+            full_saturation: true,
+        };
+        let (report, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 1);
+        assert!(report.contains("witness ti["));
+        assert!(report.contains("(axiom for =)"));
+    }
+
+    #[test]
+    fn repeated_checks_share_the_process_cache() {
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+        };
+        let first = run_on_source(&cmd, POLICY);
+        let hits_before = closure_cache().stats().0;
+        let second = run_on_source(&cmd, POLICY);
+        assert_eq!(first, second);
+        assert!(
+            closure_cache().stats().0 > hits_before,
+            "second identical check must be served from the cache"
+        );
+    }
+
+    #[test]
     fn parallel_check_is_byte_identical() {
         let serial = Command::Check {
             file: "-".into(),
             explain: true,
             jobs: 1,
+            full_saturation: false,
         };
         let parallel = Command::Check {
             file: "-".into(),
             explain: true,
             jobs: 4,
+            full_saturation: false,
         };
         assert_eq!(
             run_on_source(&serial, POLICY),
@@ -802,7 +926,8 @@ mod tests {
             Command::Check {
                 file: "p.sfl".into(),
                 explain: false,
-                jobs: 1
+                jobs: 1,
+                full_saturation: false,
             }
         );
         assert_eq!(obs.metrics, Some(MetricsFormat::Json));
@@ -827,6 +952,7 @@ mod tests {
             file: "-".into(),
             explain: false,
             jobs: 1,
+            full_saturation: false,
         };
         let (plain, plain_code) = run_on_source(&cmd, POLICY);
         let out = run_on_source_with_obs(
@@ -855,6 +981,7 @@ mod tests {
             file: "-".into(),
             explain: false,
             jobs: 1,
+            full_saturation: false,
         };
         let out = run_on_source_with_obs(
             &cmd,
@@ -942,6 +1069,7 @@ mod tests {
             file: "-".into(),
             explain: false,
             jobs: 1,
+            full_saturation: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -956,6 +1084,7 @@ mod tests {
             file: "-".into(),
             explain: true,
             jobs: 1,
+            full_saturation: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -1022,6 +1151,7 @@ mod tests {
             file: "-".into(),
             explain: false,
             jobs: 1,
+            full_saturation: false,
         };
         let (report, code) = run_on_source(&cmd, "class C { x: bogus_type }");
         assert_eq!(code, 2);

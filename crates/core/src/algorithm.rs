@@ -23,6 +23,7 @@
 //!   capabilities on the returned value are read off the body root.
 
 use crate::closure::{Closure, ClosureError, ProofMode, DEFAULT_TERM_LIMIT};
+use crate::demand::{goal_exprs, DemandPlan};
 use crate::report::{Occurrence, OccurrenceKind, Verdict, Violation};
 use crate::rules::RuleConfig;
 use crate::stats::ClosureStats;
@@ -32,10 +33,12 @@ use oodb_lang::requirement::{Cap, Requirement};
 use oodb_lang::Schema;
 use oodb_model::{FnRef, Type, UserName};
 use secflow_obs::{MetricsSink, Phases};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tunables for one analysis run.
@@ -116,7 +119,33 @@ pub fn analyze(schema: &Schema, req: &Requirement) -> Result<Verdict, AnalysisEr
 
 /// Run `A(R)` with explicit configuration. The schema must already be
 /// type-checked (see [`oodb_lang::check_schema`]).
+///
+/// This is the demand-driven path: saturation is restricted to the
+/// requirement's relevance slice ([`DemandPlan`]) and stops as soon as
+/// every target occurrence's verdict is decided. Verdicts — including
+/// witness terms — are identical to [`analyze_full`], which saturates the
+/// whole program.
 pub fn analyze_with_config(
+    schema: &Schema,
+    req: &Requirement,
+    config: &AnalysisConfig,
+) -> Result<Verdict, AnalysisError> {
+    let caps = schema
+        .user(&req.user)
+        .ok_or_else(|| AnalysisError::UnknownUser(req.user.to_string()))?;
+    let prog = NProgram::unfold_with_limit(schema, caps, config.node_limit)?;
+    let occs = occurrences(&prog, &req.target);
+    let plan = DemandPlan::build(&prog, [(req, occs.as_slice())]);
+    let closure = Closure::compute_demand(&prog, &config.rules, config.term_limit, &plan)?;
+    Ok(check_with_occurrences(&prog, &closure, req, &occs))
+}
+
+/// Run `A(R)` with full saturation: the closure of **all** derivable terms,
+/// exactly as the paper states `A(R)`. [`analyze_with_config`] reaches the
+/// same verdict by deriving only the slice-restricted subset; this
+/// entry point is the escape hatch behind the CLI's `--full-saturation`
+/// flag and the oracle side of the demand differential tests.
+pub fn analyze_full(
     schema: &Schema,
     req: &Requirement,
     config: &AnalysisConfig,
@@ -175,20 +204,16 @@ pub fn analyze_with_stats(
             NProgram::unfold_with_limit(schema, caps, config.node_limit)
         })?;
         stats.program_nodes = prog.iter().count() as u64;
+        let occs = occurrences(&prog, &req.target);
         let (closure, cstats) = stats.phases.time("closure", || {
-            Closure::compute_with_stats_mode(
-                &prog,
-                &config.rules,
-                config.term_limit,
-                ProofMode::Off,
-            )
+            let plan = DemandPlan::build(&prog, [(req, occs.as_slice())]);
+            Closure::compute_demand_with_stats(&prog, &config.rules, config.term_limit, &plan)
         });
         stats.closure = cstats;
         let closure = closure?;
         Ok(stats.phases.time("check", || {
-            let occs = occurrences(&prog, &req.target);
             stats.occurrences_checked = occs.len() as u64;
-            check_against(&prog, &closure, req)
+            check_with_occurrences(&prog, &closure, req, &occs)
         }))
     })();
     (result, stats)
@@ -235,11 +260,23 @@ pub fn check_against<C: CapabilityView>(
     closure: &C,
     req: &Requirement,
 ) -> Verdict {
+    check_with_occurrences(prog, closure, req, &occurrences(prog, &req.target))
+}
+
+/// [`check_against`] when the target's occurrence list is already known —
+/// the batch driver memoizes `occurrences(prog, target)` per group so that
+/// many requirements on the same target enumerate the program once.
+pub fn check_with_occurrences<C: CapabilityView>(
+    prog: &NProgram,
+    closure: &C,
+    req: &Requirement,
+    occs: &[Occurrence],
+) -> Verdict {
     let mut violations = Vec::new();
-    for occ in occurrences(prog, &req.target) {
-        if let Some(witnesses) = occurrence_violates(prog, closure, req, &occ) {
+    for occ in occs {
+        if let Some(witnesses) = occurrence_violates(prog, closure, req, occ) {
             violations.push(Violation {
-                occurrence: occ,
+                occurrence: occ.clone(),
                 witnesses,
             });
         }
@@ -393,6 +430,13 @@ pub struct BatchOptions {
     pub keep_artifacts: bool,
     /// Collect [`ClosureStats`] and per-phase timings per group.
     pub collect_stats: bool,
+    /// Force full saturation even when the group is eligible for the
+    /// demand-driven engine. Verdicts are identical either way; this is the
+    /// escape hatch (CLI `--full-saturation`) and the oracle mode for the
+    /// demand differential tests. Groups needing proofs or kept artifacts
+    /// saturate fully regardless — a partial closure cannot back
+    /// `--explain`-style derivation rendering for arbitrary terms.
+    pub full_saturation: bool,
 }
 
 impl Default for BatchOptions {
@@ -402,6 +446,7 @@ impl Default for BatchOptions {
             proofs: ProofMode::Off,
             keep_artifacts: false,
             collect_stats: false,
+            full_saturation: false,
         }
     }
 }
@@ -442,6 +487,299 @@ pub struct BatchOutcome {
     pub jobs_used: usize,
 }
 
+/// A double-hash fingerprint of a canonical text rendering. Two 64-bit
+/// `DefaultHasher` runs with different seeds: collisions would require both
+/// to collide simultaneously, which is good enough for a cache key derived
+/// from exact pretty-printed inputs.
+fn fingerprint(tag: &str, text: &str) -> (u64, u64) {
+    let mut h1 = DefaultHasher::new();
+    tag.hash(&mut h1);
+    text.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    0x9e37_79b9_7f4a_7c15_u64.hash(&mut h2);
+    tag.hash(&mut h2);
+    text.hash(&mut h2);
+    (h1.finish(), h2.finish())
+}
+
+/// Cache key: schema, capability-list and configuration fingerprints. The
+/// user's *name* is deliberately excluded — two users granted identical
+/// capability lists unfold to the same `S'(F)` and saturate to the same
+/// closure, so they share an entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CacheKey {
+    schema_fp: (u64, u64),
+    caps_fp: (u64, u64),
+    config_fp: (u64, u64),
+}
+
+/// One cached partial closure: the shared unfolding, the slice-restricted
+/// closure, which requirement shapes it was computed for, and the
+/// occurrence memo accumulated so far.
+#[derive(Clone)]
+struct CacheEntry {
+    prog: Arc<NProgram>,
+    closure: Arc<Closure>,
+    /// Requirement shapes the plan was built from (user field ignored).
+    covered: Vec<Requirement>,
+    /// Memoized `occurrences(prog, target)` results.
+    occs: Vec<(FnRef, Arc<Vec<Occurrence>>)>,
+    /// The plan the closure was computed under, for slice-coverage hits.
+    plan: Arc<DemandPlan>,
+    /// Did the sliced worklist drain (no early exit)? A drained closure
+    /// answers *every* query whose goals lie inside the slice; an
+    /// early-exited one only answers the goals it was tracking.
+    drained: bool,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    entries: Vec<(CacheKey, CacheEntry)>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A cross-call cache of demand-driven closures, keyed by
+/// `(schema, capability list, analysis config)` fingerprints.
+///
+/// `A(R)`'s expensive phases depend only on that triple plus the goal set;
+/// repeated [`analyze_batch_cached`] calls against the same policy (a
+/// REPL-style CLI session, a watch loop, the advisor's repair search)
+/// rediscover the same closures. A hit requires the cached run to *cover*
+/// the new requirements: either the same requirement shape was analyzed
+/// before, or the cached worklist drained and every new goal expression
+/// lies inside the cached slice (the partial closure then already contains
+/// every term the verdict can observe). Anything else recomputes — against
+/// the cached unfolding — with the union of old and new goals, and the
+/// refreshed entry replaces the old one.
+///
+/// Bounded FIFO: oldest entry evicted past `capacity`. Thread-safe; lookups
+/// hold the lock only briefly and saturation runs outside it (concurrent
+/// misses on one key may duplicate work, last writer wins).
+pub struct ClosureCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl ClosureCache {
+    /// A cache holding at most `capacity` closures (minimum 1).
+    pub fn new(capacity: usize) -> ClosureCache {
+        ClosureCache {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// `(hits, misses)` over the cache's lifetime. A "hit" means a group
+    /// was served without any saturation; recompute-with-union counts as a
+    /// miss even though it reuses the cached unfolding.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.lock();
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached closures.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().expect("no panics hold the cache lock")
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<CacheEntry> {
+        let inner = self.lock();
+        inner
+            .entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, e)| e.clone())
+    }
+
+    fn note(&self, hit: bool) {
+        let mut inner = self.lock();
+        if hit {
+            inner.hits += 1;
+        } else {
+            inner.misses += 1;
+        }
+    }
+
+    fn store(&self, key: CacheKey, entry: CacheEntry) {
+        let mut inner = self.lock();
+        if let Some(slot) = inner.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = entry;
+            return;
+        }
+        inner.entries.push((key, entry));
+        if inner.entries.len() > self.capacity {
+            inner.entries.remove(0);
+        }
+    }
+}
+
+impl Default for ClosureCache {
+    fn default() -> ClosureCache {
+        ClosureCache::new(64)
+    }
+}
+
+impl fmt::Debug for ClosureCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (hits, misses) = self.stats();
+        f.debug_struct("ClosureCache")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("hits", &hits)
+            .field("misses", &misses)
+            .finish()
+    }
+}
+
+/// Do two requirements ask the same question of the closure? The user is
+/// ignored: within one cache entry the capability list is already fixed.
+fn same_goals(a: &Requirement, b: &Requirement) -> bool {
+    a.target == b.target && a.arg_caps == b.arg_caps && a.ret_caps == b.ret_caps
+}
+
+/// Can this entry answer all of `reqs` without recomputing?
+fn entry_covers(entry: &CacheEntry, reqs: &[&Requirement]) -> bool {
+    reqs.iter().all(|r| {
+        if entry.covered.iter().any(|c| same_goals(c, r)) {
+            return true;
+        }
+        if !entry.drained {
+            return false;
+        }
+        // Drained closure: correct for any goal inside the cached slice.
+        let occs = entry
+            .occs
+            .iter()
+            .find(|(t, _)| *t == r.target)
+            .map(|(_, o)| Arc::clone(o))
+            .unwrap_or_else(|| Arc::new(occurrences(&entry.prog, &r.target)));
+        goal_exprs(&entry.prog, r, &occs)
+            .iter()
+            .all(|&e| entry.plan.covers_expr(e))
+    })
+}
+
+/// Shared per-batch cache context: the cache plus the fingerprints that are
+/// constant across groups (schema and config), computed once per call.
+struct CacheCtx<'a> {
+    cache: &'a ClosureCache,
+    schema_fp: (u64, u64),
+    config_fp: (u64, u64),
+}
+
+/// Serve one group's shared phases through the cache: return the unfolding,
+/// the closure and the occurrence memo, recomputing (with the union of
+/// cached and new goals) only when the cached entry cannot cover the
+/// group's requirements.
+fn demand_shared_cached(
+    ctx: &CacheCtx<'_>,
+    key: CacheKey,
+    schema: &Schema,
+    user: &UserName,
+    config: &AnalysisConfig,
+    group_reqs: &[&Requirement],
+) -> Result<(Arc<NProgram>, Arc<Closure>, OccMemo), AnalysisError> {
+    let caps = schema
+        .user(user)
+        .ok_or_else(|| AnalysisError::UnknownUser(user.to_string()))?;
+    let prior = ctx.cache.lookup(&key);
+    if let Some(entry) = &prior {
+        if entry_covers(entry, group_reqs) {
+            ctx.cache.note(true);
+            return Ok((
+                Arc::clone(&entry.prog),
+                Arc::clone(&entry.closure),
+                OccMemo::from_entries(entry.occs.clone()),
+            ));
+        }
+    }
+    ctx.cache.note(false);
+    let (prog, mut memo, mut covered) = match prior {
+        Some(entry) => (entry.prog, OccMemo::from_entries(entry.occs), entry.covered),
+        None => (
+            Arc::new(NProgram::unfold_with_limit(
+                schema,
+                caps,
+                config.node_limit,
+            )?),
+            OccMemo::default(),
+            Vec::new(),
+        ),
+    };
+    for r in group_reqs {
+        if !covered.iter().any(|c| same_goals(c, r)) {
+            covered.push((*r).clone());
+        }
+    }
+    let plan = {
+        let pairs: Vec<(&Requirement, Arc<Vec<Occurrence>>)> = covered
+            .iter()
+            .map(|r| {
+                let occs = memo.get(&prog, &r.target);
+                (r, occs)
+            })
+            .collect();
+        DemandPlan::build(&prog, pairs.iter().map(|(r, o)| (*r, o.as_slice())))
+    };
+    let closure = Arc::new(Closure::compute_demand(
+        &prog,
+        &config.rules,
+        config.term_limit,
+        &plan,
+    )?);
+    let drained = !closure.early_exited();
+    ctx.cache.store(
+        key,
+        CacheEntry {
+            prog: Arc::clone(&prog),
+            closure: Arc::clone(&closure),
+            covered,
+            occs: memo.entries().to_vec(),
+            plan: Arc::new(plan),
+            drained,
+        },
+    );
+    Ok((prog, closure, memo))
+}
+
+/// Per-group occurrence memo: `occurrences(prog, target)` depends only on
+/// the program and the target, so requirements sharing a target share one
+/// enumeration. Linear scan — a group rarely names more than a handful of
+/// distinct targets.
+#[derive(Default)]
+struct OccMemo {
+    entries: Vec<(FnRef, Arc<Vec<Occurrence>>)>,
+}
+
+impl OccMemo {
+    fn from_entries(entries: Vec<(FnRef, Arc<Vec<Occurrence>>)>) -> OccMemo {
+        OccMemo { entries }
+    }
+
+    fn entries(&self) -> &[(FnRef, Arc<Vec<Occurrence>>)] {
+        &self.entries
+    }
+
+    fn get(&mut self, prog: &NProgram, target: &FnRef) -> Arc<Vec<Occurrence>> {
+        if let Some((_, occs)) = self.entries.iter().find(|(t, _)| t == target) {
+            return Arc::clone(occs);
+        }
+        let occs = Arc::new(occurrences(prog, target));
+        self.entries.push((target.clone(), Arc::clone(&occs)));
+        occs
+    }
+}
+
 /// Analyze a batch of requirements, unfolding and saturating **once per
 /// user** instead of once per requirement.
 ///
@@ -463,6 +801,28 @@ pub fn analyze_batch(
     config: &AnalysisConfig,
     opts: &BatchOptions,
 ) -> BatchOutcome {
+    analyze_batch_cached(schema, reqs, config, opts, None)
+}
+
+/// [`analyze_batch`] with an optional cross-call [`ClosureCache`].
+///
+/// Cache reuse applies only to groups that run demand-driven without stats
+/// collection (`!full_saturation`, `proofs == Off`, `!keep_artifacts`,
+/// `!collect_stats`) — full closures, proof-carrying closures and
+/// per-group counters are request-specific and bypass it. Passing `None`
+/// is exactly [`analyze_batch`].
+pub fn analyze_batch_cached(
+    schema: &Schema,
+    reqs: &[Requirement],
+    config: &AnalysisConfig,
+    opts: &BatchOptions,
+    cache: Option<&ClosureCache>,
+) -> BatchOutcome {
+    let ctx = cache.map(|cache| CacheCtx {
+        cache,
+        schema_fp: fingerprint("schema", &schema.to_string()),
+        config_fp: fingerprint("config", &format!("{config:?}")),
+    });
     // Group requirement indexes by user, first-seen order.
     let mut group_of: HashMap<UserName, usize> = HashMap::new();
     let mut grouped: Vec<(UserName, Vec<usize>)> = Vec::new();
@@ -481,7 +841,15 @@ pub fn analyze_batch(
 
     if jobs <= 1 {
         for (user, idxs) in &grouped {
-            outs.push(Some(run_group(schema, reqs, config, opts, user, idxs)));
+            outs.push(Some(run_group(
+                schema,
+                reqs,
+                config,
+                opts,
+                user,
+                idxs,
+                ctx.as_ref(),
+            )));
         }
     } else {
         // Work-stealing by atomic index: each worker pulls the next
@@ -497,7 +865,7 @@ pub fn analyze_batch(
                         break;
                     }
                     let (user, idxs) = &grouped[gi];
-                    let out = run_group(schema, reqs, config, opts, user, idxs);
+                    let out = run_group(schema, reqs, config, opts, user, idxs, ctx.as_ref());
                     *slots[gi].lock().expect("no panics hold this lock") = Some(out);
                 });
             }
@@ -531,6 +899,39 @@ pub fn analyze_batch(
 /// requirement's index in the caller's input order.
 type GroupVerdicts = Vec<(usize, Result<Verdict, AnalysisError>)>;
 
+/// A group's shared unfolding and closure: owned when computed for this
+/// group alone, `Arc`-shared when served from a [`ClosureCache`]. The
+/// owned pair is boxed to keep the variants a pointer apart in size.
+enum SharedArtifacts {
+    Owned(Box<(NProgram, Closure)>),
+    Shared(Arc<NProgram>, Arc<Closure>),
+}
+
+impl SharedArtifacts {
+    fn prog(&self) -> &NProgram {
+        match self {
+            SharedArtifacts::Owned(b) => &b.0,
+            SharedArtifacts::Shared(p, _) => p,
+        }
+    }
+
+    fn closure(&self) -> &Closure {
+        match self {
+            SharedArtifacts::Owned(b) => &b.1,
+            SharedArtifacts::Shared(_, c) => c,
+        }
+    }
+
+    fn into_owned(self) -> Option<(NProgram, Closure)> {
+        match self {
+            SharedArtifacts::Owned(b) => Some(*b),
+            // keep_artifacts disables both the demand and cache paths, so
+            // a Shared group never has artifacts requested.
+            SharedArtifacts::Shared(..) => None,
+        }
+    }
+}
+
 /// The shared phases plus per-requirement checks for one user group.
 fn run_group(
     schema: &Schema,
@@ -539,6 +940,7 @@ fn run_group(
     opts: &BatchOptions,
     user: &UserName,
     req_indexes: &[usize],
+    cache: Option<&CacheCtx<'_>>,
 ) -> (BatchGroup, GroupVerdicts) {
     let mut group = BatchGroup {
         user: user.clone(),
@@ -548,7 +950,69 @@ fn run_group(
         check_occurrences: Vec::with_capacity(req_indexes.len()),
         artifacts: None,
     };
-    let shared: Result<(NProgram, Closure), AnalysisError> = (|| {
+    // Demand-driven saturation answers exactly the goal queries the checks
+    // below will make; anything that inspects the closure beyond those
+    // queries (proof rendering, kept artifacts) needs the full fixpoint.
+    let use_demand = !opts.full_saturation && opts.proofs == ProofMode::Off && !opts.keep_artifacts;
+    let mut memo = OccMemo::default();
+    let shared: Result<SharedArtifacts, AnalysisError> = (|| {
+        if use_demand {
+            if let Some(ctx) = cache.filter(|_| !opts.collect_stats) {
+                let key = CacheKey {
+                    schema_fp: ctx.schema_fp,
+                    caps_fp: {
+                        let caps = schema
+                            .user(user)
+                            .ok_or_else(|| AnalysisError::UnknownUser(user.to_string()))?;
+                        fingerprint("caps", &caps.to_string())
+                    },
+                    config_fp: ctx.config_fp,
+                };
+                let group_reqs: Vec<&Requirement> = req_indexes.iter().map(|&i| &reqs[i]).collect();
+                let (prog, closure, cached_memo) = group.stats.phases.time("closure", || {
+                    demand_shared_cached(ctx, key, schema, user, config, &group_reqs)
+                })?;
+                group.stats.program_nodes = prog.len() as u64;
+                memo = cached_memo;
+                return Ok(SharedArtifacts::Shared(prog, closure));
+            }
+            let caps = schema
+                .user(user)
+                .ok_or_else(|| AnalysisError::UnknownUser(user.to_string()))?;
+            let prog = group.stats.phases.time("unfold", || {
+                NProgram::unfold_with_limit(schema, caps, config.node_limit)
+            })?;
+            group.stats.program_nodes = prog.len() as u64;
+            let pairs: Vec<(usize, Arc<Vec<Occurrence>>)> = req_indexes
+                .iter()
+                .map(|&i| (i, memo.get(&prog, &reqs[i].target)))
+                .collect();
+            let closure = if opts.collect_stats {
+                let (c, cstats) = group.stats.phases.time("closure", || {
+                    let plan = DemandPlan::build(
+                        &prog,
+                        pairs.iter().map(|(i, o)| (&reqs[*i], o.as_slice())),
+                    );
+                    Closure::compute_demand_with_stats(
+                        &prog,
+                        &config.rules,
+                        config.term_limit,
+                        &plan,
+                    )
+                });
+                group.stats.closure = cstats;
+                c?
+            } else {
+                group.stats.phases.time("closure", || {
+                    let plan = DemandPlan::build(
+                        &prog,
+                        pairs.iter().map(|(i, o)| (&reqs[*i], o.as_slice())),
+                    );
+                    Closure::compute_demand(&prog, &config.rules, config.term_limit, &plan)
+                })?
+            };
+            return Ok(SharedArtifacts::Owned(Box::new((prog, closure))));
+        }
         let caps = schema
             .user(user)
             .ok_or_else(|| AnalysisError::UnknownUser(user.to_string()))?;
@@ -572,7 +1036,7 @@ fn run_group(
                 Closure::compute_with_mode(&prog, &config.rules, config.term_limit, opts.proofs)
             })?
         };
-        Ok((prog, closure))
+        Ok(SharedArtifacts::Owned(Box::new((prog, closure))))
     })();
 
     let mut verdicts = Vec::with_capacity(req_indexes.len());
@@ -582,15 +1046,17 @@ fn run_group(
                 verdicts.push((i, Err(e.clone())));
             }
         }
-        Ok((prog, closure)) => {
+        Ok(shared) => {
+            let prog = shared.prog();
+            let closure = shared.closure();
             let mut check_total = Duration::ZERO;
             for &i in req_indexes {
                 let req = &reqs[i];
                 let start = Instant::now();
-                let occs = occurrences(&prog, &req.target);
+                let occs = memo.get(prog, &req.target);
                 group.check_occurrences.push(occs.len() as u64);
                 group.stats.occurrences_checked += occs.len() as u64;
-                let v = check_against(&prog, &closure, req);
+                let v = check_with_occurrences(prog, closure, req, &occs);
                 let elapsed = start.elapsed();
                 check_total += elapsed;
                 group.check_times.push(elapsed);
@@ -598,7 +1064,7 @@ fn run_group(
             }
             group.stats.phases.add("check", check_total);
             if opts.keep_artifacts {
-                group.artifacts = Some((prog, closure));
+                group.artifacts = shared.into_owned();
             }
         }
     }
@@ -875,6 +1341,7 @@ mod tests {
             proofs: ProofMode::Full,
             keep_artifacts: true,
             collect_stats: true,
+            full_saturation: false,
         };
         let out = analyze_batch(&s, &reqs, &AnalysisConfig::default(), &opts);
         assert_eq!(out.jobs_used, 2);
@@ -894,6 +1361,162 @@ mod tests {
         let (_, clerk_closure) = out.groups[0].artifacts.as_ref().unwrap();
         let witness = clerk_closure.ti_witness(5).expect("Figure 1 ti");
         assert!(clerk_closure.proof(&witness).is_some());
+    }
+
+    #[test]
+    fn analyze_matches_full_saturation_on_the_fixture() {
+        let s = schema();
+        for req in [
+            "(clerk, r_salary(x) : ti)",
+            "(safe_clerk, r_salary(x) : ti)",
+            "(payroll, w_salary(x, v: ta))",
+            "(safe_payroll, w_salary(x, v: ta))",
+            "(reader, r_salary(x) : ti)",
+            "(safe_payroll, r_name(x) : ti)",
+        ] {
+            let r = parse_requirement(req).unwrap();
+            let demand = analyze(&s, &r).unwrap();
+            let full = analyze_full(&s, &r, &AnalysisConfig::default()).unwrap();
+            assert_eq!(demand, full, "{req}");
+        }
+    }
+
+    #[test]
+    fn batch_full_saturation_matches_demand_default() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let demand = analyze_batch(
+            &s,
+            &reqs,
+            &AnalysisConfig::default(),
+            &BatchOptions::default(),
+        );
+        let full = analyze_batch(
+            &s,
+            &reqs,
+            &AnalysisConfig::default(),
+            &BatchOptions {
+                full_saturation: true,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(demand.verdicts, full.verdicts);
+    }
+
+    #[test]
+    fn cache_serves_repeat_batches_without_recomputing() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let cache = ClosureCache::new(8);
+        let config = AnalysisConfig::default();
+        let opts = BatchOptions::default();
+        let first = analyze_batch_cached(&s, &reqs, &config, &opts, Some(&cache));
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (0, 4), "four users, all cold");
+        assert_eq!(cache.len(), 4);
+        let second = analyze_batch_cached(&s, &reqs, &config, &opts, Some(&cache));
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (4, 4), "identical batch fully served");
+        assert_eq!(first.verdicts, second.verdicts);
+        let expected: Vec<_> = reqs.iter().map(|r| analyze(&s, r)).collect();
+        assert_eq!(second.verdicts, expected);
+    }
+
+    #[test]
+    fn cache_unions_goals_for_new_requirements() {
+        let s = schema();
+        let config = AnalysisConfig::default();
+        let opts = BatchOptions::default();
+        let cache = ClosureCache::new(8);
+        let first = [parse_requirement("(clerk, r_salary(x) : ti)").unwrap()];
+        analyze_batch_cached(&s, &first, &config, &opts, Some(&cache));
+        // A different goal on the same user: recompute against the cached
+        // unfolding with the union of goal sets, then serve both shapes.
+        let second = [parse_requirement("(clerk, r_budget(x) : ta)").unwrap()];
+        let out = analyze_batch_cached(&s, &second, &config, &opts, Some(&cache));
+        assert_eq!(
+            out.verdicts[0],
+            analyze(&s, &second[0]),
+            "union recompute keeps verdicts identical"
+        );
+        assert_eq!(cache.len(), 1, "same key, refreshed entry");
+        let both: Vec<_> = ["(clerk, r_salary(x) : ti)", "(clerk, r_budget(x) : ta)"]
+            .iter()
+            .map(|r| parse_requirement(r).unwrap())
+            .collect();
+        let before = cache.stats();
+        let out = analyze_batch_cached(&s, &both, &config, &opts, Some(&cache));
+        assert_eq!(cache.stats(), (before.0 + 1, before.1), "union entry hits");
+        let expected: Vec<_> = both.iter().map(|r| analyze(&s, r)).collect();
+        assert_eq!(out.verdicts, expected);
+    }
+
+    #[test]
+    fn cache_shares_entries_between_identically_granted_users() {
+        // The key fingerprints the capability list, not the user name:
+        // payroll and a clone user with the same grants share one entry.
+        let text = format!("{STOCKBROKER}\n user payroll_twin {{ updateSalary, w_budget }}");
+        let s = parse_schema(&text).unwrap();
+        oodb_lang::check_schema(&s).unwrap();
+        let config = AnalysisConfig::default();
+        let opts = BatchOptions::default();
+        let cache = ClosureCache::new(8);
+        let a = [parse_requirement("(payroll, w_salary(x, v: ta))").unwrap()];
+        analyze_batch_cached(&s, &a, &config, &opts, Some(&cache));
+        let b = [parse_requirement("(payroll_twin, w_salary(x, v: ta))").unwrap()];
+        let out = analyze_batch_cached(&s, &b, &config, &opts, Some(&cache));
+        assert_eq!(cache.stats().0, 1, "twin user hits payroll's entry");
+        assert_eq!(out.verdicts[0], analyze(&s, &b[0]));
+    }
+
+    #[test]
+    fn cache_evicts_oldest_past_capacity() {
+        let s = schema();
+        let config = AnalysisConfig::default();
+        let opts = BatchOptions::default();
+        let cache = ClosureCache::new(2);
+        for user in ["clerk", "safe_clerk", "payroll"] {
+            let r = [parse_requirement(&format!("({user}, r_salary(x) : ti)")).unwrap()];
+            analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        }
+        assert_eq!(cache.len(), 2);
+        // clerk (oldest) was evicted; safe_clerk still hits.
+        let r = [parse_requirement("(safe_clerk, r_salary(x) : ti)").unwrap()];
+        let before = cache.stats().0;
+        analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        assert_eq!(cache.stats().0, before + 1);
+        let r = [parse_requirement("(clerk, r_salary(x) : ti)").unwrap()];
+        analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        assert_eq!(cache.stats().0, before + 1, "evicted entry misses");
+    }
+
+    #[test]
+    fn cache_is_bypassed_when_stats_or_proofs_requested() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let config = AnalysisConfig::default();
+        let cache = ClosureCache::new(8);
+        for opts in [
+            BatchOptions {
+                collect_stats: true,
+                ..BatchOptions::default()
+            },
+            BatchOptions {
+                proofs: ProofMode::Full,
+                keep_artifacts: true,
+                ..BatchOptions::default()
+            },
+            BatchOptions {
+                full_saturation: true,
+                ..BatchOptions::default()
+            },
+        ] {
+            let out = analyze_batch_cached(&s, &reqs, &config, &opts, Some(&cache));
+            let expected: Vec<_> = reqs.iter().map(|r| analyze(&s, r)).collect();
+            assert_eq!(out.verdicts, expected);
+        }
+        assert!(cache.is_empty(), "ineligible runs never touch the cache");
+        assert_eq!(cache.stats(), (0, 0));
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! traversal for differential testing.
 
 use crate::basics::{rules_for, LCap, LTerm, LocalRule, Slot};
+use crate::demand::{DemandPlan, GoalTracker};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::rules::{axioms_with, labels, RuleConfig};
 use crate::stats::{ClosureObserver, ClosureStats, NoopObserver};
@@ -102,6 +103,7 @@ pub struct Closure {
     pistar: Vec<Vec<(ExprId, Origin)>>,
     eq: Vec<Vec<ExprId>>,
     rounds: usize,
+    early_exit: bool,
 }
 
 impl Closure {
@@ -164,6 +166,46 @@ impl Closure {
         (result, stats)
     }
 
+    /// Demand-driven closure: derive only terms whose mentions lie inside
+    /// the plan's relevance slice and stop as soon as the plan's goals are
+    /// all decided (see [`crate::demand`]).
+    ///
+    /// On the sliced expressions the result is term- and witness-identical
+    /// to full saturation (or a prefix of it when the run early-exits with
+    /// every goal derived — which fixes the verdict either way). Proofs are
+    /// never recorded: demand mode exists for the membership-only verdict
+    /// path, explanations stay on full saturation.
+    pub fn compute_demand(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        plan: &DemandPlan,
+    ) -> Result<Closure, ClosureError> {
+        let mut engine = Engine::new(prog, *config, limit, ProofMode::Off, NoopObserver);
+        engine.demand = Some(DemandState::new(plan));
+        engine.run().0
+    }
+
+    /// [`Closure::compute_demand`] with [`ClosureStats`] collection.
+    pub fn compute_demand_with_stats(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        plan: &DemandPlan,
+    ) -> (Result<Closure, ClosureError>, ClosureStats) {
+        let mut engine = Engine::new(
+            prog,
+            *config,
+            limit,
+            ProofMode::Off,
+            ClosureStats::new(limit),
+        );
+        engine.demand = Some(DemandState::new(plan));
+        let (result, mut stats) = engine.run();
+        stats.aborted = result.is_err();
+        (result, stats)
+    }
+
     /// Number of terms in the closure.
     pub fn len(&self) -> usize {
         self.terms.len()
@@ -182,6 +224,12 @@ impl Closure {
     /// The proof mode the closure was computed under.
     pub fn proof_mode(&self) -> ProofMode {
         self.mode
+    }
+
+    /// Did a demand-driven run stop before draining its worklist because
+    /// every goal was already derived? Always `false` for full saturation.
+    pub fn early_exited(&self) -> bool {
+        self.early_exit
     }
 
     /// Allocated capacity of the interned term set (for occupancy stats).
@@ -252,6 +300,28 @@ impl Closure {
 /// the write-read and congruence loops instead of cloning `String`s.
 type AttrId = u32;
 
+/// Demand-mode state carried by the engine: the relevance slice to filter
+/// derivations against, the live goal tracker, and the latched stop flag.
+struct DemandState<'d> {
+    plan: &'d DemandPlan,
+    tracker: GoalTracker,
+    done: bool,
+}
+
+impl<'d> DemandState<'d> {
+    fn new(plan: &'d DemandPlan) -> DemandState<'d> {
+        let tracker = plan.tracker();
+        // Zero tracked goals (every occurrence statically decided or none
+        // tracked at all): the verdict needs nothing from saturation.
+        let done = tracker.all_decided();
+        DemandState {
+            plan,
+            tracker,
+            done,
+        }
+    }
+}
+
 struct Engine<'p, O: ClosureObserver> {
     prog: &'p NProgram,
     config: RuleConfig,
@@ -280,6 +350,8 @@ struct Engine<'p, O: ClosureObserver> {
     /// `new C(…)` node → (interned attribute, argument) pairs.
     ctor_args: Vec<Vec<(AttrId, ExprId)>>,
     op_rules: FxHashMap<BasicOp, Rc<[LocalRule]>>,
+    /// Demand mode: slice filter + goal tracking (`None` = full saturation).
+    demand: Option<DemandState<'p>>,
 }
 
 impl<'p, O: ClosureObserver> Engine<'p, O> {
@@ -361,6 +433,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 pistar: vec![Vec::new(); n],
                 eq: vec![Vec::new(); n],
                 rounds: 0,
+                early_exit: false,
             },
             queue: VecDeque::new(),
             basic_nodes,
@@ -372,6 +445,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             writes_by_recv,
             ctor_args,
             op_rules,
+            demand: None,
         }
     }
 
@@ -379,12 +453,32 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         let result = self.saturate();
         self.obs
             .interner(self.out.terms.capacity(), self.mode == ProofMode::Full);
+        if let Some(d) = &self.demand {
+            self.obs.demand(d.plan.slice_len(), self.out.early_exit);
+        }
         (result.map(|_| self.out), self.obs)
     }
 
+    /// Demand mode only: have all goals been derived? Closure growth is
+    /// monotone, so once this latches the verdict (and every witness term,
+    /// each fixed at its first insertion) can no longer change — saturating
+    /// further would only add terms the verdict check never reads.
+    #[inline]
+    fn goals_decided(&self) -> bool {
+        self.demand.as_ref().is_some_and(|d| d.done)
+    }
+
     fn saturate(&mut self) -> Result<(), ClosureError> {
+        if self.goals_decided() {
+            self.out.early_exit = true;
+            return Ok(());
+        }
         for (t, rule) in axioms_with(self.prog, self.config.printable_oids) {
             self.derive(t, rule, &[])?;
+            if self.goals_decided() {
+                self.out.early_exit = true;
+                return Ok(());
+            }
         }
         // Constructor-read on direct receivers: r_att(new C(…)) reads the
         // matching constructor argument without needing an equality step.
@@ -404,10 +498,18 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 self.derive(t, labels::RULE_EQ, &[])?;
             }
         }
+        if self.goals_decided() {
+            self.out.early_exit = true;
+            return Ok(());
+        }
         while let Some(t) = self.queue.pop_front() {
             self.out.rounds += 1;
             self.obs.round();
             self.propagate(t)?;
+            if self.goals_decided() {
+                self.out.early_exit = true;
+                return Ok(());
+            }
         }
         Ok(())
     }
@@ -433,6 +535,17 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         rule: &'static str,
         premises: &[Term],
     ) -> Result<(), ClosureError> {
+        // Demand filter, ahead of `derive_attempt` so the stats invariant
+        // `derive_calls == dedup_hits + total_terms` holds in every mode.
+        // Dropping the term is sound: the slice is closed under the rule
+        // premise shapes, so nothing mentioning only sliced expressions is
+        // ever derivable *through* an unsliced one.
+        if let Some(d) = &self.demand {
+            if !d.plan.covers(&t) {
+                self.obs.sliced_out();
+                return Ok(());
+            }
+        }
         self.obs.derive_attempt();
         let id = TermId::new(t);
         if !self.out.terms.insert(id) {
@@ -465,6 +578,11 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             Term::Eq(a, b) => {
                 self.out.eq[a as usize].push(b);
                 self.out.eq[b as usize].push(a);
+            }
+        }
+        if let Some(d) = &mut self.demand {
+            if d.tracker.on_insert(&t) {
+                d.done = true;
             }
         }
         self.queue.push_back(t);

@@ -27,6 +27,9 @@
 //! * [`algorithm`] — `A(R)` (§4.1 Definition 6): a requirement `R` is
 //!   *not satisfied* iff some occurrence of its target function carries all
 //!   the specified capability terms in the closure.
+//! * [`demand`] — the demand-driven mode: a conservative relevance slice
+//!   over `S'(F)` plus goal tracking, so the engine derives only what the
+//!   verdict can observe and stops as soon as every occurrence is decided.
 //! * [`report`] — verdicts and Figure-1-style derivation rendering.
 //! * [`stats`] — closure instrumentation: [`ClosureStats`] collected through
 //!   a zero-cost observer (the plain `compute` paths monomorphise a no-op),
@@ -44,6 +47,7 @@ pub mod advisor;
 pub mod algorithm;
 pub mod basics;
 pub mod closure;
+pub mod demand;
 pub mod fxhash;
 pub mod reference;
 pub mod report;
@@ -54,10 +58,12 @@ pub mod unfold;
 
 pub use advisor::{advise, Advice, AdvisorConfig, Repair};
 pub use algorithm::{
-    analyze, analyze_batch, analyze_with_config, analyze_with_stats, AnalysisConfig, AnalysisError,
-    AnalysisStats, BatchGroup, BatchOptions, BatchOutcome, CapabilityView,
+    analyze, analyze_batch, analyze_batch_cached, analyze_full, analyze_with_config,
+    analyze_with_stats, AnalysisConfig, AnalysisError, AnalysisStats, BatchGroup, BatchOptions,
+    BatchOutcome, CapabilityView, ClosureCache,
 };
 pub use closure::{Closure, ProofMode};
+pub use demand::{DemandPlan, GoalTracker};
 pub use reference::{analyze_ref, RefClosure};
 pub use report::{Verdict, Violation};
 pub use stats::ClosureStats;

@@ -38,6 +38,15 @@ pub trait ClosureObserver {
     /// ([`crate::closure::ProofMode::Full`]).
     #[inline]
     fn interner(&mut self, _capacity: usize, _proofs_recorded: bool) {}
+
+    /// A derivation was refused by the demand slice (before `derive_attempt`).
+    #[inline]
+    fn sliced_out(&mut self) {}
+
+    /// End-of-run report for demand mode: the relevance slice size and
+    /// whether the run stopped early with every goal derived.
+    #[inline]
+    fn demand(&mut self, _slice_nodes: usize, _early_exit: bool) {}
 }
 
 /// The observer that observes nothing. This is what the plain `compute`
@@ -84,10 +93,23 @@ pub struct ClosureStats {
     pub limit: u64,
     /// Did the run abort on the term budget?
     pub aborted: bool,
-    /// Allocated capacity of the interned term set at end of run.
+    /// Allocated capacity of the interned term set at end of run. Across a
+    /// [`ClosureStats::merge`] this is the **peak** per-run capacity (the
+    /// memory high-water mark of any one closure), not a sum.
     pub interner_capacity: u64,
+    /// Summed interner capacity across merged runs — the denominator that
+    /// keeps [`ClosureStats::interner_occupancy`] a terms-weighted load
+    /// factor when one report covers several closures.
+    pub interner_capacity_sum: u64,
     /// Were derivations recorded (`ProofMode::Full`)?
     pub proofs_recorded: bool,
+    /// Derivations refused by the demand slice (0 under full saturation).
+    pub sliced_out: u64,
+    /// Relevance slice size in program occurrences (summed across merged
+    /// demand runs; 0 under full saturation).
+    pub slice_nodes: u64,
+    /// Did any merged run stop early with every goal derived?
+    pub early_exit: bool,
 }
 
 impl ClosureStats {
@@ -129,12 +151,15 @@ impl ClosureStats {
 
     /// Fraction of the interner's allocated slots actually holding a term
     /// (0 when nothing was allocated). A persistently low occupancy means
-    /// the term set over-reserved — a memory regression signal.
+    /// the term set over-reserved — a memory regression signal. Uses the
+    /// *summed* capacity across merged runs, so the aggregate stays a
+    /// terms-weighted load factor instead of comparing a total term count
+    /// against a single run's allocation.
     pub fn interner_occupancy(&self) -> f64 {
-        if self.interner_capacity == 0 {
+        if self.interner_capacity_sum == 0 {
             0.0
         } else {
-            self.total_terms() as f64 / self.interner_capacity as f64
+            self.total_terms() as f64 / self.interner_capacity_sum as f64
         }
     }
 
@@ -164,9 +189,15 @@ impl ClosureStats {
         self.worklist_peak = self.worklist_peak.max(other.worklist_peak);
         self.limit = self.limit.max(other.limit);
         self.aborted |= other.aborted;
-        // Summed, not maxed: merged occupancy then stays the terms-weighted
-        // load factor across runs instead of exceeding 1.
-        self.interner_capacity += other.interner_capacity;
+        // Peak capacity is a max (the memory high-water mark of any single
+        // run); the occupancy denominator is the separate summed field —
+        // summing the peak too would make the reported capacity of a batch
+        // meaningless as a per-closure figure.
+        self.interner_capacity = self.interner_capacity.max(other.interner_capacity);
+        self.interner_capacity_sum += other.interner_capacity_sum;
+        self.sliced_out += other.sliced_out;
+        self.slice_nodes += other.slice_nodes;
+        self.early_exit |= other.early_exit;
         self.proofs_recorded |= other.proofs_recorded;
         for &(label, n) in &other.firings {
             if let Some((_, m)) = self.firings.iter_mut().find(|(l, _)| *l == label) {
@@ -196,7 +227,11 @@ impl ClosureStats {
         sink.counter("closure.term_limit", self.limit);
         sink.counter("closure.aborted", u64::from(self.aborted));
         sink.counter("closure.interner_capacity", self.interner_capacity);
+        sink.counter("closure.interner_capacity_sum", self.interner_capacity_sum);
         sink.counter("closure.proofs_recorded", u64::from(self.proofs_recorded));
+        sink.counter("closure.sliced_out", self.sliced_out);
+        sink.counter("closure.slice_nodes", self.slice_nodes);
+        sink.counter("closure.early_exit", u64::from(self.early_exit));
         for (label, n) in &self.firings {
             let mut name = String::with_capacity(13 + label.len());
             name.push_str("closure.rule.");
@@ -244,7 +279,17 @@ impl ClosureObserver for ClosureStats {
 
     fn interner(&mut self, capacity: usize, proofs_recorded: bool) {
         self.interner_capacity = capacity as u64;
+        self.interner_capacity_sum = capacity as u64;
         self.proofs_recorded = proofs_recorded;
+    }
+
+    fn sliced_out(&mut self) {
+        self.sliced_out += 1;
+    }
+
+    fn demand(&mut self, slice_nodes: usize, early_exit: bool) {
+        self.slice_nodes = slice_nodes as u64;
+        self.early_exit = early_exit;
     }
 }
 
@@ -310,6 +355,58 @@ mod tests {
         assert!(a.aborted);
         assert_eq!(a.interner_capacity, 16);
         assert!(a.proofs_recorded);
+    }
+
+    #[test]
+    fn merge_keeps_peak_capacity_and_sums_for_occupancy() {
+        // Two runs of 16-slot interners with one term each: the merged
+        // report must show a 16-slot peak (not 32) and an occupancy of
+        // 2/32, the terms-weighted load factor.
+        let mut a = ClosureStats::new(100);
+        a.term_inserted(&Term::Ta(1), "axiom");
+        a.interner(16, false);
+        let mut b = ClosureStats::new(100);
+        b.term_inserted(&Term::Ta(2), "axiom");
+        b.interner(16, false);
+        a.merge(&b);
+        assert_eq!(a.interner_capacity, 16, "peak, not a sum");
+        assert_eq!(a.interner_capacity_sum, 32);
+        assert_eq!(a.interner_occupancy(), 2.0 / 32.0);
+    }
+
+    #[test]
+    fn demand_callbacks_accumulate_and_merge() {
+        let mut a = ClosureStats::new(100);
+        a.sliced_out();
+        a.sliced_out();
+        a.demand(7, false);
+        assert_eq!(a.sliced_out, 2);
+        assert_eq!(a.slice_nodes, 7);
+        assert!(!a.early_exit);
+        let mut b = ClosureStats::new(100);
+        b.sliced_out();
+        b.demand(5, true);
+        a.merge(&b);
+        assert_eq!(a.sliced_out, 3);
+        assert_eq!(a.slice_nodes, 12);
+        assert!(a.early_exit, "early exit is sticky across merges");
+    }
+
+    #[test]
+    fn record_to_emits_demand_and_capacity_counters() {
+        let mut s = ClosureStats::new(100);
+        s.term_inserted(&Term::Ta(1), "axiom");
+        s.interner(8, false);
+        s.sliced_out();
+        s.demand(4, true);
+        let mut rec = secflow_obs::Recorder::new();
+        s.record_to(&mut rec);
+        let report = rec.into_report();
+        assert_eq!(report.counter("closure.interner_capacity"), Some(8));
+        assert_eq!(report.counter("closure.interner_capacity_sum"), Some(8));
+        assert_eq!(report.counter("closure.sliced_out"), Some(1));
+        assert_eq!(report.counter("closure.slice_nodes"), Some(4));
+        assert_eq!(report.counter("closure.early_exit"), Some(1));
     }
 
     #[test]

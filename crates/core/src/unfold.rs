@@ -76,6 +76,29 @@ pub enum NKind {
     },
 }
 
+impl NKind {
+    /// The child occurrence ids this node mentions structurally, in
+    /// evaluation order. A `LetVar` mentions its binding (the occurrence
+    /// the variable denotes); `Let` lists binding right-hand sides before
+    /// the body. Used by the demand slicer to walk the program without
+    /// matching on every variant.
+    pub fn operands(&self) -> Vec<ExprId> {
+        match self {
+            NKind::Const(_) | NKind::ArgVar { .. } => Vec::new(),
+            NKind::LetVar { binding, .. } => vec![*binding],
+            NKind::Basic(_, args) => args.clone(),
+            NKind::Read(_, recv) => vec![*recv],
+            NKind::Write(_, recv, val) => vec![*recv, *val],
+            NKind::New(_, args) => args.iter().map(|(_, a)| *a).collect(),
+            NKind::Let { bindings, body, .. } => bindings
+                .iter()
+                .map(|(_, rhs)| *rhs)
+                .chain(std::iter::once(*body))
+                .collect(),
+        }
+    }
+}
+
 /// One numbered subexpression occurrence.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NExpr {
@@ -339,6 +362,67 @@ impl NProgram {
                 None => format!("{}let…in {body}", e.id),
             },
         }
+    }
+}
+
+/// Every occurrence in a program touching one attribute, grouped by role.
+///
+/// The write-read, constructor-read and attribute-congruence rules of
+/// Table 2 only ever connect expressions drawn from these site lists, so
+/// the demand slicer can treat each attribute as one equality "hub":
+/// once any read, written value or constructor argument of the attribute
+/// is relevant, the whole hub (plus the supporting receivers and
+/// constructor nodes the rule premises mention) must be, and nothing
+/// outside it can reach the goal through that attribute.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AttrSites {
+    /// `r_att(recv)` nodes.
+    pub reads: Vec<ExprId>,
+    /// Receivers of `w_att(recv, val)` nodes.
+    pub write_receivers: Vec<ExprId>,
+    /// Written values of `w_att(recv, val)` nodes.
+    pub write_values: Vec<ExprId>,
+    /// `new C(…)` nodes that initialise the attribute.
+    pub ctor_nodes: Vec<ExprId>,
+    /// Constructor arguments that initialise the attribute.
+    pub ctor_args: Vec<ExprId>,
+}
+
+impl NProgram {
+    /// Per-attribute site lists, in first-seen order of the attributes.
+    pub fn attr_sites(&self) -> Vec<(AttrName, AttrSites)> {
+        let mut out: Vec<(AttrName, AttrSites)> = Vec::new();
+        fn entry<'a>(
+            out: &'a mut Vec<(AttrName, AttrSites)>,
+            attr: &AttrName,
+        ) -> &'a mut AttrSites {
+            match out.iter().position(|(a, _)| a == attr) {
+                Some(i) => &mut out[i].1,
+                None => {
+                    out.push((attr.clone(), AttrSites::default()));
+                    &mut out.last_mut().expect("just pushed").1
+                }
+            }
+        }
+        for e in self.iter() {
+            match &e.kind {
+                NKind::Read(attr, _) => entry(&mut out, attr).reads.push(e.id),
+                NKind::Write(attr, recv, val) => {
+                    let s = entry(&mut out, attr);
+                    s.write_receivers.push(*recv);
+                    s.write_values.push(*val);
+                }
+                NKind::New(_, args) => {
+                    for (attr, arg) in args {
+                        let s = entry(&mut out, attr);
+                        s.ctor_nodes.push(e.id);
+                        s.ctor_args.push(*arg);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
     }
 }
 
@@ -757,6 +841,61 @@ mod tests {
                 other => panic!("expected LetVar, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn operands_follow_structure() {
+        let schema = stockbroker();
+        let caps = schema.user_str("clerk").unwrap();
+        let p = NProgram::unfold(&schema, caps).unwrap();
+        // 7>=(2r_budget(1broker), 6*(3:10, 5r_salary(4broker))), 10w_budget(8a1, 9a2)
+        assert_eq!(p.get(7).kind.operands(), vec![2, 6]);
+        assert_eq!(p.get(2).kind.operands(), vec![1]);
+        assert_eq!(p.get(1).kind.operands(), Vec::<ExprId>::new());
+        assert_eq!(p.get(10).kind.operands(), vec![8, 9]);
+    }
+
+    #[test]
+    fn attr_sites_group_by_attribute() {
+        let schema = stockbroker();
+        let caps = schema.user_str("clerk").unwrap();
+        let p = NProgram::unfold(&schema, caps).unwrap();
+        let sites = p.attr_sites();
+        let budget = &sites
+            .iter()
+            .find(|(a, _)| a.as_str() == "budget")
+            .expect("budget sites")
+            .1;
+        assert_eq!(budget.reads, vec![2]);
+        assert_eq!(budget.write_receivers, vec![8]);
+        assert_eq!(budget.write_values, vec![9]);
+        assert!(budget.ctor_nodes.is_empty());
+        let salary = &sites
+            .iter()
+            .find(|(a, _)| a.as_str() == "salary")
+            .expect("salary sites")
+            .1;
+        assert_eq!(salary.reads, vec![5]);
+        assert!(salary.write_values.is_empty());
+    }
+
+    #[test]
+    fn attr_sites_cover_constructors() {
+        let schema = parse_schema(
+            r#"
+            class P { x: int }
+            user u { new P, r_x }
+            "#,
+        )
+        .unwrap();
+        let caps = schema.user_str("u").unwrap();
+        let p = NProgram::unfold(&schema, caps).unwrap();
+        let sites = p.attr_sites();
+        let x = &sites.iter().find(|(a, _)| a.as_str() == "x").unwrap().1;
+        // 2r_x(1a1), 4new P(3a1)
+        assert_eq!(x.ctor_nodes, vec![4]);
+        assert_eq!(x.ctor_args, vec![3]);
+        assert_eq!(x.reads, vec![2]);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!
 //! [`multi_user`] builds a *batch* case — one schema, many users, one
 //! requirement each — for the `analyze_batch` driver and the `--jobs`
-//! throughput experiment.
+//! throughput experiment. [`multi_user_deep`] is its deep-expression
+//! sibling for the demand-vs-full comparison: per-user closures are big
+//! enough that goal-directed slicing pays.
 
 use oodb_lang::ast::{AccessFnDef, BasicOp, Expr};
 use oodb_lang::requirement::{Cap, Requirement};
@@ -220,6 +222,59 @@ pub fn multi_user(users: usize, width: usize) -> BatchCase {
     }
 }
 
+/// `users` disjoint copies of the [`deep_expr`] workload: user `u{j}`
+/// holds a probe whose body is a full binary `+`-tree of `2^depth` reads
+/// of its own attribute `a{j}`, plus the write on it, and the requirement
+/// list probes every attribute. Each group's closure is deep-expression
+/// sized, so goal-directed slicing has something to discard — the batch
+/// counterpart of [`deep_expr`], where [`multi_user`]'s wide flat probes
+/// leave no slack.
+pub fn multi_user_deep(users: usize, depth: usize) -> BatchCase {
+    let users = users.max(1);
+    let mut schema = Schema::new();
+    schema
+        .classes
+        .insert(single_int_class(users))
+        .expect("one class");
+    fn tree(attr: usize, d: usize) -> Expr {
+        if d == 0 {
+            Expr::read(format!("a{attr}"), Expr::var("c"))
+        } else {
+            Expr::bin(BasicOp::Add, tree(attr, d - 1), tree(attr, d - 1))
+        }
+    }
+    let mut requirements = Vec::new();
+    for j in 0..users {
+        schema.functions.insert(
+            format!("p{j}").into(),
+            AccessFnDef {
+                name: format!("p{j}").into(),
+                params: vec![(VarName::new("c"), Type::class("C"))],
+                ret: Type::BOOL,
+                body: Expr::bin(BasicOp::Ge, tree(j, depth), Expr::int(100)),
+            },
+        );
+        let caps: CapabilityList = [
+            FnRef::access(format!("p{j}")),
+            FnRef::write(format!("a{j}")),
+        ]
+        .into_iter()
+        .collect();
+        schema.users.insert(format!("u{j}").into(), caps);
+        requirements.push(Requirement::on_return(
+            format!("u{j}"),
+            FnRef::read(format!("a{j}")),
+            1,
+            vec![Cap::Ti],
+        ));
+    }
+    oodb_lang::check_schema(&schema).expect("batch schema checks");
+    BatchCase {
+        schema,
+        requirements,
+    }
+}
+
 /// `n` attributes, each with a granted reader and writer pair: the
 /// equality graph gets `O(n²)` argument-variable edges.
 pub fn attr_fanout(n: usize) -> ScaleCase {
@@ -264,6 +319,17 @@ mod tests {
         let req = Requirement::on_return("u", FnRef::read("a1"), 1, vec![Cap::Ti]);
         let v = analyze(&case.schema, &req).unwrap();
         assert!(!v.is_violated());
+    }
+
+    #[test]
+    fn multi_user_deep_flags_every_user() {
+        let case = multi_user_deep(3, 2);
+        assert_eq!(case.requirements.len(), 3);
+        for req in &case.requirements {
+            let v = analyze(&case.schema, req).unwrap();
+            // Each user writes its probed attribute — always flagged.
+            assert!(v.is_violated(), "{req}");
+        }
     }
 
     #[test]

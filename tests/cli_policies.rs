@@ -12,6 +12,7 @@ fn check_stockbroker_policy_file() {
         file: policy("stockbroker"),
         explain: true,
         jobs: 1,
+        full_saturation: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (clerk, r_salary(x):ti)"));
@@ -29,6 +30,7 @@ fn check_hospital_policy_file() {
         file: policy("hospital"),
         explain: false,
         jobs: 1,
+        full_saturation: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (auditor, r_bill(x):ti)"));
@@ -43,6 +45,7 @@ fn bank_policy_shows_pessimism() {
         file: policy("bank"),
         explain: false,
         jobs: 1,
+        full_saturation: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (teller, r_balance(x):ti)"));
@@ -84,9 +87,34 @@ fn missing_file_exits_two() {
         file: policy("does_not_exist"),
         explain: false,
         jobs: 1,
+        full_saturation: false,
     });
     assert_eq!(code, 2);
     assert!(report.contains("cannot read"));
+}
+
+#[test]
+fn full_saturation_matches_demand_on_policy_files() {
+    for name in ["stockbroker", "hospital", "bank"] {
+        let demand = run(&Command::Check {
+            file: policy(name),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+        });
+        let full = run(&Command::Check {
+            file: policy(name),
+            explain: false,
+            jobs: 1,
+            full_saturation: true,
+        });
+        assert_eq!(demand, full, "{name}: --full-saturation changed the output");
+    }
+}
+
+#[test]
+fn usage_documents_full_saturation() {
+    assert!(secflow_cli::USAGE.contains("--full-saturation"));
 }
 
 #[test]
