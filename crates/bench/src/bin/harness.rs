@@ -17,6 +17,12 @@
 //! and terms-derived counts per scale family, with a verdict-identity
 //! assertion per row, plus the multi-requirement batch comparison.
 //!
+//! The `saturation` experiment (`-- saturation [--smoke]`) writes
+//! `BENCH_saturation.json`: naive vs semi-naive saturation timings on the
+//! re-firing-heavy families (`wide_grants`, `dense_equalities`) with a
+//! closure-identity assertion per row and per-rule attempted/derived-new
+//! counters for both modes.
+//!
 //! Every run also writes `BENCH_obs.json` next to the working directory: a
 //! machine-readable metrics blob with per-experiment wall times plus the
 //! closure counters for the canonical stockbroker analysis (see
@@ -75,6 +81,11 @@ fn main() {
         let smoke = args.iter().any(|a| a == "--smoke");
         let write_json = !args.iter().any(|a| a == "--no-obs");
         phases.time("demand", || run_demand(smoke, write_json));
+    }
+    if want("saturation") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let write_json = !args.iter().any(|a| a == "--no-obs");
+        phases.time("saturation", || run_saturation(smoke, write_json));
     }
 
     if !args.iter().any(|a| a == "--no-obs") {
@@ -433,6 +444,94 @@ fn write_demand_blob(rows: &[DemandRow], b: &DemandBatchRow) {
     rec.gauge(&format!("{key}.speedup"), b.speedup());
     let report = rec.into_report();
     let path = "BENCH_demand.json";
+    match std::fs::write(path, report.to_json().pretty()) {
+        Ok(()) => eprintln!("metrics: wrote {path}"),
+        Err(e) => eprintln!("metrics: could not write {path}: {e}"),
+    }
+}
+
+fn run_saturation(smoke: bool, write_json: bool) {
+    banner(&format!(
+        "saturation — semi-naive delta engine vs naive full sweeps{}",
+        if smoke { " (smoke sizes)" } else { "" }
+    ));
+    println!(
+        "{:<16} {:>6} {:>8} {:>8} {:>11} {:>10} {:>8} {:>12} {:>12} {:>10}",
+        "family",
+        "param",
+        "nodes",
+        "terms",
+        "naive (us)",
+        "semi (us)",
+        "speedup",
+        "naive tries",
+        "semi tries",
+        "identical"
+    );
+    let rows = saturation_naive_vs_semi(smoke);
+    for r in &rows {
+        println!(
+            "{:<16} {:>6} {:>8} {:>8} {:>11} {:>10} {:>7.2}x {:>12} {:>12} {:>10}",
+            r.family,
+            r.param,
+            r.nodes,
+            r.terms,
+            r.naive_micros,
+            r.semi_micros,
+            r.speedup(),
+            r.naive_derives,
+            r.semi_derives,
+            if r.identical { "yes" } else { "NO" },
+        );
+        assert!(r.identical, "{}/{}: closures diverged", r.family, r.param);
+    }
+    if let Some(last) = rows.last() {
+        println!();
+        println!(
+            "per-rule derive attempts, {}({}) — fired vs derived-new:",
+            last.family, last.param
+        );
+        println!(
+            "{:<44} {:>12} {:>12} {:>10}",
+            "rule", "naive fired", "semi fired", "new"
+        );
+        for rule in last.rules.iter().take(8) {
+            println!(
+                "{:<44} {:>12} {:>12} {:>10}",
+                rule.label, rule.naive_attempts, rule.semi_attempts, rule.new_terms
+            );
+        }
+    }
+
+    if write_json {
+        write_saturation_blob(&rows);
+    }
+}
+
+/// Emit `BENCH_saturation.json`: per-family naive-vs-semi-naive closure
+/// timings and derive-attempt counts (with the closure-identity bit), plus
+/// per-rule fired/derived-new counters for both modes.
+fn write_saturation_blob(rows: &[SaturationRow]) {
+    let mut rec = Recorder::new();
+    for r in rows {
+        let key = format!("saturation.{}.{}", r.family, r.param);
+        rec.counter(&format!("{key}.nodes"), r.nodes as u64);
+        rec.counter(&format!("{key}.terms"), r.terms as u64);
+        rec.counter(&format!("{key}.naive_micros"), r.naive_micros as u64);
+        rec.counter(&format!("{key}.semi_micros"), r.semi_micros as u64);
+        rec.counter(&format!("{key}.naive_derives"), r.naive_derives);
+        rec.counter(&format!("{key}.semi_derives"), r.semi_derives);
+        rec.counter(&format!("{key}.identical"), u64::from(r.identical));
+        rec.gauge(&format!("{key}.speedup"), r.speedup());
+        for rule in &r.rules {
+            let rk = format!("{key}.rule.{}", rule.label);
+            rec.counter(&format!("{rk}.naive_fired"), rule.naive_attempts);
+            rec.counter(&format!("{rk}.semi_fired"), rule.semi_attempts);
+            rec.counter(&format!("{rk}.new"), rule.new_terms);
+        }
+    }
+    let report = rec.into_report();
+    let path = "BENCH_saturation.json";
     match std::fs::write(path, report.to_json().pretty()) {
         Ok(()) => eprintln!("metrics: wrote {path}"),
         Err(e) => eprintln!("metrics: could not write {path}: {e}"),

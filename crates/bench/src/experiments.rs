@@ -13,7 +13,7 @@ use oodb_model::{UserName, Value};
 use secflow::algorithm::{
     analyze, analyze_batch, analyze_with_config, AnalysisConfig, BatchOptions,
 };
-use secflow::closure::{Closure, ProofMode, DEFAULT_TERM_LIMIT};
+use secflow::closure::{Closure, ProofMode, SaturationMode, DEFAULT_TERM_LIMIT};
 use secflow::reference::RefClosure;
 use secflow::report::render_derivation;
 use secflow::rules::RuleConfig;
@@ -26,7 +26,8 @@ use secflow_dynamic::worlds::{enumerate_worlds, WorldSpec};
 use secflow_dynamic::{attack_requirement, AttackerConfig};
 use secflow_workloads::random::{random_case, RandomSpec};
 use secflow_workloads::scale::{
-    attr_fanout, call_chain, deep_expr, multi_user, multi_user_deep, wide_grants, ScaleCase,
+    attr_fanout, call_chain, deep_expr, dense_equalities, multi_user, multi_user_deep, wide_grants,
+    ScaleCase,
 };
 use secflow_workloads::{fixtures, stockbroker};
 use std::time::Instant;
@@ -835,6 +836,166 @@ pub fn demand_vs_full(smoke: bool) -> Vec<DemandRow> {
     rows
 }
 
+// ------------------------------------------------------------- saturation
+
+/// Per-rule attempt/insertion counters for one [`SaturationRow`].
+pub struct SaturationRuleRow {
+    /// Table-2 rule label.
+    pub label: &'static str,
+    /// Derive attempts under naive saturation (full rule sweeps).
+    pub naive_attempts: u64,
+    /// Derive attempts under semi-naive saturation (delta-gated).
+    pub semi_attempts: u64,
+    /// New terms the rule inserted — identical in both modes.
+    pub new_terms: u64,
+}
+
+/// One naive-vs-semi-naive saturation measurement.
+pub struct SaturationRow {
+    /// Schema family.
+    pub family: &'static str,
+    /// Size parameter.
+    pub param: usize,
+    /// Unfolded program size (numbered occurrences).
+    pub nodes: usize,
+    /// Closure size (terms) — identical for both modes by construction.
+    pub terms: usize,
+    /// Naive-saturation closure time (proofs off), microseconds.
+    pub naive_micros: u128,
+    /// Semi-naive closure time (proofs off), microseconds.
+    pub semi_micros: u128,
+    /// Total derive attempts, naive mode.
+    pub naive_derives: u64,
+    /// Total derive attempts, semi-naive mode.
+    pub semi_derives: u64,
+    /// Whether the two closures matched term-for-term, round-for-round,
+    /// witness-for-witness.
+    pub identical: bool,
+    /// Per-rule counters, sorted by naive attempt count descending.
+    pub rules: Vec<SaturationRuleRow>,
+}
+
+impl SaturationRow {
+    /// Naive time over semi-naive time.
+    pub fn speedup(&self) -> f64 {
+        if self.semi_micros == 0 {
+            f64::INFINITY
+        } else {
+            self.naive_micros as f64 / self.semi_micros as f64
+        }
+    }
+}
+
+/// `saturation` — time naive full-sweep saturation against the semi-naive
+/// delta engine on the two re-firing-heavy families (`wide_grants` and
+/// `dense_equalities`), verifying the closures stay byte-identical:
+/// same term set, same round count, same witnesses. The timed runs are
+/// uninstrumented (`ProofMode::Off`); the per-rule fired/derived-new
+/// counters come from separate stats-collecting runs.
+///
+/// `smoke` shrinks both families to CI-sized instances.
+pub fn saturation_naive_vs_semi(smoke: bool) -> Vec<SaturationRow> {
+    type Gen = fn(usize) -> ScaleCase;
+    let families: [(&'static str, Gen, &'static [usize]); 2] = if smoke {
+        [
+            ("wide_grants", wide_grants, &[8]),
+            ("dense_equalities", dense_equalities, &[8]),
+        ]
+    } else {
+        [
+            ("wide_grants", wide_grants, &[64, 128, 192]),
+            // The equality-clique family saturates in O(n⁴⁺) naive time
+            // (~4 s at n = 16); the sweep stops where the *naive* baseline
+            // stays affordable — the semi-naive side is ~100× cheaper.
+            ("dense_equalities", dense_equalities, &[8, 12, 16]),
+        ]
+    };
+    let rules = RuleConfig::default();
+    let mut rows = Vec::new();
+    for (family, gen, params) in families {
+        for &param in params {
+            let case = gen(param);
+            let caps = case.schema.user_str("u").expect("scale user");
+            let prog = NProgram::unfold(&case.schema, caps).expect("scale unfolds");
+
+            let start = Instant::now();
+            let naive = Closure::compute_with_saturation(
+                &prog,
+                &rules,
+                DEFAULT_TERM_LIMIT,
+                ProofMode::Off,
+                SaturationMode::Naive,
+            )
+            .expect("naive closure");
+            let naive_micros = start.elapsed().as_micros();
+
+            let start = Instant::now();
+            let semi = Closure::compute_with_saturation(
+                &prog,
+                &rules,
+                DEFAULT_TERM_LIMIT,
+                ProofMode::Off,
+                SaturationMode::SemiNaive,
+            )
+            .expect("semi-naive closure");
+            let semi_micros = start.elapsed().as_micros();
+
+            let mut tn: Vec<Term> = naive.iter().collect();
+            let mut ts: Vec<Term> = semi.iter().collect();
+            tn.sort();
+            ts.sort();
+            let mut identical =
+                tn == ts && naive.len() == semi.len() && naive.rounds() == semi.rounds();
+            for e in 1..=prog.len() as secflow::unfold::ExprId {
+                identical &= naive.ti_witness(e) == semi.ti_witness(e)
+                    && naive.pi_witness(e) == semi.pi_witness(e);
+            }
+
+            let stats_for = |mode| {
+                let (c, stats) = Closure::compute_with_stats_saturation(
+                    &prog,
+                    &rules,
+                    DEFAULT_TERM_LIMIT,
+                    ProofMode::Off,
+                    mode,
+                );
+                c.expect("stats closure");
+                stats
+            };
+            let naive_stats = stats_for(SaturationMode::Naive);
+            let semi_stats = stats_for(SaturationMode::SemiNaive);
+            let mut rule_rows: Vec<SaturationRuleRow> = naive_stats
+                .rule_attempts
+                .iter()
+                .map(|&(label, naive_attempts)| SaturationRuleRow {
+                    label,
+                    naive_attempts,
+                    semi_attempts: semi_stats.rule_attempts_of(label),
+                    new_terms: naive_stats.firings_of(label),
+                })
+                .collect();
+            rule_rows.sort_by_key(|r| std::cmp::Reverse(r.naive_attempts));
+            for r in &rule_rows {
+                identical &= semi_stats.firings_of(r.label) == r.new_terms;
+            }
+
+            rows.push(SaturationRow {
+                family,
+                param,
+                nodes: prog.len(),
+                terms: semi.len(),
+                naive_micros,
+                semi_micros,
+                naive_derives: naive_stats.derive_calls,
+                semi_derives: semi_stats.derive_calls,
+                identical,
+                rules: rule_rows,
+            });
+        }
+    }
+    rows
+}
+
 /// The `demand` batch measurement: the multi-requirement workload through
 /// the batch driver, full saturation vs. demand-driven.
 pub struct DemandBatchRow {
@@ -935,6 +1096,32 @@ mod tests {
         let b = demand_batch(true);
         assert!(b.identical, "batch verdicts diverged");
         assert!(b.demand_terms <= b.full_terms);
+    }
+
+    #[test]
+    fn saturation_smoke_closures_identical_and_attempts_shrink() {
+        for r in saturation_naive_vs_semi(true) {
+            assert!(r.identical, "{} {} diverged", r.family, r.param);
+            assert!(r.terms > 0, "{} {} empty closure", r.family, r.param);
+            assert!(
+                r.semi_derives <= r.naive_derives,
+                "{} {}: semi-naive attempted more",
+                r.family,
+                r.param
+            );
+            let total: u64 = r.rules.iter().map(|x| x.naive_attempts).sum();
+            assert_eq!(total, r.naive_derives, "per-rule rows partition attempts");
+            for rule in &r.rules {
+                assert!(
+                    rule.semi_attempts <= rule.naive_attempts,
+                    "{} {} {}: attempts grew",
+                    r.family,
+                    r.param,
+                    rule.label
+                );
+                assert!(rule.new_terms <= rule.naive_attempts);
+            }
+        }
     }
 
     #[test]

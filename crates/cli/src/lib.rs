@@ -878,11 +878,11 @@ mod tests {
             full_saturation: false,
         };
         let first = run_on_source(&cmd, POLICY);
-        let hits_before = closure_cache().stats().0;
+        let hits_before = closure_cache().stats().hits;
         let second = run_on_source(&cmd, POLICY);
         assert_eq!(first, second);
         assert!(
-            closure_cache().stats().0 > hits_before,
+            closure_cache().stats().hits > hits_before,
             "second identical check must be served from the cache"
         );
     }

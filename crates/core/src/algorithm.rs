@@ -485,6 +485,9 @@ pub struct BatchOutcome {
     pub groups: Vec<BatchGroup>,
     /// Worker threads actually used (after clamping).
     pub jobs_used: usize,
+    /// `(len, capacity)` of the [`ClosureCache`] after this batch, when one
+    /// was passed to [`analyze_batch_cached`]; `None` for uncached runs.
+    pub cache_occupancy: Option<(usize, usize)>,
 }
 
 /// A double-hash fingerprint of a canonical text rendering. Two 64-bit
@@ -535,8 +538,21 @@ struct CacheEntry {
 #[derive(Default)]
 struct CacheInner {
     entries: Vec<(CacheKey, CacheEntry)>,
-    hits: u64,
-    misses: u64,
+    stats: CacheStats,
+}
+
+/// Lifetime counters of a [`ClosureCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Groups served without any saturation.
+    pub hits: u64,
+    /// Groups that had to saturate: cold misses plus union recomputes.
+    pub misses: u64,
+    /// The subset of `misses` that found a cached entry for the key but
+    /// could not cover the new goals, so the closure was recomputed —
+    /// against the cached unfolding — with the union of old and new goal
+    /// sets.
+    pub union_recomputes: u64,
 }
 
 /// A cross-call cache of demand-driven closures, keyed by
@@ -570,17 +586,22 @@ impl ClosureCache {
         }
     }
 
-    /// `(hits, misses)` over the cache's lifetime. A "hit" means a group
-    /// was served without any saturation; recompute-with-union counts as a
-    /// miss even though it reuses the cached unfolding.
-    pub fn stats(&self) -> (u64, u64) {
-        let inner = self.lock();
-        (inner.hits, inner.misses)
+    /// Lifetime counters. A "hit" means a group was served without any
+    /// saturation; recompute-with-union counts as a miss even though it
+    /// reuses the cached unfolding, and is additionally tallied in
+    /// [`CacheStats::union_recomputes`].
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
     }
 
     /// Number of cached closures.
     pub fn len(&self) -> usize {
         self.lock().entries.len()
+    }
+
+    /// Maximum number of closures the cache retains (FIFO eviction past it).
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Is the cache empty?
@@ -601,13 +622,14 @@ impl ClosureCache {
             .map(|(_, e)| e.clone())
     }
 
-    fn note(&self, hit: bool) {
+    fn note_hit(&self) {
+        self.lock().stats.hits += 1;
+    }
+
+    fn note_miss(&self, union_recompute: bool) {
         let mut inner = self.lock();
-        if hit {
-            inner.hits += 1;
-        } else {
-            inner.misses += 1;
-        }
+        inner.stats.misses += 1;
+        inner.stats.union_recomputes += u64::from(union_recompute);
     }
 
     fn store(&self, key: CacheKey, entry: CacheEntry) {
@@ -631,12 +653,13 @@ impl Default for ClosureCache {
 
 impl fmt::Debug for ClosureCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let (hits, misses) = self.stats();
+        let stats = self.stats();
         f.debug_struct("ClosureCache")
             .field("len", &self.len())
             .field("capacity", &self.capacity)
-            .field("hits", &hits)
-            .field("misses", &misses)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("union_recomputes", &stats.union_recomputes)
             .finish()
     }
 }
@@ -695,7 +718,7 @@ fn demand_shared_cached(
     let prior = ctx.cache.lookup(&key);
     if let Some(entry) = &prior {
         if entry_covers(entry, group_reqs) {
-            ctx.cache.note(true);
+            ctx.cache.note_hit();
             return Ok((
                 Arc::clone(&entry.prog),
                 Arc::clone(&entry.closure),
@@ -703,7 +726,7 @@ fn demand_shared_cached(
             ));
         }
     }
-    ctx.cache.note(false);
+    ctx.cache.note_miss(prior.is_some());
     let (prog, mut memo, mut covered) = match prior {
         Some(entry) => (entry.prog, OccMemo::from_entries(entry.occs), entry.covered),
         None => (
@@ -892,6 +915,7 @@ pub fn analyze_batch_cached(
             .collect(),
         groups,
         jobs_used: jobs,
+        cache_occupancy: cache.map(|c| (c.len(), c.capacity())),
     }
 }
 
@@ -1401,6 +1425,10 @@ mod tests {
             },
         );
         assert_eq!(demand.verdicts, full.verdicts);
+        assert_eq!(
+            demand.cache_occupancy, None,
+            "uncached batches report no occupancy"
+        );
     }
 
     #[test]
@@ -1411,12 +1439,22 @@ mod tests {
         let config = AnalysisConfig::default();
         let opts = BatchOptions::default();
         let first = analyze_batch_cached(&s, &reqs, &config, &opts, Some(&cache));
-        let (hits, misses) = cache.stats();
-        assert_eq!((hits, misses), (0, 4), "four users, all cold");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 4), "four users, all cold");
+        assert_eq!(stats.union_recomputes, 0, "cold misses are not recomputes");
         assert_eq!(cache.len(), 4);
+        assert_eq!(
+            first.cache_occupancy,
+            Some((4, 8)),
+            "occupancy reported after a cached batch"
+        );
         let second = analyze_batch_cached(&s, &reqs, &config, &opts, Some(&cache));
-        let (hits, misses) = cache.stats();
-        assert_eq!((hits, misses), (4, 4), "identical batch fully served");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (4, 4),
+            "identical batch fully served"
+        );
         assert_eq!(first.verdicts, second.verdicts);
         let expected: Vec<_> = reqs.iter().map(|r| analyze(&s, r)).collect();
         assert_eq!(second.verdicts, expected);
@@ -1440,13 +1478,21 @@ mod tests {
             "union recompute keeps verdicts identical"
         );
         assert_eq!(cache.len(), 1, "same key, refreshed entry");
+        assert_eq!(
+            cache.stats().union_recomputes,
+            1,
+            "second goal shape recomputed against the cached entry"
+        );
         let both: Vec<_> = ["(clerk, r_salary(x) : ti)", "(clerk, r_budget(x) : ta)"]
             .iter()
             .map(|r| parse_requirement(r).unwrap())
             .collect();
         let before = cache.stats();
         let out = analyze_batch_cached(&s, &both, &config, &opts, Some(&cache));
-        assert_eq!(cache.stats(), (before.0 + 1, before.1), "union entry hits");
+        let after = cache.stats();
+        assert_eq!(after.hits, before.hits + 1, "union entry hits");
+        assert_eq!(after.misses, before.misses, "no further misses");
+        assert_eq!(after.union_recomputes, before.union_recomputes);
         let expected: Vec<_> = both.iter().map(|r| analyze(&s, r)).collect();
         assert_eq!(out.verdicts, expected);
     }
@@ -1465,7 +1511,7 @@ mod tests {
         analyze_batch_cached(&s, &a, &config, &opts, Some(&cache));
         let b = [parse_requirement("(payroll_twin, w_salary(x, v: ta))").unwrap()];
         let out = analyze_batch_cached(&s, &b, &config, &opts, Some(&cache));
-        assert_eq!(cache.stats().0, 1, "twin user hits payroll's entry");
+        assert_eq!(cache.stats().hits, 1, "twin user hits payroll's entry");
         assert_eq!(out.verdicts[0], analyze(&s, &b[0]));
     }
 
@@ -1482,12 +1528,12 @@ mod tests {
         assert_eq!(cache.len(), 2);
         // clerk (oldest) was evicted; safe_clerk still hits.
         let r = [parse_requirement("(safe_clerk, r_salary(x) : ti)").unwrap()];
-        let before = cache.stats().0;
+        let before = cache.stats().hits;
         analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
-        assert_eq!(cache.stats().0, before + 1);
+        assert_eq!(cache.stats().hits, before + 1);
         let r = [parse_requirement("(clerk, r_salary(x) : ti)").unwrap()];
         analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
-        assert_eq!(cache.stats().0, before + 1, "evicted entry misses");
+        assert_eq!(cache.stats().hits, before + 1, "evicted entry misses");
     }
 
     #[test]
@@ -1516,7 +1562,7 @@ mod tests {
             assert_eq!(out.verdicts, expected);
         }
         assert!(cache.is_empty(), "ineligible runs never touch the cache");
-        assert_eq!(cache.stats(), (0, 0));
+        assert_eq!(cache.stats(), CacheStats::default());
     }
 
     #[test]

@@ -75,12 +75,56 @@ pub struct LocalRule {
     pub conclusion: LTerm,
 }
 
+/// Premise-kind bits, one per term kind a local rule can consume. The
+/// semi-naive closure engine accumulates these per basic node as terms are
+/// inserted on its slot expressions and re-evaluates only the rules whose
+/// [`LocalRule::premise_kinds`] mask intersects the accumulated mask.
+/// (`=[e1,e2]` has no bit: no local rule has an equality premise.)
+pub mod kind {
+    /// `ta[e]` premise.
+    pub const TA: u8 = 1;
+    /// `pa[e]` premise.
+    pub const PA: u8 = 1 << 1;
+    /// `ti[e,n,d]` premise.
+    pub const TI: u8 = 1 << 2;
+    /// `pi[e,n,d]` premise.
+    pub const PI: u8 = 1 << 3;
+    /// `pi*[(e1,e2),n,d]` premise.
+    pub const PISTAR: u8 = 1 << 4;
+    /// Every kind — the mask a naive (non-delta) evaluation uses.
+    pub const ALL: u8 = TA | PA | TI | PI | PISTAR;
+}
+
 impl LocalRule {
     fn new(name: &'static str, premises: Vec<LTerm>, conclusion: LTerm) -> LocalRule {
         LocalRule {
             name,
             premises,
             conclusion,
+        }
+    }
+
+    /// Bitmask (over [`kind`]) of the premise kinds this rule consumes. A
+    /// rule can only derive something new after a premise-shaped term
+    /// appears on one of its node's slots, so an evaluation may skip it
+    /// whenever the inserted-kinds mask since the node's last evaluation
+    /// misses this mask. A premise-less rule (none exist today) would
+    /// answer [`kind::ALL`] so it is never skipped.
+    pub fn premise_kinds(&self) -> u8 {
+        let mut mask = 0u8;
+        for p in &self.premises {
+            mask |= match p {
+                LTerm::Cap(LCap::Ta, _) => kind::TA,
+                LTerm::Cap(LCap::Pa, _) => kind::PA,
+                LTerm::Cap(LCap::Ti, _) => kind::TI,
+                LTerm::Cap(LCap::Pi, _) => kind::PI,
+                LTerm::PiStar(..) => kind::PISTAR,
+            };
+        }
+        if mask == 0 {
+            kind::ALL
+        } else {
+            mask
         }
     }
 }
@@ -679,6 +723,29 @@ mod tests {
                 assert!(!rule.premises.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn premise_kind_masks_cover_exactly_the_premises() {
+        for op in BasicOp::ALL {
+            for rule in rules_for(op) {
+                let mask = rule.premise_kinds();
+                assert_ne!(mask, 0, "no rule may be unconditionally skippable");
+                for p in &rule.premises {
+                    let bit = match p {
+                        Cap(Ta, _) => kind::TA,
+                        Cap(Pa, _) => kind::PA,
+                        Cap(Ti, _) => kind::TI,
+                        Cap(Pi, _) => kind::PI,
+                        PiStar(..) => kind::PISTAR,
+                    };
+                    assert_ne!(mask & bit, 0, "{op:?} {rule:?} misses {bit:#b}");
+                }
+            }
+        }
+        // The search rule consumes ti+pa; a pure compute rule only ti.
+        assert_eq!(search_rule(0, 1, "x").premise_kinds(), kind::TI | kind::PA);
+        assert_eq!(compute_binary().premise_kinds(), kind::TI);
     }
 
     #[test]

@@ -5,6 +5,16 @@
 //! sized from the [`NProgram`]) replace hash-map indexes on the hot path. A
 //! worklist drives propagation, so every rule fires once per new premise.
 //!
+//! Under [`SaturationMode::SemiNaive`] (the default) the worklist is
+//! evaluated as a semi-naive delta fixpoint: packed bit-grid mirrors of
+//! the capability tables answer the dedup probe with one mask test before
+//! any hashing, and per-node dirty kind-masks skip local-rule evaluations
+//! whose premise tables have not changed since the node's rules last ran.
+//! [`SaturationMode::Naive`] keeps the PR-2 behaviour (full re-evaluation,
+//! hash-only dedup) as an in-engine baseline; both modes produce
+//! byte-identical closures — same insertion order, rounds, witnesses and
+//! proofs (see DESIGN.md §12 for the exactness argument).
+//!
 //! Proof recording is a mode: under [`ProofMode::Full`] every derived term
 //! records the rule label and the exact premise terms that produced it,
 //! which is what lets [`crate::report`] print Figure-1 style derivations.
@@ -24,7 +34,7 @@
 //! witness origins. [`crate::reference`] keeps a slow-path twin of this
 //! traversal for differential testing.
 
-use crate::basics::{rules_for, LCap, LTerm, LocalRule, Slot};
+use crate::basics::{kind, rules_for, LCap, LTerm, LocalRule, Slot};
 use crate::demand::{DemandPlan, GoalTracker};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::rules::{axioms_with, labels, RuleConfig};
@@ -58,6 +68,24 @@ pub enum ProofMode {
     Full,
     /// Record membership only; [`Closure::proof`] always returns `None`.
     Off,
+}
+
+/// Which evaluation strategy drives the saturation worklist.
+///
+/// Both strategies compute the *same* closure — identical term insertion
+/// order, rounds, witnesses and proofs — so the choice is purely a
+/// performance knob. `Naive` is kept as the in-engine baseline for the
+/// `saturation` bench experiment and the differential suites.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SaturationMode {
+    /// Re-evaluate the full local rule set of every touched node on every
+    /// pop, with a hash probe per derive call (the pre-rework engine).
+    Naive,
+    /// Semi-naive delta evaluation: per-node dirty kind-masks gate
+    /// local-rule evaluation and packed bitset mirrors of the capability
+    /// tables answer the dedup check without hashing.
+    #[default]
+    SemiNaive,
 }
 
 /// Closure failure.
@@ -132,7 +160,20 @@ impl Closure {
         limit: usize,
         mode: ProofMode,
     ) -> Result<Closure, ClosureError> {
-        Engine::new(prog, *config, limit, mode, NoopObserver)
+        Self::compute_with_saturation(prog, config, limit, mode, SaturationMode::default())
+    }
+
+    /// [`Closure::compute_with_mode`] with an explicit [`SaturationMode`].
+    /// Both modes produce byte-identical closures; `Naive` exists as the
+    /// baseline for the `saturation` bench and the differential suites.
+    pub fn compute_with_saturation(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        mode: ProofMode,
+        sat: SaturationMode,
+    ) -> Result<Closure, ClosureError> {
+        Engine::new(prog, *config, limit, mode, sat, NoopObserver)
             .run()
             .0
     }
@@ -160,8 +201,21 @@ impl Closure {
         limit: usize,
         mode: ProofMode,
     ) -> (Result<Closure, ClosureError>, ClosureStats) {
+        Self::compute_with_stats_saturation(prog, config, limit, mode, SaturationMode::default())
+    }
+
+    /// [`Closure::compute_with_stats_mode`] with an explicit
+    /// [`SaturationMode`]. The closure is identical either way; the stats
+    /// differ (fewer derive attempts and rule evaluations in `SemiNaive`).
+    pub fn compute_with_stats_saturation(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        mode: ProofMode,
+        sat: SaturationMode,
+    ) -> (Result<Closure, ClosureError>, ClosureStats) {
         let (result, mut stats) =
-            Engine::new(prog, *config, limit, mode, ClosureStats::new(limit)).run();
+            Engine::new(prog, *config, limit, mode, sat, ClosureStats::new(limit)).run();
         stats.aborted = result.is_err();
         (result, stats)
     }
@@ -181,7 +235,18 @@ impl Closure {
         limit: usize,
         plan: &DemandPlan,
     ) -> Result<Closure, ClosureError> {
-        let mut engine = Engine::new(prog, *config, limit, ProofMode::Off, NoopObserver);
+        Self::compute_demand_saturation(prog, config, limit, plan, SaturationMode::default())
+    }
+
+    /// [`Closure::compute_demand`] with an explicit [`SaturationMode`].
+    pub fn compute_demand_saturation(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        plan: &DemandPlan,
+        sat: SaturationMode,
+    ) -> Result<Closure, ClosureError> {
+        let mut engine = Engine::new(prog, *config, limit, ProofMode::Off, sat, NoopObserver);
         engine.demand = Some(DemandState::new(plan));
         engine.run().0
     }
@@ -193,11 +258,30 @@ impl Closure {
         limit: usize,
         plan: &DemandPlan,
     ) -> (Result<Closure, ClosureError>, ClosureStats) {
+        Self::compute_demand_with_stats_saturation(
+            prog,
+            config,
+            limit,
+            plan,
+            SaturationMode::default(),
+        )
+    }
+
+    /// [`Closure::compute_demand_with_stats`] with an explicit
+    /// [`SaturationMode`].
+    pub fn compute_demand_with_stats_saturation(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        plan: &DemandPlan,
+        sat: SaturationMode,
+    ) -> (Result<Closure, ClosureError>, ClosureStats) {
         let mut engine = Engine::new(
             prog,
             *config,
             limit,
             ProofMode::Off,
+            sat,
             ClosureStats::new(limit),
         );
         engine.demand = Some(DemandState::new(plan));
@@ -322,6 +406,136 @@ impl<'d> DemandState<'d> {
     }
 }
 
+/// A dense two-dimensional bit table: `rows` rows of `bits_per_row` bits,
+/// packed into `u64` words. The semi-naive engine keeps one grid per term
+/// kind as an *exact mirror* of the corresponding capability table — a set
+/// bit means the term is in the closure — so the dedup probe in `derive`
+/// becomes a mask test instead of a packed-u128 hash-set probe.
+#[derive(Clone)]
+struct BitGrid {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitGrid {
+    fn new(rows: usize, bits_per_row: usize) -> BitGrid {
+        let words_per_row = bits_per_row.div_ceil(64);
+        BitGrid {
+            words_per_row,
+            bits: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    #[inline]
+    fn get(&self, row: usize, bit: usize) -> bool {
+        let w = row * self.words_per_row + bit / 64;
+        (self.bits[w] >> (bit % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, bit: usize) {
+        let w = row * self.words_per_row + bit / 64;
+        self.bits[w] |= 1u64 << (bit % 64);
+    }
+}
+
+/// Is row `ra` of `a` a subset of row `rb` of `b`, ignoring the `except`
+/// bits? (`a[ra] \ (b[rb] ∪ except) = ∅`.) This is the bulk form of the
+/// dedup pre-check: when every conclusion a join loop could produce is
+/// already mirrored in `b[rb]`, the whole scan would dedup and can be
+/// skipped in O(row words) instead of O(entries) derive calls.
+#[inline]
+fn row_diff_is_empty(a: &BitGrid, ra: usize, b: &BitGrid, rb: usize, except: &[usize]) -> bool {
+    debug_assert_eq!(a.words_per_row, b.words_per_row);
+    let wa = ra * a.words_per_row;
+    let wb = rb * b.words_per_row;
+    for w in 0..a.words_per_row {
+        let mut diff = a.bits[wa + w] & !b.bits[wb + w];
+        for &e in except {
+            if e / 64 == w {
+                diff &= !(1u64 << (e % 64));
+            }
+        }
+        if diff != 0 {
+            return false;
+        }
+    }
+    true
+}
+
+/// Bit index of an origin inside a `BitGrid` row: origins range over
+/// `{0..N} × {+,−}`, so `num * 2 + dir` enumerates them densely.
+#[inline]
+fn origin_bit(o: Origin) -> usize {
+    (o.num as usize) * 2 + (o.dir == Dir::Up) as usize
+}
+
+/// Mutable state of a [`SaturationMode::SemiNaive`] run.
+///
+/// The grids mirror the `ti`/`pi`/`eq` tables exactly, and the `pistar`
+/// table is mirrored per origin: `pi*` pairs can carry several origins, so
+/// one pair grid per [`origin_bit`] (allocated lazily, on the first `pi*`
+/// insert carrying that origin) keeps membership a single mask test.
+/// `dirty[node]` accumulates the kinds of premise-shaped terms inserted on
+/// the node's slot expressions since the node's local rules last ran — a
+/// rule set is only re-evaluated when its premise-kind mask intersects the
+/// accumulated mask (see `fire_local_rules`; DESIGN.md §12 proves this
+/// skips only evaluations that would derive nothing new).
+struct DeltaState {
+    /// `ti` mirror: row = expression, bit = [`origin_bit`].
+    ti: BitGrid,
+    /// `pi` mirror, same layout.
+    pi: BitGrid,
+    /// `=[a,b]` mirror: row = `a`, bit = `b`, set symmetrically.
+    eq: BitGrid,
+    /// `pi*[(a,b), o]` mirrors, one pair grid per [`origin_bit`]`(o)`,
+    /// laid out like `eq` and set symmetrically. `None` until a `pi*` term
+    /// with that origin exists, so memory stays proportional to the
+    /// origins actually carried by joint constraints.
+    star_by: Vec<Option<BitGrid>>,
+    /// `pi*` partner sets regardless of origin (the bulk tests need the
+    /// full partner row; a `star_by` grid alone proves presence).
+    star_any: BitGrid,
+    /// Does `pistar[e]` hold any entry with a non-axiom origin? Gates the
+    /// non-axiom `pi*` scan in the `Eq` arm and the all-axiom transfer
+    /// skip.
+    star_mixed: Vec<bool>,
+    /// Row count (`= bits per pair-grid row`), for lazy `star_by` grids.
+    rows: usize,
+    /// node → kinds (see [`crate::basics::kind`]) inserted on its slot
+    /// expressions since the node's local rules last ran.
+    dirty: Vec<u8>,
+}
+
+impl DeltaState {
+    fn new(n: usize) -> DeltaState {
+        DeltaState {
+            ti: BitGrid::new(n, 2 * n),
+            pi: BitGrid::new(n, 2 * n),
+            eq: BitGrid::new(n, n),
+            star_by: vec![None; 2 * n],
+            star_any: BitGrid::new(n, n),
+            star_mixed: vec![false; n],
+            rows: n,
+            dirty: vec![0u8; n],
+        }
+    }
+
+    /// The pair grid for origin bit `ob`, if any `pi*` term with that
+    /// origin has been inserted.
+    #[inline]
+    fn star(&self, ob: usize) -> Option<&BitGrid> {
+        self.star_by[ob].as_ref()
+    }
+
+    /// The pair grid for origin bit `ob`, allocating it on first use.
+    #[inline]
+    fn star_mut(&mut self, ob: usize) -> &mut BitGrid {
+        let rows = self.rows;
+        self.star_by[ob].get_or_insert_with(|| BitGrid::new(rows, rows))
+    }
+}
+
 struct Engine<'p, O: ClosureObserver> {
     prog: &'p NProgram,
     config: RuleConfig,
@@ -349,7 +563,12 @@ struct Engine<'p, O: ClosureObserver> {
     writes_by_recv: Vec<Vec<(AttrId, ExprId)>>,
     /// `new C(…)` node → (interned attribute, argument) pairs.
     ctor_args: Vec<Vec<(AttrId, ExprId)>>,
-    op_rules: FxHashMap<BasicOp, Rc<[LocalRule]>>,
+    /// Rules per operator, each paired with its premise-kind mask
+    /// ([`LocalRule::premise_kinds`]) so a dirty-mask intersection can skip
+    /// rules none of whose premise tables changed.
+    op_rules: FxHashMap<BasicOp, Rc<[(u8, LocalRule)]>>,
+    /// Semi-naive state (`None` = [`SaturationMode::Naive`]).
+    delta: Option<DeltaState>,
     /// Demand mode: slice filter + goal tracking (`None` = full saturation).
     demand: Option<DemandState<'p>>,
 }
@@ -360,6 +579,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         config: RuleConfig,
         limit: usize,
         mode: ProofMode,
+        sat: SaturationMode,
         obs: O,
     ) -> Engine<'p, O> {
         let n = prog.len() + 1; // ExprIds are 1-based
@@ -371,7 +591,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         let mut read_attr: Vec<Option<AttrId>> = vec![None; n];
         let mut writes_by_recv: Vec<Vec<(AttrId, ExprId)>> = vec![Vec::new(); n];
         let mut ctor_args: Vec<Vec<(AttrId, ExprId)>> = vec![Vec::new(); n];
-        let mut op_rules: FxHashMap<BasicOp, Rc<[LocalRule]>> = FxHashMap::default();
+        let mut op_rules: FxHashMap<BasicOp, Rc<[(u8, LocalRule)]>> = FxHashMap::default();
         let mut attr_ids: HashMap<AttrName, AttrId> = HashMap::new();
 
         for e in prog.iter() {
@@ -389,7 +609,13 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                     }
                     basic_nodes[e.id as usize].push(e.id);
                     basic_info[e.id as usize] = Some((*op, buf, args.len() as u8));
-                    op_rules.entry(*op).or_insert_with(|| rules_for(*op).into());
+                    op_rules.entry(*op).or_insert_with(|| {
+                        rules_for(*op)
+                            .into_iter()
+                            .map(|r| (r.premise_kinds(), r))
+                            .collect::<Vec<_>>()
+                            .into()
+                    });
                     // Diagonal candidates: ops whose restriction to equal
                     // arguments is injective (x+x = 2x, x*x = x², s++s).
                     if matches!(op, BasicOp::Add | BasicOp::Mul | BasicOp::Concat)
@@ -445,6 +671,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             writes_by_recv,
             ctor_args,
             op_rules,
+            delta: (sat == SaturationMode::SemiNaive).then(|| DeltaState::new(n)),
             demand: None,
         }
     }
@@ -529,6 +756,87 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         self.out.terms.contains(&TermId::new(t))
     }
 
+    /// Semi-naive dedup pre-check: do the bit mirrors prove the term is
+    /// already in the closure? Exact, never over-approximate: bits are set
+    /// only when a term actually lands in the tables (after the budget
+    /// check), so a hit here implies the hash probe would have deduped.
+    /// Always `false` in `Naive` mode.
+    #[inline]
+    fn mirror_contains(&self, t: &Term) -> bool {
+        let Some(delta) = &self.delta else {
+            return false;
+        };
+        match *t {
+            Term::Ta(e) => self.out.ta[e as usize],
+            Term::Pa(e) => self.out.pa[e as usize],
+            Term::Ti(e, o) => delta.ti.get(e as usize, origin_bit(o)),
+            Term::Pi(e, o) => delta.pi.get(e as usize, origin_bit(o)),
+            Term::Eq(a, b) => delta.eq.get(a as usize, b as usize),
+            Term::PiStar(a, b, o) => delta
+                .star(origin_bit(o))
+                .is_some_and(|g| g.get(a as usize, b as usize)),
+        }
+    }
+
+    /// Record an inserted term in the bit mirrors and mark the nodes whose
+    /// local rules gained a premise-shaped fact as dirty. `Eq` marks no
+    /// node: local rules have no equality premises (equalities reach them
+    /// indirectly, through the capability terms `transfer_all_caps`
+    /// derives, which mark on their own insertion).
+    #[inline]
+    fn note_delta(&mut self, t: &Term) {
+        let Some(delta) = &mut self.delta else {
+            return;
+        };
+        match *t {
+            Term::Ta(e) => {
+                for &node in &self.basic_nodes[e as usize] {
+                    delta.dirty[node as usize] |= kind::TA;
+                }
+            }
+            Term::Pa(e) => {
+                for &node in &self.basic_nodes[e as usize] {
+                    delta.dirty[node as usize] |= kind::PA;
+                }
+            }
+            Term::Ti(e, o) => {
+                delta.ti.set(e as usize, origin_bit(o));
+                for &node in &self.basic_nodes[e as usize] {
+                    delta.dirty[node as usize] |= kind::TI;
+                }
+            }
+            Term::Pi(e, o) => {
+                delta.pi.set(e as usize, origin_bit(o));
+                for &node in &self.basic_nodes[e as usize] {
+                    delta.dirty[node as usize] |= kind::PI;
+                }
+            }
+            Term::PiStar(a, b, o) => {
+                for (x, y) in [(a, b), (b, a)] {
+                    delta.star_any.set(x as usize, y as usize);
+                    if o != Origin::AXIOM {
+                        delta.star_mixed[x as usize] = true;
+                    }
+                }
+                let g = delta.star_mut(origin_bit(o));
+                g.set(a as usize, b as usize);
+                g.set(b as usize, a as usize);
+                for e in [a, b] {
+                    for &node in &self.basic_nodes[e as usize] {
+                        delta.dirty[node as usize] |= kind::PISTAR;
+                    }
+                }
+            }
+            Term::Eq(a, b) => {
+                // Both directions: the mirror probe only needs the
+                // normalised `(a, b)` bit, but the bulk transitivity test
+                // reads rows as adjacency sets.
+                delta.eq.set(a as usize, b as usize);
+                delta.eq.set(b as usize, a as usize);
+            }
+        }
+    }
+
     fn derive(
         &mut self,
         t: Term,
@@ -547,6 +855,14 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             }
         }
         self.obs.derive_attempt();
+        self.obs.rule_fired(rule);
+        // Semi-naive: the bit mirrors prove membership without hashing —
+        // the dominant outcome on equality-dense programs, where >99% of
+        // derive calls are dedup-rejected re-derivations.
+        if self.mirror_contains(&t) {
+            self.obs.dedup_hit();
+            return Ok(());
+        }
         let id = TermId::new(t);
         if !self.out.terms.insert(id) {
             self.obs.dedup_hit();
@@ -580,6 +896,9 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 self.out.eq[b as usize].push(a);
             }
         }
+        // After the budget check: an aborted insert must leave no trace in
+        // the mirrors or the dirty masks.
+        self.note_delta(&t);
         if let Some(d) = &mut self.demand {
             if d.tracker.on_insert(&t) {
                 d.done = true;
@@ -642,7 +961,26 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                     }
                     // Compose pi* chains. The snapshot length bounds the
                     // loop: anything appended mid-loop is requeued anyway.
+                    // Bulk pre-check: every composition `pi*[(end,c), o]`
+                    // already mirrored means the scan would dedup entirely.
+                    // The entries' own origins don't matter: the conclusion
+                    // carries the popped origin `o`, so `star_any[via]`
+                    // lists the candidate `c`s and the `o` pair grid proves
+                    // presence (it exists — the popped term is mirrored).
                     for (end, via) in [(a, b), (b, a)] {
+                        if let Some(d) = &self.delta {
+                            if d.star(origin_bit(o)).is_some_and(|g| {
+                                row_diff_is_empty(
+                                    &d.star_any,
+                                    via as usize,
+                                    g,
+                                    end as usize,
+                                    &[end as usize, via as usize],
+                                )
+                            }) {
+                                continue;
+                            }
+                        }
                         let len = self.out.pistar[via as usize].len();
                         for k in 0..len {
                             let (c, o2) = self.out.pistar[via as usize][k];
@@ -663,8 +1001,17 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 }
             }
             Term::Eq(a, b) => {
-                // Transitivity.
+                // Transitivity. Bulk pre-check (semi-naive): every partner
+                // of `x` already adjacent to `y` means the whole scan would
+                // dedup — one row test replaces O(clique) derive calls,
+                // which is where saturated equality cliques spend their
+                // time.
                 for (x, y) in [(a, b), (b, a)] {
+                    if let Some(d) = &self.delta {
+                        if row_diff_is_empty(&d.eq, x as usize, &d.eq, y as usize, &[y as usize]) {
+                            continue;
+                        }
+                    }
                     let len = self.out.eq[x as usize].len();
                     for k in 0..len {
                         let c = self.out.eq[x as usize][k];
@@ -718,7 +1065,11 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 // restricts the shared value itself — the diagonal of the
                 // joint set may be a proper subset (I(E): join of rule 5
                 // with the joint term).
-                if self.config.pi_star {
+                if self.config.pi_star
+                    // The scan only looks for non-axiom entries; skip it
+                    // when the mirror proves there are none.
+                    && self.delta.as_ref().is_none_or(|d| d.star_mixed[a as usize])
+                {
                     let len = self.out.pistar[a as usize].len();
                     for k in 0..len {
                         let (x, o) = self.out.pistar[a as usize][k];
@@ -824,32 +1175,62 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         if self.out.pa[from as usize] {
             self.derive(Term::Pa(to), labels::ALTER_BY_EQ, &[eq, Term::Pa(from)])?;
         }
-        let n_ti = self.out.ti[from as usize].len();
-        for k in 0..n_ti {
-            let o = self.out.ti[from as usize][k];
-            self.derive(
-                Term::Ti(to, o),
-                labels::INFER_BY_EQ,
-                &[eq, Term::Ti(from, o)],
-            )?;
+        // Bulk pre-checks (semi-naive): when `to` already mirrors every
+        // origin `from` carries, the whole per-origin loop would dedup.
+        let skip_ti = self
+            .delta
+            .as_ref()
+            .is_some_and(|d| row_diff_is_empty(&d.ti, from as usize, &d.ti, to as usize, &[]));
+        if !skip_ti {
+            let n_ti = self.out.ti[from as usize].len();
+            for k in 0..n_ti {
+                let o = self.out.ti[from as usize][k];
+                self.derive(
+                    Term::Ti(to, o),
+                    labels::INFER_BY_EQ,
+                    &[eq, Term::Ti(from, o)],
+                )?;
+            }
         }
-        let n_pi = self.out.pi[from as usize].len();
-        for k in 0..n_pi {
-            let o = self.out.pi[from as usize][k];
-            self.derive(
-                Term::Pi(to, o),
-                labels::INFER_BY_EQ,
-                &[eq, Term::Pi(from, o)],
-            )?;
+        let skip_pi = self
+            .delta
+            .as_ref()
+            .is_some_and(|d| row_diff_is_empty(&d.pi, from as usize, &d.pi, to as usize, &[]));
+        if !skip_pi {
+            let n_pi = self.out.pi[from as usize].len();
+            for k in 0..n_pi {
+                let o = self.out.pi[from as usize][k];
+                self.derive(
+                    Term::Pi(to, o),
+                    labels::INFER_BY_EQ,
+                    &[eq, Term::Pi(from, o)],
+                )?;
+            }
         }
         if self.config.pi_star {
-            let n_star = self.out.pistar[from as usize].len();
-            for k in 0..n_star {
-                let (other, o) = self.out.pistar[from as usize][k];
-                if other != to {
-                    if let Some(nt) = Term::pi_star(to, other, o) {
-                        let prem = Term::pi_star(from, other, o).expect("stored pi* is proper");
-                        self.derive(nt, labels::INFER_BY_EQ, &[eq, prem])?;
+            // Valid only when every entry is axiom-origin (the axiom pair
+            // grid can then prove presence of each conclusion).
+            let skip_star = self.delta.as_ref().is_some_and(|d| {
+                !d.star_mixed[from as usize]
+                    && d.star(origin_bit(Origin::AXIOM)).is_some_and(|g| {
+                        row_diff_is_empty(
+                            &d.star_any,
+                            from as usize,
+                            g,
+                            to as usize,
+                            &[to as usize],
+                        )
+                    })
+            });
+            if !skip_star {
+                let n_star = self.out.pistar[from as usize].len();
+                for k in 0..n_star {
+                    let (other, o) = self.out.pistar[from as usize][k];
+                    if other != to {
+                        if let Some(nt) = Term::pi_star(to, other, o) {
+                            let prem = Term::pi_star(from, other, o).expect("stored pi* is proper");
+                            self.derive(nt, labels::INFER_BY_EQ, &[eq, prem])?;
+                        }
                     }
                 }
             }
@@ -861,6 +1242,20 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
     fn transfer_by_eq(&mut self, t: Term, e: ExprId) -> Result<(), ClosureError> {
         if !self.config.eq_transfer {
             return Ok(());
+        }
+        // Bulk pre-check for `pi*` pops (the high-volume case on equality
+        // cliques, where `pi*` terms mirror the full clique): every
+        // eq-partner `p` of `e` already carrying `pi*[(p,other), o]` means
+        // the scan below would dedup entirely.
+        if let Term::PiStar(x, y, o) = t {
+            let other = if x == e { y } else { x };
+            if let Some(d) = &self.delta {
+                if d.star(origin_bit(o)).is_some_and(|g| {
+                    row_diff_is_empty(&d.eq, e as usize, g, other as usize, &[other as usize])
+                }) {
+                    return Ok(());
+                }
+            }
         }
         let len = self.out.eq[e as usize].len();
         for k in 0..len {
@@ -888,26 +1283,50 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         Ok(())
     }
 
-    /// Fire every local (basic-function) rule at the nodes where `e` fills a
+    /// Fire local (basic-function) rules at the nodes where `e` fills a
     /// slot.
+    ///
+    /// Semi-naive: a node's rules are only evaluated when premise-shaped
+    /// terms were inserted on its slot expressions since they last ran
+    /// (`dirty[node] != 0`), and then only the rules whose premise-kind
+    /// mask intersects the accumulated kinds. Skipped evaluations have
+    /// bit-for-bit unchanged premise tables, so they would re-derive
+    /// exactly what the last evaluation derived — all dedup, no inserts —
+    /// and dropping them cannot change the insertion order (DESIGN.md §12).
+    /// The mask is cleared *before* evaluating so a rule whose conclusion
+    /// feeds its own node re-marks itself.
     fn fire_local_rules(&mut self, e: ExprId) -> Result<(), ClosureError> {
         if !self.config.basic_rules {
             return Ok(());
         }
         for k in 0..self.basic_nodes[e as usize].len() {
             let node = self.basic_nodes[e as usize][k];
-            self.try_node(node)?;
+            let want = match &mut self.delta {
+                Some(delta) => {
+                    let mask = delta.dirty[node as usize];
+                    if mask == 0 {
+                        continue;
+                    }
+                    delta.dirty[node as usize] = 0;
+                    mask
+                }
+                None => kind::ALL,
+            };
+            self.try_node(node, want)?;
         }
         Ok(())
     }
 
-    fn try_node(&mut self, node: ExprId) -> Result<(), ClosureError> {
+    fn try_node(&mut self, node: ExprId, want: u8) -> Result<(), ClosureError> {
         let Some((op, buf, len)) = self.basic_info[node as usize] else {
             return Ok(());
         };
         let args = &buf[..len as usize];
         let rules = Rc::clone(self.op_rules.get(&op).expect("rules built for every op"));
-        for rule in rules.iter() {
+        for (premise_mask, rule) in rules.iter() {
+            if premise_mask & want == 0 {
+                continue;
+            }
             self.try_rule(node, args, rule)?;
         }
         Ok(())
@@ -1185,6 +1604,16 @@ mod tests {
         assert_eq!(stats.total_terms() as usize, c.len());
         // Every derive attempt either deduplicated or inserted.
         assert_eq!(stats.derive_calls, stats.dedup_hits + stats.total_terms());
+        // Per-rule attempt counters partition the derive calls, and no
+        // label derives more new terms than it attempted.
+        let attempted: u64 = stats.rule_attempts.iter().map(|(_, n)| *n).sum();
+        assert_eq!(attempted, stats.derive_calls);
+        for (label, new) in &stats.firings {
+            assert!(
+                stats.rule_attempts_of(label) >= *new,
+                "{label}: fewer attempts than insertions"
+            );
+        }
         // Per-kind counters match the actual term population.
         let count = |pred: fn(&Term) -> bool| c.iter().filter(pred).count() as u64;
         assert_eq!(stats.terms_ta, count(|t| matches!(t, Term::Ta(_))));
@@ -1231,6 +1660,126 @@ mod tests {
         assert_eq!(stats.total_terms(), 5, "budget filled exactly");
         assert_eq!(stats.budget_headroom(), 0.0);
         assert_eq!(stats.limit, 5);
+    }
+
+    #[test]
+    fn naive_and_semi_naive_are_byte_identical() {
+        // The saturation mode is a pure performance knob: same insertion
+        // order, so same term set, rounds, witnesses — and same proofs,
+        // premise for premise (each derivation is recorded at the term's
+        // first insertion, which the delta scheme must not move).
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let cfg = RuleConfig::default();
+        let naive = Closure::compute_with_saturation(
+            &prog,
+            &cfg,
+            DEFAULT_TERM_LIMIT,
+            ProofMode::Full,
+            SaturationMode::Naive,
+        )
+        .unwrap();
+        let semi = Closure::compute_with_saturation(
+            &prog,
+            &cfg,
+            DEFAULT_TERM_LIMIT,
+            ProofMode::Full,
+            SaturationMode::SemiNaive,
+        )
+        .unwrap();
+        assert_eq!(naive.len(), semi.len());
+        assert_eq!(naive.rounds(), semi.rounds());
+        let mut t1: Vec<Term> = naive.iter().collect();
+        let mut t2: Vec<Term> = semi.iter().collect();
+        t1.sort();
+        t2.sort();
+        assert_eq!(t1, t2);
+        for e in 1..=prog.len() as ExprId {
+            assert_eq!(naive.ti_witness(e), semi.ti_witness(e));
+            assert_eq!(naive.pi_witness(e), semi.pi_witness(e));
+            assert_eq!(naive.has_ta(e), semi.has_ta(e));
+            assert_eq!(naive.has_pa(e), semi.has_pa(e));
+            assert_eq!(naive.equal_to(e), semi.equal_to(e));
+        }
+        for t in naive.iter() {
+            assert_eq!(naive.proof(&t), semi.proof(&t), "proof of {t} differs");
+        }
+    }
+
+    #[test]
+    fn semi_naive_skips_attempts_not_insertions() {
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let cfg = RuleConfig::default();
+        let (naive, naive_stats) = Closure::compute_with_stats_saturation(
+            &prog,
+            &cfg,
+            DEFAULT_TERM_LIMIT,
+            ProofMode::Off,
+            SaturationMode::Naive,
+        );
+        let (semi, semi_stats) = Closure::compute_with_stats_saturation(
+            &prog,
+            &cfg,
+            DEFAULT_TERM_LIMIT,
+            ProofMode::Off,
+            SaturationMode::SemiNaive,
+        );
+        assert_eq!(naive.unwrap().len(), semi.unwrap().len());
+        assert_eq!(naive_stats.total_terms(), semi_stats.total_terms());
+        // The delta scheme only drops would-be dedups.
+        assert!(semi_stats.derive_calls < naive_stats.derive_calls);
+        assert!(semi_stats.dedup_hits < naive_stats.dedup_hits);
+        // Per-label: never more attempts than naive, identical insertions.
+        for (label, n) in &semi_stats.rule_attempts {
+            assert!(*n <= naive_stats.rule_attempts_of(label), "{label}");
+        }
+        for (label, n) in &naive_stats.firings {
+            assert_eq!(semi_stats.firings_of(label), *n, "{label}");
+        }
+        // Both satisfy the per-run attempt partition.
+        for s in [&naive_stats, &semi_stats] {
+            assert_eq!(s.derive_calls, s.dedup_hits + s.total_terms());
+            let attempted: u64 = s.rule_attempts.iter().map(|(_, n)| *n).sum();
+            assert_eq!(attempted, s.derive_calls);
+        }
+    }
+
+    #[test]
+    fn term_limit_aborts_identically_across_modes() {
+        // The abort point depends on the insertion sequence, so a matching
+        // limit error is itself an order-identity check — and the mirrors
+        // must not retain bits from the aborted insertion (exercised by the
+        // stats run continuing to answer membership).
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let cfg = RuleConfig::default();
+        for limit in [5usize, 17, 40] {
+            let (naive, naive_stats) = Closure::compute_with_stats_saturation(
+                &prog,
+                &cfg,
+                limit,
+                ProofMode::Off,
+                SaturationMode::Naive,
+            );
+            let (semi, semi_stats) = Closure::compute_with_stats_saturation(
+                &prog,
+                &cfg,
+                limit,
+                ProofMode::Off,
+                SaturationMode::SemiNaive,
+            );
+            assert!(matches!(naive, Err(ClosureError::TermLimit { .. })));
+            assert_eq!(naive.unwrap_err(), semi.unwrap_err(), "limit {limit}");
+            // Same insertion sequence up to the abort, so identical term
+            // counts; semi-naive may have skipped some dedup attempts.
+            assert_eq!(
+                naive_stats.total_terms(),
+                semi_stats.total_terms(),
+                "limit {limit}"
+            );
+            assert!(semi_stats.derive_calls <= naive_stats.derive_calls);
+        }
     }
 
     #[test]

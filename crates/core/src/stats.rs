@@ -21,6 +21,13 @@ pub trait ClosureObserver {
     #[inline]
     fn dedup_hit(&mut self) {}
 
+    /// A rule produced a conclusion attempt (fires alongside
+    /// `derive_attempt`, but labelled). Together with `term_inserted` this
+    /// measures per-rule dedup rejection: `fired - derived_new` attempts
+    /// under a label were re-derivations.
+    #[inline]
+    fn rule_fired(&mut self, _rule: &'static str) {}
+
     /// A new term entered the closure via `rule`.
     #[inline]
     fn term_inserted(&mut self, _t: &Term, _rule: &'static str) {}
@@ -78,8 +85,13 @@ pub struct ClosureStats {
     pub terms_pistar: u64,
     /// `=[e1,e2]` terms inserted.
     pub terms_eq: u64,
-    /// Insertions per rule label, in first-firing order.
+    /// Insertions per rule label, in first-firing order ("derived-new").
     pub firings: Vec<(&'static str, u64)>,
+    /// Conclusion attempts per rule label, in first-attempt order
+    /// ("fired", deduplicated or not). `fired - derived_new` per label is
+    /// the re-derivation volume semi-naive evaluation eliminates; the sum
+    /// over labels equals [`ClosureStats::derive_calls`].
+    pub rule_attempts: Vec<(&'static str, u64)>,
     /// Worklist items processed (equals [`crate::closure::Closure::rounds`]
     /// when the run completes).
     pub rounds: u64,
@@ -172,6 +184,15 @@ impl ClosureStats {
             .unwrap_or(0)
     }
 
+    /// Conclusion attempts under one rule label (0 if it never fired).
+    pub fn rule_attempts_of(&self, label: &str) -> u64 {
+        self.rule_attempts
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
     /// Fold another run's stats into this one (summing counts and firings;
     /// high-water marks and the budget take the maximum; `aborted` is
     /// sticky). Used when one report covers many closures — e.g. `check`
@@ -206,6 +227,13 @@ impl ClosureStats {
                 self.firings.push((label, n));
             }
         }
+        for &(label, n) in &other.rule_attempts {
+            if let Some((_, m)) = self.rule_attempts.iter_mut().find(|(l, _)| *l == label) {
+                *m += n;
+            } else {
+                self.rule_attempts.push((label, n));
+            }
+        }
     }
 
     /// Report everything into a sink under the `closure.` namespace:
@@ -238,6 +266,12 @@ impl ClosureStats {
             name.push_str(label);
             sink.counter(&name, *n);
         }
+        for (label, n) in &self.rule_attempts {
+            let mut name = String::with_capacity(19 + label.len());
+            name.push_str("closure.rule_fired.");
+            name.push_str(label);
+            sink.counter(&name, *n);
+        }
         sink.gauge("closure.dedup_hit_rate", self.dedup_hit_rate());
         sink.gauge("closure.budget_headroom", self.budget_headroom());
         sink.gauge("closure.interner_occupancy", self.interner_occupancy());
@@ -251,6 +285,14 @@ impl ClosureObserver for ClosureStats {
 
     fn dedup_hit(&mut self) {
         self.dedup_hits += 1;
+    }
+
+    fn rule_fired(&mut self, rule: &'static str) {
+        if let Some((_, n)) = self.rule_attempts.iter_mut().find(|(l, _)| *l == rule) {
+            *n += 1;
+        } else {
+            self.rule_attempts.push((rule, 1));
+        }
     }
 
     fn term_inserted(&mut self, t: &Term, rule: &'static str) {

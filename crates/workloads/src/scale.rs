@@ -10,7 +10,12 @@
 //! * [`deep_expr`] — expression size: one function whose body is a
 //!   comparison over a big arithmetic tree;
 //! * [`attr_fanout`] — write-read pairs: `n` attributes each written and
-//!   read, quadratic equality propagation.
+//!   read, quadratic equality propagation;
+//! * [`dense_equalities`] — `=[e1,e2]` cross-joins: every probe shares the
+//!   same `int` parameter and the same `r_a0` read, so the equality rules
+//!   build cliques over the argument and read occurrences — the worst case
+//!   for naive re-firing and the headline family of the `saturation`
+//!   experiment.
 //!
 //! [`multi_user`] builds a *batch* case — one schema, many users, one
 //! requirement each — for the `analyze_batch` driver and the `--jobs`
@@ -275,6 +280,52 @@ pub fn multi_user_deep(users: usize, depth: usize) -> BatchCase {
     }
 }
 
+/// `n` probes `q_i(x, c) = (x + r_a0(c)) >= i` over one shared attribute;
+/// the user holds all of them plus `w_a0`.
+///
+/// Every probe reads the *same* attribute and takes the *same*-typed `int`
+/// argument, so rule *S7* links all `x` occurrences and all `r_a0(c)` reads
+/// into `=`-cliques, and transfer-by-equality then copies every capability
+/// across each clique: `O(n²)` equality edges with `O(n²)` transfer work on
+/// top. This is the densest `=[e1, e2]` cross-join the language produces —
+/// the workload where naive saturation re-derives hardest, built for the
+/// `saturation` (naive-vs-semi-naive) experiment.
+pub fn dense_equalities(n: usize) -> ScaleCase {
+    let n = n.max(1);
+    let mut schema = Schema::new();
+    schema
+        .classes
+        .insert(single_int_class(1))
+        .expect("one class");
+    let mut caps = CapabilityList::new();
+    for i in 0..n {
+        schema.functions.insert(
+            format!("q{i}").into(),
+            AccessFnDef {
+                name: format!("q{i}").into(),
+                params: vec![
+                    (VarName::new("x"), Type::INT),
+                    (VarName::new("c"), Type::class("C")),
+                ],
+                ret: Type::BOOL,
+                body: Expr::bin(
+                    BasicOp::Ge,
+                    Expr::bin(
+                        BasicOp::Add,
+                        Expr::var("x"),
+                        Expr::read("a0", Expr::var("c")),
+                    ),
+                    Expr::int(i as i64),
+                ),
+            },
+        );
+        caps.grant(FnRef::access(format!("q{i}")));
+    }
+    caps.grant(FnRef::write("a0"));
+    let req = Requirement::on_return("u", FnRef::read("a0"), 1, vec![Cap::Ti]);
+    finish(schema, caps, req)
+}
+
 /// `n` attributes, each with a granted reader and writer pair: the
 /// equality graph gets `O(n²)` argument-variable edges.
 pub fn attr_fanout(n: usize) -> ScaleCase {
@@ -356,6 +407,24 @@ mod tests {
             assert!(v.as_ref().unwrap().is_violated(), "user {i}");
         }
         assert_eq!(out.groups.len(), 3);
+    }
+
+    #[test]
+    fn dense_equalities_detects_and_builds_cliques() {
+        let case = dense_equalities(5);
+        assert_eq!(case.schema.functions.len(), 5);
+        let v = analyze(&case.schema, &case.requirement).unwrap();
+        // a0 is written and every probe reads it — always flagged.
+        assert!(v.is_violated());
+        // The family earns its name: the closure carries an `=`-clique
+        // quadratic in the probe count.
+        use secflow::closure::Closure;
+        use secflow::term::Term;
+        use secflow::unfold::NProgram;
+        let prog = NProgram::unfold(&case.schema, case.schema.user_str("u").unwrap()).unwrap();
+        let c = Closure::compute(&prog).unwrap();
+        let eqs = c.iter().filter(|t| matches!(t, Term::Eq(..))).count();
+        assert!(eqs >= 5 * 5, "only {eqs} equalities");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use secflow::algorithm::{
     ClosureCache,
 };
 use secflow::algorithm::{analyze_batch_cached, occurrences};
-use secflow::closure::Closure;
+use secflow::closure::{Closure, SaturationMode, DEFAULT_TERM_LIMIT};
 use secflow::demand::DemandPlan;
 use secflow::term::Term;
 use secflow::unfold::{ExprId, NProgram};
@@ -76,6 +76,54 @@ fn assert_demand_is_sliced_full(prog: &NProgram, plan: &DemandPlan, label: &str)
     }
 }
 
+/// The demand engine in both saturation modes on one plan: the delta
+/// bookkeeping must not change the sliced insertion sequence either, so
+/// the runs match in term sets, rounds, early-exit behaviour and
+/// witnesses.
+fn assert_demand_modes_identical(prog: &NProgram, plan: &DemandPlan, label: &str) {
+    let cfg = secflow::rules::RuleConfig::default();
+    let naive = Closure::compute_demand_saturation(
+        prog,
+        &cfg,
+        DEFAULT_TERM_LIMIT,
+        plan,
+        SaturationMode::Naive,
+    )
+    .unwrap_or_else(|e| panic!("{label}: naive demand: {e}"));
+    let semi = Closure::compute_demand_saturation(
+        prog,
+        &cfg,
+        DEFAULT_TERM_LIMIT,
+        plan,
+        SaturationMode::SemiNaive,
+    )
+    .unwrap_or_else(|e| panic!("{label}: semi-naive demand: {e}"));
+    assert_eq!(naive.len(), semi.len(), "{label}: term counts differ");
+    assert_eq!(naive.rounds(), semi.rounds(), "{label}: rounds differ");
+    assert_eq!(
+        naive.early_exited(),
+        semi.early_exited(),
+        "{label}: early-exit behaviour differs"
+    );
+    let mut tn: Vec<Term> = naive.iter().collect();
+    let mut ts: Vec<Term> = semi.iter().collect();
+    tn.sort();
+    ts.sort();
+    assert_eq!(tn, ts, "{label}: demand closures differ");
+    for e in 1..=prog.len() as ExprId {
+        assert_eq!(
+            naive.ti_witness(e),
+            semi.ti_witness(e),
+            "{label}: ti witness differs at {e}"
+        );
+        assert_eq!(
+            naive.pi_witness(e),
+            semi.pi_witness(e),
+            "{label}: pi witness differs at {e}"
+        );
+    }
+}
+
 #[test]
 fn scale_families_verdicts_and_closures_identical() {
     let cases = [
@@ -83,6 +131,7 @@ fn scale_families_verdicts_and_closures_identical() {
         ("wide_grants", scale::wide_grants(16)),
         ("deep_expr", scale::deep_expr(4)),
         ("attr_fanout", scale::attr_fanout(8)),
+        ("dense_equalities", scale::dense_equalities(5)),
     ];
     let config = AnalysisConfig::default();
     for (label, case) in cases {
@@ -93,6 +142,7 @@ fn scale_families_verdicts_and_closures_identical() {
         let prog = NProgram::unfold(&case.schema, caps).unwrap();
         let plan = DemandPlan::for_requirement(&prog, &case.requirement);
         assert_demand_is_sliced_full(&prog, &plan, label);
+        assert_demand_modes_identical(&prog, &plan, label);
     }
 }
 
@@ -145,9 +195,10 @@ fn cached_batches_stay_identical_across_calls() {
         );
         assert_eq!(out.verdicts, baseline, "round {round}");
     }
-    let (hits, misses) = cache.stats();
-    assert_eq!(misses, 4, "one cold miss per user group");
-    assert_eq!(hits, 8, "rounds two and three fully cached");
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 4, "one cold miss per user group");
+    assert_eq!(stats.hits, 8, "rounds two and three fully cached");
+    assert_eq!(stats.union_recomputes, 0, "repeat rounds never widen goals");
 }
 
 /// `TermLimit` aborts identically: the demand engine's inserts are a

@@ -11,8 +11,9 @@
 
 use proptest::prelude::*;
 use secflow::algorithm::{analyze_with_config, AnalysisConfig};
-use secflow::closure::Closure;
+use secflow::closure::{Closure, ProofMode, SaturationMode, DEFAULT_TERM_LIMIT};
 use secflow::reference::{analyze_ref, RefClosure};
+use secflow::rules::RuleConfig;
 use secflow::term::Term;
 use secflow::unfold::{ExprId, NProgram};
 use secflow_workloads::random::{random_case, RandomSpec};
@@ -46,6 +47,80 @@ fn assert_closures_identical(prog: &NProgram, label: &str) {
     }
 }
 
+/// Naive full-sweep saturation vs the semi-naive delta engine on one
+/// program: the delta bookkeeping must not change the insertion sequence,
+/// so term sets, rounds, witnesses and proofs all match.
+fn assert_saturation_modes_identical(prog: &NProgram, label: &str) {
+    let cfg = RuleConfig::default();
+    let naive = Closure::compute_with_saturation(
+        prog,
+        &cfg,
+        DEFAULT_TERM_LIMIT,
+        ProofMode::Full,
+        SaturationMode::Naive,
+    )
+    .unwrap_or_else(|e| panic!("{label}: naive: {e}"));
+    let semi = Closure::compute_with_saturation(
+        prog,
+        &cfg,
+        DEFAULT_TERM_LIMIT,
+        ProofMode::Full,
+        SaturationMode::SemiNaive,
+    )
+    .unwrap_or_else(|e| panic!("{label}: semi-naive: {e}"));
+    assert_eq!(naive.len(), semi.len(), "{label}: term counts differ");
+    assert_eq!(naive.rounds(), semi.rounds(), "{label}: rounds differ");
+    let mut tn: Vec<Term> = naive.iter().collect();
+    let mut ts: Vec<Term> = semi.iter().collect();
+    tn.sort();
+    ts.sort();
+    assert_eq!(tn, ts, "{label}: closure term sets differ");
+    for e in 1..=prog.len() as ExprId {
+        assert_eq!(
+            naive.ti_witness(e),
+            semi.ti_witness(e),
+            "{label}: ti witness differs at {e}"
+        );
+        assert_eq!(
+            naive.pi_witness(e),
+            semi.pi_witness(e),
+            "{label}: pi witness differs at {e}"
+        );
+    }
+    for t in naive.iter() {
+        assert_eq!(
+            naive.proof(&t),
+            semi.proof(&t),
+            "{label}: proof differs for {t}"
+        );
+    }
+}
+
+/// A schema whose probe bodies repeat one subexpression (`r_a0(c) + x`)
+/// `reuse` times across `fns` functions: after unfolding, the same shape
+/// occurs at many distinct `ExprId`s with cross-occurrence equalities —
+/// the case where delta-frontier bookkeeping diverges from full re-firing
+/// if a dirty mark is dropped or double-cleared.
+fn shared_subexpr_case(fns: usize, reuse: usize, grant_write: bool) -> oodb_lang::Schema {
+    use std::fmt::Write as _;
+    let mut src = String::from("class C { a0: int, a1: int }\n");
+    for i in 0..fns {
+        let mut body = String::from("(r_a0(c) + x)");
+        for _ in 1..reuse {
+            body = format!("({body} + (r_a0(c) + x))");
+        }
+        writeln!(src, "fn f{i}(x: int, c: C): bool {{ {body} >= {i} }}").unwrap();
+    }
+    let grants: Vec<String> = (0..fns)
+        .map(|i| format!("f{i}"))
+        .chain(grant_write.then(|| "w_a0".to_owned()))
+        .collect();
+    writeln!(src, "user u {{ {} }}", grants.join(", ")).unwrap();
+    let schema = oodb_lang::parse_schema(&src).expect("generated schema parses");
+    oodb_lang::check_schema(&schema).expect("generated schema checks");
+    schema
+}
+
 #[test]
 fn scale_families_are_engine_identical() {
     let cases = [
@@ -59,10 +134,27 @@ fn scale_families_are_engine_identical() {
         let caps = case.schema.user_str("u").unwrap();
         let prog = NProgram::unfold(&case.schema, caps).unwrap();
         assert_closures_identical(&prog, label);
+        assert_saturation_modes_identical(&prog, label);
         // End-to-end verdicts agree, witnesses included (Verdict: PartialEq).
         let fast = analyze_with_config(&case.schema, &case.requirement, &config);
         let slow = analyze_ref(&case.schema, &case.requirement, &config);
         assert_eq!(fast, slow, "{label}: verdicts differ");
+    }
+}
+
+#[test]
+fn refiring_heavy_families_are_mode_identical() {
+    // The two saturation-experiment families, at sizes past the smoke
+    // tier: wide equality fan-out and dense `=`-cliques with multi-origin
+    // joint constraints — the workloads the delta engine reworks hardest.
+    for (label, case) in [
+        ("wide_grants", scale::wide_grants(24)),
+        ("dense_equalities", scale::dense_equalities(6)),
+    ] {
+        let caps = case.schema.user_str("u").unwrap();
+        let prog = NProgram::unfold(&case.schema, caps).unwrap();
+        assert_closures_identical(&prog, label);
+        assert_saturation_modes_identical(&prog, label);
     }
 }
 
@@ -90,5 +182,31 @@ proptest! {
             let vs = analyze_ref(&case.schema, req, &config);
             prop_assert_eq!(&vf, &vs, "verdict differs for seed {} req {}", seed, req);
         }
+    }
+
+}
+
+proptest! {
+    // Each case saturates three engines over a shared-subexpression clique;
+    // the instances grow fast, so fewer, smaller cases than the random
+    // corpus above.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Shared-subexpression corpus: one subexpression repeated across
+    /// occurrences and functions, shrinkable over repetition count, fan-out
+    /// and the write grant. Both the reference engine and the naive
+    /// saturation mode must agree with the semi-naive default.
+    #[test]
+    fn shared_subexpr_cases_are_engine_and_mode_identical(
+        fns in 1usize..3,
+        reuse in 1usize..4,
+        grant_write in any::<bool>(),
+    ) {
+        let schema = shared_subexpr_case(fns, reuse, grant_write);
+        let caps = schema.user_str("u").unwrap();
+        let prog = NProgram::unfold(&schema, caps).unwrap();
+        let label = format!("fns={fns} reuse={reuse} grant={grant_write}");
+        assert_closures_identical(&prog, &label);
+        assert_saturation_modes_identical(&prog, &label);
     }
 }
