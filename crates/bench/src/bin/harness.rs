@@ -23,6 +23,12 @@
 //! closure-identity assertion per row and per-rule attempted/derived-new
 //! counters for both modes.
 //!
+//! The `certify` experiment (`-- certify [--smoke]`) writes
+//! `BENCH_certify.json`: proof-carrying analysis time vs the independent
+//! proof checker's certification time per scale family, with a
+//! certificate-completeness assertion and a `certify ≤ 2× analyze`
+//! overhead bound per row.
+//!
 //! Every run also writes `BENCH_obs.json` next to the working directory: a
 //! machine-readable metrics blob with per-experiment wall times plus the
 //! closure counters for the canonical stockbroker analysis (see
@@ -86,6 +92,11 @@ fn main() {
         let smoke = args.iter().any(|a| a == "--smoke");
         let write_json = !args.iter().any(|a| a == "--no-obs");
         phases.time("saturation", || run_saturation(smoke, write_json));
+    }
+    if want("certify") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let write_json = !args.iter().any(|a| a == "--no-obs");
+        phases.time("certify", || run_certify(smoke, write_json));
     }
 
     if !args.iter().any(|a| a == "--no-obs") {
@@ -532,6 +543,86 @@ fn write_saturation_blob(rows: &[SaturationRow]) {
     }
     let report = rec.into_report();
     let path = "BENCH_saturation.json";
+    match std::fs::write(path, report.to_json().pretty()) {
+        Ok(()) => eprintln!("metrics: wrote {path}"),
+        Err(e) => eprintln!("metrics: could not write {path}: {e}"),
+    }
+}
+
+fn run_certify(smoke: bool, write_json: bool) {
+    banner(&format!(
+        "certify — independent proof checker vs proof-carrying analysis{}",
+        if smoke { " (smoke sizes)" } else { "" }
+    ));
+    println!(
+        "{:<16} {:>6} {:>8} {:>8} {:>8} {:>12} {:>12} {:>9} {:>9}",
+        "family",
+        "param",
+        "nodes",
+        "terms",
+        "axioms",
+        "analyze (us)",
+        "certify (us)",
+        "overhead",
+        "complete"
+    );
+    let rows = certify_overhead(smoke);
+    for r in &rows {
+        println!(
+            "{:<16} {:>6} {:>8} {:>8} {:>8} {:>12} {:>12} {:>8.2}x {:>9}",
+            r.family,
+            r.param,
+            r.nodes,
+            r.terms,
+            r.axioms,
+            r.analyze_micros,
+            r.certify_micros,
+            r.overhead(),
+            if r.complete { "yes" } else { "NO" },
+        );
+        assert!(
+            r.complete,
+            "{}/{}: certificate does not cover the closure",
+            r.family, r.param
+        );
+        // Acceptance bound: re-checking proofs must cost at most 2× the
+        // proof-carrying analysis itself (small floor for timer noise on
+        // sub-millisecond instances).
+        assert!(
+            r.certify_micros <= 2 * r.analyze_micros || r.certify_micros < 2_000,
+            "{}/{}: certify {}us exceeds 2x analyze {}us",
+            r.family,
+            r.param,
+            r.certify_micros,
+            r.analyze_micros
+        );
+    }
+    println!();
+    println!("every closure re-validated by the checker; `complete` asserts the");
+    println!("certificate accounts for every recorded term (axioms + derived).");
+
+    if write_json {
+        write_certify_blob(&rows);
+    }
+}
+
+/// Emit `BENCH_certify.json`: per-family analysis-vs-certification timings
+/// and certificate coverage counts (terms/axioms and the completeness bit),
+/// plus the certify/analyze overhead ratio as a gauge.
+fn write_certify_blob(rows: &[CertifyRow]) {
+    let mut rec = Recorder::new();
+    for r in rows {
+        let key = format!("certify.{}.{}", r.family, r.param);
+        rec.counter(&format!("{key}.nodes"), r.nodes as u64);
+        rec.counter(&format!("{key}.terms"), r.terms as u64);
+        rec.counter(&format!("{key}.axioms"), r.axioms as u64);
+        rec.counter(&format!("{key}.analyze_micros"), r.analyze_micros as u64);
+        rec.counter(&format!("{key}.certify_micros"), r.certify_micros as u64);
+        rec.counter(&format!("{key}.complete"), u64::from(r.complete));
+        rec.gauge(&format!("{key}.overhead"), r.overhead());
+    }
+    let report = rec.into_report();
+    let path = "BENCH_certify.json";
     match std::fs::write(path, report.to_json().pretty()) {
         Ok(()) => eprintln!("metrics: wrote {path}"),
         Err(e) => eprintln!("metrics: could not write {path}: {e}"),

@@ -996,6 +996,112 @@ pub fn saturation_naive_vs_semi(smoke: bool) -> Vec<SaturationRow> {
     rows
 }
 
+/// One proof-checker overhead measurement: analysis (proof-carrying
+/// saturation) against the independent certification pass over the same
+/// closure.
+pub struct CertifyRow {
+    /// Schema family.
+    pub family: &'static str,
+    /// Size parameter.
+    pub param: usize,
+    /// Unfolded program size (numbered occurrences).
+    pub nodes: usize,
+    /// Closure size = derivations certified.
+    pub terms: usize,
+    /// Terms justified by axiom schemas.
+    pub axioms: usize,
+    /// Proof-carrying saturation time, microseconds.
+    pub analyze_micros: u128,
+    /// Certification time over the recorded proofs, microseconds.
+    pub certify_micros: u128,
+    /// Whether the certificate covered every term of the closure.
+    pub complete: bool,
+}
+
+impl CertifyRow {
+    /// Certification time as a fraction of analysis time.
+    pub fn overhead(&self) -> f64 {
+        if self.analyze_micros == 0 {
+            f64::INFINITY
+        } else {
+            self.certify_micros as f64 / self.analyze_micros as f64
+        }
+    }
+}
+
+/// `certify` — the cost of re-validating every recorded derivation with
+/// the independent proof checker, against the cost of deriving them in the
+/// first place, across the four scaling families. The analysis runs are
+/// proof-carrying (`ProofMode::Full`) semi-naive saturation — the exact
+/// configuration `secflow check --certify` uses.
+///
+/// `smoke` shrinks the sweep to CI-sized instances.
+pub fn certify_overhead(smoke: bool) -> Vec<CertifyRow> {
+    type Gen = fn(usize) -> ScaleCase;
+    let families: [(&'static str, Gen, &'static [usize]); 4] = if smoke {
+        [
+            ("call_chain", call_chain, &[8]),
+            ("wide_grants", wide_grants, &[8]),
+            ("deep_expr", deep_expr, &[3]),
+            ("attr_fanout", attr_fanout, &[8]),
+        ]
+    } else {
+        [
+            ("call_chain", call_chain, &[8, 12]),
+            ("wide_grants", wide_grants, &[32, 64, 128]),
+            ("deep_expr", deep_expr, &[4, 5]),
+            ("attr_fanout", attr_fanout, &[8, 16]),
+        ]
+    };
+    let rules = RuleConfig::default();
+    let mut rows = Vec::new();
+    for (family, gen, params) in families {
+        for &param in params {
+            let case = gen(param);
+            let caps = case.schema.user_str("u").expect("scale user");
+            let prog = NProgram::unfold(&case.schema, caps).expect("scale unfolds");
+
+            // Best-of-three on both phases: single-shot micro timings on
+            // the smoke sizes are dominated by allocator/cache warm-up,
+            // which would make the overhead ratio flake under load.
+            let mut analyze_micros = u128::MAX;
+            let mut closure = None;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let c = Closure::compute(&prog).expect("proof-carrying closure");
+                analyze_micros = analyze_micros.min(start.elapsed().as_micros());
+                closure = Some(c);
+            }
+            let closure = closure.expect("at least one analysis run");
+
+            let mut certify_micros = u128::MAX;
+            let mut cert = None;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let c = closure
+                    .certify(&prog, &rules)
+                    .unwrap_or_else(|e| panic!("{family}({param}): certification failed: {e}"));
+                certify_micros = certify_micros.min(start.elapsed().as_micros());
+                cert = Some(c);
+            }
+            let cert = cert.expect("at least one certification run");
+
+            rows.push(CertifyRow {
+                family,
+                param,
+                nodes: prog.len(),
+                terms: closure.len(),
+                axioms: cert.axioms,
+                analyze_micros,
+                certify_micros,
+                complete: cert.terms_checked == closure.len()
+                    && cert.axioms + cert.derived == cert.terms_checked,
+            });
+        }
+    }
+    rows
+}
+
 /// The `demand` batch measurement: the multi-requirement workload through
 /// the batch driver, full saturation vs. demand-driven.
 pub struct DemandBatchRow {
@@ -1121,6 +1227,31 @@ mod tests {
                 );
                 assert!(rule.new_terms <= rule.naive_attempts);
             }
+        }
+    }
+
+    #[test]
+    fn certify_smoke_validates_every_closure_within_budget() {
+        for r in certify_overhead(true) {
+            assert!(
+                r.complete,
+                "{} {}: certificate incomplete",
+                r.family, r.param
+            );
+            assert!(r.terms > 0, "{} {} empty closure", r.family, r.param);
+            assert!(r.axioms > 0, "{} {}: no axioms?", r.family, r.param);
+            // The release harness enforces the acceptance bound of 2×; the
+            // unoptimised test profile skews against the checker's
+            // index-heavy inner loop, so allow 3× here, with a floor so
+            // millisecond-scale timer noise cannot flake the assertion.
+            assert!(
+                r.certify_micros <= 3 * r.analyze_micros || r.certify_micros < 5_000,
+                "{} {}: certify {}us > 3x analyze {}us",
+                r.family,
+                r.param,
+                r.certify_micros,
+                r.analyze_micros
+            );
         }
     }
 

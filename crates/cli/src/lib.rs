@@ -4,7 +4,8 @@
 //! `main.rs` is a thin argument shim.
 //!
 //! ```text
-//! secflow check  policy.sfl [--explain] [--jobs N]   # run every `require`
+//! secflow check  policy.sfl [--explain] [--certify] [--jobs N]
+//!                                              # run every `require`
 //! secflow unfold policy.sfl --user clerk       # print S'(F)
 //! secflow attack policy.sfl [--steps N]        # bounded concrete attacker
 //! secflow fix    policy.sfl                    # minimal revocation repairs
@@ -17,8 +18,10 @@
 //! Both write to **stderr** only, so stdout stays byte-identical and
 //! diff-stable with and without them.
 //!
-//! Exit codes: 0 = all requirements satisfied, 1 = at least one violated,
-//! 2 = usage / parse / type errors.
+//! Exit codes are distinct per outcome class (see [`exit`]):
+//! 0 = all requirements satisfied, 1 = at least one violated,
+//! 2 = command-line usage error, 3 = input error (unreadable file,
+//! parse/type/analysis failure), 4 = `--certify` rejected a derivation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +41,24 @@ use secflow_obs::{MetricsSink, Phases, Recorder};
 use std::fmt::Write as _;
 use std::sync::OnceLock;
 
+/// Process exit codes, one constant per outcome class. Scripts can rely on
+/// these staying distinct: a missing input file (3) is distinguishable from
+/// a policy violation (1) or a mistyped flag (2).
+pub mod exit {
+    /// Every requirement satisfied (or nothing to do).
+    pub const OK: i32 = 0;
+    /// At least one requirement violated / attack realised / repair needed.
+    pub const VIOLATION: i32 = 1;
+    /// Command-line usage error: unknown command, unknown flag, bad value.
+    pub const USAGE: i32 = 2;
+    /// Input error: unreadable policy file, parse or type errors, unknown
+    /// user, or an analysis failure (e.g. the term budget aborting).
+    pub const INPUT: i32 = 3;
+    /// `--certify` found a recorded derivation the independent proof
+    /// checker rejects.
+    pub const CERTIFY: i32 = 4;
+}
+
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
@@ -53,6 +74,11 @@ pub enum Command {
         /// Verdicts and output are identical; this is the escape hatch for
         /// cross-checking the demand engine.
         full_saturation: bool,
+        /// Re-validate every recorded derivation with the independent proof
+        /// checker after analysis ([`Closure::certify`]); exit 4 if any
+        /// derivation is rejected. Forces proof recording and full
+        /// saturation.
+        certify: bool,
     },
     /// `unfold <file> --user <name>`
     Unfold {
@@ -115,12 +141,16 @@ secflow — static detection of security flaws in object-oriented databases
          (Tajima, SIGMOD 1996)
 
 USAGE:
-  secflow check  <policy-file> [--explain] [--jobs N] [--full-saturation]
+  secflow check  <policy-file> [--explain] [--certify] [--jobs N]
+                               [--full-saturation]
                                              run every `require`; exit 1 on flaws
                                              (--jobs fans user groups across N threads;
                                              --full-saturation disables the demand-driven
                                              engine and computes the complete closure —
-                                             verdicts are identical either way)
+                                             verdicts are identical either way;
+                                             --certify re-validates every recorded
+                                             derivation with the independent proof
+                                             checker and exits 4 on any rejection)
   secflow unfold <policy-file> --user <u>    print the numbered unfolding S'(F)
   secflow attack <policy-file> [--steps N]   try to realise each flaw concretely
   secflow fix    <policy-file>               suggest minimal revocations per flaw
@@ -131,6 +161,13 @@ OBSERVABILITY (any command; output goes to stderr, stdout is unchanged):
                           term counts per capability kind, rule firings,
                           fixpoint rounds, worklist peak, dedup rate
   --trace                 per-requirement phase timing lines as they finish
+
+EXIT CODES (distinct per outcome class, stable for scripting):
+  0   every requirement satisfied (or nothing to do)
+  1   at least one requirement violated / attack realised / repair needed
+  2   command-line usage error (unknown command or flag, bad value)
+  3   input error: unreadable file, parse/type error, analysis failure
+  4   --certify rejected a recorded derivation
 
 POLICY FILES contain class, fn, user and require declarations:
 
@@ -174,11 +211,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut explain = false;
             let mut jobs = 1usize;
             let mut full_saturation = false;
+            let mut certify = false;
             let mut args = it.peekable();
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--explain" => explain = true,
                     "--full-saturation" => full_saturation = true,
+                    "--certify" => certify = true,
                     "--jobs" => {
                         jobs = args
                             .next()
@@ -193,7 +232,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => {
                         return Err(format!(
                             "unexpected argument `{other}` (check accepts --explain, \
-                             --jobs N, --full-saturation)"
+                             --certify, --jobs N, --full-saturation)"
                         ))
                     }
                 }
@@ -204,6 +243,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 explain,
                 jobs,
                 full_saturation,
+                certify,
             })
         }
         "unfold" => {
@@ -268,31 +308,32 @@ pub fn load_str(src: &str) -> Result<Schema, String> {
 /// Run a command against policy *text*; returns (report, exit code).
 pub fn run_on_source(cmd: &Command, src: &str) -> (String, i32) {
     match cmd {
-        Command::Help => (USAGE.to_owned(), 0),
+        Command::Help => (USAGE.to_owned(), exit::OK),
         Command::Fmt { .. } => match load_str(src) {
-            Ok(schema) => (schema.to_string(), 0),
-            Err(e) => (format!("error: {e}\n"), 2),
+            Ok(schema) => (schema.to_string(), exit::OK),
+            Err(e) => (format!("error: {e}\n"), exit::INPUT),
         },
         Command::Check {
             explain,
             jobs,
             full_saturation,
+            certify,
             ..
         } => match load_str(src) {
-            Ok(schema) => check_report(&schema, *explain, *jobs, *full_saturation),
-            Err(e) => (format!("error: {e}\n"), 2),
+            Ok(schema) => check_report(&schema, *explain, *jobs, *full_saturation, *certify),
+            Err(e) => (format!("error: {e}\n"), exit::INPUT),
         },
         Command::Unfold { user, .. } => match load_str(src) {
             Ok(schema) => unfold_report(&schema, user),
-            Err(e) => (format!("error: {e}\n"), 2),
+            Err(e) => (format!("error: {e}\n"), exit::INPUT),
         },
         Command::Attack { steps, .. } => match load_str(src) {
             Ok(schema) => attack_report(&schema, *steps),
-            Err(e) => (format!("error: {e}\n"), 2),
+            Err(e) => (format!("error: {e}\n"), exit::INPUT),
         },
         Command::Fix { .. } => match load_str(src) {
             Ok(schema) => fix_report(&schema),
-            Err(e) => (format!("error: {e}\n"), 2),
+            Err(e) => (format!("error: {e}\n"), exit::INPUT),
         },
     }
 }
@@ -307,7 +348,7 @@ pub fn run(cmd: &Command) -> (String, i32) {
         | Command::Fix { file }
         | Command::Fmt { file } => match std::fs::read_to_string(file) {
             Ok(src) => run_on_source(cmd, &src),
-            Err(e) => (format!("error: cannot read `{file}`: {e}\n"), 2),
+            Err(e) => (format!("error: cannot read `{file}`: {e}\n"), exit::INPUT),
         },
     }
 }
@@ -403,7 +444,7 @@ pub fn run_with_obs(cmd: &Command, obs: &ObsOptions) -> CliOutput {
             Err(e) => CliOutput {
                 stdout: format!("error: cannot read `{file}`: {e}\n"),
                 stderr: String::new(),
-                code: 2,
+                code: exit::INPUT,
             },
         },
     }
@@ -412,20 +453,29 @@ pub fn run_with_obs(cmd: &Command, obs: &ObsOptions) -> CliOutput {
 fn instrumented(cmd: &Command, src: &str, trace: bool, col: &mut Collected) -> (String, i32) {
     let schema = match col.phases.time("parse", || parse_schema(src)) {
         Ok(s) => s,
-        Err(e) => return (format!("error: {e}\n"), 2),
+        Err(e) => return (format!("error: {e}\n"), exit::INPUT),
     };
     if let Err(e) = col.phases.time("typecheck", || check_schema(&schema)) {
-        return (format!("error: {e}\n"), 2);
+        return (format!("error: {e}\n"), exit::INPUT);
     }
     match cmd {
-        Command::Help => (USAGE.to_owned(), 0),
-        Command::Fmt { .. } => (schema.to_string(), 0),
+        Command::Help => (USAGE.to_owned(), exit::OK),
+        Command::Fmt { .. } => (schema.to_string(), exit::OK),
         Command::Check {
             explain,
             jobs,
             full_saturation,
+            certify,
             ..
-        } => check_report_instrumented(&schema, *explain, *jobs, *full_saturation, trace, col),
+        } => check_report_instrumented(
+            &schema,
+            *explain,
+            *jobs,
+            *full_saturation,
+            *certify,
+            trace,
+            col,
+        ),
         Command::Unfold { user, .. } => col.phases.time("unfold", || unfold_report(&schema, user)),
         Command::Attack { steps, .. } => {
             col.phases.time("attack", || attack_report(&schema, *steps))
@@ -447,26 +497,30 @@ fn closure_cache() -> &'static ClosureCache {
 /// rendering reuses the group's closure instead of recomputing it per
 /// requirement); the plain path runs the demand-driven engine through the
 /// process-wide [`ClosureCache`]. `--full-saturation` forces the complete
-/// closure (and bypasses the cache of partial ones).
+/// closure (and bypasses the cache of partial ones). `--certify` forces
+/// proof recording and kept artifacts — the proof checker needs the whole
+/// derivation record — and also bypasses the cache, which holds proof-free
+/// partial closures.
 fn check_batch(
     schema: &Schema,
     explain: bool,
     jobs: usize,
     full_saturation: bool,
+    certify: bool,
     stats: bool,
 ) -> BatchOutcome {
     let opts = BatchOptions {
         jobs,
-        proofs: if explain {
+        proofs: if explain || certify {
             ProofMode::Full
         } else {
             ProofMode::Off
         },
-        keep_artifacts: explain,
+        keep_artifacts: explain || certify,
         collect_stats: stats,
         full_saturation,
     };
-    let cache = (!explain && !stats && !full_saturation).then(closure_cache);
+    let cache = (!explain && !certify && !stats && !full_saturation).then(closure_cache);
     analyze_batch_cached(
         schema,
         &schema.requirements,
@@ -474,6 +528,42 @@ fn check_batch(
         &opts,
         cache,
     )
+}
+
+/// The `--certify` pass: run the independent proof checker over every
+/// group's kept closure. Appends one summary line on success; on the first
+/// rejection, reports the structured [`secflow::CheckError`] and returns
+/// [`exit::CERTIFY`]. Returns the certificates so the instrumented path can
+/// absorb the per-rule check counters into its metrics.
+fn certify_outcome(
+    outcome: &BatchOutcome,
+    out: &mut String,
+) -> Result<Vec<secflow::Certificate>, i32> {
+    let mut certs = Vec::with_capacity(outcome.groups.len());
+    let mut terms = 0usize;
+    for g in &outcome.groups {
+        let Some((prog, closure)) = g.artifacts.as_ref() else {
+            // The shared phases failed; per-requirement errors were already
+            // reported above, so there is nothing to certify here.
+            continue;
+        };
+        match closure.certify(prog, &secflow::rules::RuleConfig::default()) {
+            Ok(cert) => {
+                terms += cert.terms_checked;
+                certs.push(cert);
+            }
+            Err(e) => {
+                let _ = writeln!(out, "certification FAILED for user `{}`: {e}", g.user);
+                return Err(exit::CERTIFY);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "certified: {terms} derivation(s) re-validated across {} closure(s)",
+        certs.len()
+    );
+    Ok(certs)
 }
 
 /// Requirement index → group index, from a batch outcome.
@@ -497,6 +587,7 @@ fn check_report_instrumented(
     explain: bool,
     jobs: usize,
     full_saturation: bool,
+    certify: bool,
     trace: bool,
     col: &mut Collected,
 ) -> (String, i32) {
@@ -506,9 +597,9 @@ fn check_report_instrumented(
             out,
             "no `require` declarations in the policy — nothing to check"
         );
-        return (out, 0);
+        return (out, exit::OK);
     }
-    let outcome = check_batch(schema, explain, jobs, full_saturation, true);
+    let outcome = check_batch(schema, explain, jobs, full_saturation, certify, true);
     let group_idx = group_of(&outcome, schema.requirements.len());
     for g in &outcome.groups {
         for (name, d) in g.stats.phases.iter() {
@@ -552,7 +643,7 @@ fn check_report_instrumented(
             }
             Err(e) => {
                 let _ = writeln!(out, "error {req}: {e}");
-                return (out, 2);
+                return (out, exit::INPUT);
             }
         }
     }
@@ -562,6 +653,16 @@ fn check_report_instrumented(
         schema.requirements.len(),
         violated
     );
+    if certify {
+        match certify_outcome(&outcome, &mut out) {
+            Ok(certs) => {
+                for cert in &certs {
+                    col.closure.absorb_certificate(cert);
+                }
+            }
+            Err(code) => return (out, code),
+        }
+    }
     (out, i32::from(violated > 0))
 }
 
@@ -570,6 +671,7 @@ fn check_report(
     explain: bool,
     jobs: usize,
     full_saturation: bool,
+    certify: bool,
 ) -> (String, i32) {
     let mut out = String::new();
     if schema.requirements.is_empty() {
@@ -577,9 +679,9 @@ fn check_report(
             out,
             "no `require` declarations in the policy — nothing to check"
         );
-        return (out, 0);
+        return (out, exit::OK);
     }
-    let outcome = check_batch(schema, explain, jobs, full_saturation, false);
+    let outcome = check_batch(schema, explain, jobs, full_saturation, certify, false);
     let group_idx = group_of(&outcome, schema.requirements.len());
     let mut violated = 0usize;
     for (i, req) in schema.requirements.iter().enumerate() {
@@ -598,7 +700,7 @@ fn check_report(
             }
             Err(e) => {
                 let _ = writeln!(out, "error {req}: {e}");
-                return (out, 2);
+                return (out, exit::INPUT);
             }
         }
     }
@@ -608,6 +710,11 @@ fn check_report(
         schema.requirements.len(),
         violated
     );
+    if certify {
+        if let Err(code) = certify_outcome(&outcome, &mut out) {
+            return (out, code);
+        }
+    }
     (out, i32::from(violated > 0))
 }
 
@@ -633,7 +740,7 @@ fn render_explanations(
 
 fn unfold_report(schema: &Schema, user: &str) -> (String, i32) {
     let Some(caps) = schema.user_str(user) else {
-        return (format!("error: unknown user `{user}`\n"), 2);
+        return (format!("error: unknown user `{user}`\n"), exit::INPUT);
     };
     match NProgram::unfold(schema, caps) {
         Ok(prog) => {
@@ -655,7 +762,7 @@ fn unfold_report(schema: &Schema, user: &str) -> (String, i32) {
             }
             (out, 0)
         }
-        Err(e) => (format!("error: {e}\n"), 2),
+        Err(e) => (format!("error: {e}\n"), exit::INPUT),
     }
 }
 
@@ -744,7 +851,7 @@ fn fix_report(schema: &Schema) -> (String, i32) {
             }
             Err(e) => {
                 let _ = writeln!(out, "error {req}: {e}");
-                return (out, 2);
+                return (out, exit::INPUT);
             }
         }
     }
@@ -781,6 +888,7 @@ mod tests {
                 explain: true,
                 jobs: 1,
                 full_saturation: false,
+                certify: false,
             })
         );
         assert_eq!(
@@ -811,6 +919,7 @@ mod tests {
                 explain: false,
                 jobs: 4,
                 full_saturation: false,
+                certify: false,
             })
         );
         assert!(parse_args(&s(&["check", "p.sfl", "--jobs"])).is_err());
@@ -827,6 +936,7 @@ mod tests {
                 explain: false,
                 jobs: 1,
                 full_saturation: true,
+                certify: false,
             })
         );
         // Unknown check flags mention the escape hatch.
@@ -841,12 +951,14 @@ mod tests {
             explain: false,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         };
         let full = Command::Check {
             file: "-".into(),
             explain: false,
             jobs: 1,
             full_saturation: true,
+            certify: false,
         };
         assert_eq!(
             run_on_source(&demand, POLICY),
@@ -862,6 +974,7 @@ mod tests {
             explain: true,
             jobs: 1,
             full_saturation: true,
+            certify: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -876,6 +989,7 @@ mod tests {
             explain: false,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         };
         let first = run_on_source(&cmd, POLICY);
         let hits_before = closure_cache().stats().hits;
@@ -894,12 +1008,14 @@ mod tests {
             explain: true,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         };
         let parallel = Command::Check {
             file: "-".into(),
             explain: true,
             jobs: 4,
             full_saturation: false,
+            certify: false,
         };
         assert_eq!(
             run_on_source(&serial, POLICY),
@@ -928,6 +1044,7 @@ mod tests {
                 explain: false,
                 jobs: 1,
                 full_saturation: false,
+                certify: false,
             }
         );
         assert_eq!(obs.metrics, Some(MetricsFormat::Json));
@@ -953,6 +1070,7 @@ mod tests {
             explain: false,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         };
         let (plain, plain_code) = run_on_source(&cmd, POLICY);
         let out = run_on_source_with_obs(
@@ -982,6 +1100,7 @@ mod tests {
             explain: false,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         };
         let out = run_on_source_with_obs(
             &cmd,
@@ -1050,7 +1169,7 @@ mod tests {
         );
         assert_eq!(out.stdout, plain);
         assert!(out.stderr.contains("unfold"));
-        // Parse errors still exit 2 with the metrics facility on.
+        // Parse errors still exit 3 with the metrics facility on.
         let bad = run_on_source_with_obs(
             &Command::Fmt { file: "-".into() },
             "class C { x: bogus_type }",
@@ -1059,7 +1178,7 @@ mod tests {
                 trace: false,
             },
         );
-        assert_eq!(bad.code, 2);
+        assert_eq!(bad.code, exit::INPUT);
         assert!(bad.stdout.contains("error"));
     }
 
@@ -1070,6 +1189,7 @@ mod tests {
             explain: false,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -1085,6 +1205,7 @@ mod tests {
             explain: true,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -1108,7 +1229,7 @@ mod tests {
             user: "ghost".into(),
         };
         let (report, code) = run_on_source(&cmd, POLICY);
-        assert_eq!(code, 2);
+        assert_eq!(code, exit::INPUT);
         assert!(report.contains("unknown user"));
     }
 
@@ -1146,15 +1267,118 @@ mod tests {
     }
 
     #[test]
-    fn errors_exit_two() {
+    fn input_errors_exit_three() {
         let cmd = Command::Check {
             file: "-".into(),
             explain: false,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         };
         let (report, code) = run_on_source(&cmd, "class C { x: bogus_type }");
-        assert_eq!(code, 2);
+        assert_eq!(code, exit::INPUT);
         assert!(report.contains("error"));
+    }
+
+    #[test]
+    fn certify_flag_parsing() {
+        assert_eq!(
+            parse_args(&s(&["check", "p.sfl", "--certify"])),
+            Ok(Command::Check {
+                file: "p.sfl".into(),
+                explain: false,
+                jobs: 1,
+                full_saturation: false,
+                certify: true,
+            })
+        );
+        // Unknown check flags mention --certify among the accepted set.
+        let err = parse_args(&s(&["check", "p.sfl", "--certify-all"])).unwrap_err();
+        assert!(err.contains("--certify"), "{err}");
+    }
+
+    #[test]
+    fn certify_revalidates_and_appends_a_summary() {
+        let plain = Command::Check {
+            file: "-".into(),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+            certify: false,
+        };
+        let certified = Command::Check {
+            file: "-".into(),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+            certify: true,
+        };
+        let (plain_out, plain_code) = run_on_source(&plain, POLICY);
+        let (out, code) = run_on_source(&certified, POLICY);
+        // Verdict lines and exit code are unchanged; one summary line is
+        // appended.
+        assert_eq!(code, plain_code);
+        assert!(out.starts_with(&plain_out), "verdict lines must not change");
+        assert!(
+            out.contains("certified: ") && out.contains("across 2 closure(s)"),
+            "missing certify summary: {out}"
+        );
+        // The instrumented path additionally surfaces per-rule check
+        // counters in the metrics report.
+        let obs = run_on_source_with_obs(
+            &certified,
+            POLICY,
+            &ObsOptions {
+                metrics: Some(MetricsFormat::Json),
+                trace: false,
+            },
+        );
+        assert_eq!(obs.stdout, out, "metrics must not change stdout");
+        assert!(
+            obs.stderr.contains("checker.rule.axiom"),
+            "metrics missing checker counters: {}",
+            obs.stderr
+        );
+    }
+
+    #[test]
+    fn corrupted_proofs_fail_certification_with_exit_four() {
+        let schema = load_str(POLICY).unwrap();
+        let mut outcome = check_batch(&schema, false, 1, false, true, false);
+        // Corrupt one recorded derivation in the first group's closure: the
+        // independent checker must reject it and the CLI must map that to
+        // the dedicated exit code.
+        let (_, closure) = outcome.groups[0].artifacts.as_mut().unwrap();
+        let t = closure
+            .iter()
+            .find(|t| matches!(t, secflow::Term::Ta(_)))
+            .expect("closure has a ta term");
+        // `rule for =` can only conclude an equality, never a `ta` term.
+        assert!(closure.replace_proof(&t, "rule for =", vec![]));
+        let mut out = String::new();
+        let code = match certify_outcome(&outcome, &mut out) {
+            Ok(_) => panic!("corrupted outcome certified: {out}"),
+            Err(code) => code,
+        };
+        assert_eq!(code, exit::CERTIFY);
+        assert!(
+            out.contains("certification FAILED for user "),
+            "missing failure report: {out}"
+        );
+    }
+
+    #[test]
+    fn certify_composes_with_explain_and_jobs() {
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: true,
+            jobs: 4,
+            full_saturation: true,
+            certify: true,
+        };
+        let (out, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, exit::VIOLATION);
+        assert!(out.contains("witness ti["));
+        assert!(out.contains("certified: "));
     }
 }

@@ -378,6 +378,21 @@ impl Closure {
     pub fn iter(&self) -> impl Iterator<Item = Term> + '_ {
         self.terms.iter().map(|id| id.term())
     }
+
+    /// Test support: overwrite the recorded derivation of a term already in
+    /// the closure, returning whether a proof was replaced. Exists so the
+    /// soundness suite can corrupt proofs and assert that
+    /// [`Closure::certify`](crate::checker) rejects them; the engine never
+    /// calls this.
+    #[doc(hidden)]
+    pub fn replace_proof(&mut self, t: &Term, rule: &'static str, premises: Vec<Term>) -> bool {
+        let id = TermId::new(*t);
+        if !self.terms.contains(&id) {
+            return false;
+        }
+        self.proofs.insert(id, Derivation { rule, premises });
+        true
+    }
 }
 
 /// Interned attribute name: the engine compares attributes by `u32` id in
@@ -601,7 +616,12 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             };
             match &e.kind {
                 NKind::Basic(op, args) => {
-                    assert!(args.len() <= 4, "basic operators are at most 4-ary");
+                    // Unfolding rejects larger arities (`UnfoldError::ArityOverflow`),
+                    // so the `as u8` below can never truncate.
+                    assert!(
+                        args.len() <= crate::unfold::MAX_BASIC_ARITY,
+                        "unfold admitted a basic application wider than MAX_BASIC_ARITY"
+                    );
                     let mut buf = [0 as ExprId; 4];
                     for (i, a) in args.iter().enumerate() {
                         buf[i] = *a;

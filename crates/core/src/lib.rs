@@ -30,6 +30,9 @@
 //! * [`demand`] — the demand-driven mode: a conservative relevance slice
 //!   over `S'(F)` plus goal tracking, so the engine derives only what the
 //!   verdict can observe and stops as soon as every occurrence is decided.
+//! * [`checker`] — the certifying proof checker: [`Closure::certify`]
+//!   independently re-validates every recorded derivation against the
+//!   Table-2 schemas and metarule tables, sharing no code with the engine.
 //! * [`report`] — verdicts and Figure-1-style derivation rendering.
 //! * [`stats`] — closure instrumentation: [`ClosureStats`] collected through
 //!   a zero-cost observer (the plain `compute` paths monomorphise a no-op),
@@ -46,6 +49,7 @@
 pub mod advisor;
 pub mod algorithm;
 pub mod basics;
+pub mod checker;
 pub mod closure;
 pub mod demand;
 pub mod fxhash;
@@ -62,6 +66,7 @@ pub use algorithm::{
     analyze_with_stats, AnalysisConfig, AnalysisError, AnalysisStats, BatchGroup, BatchOptions,
     BatchOutcome, CapabilityView, ClosureCache,
 };
+pub use checker::{Certificate, CheckError};
 pub use closure::{Closure, ProofMode};
 pub use demand::{DemandPlan, GoalTracker};
 pub use reference::{analyze_ref, RefClosure};

@@ -122,6 +122,10 @@ pub struct ClosureStats {
     pub slice_nodes: u64,
     /// Did any merged run stop early with every goal derived?
     pub early_exit: bool,
+    /// Proof checks performed per rule label by the certifying checker
+    /// ([`crate::checker`]); empty until a [`crate::checker::Certificate`]
+    /// is absorbed. Monotone counters: merges sum per label.
+    pub checker_checks: Vec<(&'static str, u64)>,
 }
 
 impl ClosureStats {
@@ -193,6 +197,27 @@ impl ClosureStats {
             .unwrap_or(0)
     }
 
+    /// Proof checks under one rule label (0 if nothing was certified).
+    pub fn checker_checks_of(&self, label: &str) -> u64 {
+        self.checker_checks
+            .iter()
+            .find(|(l, _)| *l == label)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+
+    /// Fold a certification's per-rule check counts into the stats (sums;
+    /// a batch may certify several closures into one report).
+    pub fn absorb_certificate(&mut self, cert: &crate::checker::Certificate) {
+        for &(label, n) in &cert.rule_checks {
+            if let Some((_, m)) = self.checker_checks.iter_mut().find(|(l, _)| *l == label) {
+                *m += n;
+            } else {
+                self.checker_checks.push((label, n));
+            }
+        }
+    }
+
     /// Fold another run's stats into this one (summing counts and firings;
     /// high-water marks and the budget take the maximum; `aborted` is
     /// sticky). Used when one report covers many closures — e.g. `check`
@@ -234,6 +259,13 @@ impl ClosureStats {
                 self.rule_attempts.push((label, n));
             }
         }
+        for &(label, n) in &other.checker_checks {
+            if let Some((_, m)) = self.checker_checks.iter_mut().find(|(l, _)| *l == label) {
+                *m += n;
+            } else {
+                self.checker_checks.push((label, n));
+            }
+        }
     }
 
     /// Report everything into a sink under the `closure.` namespace:
@@ -269,6 +301,12 @@ impl ClosureStats {
         for (label, n) in &self.rule_attempts {
             let mut name = String::with_capacity(19 + label.len());
             name.push_str("closure.rule_fired.");
+            name.push_str(label);
+            sink.counter(&name, *n);
+        }
+        for (label, n) in &self.checker_checks {
+            let mut name = String::with_capacity(13 + label.len());
+            name.push_str("checker.rule.");
             name.push_str(label);
             sink.counter(&name, *n);
         }
@@ -449,6 +487,119 @@ mod tests {
         assert_eq!(report.counter("closure.sliced_out"), Some(1));
         assert_eq!(report.counter("closure.slice_nodes"), Some(4));
         assert_eq!(report.counter("closure.early_exit"), Some(1));
+    }
+
+    #[test]
+    fn merge_contract_is_pinned_field_by_field() {
+        // The full sum-vs-max contract over two hand-built values: monotone
+        // counters add, high-water marks (worklist depth, peak interner
+        // capacity) and the budget take the maximum, marks are sticky, and
+        // the per-label tables add label-wise. A new field must be placed
+        // into exactly one of these classes and asserted here.
+        let mut a = ClosureStats {
+            terms_ta: 1,
+            terms_pa: 2,
+            terms_ti: 3,
+            terms_pi: 4,
+            terms_pistar: 5,
+            terms_eq: 6,
+            firings: vec![("axiom", 7), ("implication", 1)],
+            rule_attempts: vec![("axiom", 9)],
+            rounds: 10,
+            worklist_peak: 11,
+            derive_calls: 12,
+            dedup_hits: 13,
+            limit: 100,
+            aborted: false,
+            interner_capacity: 64,
+            interner_capacity_sum: 64,
+            proofs_recorded: false,
+            sliced_out: 14,
+            slice_nodes: 15,
+            early_exit: false,
+            checker_checks: vec![("axiom", 2)],
+        };
+        let b = ClosureStats {
+            terms_ta: 10,
+            terms_pa: 20,
+            terms_ti: 30,
+            terms_pi: 40,
+            terms_pistar: 50,
+            terms_eq: 60,
+            firings: vec![("axiom", 70), ("rule for =", 2)],
+            rule_attempts: vec![("axiom", 90), ("implication", 3)],
+            rounds: 100,
+            worklist_peak: 5,
+            derive_calls: 120,
+            dedup_hits: 130,
+            limit: 50,
+            aborted: true,
+            interner_capacity: 32,
+            interner_capacity_sum: 32,
+            proofs_recorded: true,
+            sliced_out: 140,
+            slice_nodes: 150,
+            early_exit: true,
+            checker_checks: vec![("axiom", 3), ("implication", 4)],
+        };
+        a.merge(&b);
+        // Monotone counters: sums.
+        assert_eq!(
+            (a.terms_ta, a.terms_pa, a.terms_ti, a.terms_pi),
+            (11, 22, 33, 44)
+        );
+        assert_eq!((a.terms_pistar, a.terms_eq), (55, 66));
+        assert_eq!(a.rounds, 110);
+        assert_eq!(a.derive_calls, 132);
+        assert_eq!(a.dedup_hits, 143);
+        assert_eq!(a.interner_capacity_sum, 96);
+        assert_eq!(a.sliced_out, 154);
+        assert_eq!(a.slice_nodes, 165);
+        // High-water marks and the budget: maxima.
+        assert_eq!(a.worklist_peak, 11, "worklist depth is a high-water mark");
+        assert_eq!(a.limit, 100, "budget takes the larger of the two");
+        assert_eq!(a.interner_capacity, 64, "peak capacity is a max, not a sum");
+        // Sticky marks.
+        assert!(a.aborted && a.proofs_recorded && a.early_exit);
+        // Per-label tables: label-wise sums, unseen labels appended.
+        assert_eq!(a.firings_of("axiom"), 77);
+        assert_eq!(a.firings_of("implication"), 1);
+        assert_eq!(a.firings_of("rule for ="), 2);
+        assert_eq!(a.rule_attempts_of("axiom"), 99);
+        assert_eq!(a.rule_attempts_of("implication"), 3);
+        assert_eq!(a.checker_checks_of("axiom"), 5);
+        assert_eq!(a.checker_checks_of("implication"), 4);
+    }
+
+    #[test]
+    fn absorbed_certificates_merge_and_record() {
+        let schema = oodb_lang::parse_schema(
+            r#"
+            class C { a: int }
+            user u { r_a }
+            "#,
+        )
+        .unwrap();
+        oodb_lang::check_schema(&schema).unwrap();
+        let prog = crate::unfold::NProgram::unfold(&schema, schema.user_str("u").unwrap()).unwrap();
+        let c = crate::closure::Closure::compute(&prog).unwrap();
+        let cert = c
+            .certify(&prog, &crate::rules::RuleConfig::default())
+            .unwrap();
+        let mut s = ClosureStats::new(100);
+        s.absorb_certificate(&cert);
+        s.absorb_certificate(&cert);
+        let total: u64 = s.checker_checks.iter().map(|(_, n)| n).sum();
+        assert_eq!(total as usize, 2 * cert.terms_checked);
+        let mut rec = secflow_obs::Recorder::new();
+        s.record_to(&mut rec);
+        let report = rec.into_report();
+        assert!(s.checker_checks_of("axiom") > 0);
+        assert_eq!(
+            report.counter("checker.rule.axiom"),
+            Some(s.checker_checks_of("axiom")),
+            "checker namespace is emitted"
+        );
     }
 
     #[test]

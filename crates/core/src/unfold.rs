@@ -139,6 +139,19 @@ pub enum UnfoldError {
     /// Internal error: the schema was not type checked (unbound variable or
     /// unknown callee encountered).
     Malformed(String),
+    /// A basic-function application with more arguments than the engine's
+    /// fixed-width slot encoding supports. Rejected here, at unfold time,
+    /// because the closure engine stores the arity in a small fixed field —
+    /// letting an oversized application through would silently truncate it
+    /// and mis-dispatch the per-operator metarules.
+    ArityOverflow {
+        /// The operator's symbol.
+        op: &'static str,
+        /// The offending argument count.
+        arity: usize,
+        /// The supported maximum ([`MAX_BASIC_ARITY`]).
+        limit: usize,
+    },
 }
 
 impl fmt::Display for UnfoldError {
@@ -149,6 +162,10 @@ impl fmt::Display for UnfoldError {
                 write!(f, "unfolded program exceeds {limit} nodes")
             }
             UnfoldError::Malformed(m) => write!(f, "schema not type-checked: {m}"),
+            UnfoldError::ArityOverflow { op, arity, limit } => write!(
+                f,
+                "basic function `{op}` applied to {arity} arguments; at most {limit} are supported"
+            ),
         }
     }
 }
@@ -157,6 +174,11 @@ impl std::error::Error for UnfoldError {}
 
 /// Default node budget for unfolding.
 pub const DEFAULT_NODE_LIMIT: usize = 200_000;
+
+/// Maximum supported arity of a basic-function application. Basic operators
+/// are unary or binary; the headroom matches the closure engine's inline
+/// slot encoding, which this bound protects from overflow.
+pub const MAX_BASIC_ARITY: usize = 4;
 
 /// The numbered, unfolded program `S'(F)`.
 #[derive(Clone, Debug, Default)]
@@ -579,6 +601,13 @@ impl Builder<'_> {
                 self.push(kind, ty.clone())
             }
             Expr::Basic(op, args) => {
+                if args.len() > MAX_BASIC_ARITY {
+                    return Err(UnfoldError::ArityOverflow {
+                        op: op.symbol(),
+                        arity: args.len(),
+                        limit: MAX_BASIC_ARITY,
+                    });
+                }
                 let mut ids = Vec::with_capacity(args.len());
                 for a in args {
                     ids.push(self.unfold_expr(a, scope)?);
@@ -911,5 +940,64 @@ mod tests {
         let p = NProgram::unfold(&schema, caps).unwrap();
         assert_eq!(p.render(p.outers[0].root), "2new P(1a1)");
         assert_eq!(p.get(2).ty, Type::class("P"));
+    }
+
+    /// A parsed schema with `f`'s body replaced by one `+` application over
+    /// `arity` copies of `x`. The surface grammar only produces binary
+    /// basics, so the wide node is injected directly into the AST.
+    fn wide_basic_schema(arity: usize) -> Schema {
+        let mut schema = parse_schema(
+            r#"
+            fn f(x: int): int { x + x }
+            user u { f }
+            "#,
+        )
+        .unwrap();
+        let f = schema.functions.get_mut(&FnName::from("f")).unwrap();
+        f.body = Expr::Basic(BasicOp::Add, vec![Expr::Var(VarName::from("x")); arity]);
+        schema
+    }
+
+    #[test]
+    fn basic_arity_over_the_limit_is_rejected() {
+        // Just past the supported width: unfolding must refuse rather than
+        // build a node the local-rule tables have no schemas for.
+        let schema = wide_basic_schema(MAX_BASIC_ARITY + 1);
+        let caps = schema.user_str("u").unwrap();
+        let err = NProgram::unfold(&schema, caps).unwrap_err();
+        assert_eq!(
+            err,
+            UnfoldError::ArityOverflow {
+                op: "+",
+                arity: MAX_BASIC_ARITY + 1,
+                limit: MAX_BASIC_ARITY
+            }
+        );
+        assert!(
+            err.to_string().contains("at most 4"),
+            "unexpected message: {err}"
+        );
+    }
+
+    #[test]
+    fn basic_arity_beyond_u8_is_rejected_not_truncated() {
+        // Before the guard, a 300-argument node survived unfolding and the
+        // closure engine stored slot indices as `args.len() as u8`,
+        // silently wrapping 300 to 44. Now it never reaches the engine.
+        let schema = wide_basic_schema(300);
+        let caps = schema.user_str("u").unwrap();
+        match NProgram::unfold(&schema, caps) {
+            Err(UnfoldError::ArityOverflow { arity: 300, .. }) => {}
+            other => panic!("expected ArityOverflow for arity 300, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_arity_at_the_limit_still_unfolds() {
+        let schema = wide_basic_schema(MAX_BASIC_ARITY);
+        let caps = schema.user_str("u").unwrap();
+        let p = NProgram::unfold(&schema, caps).expect("limit arity unfolds");
+        // `arity` argument occurrences plus the applying node itself.
+        assert_eq!(p.len(), MAX_BASIC_ARITY + 1);
     }
 }

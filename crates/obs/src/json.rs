@@ -311,13 +311,45 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
-                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        match code {
+                            // High surrogate: JSON encodes astral-plane
+                            // scalars as a `\uD8xx\uDCxx` pair (RFC 8259
+                            // §7); decode both halves into one char.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(br"\u") {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{code:04X} at byte {pos}: \
+                                         expected a low-surrogate \\u escape to follow",
+                                        pos = *pos
+                                    ));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate \\u{code:04X} followed by \
+                                         \\u{low:04X}, which is not a low surrogate"
+                                    ));
+                                }
+                                let scalar = 0x1_0000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(
+                                    char::from_u32(scalar)
+                                        .expect("surrogate pairs always decode to a valid scalar"),
+                                );
+                                *pos += 6;
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "lone low surrogate \\u{code:04X} at byte {pos}",
+                                    pos = *pos
+                                ));
+                            }
+                            _ => out.push(
+                                char::from_u32(code)
+                                    .expect("non-surrogate BMP code points are scalars"),
+                            ),
+                        }
                     }
                     _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
                 }
@@ -333,6 +365,13 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())
 }
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
@@ -389,6 +428,48 @@ mod tests {
     fn string_escapes_round_trip() {
         let v = Json::str("a\"b\\c\nd\te\u{1}");
         assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_beyond_the_bmp() {
+        // U+1D11E MUSICAL SYMBOL G CLEF = 𝄞, U+10348 = 𐍈.
+        assert_eq!(
+            Json::parse(r#""𝄞 and 𐍈""#).unwrap(),
+            Json::str("\u{1D11E} and \u{10348}")
+        );
+        // BMP escapes still decode directly.
+        assert_eq!(Json::parse(r#""é☃""#).unwrap(), Json::str("é☃"));
+    }
+
+    #[test]
+    fn non_bmp_strings_round_trip() {
+        // The writer emits astral characters as raw UTF-8; the parser must
+        // accept both that form and the escaped surrogate-pair form.
+        let v = Json::str("clef \u{1D11E}, emoji \u{1F512}, tail");
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected_with_a_clear_error() {
+        let high = Json::parse(r#""\uD834""#).unwrap_err();
+        assert!(
+            high.contains("lone high surrogate \\uD834"),
+            "unexpected error: {high}"
+        );
+        let low = Json::parse(r#""\uDD1E""#).unwrap_err();
+        assert!(
+            low.contains("lone low surrogate \\uDD1E"),
+            "unexpected error: {low}"
+        );
+        // High surrogate followed by a non-low escape names both halves.
+        let pair = Json::parse("\"\\uD834\\u0041\"").unwrap_err();
+        assert!(
+            pair.contains("\\uD834") && pair.contains("\\u0041"),
+            "unexpected error: {pair}"
+        );
+        // High surrogate followed by a plain character is also lone.
+        assert!(Json::parse(r#""\uD834x""#).is_err());
     }
 
     #[test]

@@ -15,6 +15,15 @@
 //! — a failure reports the case number and message and panics immediately.
 //! Every property the workspace checks is already deterministic per seed, so
 //! reproducing a failure is as simple as re-running the test.
+//!
+//! The sibling `<test-file>.proptest-regressions` file (upstream's
+//! persistence format) **is** honoured: every `cc <hex>` line is folded
+//! into a `u64` seed and replayed through a dedicated RNG before any novel
+//! cases are generated. Upstream stores the exact RNG state in the digest;
+//! the shim's generators differ, so the replay pins *a* deterministic case
+//! per saved line rather than the byte-identical original — which keeps the
+//! file's contract (saved failures re-run first, forever) without the
+//! upstream internals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -132,6 +141,40 @@ pub mod test_runner {
                 }
             }
         }
+    }
+
+    /// Seeds saved in the sibling `.proptest-regressions` file of a test
+    /// source file, in file order.
+    ///
+    /// `source_file` is the `file!()` of the expanding test (relative to
+    /// the package root, which is also the test binary's working
+    /// directory). Each `cc <hex>` line — upstream's persistence format —
+    /// is folded into a `u64` via FNV-1a over the digest text. Missing
+    /// files, comments and malformed lines yield no seeds.
+    pub fn regression_seeds(source_file: &str) -> Vec<u64> {
+        let Some(stem) = source_file.strip_suffix(".rs") else {
+            return Vec::new();
+        };
+        let Ok(text) = std::fs::read_to_string(format!("{stem}.proptest-regressions")) else {
+            return Vec::new();
+        };
+        let mut seeds = Vec::new();
+        for line in text.lines() {
+            let Some(rest) = line.trim().strip_prefix("cc ") else {
+                continue;
+            };
+            let digest = rest.split_whitespace().next().unwrap_or("");
+            if digest.is_empty() || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+                continue;
+            }
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in digest.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            seeds.push(seed);
+        }
+        seeds
     }
 }
 
@@ -684,6 +727,28 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;
+            // Replay saved regression seeds first, one fresh RNG per saved
+            // line, so previously-failing cases run before any novel ones.
+            for seed in $crate::test_runner::regression_seeds(file!()) {
+                let mut rng = $crate::test_runner::TestRng::seed_from_u64(seed);
+                $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                let outcome = (move || -> ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(
+                    $crate::test_runner::TestCaseError::Fail(msg),
+                ) = outcome
+                {
+                    panic!(
+                        "proptest {}: saved regression seed {seed:#018x} failed: {msg}",
+                        stringify!($name),
+                    );
+                }
+            }
             let mut rng = $crate::test_runner::TestRng::deterministic();
             let mut accepted: u32 = 0;
             let mut rejected: u32 = 0;
@@ -770,6 +835,34 @@ mod tests {
         fn recursive_strategies_terminate(n in make_tree(3)) {
             prop_assert!(depth(&n) <= 4, "depth {} of {:?}", depth(&n), n);
         }
+    }
+
+    #[test]
+    fn regression_files_are_parsed_and_deterministic() {
+        let dir = std::env::temp_dir().join(format!("proptest-shim-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("case.rs");
+        std::fs::write(
+            dir.join("case.proptest-regressions"),
+            "# comment line\n\
+             cc dfdc147865635f17ef9cab1d4e8c6fb8 # shrinks to e = ...\n\
+             cc 00ff\n\
+             cc not-hex\n\
+             unrelated line\n",
+        )
+        .unwrap();
+        let seeds = crate::test_runner::regression_seeds(src.to_str().unwrap());
+        assert_eq!(seeds.len(), 2, "two well-formed cc lines");
+        assert_ne!(seeds[0], seeds[1], "distinct digests give distinct seeds");
+        // Same file, same fold: the replay order is stable across runs.
+        assert_eq!(
+            seeds,
+            crate::test_runner::regression_seeds(src.to_str().unwrap())
+        );
+        // Missing files and non-.rs paths are silently empty.
+        assert!(crate::test_runner::regression_seeds("no/such/file.rs").is_empty());
+        assert!(crate::test_runner::regression_seeds("file.txt").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[derive(Clone, Debug)]

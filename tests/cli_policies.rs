@@ -13,6 +13,7 @@ fn check_stockbroker_policy_file() {
         explain: true,
         jobs: 1,
         full_saturation: false,
+        certify: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (clerk, r_salary(x):ti)"));
@@ -31,6 +32,7 @@ fn check_hospital_policy_file() {
         explain: false,
         jobs: 1,
         full_saturation: false,
+        certify: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (auditor, r_bill(x):ti)"));
@@ -46,6 +48,7 @@ fn bank_policy_shows_pessimism() {
         explain: false,
         jobs: 1,
         full_saturation: false,
+        certify: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (teller, r_balance(x):ti)"));
@@ -82,15 +85,96 @@ fn fix_stockbroker_policy_file() {
 }
 
 #[test]
-fn missing_file_exits_two() {
+fn missing_file_exits_three() {
+    // Input errors get their own exit code, distinct from usage errors (2)
+    // and policy violations (1).
     let (report, code) = run(&Command::Check {
         file: policy("does_not_exist"),
         explain: false,
         jobs: 1,
         full_saturation: false,
+        certify: false,
     });
-    assert_eq!(code, 2);
+    assert_eq!(code, secflow_cli::exit::INPUT);
     assert!(report.contains("cannot read"));
+}
+
+#[test]
+fn exit_codes_are_distinct_per_outcome_class() {
+    use secflow_cli::exit;
+    // 0: a policy whose requirements are all satisfied.
+    let (_, ok) = run(&Command::Check {
+        file: policy("stockbroker_safe"),
+        explain: false,
+        jobs: 1,
+        full_saturation: false,
+        certify: false,
+    });
+    // 1: a policy with a flaw.
+    let (_, violated) = run(&Command::Check {
+        file: policy("stockbroker"),
+        explain: false,
+        jobs: 1,
+        full_saturation: false,
+        certify: false,
+    });
+    // 2: a usage error (unknown flag) — rejected at parse time; the binary
+    // shim maps this to exit::USAGE.
+    let usage = secflow_cli::parse_args(&["check".into(), "p.sfl".into(), "--bogus-flag".into()]);
+    // 3: an unreadable input file.
+    let (_, input) = run(&Command::Check {
+        file: policy("does_not_exist"),
+        explain: false,
+        jobs: 1,
+        full_saturation: false,
+        certify: false,
+    });
+    assert_eq!(ok, exit::OK);
+    assert_eq!(violated, exit::VIOLATION);
+    assert!(usage.is_err(), "unknown flags must be usage errors");
+    assert_eq!(input, exit::INPUT);
+    // The five documented codes are pairwise distinct.
+    let codes = [
+        exit::OK,
+        exit::VIOLATION,
+        exit::USAGE,
+        exit::INPUT,
+        exit::CERTIFY,
+    ];
+    for (i, a) in codes.iter().enumerate() {
+        for b in &codes[i + 1..] {
+            assert_ne!(a, b, "exit codes must stay distinct");
+        }
+    }
+}
+
+#[test]
+fn certify_passes_on_every_policy_file() {
+    for name in ["stockbroker", "hospital", "bank"] {
+        let plain = run(&Command::Check {
+            file: policy(name),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+            certify: false,
+        });
+        let (report, code) = run(&Command::Check {
+            file: policy(name),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+            certify: true,
+        });
+        assert_eq!(code, plain.1, "{name}: --certify changed the exit code");
+        assert!(
+            report.starts_with(&plain.0),
+            "{name}: --certify changed the verdict lines"
+        );
+        assert!(
+            report.contains("certified: "),
+            "{name}: missing certify summary"
+        );
+    }
 }
 
 #[test]
@@ -101,12 +185,14 @@ fn full_saturation_matches_demand_on_policy_files() {
             explain: false,
             jobs: 1,
             full_saturation: false,
+            certify: false,
         });
         let full = run(&Command::Check {
             file: policy(name),
             explain: false,
             jobs: 1,
             full_saturation: true,
+            certify: false,
         });
         assert_eq!(demand, full, "{name}: --full-saturation changed the output");
     }

@@ -28,6 +28,11 @@ use secflow_workloads::scale;
 /// slice.
 fn assert_demand_is_sliced_full(prog: &NProgram, plan: &DemandPlan, label: &str) {
     let full = Closure::compute(prog).unwrap_or_else(|e| panic!("{label}: full engine: {e}"));
+    // The full run records proofs: certify them. The demand run below is
+    // proof-free by design, so certification must refuse it (checked once
+    // after it is computed).
+    full.certify(prog, &secflow::rules::RuleConfig::default())
+        .unwrap_or_else(|e| panic!("{label}: full closure fails certification: {e}"));
     let demand = Closure::compute_demand(
         prog,
         &secflow::rules::RuleConfig::default(),
@@ -35,6 +40,11 @@ fn assert_demand_is_sliced_full(prog: &NProgram, plan: &DemandPlan, label: &str)
         plan,
     )
     .unwrap_or_else(|e| panic!("{label}: demand engine: {e}"));
+    assert_eq!(
+        demand.certify(prog, &secflow::rules::RuleConfig::default()),
+        Err(secflow::checker::CheckError::NoProofs),
+        "{label}: proof-free demand closures must be uncertifiable"
+    );
     if demand.early_exited() {
         // An early-exited run is a prefix of the sliced run; subset only.
         let mut td: Vec<Term> = demand.iter().collect();

@@ -94,6 +94,18 @@ fn assert_saturation_modes_identical(prog: &NProgram, label: &str) {
             "{label}: proof differs for {t}"
         );
     }
+    // Both runs recorded proofs, so both must certify: every derivation
+    // re-validates against the Table-2 schemas independently of the engine.
+    for (mode, c) in [("naive", &naive), ("semi-naive", &semi)] {
+        let cert = c
+            .certify(prog, &cfg)
+            .unwrap_or_else(|e| panic!("{label}: {mode} closure fails certification: {e}"));
+        assert_eq!(
+            cert.terms_checked,
+            c.len(),
+            "{label}: {mode} certificate covers every term"
+        );
+    }
 }
 
 /// A schema whose probe bodies repeat one subexpression (`r_a0(c) + x`)

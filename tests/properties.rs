@@ -171,3 +171,58 @@ proptest! {
         prop_assert_eq!(req, reparsed);
     }
 }
+
+// ------------------------------------------- P9: certification totality
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// P9: every proof-carrying closure over the random corpus certifies,
+    /// and the certificate accounts for every term exactly once.
+    #[test]
+    fn random_closures_certify(seed in 0u64..5000) {
+        let case = random_case(seed, &RandomSpec::default());
+        let caps = case.schema.user_str(&case.user).unwrap();
+        let prog = NProgram::unfold(&case.schema, caps).unwrap();
+        let closure = Closure::compute(&prog).unwrap();
+        let cert = closure
+            .certify(&prog, &secflow::rules::RuleConfig::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: certification failed: {e}"));
+        prop_assert_eq!(cert.terms_checked, closure.len());
+        prop_assert_eq!(cert.axioms + cert.derived, cert.terms_checked);
+        let counted: u64 = cert.rule_checks.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(counted as usize, cert.terms_checked);
+    }
+}
+
+// --------------------------------------------- JSON string round-trips
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary strings — astral-plane characters included — survive a
+    /// write/parse round-trip through the metrics JSON codec, in both the
+    /// raw-UTF-8 form the writer emits and the `\uXXXX` surrogate-pair
+    /// escape form other producers emit.
+    #[test]
+    fn json_strings_round_trip(s in ".{0,40}", astral in 0u32..0x14_0000) {
+        use secflow_obs::Json;
+        let mut text = s;
+        if let Some(c) = char::from_u32(astral) {
+            text.push(c);
+        }
+        let v = Json::str(&text);
+        prop_assert_eq!(Json::parse(&v.to_string()).unwrap(), v.clone());
+        // Re-encode every char as an escape (surrogate pairs beyond the
+        // BMP), which the parser must decode back to the same string.
+        let mut escaped = String::from("\"");
+        for c in text.chars() {
+            let mut units = [0u16; 2];
+            for unit in c.encode_utf16(&mut units) {
+                escaped.push_str(&format!("\\u{:04X}", unit));
+            }
+        }
+        escaped.push('"');
+        prop_assert_eq!(Json::parse(&escaped).unwrap(), v);
+    }
+}
