@@ -29,6 +29,12 @@
 //! certificate-completeness assertion and a `certify ≤ 2× analyze`
 //! overhead bound per row.
 //!
+//! The `audit` experiment (`-- audit [--smoke]`) writes `BENCH_audit.json`:
+//! the certified flaw-path report (`secflow audit --format=json`) measured
+//! end to end per policy — proof-carrying analysis time, certify+walk+render
+//! time, flaw paths per second and report size — with a validity assertion
+//! on every rendered report.
+//!
 //! Every run also writes `BENCH_obs.json` next to the working directory: a
 //! machine-readable metrics blob with per-experiment wall times plus the
 //! closure counters for the canonical stockbroker analysis (see
@@ -97,6 +103,11 @@ fn main() {
         let smoke = args.iter().any(|a| a == "--smoke");
         let write_json = !args.iter().any(|a| a == "--no-obs");
         phases.time("certify", || run_certify(smoke, write_json));
+    }
+    if want("audit") {
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let write_json = !args.iter().any(|a| a == "--no-obs");
+        phases.time("audit", || run_audit(smoke, write_json));
     }
 
     if !args.iter().any(|a| a == "--no-obs") {
@@ -623,6 +634,66 @@ fn write_certify_blob(rows: &[CertifyRow]) {
     }
     let report = rec.into_report();
     let path = "BENCH_certify.json";
+    match std::fs::write(path, report.to_json().pretty()) {
+        Ok(()) => eprintln!("metrics: wrote {path}"),
+        Err(e) => eprintln!("metrics: could not write {path}: {e}"),
+    }
+}
+
+fn run_audit(smoke: bool, write_json: bool) {
+    banner(&format!(
+        "audit — certified flaw-path reports end to end{}",
+        if smoke { " (smoke sizes)" } else { "" }
+    ));
+    println!(
+        "{:<20} {:>5} {:>8} {:>6} {:>12} {:>12} {:>11} {:>10}",
+        "policy", "reqs", "violated", "paths", "analyze (us)", "render (us)", "paths/sec", "bytes"
+    );
+    let rows = audit_provenance(smoke);
+    for r in &rows {
+        println!(
+            "{:<20} {:>5} {:>8} {:>6} {:>12} {:>12} {:>11.0} {:>10}",
+            r.name,
+            r.requirements,
+            r.violated,
+            r.paths,
+            r.analyze_micros,
+            r.render_micros,
+            r.paths_per_sec(),
+            r.report_bytes,
+        );
+        assert!(r.requirements > 0, "{}: nothing audited", r.name);
+        assert!(
+            r.violated == 0 || r.paths > 0,
+            "{}: violations without provenance",
+            r.name
+        );
+    }
+    println!();
+    println!("every report is schema-versioned JSON whose paths are backed by");
+    println!("certifier-accepted derivations (render = certify + walk + emit).");
+
+    if write_json {
+        write_audit_blob(&rows);
+    }
+}
+
+/// Emit `BENCH_audit.json`: per-policy audit timings, flaw-path counts and
+/// report sizes, plus the paths/second enumeration rate as a gauge.
+fn write_audit_blob(rows: &[AuditRow]) {
+    let mut rec = Recorder::new();
+    for r in rows {
+        let key = format!("audit.{}", r.name);
+        rec.counter(&format!("{key}.requirements"), r.requirements as u64);
+        rec.counter(&format!("{key}.violated"), r.violated as u64);
+        rec.counter(&format!("{key}.paths"), r.paths as u64);
+        rec.counter(&format!("{key}.analyze_micros"), r.analyze_micros as u64);
+        rec.counter(&format!("{key}.render_micros"), r.render_micros as u64);
+        rec.counter(&format!("{key}.report_bytes"), r.report_bytes as u64);
+        rec.gauge(&format!("{key}.paths_per_sec"), r.paths_per_sec());
+    }
+    let report = rec.into_report();
+    let path = "BENCH_audit.json";
     match std::fs::write(path, report.to_json().pretty()) {
         Ok(()) => eprintln!("metrics: wrote {path}"),
         Err(e) => eprintln!("metrics: could not write {path}: {e}"),

@@ -1178,9 +1178,119 @@ pub fn demand_batch(smoke: bool) -> DemandBatchRow {
     }
 }
 
+/// One `audit` measurement: a full provenance audit (proof-carrying batch
+/// analysis, certification, flaw-path walk, JSON report) over one policy.
+pub struct AuditRow {
+    /// Case label.
+    pub name: String,
+    /// Requirements audited.
+    pub requirements: usize,
+    /// Requirements violated.
+    pub violated: usize,
+    /// Flaw paths enumerated across all witnesses.
+    pub paths: usize,
+    /// Proof-carrying batch analysis time, microseconds.
+    pub analyze_micros: u128,
+    /// Certify + walk + render time for the JSON report, microseconds.
+    pub render_micros: u128,
+    /// Size of the rendered JSON report.
+    pub report_bytes: usize,
+}
+
+impl AuditRow {
+    /// Flaw paths enumerated per second of certify+walk+render time.
+    pub fn paths_per_sec(&self) -> f64 {
+        if self.render_micros == 0 {
+            f64::INFINITY
+        } else {
+            self.paths as f64 * 1e6 / self.render_micros as f64
+        }
+    }
+}
+
+/// `audit` — the cost of the certified provenance report on the fixture
+/// policies and the multi-user scaling families: the proof-carrying batch
+/// analysis on one axis, and certification + flaw-path enumeration +
+/// JSON rendering on the other. `smoke` shrinks the sweep to CI sizes.
+pub fn audit_provenance(smoke: bool) -> Vec<AuditRow> {
+    let mut cases: Vec<(String, oodb_lang::Schema)> = vec![
+        ("stockbroker".into(), fixtures::stockbroker()),
+        ("hospital".into(), fixtures::hospital()),
+    ];
+    let sizes: &[(usize, usize)] = if smoke { &[(4, 4)] } else { &[(8, 8), (16, 8)] };
+    for &(users, width) in sizes {
+        let mut case = multi_user(users, width);
+        case.schema.requirements = case.requirements.clone();
+        cases.push((format!("multi_user_{users}x{width}"), case.schema));
+    }
+    let mut rows = Vec::new();
+    for (name, schema) in cases {
+        let opts = secflow_cli::AuditOptions {
+            policy: name.clone(),
+            format: secflow_cli::AuditFormat::Json,
+            severity: None,
+            provenance: secflow::ProvenanceOptions::default(),
+        };
+        // Best-of-three on both phases, matching `certify_overhead`.
+        let mut analyze_micros = u128::MAX;
+        let mut outcome = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let o = secflow_cli::audit_batch(&schema, 1);
+            analyze_micros = analyze_micros.min(start.elapsed().as_micros());
+            outcome = Some(o);
+        }
+        let outcome = outcome.expect("at least one analysis run");
+        let mut render_micros = u128::MAX;
+        let mut rendered = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let r = secflow_cli::render_audit(&schema, &outcome, &opts);
+            render_micros = render_micros.min(start.elapsed().as_micros());
+            rendered = Some(r);
+        }
+        let (report, _code) = rendered.expect("at least one render run");
+        let doc = secflow_obs::Json::parse(&report)
+            .unwrap_or_else(|e| panic!("{name}: audit JSON invalid: {e}"));
+        let field = |k: &str| {
+            doc.get(k)
+                .and_then(secflow_obs::Json::as_u64)
+                .unwrap_or_else(|| panic!("{name}: audit JSON missing {k}"))
+        };
+        rows.push(AuditRow {
+            requirements: field("requirements") as usize,
+            violated: field("violated") as usize,
+            paths: doc
+                .get("summary")
+                .and_then(|s| s.get("paths"))
+                .and_then(secflow_obs::Json::as_u64)
+                .unwrap_or_else(|| panic!("{name}: audit JSON missing summary.paths"))
+                as usize,
+            analyze_micros,
+            render_micros,
+            report_bytes: report.len(),
+            name,
+        });
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn audit_smoke_reports_are_valid_and_productive() {
+        for r in audit_provenance(true) {
+            assert!(r.requirements > 0, "{}: nothing audited", r.name);
+            assert!(
+                r.violated == 0 || r.paths > 0,
+                "{}: violations without provenance",
+                r.name
+            );
+            assert!(r.report_bytes > 0, "{}: empty report", r.name);
+        }
+    }
 
     #[test]
     fn demand_smoke_verdicts_identical_and_sliced() {

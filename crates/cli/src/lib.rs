@@ -6,6 +6,7 @@
 //! ```text
 //! secflow check  policy.sfl [--explain] [--certify] [--jobs N]
 //!                                              # run every `require`
+//! secflow audit  policy.sfl [--format=json]    # certified flaw-path report
 //! secflow unfold policy.sfl --user clerk       # print S'(F)
 //! secflow attack policy.sfl [--steps N]        # bounded concrete attacker
 //! secflow fix    policy.sfl                    # minimal revocation repairs
@@ -13,31 +14,37 @@
 //! ```
 //!
 //! Every command also accepts `--metrics[=text|json]` (pipeline statistics
-//! on stderr — phase timings, closure term/rule counters, fixpoint rounds)
-//! and `--trace` (per-requirement phase lines on stderr as they complete).
-//! Both write to **stderr** only, so stdout stays byte-identical and
-//! diff-stable with and without them.
+//! on stderr — phase timings, closure term/rule counters, fixpoint rounds,
+//! cache hit/miss counters) and `--trace[=FILE]` / `--trace-format=...`
+//! (structured span/instant events, JSON Lines or Chrome `trace_event`
+//! format). Metrics write to **stderr** only; trace events go to the
+//! `--trace=FILE` target, falling back to stderr only when `--metrics` is
+//! off — the two never interleave, and stdout stays byte-identical and
+//! diff-stable either way.
 //!
 //! Exit codes are distinct per outcome class (see [`exit`]):
 //! 0 = all requirements satisfied, 1 = at least one violated,
 //! 2 = command-line usage error, 3 = input error (unreadable file,
-//! parse/type/analysis failure), 4 = `--certify` rejected a derivation.
+//! parse/type/analysis failure), 4 = `--certify`/`audit` rejected a
+//! derivation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use oodb_lang::{check_schema, parse_schema, Schema};
 use secflow::algorithm::{
-    analyze_batch_cached, occurrences, AnalysisConfig, BatchOptions, BatchOutcome, ClosureCache,
+    analyze_batch_cached, occurrences, AnalysisConfig, BatchOptions, BatchOutcome, CacheStats,
+    ClosureCache,
 };
 use secflow::closure::{Closure, ProofMode};
+use secflow::provenance::{audit_witness, render_path, ProvenanceOptions, Severity, WalkMode};
 use secflow::report::{render_derivation, render_term, Verdict};
 use secflow::stats::ClosureStats;
 use secflow::unfold::NProgram;
 use secflow_dynamic::attack_requirement;
 use secflow_dynamic::strategy::StrategySpec;
 use secflow_dynamic::AttackerConfig;
-use secflow_obs::{MetricsSink, Phases, Recorder};
+use secflow_obs::{Json, MetricsSink, Phases, Recorder, TraceBuffer, TraceFormat};
 use std::fmt::Write as _;
 use std::sync::OnceLock;
 
@@ -80,6 +87,25 @@ pub enum Command {
         /// saturation.
         certify: bool,
     },
+    /// `audit <file> [--format=text|json] [--severity=S] [--mode=M]
+    /// [--max-depth N] [--max-paths N] [--jobs N]`
+    Audit {
+        /// Policy file path.
+        file: String,
+        /// Report rendering.
+        format: AuditFormat,
+        /// Drop flaw paths below this severity band (verdicts and the exit
+        /// code are unaffected).
+        severity: Option<Severity>,
+        /// Walk direction/coverage for the path enumeration.
+        mode: WalkMode,
+        /// Maximum path length in proof-DAG edges.
+        max_depth: usize,
+        /// Enumeration cap per witness.
+        max_paths: usize,
+        /// Worker threads for the batch analysis driver (1 = serial).
+        jobs: usize,
+    },
     /// `unfold <file> --user <name>`
     Unfold {
         /// Policy file path.
@@ -118,20 +144,43 @@ pub enum MetricsFormat {
     Json,
 }
 
-/// The observability flags, orthogonal to the command: `--metrics[=…]` and
-/// `--trace`. Both emit to stderr only — stdout stays diff-stable.
+/// How `secflow audit` renders its report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AuditFormat {
+    /// Human-readable path listings.
+    #[default]
+    Text,
+    /// The versioned `secflow.audit/1` JSON document.
+    Json,
+}
+
+/// Where `--trace` events go and how they are encoded.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceOptions {
+    /// `--trace=FILE`: write the encoded events here. `None` (bare
+    /// `--trace`) falls back to stderr — but only when `--metrics` is off,
+    /// so the two streams never interleave.
+    pub file: Option<String>,
+    /// `--trace-format=jsonl|chrome`.
+    pub format: TraceFormat,
+}
+
+/// The observability flags, orthogonal to the command: `--metrics[=…]`,
+/// `--trace[=FILE]` and `--trace-format=…`. Metrics emit to stderr only;
+/// trace events go to the `--trace=FILE` target (stderr only as the
+/// metrics-off fallback). stdout stays diff-stable in every combination.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ObsOptions {
     /// Emit a pipeline metrics summary after the command.
     pub metrics: Option<MetricsFormat>,
-    /// Emit per-requirement phase lines as analysis progresses.
-    pub trace: bool,
+    /// Emit structured span/instant trace events.
+    pub trace: Option<TraceOptions>,
 }
 
 impl ObsOptions {
     /// Are both facilities off (the plain, uninstrumented path)?
     pub fn is_off(&self) -> bool {
-        self.metrics.is_none() && !self.trace
+        self.metrics.is_none() && self.trace.is_none()
     }
 }
 
@@ -151,23 +200,45 @@ USAGE:
                                              --certify re-validates every recorded
                                              derivation with the independent proof
                                              checker and exits 4 on any rejection)
+  secflow audit  <policy-file> [--format=text|json] [--severity=low|medium|high|critical]
+                               [--mode=backward|forward|complete]
+                               [--max-depth N] [--max-paths N] [--jobs N]
+                                             run check + certify, then walk every
+                                             violation's proof DAG and report the
+                                             flaw paths from capability axioms
+                                             (sources) to the violated requirement
+                                             (sink), severity-scored; --format=json
+                                             emits the versioned secflow.audit/1
+                                             report; --severity filters paths below
+                                             the band (verdicts and exit codes are
+                                             unchanged)
   secflow unfold <policy-file> --user <u>    print the numbered unfolding S'(F)
   secflow attack <policy-file> [--steps N]   try to realise each flaw concretely
   secflow fix    <policy-file>               suggest minimal revocations per flaw
   secflow fmt    <policy-file>               parse and pretty-print the policy
 
-OBSERVABILITY (any command; output goes to stderr, stdout is unchanged):
-  --metrics[=text|json]   pipeline statistics: per-phase timings, closure
-                          term counts per capability kind, rule firings,
-                          fixpoint rounds, worklist peak, dedup rate
-  --trace                 per-requirement phase timing lines as they finish
+OBSERVABILITY (any command; stdout is unchanged):
+  --metrics[=text|json]   pipeline statistics on stderr: per-phase timings,
+                          closure term counts per capability kind, rule
+                          firings, fixpoint rounds, worklist peak, dedup
+                          rate, closure-cache hits/misses/occupancy
+  --trace[=FILE]          structured span/instant trace events (closure
+                          phases, per-rule firings, cache hits) with
+                          monotonic timestamps; written to FILE, or to
+                          stderr only when --metrics is off (the streams
+                          never interleave — with --metrics on and no FILE,
+                          events are dropped)
+  --trace-format=jsonl|chrome
+                          event encoding: JSON Lines (default) or Chrome
+                          trace_event JSON, loadable in Perfetto /
+                          about://tracing
 
 EXIT CODES (distinct per outcome class, stable for scripting):
   0   every requirement satisfied (or nothing to do)
   1   at least one requirement violated / attack realised / repair needed
   2   command-line usage error (unknown command or flag, bad value)
   3   input error: unreadable file, parse/type error, analysis failure
-  4   --certify rejected a recorded derivation
+  4   --certify or audit rejected a recorded derivation
 
 POLICY FILES contain class, fn, user and require declarations:
 
@@ -178,22 +249,48 @@ POLICY FILES contain class, fn, user and require declarations:
 ";
 
 /// Parse a command line including the observability flags. `--metrics`,
-/// `--metrics=text`, `--metrics=json` and `--trace` are accepted anywhere
-/// on the line; everything else goes through [`parse_args`].
+/// `--metrics=text|json`, `--trace`, `--trace=FILE` and
+/// `--trace-format=jsonl|chrome` are accepted anywhere on the line;
+/// everything else goes through [`parse_args`].
 pub fn parse_args_with_obs(args: &[String]) -> Result<(Command, ObsOptions), String> {
     let mut obs = ObsOptions::default();
+    let mut trace_on = false;
+    let mut trace_file: Option<String> = None;
+    let mut trace_format: Option<TraceFormat> = None;
     let mut rest = Vec::with_capacity(args.len());
     for a in args {
         match a.as_str() {
             "--metrics" | "--metrics=text" => obs.metrics = Some(MetricsFormat::Text),
             "--metrics=json" => obs.metrics = Some(MetricsFormat::Json),
-            "--trace" => obs.trace = true,
+            "--trace" => trace_on = true,
             other if other.starts_with("--metrics=") => {
                 let fmt = &other["--metrics=".len()..];
                 return Err(format!("unknown metrics format `{fmt}` (use text or json)"));
             }
+            other if other.starts_with("--trace-format=") => {
+                let fmt = &other["--trace-format=".len()..];
+                trace_format = Some(TraceFormat::parse(fmt).ok_or_else(|| {
+                    format!("unknown trace format `{fmt}` (use jsonl or chrome)")
+                })?);
+            }
+            other if other.starts_with("--trace=") => {
+                let file = &other["--trace=".len()..];
+                if file.is_empty() {
+                    return Err("--trace= needs a file path (or use bare --trace)".into());
+                }
+                trace_on = true;
+                trace_file = Some(file.to_owned());
+            }
             _ => rest.push(a.clone()),
         }
+    }
+    if trace_on {
+        obs.trace = Some(TraceOptions {
+            file: trace_file,
+            format: trace_format.unwrap_or_default(),
+        });
+    } else if trace_format.is_some() {
+        return Err("--trace-format requires --trace or --trace=FILE".into());
     }
     Ok((parse_args(&rest)?, obs))
 }
@@ -244,6 +341,87 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 jobs,
                 full_saturation,
                 certify,
+            })
+        }
+        "audit" => {
+            let mut file = None;
+            let mut format = AuditFormat::default();
+            let mut severity = None;
+            let mut mode = WalkMode::default();
+            let defaults = ProvenanceOptions::default();
+            let mut max_depth = defaults.max_depth;
+            let mut max_paths = defaults.max_paths;
+            let mut jobs = 1usize;
+            let mut args = it.peekable();
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--format=text" => format = AuditFormat::Text,
+                    "--format=json" => format = AuditFormat::Json,
+                    "--max-depth" => {
+                        max_depth = args
+                            .next()
+                            .ok_or("audit: --max-depth needs a value")?
+                            .parse()
+                            .map_err(|_| "audit: --max-depth must be a number")?;
+                        if max_depth == 0 {
+                            return Err("audit: --max-depth must be at least 1".into());
+                        }
+                    }
+                    "--max-paths" => {
+                        max_paths = args
+                            .next()
+                            .ok_or("audit: --max-paths needs a value")?
+                            .parse()
+                            .map_err(|_| "audit: --max-paths must be a number")?;
+                        if max_paths == 0 {
+                            return Err("audit: --max-paths must be at least 1".into());
+                        }
+                    }
+                    "--jobs" => {
+                        jobs = args
+                            .next()
+                            .ok_or("audit: --jobs needs a value")?
+                            .parse()
+                            .map_err(|_| "audit: --jobs must be a number")?;
+                        if jobs == 0 {
+                            return Err("audit: --jobs must be at least 1".into());
+                        }
+                    }
+                    other if other.starts_with("--severity=") => {
+                        let s = &other["--severity=".len()..];
+                        severity = Some(Severity::parse(s).ok_or_else(|| {
+                            format!(
+                                "audit: unknown severity `{s}` (use low, medium, high or critical)"
+                            )
+                        })?);
+                    }
+                    other if other.starts_with("--mode=") => {
+                        let m = &other["--mode=".len()..];
+                        mode = WalkMode::parse(m).ok_or_else(|| {
+                            format!("audit: unknown mode `{m}` (use backward, forward or complete)")
+                        })?;
+                    }
+                    other if other.starts_with("--format=") => {
+                        let f = &other["--format=".len()..];
+                        return Err(format!("audit: unknown format `{f}` (use text or json)"));
+                    }
+                    _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
+                    other => {
+                        return Err(format!(
+                            "unexpected argument `{other}` (audit accepts --format=text|json, \
+                             --severity=S, --mode=M, --max-depth N, --max-paths N, --jobs N)"
+                        ))
+                    }
+                }
+            }
+            Ok(Command::Audit {
+                file: file.ok_or("audit: missing policy file")?,
+                format,
+                severity,
+                mode,
+                max_depth,
+                max_paths,
+                jobs,
             })
         }
         "unfold" => {
@@ -323,6 +501,31 @@ pub fn run_on_source(cmd: &Command, src: &str) -> (String, i32) {
             Ok(schema) => check_report(&schema, *explain, *jobs, *full_saturation, *certify),
             Err(e) => (format!("error: {e}\n"), exit::INPUT),
         },
+        Command::Audit {
+            file,
+            format,
+            severity,
+            mode,
+            max_depth,
+            max_paths,
+            jobs,
+        } => match load_str(src) {
+            Ok(schema) => {
+                let opts = AuditOptions {
+                    policy: file.clone(),
+                    format: *format,
+                    severity: *severity,
+                    provenance: ProvenanceOptions {
+                        max_depth: *max_depth,
+                        max_paths: *max_paths,
+                        mode: *mode,
+                    },
+                };
+                let outcome = audit_batch(&schema, *jobs);
+                render_audit(&schema, &outcome, &opts)
+            }
+            Err(e) => (format!("error: {e}\n"), exit::INPUT),
+        },
         Command::Unfold { user, .. } => match load_str(src) {
             Ok(schema) => unfold_report(&schema, user),
             Err(e) => (format!("error: {e}\n"), exit::INPUT),
@@ -343,6 +546,7 @@ pub fn run(cmd: &Command) -> (String, i32) {
     match cmd {
         Command::Help => (USAGE.to_owned(), 0),
         Command::Check { file, .. }
+        | Command::Audit { file, .. }
         | Command::Unfold { file, .. }
         | Command::Attack { file, .. }
         | Command::Fix { file }
@@ -354,15 +558,32 @@ pub fn run(cmd: &Command) -> (String, i32) {
 }
 
 /// Output of an instrumented run: the report (stdout), the observability
-/// stream (stderr) and the exit code.
+/// stream (stderr), the encoded trace document (when `--trace=FILE` was
+/// given — the caller writes it) and the exit code.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CliOutput {
     /// The command's report — byte-identical to the uninstrumented run.
     pub stdout: String,
-    /// Trace lines and/or the metrics summary; empty when both are off.
+    /// The metrics summary and/or (only when `--metrics` is off) the
+    /// encoded trace events; empty when both facilities are off.
     pub stderr: String,
+    /// The encoded trace document destined for the `--trace=FILE` target;
+    /// `None` unless a trace file was requested.
+    pub trace_output: Option<String>,
     /// Process exit code.
     pub code: i32,
+}
+
+/// Per-group data captured for the trace timeline: the group's phase
+/// durations, closure counters and per-requirement check spans.
+#[derive(Default)]
+struct GroupTrace {
+    user: String,
+    phases: Phases,
+    terms: u64,
+    rounds: u64,
+    firings: Vec<(&'static str, u64)>,
+    checks: Vec<(String, std::time::Duration)>,
 }
 
 /// Everything collected while an instrumented command runs.
@@ -373,7 +594,8 @@ struct Collected {
     program_nodes: u64,
     occurrences: u64,
     requirements: u64,
-    trace: String,
+    cache: Option<(CacheStats, usize, usize)>,
+    groups: Vec<GroupTrace>,
 }
 
 impl Collected {
@@ -385,32 +607,130 @@ impl Collected {
             sink.counter("analysis.program_nodes", self.program_nodes);
             sink.counter("analysis.occurrences", self.occurrences);
         }
+        if let Some((stats, len, capacity)) = &self.cache {
+            sink.counter("cache.hits", stats.hits);
+            sink.counter("cache.misses", stats.misses);
+            sink.counter("cache.union_recomputes", stats.union_recomputes);
+            sink.gauge("cache.occupancy", *len as f64);
+            sink.gauge("cache.capacity", *capacity as f64);
+        }
+    }
+
+    /// Synthesise the trace timeline from the collected durations: the
+    /// driver phases on lane 0, each batch group on its own lane (so
+    /// parallel groups render as parallel tracks in Perfetto), closure
+    /// spans annotated with term/round counters and per-rule firings,
+    /// cache state as an instant event.
+    fn build_trace(&self) -> TraceBuffer {
+        let mut tb = TraceBuffer::new();
+        let us = |d: std::time::Duration| d;
+        let mut cursor = 0u64;
+        let mut group_start = 0u64;
+        for (name, d) in self.phases.iter() {
+            tb.span(name, "phase", 0, cursor, us(d), vec![]);
+            cursor += d.as_micros() as u64;
+            if name == "typecheck" {
+                group_start = cursor;
+            }
+        }
+        for (gi, g) in self.groups.iter().enumerate() {
+            let tid = gi as u64 + 1;
+            let mut t = group_start;
+            let mut served_from_cache = true;
+            for (name, d) in g.phases.iter() {
+                if name == "unfold" {
+                    served_from_cache = false;
+                }
+                let mut args = vec![("user".to_owned(), Json::str(&g.user))];
+                if name == "closure" {
+                    args.push(("terms".to_owned(), Json::count(g.terms)));
+                    args.push(("rounds".to_owned(), Json::count(g.rounds)));
+                    for (rule, n) in &g.firings {
+                        args.push((format!("rule.{rule}"), Json::count(*n)));
+                    }
+                }
+                tb.span(name, "group", tid, t, us(d), args);
+                t += d.as_micros() as u64;
+            }
+            if served_from_cache {
+                tb.instant(
+                    "cache.hit",
+                    "cache",
+                    tid,
+                    group_start,
+                    vec![("user".to_owned(), Json::str(&g.user))],
+                );
+            }
+            for (req, d) in &g.checks {
+                tb.span(
+                    "check",
+                    "requirement",
+                    tid,
+                    t,
+                    us(*d),
+                    vec![("requirement".to_owned(), Json::str(req))],
+                );
+                t += d.as_micros() as u64;
+            }
+        }
+        if let Some((stats, len, capacity)) = &self.cache {
+            tb.instant(
+                "cache",
+                "cache",
+                0,
+                cursor,
+                vec![
+                    ("hits".to_owned(), Json::count(stats.hits)),
+                    ("misses".to_owned(), Json::count(stats.misses)),
+                    (
+                        "union_recomputes".to_owned(),
+                        Json::count(stats.union_recomputes),
+                    ),
+                    ("occupancy".to_owned(), Json::count(*len as u64)),
+                    ("capacity".to_owned(), Json::count(*capacity as u64)),
+                ],
+            );
+        }
+        tb
     }
 }
 
 /// Run a command against policy text with observability. When both
 /// facilities are off this is exactly [`run_on_source`] with empty stderr;
-/// otherwise stdout is still byte-identical and stderr carries the trace
-/// lines and/or metrics summary.
+/// otherwise stdout is still byte-identical, stderr carries the metrics
+/// summary (and the encoded trace only when `--metrics` is off), and
+/// [`CliOutput::trace_output`] carries the trace document destined for the
+/// `--trace=FILE` target.
 pub fn run_on_source_with_obs(cmd: &Command, src: &str, obs: &ObsOptions) -> CliOutput {
     if obs.is_off() {
         let (stdout, code) = run_on_source(cmd, src);
         return CliOutput {
             stdout,
-            stderr: String::new(),
             code,
+            ..CliOutput::default()
         };
     }
     if matches!(cmd, Command::Help) {
         return CliOutput {
             stdout: USAGE.to_owned(),
-            stderr: String::new(),
-            code: 0,
+            ..CliOutput::default()
         };
     }
     let mut col = Collected::default();
-    let (stdout, code) = instrumented(cmd, src, obs.trace, &mut col);
-    let mut stderr = std::mem::take(&mut col.trace);
+    let (stdout, code) = instrumented(cmd, src, &mut col);
+    let mut stderr = String::new();
+    let mut trace_output = None;
+    if let Some(trace) = &obs.trace {
+        let encoded = col.build_trace().encode(trace.format);
+        if trace.file.is_some() {
+            trace_output = Some(encoded);
+        } else if obs.metrics.is_none() {
+            // Bare --trace without --metrics: stderr is free, use it.
+            stderr.push_str(&encoded);
+        }
+        // With --metrics on and no file target the events are dropped:
+        // the two streams must never interleave on stderr.
+    }
     if let Some(format) = obs.metrics {
         let mut rec = Recorder::new();
         col.record_to(&mut rec);
@@ -423,34 +743,47 @@ pub fn run_on_source_with_obs(cmd: &Command, src: &str, obs: &ObsOptions) -> Cli
     CliOutput {
         stdout,
         stderr,
+        trace_output,
         code,
     }
 }
 
-/// Run a command end-to-end (file IO included) with observability.
+/// Run a command end-to-end with observability: file IO included, and the
+/// `--trace=FILE` document written to its target.
 pub fn run_with_obs(cmd: &Command, obs: &ObsOptions) -> CliOutput {
     match cmd {
         Command::Help => CliOutput {
             stdout: USAGE.to_owned(),
-            stderr: String::new(),
-            code: 0,
+            ..CliOutput::default()
         },
         Command::Check { file, .. }
+        | Command::Audit { file, .. }
         | Command::Unfold { file, .. }
         | Command::Attack { file, .. }
         | Command::Fix { file }
         | Command::Fmt { file } => match std::fs::read_to_string(file) {
-            Ok(src) => run_on_source_with_obs(cmd, &src, obs),
+            Ok(src) => {
+                let mut out = run_on_source_with_obs(cmd, &src, obs);
+                if let (Some(trace), Some(doc)) = (&obs.trace, &out.trace_output) {
+                    if let Some(path) = &trace.file {
+                        if let Err(e) = std::fs::write(path, doc) {
+                            let _ =
+                                writeln!(out.stderr, "error: cannot write trace to `{path}`: {e}");
+                        }
+                    }
+                }
+                out
+            }
             Err(e) => CliOutput {
                 stdout: format!("error: cannot read `{file}`: {e}\n"),
-                stderr: String::new(),
                 code: exit::INPUT,
+                ..CliOutput::default()
             },
         },
     }
 }
 
-fn instrumented(cmd: &Command, src: &str, trace: bool, col: &mut Collected) -> (String, i32) {
+fn instrumented(cmd: &Command, src: &str, col: &mut Collected) -> (String, i32) {
     let schema = match col.phases.time("parse", || parse_schema(src)) {
         Ok(s) => s,
         Err(e) => return (format!("error: {e}\n"), exit::INPUT),
@@ -467,21 +800,75 @@ fn instrumented(cmd: &Command, src: &str, trace: bool, col: &mut Collected) -> (
             full_saturation,
             certify,
             ..
-        } => check_report_instrumented(
-            &schema,
-            *explain,
-            *jobs,
-            *full_saturation,
-            *certify,
-            trace,
-            col,
-        ),
+        } => check_report_instrumented(&schema, *explain, *jobs, *full_saturation, *certify, col),
+        Command::Audit {
+            file,
+            format,
+            severity,
+            mode,
+            max_depth,
+            max_paths,
+            jobs,
+        } => {
+            let opts = AuditOptions {
+                policy: file.clone(),
+                format: *format,
+                severity: *severity,
+                provenance: ProvenanceOptions {
+                    max_depth: *max_depth,
+                    max_paths: *max_paths,
+                    mode: *mode,
+                },
+            };
+            let outcome = audit_batch(&schema, *jobs);
+            collect_batch(&schema, &outcome, col);
+            col.phases
+                .time("audit", || render_audit(&schema, &outcome, &opts))
+        }
         Command::Unfold { user, .. } => col.phases.time("unfold", || unfold_report(&schema, user)),
         Command::Attack { steps, .. } => {
             col.phases.time("attack", || attack_report(&schema, *steps))
         }
         Command::Fix { .. } => col.phases.time("fix", || fix_report(&schema)),
     }
+}
+
+/// Fold a stats-collecting [`BatchOutcome`] into the metrics/trace
+/// collector: aggregate phases and closure counters, capture per-group
+/// timelines, and surface the closure-cache state (the batch's own cache
+/// when one was used, the process-wide cache otherwise).
+fn collect_batch(schema: &Schema, outcome: &BatchOutcome, col: &mut Collected) {
+    for g in &outcome.groups {
+        for (name, d) in g.stats.phases.iter() {
+            col.phases.add(name, d);
+        }
+        col.closure.merge(&g.stats.closure);
+        col.program_nodes = col.program_nodes.max(g.stats.program_nodes);
+        col.occurrences += g.stats.occurrences_checked;
+        col.groups.push(GroupTrace {
+            user: g.user.to_string(),
+            phases: g.stats.phases.clone(),
+            terms: g.stats.closure.total_terms(),
+            rounds: g.stats.closure.rounds,
+            firings: g.stats.closure.firings.clone(),
+            checks: g
+                .req_indexes
+                .iter()
+                .zip(&g.check_times)
+                .map(|(&i, d)| (schema.requirements[i].to_string(), *d))
+                .collect(),
+        });
+    }
+    col.requirements = schema.requirements.len() as u64;
+    col.cache = Some(match (outcome.cache_stats, outcome.cache_occupancy) {
+        (Some(stats), Some((len, capacity))) => (stats, len, capacity),
+        // Uncached run (instrumented batches bypass the cache): report
+        // the process-wide cache the plain check path shares.
+        _ => {
+            let cache = closure_cache();
+            (cache.stats(), cache.len(), cache.capacity())
+        }
+    });
 }
 
 /// The process-wide closure cache behind plain `check` runs. Repeated
@@ -577,18 +964,386 @@ fn group_of(outcome: &BatchOutcome, n_reqs: usize) -> Vec<usize> {
     map
 }
 
+/// The versioned identifier of the audit JSON report shape. Bump the
+/// suffix on any structural change — consumers pin on this string.
+pub const AUDIT_SCHEMA: &str = "secflow.audit/1";
+
+/// Rendering options for [`render_audit`].
+#[derive(Clone, Debug)]
+pub struct AuditOptions {
+    /// The policy path echoed in the report header.
+    pub policy: String,
+    /// Text or versioned JSON.
+    pub format: AuditFormat,
+    /// Drop paths below this band (verdicts and exit codes unchanged).
+    pub severity: Option<Severity>,
+    /// Walk mode, depth limit and enumeration cap.
+    pub provenance: ProvenanceOptions,
+}
+
+/// Run the batch driver configured for auditing: proof recording on,
+/// artifacts kept (the certifier and the provenance walk both need them),
+/// per-group stats collected for the report. The closure cache is not
+/// consulted — it holds proof-free partial closures that cannot back an
+/// audit.
+pub fn audit_batch(schema: &Schema, jobs: usize) -> BatchOutcome {
+    let opts = BatchOptions {
+        jobs,
+        proofs: ProofMode::Full,
+        keep_artifacts: true,
+        collect_stats: true,
+        full_saturation: false,
+    };
+    analyze_batch_cached(
+        schema,
+        &schema.requirements,
+        &AnalysisConfig::default(),
+        &opts,
+        None,
+    )
+}
+
+/// Render the audit report from a proof-carrying [`BatchOutcome`]:
+/// re-certify every group's derivation record, walk each violation
+/// witness's proof DAG into flaw paths, and emit either the human-readable
+/// listing or the versioned [`AUDIT_SCHEMA`] JSON document. Exit codes
+/// reuse the check classes: 0 clean, 1 violations, 3 analysis errors,
+/// 4 when certification rejects a derivation (no paths are reported from
+/// an uncertified proof store).
+pub fn render_audit(schema: &Schema, outcome: &BatchOutcome, opts: &AuditOptions) -> (String, i32) {
+    for (i, v) in outcome.verdicts.iter().enumerate() {
+        if let Err(e) = v {
+            return (
+                format!("error {}: {e}\n", schema.requirements[i]),
+                exit::INPUT,
+            );
+        }
+    }
+    // Certify first: flaw paths are only reported from a derivation record
+    // the independent checker accepts.
+    let mut derivations = 0usize;
+    let mut closures = 0usize;
+    for g in &outcome.groups {
+        let Some((prog, closure)) = g.artifacts.as_ref() else {
+            continue;
+        };
+        match closure.certify(prog, &secflow::rules::RuleConfig::default()) {
+            Ok(cert) => {
+                derivations += cert.terms_checked;
+                closures += 1;
+            }
+            Err(e) => {
+                return audit_rejected(
+                    opts,
+                    format!("certification FAILED for user `{}`: {e}", g.user),
+                );
+            }
+        }
+    }
+
+    let group_idx = group_of(outcome, schema.requirements.len());
+    let min = opts.severity;
+    let mut text = String::new();
+    let _ = write!(
+        text,
+        "AUDIT {} — mode {}, max depth {}",
+        opts.policy,
+        opts.provenance.mode.name(),
+        opts.provenance.max_depth
+    );
+    if let Some(s) = min {
+        let _ = write!(text, ", min severity {s}");
+    }
+    text.push('\n');
+
+    let mut violations_json = Vec::new();
+    let mut violated = 0usize;
+    let mut total_paths = 0usize;
+    let mut by_severity = [0usize; 4]; // indexed by Severity as usize
+    let mut max_severity: Option<Severity> = None;
+
+    for (i, req) in schema.requirements.iter().enumerate() {
+        let g = &outcome.groups[group_idx[i]];
+        let violations = match &outcome.verdicts[i] {
+            Ok(Verdict::Satisfied) => {
+                let _ = writeln!(text, "ok    {req}");
+                continue;
+            }
+            Ok(Verdict::Violated(v)) => v,
+            Err(_) => unreachable!("errors returned above"),
+        };
+        violated += 1;
+        let Some((prog, closure)) = g.artifacts.as_ref() else {
+            unreachable!("violated verdicts come from groups whose shared phases succeeded")
+        };
+        let mut witnesses_json = Vec::new();
+        let mut req_score = 0u32;
+        let mut witness_text = String::new();
+        for v in violations {
+            for w in &v.witnesses {
+                let mut report = match audit_witness(closure, w, &opts.provenance) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return audit_rejected(
+                            opts,
+                            format!("flaw-path walk FAILED for user `{}`: {e}", g.user),
+                        )
+                    }
+                };
+                req_score = req_score.max(report.score);
+                if let Some(min) = min {
+                    report.paths.retain(|p| p.severity >= min);
+                }
+                total_paths += report.paths.len();
+                for p in &report.paths {
+                    by_severity[p.severity as usize] += 1;
+                    max_severity = Some(max_severity.map_or(p.severity, |m| m.max(p.severity)));
+                }
+                let _ = writeln!(
+                    witness_text,
+                    "  witness {}  — {} {} path(s), severity {} (score {})",
+                    render_term(prog, w),
+                    report.paths.len(),
+                    opts.provenance.mode.name(),
+                    report.severity,
+                    report.score,
+                );
+                for (pi, p) in report.paths.iter().enumerate() {
+                    let _ = writeln!(
+                        witness_text,
+                        "    path {}: {} (score {}), {} step(s){}",
+                        pi + 1,
+                        p.severity,
+                        p.score,
+                        p.steps.len(),
+                        if p.truncated { ", truncated" } else { "" },
+                    );
+                    for line in render_path(prog, p).lines() {
+                        let _ = writeln!(witness_text, "      {line}");
+                    }
+                }
+                witnesses_json.push(witness_json(prog, &report));
+            }
+        }
+        let req_severity = Severity::from_score(req_score);
+        let _ = writeln!(
+            text,
+            "FLAW  {req}  ({} occurrence(s), severity {req_severity})",
+            violations.len()
+        );
+        text.push_str(&witness_text);
+        violations_json.push(Json::Obj(vec![
+            ("requirement".to_owned(), Json::str(&req.to_string())),
+            ("user".to_owned(), Json::str(req.user.as_ref())),
+            ("severity".to_owned(), Json::str(req_severity.name())),
+            ("score".to_owned(), Json::count(req_score as u64)),
+            (
+                "occurrences".to_owned(),
+                Json::count(violations.len() as u64),
+            ),
+            ("witnesses".to_owned(), Json::Arr(witnesses_json)),
+        ]));
+    }
+
+    let _ = write!(
+        text,
+        "{} requirement(s), {violated} violated; {total_paths} flaw path(s)",
+        schema.requirements.len()
+    );
+    if let Some(s) = max_severity {
+        let _ = write!(text, "; max severity {s}");
+    }
+    text.push('\n');
+    let _ = writeln!(
+        text,
+        "certified: {derivations} derivation(s) re-validated across {closures} closure(s)"
+    );
+
+    let code = if violated > 0 {
+        exit::VIOLATION
+    } else {
+        exit::OK
+    };
+    match opts.format {
+        AuditFormat::Text => (text, code),
+        AuditFormat::Json => {
+            let cache = match outcome.cache_stats {
+                Some(stats) => Json::Obj(vec![
+                    ("hits".to_owned(), Json::count(stats.hits)),
+                    ("misses".to_owned(), Json::count(stats.misses)),
+                    (
+                        "union_recomputes".to_owned(),
+                        Json::count(stats.union_recomputes),
+                    ),
+                    (
+                        "occupancy".to_owned(),
+                        match outcome.cache_occupancy {
+                            Some((len, cap)) => {
+                                Json::Arr(vec![Json::count(len as u64), Json::count(cap as u64)])
+                            }
+                            None => Json::Null,
+                        },
+                    ),
+                ]),
+                None => Json::Null,
+            };
+            let groups = outcome
+                .groups
+                .iter()
+                .map(|g| {
+                    Json::Obj(vec![
+                        ("user".to_owned(), Json::str(g.user.as_ref())),
+                        (
+                            "requirements".to_owned(),
+                            Json::count(g.req_indexes.len() as u64),
+                        ),
+                        (
+                            "closure_terms".to_owned(),
+                            Json::count(g.stats.closure.total_terms()),
+                        ),
+                        ("rounds".to_owned(), Json::count(g.stats.closure.rounds)),
+                    ])
+                })
+                .collect();
+            let doc = Json::Obj(vec![
+                ("schema".to_owned(), Json::str(AUDIT_SCHEMA)),
+                ("policy".to_owned(), Json::str(&opts.policy)),
+                ("mode".to_owned(), Json::str(opts.provenance.mode.name())),
+                (
+                    "max_depth".to_owned(),
+                    Json::count(opts.provenance.max_depth as u64),
+                ),
+                (
+                    "max_paths".to_owned(),
+                    Json::count(opts.provenance.max_paths as u64),
+                ),
+                (
+                    "min_severity".to_owned(),
+                    min.map_or(Json::Null, |s| Json::str(s.name())),
+                ),
+                (
+                    "requirements".to_owned(),
+                    Json::count(schema.requirements.len() as u64),
+                ),
+                ("violated".to_owned(), Json::count(violated as u64)),
+                (
+                    "certified".to_owned(),
+                    Json::Obj(vec![
+                        ("closures".to_owned(), Json::count(closures as u64)),
+                        ("derivations".to_owned(), Json::count(derivations as u64)),
+                    ]),
+                ),
+                ("violations".to_owned(), Json::Arr(violations_json)),
+                ("groups".to_owned(), Json::Arr(groups)),
+                ("cache".to_owned(), cache),
+                (
+                    "summary".to_owned(),
+                    Json::Obj(vec![
+                        ("paths".to_owned(), Json::count(total_paths as u64)),
+                        (
+                            "max_severity".to_owned(),
+                            max_severity.map_or(Json::Null, |s| Json::str(s.name())),
+                        ),
+                        (
+                            "by_severity".to_owned(),
+                            Json::Obj(
+                                [
+                                    Severity::Critical,
+                                    Severity::High,
+                                    Severity::Medium,
+                                    Severity::Low,
+                                ]
+                                .iter()
+                                .map(|s| {
+                                    (
+                                        s.name().to_owned(),
+                                        Json::count(by_severity[*s as usize] as u64),
+                                    )
+                                })
+                                .collect(),
+                            ),
+                        ),
+                    ]),
+                ),
+            ]);
+            (doc.pretty(), code)
+        }
+    }
+}
+
+/// The audit failure surface: certification (or the walk itself) rejected
+/// the proof store, so no flaw paths are reported. Exit [`exit::CERTIFY`].
+fn audit_rejected(opts: &AuditOptions, msg: String) -> (String, i32) {
+    match opts.format {
+        AuditFormat::Text => (format!("{msg}\n"), exit::CERTIFY),
+        AuditFormat::Json => {
+            let doc = Json::Obj(vec![
+                ("schema".to_owned(), Json::str(AUDIT_SCHEMA)),
+                ("policy".to_owned(), Json::str(&opts.policy)),
+                ("certified".to_owned(), Json::Bool(false)),
+                ("error".to_owned(), Json::str(&msg)),
+            ]);
+            (doc.pretty(), exit::CERTIFY)
+        }
+    }
+}
+
+/// One witness's JSON block: the rendered term, its aggregate severity and
+/// every flaw path with rendered steps.
+fn witness_json(prog: &NProgram, report: &secflow::WitnessReport) -> Json {
+    let paths = report
+        .paths
+        .iter()
+        .map(|p| {
+            Json::Obj(vec![
+                ("severity".to_owned(), Json::str(p.severity.name())),
+                ("score".to_owned(), Json::count(p.score as u64)),
+                (
+                    "source".to_owned(),
+                    Json::str(&render_term(prog, &p.source)),
+                ),
+                ("source_kind".to_owned(), Json::str(p.source_kind.name())),
+                ("sink".to_owned(), Json::str(&render_term(prog, &p.sink))),
+                ("truncated".to_owned(), Json::Bool(p.truncated)),
+                (
+                    "steps".to_owned(),
+                    Json::Arr(
+                        p.steps
+                            .iter()
+                            .map(|s| {
+                                Json::Obj(vec![
+                                    ("term".to_owned(), Json::str(&render_term(prog, &s.term))),
+                                    ("rule".to_owned(), Json::str(s.rule)),
+                                    ("depth".to_owned(), Json::count(s.depth as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "term".to_owned(),
+            Json::str(&render_term(prog, &report.witness)),
+        ),
+        ("severity".to_owned(), Json::str(report.severity.name())),
+        ("score".to_owned(), Json::count(report.score as u64)),
+        ("paths_capped".to_owned(), Json::Bool(report.paths_capped)),
+        ("paths".to_owned(), Json::Arr(paths)),
+    ])
+}
+
 /// The `check` loop with stats: like [`check_report`] but the batch driver
 /// collects per-group phase timings and closure counters, which aggregate
-/// into the metrics report, and `--trace` appends a line per requirement
-/// (shared unfold/closure timings are the group's; check time is the
-/// requirement's own).
+/// into the metrics report and the trace timeline.
 fn check_report_instrumented(
     schema: &Schema,
     explain: bool,
     jobs: usize,
     full_saturation: bool,
     certify: bool,
-    trace: bool,
     col: &mut Collected,
 ) -> (String, i32) {
     let mut out = String::new();
@@ -601,33 +1356,10 @@ fn check_report_instrumented(
     }
     let outcome = check_batch(schema, explain, jobs, full_saturation, certify, true);
     let group_idx = group_of(&outcome, schema.requirements.len());
-    for g in &outcome.groups {
-        for (name, d) in g.stats.phases.iter() {
-            col.phases.add(name, d);
-        }
-        col.closure.merge(&g.stats.closure);
-        col.program_nodes = col.program_nodes.max(g.stats.program_nodes);
-        col.occurrences += g.stats.occurrences_checked;
-    }
-    col.requirements = schema.requirements.len() as u64;
+    collect_batch(schema, &outcome, col);
     let mut violated = 0usize;
     for (i, req) in schema.requirements.iter().enumerate() {
         let g = &outcome.groups[group_idx[i]];
-        if trace {
-            let ms =
-                |d: Option<std::time::Duration>| d.map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
-            let pos = g.req_indexes.iter().position(|&j| j == i);
-            let _ = writeln!(
-                col.trace,
-                "trace: {req}: unfold {:.3} ms, closure {:.3} ms ({} terms, {} rounds), \
-                 check {:.3} ms",
-                ms(g.stats.phases.get("unfold")),
-                ms(g.stats.phases.get("closure")),
-                g.stats.closure.total_terms(),
-                g.stats.closure.rounds,
-                ms(pos.and_then(|p| g.check_times.get(p)).copied()),
-            );
-        }
         match &outcome.verdicts[i] {
             Ok(Verdict::Satisfied) => {
                 let _ = writeln!(out, "ok    {req}");
@@ -1025,7 +1757,7 @@ mod tests {
         // Same under instrumentation (stderr timings differ, stdout not).
         let obs = ObsOptions {
             metrics: Some(MetricsFormat::Json),
-            trace: true,
+            trace: Some(TraceOptions::default()),
         };
         let a = run_on_source_with_obs(&serial, POLICY, &obs);
         let b = run_on_source_with_obs(&parallel, POLICY, &obs);
@@ -1048,12 +1780,38 @@ mod tests {
             }
         );
         assert_eq!(obs.metrics, Some(MetricsFormat::Json));
-        assert!(obs.trace);
+        assert_eq!(obs.trace, Some(TraceOptions::default()));
 
         let (_, obs) = parse_args_with_obs(&s(&["check", "p.sfl", "--metrics"])).unwrap();
         assert_eq!(obs.metrics, Some(MetricsFormat::Text));
         let (_, obs) = parse_args_with_obs(&s(&["check", "p.sfl", "--metrics=text"])).unwrap();
         assert_eq!(obs.metrics, Some(MetricsFormat::Text));
+
+        // --trace=FILE routes to the file; --trace-format selects chrome.
+        let (_, obs) = parse_args_with_obs(&s(&[
+            "check",
+            "p.sfl",
+            "--trace=out.trace",
+            "--trace-format=chrome",
+        ]))
+        .unwrap();
+        assert_eq!(
+            obs.trace,
+            Some(TraceOptions {
+                file: Some("out.trace".into()),
+                format: TraceFormat::Chrome,
+            })
+        );
+        let (_, obs) =
+            parse_args_with_obs(&s(&["check", "p.sfl", "--trace", "--trace-format=jsonl"]))
+                .unwrap();
+        assert_eq!(
+            obs.trace,
+            Some(TraceOptions {
+                file: None,
+                format: TraceFormat::Jsonl,
+            })
+        );
 
         // No obs flags: defaults off, plain parsing unchanged.
         let (cmd, obs) = parse_args_with_obs(&s(&["--help"])).unwrap();
@@ -1061,6 +1819,13 @@ mod tests {
         assert!(obs.is_off());
 
         assert!(parse_args_with_obs(&s(&["check", "p.sfl", "--metrics=xml"])).is_err());
+        // An empty file, an unknown format, or --trace-format without
+        // --trace are all usage errors.
+        assert!(parse_args_with_obs(&s(&["check", "p.sfl", "--trace="])).is_err());
+        assert!(
+            parse_args_with_obs(&s(&["check", "p.sfl", "--trace", "--trace-format=xml"])).is_err()
+        );
+        assert!(parse_args_with_obs(&s(&["check", "p.sfl", "--trace-format=chrome"])).is_err());
     }
 
     #[test]
@@ -1073,19 +1838,60 @@ mod tests {
             certify: false,
         };
         let (plain, plain_code) = run_on_source(&cmd, POLICY);
+        // Metrics on + trace without a file: the trace is dropped, stderr
+        // holds the metrics report alone — no interleaving.
         let out = run_on_source_with_obs(
             &cmd,
             POLICY,
             &ObsOptions {
                 metrics: Some(MetricsFormat::Text),
-                trace: true,
+                trace: Some(TraceOptions::default()),
             },
         );
         assert_eq!(out.stdout, plain, "stdout must stay diff-stable");
         assert_eq!(out.code, plain_code);
-        assert!(out.stderr.contains("trace: (clerk, r_salary(x):ti):"));
         assert!(out.stderr.contains("closure.terms.total"));
         assert!(out.stderr.contains("-- timings"));
+        assert!(
+            !out.stderr.contains("\"ph\""),
+            "trace events must not interleave with metrics:\n{}",
+            out.stderr
+        );
+        assert!(out.trace_output.is_none(), "no file target, no file output");
+        // Trace alone (no file): stderr is pure JSONL trace events.
+        let traced = run_on_source_with_obs(
+            &cmd,
+            POLICY,
+            &ObsOptions {
+                metrics: None,
+                trace: Some(TraceOptions::default()),
+            },
+        );
+        assert_eq!(traced.stdout, plain);
+        assert!(!traced.stderr.is_empty());
+        for line in traced.stderr.lines() {
+            let ev = Json::parse(line).expect("each stderr line is one JSON trace event");
+            assert!(ev.get("name").is_some() && ev.get("ph").is_some());
+        }
+        // Trace to a file: stderr empty, events in trace_output instead.
+        let to_file = run_on_source_with_obs(
+            &cmd,
+            POLICY,
+            &ObsOptions {
+                metrics: Some(MetricsFormat::Text),
+                trace: Some(TraceOptions {
+                    file: Some("t.jsonl".into()),
+                    format: TraceFormat::Jsonl,
+                }),
+            },
+        );
+        let blob = to_file
+            .trace_output
+            .expect("file target captures the trace");
+        for line in blob.lines() {
+            assert!(Json::parse(line).is_ok(), "bad trace line: {line}");
+        }
+        assert!(!to_file.stderr.contains("\"ph\""));
         // Off = byte-identical with empty stderr.
         let off = run_on_source_with_obs(&cmd, POLICY, &ObsOptions::default());
         assert_eq!(off.stdout, plain);
@@ -1107,7 +1913,7 @@ mod tests {
             POLICY,
             &ObsOptions {
                 metrics: Some(MetricsFormat::Json),
-                trace: false,
+                trace: None,
             },
         );
         let doc = Json::parse(&out.stderr).expect("stderr is one valid JSON document");
@@ -1145,6 +1951,16 @@ mod tests {
             counters.get("analysis.requirements").and_then(Json::as_u64),
             Some(2)
         );
+        // Closure-cache counters (lifetime totals) and occupancy gauges.
+        for counter in ["cache.hits", "cache.misses", "cache.union_recomputes"] {
+            assert!(
+                counters.get(counter).and_then(Json::as_u64).is_some(),
+                "missing counter {counter}"
+            );
+        }
+        let gauges = doc.get("gauges").expect("gauges object");
+        assert!(gauges.get("cache.occupancy").is_some());
+        assert!(gauges.get("cache.capacity").is_some());
         // Per-phase timings.
         let spans = doc.get("spans_ms").expect("spans object");
         for phase in ["parse", "typecheck", "unfold", "closure", "check"] {
@@ -1164,7 +1980,7 @@ mod tests {
             POLICY,
             &ObsOptions {
                 metrics: Some(MetricsFormat::Text),
-                trace: false,
+                trace: None,
             },
         );
         assert_eq!(out.stdout, plain);
@@ -1175,7 +1991,7 @@ mod tests {
             "class C { x: bogus_type }",
             &ObsOptions {
                 metrics: Some(MetricsFormat::Text),
-                trace: false,
+                trace: None,
             },
         );
         assert_eq!(bad.code, exit::INPUT);
@@ -1330,7 +2146,7 @@ mod tests {
             POLICY,
             &ObsOptions {
                 metrics: Some(MetricsFormat::Json),
-                trace: false,
+                trace: None,
             },
         );
         assert_eq!(obs.stdout, out, "metrics must not change stdout");
@@ -1380,5 +2196,234 @@ mod tests {
         assert_eq!(code, exit::VIOLATION);
         assert!(out.contains("witness ti["));
         assert!(out.contains("certified: "));
+    }
+
+    fn audit_cmd() -> Command {
+        audit_cmd_with(AuditFormat::Text, None)
+    }
+
+    fn audit_cmd_with(format: AuditFormat, severity: Option<Severity>) -> Command {
+        Command::Audit {
+            file: "-".into(),
+            format,
+            severity,
+            mode: WalkMode::Backward,
+            max_depth: 64,
+            max_paths: 16,
+            jobs: 1,
+        }
+    }
+
+    #[test]
+    fn audit_flag_parsing() {
+        assert_eq!(
+            parse_args(&s(&["audit", "p.sfl"])),
+            Ok(Command::Audit {
+                file: "p.sfl".into(),
+                format: AuditFormat::Text,
+                severity: None,
+                mode: WalkMode::Backward,
+                max_depth: 64,
+                max_paths: 16,
+                jobs: 1,
+            })
+        );
+        assert_eq!(
+            parse_args(&s(&[
+                "audit",
+                "p.sfl",
+                "--format=json",
+                "--severity=high",
+                "--mode=complete",
+                "--max-depth",
+                "8",
+                "--max-paths",
+                "4",
+                "--jobs",
+                "2",
+            ])),
+            Ok(Command::Audit {
+                file: "p.sfl".into(),
+                format: AuditFormat::Json,
+                severity: Some(Severity::High),
+                mode: WalkMode::Complete,
+                max_depth: 8,
+                max_paths: 4,
+                jobs: 2,
+            })
+        );
+        assert!(parse_args(&s(&["audit"])).is_err());
+        assert!(parse_args(&s(&["audit", "p.sfl", "--format=yaml"])).is_err());
+        assert!(parse_args(&s(&["audit", "p.sfl", "--severity=urgent"])).is_err());
+        assert!(parse_args(&s(&["audit", "p.sfl", "--mode=sideways"])).is_err());
+        assert!(parse_args(&s(&["audit", "p.sfl", "--jobs", "0"])).is_err());
+        let err = parse_args(&s(&["audit", "p.sfl", "--explain"])).unwrap_err();
+        assert!(err.contains("--severity"), "{err}");
+    }
+
+    #[test]
+    fn audit_text_reports_paths_and_exits_one() {
+        let (out, code) = run_on_source(&audit_cmd(), POLICY);
+        assert_eq!(code, exit::VIOLATION);
+        assert!(out.contains("AUDIT"), "{out}");
+        assert!(out.contains("FLAW  (clerk, r_salary(x):ti)"));
+        assert!(out.contains("ok    (safe_clerk, r_salary(x):ti)"));
+        assert!(out.contains("<- sink"));
+        assert!(out.contains("<- source"));
+        assert!(out.contains("severity "));
+        assert!(out.contains("certified: "), "audit must certify: {out}");
+    }
+
+    #[test]
+    fn audit_clean_policy_exits_zero() {
+        let clean = r#"
+            class Broker { salary: int, budget: int }
+            fn checkBudget(b: Broker): bool { r_budget(b) >= r_salary(b) }
+            user safe_clerk { checkBudget }
+            require (safe_clerk, r_salary(x) : ti)
+        "#;
+        let (out, code) = run_on_source(&audit_cmd(), clean);
+        assert_eq!(code, exit::OK, "{out}");
+        assert!(out.contains("ok    "));
+        assert!(out.contains("0 flaw path(s)"));
+        // JSON agrees.
+        let (out, code) = run_on_source(&audit_cmd_with(AuditFormat::Json, None), clean);
+        assert_eq!(code, exit::OK);
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(doc.get("violated").and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn audit_json_is_schema_versioned_and_complete() {
+        let (out, code) = run_on_source(&audit_cmd_with(AuditFormat::Json, None), POLICY);
+        assert_eq!(code, exit::VIOLATION);
+        let doc = Json::parse(&out).expect("stdout is one valid JSON document");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(AUDIT_SCHEMA));
+        assert_eq!(doc.get("requirements").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("violated").and_then(Json::as_u64), Some(1));
+        let certified = doc.get("certified").expect("certified object");
+        assert!(certified.get("derivations").and_then(Json::as_u64).unwrap() > 0);
+        let violations = doc.get("violations").and_then(Json::as_arr).unwrap();
+        assert_eq!(violations.len(), 1);
+        let v = &violations[0];
+        assert_eq!(
+            v.get("requirement").and_then(Json::as_str),
+            Some("(clerk, r_salary(x):ti)")
+        );
+        let witnesses = v.get("witnesses").and_then(Json::as_arr).unwrap();
+        assert!(!witnesses.is_empty());
+        for w in witnesses {
+            let paths = w.get("paths").and_then(Json::as_arr).unwrap();
+            assert!(!paths.is_empty(), "violated witness must have provenance");
+            for p in paths {
+                let steps = p.get("steps").and_then(Json::as_arr).unwrap();
+                assert!(!steps.is_empty());
+                // Backward mode: first step is the sink, last the source.
+                assert_eq!(
+                    steps[0].get("term").and_then(Json::as_str),
+                    p.get("sink").and_then(Json::as_str)
+                );
+                assert_eq!(
+                    steps[steps.len() - 1].get("term").and_then(Json::as_str),
+                    p.get("source").and_then(Json::as_str)
+                );
+            }
+        }
+        // The audit bypasses the closure cache, and says so.
+        assert_eq!(doc.get("cache"), Some(&Json::Null));
+        let summary = doc.get("summary").expect("summary object");
+        assert!(summary.get("paths").and_then(Json::as_u64).unwrap() > 0);
+    }
+
+    #[test]
+    fn audit_severity_filter_drops_paths_not_verdicts() {
+        let all = audit_cmd_with(AuditFormat::Json, None);
+        let filtered = audit_cmd_with(AuditFormat::Json, Some(Severity::Critical));
+        let (out_all, code_all) = run_on_source(&all, POLICY);
+        let (out_f, code_f) = run_on_source(&filtered, POLICY);
+        assert_eq!(code_all, exit::VIOLATION);
+        assert_eq!(code_f, code_all, "the filter must never change exit codes");
+        let n = |out: &str| {
+            Json::parse(out)
+                .unwrap()
+                .get("summary")
+                .and_then(|s| s.get("paths"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert!(n(&out_f) <= n(&out_all));
+        assert_eq!(
+            Json::parse(&out_f)
+                .unwrap()
+                .get("violated")
+                .and_then(Json::as_u64),
+            Some(1),
+            "verdicts are unaffected by the path filter"
+        );
+    }
+
+    #[test]
+    fn audit_bad_input_exits_three() {
+        let (out, code) = run_on_source(&audit_cmd(), "class C { x: bogus }");
+        assert_eq!(code, exit::INPUT);
+        assert!(out.contains("error"));
+    }
+
+    #[test]
+    fn audit_rejects_a_corrupted_proof_store() {
+        let schema = load_str(POLICY).unwrap();
+        let mut outcome = audit_batch(&schema, 1);
+        let (_, closure) = outcome.groups[0].artifacts.as_mut().unwrap();
+        let t = closure
+            .iter()
+            .find(|t| matches!(t, secflow::Term::Ta(_)))
+            .expect("closure has a ta term");
+        assert!(closure.replace_proof(&t, "rule for =", vec![]));
+        let opts = AuditOptions {
+            policy: "-".into(),
+            format: AuditFormat::Json,
+            severity: None,
+            provenance: ProvenanceOptions::default(),
+        };
+        let (out, code) = render_audit(&schema, &outcome, &opts);
+        assert_eq!(code, exit::CERTIFY);
+        let doc = Json::parse(&out).unwrap();
+        assert_eq!(doc.get("certified"), Some(&Json::Bool(false)));
+        assert!(doc
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("certification FAILED"));
+        // No flaw paths may be reported from an uncertified proof store.
+        assert!(doc.get("violations").is_none());
+    }
+
+    #[test]
+    fn audit_emits_trace_and_metrics_without_interleaving() {
+        let out = run_on_source_with_obs(
+            &audit_cmd(),
+            POLICY,
+            &ObsOptions {
+                metrics: Some(MetricsFormat::Json),
+                trace: Some(TraceOptions {
+                    file: Some("t.json".into()),
+                    format: TraceFormat::Chrome,
+                }),
+            },
+        );
+        assert_eq!(out.code, exit::VIOLATION);
+        let trace = out.trace_output.expect("chrome trace captured");
+        let doc = Json::parse(&trace).expect("chrome trace is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("audit")));
+        // Metrics remain a single valid JSON document on stderr.
+        let metrics = Json::parse(&out.stderr).expect("stderr is one JSON document");
+        assert!(metrics.get("counters").is_some());
     }
 }

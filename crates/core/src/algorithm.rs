@@ -488,6 +488,11 @@ pub struct BatchOutcome {
     /// `(len, capacity)` of the [`ClosureCache`] after this batch, when one
     /// was passed to [`analyze_batch_cached`]; `None` for uncached runs.
     pub cache_occupancy: Option<(usize, usize)>,
+    /// Lifetime hit/miss counters of the cache after this batch, when one
+    /// was passed; `None` for uncached runs. Lifetime, not per-batch: the
+    /// cache is shared across calls, so consumers report the running
+    /// totals (monotone counters).
+    pub cache_stats: Option<CacheStats>,
 }
 
 /// A double-hash fingerprint of a canonical text rendering. Two 64-bit
@@ -916,6 +921,7 @@ pub fn analyze_batch_cached(
         groups,
         jobs_used: jobs,
         cache_occupancy: cache.map(|c| (c.len(), c.capacity())),
+        cache_stats: cache.map(|c| c.stats()),
     }
 }
 

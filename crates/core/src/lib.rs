@@ -53,6 +53,7 @@ pub mod checker;
 pub mod closure;
 pub mod demand;
 pub mod fxhash;
+pub mod provenance;
 pub mod reference;
 pub mod report;
 pub mod rules;
@@ -64,11 +65,15 @@ pub use advisor::{advise, Advice, AdvisorConfig, Repair};
 pub use algorithm::{
     analyze, analyze_batch, analyze_batch_cached, analyze_full, analyze_with_config,
     analyze_with_stats, AnalysisConfig, AnalysisError, AnalysisStats, BatchGroup, BatchOptions,
-    BatchOutcome, CapabilityView, ClosureCache,
+    BatchOutcome, CacheStats, CapabilityView, ClosureCache,
 };
 pub use checker::{Certificate, CheckError};
 pub use closure::{Closure, ProofMode};
 pub use demand::{DemandPlan, GoalTracker};
+pub use provenance::{
+    audit_witness, flaw_paths, FlawPath, PathStep, ProvenanceError, ProvenanceOptions, Severity,
+    SourceKind, WalkMode, WitnessReport,
+};
 pub use reference::{analyze_ref, RefClosure};
 pub use report::{Verdict, Violation};
 pub use stats::ClosureStats;

@@ -20,7 +20,10 @@
 //! * [`json`] — a dependency-free JSON value type, writer and parser (the
 //!   build environment is offline, so no serde);
 //! * [`profile`] — process-global profiling hooks: install a callback and
-//!   every [`profile::scope`] in the pipeline reports its wall-clock to it.
+//!   every [`profile::scope`] in the pipeline reports its wall-clock to it;
+//! * [`trace`] — structured span/instant trace events with monotonic
+//!   timestamps, encoded as JSON Lines or Chrome `trace_event` JSON
+//!   (Perfetto-loadable).
 //!
 //! Everything here is plain `std`; the hot closure loop reports through a
 //! monomorphised observer in `secflow::closure`, so the disabled
@@ -35,9 +38,11 @@ pub mod profile;
 pub mod report;
 pub mod sink;
 pub mod time;
+pub mod trace;
 
 pub use counters::Counters;
 pub use json::Json;
 pub use report::MetricsReport;
 pub use sink::{MetricsSink, NullSink, Recorder};
 pub use time::{Phases, Stopwatch};
+pub use trace::{TraceBuffer, TraceEvent, TraceFormat};

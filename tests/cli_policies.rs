@@ -212,3 +212,81 @@ fn fmt_policy_files_round_trip() {
         secflow_cli::load_str(&report).unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
+
+fn audit(file: String, format: secflow_cli::AuditFormat) -> (String, i32) {
+    run(&Command::Audit {
+        file,
+        format,
+        severity: None,
+        mode: secflow::WalkMode::Backward,
+        max_depth: 64,
+        max_paths: 16,
+        jobs: 1,
+    })
+}
+
+#[test]
+fn audit_exit_codes_cover_every_outcome_class() {
+    use secflow_cli::{exit, AuditFormat};
+    // 0: clean policy, nothing to report.
+    let (out, clean) = audit(policy("stockbroker_safe"), AuditFormat::Text);
+    assert_eq!(clean, exit::OK, "{out}");
+    assert!(out.contains("0 flaw path(s)"));
+    // 1: the paper's flawed policy, with rendered provenance.
+    let (out, flawed) = audit(policy("stockbroker"), AuditFormat::Text);
+    assert_eq!(flawed, exit::VIOLATION);
+    assert!(out.contains("FLAW  (clerk, r_salary(x):ti)"));
+    assert!(out.contains("<- sink"));
+    assert!(out.contains("<- source"));
+    // 3: unreadable input.
+    let (out, missing) = audit(policy("no_such_policy"), AuditFormat::Text);
+    assert_eq!(missing, exit::INPUT);
+    assert!(out.contains("error"));
+    // 4: a corrupted proof store (driven through the library surface, the
+    // only way to corrupt memory between analysis and rendering).
+    let src = std::fs::read_to_string(policy("stockbroker")).unwrap();
+    let schema = secflow_cli::load_str(&src).unwrap();
+    let mut outcome = secflow_cli::audit_batch(&schema, 1);
+    let (_, closure) = outcome.groups[0].artifacts.as_mut().unwrap();
+    let t = closure
+        .iter()
+        .find(|t| matches!(t, secflow::Term::Ta(_)))
+        .expect("closure has a ta term");
+    assert!(closure.replace_proof(&t, "rule for =", vec![]));
+    let opts = secflow_cli::AuditOptions {
+        policy: policy("stockbroker"),
+        format: AuditFormat::Text,
+        severity: None,
+        provenance: secflow::ProvenanceOptions::default(),
+    };
+    let (out, corrupted) = secflow_cli::render_audit(&schema, &outcome, &opts);
+    assert_eq!(corrupted, exit::CERTIFY);
+    assert!(out.contains("certification FAILED"));
+    assert!(!out.contains("<- sink"), "no paths from uncertified proofs");
+}
+
+#[test]
+fn audit_agrees_with_check_on_every_policy_file() {
+    use secflow_cli::AuditFormat;
+    for name in ["stockbroker", "stockbroker_safe", "hospital", "bank"] {
+        let (_, check_code) = run(&Command::Check {
+            file: policy(name),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+            certify: false,
+        });
+        let (_, audit_code) = audit(policy(name), AuditFormat::Text);
+        assert_eq!(
+            audit_code, check_code,
+            "{name}: audit and check verdicts diverge"
+        );
+    }
+}
+
+#[test]
+fn usage_documents_audit() {
+    assert!(secflow_cli::USAGE.contains("audit"));
+    assert!(secflow_cli::USAGE.contains("--severity"));
+    assert!(secflow_cli::USAGE.contains("--trace"));
+}
