@@ -11,7 +11,8 @@ use oodb_engine::Database;
 use oodb_lang::{parse_query, parse_requirement};
 use oodb_model::{UserName, Value};
 use secflow::algorithm::{
-    analyze, analyze_batch, analyze_with_config, AnalysisConfig, BatchOptions,
+    analyze, analyze_batch, analyze_batch_streaming, analyze_with_config, AnalysisConfig,
+    AnalysisSink, BatchOptions, BatchSchedule, ClosureCache, GroupRecord,
 };
 use secflow::closure::{Closure, ProofMode, SaturationMode, DEFAULT_TERM_LIMIT};
 use secflow::reference::RefClosure;
@@ -26,10 +27,13 @@ use secflow_dynamic::worlds::{enumerate_worlds, WorldSpec};
 use secflow_dynamic::{attack_requirement, AttackerConfig};
 use secflow_workloads::random::{random_case, RandomSpec};
 use secflow_workloads::scale::{
-    attr_fanout, call_chain, deep_expr, dense_equalities, multi_user, multi_user_deep, wide_grants,
-    ScaleCase,
+    attr_fanout, call_chain, clustered_giants, deep_expr, dense_equalities, multi_user,
+    multi_user_deep, wide_grants, zipf_population, ScaleCase,
 };
 use secflow_workloads::{fixtures, stockbroker};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 // --------------------------------------------------------------------- E1
@@ -1275,9 +1279,365 @@ pub fn audit_provenance(smoke: bool) -> Vec<AuditRow> {
     rows
 }
 
+// ----------------------------------------------------------- population
+
+/// One Zipf-population streaming throughput measurement: verdicts/sec is
+/// the headline metric (the ROADMAP north-star is population-scale
+/// serving), with the closure-cache hit rate and the scheduler's steal
+/// count recorded alongside.
+pub struct PopulationRow {
+    /// Users in the population (= groups = verdicts, one requirement each).
+    pub users: usize,
+    /// Distinct capability fingerprints the Zipf draw collapses onto.
+    pub fingerprints: usize,
+    /// Users sharing the most popular fingerprint.
+    pub peak_group: usize,
+    /// Worker threads requested.
+    pub jobs: usize,
+    /// Wall time for the streamed batch, microseconds.
+    pub micros: u128,
+    /// Verdicts emitted through the sink.
+    pub verdicts: u64,
+    /// Verdicts that flagged a flaw.
+    pub violated: u64,
+    /// Steal operations performed by the work-stealing pool.
+    pub steals: u64,
+    /// Closure-cache hits over the run.
+    pub cache_hits: u64,
+    /// Closure-cache misses over the run (= distinct fingerprints seen).
+    pub cache_misses: u64,
+    /// Closure-cache evictions over the run.
+    pub cache_evictions: u64,
+}
+
+impl PopulationRow {
+    /// Fraction of group analyses served from the closure cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Verdicts delivered per second of wall time.
+    pub fn verdicts_per_sec(&self) -> f64 {
+        if self.micros == 0 {
+            f64::INFINITY
+        } else {
+            self.verdicts as f64 * 1e6 / self.micros as f64
+        }
+    }
+}
+
+/// Fixed-partition vs work-stealing on the clustered-giants skew workload:
+/// the heavy groups sit contiguously in worker 0's static chunk, so the
+/// fixed partition runs them back to back while its neighbours idle.
+///
+/// Each schedule is scored by its *critical path*: every group is priced
+/// at its measured serial cost, each worker's attributed work is summed
+/// over the groups it actually executed (the pool tags every streamed
+/// record with its worker index), and the critical path is the loaded-est
+/// worker's total. That is exactly the batch's wall time on a machine with
+/// one core per worker — and unlike raw wall time it stays meaningful on a
+/// core-starved CI container, where the OS timeshares all eight workers
+/// onto the same core and wall time degenerates to total work for *any*
+/// schedule. Raw walls are recorded alongside for reference.
+pub struct SkewRow {
+    /// Groups in the workload.
+    pub users: usize,
+    /// Heavy groups, clustered at the front of group order.
+    pub giants: usize,
+    /// Probe width of each giant group (closure cost grows ~width²).
+    pub giant_width: usize,
+    /// Probe width of every other group.
+    pub tiny_width: usize,
+    /// Worker threads requested.
+    pub jobs: usize,
+    /// Critical path under static contiguous partitioning, microseconds:
+    /// max over workers of the summed serial cost of the groups it ran.
+    pub fixed_critical_micros: u128,
+    /// Critical path under the work-stealing scheduler, microseconds.
+    pub stealing_critical_micros: u128,
+    /// Measured wall time of the fixed run, microseconds (degenerate on a
+    /// single-core host — see the type docs).
+    pub fixed_wall_micros: u128,
+    /// Measured wall time of the work-stealing run, microseconds.
+    pub stealing_wall_micros: u128,
+    /// Steals performed by the best work-stealing run.
+    pub steals: u64,
+}
+
+impl SkewRow {
+    /// Work-stealing speedup over the fixed partition, by critical path.
+    pub fn speedup(&self) -> f64 {
+        if self.stealing_critical_micros == 0 {
+            f64::INFINITY
+        } else {
+            self.fixed_critical_micros as f64 / self.stealing_critical_micros as f64
+        }
+    }
+}
+
+/// `population` part 1 — stream a Zipf-distributed population through
+/// `analyze_batch_streaming` with a fresh sharded cache and count verdicts
+/// without buffering anything per-group. `smoke` is the CI size (10^4
+/// users); the full run peaks at a million users over 4000 fingerprints.
+pub fn population_throughput(smoke: bool) -> Vec<PopulationRow> {
+    // Fingerprint counts leave the >99% hit-rate bar attainable: misses
+    // are at least one per distinct fingerprint, so users/fingerprints
+    // must exceed 100 with margin for racy duplicate misses under the
+    // parallel pool.
+    let sizes: &[(usize, usize)] = if smoke {
+        &[(10_000, 100)]
+    } else {
+        &[(100_000, 500), (1_000_000, 4_000)]
+    };
+    let config = AnalysisConfig::default();
+    let mut rows = Vec::new();
+    for &(users, fingerprints) in sizes {
+        let case = zipf_population(users, fingerprints, 0xF1A7);
+        // Popularity of the hottest fingerprint, from the per-user
+        // requirement goals (each names its profile's probed attribute).
+        let mut popularity: HashMap<String, usize> = HashMap::new();
+        for r in &case.requirements {
+            *popularity.entry(r.target.to_string()).or_default() += 1;
+        }
+        let peak_group = popularity.values().copied().max().unwrap_or(0);
+
+        /// Counts verdicts as they stream past — the population run keeps
+        /// nothing per-group, which is what lets memory stay flat.
+        struct CountingSink {
+            verdicts: AtomicU64,
+            violated: AtomicU64,
+        }
+        impl AnalysisSink for CountingSink {
+            fn emit(&self, record: GroupRecord) {
+                for (_, verdict) in &record.verdicts {
+                    let v = verdict.as_ref().expect("population verdict");
+                    self.verdicts.fetch_add(1, Ordering::Relaxed);
+                    if v.is_violated() {
+                        self.violated.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        let jobs = 8usize;
+        let opts = BatchOptions {
+            jobs,
+            ..BatchOptions::default()
+        };
+        // Fresh cache per row: the hit rate must reflect this population
+        // alone. Two entries of headroom per fingerprint, 16 stripes.
+        let cache = ClosureCache::with_shards(2 * fingerprints, 16);
+        let sink = CountingSink {
+            verdicts: AtomicU64::new(0),
+            violated: AtomicU64::new(0),
+        };
+        let start = Instant::now();
+        let summary = analyze_batch_streaming(
+            &case.schema,
+            &case.requirements,
+            &config,
+            &opts,
+            Some(&cache),
+            &sink,
+        );
+        let micros = start.elapsed().as_micros();
+        let stats = cache.stats();
+        let verdicts = sink.verdicts.load(Ordering::Relaxed);
+        assert_eq!(verdicts as usize, users, "every user gets one verdict");
+        assert_eq!(summary.groups, users, "one group per user");
+        rows.push(PopulationRow {
+            users,
+            fingerprints,
+            peak_group,
+            jobs,
+            micros,
+            verdicts,
+            violated: sink.violated.load(Ordering::Relaxed),
+            steals: summary.steals,
+            cache_hits: stats.hits,
+            cache_misses: stats.misses,
+            cache_evictions: stats.evictions,
+        });
+    }
+    rows
+}
+
+/// `population` part 2 — the scheduler comparison the work-stealing pool
+/// exists for: a cluster of giant groups seeded into one worker's static
+/// chunk, duelled best-of-three under both schedules at `--jobs 8`
+/// (uncached, so the cost model is real closure work). Each run streams
+/// through [`analyze_batch_streaming`] with a sink that records which
+/// worker executed each group; the per-schedule score is the critical path
+/// over that *actual* assignment, priced by per-group serial cost measured
+/// up front (see [`SkewRow`] for why critical path, not raw wall). Verdict
+/// agreement across schedules is asserted on every run.
+pub fn skew_schedule_comparison(smoke: bool) -> SkewRow {
+    // `giants == users / jobs` puts the whole cluster in worker 0's chunk.
+    let (users, giants, giant_width, tiny_width) = if smoke {
+        (64, 8, 48, 6)
+    } else {
+        (128, 16, 96, 8)
+    };
+    let case = clustered_giants(users, giants, giant_width, tiny_width);
+    let config = AnalysisConfig::default();
+    let jobs = 8usize;
+
+    // Price each group by its serial analysis cost (best of two). Every
+    // user holds exactly one requirement, so group i is requirement i.
+    let cost: Vec<u128> = case
+        .requirements
+        .iter()
+        .map(|r| {
+            let mut best = u128::MAX;
+            for _ in 0..2 {
+                let start = Instant::now();
+                analyze(&case.schema, r).expect("skew verdict");
+                best = best.min(start.elapsed().as_micros());
+            }
+            best
+        })
+        .collect();
+
+    /// One group's assignment trace: the worker that executed it and its
+    /// violation flags.
+    type Assignment = (usize, Vec<bool>);
+
+    /// Records, per group, the worker that executed it and its violation
+    /// flags — the assignment trace the critical path is computed from.
+    struct AssignSink {
+        slots: Mutex<Vec<Option<Assignment>>>,
+    }
+    impl AnalysisSink for AssignSink {
+        fn emit(&self, record: GroupRecord) {
+            let flags = record
+                .verdicts
+                .iter()
+                .map(|(_, v)| v.as_ref().expect("skew verdict").is_violated())
+                .collect();
+            let mut slots = self.slots.lock().expect("sink lock");
+            let slot = &mut slots[record.group_index];
+            assert!(slot.is_none(), "group {} emitted twice", record.group_index);
+            *slot = Some((record.worker, flags));
+        }
+    }
+
+    // Best-of-three per schedule, scored by critical path.
+    let measure = |schedule: BatchSchedule| {
+        let opts = BatchOptions {
+            jobs,
+            schedule,
+            ..BatchOptions::default()
+        };
+        let mut best_wall = u128::MAX;
+        let mut best_critical = u128::MAX;
+        let mut best_steals = 0u64;
+        let mut flags: Option<Vec<Vec<bool>>> = None;
+        for _ in 0..3 {
+            let sink = AssignSink {
+                slots: Mutex::new((0..users).map(|_| None).collect()),
+            };
+            let start = Instant::now();
+            let summary = analyze_batch_streaming(
+                &case.schema,
+                &case.requirements,
+                &config,
+                &opts,
+                None,
+                &sink,
+            );
+            let wall = start.elapsed().as_micros();
+            let slots = sink.slots.into_inner().expect("sink lock");
+            let mut per_worker = vec![0u128; jobs];
+            let mut run_flags = Vec::with_capacity(users);
+            for (gi, slot) in slots.into_iter().enumerate() {
+                let (worker, group_flags) = slot.expect("every group emitted");
+                per_worker[worker] += cost[gi];
+                run_flags.push(group_flags);
+            }
+            let critical = per_worker.iter().copied().max().unwrap_or(0);
+            best_wall = best_wall.min(wall);
+            if critical < best_critical {
+                best_critical = critical;
+                best_steals = summary.steals;
+            }
+            if let Some(prev) = &flags {
+                assert_eq!(prev, &run_flags, "verdicts drifted across runs");
+            }
+            flags = Some(run_flags);
+        }
+        (
+            best_wall,
+            best_critical,
+            best_steals,
+            flags.expect("3 runs"),
+        )
+    };
+
+    let (fixed_wall, fixed_critical, fixed_steals, fixed_flags) = measure(BatchSchedule::Fixed);
+    let (stealing_wall, stealing_critical, steals, stealing_flags) =
+        measure(BatchSchedule::WorkStealing);
+    assert_eq!(
+        fixed_flags, stealing_flags,
+        "schedules disagree on the skewed workload"
+    );
+    assert_eq!(fixed_steals, 0, "the fixed partition never steals");
+    SkewRow {
+        users,
+        giants,
+        giant_width,
+        tiny_width,
+        jobs,
+        fixed_critical_micros: fixed_critical,
+        stealing_critical_micros: stealing_critical,
+        fixed_wall_micros: fixed_wall,
+        stealing_wall_micros: stealing_wall,
+        steals,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn population_smoke_hits_cache_and_steals() {
+        let rows = population_throughput(true);
+        for r in &rows {
+            assert!(
+                r.hit_rate() > 0.95,
+                "{} users / {} fingerprints: hit rate {:.4} too low",
+                r.users,
+                r.fingerprints,
+                r.hit_rate()
+            );
+            assert!(
+                r.violated > 0 && r.violated < r.verdicts,
+                "Zipf population must mix verdicts ({} / {} violated)",
+                r.violated,
+                r.verdicts
+            );
+        }
+        // Uniform Zipf groups can drain without ever opening a steal
+        // window, so the non-zero-steal guarantee comes from the skewed
+        // batch: the giant cluster pins worker 0 while the other seven
+        // drain their tiny chunks, and the pool must steal the pinned
+        // worker's queued giants.
+        let skew = skew_schedule_comparison(true);
+        assert!(skew.steals > 0, "work-stealing idle on the skewed batch");
+        assert!(
+            skew.stealing_critical_micros <= skew.fixed_critical_micros,
+            "stealing must not lengthen the critical path (fixed {} us, stealing {} us)",
+            skew.fixed_critical_micros,
+            skew.stealing_critical_micros
+        );
+        let total: u64 = rows.iter().map(|r| r.steals).sum::<u64>() + skew.steals;
+        assert!(total > 0, "population smoke never engaged the stealer");
+    }
 
     #[test]
     fn audit_smoke_reports_are_valid_and_productive() {

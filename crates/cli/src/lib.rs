@@ -33,8 +33,8 @@
 
 use oodb_lang::{check_schema, parse_schema, Schema};
 use secflow::algorithm::{
-    analyze_batch_cached, occurrences, AnalysisConfig, BatchOptions, BatchOutcome, CacheStats,
-    ClosureCache,
+    analyze_batch_cached, analyze_batch_streaming, occurrences, AnalysisConfig, AnalysisSink,
+    BatchOptions, BatchOutcome, CacheStats, ClosureCache, GroupRecord,
 };
 use secflow::closure::{Closure, ProofMode};
 use secflow::provenance::{audit_witness, render_path, ProvenanceOptions, Severity, WalkMode};
@@ -69,14 +69,21 @@ pub mod exit {
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Command {
-    /// `check <file> [--explain] [--jobs N] [--full-saturation]`
+    /// `check <file> [--explain] [--jobs N] [--stream] [--full-saturation]`
     Check {
         /// Policy file path.
         file: String,
         /// Print derivations for each violation.
         explain: bool,
-        /// Worker threads for the batch analysis driver (1 = serial).
+        /// Worker threads for the batch analysis driver (1 = serial,
+        /// 0 = auto-detect the machine parallelism).
         jobs: usize,
+        /// Stream per-group verdict lines as groups complete instead of
+        /// buffering the whole outcome — memory stays flat however many
+        /// users the policy holds. Lines are tagged `[g<index>]` with the
+        /// group's first-seen position; completion order is the pool's
+        /// choice when `--jobs` exceeds 1.
+        stream: bool,
         /// Saturate the full closure instead of the demand-driven slice.
         /// Verdicts and output are identical; this is the escape hatch for
         /// cross-checking the demand engine.
@@ -190,16 +197,24 @@ secflow — static detection of security flaws in object-oriented databases
          (Tajima, SIGMOD 1996)
 
 USAGE:
-  secflow check  <policy-file> [--explain] [--certify] [--jobs N]
+  secflow check  <policy-file> [--explain] [--certify] [--jobs N] [--stream]
                                [--full-saturation]
                                              run every `require`; exit 1 on flaws
-                                             (--jobs fans user groups across N threads;
-                                             --full-saturation disables the demand-driven
-                                             engine and computes the complete closure —
-                                             verdicts are identical either way;
-                                             --certify re-validates every recorded
-                                             derivation with the independent proof
-                                             checker and exits 4 on any rejection)
+                                             (--jobs fans user groups across N threads
+                                             under a work-stealing scheduler; N defaults
+                                             to 1, and --jobs 0 auto-detects the machine
+                                             parallelism; --stream prints each group's
+                                             verdict lines as the group completes,
+                                             tagged [g<index>] with its first-seen
+                                             position, keeping memory flat however many
+                                             users the policy holds — incompatible with
+                                             --explain/--certify, which buffer per-group
+                                             artifacts; --full-saturation disables the
+                                             demand-driven engine and computes the
+                                             complete closure — verdicts are identical
+                                             either way; --certify re-validates every
+                                             recorded derivation with the independent
+                                             proof checker and exits 4 on any rejection)
   secflow audit  <policy-file> [--format=text|json] [--severity=low|medium|high|critical]
                                [--mode=backward|forward|complete]
                                [--max-depth N] [--max-paths N] [--jobs N]
@@ -221,7 +236,8 @@ OBSERVABILITY (any command; stdout is unchanged):
   --metrics[=text|json]   pipeline statistics on stderr: per-phase timings,
                           closure term counts per capability kind, rule
                           firings, fixpoint rounds, worklist peak, dedup
-                          rate, closure-cache hits/misses/occupancy
+                          rate, closure-cache hits/misses/evictions/
+                          occupancy/shards, batch work-steal counts
   --trace[=FILE]          structured span/instant trace events (closure
                           phases, per-rule firings, cache hits) with
                           monotonic timestamps; written to FILE, or to
@@ -307,38 +323,47 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut file = None;
             let mut explain = false;
             let mut jobs = 1usize;
+            let mut stream = false;
             let mut full_saturation = false;
             let mut certify = false;
             let mut args = it.peekable();
             while let Some(a) = args.next() {
                 match a.as_str() {
                     "--explain" => explain = true,
+                    "--stream" => stream = true,
                     "--full-saturation" => full_saturation = true,
                     "--certify" => certify = true,
                     "--jobs" => {
+                        // 0 is meaningful: auto-detect the machine
+                        // parallelism (std::thread::available_parallelism).
                         jobs = args
                             .next()
                             .ok_or("check: --jobs needs a value")?
                             .parse()
                             .map_err(|_| "check: --jobs must be a number")?;
-                        if jobs == 0 {
-                            return Err("check: --jobs must be at least 1".into());
-                        }
                     }
                     _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
                     other => {
                         return Err(format!(
                             "unexpected argument `{other}` (check accepts --explain, \
-                             --certify, --jobs N, --full-saturation)"
+                             --certify, --jobs N, --stream, --full-saturation)"
                         ))
                     }
                 }
+            }
+            if stream && (explain || certify) {
+                return Err(
+                    "check: --stream cannot be combined with --explain or --certify \
+                     (both need buffered per-group artifacts)"
+                        .into(),
+                );
             }
             let file = file.ok_or("check: missing policy file")?;
             Ok(Command::Check {
                 file,
                 explain,
                 jobs,
+                stream,
                 full_saturation,
                 certify,
             })
@@ -494,11 +519,18 @@ pub fn run_on_source(cmd: &Command, src: &str) -> (String, i32) {
         Command::Check {
             explain,
             jobs,
+            stream,
             full_saturation,
             certify,
             ..
         } => match load_str(src) {
-            Ok(schema) => check_report(&schema, *explain, *jobs, *full_saturation, *certify),
+            Ok(schema) => {
+                if *stream {
+                    check_report_stream(&schema, *jobs, *full_saturation, None)
+                } else {
+                    check_report(&schema, *explain, *jobs, *full_saturation, *certify)
+                }
+            }
             Err(e) => (format!("error: {e}\n"), exit::INPUT),
         },
         Command::Audit {
@@ -586,6 +618,16 @@ struct GroupTrace {
     checks: Vec<(String, std::time::Duration)>,
 }
 
+/// Closure-cache state captured for metrics/trace: the counters plus the
+/// lock-striping layout of the cache that served (or would serve) the run.
+struct CacheSnapshot {
+    stats: CacheStats,
+    len: usize,
+    capacity: usize,
+    shards: usize,
+    max_shard_len: usize,
+}
+
 /// Everything collected while an instrumented command runs.
 #[derive(Default)]
 struct Collected {
@@ -594,7 +636,8 @@ struct Collected {
     program_nodes: u64,
     occurrences: u64,
     requirements: u64,
-    cache: Option<(CacheStats, usize, usize)>,
+    steals: u64,
+    cache: Option<CacheSnapshot>,
     groups: Vec<GroupTrace>,
 }
 
@@ -606,13 +649,17 @@ impl Collected {
             sink.counter("analysis.requirements", self.requirements);
             sink.counter("analysis.program_nodes", self.program_nodes);
             sink.counter("analysis.occurrences", self.occurrences);
+            sink.counter("batch.steals", self.steals);
         }
-        if let Some((stats, len, capacity)) = &self.cache {
-            sink.counter("cache.hits", stats.hits);
-            sink.counter("cache.misses", stats.misses);
-            sink.counter("cache.union_recomputes", stats.union_recomputes);
-            sink.gauge("cache.occupancy", *len as f64);
-            sink.gauge("cache.capacity", *capacity as f64);
+        if let Some(c) = &self.cache {
+            sink.counter("cache.hits", c.stats.hits);
+            sink.counter("cache.misses", c.stats.misses);
+            sink.counter("cache.union_recomputes", c.stats.union_recomputes);
+            sink.counter("cache.evictions", c.stats.evictions);
+            sink.counter("cache.shard.count", c.shards as u64);
+            sink.gauge("cache.shard.max_len", c.max_shard_len as f64);
+            sink.gauge("cache.occupancy", c.len as f64);
+            sink.gauge("cache.capacity", c.capacity as f64);
         }
     }
 
@@ -673,21 +720,23 @@ impl Collected {
                 t += d.as_micros() as u64;
             }
         }
-        if let Some((stats, len, capacity)) = &self.cache {
+        if let Some(c) = &self.cache {
             tb.instant(
                 "cache",
                 "cache",
                 0,
                 cursor,
                 vec![
-                    ("hits".to_owned(), Json::count(stats.hits)),
-                    ("misses".to_owned(), Json::count(stats.misses)),
+                    ("hits".to_owned(), Json::count(c.stats.hits)),
+                    ("misses".to_owned(), Json::count(c.stats.misses)),
                     (
                         "union_recomputes".to_owned(),
-                        Json::count(stats.union_recomputes),
+                        Json::count(c.stats.union_recomputes),
                     ),
-                    ("occupancy".to_owned(), Json::count(*len as u64)),
-                    ("capacity".to_owned(), Json::count(*capacity as u64)),
+                    ("evictions".to_owned(), Json::count(c.stats.evictions)),
+                    ("shards".to_owned(), Json::count(c.shards as u64)),
+                    ("occupancy".to_owned(), Json::count(c.len as u64)),
+                    ("capacity".to_owned(), Json::count(c.capacity as u64)),
                 ],
             );
         }
@@ -797,10 +846,17 @@ fn instrumented(cmd: &Command, src: &str, col: &mut Collected) -> (String, i32) 
         Command::Check {
             explain,
             jobs,
+            stream,
             full_saturation,
             certify,
             ..
-        } => check_report_instrumented(&schema, *explain, *jobs, *full_saturation, *certify, col),
+        } => {
+            if *stream {
+                check_report_stream(&schema, *jobs, *full_saturation, Some(col))
+            } else {
+                check_report_instrumented(&schema, *explain, *jobs, *full_saturation, *certify, col)
+            }
+        }
         Command::Audit {
             file,
             format,
@@ -860,15 +916,27 @@ fn collect_batch(schema: &Schema, outcome: &BatchOutcome, col: &mut Collected) {
         });
     }
     col.requirements = schema.requirements.len() as u64;
-    col.cache = Some(match (outcome.cache_stats, outcome.cache_occupancy) {
+    col.steals = outcome.steals;
+    col.cache = Some(cache_snapshot(outcome.cache_stats, outcome.cache_occupancy));
+}
+
+/// Build a [`CacheSnapshot`] from a batch's recorded cache state, falling
+/// back to the process-wide cache for uncached runs (instrumented batches
+/// bypass the cache). The shard layout always comes from the process-wide
+/// cache — it is the one every cached `check` run stripes over.
+fn cache_snapshot(stats: Option<CacheStats>, occupancy: Option<(usize, usize)>) -> CacheSnapshot {
+    let cache = closure_cache();
+    let (stats, len, capacity) = match (stats, occupancy) {
         (Some(stats), Some((len, capacity))) => (stats, len, capacity),
-        // Uncached run (instrumented batches bypass the cache): report
-        // the process-wide cache the plain check path shares.
-        _ => {
-            let cache = closure_cache();
-            (cache.stats(), cache.len(), cache.capacity())
-        }
-    });
+        _ => (cache.stats(), cache.len(), cache.capacity()),
+    };
+    CacheSnapshot {
+        stats,
+        len,
+        capacity,
+        shards: cache.shard_count(),
+        max_shard_len: cache.max_shard_len(),
+    }
 }
 
 /// The process-wide closure cache behind plain `check` runs. Repeated
@@ -906,6 +974,7 @@ fn check_batch(
         keep_artifacts: explain || certify,
         collect_stats: stats,
         full_saturation,
+        ..BatchOptions::default()
     };
     let cache = (!explain && !certify && !stats && !full_saturation).then(closure_cache);
     analyze_batch_cached(
@@ -993,6 +1062,7 @@ pub fn audit_batch(schema: &Schema, jobs: usize) -> BatchOutcome {
         keep_artifacts: true,
         collect_stats: true,
         full_saturation: false,
+        ..BatchOptions::default()
     };
     analyze_batch_cached(
         schema,
@@ -1450,6 +1520,113 @@ fn check_report(
     (out, i32::from(violated > 0))
 }
 
+/// The `--stream` check path: verdict lines are rendered and appended the
+/// moment their group completes, so nothing per-group is buffered and
+/// memory stays flat however many users the policy holds. Each line is
+/// tagged `[g<index>]` with the group's first-seen position (the streaming
+/// determinism contract: records may complete in any order under a
+/// parallel pool, but the index lets a consumer reassemble input order).
+/// Unlike the buffered path, an analysis error does not short-circuit —
+/// every group is still reported, and the run exits [`exit::INPUT`] when
+/// any error occurred, else 1 on violations as usual. With `col` the run is
+/// instrumented: closure stats are collected (which bypasses the cache,
+/// like the buffered instrumented path) and the streaming summary is folded
+/// into the metrics collector.
+fn check_report_stream(
+    schema: &Schema,
+    jobs: usize,
+    full_saturation: bool,
+    col: Option<&mut Collected>,
+) -> (String, i32) {
+    if schema.requirements.is_empty() {
+        return (
+            "no `require` declarations in the policy — nothing to check\n".to_owned(),
+            exit::OK,
+        );
+    }
+    let stats = col.is_some();
+    let opts = BatchOptions {
+        jobs,
+        proofs: ProofMode::Off,
+        keep_artifacts: false,
+        collect_stats: stats,
+        full_saturation,
+        ..BatchOptions::default()
+    };
+    let cache = (!stats && !full_saturation).then(closure_cache);
+
+    /// Renders each record into verdict lines under the sink lock;
+    /// violation/error tallies ride along in the same mutex.
+    struct LineSink<'a> {
+        schema: &'a Schema,
+        out: std::sync::Mutex<(String, usize, usize)>, // (text, violated, errors)
+    }
+    impl AnalysisSink for LineSink<'_> {
+        fn emit(&self, record: GroupRecord) {
+            let mut lines = String::new();
+            let mut violated = 0usize;
+            let mut errors = 0usize;
+            let gi = record.group_index;
+            for (i, verdict) in &record.verdicts {
+                let req = &self.schema.requirements[*i];
+                match verdict {
+                    Ok(Verdict::Satisfied) => {
+                        let _ = writeln!(lines, "[g{gi}] ok    {req}");
+                    }
+                    Ok(Verdict::Violated(violations)) => {
+                        violated += 1;
+                        let _ = writeln!(
+                            lines,
+                            "[g{gi}] FLAW  {req}  ({} occurrence(s))",
+                            violations.len()
+                        );
+                    }
+                    Err(e) => {
+                        errors += 1;
+                        let _ = writeln!(lines, "[g{gi}] error {req}: {e}");
+                    }
+                }
+            }
+            let mut guard = self.out.lock().expect("no panics hold the sink lock");
+            guard.0.push_str(&lines);
+            guard.1 += violated;
+            guard.2 += errors;
+        }
+    }
+
+    let sink = LineSink {
+        schema,
+        out: std::sync::Mutex::new((String::new(), 0, 0)),
+    };
+    let summary = analyze_batch_streaming(
+        schema,
+        &schema.requirements,
+        &AnalysisConfig::default(),
+        &opts,
+        cache,
+        &sink,
+    );
+    let (mut out, violated, errors) = sink.out.into_inner().expect("no panics hold the sink lock");
+    let _ = writeln!(
+        out,
+        "{} requirement(s), {} violated — streamed {} group(s) on {} worker(s)",
+        summary.requirements, violated, summary.groups, summary.jobs_used
+    );
+    if let Some(col) = col {
+        col.closure.merge(&summary.closure);
+        col.occurrences = summary.occurrences;
+        col.requirements = summary.requirements as u64;
+        col.steals = summary.steals;
+        col.cache = Some(cache_snapshot(summary.cache_stats, summary.cache_occupancy));
+    }
+    let code = if errors > 0 {
+        exit::INPUT
+    } else {
+        i32::from(violated > 0)
+    };
+    (out, code)
+}
+
 /// Print Figure-1 style derivations for every witness of a violated
 /// requirement (the `--explain` path), reusing the batch group's
 /// proof-carrying program and closure.
@@ -1621,6 +1798,7 @@ mod tests {
                 jobs: 1,
                 full_saturation: false,
                 certify: false,
+                stream: false,
             })
         );
         assert_eq!(
@@ -1652,11 +1830,107 @@ mod tests {
                 jobs: 4,
                 full_saturation: false,
                 certify: false,
+                stream: false,
             })
         );
         assert!(parse_args(&s(&["check", "p.sfl", "--jobs"])).is_err());
         assert!(parse_args(&s(&["check", "p.sfl", "--jobs", "x"])).is_err());
-        assert!(parse_args(&s(&["check", "p.sfl", "--jobs", "0"])).is_err());
+        // 0 is not an error: it asks for auto-detected parallelism.
+        assert_eq!(
+            parse_args(&s(&["check", "p.sfl", "--jobs", "0"])),
+            Ok(Command::Check {
+                file: "p.sfl".into(),
+                explain: false,
+                jobs: 0,
+                full_saturation: false,
+                certify: false,
+                stream: false,
+            })
+        );
+    }
+
+    #[test]
+    fn stream_flag_parsing() {
+        assert_eq!(
+            parse_args(&s(&["check", "p.sfl", "--stream", "--jobs", "0"])),
+            Ok(Command::Check {
+                file: "p.sfl".into(),
+                explain: false,
+                jobs: 0,
+                full_saturation: false,
+                certify: false,
+                stream: true,
+            })
+        );
+        // --stream buffers nothing, so the artifact-hungry flags conflict.
+        let err = parse_args(&s(&["check", "p.sfl", "--stream", "--explain"])).unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
+        assert!(parse_args(&s(&["check", "p.sfl", "--stream", "--certify"])).is_err());
+    }
+
+    #[test]
+    fn streamed_check_matches_buffered_verdicts() {
+        let buffered = Command::Check {
+            file: "-".into(),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+            certify: false,
+            stream: false,
+        };
+        let (plain, plain_code) = run_on_source(&buffered, POLICY);
+        for jobs in [1usize, 4] {
+            let streamed = Command::Check {
+                file: "-".into(),
+                explain: false,
+                jobs,
+                full_saturation: false,
+                certify: false,
+                stream: true,
+            };
+            let (out, code) = run_on_source(&streamed, POLICY);
+            assert_eq!(code, plain_code, "stream must keep the exit code\n{out}");
+            // Strip the [g<i>] tags, sort by group index, and the verdict
+            // lines must be exactly the buffered ones.
+            let mut tagged: Vec<(usize, &str)> = Vec::new();
+            let mut lines = out.lines().collect::<Vec<_>>();
+            let summary = lines.pop().unwrap();
+            assert!(
+                summary.contains("2 requirement(s), 1 violated — streamed 2 group(s)"),
+                "{summary}"
+            );
+            for line in lines {
+                let rest = line.strip_prefix("[g").unwrap();
+                let (gi, rest) = rest.split_once("] ").unwrap();
+                tagged.push((gi.parse().unwrap(), rest));
+            }
+            tagged.sort_by_key(|(gi, _)| *gi);
+            let reassembled: Vec<&str> = tagged.iter().map(|(_, l)| *l).collect();
+            let buffered_lines: Vec<&str> =
+                plain.lines().take_while(|l| !l.starts_with('2')).collect();
+            assert_eq!(reassembled, buffered_lines);
+        }
+        // Instrumented streaming keeps stdout and surfaces batch metrics.
+        let streamed = Command::Check {
+            file: "-".into(),
+            explain: false,
+            jobs: 2,
+            full_saturation: false,
+            certify: false,
+            stream: true,
+        };
+        let obs = ObsOptions {
+            metrics: Some(MetricsFormat::Json),
+            trace: None,
+        };
+        let out = run_on_source_with_obs(&streamed, POLICY, &obs);
+        assert_eq!(out.code, 1);
+        assert!(out.stderr.contains("\"batch.steals\""), "{}", out.stderr);
+        assert!(
+            out.stderr.contains("\"cache.shard.count\""),
+            "{}",
+            out.stderr
+        );
     }
 
     #[test]
@@ -1669,6 +1943,7 @@ mod tests {
                 jobs: 1,
                 full_saturation: true,
                 certify: false,
+                stream: false,
             })
         );
         // Unknown check flags mention the escape hatch.
@@ -1684,6 +1959,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let full = Command::Check {
             file: "-".into(),
@@ -1691,6 +1967,7 @@ mod tests {
             jobs: 1,
             full_saturation: true,
             certify: false,
+            stream: false,
         };
         assert_eq!(
             run_on_source(&demand, POLICY),
@@ -1707,6 +1984,7 @@ mod tests {
             jobs: 1,
             full_saturation: true,
             certify: false,
+            stream: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -1722,6 +2000,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let first = run_on_source(&cmd, POLICY);
         let hits_before = closure_cache().stats().hits;
@@ -1741,6 +2020,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let parallel = Command::Check {
             file: "-".into(),
@@ -1748,6 +2028,7 @@ mod tests {
             jobs: 4,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         assert_eq!(
             run_on_source(&serial, POLICY),
@@ -1777,6 +2058,7 @@ mod tests {
                 jobs: 1,
                 full_saturation: false,
                 certify: false,
+                stream: false,
             }
         );
         assert_eq!(obs.metrics, Some(MetricsFormat::Json));
@@ -1836,6 +2118,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let (plain, plain_code) = run_on_source(&cmd, POLICY);
         // Metrics on + trace without a file: the trace is dropped, stderr
@@ -1907,6 +2190,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let out = run_on_source_with_obs(
             &cmd,
@@ -1951,16 +2235,32 @@ mod tests {
             counters.get("analysis.requirements").and_then(Json::as_u64),
             Some(2)
         );
-        // Closure-cache counters (lifetime totals) and occupancy gauges.
-        for counter in ["cache.hits", "cache.misses", "cache.union_recomputes"] {
+        // Closure-cache counters (lifetime totals), shard layout, batch
+        // scheduler steals, and occupancy gauges.
+        for counter in [
+            "cache.hits",
+            "cache.misses",
+            "cache.union_recomputes",
+            "cache.evictions",
+            "cache.shard.count",
+            "batch.steals",
+        ] {
             assert!(
                 counters.get(counter).and_then(Json::as_u64).is_some(),
                 "missing counter {counter}"
             );
         }
+        assert!(
+            counters
+                .get("cache.shard.count")
+                .and_then(Json::as_u64)
+                .unwrap()
+                > 0
+        );
         let gauges = doc.get("gauges").expect("gauges object");
         assert!(gauges.get("cache.occupancy").is_some());
         assert!(gauges.get("cache.capacity").is_some());
+        assert!(gauges.get("cache.shard.max_len").is_some());
         // Per-phase timings.
         let spans = doc.get("spans_ms").expect("spans object");
         for phase in ["parse", "typecheck", "unfold", "closure", "check"] {
@@ -2006,6 +2306,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -2022,6 +2323,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -2090,6 +2392,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let (report, code) = run_on_source(&cmd, "class C { x: bogus_type }");
         assert_eq!(code, exit::INPUT);
@@ -2106,6 +2409,7 @@ mod tests {
                 jobs: 1,
                 full_saturation: false,
                 certify: true,
+                stream: false,
             })
         );
         // Unknown check flags mention --certify among the accepted set.
@@ -2121,6 +2425,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         };
         let certified = Command::Check {
             file: "-".into(),
@@ -2128,6 +2433,7 @@ mod tests {
             jobs: 1,
             full_saturation: false,
             certify: true,
+            stream: false,
         };
         let (plain_out, plain_code) = run_on_source(&plain, POLICY);
         let (out, code) = run_on_source(&certified, POLICY);
@@ -2191,6 +2497,7 @@ mod tests {
             jobs: 4,
             full_saturation: true,
             certify: true,
+            stream: false,
         };
         let (out, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, exit::VIOLATION);

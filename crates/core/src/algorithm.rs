@@ -34,10 +34,10 @@ use oodb_lang::Schema;
 use oodb_model::{FnRef, Type, UserName};
 use secflow_obs::{MetricsSink, Phases};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -415,12 +415,36 @@ fn cap_witness<C: CapabilityView>(closure: &C, e: ExprId, cap: Cap) -> Option<Te
     }
 }
 
+/// Group-scheduling policy for the batch worker pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BatchSchedule {
+    /// Static partitioning: each worker owns one contiguous chunk of the
+    /// group list and never looks at anyone else's. A skewed batch (one
+    /// giant group next to thousands of tiny ones) serializes on whichever
+    /// worker drew the giant chunk — kept as the baseline the `population`
+    /// bench experiment measures the stealing speedup against.
+    Fixed,
+    /// Work stealing (the default): workers start from the same contiguous
+    /// chunks, held in per-worker deques, but an idle worker steals the
+    /// back half of the first non-empty victim deque it finds instead of
+    /// going idle. Output is unaffected — results are written into slots
+    /// indexed by group, so scheduling order never shows.
+    #[default]
+    WorkStealing,
+}
+
 /// Options for [`analyze_batch`].
 #[derive(Clone, Copy, Debug)]
 pub struct BatchOptions {
-    /// Worker threads for the group fan-out. `0` or `1` runs serially on
-    /// the calling thread; larger values are clamped to the group count.
+    /// Worker threads for the group fan-out. `0` auto-detects the machine
+    /// parallelism ([`std::thread::available_parallelism`], falling back to
+    /// 1 when the platform cannot say); `1` runs serially on the calling
+    /// thread; larger values are clamped to the group count.
     pub jobs: usize,
+    /// How groups are distributed across workers. Never affects the output
+    /// (verdicts are byte-identical either way); [`BatchSchedule::Fixed`]
+    /// exists as the measured baseline for the work-stealing speedup.
+    pub schedule: BatchSchedule,
     /// Proof mode for the shared closures. [`ProofMode::Full`] is only
     /// needed when something will print derivations from the kept
     /// artifacts (the CLI `--explain` path).
@@ -443,6 +467,7 @@ impl Default for BatchOptions {
     fn default() -> BatchOptions {
         BatchOptions {
             jobs: 1,
+            schedule: BatchSchedule::WorkStealing,
             proofs: ProofMode::Off,
             keep_artifacts: false,
             collect_stats: false,
@@ -483,8 +508,12 @@ pub struct BatchOutcome {
     pub verdicts: Vec<Result<Verdict, AnalysisError>>,
     /// Per-group bookkeeping, in first-seen order of the users.
     pub groups: Vec<BatchGroup>,
-    /// Worker threads actually used (after clamping).
+    /// Worker threads actually used (after resolving `jobs == 0` and
+    /// clamping to the group count).
     pub jobs_used: usize,
+    /// Steal operations performed by the work-stealing pool: 0 for serial
+    /// runs and for [`BatchSchedule::Fixed`].
+    pub steals: u64,
     /// `(len, capacity)` of the [`ClosureCache`] after this batch, when one
     /// was passed to [`analyze_batch_cached`]; `None` for uncached runs.
     pub cache_occupancy: Option<(usize, usize)>,
@@ -540,10 +569,19 @@ struct CacheEntry {
     drained: bool,
 }
 
+/// One lock-striped segment of a [`ClosureCache`]: entries tagged with a
+/// last-touch tick, evicted least-recently-touched first.
 #[derive(Default)]
-struct CacheInner {
-    entries: Vec<(CacheKey, CacheEntry)>,
-    stats: CacheStats,
+struct CacheShard {
+    entries: Vec<(CacheKey, CacheEntry, u64)>,
+    tick: u64,
+}
+
+impl CacheShard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
 }
 
 /// Lifetime counters of a [`ClosureCache`].
@@ -558,6 +596,9 @@ pub struct CacheStats {
     /// against the cached unfolding — with the union of old and new goal
     /// sets.
     pub union_recomputes: u64,
+    /// Entries dropped because a shard exceeded its capacity; the
+    /// least-recently-touched entry of the full shard goes first.
+    pub evictions: u64,
 }
 
 /// A cross-call cache of demand-driven closures, keyed by
@@ -574,20 +615,47 @@ pub struct CacheStats {
 /// the cached unfolding — with the union of old and new goals, and the
 /// refreshed entry replaces the old one.
 ///
-/// Bounded FIFO: oldest entry evicted past `capacity`. Thread-safe; lookups
-/// hold the lock only briefly and saturation runs outside it (concurrent
-/// misses on one key may duplicate work, last writer wins).
+/// Bounded LRU, lock-striped: entries are spread over `shard_count()`
+/// independently locked segments keyed by the capability-list fingerprint,
+/// so concurrent hits on different keys never contend on one mutex. Each
+/// shard evicts its least-recently-touched entry past its share of the
+/// capacity (a hit refreshes recency). Lookups hold a shard lock only
+/// briefly and saturation runs outside it (concurrent misses on one key may
+/// duplicate work, last writer wins).
 pub struct ClosureCache {
-    inner: Mutex<CacheInner>,
-    capacity: usize,
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    union_recomputes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ClosureCache {
-    /// A cache holding at most `capacity` closures (minimum 1).
+    /// A cache holding at most `capacity` closures (minimum 1), striped
+    /// over `capacity / 8` lock shards (clamped to 1..=16). Small caches
+    /// (capacity < 16) keep a single shard, which preserves exact global
+    /// LRU order; the striped layout approximates it per shard.
     pub fn new(capacity: usize) -> ClosureCache {
+        let capacity = capacity.max(1);
+        ClosureCache::with_shards(capacity, (capacity / 8).clamp(1, 16))
+    }
+
+    /// A cache with an explicit shard count. The capacity is rounded up to
+    /// a multiple of the shard count: each shard holds at most
+    /// `capacity.div_ceil(shards)` entries.
+    pub fn with_shards(capacity: usize, shards: usize) -> ClosureCache {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
         ClosureCache {
-            inner: Mutex::new(CacheInner::default()),
-            capacity: capacity.max(1),
+            shards: (0..shards)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            union_recomputes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -596,17 +664,41 @@ impl ClosureCache {
     /// reuses the cached unfolding, and is additionally tallied in
     /// [`CacheStats::union_recomputes`].
     pub fn stats(&self) -> CacheStats {
-        self.lock().stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            union_recomputes: self.union_recomputes.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 
-    /// Number of cached closures.
+    /// Number of cached closures across all shards.
     pub fn len(&self) -> usize {
-        self.lock().entries.len()
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).entries.len())
+            .sum()
     }
 
-    /// Maximum number of closures the cache retains (FIFO eviction past it).
+    /// Maximum number of closures the cache retains (per-shard LRU eviction
+    /// past each shard's share).
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.per_shard * self.shards.len()
+    }
+
+    /// Number of lock-striped shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Occupancy of the fullest shard — the striping diagnostic behind the
+    /// CLI's `cache.shard.max_len` gauge.
+    pub fn max_shard_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).entries.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Is the cache empty?
@@ -614,40 +706,63 @@ impl ClosureCache {
         self.len() == 0
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
-        self.inner.lock().expect("no panics hold the cache lock")
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<CacheShard> {
+        // Stripe by the capability-list fingerprint alone: the schema and
+        // config fingerprints are constant across a batch's groups, so they
+        // carry no distinguishing bits here.
+        let idx = (key.caps_fp.0 ^ key.caps_fp.1) as usize % self.shards.len();
+        &self.shards[idx]
     }
 
     fn lookup(&self, key: &CacheKey) -> Option<CacheEntry> {
-        let inner = self.lock();
-        inner
+        let mut shard = lock_shard(self.shard_for(key));
+        let tick = shard.touch();
+        shard
             .entries
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, e)| e.clone())
+            .iter_mut()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, e, stamp)| {
+                *stamp = tick;
+                e.clone()
+            })
     }
 
     fn note_hit(&self) {
-        self.lock().stats.hits += 1;
+        self.hits.fetch_add(1, Ordering::Relaxed);
     }
 
     fn note_miss(&self, union_recompute: bool) {
-        let mut inner = self.lock();
-        inner.stats.misses += 1;
-        inner.stats.union_recomputes += u64::from(union_recompute);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if union_recompute {
+            self.union_recomputes.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn store(&self, key: CacheKey, entry: CacheEntry) {
-        let mut inner = self.lock();
-        if let Some(slot) = inner.entries.iter_mut().find(|(k, _)| *k == key) {
+        let mut shard = lock_shard(self.shard_for(&key));
+        let tick = shard.touch();
+        if let Some(slot) = shard.entries.iter_mut().find(|(k, _, _)| *k == key) {
             slot.1 = entry;
+            slot.2 = tick;
             return;
         }
-        inner.entries.push((key, entry));
-        if inner.entries.len() > self.capacity {
-            inner.entries.remove(0);
+        shard.entries.push((key, entry, tick));
+        if shard.entries.len() > self.per_shard {
+            let oldest = shard
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, stamp))| *stamp)
+                .map(|(i, _)| i)
+                .expect("a full shard is non-empty");
+            shard.entries.remove(oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+fn lock_shard(shard: &Mutex<CacheShard>) -> std::sync::MutexGuard<'_, CacheShard> {
+    shard.lock().expect("no panics hold a cache shard lock")
 }
 
 impl Default for ClosureCache {
@@ -661,10 +776,12 @@ impl fmt::Debug for ClosureCache {
         let stats = self.stats();
         f.debug_struct("ClosureCache")
             .field("len", &self.len())
-            .field("capacity", &self.capacity)
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shard_count())
             .field("hits", &stats.hits)
             .field("misses", &stats.misses)
             .field("union_recomputes", &stats.union_recomputes)
+            .field("evictions", &stats.evictions)
             .finish()
     }
 }
@@ -816,9 +933,10 @@ impl OccMemo {
 /// analysis configuration, which is shared by the whole call. Requirements
 /// are therefore grouped by user in first-seen order; each group runs
 /// unfold → closure once and then the cheap per-requirement verdict check.
-/// Groups fan out across a hand-rolled `std::thread::scope` pool
-/// ([`BatchOptions::jobs`] workers pulling group indexes from an atomic
-/// counter), so a policy file with many users saturates in parallel.
+/// Groups fan out across a hand-rolled `std::thread::scope` work-stealing
+/// pool ([`BatchOptions::jobs`] workers over per-worker deques — see
+/// [`BatchSchedule`]), so a policy file with many users saturates in
+/// parallel even when group sizes are heavily skewed.
 ///
 /// Verdicts are identical to per-requirement [`analyze_with_config`] calls,
 /// in input order, regardless of `jobs` — groups are independent and each
@@ -851,21 +969,12 @@ pub fn analyze_batch_cached(
         schema_fp: fingerprint("schema", &schema.to_string()),
         config_fp: fingerprint("config", &format!("{config:?}")),
     });
-    // Group requirement indexes by user, first-seen order.
-    let mut group_of: HashMap<UserName, usize> = HashMap::new();
-    let mut grouped: Vec<(UserName, Vec<usize>)> = Vec::new();
-    for (i, r) in reqs.iter().enumerate() {
-        let gi = *group_of.entry(r.user.clone()).or_insert_with(|| {
-            grouped.push((r.user.clone(), Vec::new()));
-            grouped.len() - 1
-        });
-        grouped[gi].1.push(i);
-    }
-
+    let grouped = group_by_user(reqs);
     let n_groups = grouped.len();
-    let jobs = opts.jobs.max(1).min(n_groups.max(1));
+    let jobs = effective_jobs(opts.jobs).min(n_groups.max(1));
     type GroupOut = (BatchGroup, Vec<(usize, Result<Verdict, AnalysisError>)>);
     let mut outs: Vec<Option<GroupOut>> = Vec::with_capacity(n_groups);
+    let mut steals = 0;
 
     if jobs <= 1 {
         for (user, idxs) in &grouped {
@@ -880,24 +989,22 @@ pub fn analyze_batch_cached(
             )));
         }
     } else {
-        // Work-stealing by atomic index: each worker pulls the next
-        // unclaimed group. Per-slot mutexes keep result writes contention-
-        // free and slot order independent of scheduling.
-        let next = AtomicUsize::new(0);
+        // Per-slot mutexes keep result writes contention-free and slot
+        // order independent of scheduling, so the pool's nondeterministic
+        // group→worker assignment never reaches the output.
         let slots: Vec<Mutex<Option<GroupOut>>> = (0..n_groups).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let gi = next.fetch_add(1, Ordering::Relaxed);
-                    if gi >= n_groups {
-                        break;
-                    }
-                    let (user, idxs) = &grouped[gi];
-                    let out = run_group(schema, reqs, config, opts, user, idxs, ctx.as_ref());
-                    *slots[gi].lock().expect("no panics hold this lock") = Some(out);
-                });
-            }
-        });
+        let (_, pool_steals) = run_pool(
+            n_groups,
+            jobs,
+            opts.schedule,
+            |_| (),
+            |_state, gi| {
+                let (user, idxs) = &grouped[gi];
+                let out = run_group(schema, reqs, config, opts, user, idxs, ctx.as_ref());
+                *slots[gi].lock().expect("no panics hold this lock") = Some(out);
+            },
+        );
+        steals = pool_steals;
         for slot in slots {
             outs.push(slot.into_inner().expect("no panics hold this lock"));
         }
@@ -920,6 +1027,267 @@ pub fn analyze_batch_cached(
             .collect(),
         groups,
         jobs_used: jobs,
+        steals,
+        cache_occupancy: cache.map(|c| (c.len(), c.capacity())),
+        cache_stats: cache.map(|c| c.stats()),
+    }
+}
+
+/// Group requirement indexes by user, first-seen order — the unit of shared
+/// work for both the buffered and streaming batch drivers.
+fn group_by_user(reqs: &[Requirement]) -> Vec<(UserName, Vec<usize>)> {
+    let mut group_of: HashMap<UserName, usize> = HashMap::new();
+    let mut grouped: Vec<(UserName, Vec<usize>)> = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        let gi = *group_of.entry(r.user.clone()).or_insert_with(|| {
+            grouped.push((r.user.clone(), Vec::new()));
+            grouped.len() - 1
+        });
+        grouped[gi].1.push(i);
+    }
+    grouped
+}
+
+/// Resolve a requested job count: `0` auto-detects the machine's
+/// [`std::thread::available_parallelism`], falling back to 1 when the
+/// platform cannot say. Any other value passes through unchanged.
+pub fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        jobs
+    }
+}
+
+/// The batch worker pool. Spawns `jobs` scoped workers over group indexes
+/// `0..n_groups`, each seeded with a contiguous chunk of the index space in
+/// a per-worker deque. Under [`BatchSchedule::WorkStealing`], a worker
+/// whose deque drains steals the back half of the first non-empty victim
+/// deque it finds (scanning from its right neighbour) instead of exiting —
+/// so one giant group no longer strands the rest of a skewed batch on a
+/// single worker. Under [`BatchSchedule::Fixed`] it exits as soon as its
+/// own chunk drains.
+///
+/// Every group index is processed exactly once: indexes only ever move
+/// between deques under a victim's lock, and a worker drains its own deque
+/// before exiting. Each worker threads a private state value (`init` →
+/// `work` → returned at join), which is how the streaming path folds
+/// per-worker [`ClosureStats`] without a shared lock. Returns the worker
+/// states in worker-index order plus the number of steals performed.
+fn run_pool<S, I, W>(
+    n_groups: usize,
+    jobs: usize,
+    schedule: BatchSchedule,
+    init: I,
+    work: W,
+) -> (Vec<S>, u64)
+where
+    S: Send,
+    I: Fn(usize) -> S + Sync,
+    W: Fn(&mut S, usize) + Sync,
+{
+    let steals = AtomicU64::new(0);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..jobs)
+        .map(|w| {
+            let start = w * n_groups / jobs;
+            let end = (w + 1) * n_groups / jobs;
+            Mutex::new((start..end).collect())
+        })
+        .collect();
+    let states = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|w| {
+                let (queues, steals, init, work) = (&queues, &steals, &init, &work);
+                scope.spawn(move || {
+                    let lock = |v: usize| queues[v].lock().expect("no panics hold a queue lock");
+                    let mut state = init(w);
+                    loop {
+                        if let Some(gi) = lock(w).pop_front() {
+                            work(&mut state, gi);
+                            continue;
+                        }
+                        if schedule == BatchSchedule::Fixed {
+                            break;
+                        }
+                        let mut stolen = VecDeque::new();
+                        for off in 1..jobs {
+                            let mut q = lock((w + off) % jobs);
+                            let len = q.len();
+                            if len > 0 {
+                                stolen = q.split_off(len - len.div_ceil(2));
+                                break;
+                            }
+                        }
+                        if stolen.is_empty() {
+                            // Every deque was empty when scanned; any group
+                            // still in flight is owned by the worker running
+                            // it, so there is nothing left to take.
+                            break;
+                        }
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        *lock(w) = stolen;
+                    }
+                    state
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    });
+    (states, steals.load(Ordering::Relaxed))
+}
+
+/// One completed group, as delivered to an [`AnalysisSink`]. Records may
+/// arrive in any order under a parallel pool — `group_index` (the group's
+/// position in first-seen user order) lets a consumer reassemble input
+/// order, and each verdict is tagged with its requirement's index in the
+/// caller's input slice.
+#[derive(Debug)]
+pub struct GroupRecord {
+    /// Index of the group in first-seen user order.
+    pub group_index: usize,
+    /// Index of the pool worker that analyzed this group (0 on the serial
+    /// path). Under [`BatchSchedule::WorkStealing`] this is the worker that
+    /// *executed* the group, which may differ from the worker whose chunk
+    /// it was seeded into — the trace of how the pool balanced the batch.
+    pub worker: usize,
+    /// The user whose capability list this group analyzed.
+    pub user: UserName,
+    /// `(requirement index, verdict)` pairs, input order within the group.
+    pub verdicts: Vec<(usize, Result<Verdict, AnalysisError>)>,
+    /// Occurrences checked across the group's requirements.
+    pub occurrences_checked: u64,
+}
+
+/// A consumer of streamed batch results. Implementations must be
+/// thread-safe: under a parallel pool, `emit` is called concurrently from
+/// worker threads as groups complete.
+pub trait AnalysisSink: Sync {
+    /// Called exactly once per group, the moment its verdicts are ready.
+    /// Ordering is unspecified when `jobs > 1`.
+    fn emit(&self, record: GroupRecord);
+}
+
+/// The simplest sink: buffer every record in completion order (tests, and
+/// consumers that want to reassemble input order themselves).
+impl AnalysisSink for Mutex<Vec<GroupRecord>> {
+    fn emit(&self, record: GroupRecord) {
+        self.lock()
+            .expect("no panics hold the sink lock")
+            .push(record);
+    }
+}
+
+/// What [`analyze_batch_streaming`] returns once the last record has been
+/// emitted: aggregate counters only — nothing per-requirement or per-group
+/// is buffered, which is the point.
+#[derive(Debug)]
+pub struct StreamSummary {
+    /// Groups analyzed (= records emitted).
+    pub groups: usize,
+    /// Requirements across all groups.
+    pub requirements: usize,
+    /// Worker threads actually used (after resolving `jobs == 0` and
+    /// clamping to the group count).
+    pub jobs_used: usize,
+    /// Steal operations performed by the work-stealing pool.
+    pub steals: u64,
+    /// Closure counters folded across all groups (zeroed unless
+    /// [`BatchOptions::collect_stats`]). Each worker merges its own groups'
+    /// stats locally and the cross-worker fold happens once at join, in
+    /// worker-index order — one merge per worker instead of one lock
+    /// round-trip per group. Totals, maxima and sticky flags are identical
+    /// to a serial fold; only the row order of the per-label tables can
+    /// differ (the merge contract sums labels wherever they sit).
+    pub closure: ClosureStats,
+    /// Total occurrences checked.
+    pub occurrences: u64,
+    /// `(len, capacity)` of the cache after this batch, when one was passed.
+    pub cache_occupancy: Option<(usize, usize)>,
+    /// Lifetime cache counters after this batch, when one was passed.
+    pub cache_stats: Option<CacheStats>,
+}
+
+/// [`analyze_batch_cached`], streaming: each group's verdicts are handed to
+/// `sink.emit` the moment the group completes, and nothing per-group is
+/// retained — memory stays flat no matter how many users the batch holds.
+/// Grouping, cache eligibility and the verdicts themselves are identical to
+/// the buffered path (the differential suite reassembles records by
+/// `group_index` and compares byte-for-byte).
+pub fn analyze_batch_streaming(
+    schema: &Schema,
+    reqs: &[Requirement],
+    config: &AnalysisConfig,
+    opts: &BatchOptions,
+    cache: Option<&ClosureCache>,
+    sink: &dyn AnalysisSink,
+) -> StreamSummary {
+    let ctx = cache.map(|cache| CacheCtx {
+        cache,
+        schema_fp: fingerprint("schema", &schema.to_string()),
+        config_fp: fingerprint("config", &format!("{config:?}")),
+    });
+    let grouped = group_by_user(reqs);
+    let n_groups = grouped.len();
+    let jobs = effective_jobs(opts.jobs).min(n_groups.max(1));
+
+    #[derive(Default)]
+    struct WorkerAcc {
+        worker: usize,
+        closure: ClosureStats,
+        occurrences: u64,
+    }
+
+    let emit_group = |acc: &mut WorkerAcc, gi: usize| {
+        let (user, idxs) = &grouped[gi];
+        let (group, verdicts) = run_group(schema, reqs, config, opts, user, idxs, ctx.as_ref());
+        acc.closure.merge(&group.stats.closure);
+        acc.occurrences += group.stats.occurrences_checked;
+        sink.emit(GroupRecord {
+            group_index: gi,
+            worker: acc.worker,
+            user: group.user,
+            verdicts,
+            occurrences_checked: group.stats.occurrences_checked,
+        });
+    };
+
+    let (accs, steals) = if jobs <= 1 {
+        let mut acc = WorkerAcc::default();
+        for gi in 0..n_groups {
+            emit_group(&mut acc, gi);
+        }
+        (vec![acc], 0)
+    } else {
+        run_pool(
+            n_groups,
+            jobs,
+            opts.schedule,
+            |w| WorkerAcc {
+                worker: w,
+                ..WorkerAcc::default()
+            },
+            emit_group,
+        )
+    };
+
+    let mut closure = ClosureStats::default();
+    let mut occurrences = 0;
+    for acc in &accs {
+        closure.merge(&acc.closure);
+        occurrences += acc.occurrences;
+    }
+    StreamSummary {
+        groups: n_groups,
+        requirements: reqs.len(),
+        jobs_used: jobs,
+        steals,
+        closure,
+        occurrences,
         cache_occupancy: cache.map(|c| (c.len(), c.capacity())),
         cache_stats: cache.map(|c| c.stats()),
     }
@@ -1368,6 +1736,7 @@ mod tests {
         let reqs = batch_reqs();
         let opts = BatchOptions {
             jobs: 2,
+            schedule: BatchSchedule::WorkStealing,
             proofs: ProofMode::Full,
             keep_artifacts: true,
             collect_stats: true,
@@ -1522,24 +1891,179 @@ mod tests {
     }
 
     #[test]
-    fn cache_evicts_oldest_past_capacity() {
+    fn cache_evicts_least_recently_used_past_capacity() {
         let s = schema();
         let config = AnalysisConfig::default();
         let opts = BatchOptions::default();
         let cache = ClosureCache::new(2);
-        for user in ["clerk", "safe_clerk", "payroll"] {
+        assert_eq!(cache.shard_count(), 1, "small caches keep exact LRU order");
+        for user in ["clerk", "safe_clerk"] {
             let r = [parse_requirement(&format!("({user}, r_salary(x) : ti)")).unwrap()];
             analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
         }
-        assert_eq!(cache.len(), 2);
-        // clerk (oldest) was evicted; safe_clerk still hits.
-        let r = [parse_requirement("(safe_clerk, r_salary(x) : ti)").unwrap()];
-        let before = cache.stats().hits;
-        analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
-        assert_eq!(cache.stats().hits, before + 1);
+        // Touch clerk so safe_clerk becomes least-recently-used; a FIFO
+        // cache would evict clerk (the oldest insert) regardless.
         let r = [parse_requirement("(clerk, r_salary(x) : ti)").unwrap()];
         analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
-        assert_eq!(cache.stats().hits, before + 1, "evicted entry misses");
+        let r = [parse_requirement("(payroll, r_salary(x) : ti)").unwrap()];
+        analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let before = cache.stats().hits;
+        let r = [parse_requirement("(clerk, r_salary(x) : ti)").unwrap()];
+        analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        assert_eq!(cache.stats().hits, before + 1, "touched entry survived");
+        let r = [parse_requirement("(safe_clerk, r_salary(x) : ti)").unwrap()];
+        analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        assert_eq!(cache.stats().hits, before + 1, "LRU entry was evicted");
+    }
+
+    #[test]
+    fn cache_striping_is_bounded_per_shard() {
+        let cache = ClosureCache::default();
+        assert_eq!(cache.capacity(), 64);
+        assert_eq!(cache.shard_count(), 8);
+        let cache = ClosureCache::with_shards(8, 4);
+        assert_eq!(cache.capacity(), 8);
+        assert_eq!(cache.shard_count(), 4);
+        let s = schema();
+        let config = AnalysisConfig::default();
+        let opts = BatchOptions::default();
+        for user in ["clerk", "safe_clerk", "payroll", "safe_payroll", "reader"] {
+            let r = [parse_requirement(&format!("({user}, r_salary(x) : ti)")).unwrap()];
+            analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        }
+        // Five distinct capability lists over 4 shards of 2: every shard
+        // stays within its bound; at most one pigeonholed eviction.
+        assert!(cache.max_shard_len() <= 2);
+        assert!(cache.len() >= 4, "len {} after 5 inserts", cache.len());
+        // Entries are findable after striping: a repeat batch hits.
+        let before = cache.stats().hits;
+        let r = [parse_requirement("(reader, r_salary(x) : ti)").unwrap()];
+        analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn jobs_zero_auto_detects_parallelism() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let expected: Vec<_> = reqs.iter().map(|r| analyze(&s, r)).collect();
+        let out = analyze_batch(
+            &s,
+            &reqs,
+            &AnalysisConfig::default(),
+            &BatchOptions {
+                jobs: 0,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(out.verdicts, expected);
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(out.jobs_used, effective_jobs(0).min(out.groups.len()));
+    }
+
+    #[test]
+    fn fixed_and_stealing_schedules_agree() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let expected: Vec<_> = reqs.iter().map(|r| analyze(&s, r)).collect();
+        for schedule in [BatchSchedule::Fixed, BatchSchedule::WorkStealing] {
+            for jobs in [2, 3, 8] {
+                let out = analyze_batch(
+                    &s,
+                    &reqs,
+                    &AnalysisConfig::default(),
+                    &BatchOptions {
+                        jobs,
+                        schedule,
+                        ..BatchOptions::default()
+                    },
+                );
+                assert_eq!(out.verdicts, expected, "jobs={jobs} schedule={schedule:?}");
+                if schedule == BatchSchedule::Fixed {
+                    assert_eq!(out.steals, 0, "fixed partitioning never steals");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_buffered_and_covers_every_group() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let config = AnalysisConfig::default();
+        for jobs in [1, 4] {
+            let opts = BatchOptions {
+                jobs,
+                ..BatchOptions::default()
+            };
+            let buffered = analyze_batch(&s, &reqs, &config, &opts);
+            let sink: Mutex<Vec<GroupRecord>> = Mutex::new(Vec::new());
+            let summary = analyze_batch_streaming(&s, &reqs, &config, &opts, None, &sink);
+            let mut records = sink.into_inner().unwrap();
+            records.sort_by_key(|r| r.group_index);
+            assert_eq!(summary.groups, buffered.groups.len());
+            assert_eq!(summary.requirements, reqs.len());
+            let users: Vec<_> = records.iter().map(|r| r.user.clone()).collect();
+            let expected_users: Vec<_> = buffered.groups.iter().map(|g| g.user.clone()).collect();
+            assert_eq!(users, expected_users, "records reassemble to group order");
+            let mut verdicts: Vec<Option<Result<Verdict, AnalysisError>>> =
+                reqs.iter().map(|_| None).collect();
+            for r in records {
+                for (i, v) in r.verdicts {
+                    verdicts[i] = Some(v);
+                }
+            }
+            let verdicts: Vec<_> = verdicts
+                .into_iter()
+                .map(|v| v.expect("every requirement streamed exactly once"))
+                .collect();
+            assert_eq!(verdicts, buffered.verdicts, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn streaming_folds_stats_per_worker() {
+        let s = schema();
+        let reqs = batch_reqs();
+        let config = AnalysisConfig::default();
+        let opts = BatchOptions {
+            jobs: 2,
+            collect_stats: true,
+            ..BatchOptions::default()
+        };
+        let sink: Mutex<Vec<GroupRecord>> = Mutex::new(Vec::new());
+        let summary = analyze_batch_streaming(&s, &reqs, &config, &opts, None, &sink);
+        // Aggregate totals equal a serial per-group fold: the per-worker
+        // batching changes merge order, which the contract says is
+        // invisible on sums, maxima and sticky flags.
+        let buffered = analyze_batch(
+            &s,
+            &reqs,
+            &config,
+            &BatchOptions {
+                jobs: 1,
+                collect_stats: true,
+                ..BatchOptions::default()
+            },
+        );
+        let mut expect = ClosureStats::default();
+        for g in &buffered.groups {
+            expect.merge(&g.stats.closure);
+        }
+        assert_eq!(summary.closure.total_terms(), expect.total_terms());
+        assert_eq!(summary.closure.rounds, expect.rounds);
+        assert_eq!(summary.closure.derive_calls, expect.derive_calls);
+        assert_eq!(summary.closure.worklist_peak, expect.worklist_peak);
+        assert_eq!(
+            summary.occurrences,
+            buffered
+                .groups
+                .iter()
+                .map(|g| g.stats.occurrences_checked)
+                .sum::<u64>()
+        );
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! throughput experiment. [`multi_user_deep`] is its deep-expression
 //! sibling for the demand-vs-full comparison: per-user closures are big
 //! enough that goal-directed slicing pays.
+//!
+//! Two population-scale batch families feed the `population` experiment:
+//! [`zipf_population`] draws up to a million users over a few thousand
+//! Zipf-popular grant profiles (identically granted users collapse onto
+//! one `ClosureCache` fingerprint each), and [`skewed_groups`] plants one
+//! giant group in a sea of tiny ones — the skew the work-stealing batch
+//! scheduler exists to absorb.
 
 use oodb_lang::ast::{AccessFnDef, BasicOp, Expr};
 use oodb_lang::requirement::{Cap, Requirement};
@@ -280,6 +287,217 @@ pub fn multi_user_deep(users: usize, depth: usize) -> BatchCase {
     }
 }
 
+/// A population-scale batch case: `users` users drawn over `fingerprints`
+/// distinct grant profiles with Zipf-distributed popularity.
+///
+/// Profile `k` grants one probe `p{k}(c) = r_a{k}(c) >= k`, plus the write
+/// `w_a{k}` when `k` is even — so even-profile users violate their
+/// requirement and odd-profile users do not, and verdict mixes are visible
+/// at a glance. Every user of a profile holds a *clone* of the same
+/// capability list, which is the point: the `ClosureCache` keys on the
+/// capability-list fingerprint, not the user name, so a million users
+/// collapse onto at most `fingerprints` closure computations. Popularity
+/// follows a Zipf law with exponent ~1.07 (rank-1 profile most popular),
+/// matching the skew real grant tables show.
+///
+/// The requirement for user `u{j}` of profile `k` probes `r_a{k}` for `ti`
+/// on return — identical goals across a profile, so repeat groups are pure
+/// cache hits.
+pub fn zipf_population(users: usize, fingerprints: usize, seed: u64) -> BatchCase {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let users = users.max(1);
+    let fingerprints = fingerprints.max(1);
+    let mut schema = Schema::new();
+    schema
+        .classes
+        .insert(single_int_class(fingerprints))
+        .expect("one class");
+    let mut profiles: Vec<CapabilityList> = Vec::with_capacity(fingerprints);
+    for k in 0..fingerprints {
+        schema.functions.insert(
+            format!("p{k}").into(),
+            AccessFnDef {
+                name: format!("p{k}").into(),
+                params: vec![(VarName::new("c"), Type::class("C"))],
+                ret: Type::BOOL,
+                body: Expr::bin(
+                    BasicOp::Ge,
+                    Expr::read(format!("a{k}"), Expr::var("c")),
+                    Expr::int(k as i64),
+                ),
+            },
+        );
+        let mut caps = CapabilityList::new();
+        caps.grant(FnRef::access(format!("p{k}")));
+        if k % 2 == 0 {
+            caps.grant(FnRef::write(format!("a{k}")));
+        }
+        profiles.push(caps);
+    }
+    // Zipf over profile ranks: weight(k) = 1 / (k+1)^s, sampled by
+    // inverting the cumulative weight table with one 53-bit uniform draw.
+    const ZIPF_S: f64 = 1.07;
+    let mut cumulative = Vec::with_capacity(fingerprints);
+    let mut total = 0.0_f64;
+    for k in 0..fingerprints {
+        total += 1.0 / ((k + 1) as f64).powf(ZIPF_S);
+        cumulative.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requirements = Vec::with_capacity(users);
+    for j in 0..users {
+        let u = rng.gen_range(0u64..(1 << 53)) as f64 / (1u64 << 53) as f64;
+        let r = u * total;
+        let k = cumulative.partition_point(|&c| c < r).min(fingerprints - 1);
+        schema
+            .users
+            .insert(format!("u{j}").into(), profiles[k].clone());
+        requirements.push(Requirement::on_return(
+            format!("u{j}"),
+            FnRef::read(format!("a{k}")),
+            1,
+            vec![Cap::Ti],
+        ));
+    }
+    oodb_lang::check_schema(&schema).expect("population schema checks");
+    BatchCase {
+        schema,
+        requirements,
+    }
+}
+
+/// A pathologically skewed batch: user `u0` holds `giant_width` probes
+/// (its group's closure carries the quadratic argument-equality clique of
+/// [`wide_grants`] at that width) while every other user holds only
+/// `tiny_width` — one giant group next to `users - 1` tiny ones.
+///
+/// Built for the scheduler comparison: under [`BatchSchedule::Fixed`]
+/// (static contiguous chunks) the worker that draws the giant group also
+/// owns a full chunk of tiny ones and finishes last while its neighbours
+/// idle; work stealing drains the tiny groups around the giant instead.
+/// Aim `giant_width²` at roughly `(users · tiny_width²) / jobs` so the
+/// giant group sets the makespan floor and the tiny tail is worth
+/// redistributing.
+///
+/// [`BatchSchedule::Fixed`]: secflow::algorithm::BatchSchedule
+pub fn skewed_groups(users: usize, giant_width: usize, tiny_width: usize) -> BatchCase {
+    let users = users.max(1);
+    let giant_width = giant_width.max(1);
+    let tiny_width = tiny_width.max(1);
+    let attrs = giant_width + (users - 1) * tiny_width;
+    let mut schema = Schema::new();
+    schema
+        .classes
+        .insert(single_int_class(attrs))
+        .expect("one class");
+    let mut requirements = Vec::with_capacity(users);
+    let mut base = 0;
+    for j in 0..users {
+        let width = if j == 0 { giant_width } else { tiny_width };
+        let mut caps = CapabilityList::new();
+        for i in 0..width {
+            let a = base + i;
+            schema.functions.insert(
+                format!("p{a}").into(),
+                AccessFnDef {
+                    name: format!("p{a}").into(),
+                    params: vec![(VarName::new("c"), Type::class("C"))],
+                    ret: Type::BOOL,
+                    body: Expr::bin(
+                        BasicOp::Ge,
+                        Expr::read(format!("a{a}"), Expr::var("c")),
+                        Expr::int(a as i64),
+                    ),
+                },
+            );
+            caps.grant(FnRef::access(format!("p{a}")));
+        }
+        caps.grant(FnRef::write(format!("a{base}")));
+        schema.users.insert(format!("u{j}").into(), caps);
+        requirements.push(Requirement::on_return(
+            format!("u{j}"),
+            FnRef::read(format!("a{base}")),
+            1,
+            vec![Cap::Ti],
+        ));
+        base += width;
+    }
+    oodb_lang::check_schema(&schema).expect("skewed schema checks");
+    BatchCase {
+        schema,
+        requirements,
+    }
+}
+
+/// The static-chunking adversary: the first `giants` users each hold
+/// `giant_width` probes while every later user holds only `tiny_width` —
+/// all the heavy groups sit *contiguously at the front* of group order.
+///
+/// [`skewed_groups`] spreads the pain thin (one giant); this variant
+/// concentrates it. A fixed contiguous partition at `jobs` workers hands
+/// worker 0 the whole giant cluster (pick `giants ≤ users / jobs` so the
+/// cluster fits one chunk) and its critical path is the *sum* of every
+/// giant's closure cost, while the other workers' chunks drain almost
+/// immediately. A work-stealing pool redistributes the queued giants the
+/// moment the tiny chunks dry up, so its critical path drops toward
+/// `giants / jobs` giant-costs — the gap between the two is the scheduler
+/// duel the `population` bench experiment measures.
+pub fn clustered_giants(
+    users: usize,
+    giants: usize,
+    giant_width: usize,
+    tiny_width: usize,
+) -> BatchCase {
+    let users = users.max(1);
+    let giants = giants.clamp(1, users);
+    let giant_width = giant_width.max(1);
+    let tiny_width = tiny_width.max(1);
+    let attrs = giants * giant_width + (users - giants) * tiny_width;
+    let mut schema = Schema::new();
+    schema
+        .classes
+        .insert(single_int_class(attrs))
+        .expect("one class");
+    let mut requirements = Vec::with_capacity(users);
+    let mut base = 0;
+    for j in 0..users {
+        let width = if j < giants { giant_width } else { tiny_width };
+        let mut caps = CapabilityList::new();
+        for i in 0..width {
+            let a = base + i;
+            schema.functions.insert(
+                format!("p{a}").into(),
+                AccessFnDef {
+                    name: format!("p{a}").into(),
+                    params: vec![(VarName::new("c"), Type::class("C"))],
+                    ret: Type::BOOL,
+                    body: Expr::bin(
+                        BasicOp::Ge,
+                        Expr::read(format!("a{a}"), Expr::var("c")),
+                        Expr::int(a as i64),
+                    ),
+                },
+            );
+            caps.grant(FnRef::access(format!("p{a}")));
+        }
+        caps.grant(FnRef::write(format!("a{base}")));
+        schema.users.insert(format!("u{j}").into(), caps);
+        requirements.push(Requirement::on_return(
+            format!("u{j}"),
+            FnRef::read(format!("a{base}")),
+            1,
+            vec![Cap::Ti],
+        ));
+        base += width;
+    }
+    oodb_lang::check_schema(&schema).expect("clustered schema checks");
+    BatchCase {
+        schema,
+        requirements,
+    }
+}
+
 /// `n` probes `q_i(x, c) = (x + r_a0(c)) >= i` over one shared attribute;
 /// the user holds all of them plus `w_a0`.
 ///
@@ -433,5 +651,130 @@ mod tests {
         let v = analyze(&case.schema, &case.requirement).unwrap();
         // r_a0 is granted directly: trivially violated.
         assert!(v.is_violated());
+    }
+
+    #[test]
+    fn zipf_population_is_deterministic_and_skewed() {
+        let a = zipf_population(500, 16, 9);
+        let b = zipf_population(500, 16, 9);
+        assert_eq!(a.schema.to_string(), b.schema.to_string());
+        assert_eq!(a.requirements.len(), 500);
+        assert_eq!(
+            format!("{:?}", a.requirements),
+            format!("{:?}", b.requirements),
+            "same seed, same draws"
+        );
+        // Popularity is Zipf-skewed: the top profile holds far more users
+        // than the uniform share (500 / 16 ≈ 31).
+        let mut by_target: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        for r in &a.requirements {
+            *by_target.entry(format!("{:?}", r.target)).or_default() += 1;
+        }
+        assert!(by_target.len() <= 16);
+        let top = by_target.values().max().copied().unwrap();
+        assert!(top > 90, "rank-1 profile only drew {top} of 500 users");
+    }
+
+    #[test]
+    fn zipf_population_collapses_onto_fingerprint_cache() {
+        use secflow::algorithm::{
+            analyze, analyze_batch_cached, AnalysisConfig, BatchOptions, ClosureCache,
+        };
+        let case = zipf_population(300, 8, 42);
+        let cache = ClosureCache::with_shards(16, 2);
+        let out = analyze_batch_cached(
+            &case.schema,
+            &case.requirements,
+            &AnalysisConfig::default(),
+            &BatchOptions::default(),
+            Some(&cache),
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 300, "one cache probe per group");
+        assert!(
+            stats.misses <= 8,
+            "at most one miss per fingerprint, got {}",
+            stats.misses
+        );
+        assert_eq!(stats.union_recomputes, 0, "profiles share goal shapes");
+        // Verdicts match per-requirement analysis, and both polarities
+        // occur (even profiles write their probed attribute, odd do not).
+        let mut violated = 0;
+        for (req, v) in case.requirements.iter().zip(&out.verdicts) {
+            let expect = analyze(&case.schema, req).unwrap();
+            assert_eq!(v.as_ref().unwrap(), &expect, "{req}");
+            violated += usize::from(expect.is_violated());
+        }
+        assert!(violated > 0 && violated < 300, "mixed verdicts: {violated}");
+    }
+
+    #[test]
+    fn skewed_groups_flag_every_user_under_both_schedules() {
+        use secflow::algorithm::{analyze_batch, AnalysisConfig, BatchOptions, BatchSchedule};
+        let case = skewed_groups(9, 8, 2);
+        assert_eq!(case.requirements.len(), 9);
+        let fixed = analyze_batch(
+            &case.schema,
+            &case.requirements,
+            &AnalysisConfig::default(),
+            &BatchOptions {
+                jobs: 4,
+                schedule: BatchSchedule::Fixed,
+                ..BatchOptions::default()
+            },
+        );
+        // Every user writes its slice head and probes it.
+        for v in &fixed.verdicts {
+            assert!(v.as_ref().unwrap().is_violated());
+        }
+        assert_eq!(fixed.steals, 0);
+        let stealing = analyze_batch(
+            &case.schema,
+            &case.requirements,
+            &AnalysisConfig::default(),
+            &BatchOptions {
+                jobs: 4,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(stealing.verdicts, fixed.verdicts);
+    }
+
+    #[test]
+    fn clustered_giants_front_loads_the_heavy_groups() {
+        use secflow::algorithm::{analyze_batch, AnalysisConfig, BatchOptions, BatchSchedule};
+        let case = clustered_giants(12, 3, 8, 2);
+        assert_eq!(case.requirements.len(), 12);
+        // The first `giants` users hold the wide capability lists; probe
+        // count is width + 1 (the write grant).
+        for (j, req) in case.requirements.iter().enumerate() {
+            let caps = case.schema.users.get(&req.user).unwrap();
+            let expect = if j < 3 { 8 + 1 } else { 2 + 1 };
+            assert_eq!(caps.len(), expect, "user u{j} capability count");
+        }
+        let fixed = analyze_batch(
+            &case.schema,
+            &case.requirements,
+            &AnalysisConfig::default(),
+            &BatchOptions {
+                jobs: 4,
+                schedule: BatchSchedule::Fixed,
+                ..BatchOptions::default()
+            },
+        );
+        for v in &fixed.verdicts {
+            assert!(v.as_ref().unwrap().is_violated());
+        }
+        let stealing = analyze_batch(
+            &case.schema,
+            &case.requirements,
+            &AnalysisConfig::default(),
+            &BatchOptions {
+                jobs: 4,
+                ..BatchOptions::default()
+            },
+        );
+        assert_eq!(stealing.verdicts, fixed.verdicts);
     }
 }

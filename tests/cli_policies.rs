@@ -14,6 +14,7 @@ fn check_stockbroker_policy_file() {
         jobs: 1,
         full_saturation: false,
         certify: false,
+        stream: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (clerk, r_salary(x):ti)"));
@@ -33,6 +34,7 @@ fn check_hospital_policy_file() {
         jobs: 1,
         full_saturation: false,
         certify: false,
+        stream: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (auditor, r_bill(x):ti)"));
@@ -49,6 +51,7 @@ fn bank_policy_shows_pessimism() {
         jobs: 1,
         full_saturation: false,
         certify: false,
+        stream: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (teller, r_balance(x):ti)"));
@@ -94,6 +97,7 @@ fn missing_file_exits_three() {
         jobs: 1,
         full_saturation: false,
         certify: false,
+        stream: false,
     });
     assert_eq!(code, secflow_cli::exit::INPUT);
     assert!(report.contains("cannot read"));
@@ -109,6 +113,7 @@ fn exit_codes_are_distinct_per_outcome_class() {
         jobs: 1,
         full_saturation: false,
         certify: false,
+        stream: false,
     });
     // 1: a policy with a flaw.
     let (_, violated) = run(&Command::Check {
@@ -117,6 +122,7 @@ fn exit_codes_are_distinct_per_outcome_class() {
         jobs: 1,
         full_saturation: false,
         certify: false,
+        stream: false,
     });
     // 2: a usage error (unknown flag) — rejected at parse time; the binary
     // shim maps this to exit::USAGE.
@@ -128,6 +134,7 @@ fn exit_codes_are_distinct_per_outcome_class() {
         jobs: 1,
         full_saturation: false,
         certify: false,
+        stream: false,
     });
     assert_eq!(ok, exit::OK);
     assert_eq!(violated, exit::VIOLATION);
@@ -157,6 +164,7 @@ fn certify_passes_on_every_policy_file() {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         });
         let (report, code) = run(&Command::Check {
             file: policy(name),
@@ -164,6 +172,7 @@ fn certify_passes_on_every_policy_file() {
             jobs: 1,
             full_saturation: false,
             certify: true,
+            stream: false,
         });
         assert_eq!(code, plain.1, "{name}: --certify changed the exit code");
         assert!(
@@ -186,6 +195,7 @@ fn full_saturation_matches_demand_on_policy_files() {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         });
         let full = run(&Command::Check {
             file: policy(name),
@@ -193,6 +203,7 @@ fn full_saturation_matches_demand_on_policy_files() {
             jobs: 1,
             full_saturation: true,
             certify: false,
+            stream: false,
         });
         assert_eq!(demand, full, "{name}: --full-saturation changed the output");
     }
@@ -275,6 +286,7 @@ fn audit_agrees_with_check_on_every_policy_file() {
             jobs: 1,
             full_saturation: false,
             certify: false,
+            stream: false,
         });
         let (_, audit_code) = audit(policy(name), AuditFormat::Text);
         assert_eq!(
