@@ -487,53 +487,69 @@ fn write_demand_blob(rows: &[DemandRow], b: &DemandBatchRow) {
 
 fn run_saturation(smoke: bool, write_json: bool) {
     banner(&format!(
-        "saturation — semi-naive delta engine vs naive full sweeps{}",
+        "saturation — chunked kernels vs scalar semi-naive vs naive sweeps{}",
         if smoke { " (smoke sizes)" } else { "" }
     ));
     println!(
-        "{:<16} {:>6} {:>8} {:>8} {:>11} {:>10} {:>8} {:>12} {:>12} {:>10}",
+        "{:<16} {:>6} {:>6} {:>9} {:>11} {:>10} {:>10} {:>8} {:>12} {:>12} {:>10}",
         "family",
         "param",
         "nodes",
         "terms",
         "naive (us)",
         "semi (us)",
+        "chunk (us)",
         "speedup",
-        "naive tries",
-        "semi tries",
+        "semi tps",
+        "chunk tps",
         "identical"
     );
-    let rows = saturation_naive_vs_semi(smoke);
+    let rows = saturation_modes(smoke);
     for r in &rows {
         println!(
-            "{:<16} {:>6} {:>8} {:>8} {:>11} {:>10} {:>7.2}x {:>12} {:>12} {:>10}",
+            "{:<16} {:>6} {:>6} {:>9} {:>11} {:>10} {:>10} {:>7.2}x {:>12.0} {:>12.0} {:>10}",
             r.family,
             r.param,
             r.nodes,
             r.terms,
-            r.naive_micros,
+            r.naive_micros
+                .map_or_else(|| "-".to_owned(), |us| us.to_string()),
             r.semi_micros,
-            r.speedup(),
-            r.naive_derives,
-            r.semi_derives,
+            r.chunked_micros,
+            r.chunked_speedup(),
+            r.semi_terms_per_sec(),
+            r.chunked_terms_per_sec(),
             if r.identical { "yes" } else { "NO" },
         );
+        // Byte identity of the chunked engine against the scalar baseline
+        // is checked per row — same insertion order, rounds, witnesses.
         assert!(r.identical, "{}/{}: closures diverged", r.family, r.param);
+        // Per-row no-regression: chunked must not lose to the scalar
+        // baseline. The absolute floor absorbs timer noise on the
+        // smoke-sized instances where both runs finish in microseconds.
+        assert!(
+            r.chunked_micros <= r.semi_micros + r.semi_micros / 4 + 2_000,
+            "{}/{}: chunked {}us regressed past semi-naive {}us",
+            r.family,
+            r.param,
+            r.chunked_micros,
+            r.semi_micros
+        );
     }
     if let Some(last) = rows.last() {
         println!();
         println!(
-            "per-rule derive attempts, {}({}) — fired vs derived-new:",
+            "per-rule derive attempts, {}({}) — attempted vs derived-new:",
             last.family, last.param
         );
         println!(
             "{:<44} {:>12} {:>12} {:>10}",
-            "rule", "naive fired", "semi fired", "new"
+            "rule", "semi fired", "chunk fired", "new"
         );
         for rule in last.rules.iter().take(8) {
             println!(
                 "{:<44} {:>12} {:>12} {:>10}",
-                rule.label, rule.naive_attempts, rule.semi_attempts, rule.new_terms
+                rule.label, rule.semi_attempts, rule.chunked_attempts, rule.new_terms
             );
         }
     }
@@ -543,25 +559,42 @@ fn run_saturation(smoke: bool, write_json: bool) {
     }
 }
 
-/// Emit `BENCH_saturation.json`: per-family naive-vs-semi-naive closure
-/// timings and derive-attempt counts (with the closure-identity bit), plus
-/// per-rule fired/derived-new counters for both modes.
+/// Emit `BENCH_saturation.json`: per-family closure timings, terms/sec
+/// throughput, and derive-attempt counts for every saturation mode (with
+/// the closure-identity bit), plus per-rule fired/derived-new counters.
 fn write_saturation_blob(rows: &[SaturationRow]) {
     let mut rec = Recorder::new();
     for r in rows {
         let key = format!("saturation.{}.{}", r.family, r.param);
         rec.counter(&format!("{key}.nodes"), r.nodes as u64);
         rec.counter(&format!("{key}.terms"), r.terms as u64);
-        rec.counter(&format!("{key}.naive_micros"), r.naive_micros as u64);
+        if let Some(us) = r.naive_micros {
+            rec.counter(&format!("{key}.naive_micros"), us as u64);
+        }
         rec.counter(&format!("{key}.semi_micros"), r.semi_micros as u64);
-        rec.counter(&format!("{key}.naive_derives"), r.naive_derives);
+        rec.counter(&format!("{key}.chunked_micros"), r.chunked_micros as u64);
+        if let Some(d) = r.naive_derives {
+            rec.counter(&format!("{key}.naive_derives"), d);
+        }
         rec.counter(&format!("{key}.semi_derives"), r.semi_derives);
+        rec.counter(&format!("{key}.chunked_derives"), r.chunked_derives);
         rec.counter(&format!("{key}.identical"), u64::from(r.identical));
-        rec.gauge(&format!("{key}.speedup"), r.speedup());
+        if let Some(s) = r.naive_speedup() {
+            rec.gauge(&format!("{key}.naive_over_semi"), s);
+        }
+        rec.gauge(&format!("{key}.speedup"), r.chunked_speedup());
+        rec.gauge(&format!("{key}.semi_terms_per_sec"), r.semi_terms_per_sec());
+        rec.gauge(
+            &format!("{key}.chunked_terms_per_sec"),
+            r.chunked_terms_per_sec(),
+        );
         for rule in &r.rules {
             let rk = format!("{key}.rule.{}", rule.label);
-            rec.counter(&format!("{rk}.naive_fired"), rule.naive_attempts);
+            if let Some(n) = rule.naive_attempts {
+                rec.counter(&format!("{rk}.naive_fired"), n);
+            }
             rec.counter(&format!("{rk}.semi_fired"), rule.semi_attempts);
+            rec.counter(&format!("{rk}.chunked_fired"), rule.chunked_attempts);
             rec.counter(&format!("{rk}.new"), rule.new_terms);
         }
     }

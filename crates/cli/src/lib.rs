@@ -84,6 +84,11 @@ pub enum Command {
         /// group's first-seen position; completion order is the pool's
         /// choice when `--jobs` exceeds 1.
         stream: bool,
+        /// With `--stream`: emit each group record as one JSON object per
+        /// line (NDJSON) instead of human-readable verdict lines, plus a
+        /// final summary object. Machine-consumable streaming — schema
+        /// pinned by `ndjson_stream_schema_is_pinned`.
+        ndjson: bool,
         /// Saturate the full closure instead of the demand-driven slice.
         /// Verdicts and output are identical; this is the escape hatch for
         /// cross-checking the demand engine.
@@ -198,7 +203,7 @@ secflow — static detection of security flaws in object-oriented databases
 
 USAGE:
   secflow check  <policy-file> [--explain] [--certify] [--jobs N] [--stream]
-                               [--full-saturation]
+                               [--format=text|ndjson] [--full-saturation]
                                              run every `require`; exit 1 on flaws
                                              (--jobs fans user groups across N threads
                                              under a work-stealing scheduler; N defaults
@@ -209,7 +214,10 @@ USAGE:
                                              position, keeping memory flat however many
                                              users the policy holds — incompatible with
                                              --explain/--certify, which buffer per-group
-                                             artifacts; --full-saturation disables the
+                                             artifacts; --stream --format=ndjson emits
+                                             one compact JSON object per group record
+                                             plus a final summary object instead of
+                                             text lines; --full-saturation disables the
                                              demand-driven engine and computes the
                                              complete closure — verdicts are identical
                                              either way; --certify re-validates every
@@ -324,6 +332,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut explain = false;
             let mut jobs = 1usize;
             let mut stream = false;
+            let mut ndjson = false;
             let mut full_saturation = false;
             let mut certify = false;
             let mut args = it.peekable();
@@ -331,6 +340,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 match a.as_str() {
                     "--explain" => explain = true,
                     "--stream" => stream = true,
+                    "--format=ndjson" => ndjson = true,
+                    "--format=text" => ndjson = false,
                     "--full-saturation" => full_saturation = true,
                     "--certify" => certify = true,
                     "--jobs" => {
@@ -346,7 +357,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => {
                         return Err(format!(
                             "unexpected argument `{other}` (check accepts --explain, \
-                             --certify, --jobs N, --stream, --full-saturation)"
+                             --certify, --jobs N, --stream, --format=text|ndjson, \
+                             --full-saturation)"
                         ))
                     }
                 }
@@ -358,12 +370,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         .into(),
                 );
             }
+            if ndjson && !stream {
+                return Err(
+                    "check: --format=ndjson requires --stream (it is the streaming \
+                     record format)"
+                        .into(),
+                );
+            }
             let file = file.ok_or("check: missing policy file")?;
             Ok(Command::Check {
                 file,
                 explain,
                 jobs,
                 stream,
+                ndjson,
                 full_saturation,
                 certify,
             })
@@ -520,13 +540,14 @@ pub fn run_on_source(cmd: &Command, src: &str) -> (String, i32) {
             explain,
             jobs,
             stream,
+            ndjson,
             full_saturation,
             certify,
             ..
         } => match load_str(src) {
             Ok(schema) => {
                 if *stream {
-                    check_report_stream(&schema, *jobs, *full_saturation, None)
+                    check_report_stream(&schema, *jobs, *full_saturation, *ndjson, None)
                 } else {
                     check_report(&schema, *explain, *jobs, *full_saturation, *certify)
                 }
@@ -847,12 +868,13 @@ fn instrumented(cmd: &Command, src: &str, col: &mut Collected) -> (String, i32) 
             explain,
             jobs,
             stream,
+            ndjson,
             full_saturation,
             certify,
             ..
         } => {
             if *stream {
-                check_report_stream(&schema, *jobs, *full_saturation, Some(col))
+                check_report_stream(&schema, *jobs, *full_saturation, *ndjson, Some(col))
             } else {
                 check_report_instrumented(&schema, *explain, *jobs, *full_saturation, *certify, col)
             }
@@ -1532,10 +1554,66 @@ fn check_report(
 /// instrumented: closure stats are collected (which bypasses the cache,
 /// like the buffered instrumented path) and the streaming summary is folded
 /// into the metrics collector.
+///
+/// With `ndjson` each group record becomes exactly one compact JSON object
+/// per line — `{"group":…,"user":…,"occurrences_checked":…,"verdicts":[…]}`
+/// with per-verdict `requirement` (input index), `require` (display form)
+/// and `status` of `"satisfied"`, `"violated"` (plus `"occurrences"`) or
+/// `"error"` (plus `"error"` message) — followed by one final
+/// `{"summary":{…}}` line. The schema is pinned by
+/// `ndjson_stream_schema_is_pinned`.
+/// Render one streamed group record as a compact NDJSON object, returning
+/// the object plus the record's `(violated, error)` verdict tallies. Free
+/// function so the error arm is unit-testable without provoking a real
+/// budget blowout through the binary path (the CLI runs on default budgets,
+/// which no test-sized policy exhausts).
+fn ndjson_record(schema: &Schema, record: &GroupRecord) -> (Json, usize, usize) {
+    let mut violated = 0usize;
+    let mut errors = 0usize;
+    let mut verdicts = Vec::with_capacity(record.verdicts.len());
+    for (i, verdict) in &record.verdicts {
+        let req = &schema.requirements[*i];
+        let mut fields = vec![
+            ("requirement".to_owned(), Json::count(*i as u64)),
+            ("require".to_owned(), Json::str(&req.to_string())),
+        ];
+        match verdict {
+            Ok(Verdict::Satisfied) => {
+                fields.push(("status".to_owned(), Json::str("satisfied")));
+            }
+            Ok(Verdict::Violated(violations)) => {
+                violated += 1;
+                fields.push(("status".to_owned(), Json::str("violated")));
+                fields.push((
+                    "occurrences".to_owned(),
+                    Json::count(violations.len() as u64),
+                ));
+            }
+            Err(e) => {
+                errors += 1;
+                fields.push(("status".to_owned(), Json::str("error")));
+                fields.push(("error".to_owned(), Json::str(&e.to_string())));
+            }
+        }
+        verdicts.push(Json::Obj(fields));
+    }
+    let obj = Json::Obj(vec![
+        ("group".to_owned(), Json::count(record.group_index as u64)),
+        ("user".to_owned(), Json::str(record.user.as_str())),
+        (
+            "occurrences_checked".to_owned(),
+            Json::count(record.occurrences_checked),
+        ),
+        ("verdicts".to_owned(), Json::Arr(verdicts)),
+    ]);
+    (obj, violated, errors)
+}
+
 fn check_report_stream(
     schema: &Schema,
     jobs: usize,
     full_saturation: bool,
+    ndjson: bool,
     col: Option<&mut Collected>,
 ) -> (String, i32) {
     if schema.requirements.is_empty() {
@@ -1555,10 +1633,12 @@ fn check_report_stream(
     };
     let cache = (!stats && !full_saturation).then(closure_cache);
 
-    /// Renders each record into verdict lines under the sink lock;
-    /// violation/error tallies ride along in the same mutex.
+    /// Renders each record into verdict lines — or one NDJSON object —
+    /// under the sink lock; violation/error tallies ride along in the same
+    /// mutex.
     struct LineSink<'a> {
         schema: &'a Schema,
+        ndjson: bool,
         out: std::sync::Mutex<(String, usize, usize)>, // (text, violated, errors)
     }
     impl AnalysisSink for LineSink<'_> {
@@ -1567,23 +1647,30 @@ fn check_report_stream(
             let mut violated = 0usize;
             let mut errors = 0usize;
             let gi = record.group_index;
-            for (i, verdict) in &record.verdicts {
-                let req = &self.schema.requirements[*i];
-                match verdict {
-                    Ok(Verdict::Satisfied) => {
-                        let _ = writeln!(lines, "[g{gi}] ok    {req}");
-                    }
-                    Ok(Verdict::Violated(violations)) => {
-                        violated += 1;
-                        let _ = writeln!(
-                            lines,
-                            "[g{gi}] FLAW  {req}  ({} occurrence(s))",
-                            violations.len()
-                        );
-                    }
-                    Err(e) => {
-                        errors += 1;
-                        let _ = writeln!(lines, "[g{gi}] error {req}: {e}");
+            if self.ndjson {
+                let (obj, v, e) = ndjson_record(self.schema, &record);
+                violated += v;
+                errors += e;
+                let _ = writeln!(lines, "{obj}");
+            } else {
+                for (i, verdict) in &record.verdicts {
+                    let req = &self.schema.requirements[*i];
+                    match verdict {
+                        Ok(Verdict::Satisfied) => {
+                            let _ = writeln!(lines, "[g{gi}] ok    {req}");
+                        }
+                        Ok(Verdict::Violated(violations)) => {
+                            violated += 1;
+                            let _ = writeln!(
+                                lines,
+                                "[g{gi}] FLAW  {req}  ({} occurrence(s))",
+                                violations.len()
+                            );
+                        }
+                        Err(e) => {
+                            errors += 1;
+                            let _ = writeln!(lines, "[g{gi}] error {req}: {e}");
+                        }
                     }
                 }
             }
@@ -1596,6 +1683,7 @@ fn check_report_stream(
 
     let sink = LineSink {
         schema,
+        ndjson,
         out: std::sync::Mutex::new((String::new(), 0, 0)),
     };
     let summary = analyze_batch_streaming(
@@ -1607,11 +1695,28 @@ fn check_report_stream(
         &sink,
     );
     let (mut out, violated, errors) = sink.out.into_inner().expect("no panics hold the sink lock");
-    let _ = writeln!(
-        out,
-        "{} requirement(s), {} violated — streamed {} group(s) on {} worker(s)",
-        summary.requirements, violated, summary.groups, summary.jobs_used
-    );
+    if ndjson {
+        let obj = Json::Obj(vec![(
+            "summary".to_owned(),
+            Json::Obj(vec![
+                (
+                    "requirements".to_owned(),
+                    Json::count(summary.requirements as u64),
+                ),
+                ("violated".to_owned(), Json::count(violated as u64)),
+                ("errors".to_owned(), Json::count(errors as u64)),
+                ("groups".to_owned(), Json::count(summary.groups as u64)),
+                ("workers".to_owned(), Json::count(summary.jobs_used as u64)),
+            ]),
+        )]);
+        let _ = writeln!(out, "{obj}");
+    } else {
+        let _ = writeln!(
+            out,
+            "{} requirement(s), {} violated — streamed {} group(s) on {} worker(s)",
+            summary.requirements, violated, summary.groups, summary.jobs_used
+        );
+    }
     if let Some(col) = col {
         col.closure.merge(&summary.closure);
         col.occurrences = summary.occurrences;
@@ -1799,6 +1904,7 @@ mod tests {
                 full_saturation: false,
                 certify: false,
                 stream: false,
+                ndjson: false,
             })
         );
         assert_eq!(
@@ -1831,6 +1937,7 @@ mod tests {
                 full_saturation: false,
                 certify: false,
                 stream: false,
+                ndjson: false,
             })
         );
         assert!(parse_args(&s(&["check", "p.sfl", "--jobs"])).is_err());
@@ -1845,6 +1952,7 @@ mod tests {
                 full_saturation: false,
                 certify: false,
                 stream: false,
+                ndjson: false,
             })
         );
     }
@@ -1860,12 +1968,123 @@ mod tests {
                 full_saturation: false,
                 certify: false,
                 stream: true,
+                ndjson: false,
             })
         );
         // --stream buffers nothing, so the artifact-hungry flags conflict.
         let err = parse_args(&s(&["check", "p.sfl", "--stream", "--explain"])).unwrap_err();
         assert!(err.contains("--stream"), "{err}");
         assert!(parse_args(&s(&["check", "p.sfl", "--stream", "--certify"])).is_err());
+    }
+
+    #[test]
+    fn ndjson_flag_parsing() {
+        assert_eq!(
+            parse_args(&s(&["check", "p.sfl", "--stream", "--format=ndjson"])),
+            Ok(Command::Check {
+                file: "p.sfl".into(),
+                explain: false,
+                jobs: 1,
+                full_saturation: false,
+                certify: false,
+                stream: true,
+                ndjson: true,
+            })
+        );
+        // --format=text is the accepted default spelling.
+        assert_eq!(
+            parse_args(&s(&["check", "p.sfl", "--stream", "--format=text"])),
+            Ok(Command::Check {
+                file: "p.sfl".into(),
+                explain: false,
+                jobs: 1,
+                full_saturation: false,
+                certify: false,
+                stream: true,
+                ndjson: false,
+            })
+        );
+        // The record format only exists on the streaming path.
+        let err = parse_args(&s(&["check", "p.sfl", "--format=ndjson"])).unwrap_err();
+        assert!(err.contains("--stream"), "{err}");
+        assert!(parse_args(&s(&["check", "p.sfl", "--format=xml"])).is_err());
+    }
+
+    /// The satellite golden test: the NDJSON stream's schema — key names,
+    /// key order, status vocabulary, and the trailing summary object — is
+    /// pinned byte for byte (serial run, so record order is first-seen
+    /// group order).
+    #[test]
+    fn ndjson_stream_schema_is_pinned() {
+        let cmd = Command::Check {
+            file: "-".into(),
+            explain: false,
+            jobs: 1,
+            full_saturation: false,
+            certify: false,
+            stream: true,
+            ndjson: true,
+        };
+        let (out, code) = run_on_source(&cmd, POLICY);
+        assert_eq!(code, 1, "{out}");
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "{\"group\":0,\"user\":\"clerk\",\"occurrences_checked\":1,\"verdicts\":\
+                 [{\"requirement\":0,\"require\":\"(clerk, r_salary(x):ti)\",\
+                 \"status\":\"violated\",\"occurrences\":1}]}",
+                "{\"group\":1,\"user\":\"safe_clerk\",\"occurrences_checked\":1,\"verdicts\":\
+                 [{\"requirement\":1,\"require\":\"(safe_clerk, r_salary(x):ti)\",\
+                 \"status\":\"satisfied\"}]}",
+                "{\"summary\":{\"requirements\":2,\"violated\":1,\"errors\":0,\
+                 \"groups\":2,\"workers\":1}}",
+            ],
+        );
+        // Every line is a standalone JSON document (the NDJSON contract),
+        // and verdict counts agree with the buffered path's exit code.
+        for line in &lines {
+            Json::parse(line).expect("each stream line parses as JSON");
+        }
+    }
+
+    #[test]
+    fn ndjson_stream_reports_errors_per_group() {
+        // An analysis error surfaces on the verdict object as status
+        // "error" plus the error message. Exercised against the renderer
+        // directly: the streaming path runs on default budgets, which no
+        // test-sized policy can exhaust, so the record is built by hand
+        // with a budget-blowout verdict.
+        let schema = parse_schema(POLICY).unwrap();
+        check_schema(&schema).unwrap();
+        let record = GroupRecord {
+            group_index: 3,
+            worker: 0,
+            user: oodb_model::UserName::new("clerk"),
+            verdicts: vec![(
+                1,
+                Err(secflow::algorithm::AnalysisError::Closure(
+                    secflow::closure::ClosureError::TermLimit { limit: 64 },
+                )),
+            )],
+            occurrences_checked: 0,
+        };
+        let (obj, violated, errors) = ndjson_record(&schema, &record);
+        assert_eq!((violated, errors), (0, 1));
+        let line = obj.to_string();
+        let parsed = Json::parse(&line).expect("record renders as one JSON object");
+        assert_eq!(parsed.get("group").and_then(Json::as_u64), Some(3));
+        let verdicts = parsed.get("verdicts").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            verdicts[0].get("status").and_then(Json::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            verdicts[0].get("requirement").and_then(Json::as_u64),
+            Some(1)
+        );
+        let msg = verdicts[0].get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("budget of 64 terms"), "{msg}");
     }
 
     #[test]
@@ -1877,6 +2096,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let (plain, plain_code) = run_on_source(&buffered, POLICY);
         for jobs in [1usize, 4] {
@@ -1887,6 +2107,7 @@ mod tests {
                 full_saturation: false,
                 certify: false,
                 stream: true,
+                ndjson: false,
             };
             let (out, code) = run_on_source(&streamed, POLICY);
             assert_eq!(code, plain_code, "stream must keep the exit code\n{out}");
@@ -1918,6 +2139,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: true,
+            ndjson: false,
         };
         let obs = ObsOptions {
             metrics: Some(MetricsFormat::Json),
@@ -1944,6 +2166,7 @@ mod tests {
                 full_saturation: true,
                 certify: false,
                 stream: false,
+                ndjson: false,
             })
         );
         // Unknown check flags mention the escape hatch.
@@ -1960,6 +2183,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let full = Command::Check {
             file: "-".into(),
@@ -1968,6 +2192,7 @@ mod tests {
             full_saturation: true,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         assert_eq!(
             run_on_source(&demand, POLICY),
@@ -1985,6 +2210,7 @@ mod tests {
             full_saturation: true,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -2001,6 +2227,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let first = run_on_source(&cmd, POLICY);
         let hits_before = closure_cache().stats().hits;
@@ -2021,6 +2248,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let parallel = Command::Check {
             file: "-".into(),
@@ -2029,6 +2257,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         assert_eq!(
             run_on_source(&serial, POLICY),
@@ -2059,6 +2288,7 @@ mod tests {
                 full_saturation: false,
                 certify: false,
                 stream: false,
+                ndjson: false,
             }
         );
         assert_eq!(obs.metrics, Some(MetricsFormat::Json));
@@ -2119,6 +2349,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let (plain, plain_code) = run_on_source(&cmd, POLICY);
         // Metrics on + trace without a file: the trace is dropped, stderr
@@ -2191,6 +2422,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let out = run_on_source_with_obs(
             &cmd,
@@ -2307,6 +2539,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -2324,6 +2557,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let (report, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, 1);
@@ -2393,6 +2627,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let (report, code) = run_on_source(&cmd, "class C { x: bogus_type }");
         assert_eq!(code, exit::INPUT);
@@ -2410,6 +2645,7 @@ mod tests {
                 full_saturation: false,
                 certify: true,
                 stream: false,
+                ndjson: false,
             })
         );
         // Unknown check flags mention --certify among the accepted set.
@@ -2426,6 +2662,7 @@ mod tests {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         };
         let certified = Command::Check {
             file: "-".into(),
@@ -2434,6 +2671,7 @@ mod tests {
             full_saturation: false,
             certify: true,
             stream: false,
+            ndjson: false,
         };
         let (plain_out, plain_code) = run_on_source(&plain, POLICY);
         let (out, code) = run_on_source(&certified, POLICY);
@@ -2498,6 +2736,7 @@ mod tests {
             full_saturation: true,
             certify: true,
             stream: false,
+            ndjson: false,
         };
         let (out, code) = run_on_source(&cmd, POLICY);
         assert_eq!(code, exit::VIOLATION);

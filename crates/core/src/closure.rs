@@ -1,19 +1,28 @@
 //! The closure engine: semi-naive saturation of `F(F)` with proof recording.
 //!
-//! Terms are interned as packed [`TermId`] keys in an [`FxHashSet`]; dense
-//! per-expression capability tables (plain `Vec`s indexed by `ExprId` and
+//! Terms are interned as packed [`TermId`] keys kept in an insertion-order
+//! log; dense per-expression capability tables (indexed by `ExprId` and
 //! sized from the [`NProgram`]) replace hash-map indexes on the hot path. A
 //! worklist drives propagation, so every rule fires once per new premise.
 //!
-//! Under [`SaturationMode::SemiNaive`] (the default) the worklist is
-//! evaluated as a semi-naive delta fixpoint: packed bit-grid mirrors of
-//! the capability tables answer the dedup probe with one mask test before
-//! any hashing, and per-node dirty kind-masks skip local-rule evaluations
-//! whose premise tables have not changed since the node's rules last ran.
+//! Under [`SaturationMode::Chunked`] (the default) the worklist is
+//! evaluated as a semi-naive delta fixpoint over SIMD-width kernels:
+//! chunk-padded bit-grid mirrors of the capability tables — the dense
+//! ones carved from one bump arena ([`crate::arena`]), the sparse pi*
+//! pair grids allocated lazily on first touch — answer the dedup probe
+//! with a mask test (no hashing at all: the mirrors are exact, so the
+//! interned set degenerates to an append-only log), bulk row checks run
+//! as branch-free 4×u64 lane loops ([`crate::kernels`]) that either skip
+//! a whole scan or materialize its not-yet-mirrored difference row as a
+//! per-entry prefilter, and per-node dirty kind-masks skip local-rule
+//! evaluations whose premise tables have not changed since the node's
+//! rules last ran.
+//! [`SaturationMode::SemiNaive`] retains the word-at-a-time scalar delta
+//! engine as the dueling baseline for the kernels, and
 //! [`SaturationMode::Naive`] keeps the PR-2 behaviour (full re-evaluation,
-//! hash-only dedup) as an in-engine baseline; both modes produce
-//! byte-identical closures — same insertion order, rounds, witnesses and
-//! proofs (see DESIGN.md §12 for the exactness argument).
+//! hash-only dedup). All three modes produce byte-identical closures —
+//! same insertion order, rounds, witnesses and proofs (see DESIGN.md §12
+//! and §16 for the exactness argument).
 //!
 //! Proof recording is a mode: under [`ProofMode::Full`] every derived term
 //! records the rule label and the exact premise terms that produced it,
@@ -34,9 +43,11 @@
 //! witness origins. [`crate::reference`] keeps a slow-path twin of this
 //! traversal for differential testing.
 
+use crate::arena::{Bump, Csr, Span};
 use crate::basics::{kind, rules_for, LCap, LTerm, LocalRule, Slot};
 use crate::demand::{DemandPlan, GoalTracker};
 use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::kernels::{self, ExceptMask};
 use crate::rules::{axioms_with, labels, RuleConfig};
 use crate::stats::{ClosureObserver, ClosureStats, NoopObserver};
 use crate::term::{Dir, Origin, Term, TermId};
@@ -72,21 +83,60 @@ pub enum ProofMode {
 
 /// Which evaluation strategy drives the saturation worklist.
 ///
-/// Both strategies compute the *same* closure — identical term insertion
+/// All strategies compute the *same* closure — identical term insertion
 /// order, rounds, witnesses and proofs — so the choice is purely a
-/// performance knob. `Naive` is kept as the in-engine baseline for the
-/// `saturation` bench experiment and the differential suites.
+/// performance knob. `Naive` and `SemiNaive` are kept as in-engine
+/// baselines for the `saturation` bench experiment and the differential
+/// suites.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SaturationMode {
     /// Re-evaluate the full local rule set of every touched node on every
     /// pop, with a hash probe per derive call (the pre-rework engine).
     Naive,
-    /// Semi-naive delta evaluation: per-node dirty kind-masks gate
-    /// local-rule evaluation and packed bitset mirrors of the capability
-    /// tables answer the dedup check without hashing.
-    #[default]
+    /// Semi-naive delta evaluation over word-at-a-time scalar kernels:
+    /// per-node dirty kind-masks gate local-rule evaluation and packed
+    /// bitset mirrors of the capability tables answer the dedup check
+    /// before the hash probe. Retained as the scalar baseline the chunked
+    /// kernels are dueled against.
     SemiNaive,
+    /// Semi-naive delta evaluation over chunk-padded SIMD-width kernels
+    /// ([`crate::kernels`]) with every grid carved from one bump arena
+    /// ([`crate::arena`]). The mirrors are exact for every term kind, so
+    /// dedup needs no hash set at all — the interner becomes an
+    /// append-only log.
+    #[default]
+    Chunked,
 }
+
+/// How the engine orders a node's local rules when it evaluates them.
+///
+/// Rule order within one node evaluation decides which conclusions enter
+/// the worklist first, so the two schedules produce set-identical (but not
+/// byte-identical) closures; within one schedule every [`SaturationMode`]
+/// stays byte-identical, because the profile that drives reordering counts
+/// only *insertions* — which are mode-invariant — and re-sorts on a fixed
+/// round cadence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RuleSchedule {
+    /// Fire rules in the declared metarule order (the historical order the
+    /// differential oracles pin).
+    #[default]
+    Declared,
+    /// Profile-guided: fire each operator's rules in descending observed
+    /// productivity (terms actually inserted per rule), re-sorted every
+    /// [`PROFILE_CADENCE`] rounds. Optionally seeded from a prior run's
+    /// [`ClosureStats`] rule counters (`profile` argument of
+    /// [`Closure::compute_scheduled`]); productive conclusions then enter
+    /// the worklist earlier, which dedups re-derivations sooner on
+    /// refiring-heavy programs.
+    Profiled,
+}
+
+/// Rounds between profile re-sorts under [`RuleSchedule::Profiled`]. A
+/// fixed cadence keeps the schedule a function of round number and
+/// insertion counts only — both mode-invariant — so profiled runs stay
+/// byte-identical across [`SaturationMode`]s.
+pub const PROFILE_CADENCE: usize = 256;
 
 /// Closure failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -117,11 +167,13 @@ pub const DEFAULT_TERM_LIMIT: usize = 2_000_000;
 /// program.
 ///
 /// Capability lookups (`has_ta` … `equal_to`) are O(1) reads of dense
-/// tables indexed by `ExprId`; `contains` is one Fx-hash probe of the
-/// interned term set.
+/// tables indexed by `ExprId`; `contains` reads the same tables. The
+/// interned-term payload is a single bump slab: an insertion-ordered
+/// [`TermId`] log, which is all the engine needs once the bit mirrors
+/// answer membership (see DESIGN.md §16).
 #[derive(Debug)]
 pub struct Closure {
-    terms: FxHashSet<TermId>,
+    log: Vec<TermId>,
     proofs: FxHashMap<TermId, Derivation>,
     mode: ProofMode,
     ta: Vec<bool>,
@@ -173,9 +225,18 @@ impl Closure {
         mode: ProofMode,
         sat: SaturationMode,
     ) -> Result<Closure, ClosureError> {
-        Engine::new(prog, *config, limit, mode, sat, NoopObserver)
-            .run()
-            .0
+        Engine::new(
+            prog,
+            *config,
+            limit,
+            mode,
+            sat,
+            RuleSchedule::Declared,
+            None,
+            NoopObserver,
+        )
+        .run()
+        .0
     }
 
     /// Like [`Closure::compute_with`], but also return [`ClosureStats`]
@@ -205,8 +266,11 @@ impl Closure {
     }
 
     /// [`Closure::compute_with_stats_mode`] with an explicit
-    /// [`SaturationMode`]. The closure is identical either way; the stats
-    /// differ (fewer derive attempts and rule evaluations in `SemiNaive`).
+    /// [`SaturationMode`]. The closure is identical in every mode; the
+    /// stats differ (fewer derive attempts and rule evaluations in
+    /// `SemiNaive` than `Naive`, and fewer still in `Chunked`, whose
+    /// diff-row prefilters skip attempts the mirrors prove would dedup —
+    /// firings and insertions stay identical throughout).
     pub fn compute_with_stats_saturation(
         prog: &NProgram,
         config: &RuleConfig,
@@ -214,8 +278,17 @@ impl Closure {
         mode: ProofMode,
         sat: SaturationMode,
     ) -> (Result<Closure, ClosureError>, ClosureStats) {
-        let (result, mut stats) =
-            Engine::new(prog, *config, limit, mode, sat, ClosureStats::new(limit)).run();
+        let (result, mut stats) = Engine::new(
+            prog,
+            *config,
+            limit,
+            mode,
+            sat,
+            RuleSchedule::Declared,
+            None,
+            ClosureStats::new(limit),
+        )
+        .run();
         stats.aborted = result.is_err();
         (result, stats)
     }
@@ -246,7 +319,16 @@ impl Closure {
         plan: &DemandPlan,
         sat: SaturationMode,
     ) -> Result<Closure, ClosureError> {
-        let mut engine = Engine::new(prog, *config, limit, ProofMode::Off, sat, NoopObserver);
+        let mut engine = Engine::new(
+            prog,
+            *config,
+            limit,
+            ProofMode::Off,
+            sat,
+            RuleSchedule::Declared,
+            None,
+            NoopObserver,
+        );
         engine.demand = Some(DemandState::new(plan));
         engine.run().0
     }
@@ -282,6 +364,8 @@ impl Closure {
             limit,
             ProofMode::Off,
             sat,
+            RuleSchedule::Declared,
+            None,
             ClosureStats::new(limit),
         );
         engine.demand = Some(DemandState::new(plan));
@@ -290,14 +374,67 @@ impl Closure {
         (result, stats)
     }
 
+    /// [`Closure::compute_with_saturation`] with an explicit
+    /// [`RuleSchedule`] and an optional seed profile for
+    /// [`RuleSchedule::Profiled`] (a prior run's [`ClosureStats`], whose
+    /// per-rule insertion counters order the first schedule; `None` starts
+    /// from the declared order and lets the in-run counters take over).
+    pub fn compute_scheduled(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        mode: ProofMode,
+        sat: SaturationMode,
+        schedule: RuleSchedule,
+        profile: Option<&ClosureStats>,
+    ) -> Result<Closure, ClosureError> {
+        Engine::new(
+            prog,
+            *config,
+            limit,
+            mode,
+            sat,
+            schedule,
+            profile,
+            NoopObserver,
+        )
+        .run()
+        .0
+    }
+
+    /// [`Closure::compute_scheduled`] with [`ClosureStats`] collection.
+    pub fn compute_scheduled_with_stats(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        mode: ProofMode,
+        sat: SaturationMode,
+        schedule: RuleSchedule,
+        profile: Option<&ClosureStats>,
+    ) -> (Result<Closure, ClosureError>, ClosureStats) {
+        let (result, mut stats) = Engine::new(
+            prog,
+            *config,
+            limit,
+            mode,
+            sat,
+            schedule,
+            profile,
+            ClosureStats::new(limit),
+        )
+        .run();
+        stats.aborted = result.is_err();
+        (result, stats)
+    }
+
     /// Number of terms in the closure.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.log.len()
     }
 
     /// Is the closure empty (only possible for empty programs)?
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.log.is_empty()
     }
 
     /// Number of worklist steps taken (for the scaling experiments).
@@ -316,14 +453,32 @@ impl Closure {
         self.early_exit
     }
 
-    /// Allocated capacity of the interned term set (for occupancy stats).
+    /// Allocated capacity of the interned term log (for occupancy stats).
     pub fn interner_capacity(&self) -> usize {
-        self.terms.capacity()
+        self.log.capacity()
     }
 
     /// Does the closure contain this exact term?
+    ///
+    /// Pair terms (`pi*`, `=`) are stored normalised (`a < b`, the only
+    /// shape [`Term::pi_star`]/[`Term::eq`] construct), so an
+    /// un-normalised probe answers `false` — exactly as the interned-set
+    /// probe it replaces did.
     pub fn contains(&self, t: &Term) -> bool {
-        self.terms.contains(&TermId::new(*t))
+        match *t {
+            Term::Ta(e) => self.has_ta(e),
+            Term::Pa(e) => self.has_pa(e),
+            Term::Ti(e, o) => self.ti.get(e as usize).is_some_and(|os| os.contains(&o)),
+            Term::Pi(e, o) => self.pi.get(e as usize).is_some_and(|os| os.contains(&o)),
+            Term::PiStar(a, b, o) => {
+                a < b
+                    && self
+                        .pistar
+                        .get(a as usize)
+                        .is_some_and(|ps| ps.contains(&(b, o)))
+            }
+            Term::Eq(a, b) => a < b && self.eq.get(a as usize).is_some_and(|es| es.contains(&b)),
+        }
     }
 
     /// Total alterability may be achievable on the occurrence.
@@ -374,9 +529,10 @@ impl Closure {
             .map(|o| Term::Pi(e, *o))
     }
 
-    /// Iterate over all terms (unordered; decoded from the interned keys).
+    /// Iterate over all terms in insertion order (decoded from the
+    /// interned keys).
     pub fn iter(&self) -> impl Iterator<Item = Term> + '_ {
-        self.terms.iter().map(|id| id.term())
+        self.log.iter().map(|id| id.term())
     }
 
     /// Test support: overwrite the recorded derivation of a term already in
@@ -386,11 +542,11 @@ impl Closure {
     /// calls this.
     #[doc(hidden)]
     pub fn replace_proof(&mut self, t: &Term, rule: &'static str, premises: Vec<Term>) -> bool {
-        let id = TermId::new(*t);
-        if !self.terms.contains(&id) {
+        if !self.contains(t) {
             return false;
         }
-        self.proofs.insert(id, Derivation { rule, premises });
+        self.proofs
+            .insert(TermId::new(*t), Derivation { rule, premises });
         true
     }
 }
@@ -422,10 +578,12 @@ impl<'d> DemandState<'d> {
 }
 
 /// A dense two-dimensional bit table: `rows` rows of `bits_per_row` bits,
-/// packed into `u64` words. The semi-naive engine keeps one grid per term
-/// kind as an *exact mirror* of the corresponding capability table — a set
-/// bit means the term is in the closure — so the dedup probe in `derive`
-/// becomes a mask test instead of a packed-u128 hash-set probe.
+/// packed into `u64` words with no padding — the *scalar* grid layout,
+/// retained verbatim for [`SaturationMode::SemiNaive`]. The engine keeps
+/// one grid per term kind as an *exact mirror* of the corresponding
+/// capability table — a set bit means the term is in the closure — so the
+/// dedup probe in `derive` becomes a mask test instead of a packed-u128
+/// hash-set probe.
 #[derive(Clone)]
 struct BitGrid {
     words_per_row: usize,
@@ -435,6 +593,20 @@ struct BitGrid {
 impl BitGrid {
     fn new(rows: usize, bits_per_row: usize) -> BitGrid {
         let words_per_row = bits_per_row.div_ceil(64);
+        BitGrid {
+            words_per_row,
+            bits: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    /// A grid whose rows are padded to whole chunks, for the chunked
+    /// kernels. Still its own (lazily zero-mapped) allocation: the lazy
+    /// per-origin `pi*` pair grids are *sparse* — most rows are never
+    /// touched — so carving them from the shared bump pool would
+    /// materialise pages the scalar layout never commits (see DESIGN.md
+    /// §16 on which tables live where and why).
+    fn new_padded(rows: usize, bits_per_row: usize) -> BitGrid {
+        let words_per_row = kernels::padded_words(bits_per_row);
         BitGrid {
             words_per_row,
             bits: vec![0u64; rows * words_per_row],
@@ -452,40 +624,469 @@ impl BitGrid {
         let w = row * self.words_per_row + bit / 64;
         self.bits[w] |= 1u64 << (bit % 64);
     }
+
+    #[inline]
+    fn row(&self, r: usize) -> &[u64] {
+        &self.bits[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
 }
 
 /// Is row `ra` of `a` a subset of row `rb` of `b`, ignoring the `except`
 /// bits? (`a[ra] \ (b[rb] ∪ except) = ∅`.) This is the bulk form of the
 /// dedup pre-check: when every conclusion a join loop could produce is
 /// already mirrored in `b[rb]`, the whole scan would dedup and can be
-/// skipped in O(row words) instead of O(entries) derive calls.
+/// skipped in O(row words) instead of O(entries) derive calls. Scalar
+/// word-at-a-time evaluation ([`kernels::reference`]).
 #[inline]
 fn row_diff_is_empty(a: &BitGrid, ra: usize, b: &BitGrid, rb: usize, except: &[usize]) -> bool {
     debug_assert_eq!(a.words_per_row, b.words_per_row);
-    let wa = ra * a.words_per_row;
-    let wb = rb * b.words_per_row;
-    for w in 0..a.words_per_row {
-        let mut diff = a.bits[wa + w] & !b.bits[wb + w];
-        for &e in except {
-            if e / 64 == w {
-                diff &= !(1u64 << (e % 64));
-            }
-        }
-        if diff != 0 {
-            return false;
-        }
-    }
-    true
+    kernels::reference::row_diff_is_empty(a.row(ra), b.row(rb), except)
 }
 
-/// Bit index of an origin inside a `BitGrid` row: origins range over
+/// A chunk-padded bit grid carved out of a shared [`Bump<u64>`] pool: the
+/// *chunked* layout [`SaturationMode::Chunked`] runs on. Rows are padded
+/// to whole [`kernels::CHUNK_WORDS`]-word chunks, so every bulk row check
+/// is a fixed-lane loop with no tail; padding bits can never be set
+/// (every write targets a real bit index), so padded lanes read as zero
+/// on both sides of a diff and never flip a verdict.
+#[derive(Clone, Copy)]
+struct Grid {
+    span: Span,
+    words_per_row: usize,
+}
+
+impl Grid {
+    fn new(pool: &mut Bump<u64>, rows: usize, bits_per_row: usize) -> Grid {
+        let words_per_row = kernels::padded_words(bits_per_row);
+        Grid {
+            span: pool.alloc(rows * words_per_row),
+            words_per_row,
+        }
+    }
+
+    #[inline]
+    fn get(&self, pool: &Bump<u64>, row: usize, bit: usize) -> bool {
+        let w = row * self.words_per_row + bit / 64;
+        (pool.get(self.span)[w] >> (bit % 64)) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&self, pool: &mut Bump<u64>, row: usize, bit: usize) {
+        let w = row * self.words_per_row + bit / 64;
+        pool.get_mut(self.span)[w] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn row<'a>(&self, pool: &'a Bump<u64>, r: usize) -> &'a [u64] {
+        &pool.get(self.span)[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+}
+
+/// Bit index of an origin inside a grid row: origins range over
 /// `{0..N} × {+,−}`, so `num * 2 + dir` enumerates them densely.
 #[inline]
 fn origin_bit(o: Origin) -> usize {
     (o.num as usize) * 2 + (o.dir == Dir::Up) as usize
 }
 
-/// Mutable state of a [`SaturationMode::SemiNaive`] run.
+/// The scalar mirror store: one independently-allocated [`BitGrid`] per
+/// table, exactly the PR-4 layout.
+struct ScalarDelta {
+    ti: BitGrid,
+    pi: BitGrid,
+    eq: BitGrid,
+    star_by: Vec<Option<BitGrid>>,
+    star_any: BitGrid,
+    rows: usize,
+}
+
+impl ScalarDelta {
+    fn new(n: usize) -> ScalarDelta {
+        ScalarDelta {
+            ti: BitGrid::new(n, 2 * n),
+            pi: BitGrid::new(n, 2 * n),
+            eq: BitGrid::new(n, n),
+            star_by: vec![None; 2 * n],
+            star_any: BitGrid::new(n, n),
+            rows: n,
+        }
+    }
+
+    #[inline]
+    fn star(&self, ob: usize) -> Option<&BitGrid> {
+        self.star_by[ob].as_ref()
+    }
+
+    #[inline]
+    fn star_mut(&mut self, ob: usize) -> &mut BitGrid {
+        let rows = self.rows;
+        self.star_by[ob].get_or_insert_with(|| BitGrid::new(rows, rows))
+    }
+}
+
+/// The chunked mirror store. The four always-present dense tables
+/// (`ti`/`pi`/`eq`/`star_any`) — the rows every derive call and every bulk
+/// pre-check reads — are [`Span`]s into **one** bump pool, back to back in
+/// memory. The lazily-created per-origin `pi*` pair grids deliberately stay
+/// *out* of the pool: they are sparse (a grid exists per origin, but most
+/// of its rows are never written), and a fresh zeroed `Vec` leaves those
+/// rows on copy-on-write zero pages, where growing a shared pool would
+/// memset and memcpy every page of every grid. Their rows are still
+/// chunk-padded, so the same branch-free kernels run on both kinds.
+struct ChunkedDelta {
+    pool: Bump<u64>,
+    ti: Grid,
+    pi: Grid,
+    eq: Grid,
+    star_by: Vec<Option<BitGrid>>,
+    star_any: Grid,
+    /// Single-row `ta`/`pa` membership mirrors (bit `e` set ⇔ `ta[e]` /
+    /// `pa[e]` is in the closure). The authoritative tables stay in the
+    /// closure's dense vectors; these rows exist so the alterability
+    /// equality-transfer scan can prefilter with the same row kernels as
+    /// the pair grids.
+    ta: Grid,
+    pa: Grid,
+    rows: usize,
+}
+
+impl ChunkedDelta {
+    fn new(n: usize) -> ChunkedDelta {
+        // The always-present grids, back to back; the capacity is exact,
+        // so the pool never regrows.
+        let mut pool = Bump::with_capacity(
+            2 * n * kernels::padded_words(2 * n)
+                + 2 * n * kernels::padded_words(n)
+                + 2 * kernels::padded_words(n),
+        );
+        let ti = Grid::new(&mut pool, n, 2 * n);
+        let pi = Grid::new(&mut pool, n, 2 * n);
+        let eq = Grid::new(&mut pool, n, n);
+        let star_any = Grid::new(&mut pool, n, n);
+        let ta = Grid::new(&mut pool, 1, n);
+        let pa = Grid::new(&mut pool, 1, n);
+        ChunkedDelta {
+            pool,
+            ti,
+            pi,
+            eq,
+            star_by: vec![None; 2 * n],
+            star_any,
+            ta,
+            pa,
+            rows: n,
+        }
+    }
+
+    #[inline]
+    fn star(&self, ob: usize) -> Option<&BitGrid> {
+        self.star_by[ob].as_ref()
+    }
+
+    #[inline]
+    fn star_mut(&mut self, ob: usize) -> &mut BitGrid {
+        let rows = self.rows;
+        self.star_by[ob].get_or_insert_with(|| BitGrid::new_padded(rows, rows))
+    }
+}
+
+/// The per-mode mirror storage behind [`DeltaState`]: scalar grids for
+/// [`SaturationMode::SemiNaive`], arena-backed chunked grids for
+/// [`SaturationMode::Chunked`]. Every bulk pre-check below exists in both
+/// flavours with identical semantics; the differential suites pin them to
+/// each other.
+enum DeltaStore {
+    Scalar(ScalarDelta),
+    Chunked(ChunkedDelta),
+}
+
+impl DeltaStore {
+    #[inline]
+    fn ti_get(&self, e: usize, ob: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => d.ti.get(e, ob),
+            DeltaStore::Chunked(d) => d.ti.get(&d.pool, e, ob),
+        }
+    }
+
+    #[inline]
+    fn pi_get(&self, e: usize, ob: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => d.pi.get(e, ob),
+            DeltaStore::Chunked(d) => d.pi.get(&d.pool, e, ob),
+        }
+    }
+
+    #[inline]
+    fn eq_get(&self, a: usize, b: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => d.eq.get(a, b),
+            DeltaStore::Chunked(d) => d.eq.get(&d.pool, a, b),
+        }
+    }
+
+    #[inline]
+    fn star_get(&self, ob: usize, a: usize, b: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => d.star(ob).is_some_and(|g| g.get(a, b)),
+            DeltaStore::Chunked(d) => d.star(ob).is_some_and(|g| g.get(a, b)),
+        }
+    }
+
+    #[inline]
+    fn ti_set(&mut self, e: usize, ob: usize) {
+        match self {
+            DeltaStore::Scalar(d) => d.ti.set(e, ob),
+            DeltaStore::Chunked(d) => d.ti.set(&mut d.pool, e, ob),
+        }
+    }
+
+    #[inline]
+    fn pi_set(&mut self, e: usize, ob: usize) {
+        match self {
+            DeltaStore::Scalar(d) => d.pi.set(e, ob),
+            DeltaStore::Chunked(d) => d.pi.set(&mut d.pool, e, ob),
+        }
+    }
+
+    #[inline]
+    fn eq_set_sym(&mut self, a: usize, b: usize) {
+        match self {
+            DeltaStore::Scalar(d) => {
+                d.eq.set(a, b);
+                d.eq.set(b, a);
+            }
+            DeltaStore::Chunked(d) => {
+                d.eq.set(&mut d.pool, a, b);
+                d.eq.set(&mut d.pool, b, a);
+            }
+        }
+    }
+
+    #[inline]
+    fn star_any_set_sym(&mut self, a: usize, b: usize) {
+        match self {
+            DeltaStore::Scalar(d) => {
+                d.star_any.set(a, b);
+                d.star_any.set(b, a);
+            }
+            DeltaStore::Chunked(d) => {
+                d.star_any.set(&mut d.pool, a, b);
+                d.star_any.set(&mut d.pool, b, a);
+            }
+        }
+    }
+
+    #[inline]
+    fn star_set_sym(&mut self, ob: usize, a: usize, b: usize) {
+        match self {
+            DeltaStore::Scalar(d) => {
+                let g = d.star_mut(ob);
+                g.set(a, b);
+                g.set(b, a);
+            }
+            DeltaStore::Chunked(d) => {
+                let g = d.star_mut(ob);
+                g.set(a, b);
+                g.set(b, a);
+            }
+        }
+    }
+
+    /// `pi*` composition pre-check: is every candidate partner of `via`
+    /// already paired with `end` under origin bit `ob` (ignoring the two
+    /// endpoints themselves)?
+    #[inline]
+    fn star_join_skip(&self, ob: usize, via: usize, end: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => d
+                .star(ob)
+                .is_some_and(|g| row_diff_is_empty(&d.star_any, via, g, end, &[end, via])),
+            DeltaStore::Chunked(d) => d.star(ob).is_some_and(|g| {
+                kernels::row_diff_is_empty(
+                    d.star_any.row(&d.pool, via),
+                    g.row(end),
+                    ExceptMask::two(end, via),
+                )
+            }),
+        }
+    }
+
+    /// Transitivity pre-check: is every eq-partner of `x` already adjacent
+    /// to `y` (ignoring `y` itself)?
+    #[inline]
+    fn eq_trans_skip(&self, x: usize, y: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => row_diff_is_empty(&d.eq, x, &d.eq, y, &[y]),
+            DeltaStore::Chunked(d) => kernels::row_diff_is_empty(
+                d.eq.row(&d.pool, x),
+                d.eq.row(&d.pool, y),
+                ExceptMask::one(y),
+            ),
+        }
+    }
+
+    /// `pi*`-transfer pre-check: does every eq-partner of `e` already
+    /// carry `pi*[(p, other), o]` (ignoring `other` itself)?
+    #[inline]
+    fn star_eq_transfer_skip(&self, ob: usize, e: usize, other: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => d
+                .star(ob)
+                .is_some_and(|g| row_diff_is_empty(&d.eq, e, g, other, &[other])),
+            DeltaStore::Chunked(d) => d.star(ob).is_some_and(|g| {
+                kernels::row_diff_is_empty(
+                    d.eq.row(&d.pool, e),
+                    g.row(other),
+                    ExceptMask::one(other),
+                )
+            }),
+        }
+    }
+
+    /// Record a `ta`/`pa` insertion in the chunked single-row mirrors (the
+    /// scalar store keeps none — its mode never prefilters these scans).
+    #[inline]
+    fn alter_mark(&mut self, e: usize, total: bool) {
+        if let DeltaStore::Chunked(d) = self {
+            if total {
+                d.ta.set(&mut d.pool, 0, e);
+            } else {
+                d.pa.set(&mut d.pool, 0, e);
+            }
+        }
+    }
+
+    /// Chunked-only scan prefilter for the alterability equality transfer:
+    /// eq-partners of `e` not yet carrying `ta`/`pa`. Same contract as
+    /// [`DeltaStore::star_join_diff`] (but `SemiNaive` has no all-or-nothing
+    /// fallback here — it never pre-checked this scan).
+    #[inline]
+    fn alter_transfer_diff(&self, total: bool, e: usize, out: &mut Vec<u64>) -> Option<bool> {
+        match self {
+            DeltaStore::Scalar(_) => None,
+            DeltaStore::Chunked(d) => {
+                let caps = if total {
+                    d.ta.row(&d.pool, 0)
+                } else {
+                    d.pa.row(&d.pool, 0)
+                };
+                Some(kernels::row_diff_into(
+                    d.eq.row(&d.pool, e),
+                    caps,
+                    ExceptMask::none(),
+                    out,
+                ))
+            }
+        }
+    }
+
+    /// Chunked-only scan prefilter for the `pi*` composition: materialize
+    /// into `out` the bit row of candidates `c` adjacent to `via` whose
+    /// conclusion `pi*[(end, c), ob]` is *not* yet mirrored.
+    ///
+    /// Returns `None` on the scalar store (the caller falls back to the
+    /// all-or-nothing [`DeltaStore::star_join_skip`], keeping `SemiNaive`
+    /// the unchanged baseline) and `Some(non_empty)` on the chunked store:
+    /// `Some(false)` means the whole scan would dedup — skip it;
+    /// `Some(true)` means walk the adjacency list in its insertion order
+    /// but only call derive where the candidate's bit is set in `out`.
+    /// Clear bits are already mirrored and terms are never removed, so
+    /// skipping them cannot change what gets inserted or in which order.
+    #[inline]
+    fn star_join_diff(
+        &self,
+        ob: usize,
+        via: usize,
+        end: usize,
+        out: &mut Vec<u64>,
+    ) -> Option<bool> {
+        match self {
+            DeltaStore::Scalar(_) => None,
+            DeltaStore::Chunked(d) => {
+                let a = d.star_any.row(&d.pool, via);
+                let except = ExceptMask::two(end, via);
+                Some(match d.star(ob) {
+                    Some(g) => kernels::row_diff_into(a, g.row(end), except, out),
+                    None => kernels::row_copy_except_into(a, except, out),
+                })
+            }
+        }
+    }
+
+    /// Chunked-only scan prefilter for the `pi*` equality transfer:
+    /// candidates `p` eq-adjacent to `e` whose `pi*[(p, other), ob]` is not
+    /// yet mirrored. Same contract as [`DeltaStore::star_join_diff`].
+    #[inline]
+    fn star_eq_transfer_diff(
+        &self,
+        ob: usize,
+        e: usize,
+        other: usize,
+        out: &mut Vec<u64>,
+    ) -> Option<bool> {
+        match self {
+            DeltaStore::Scalar(_) => None,
+            DeltaStore::Chunked(d) => {
+                let a = d.eq.row(&d.pool, e);
+                let except = ExceptMask::one(other);
+                Some(match d.star(ob) {
+                    Some(g) => kernels::row_diff_into(a, g.row(other), except, out),
+                    None => kernels::row_copy_except_into(a, except, out),
+                })
+            }
+        }
+    }
+
+    /// Capability-transfer pre-check: does `to` already mirror every `ti`
+    /// origin `from` carries?
+    #[inline]
+    fn ti_transfer_skip(&self, from: usize, to: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => row_diff_is_empty(&d.ti, from, &d.ti, to, &[]),
+            DeltaStore::Chunked(d) => kernels::row_diff_is_empty(
+                d.ti.row(&d.pool, from),
+                d.ti.row(&d.pool, to),
+                ExceptMask::none(),
+            ),
+        }
+    }
+
+    /// Capability-transfer pre-check for `pi`.
+    #[inline]
+    fn pi_transfer_skip(&self, from: usize, to: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => row_diff_is_empty(&d.pi, from, &d.pi, to, &[]),
+            DeltaStore::Chunked(d) => kernels::row_diff_is_empty(
+                d.pi.row(&d.pool, from),
+                d.pi.row(&d.pool, to),
+                ExceptMask::none(),
+            ),
+        }
+    }
+
+    /// All-axiom `pi*` transfer pre-check (caller has already established
+    /// `from` carries only axiom-origin entries): is every `pi*` partner
+    /// of `from` already paired with `to` in the axiom grid `ob`?
+    #[inline]
+    fn star_axiom_transfer_skip(&self, ob: usize, from: usize, to: usize) -> bool {
+        match self {
+            DeltaStore::Scalar(d) => d
+                .star(ob)
+                .is_some_and(|g| row_diff_is_empty(&d.star_any, from, g, to, &[to])),
+            DeltaStore::Chunked(d) => d.star(ob).is_some_and(|g| {
+                kernels::row_diff_is_empty(
+                    d.star_any.row(&d.pool, from),
+                    g.row(to),
+                    ExceptMask::one(to),
+                )
+            }),
+        }
+    }
+}
+
+/// Mutable state of a delta-mode ([`SaturationMode::SemiNaive`] or
+/// [`SaturationMode::Chunked`]) run.
 ///
 /// The grids mirror the `ti`/`pi`/`eq` tables exactly, and the `pistar`
 /// table is mirrored per origin: `pi*` pairs can carry several origins, so
@@ -497,58 +1098,47 @@ fn origin_bit(o: Origin) -> usize {
 /// accumulated mask (see `fire_local_rules`; DESIGN.md §12 proves this
 /// skips only evaluations that would derive nothing new).
 struct DeltaState {
-    /// `ti` mirror: row = expression, bit = [`origin_bit`].
-    ti: BitGrid,
-    /// `pi` mirror, same layout.
-    pi: BitGrid,
-    /// `=[a,b]` mirror: row = `a`, bit = `b`, set symmetrically.
-    eq: BitGrid,
-    /// `pi*[(a,b), o]` mirrors, one pair grid per [`origin_bit`]`(o)`,
-    /// laid out like `eq` and set symmetrically. `None` until a `pi*` term
-    /// with that origin exists, so memory stays proportional to the
-    /// origins actually carried by joint constraints.
-    star_by: Vec<Option<BitGrid>>,
-    /// `pi*` partner sets regardless of origin (the bulk tests need the
-    /// full partner row; a `star_by` grid alone proves presence).
-    star_any: BitGrid,
+    /// The per-mode grid storage.
+    store: DeltaStore,
     /// Does `pistar[e]` hold any entry with a non-axiom origin? Gates the
     /// non-axiom `pi*` scan in the `Eq` arm and the all-axiom transfer
     /// skip.
     star_mixed: Vec<bool>,
-    /// Row count (`= bits per pair-grid row`), for lazy `star_by` grids.
-    rows: usize,
     /// node → kinds (see [`crate::basics::kind`]) inserted on its slot
     /// expressions since the node's local rules last ran.
     dirty: Vec<u8>,
 }
 
 impl DeltaState {
-    fn new(n: usize) -> DeltaState {
+    fn new(n: usize, chunked: bool) -> DeltaState {
         DeltaState {
-            ti: BitGrid::new(n, 2 * n),
-            pi: BitGrid::new(n, 2 * n),
-            eq: BitGrid::new(n, n),
-            star_by: vec![None; 2 * n],
-            star_any: BitGrid::new(n, n),
+            store: if chunked {
+                DeltaStore::Chunked(ChunkedDelta::new(n))
+            } else {
+                DeltaStore::Scalar(ScalarDelta::new(n))
+            },
             star_mixed: vec![false; n],
-            rows: n,
             dirty: vec![0u8; n],
         }
     }
+}
 
-    /// The pair grid for origin bit `ob`, if any `pi*` term with that
-    /// origin has been inserted.
-    #[inline]
-    fn star(&self, ob: usize) -> Option<&BitGrid> {
-        self.star_by[ob].as_ref()
-    }
+/// Per-operator profile state for [`RuleSchedule::Profiled`]: the current
+/// evaluation order of the operator's rules (a permutation of rule
+/// indices) and the insertion count per rule slot the next re-sort ranks
+/// by. Insertions are mode-invariant, so the schedule — and with it the
+/// closure — stays byte-identical across [`SaturationMode`]s.
+struct OpSched {
+    order: Vec<u32>,
+    inserts: Vec<u64>,
+}
 
-    /// The pair grid for origin bit `ob`, allocating it on first use.
-    #[inline]
-    fn star_mut(&mut self, ob: usize) -> &mut BitGrid {
-        let rows = self.rows;
-        self.star_by[ob].get_or_insert_with(|| BitGrid::new(rows, rows))
-    }
+/// Profile-guided rule scheduler: one [`OpSched`] per operator, re-sorted
+/// every [`PROFILE_CADENCE`] rounds (stable, descending inserts, original
+/// index as tie-break — fully deterministic).
+struct Scheduler {
+    op_index: FxHashMap<BasicOp, u32>,
+    scheds: Vec<OpSched>,
 }
 
 struct Engine<'p, O: ClosureObserver> {
@@ -559,10 +1149,12 @@ struct Engine<'p, O: ClosureObserver> {
     obs: O,
     out: Closure,
     queue: VecDeque<Term>,
-    // Dense structural indexes, all indexed by `ExprId as usize` and built
-    // once from the program (immutable during saturation).
+    // Dense structural indexes, all indexed by `ExprId as usize`, built
+    // once from the program and flattened to CSR (one offsets array + one
+    // contiguous data array per index — no per-row `Vec` scatter on the
+    // hot path; `crate::arena::Csr` preserves build order exactly).
     /// e → basic nodes where e fills a slot (argument or the node itself).
-    basic_nodes: Vec<Vec<ExprId>>,
+    basic_nodes: Csr<ExprId>,
     /// node → operator and argument ids, inline (basic ops are unary or
     /// binary; 4 slots is structural headroom).
     basic_info: Vec<Option<(BasicOp, [ExprId; 4], u8)>>,
@@ -572,29 +1164,44 @@ struct Engine<'p, O: ClosureObserver> {
     /// Normalised argument pair → diagonal-candidate nodes, in program
     /// order. Keyed lookup (not a scan) keeps traversal deterministic.
     diag_by_pair: FxHashMap<(ExprId, ExprId), Vec<ExprId>>,
-    read_by_recv: Vec<Vec<ExprId>>,
+    read_by_recv: Csr<ExprId>,
     /// read node → interned attribute.
     read_attr: Vec<Option<AttrId>>,
-    writes_by_recv: Vec<Vec<(AttrId, ExprId)>>,
+    writes_by_recv: Csr<(AttrId, ExprId)>,
     /// `new C(…)` node → (interned attribute, argument) pairs.
-    ctor_args: Vec<Vec<(AttrId, ExprId)>>,
+    ctor_args: Csr<(AttrId, ExprId)>,
     /// Rules per operator, each paired with its premise-kind mask
     /// ([`LocalRule::premise_kinds`]) so a dirty-mask intersection can skip
     /// rules none of whose premise tables changed.
     op_rules: FxHashMap<BasicOp, Rc<[(u8, LocalRule)]>>,
-    /// Semi-naive state (`None` = [`SaturationMode::Naive`]).
+    /// Hash-set dedup (`None` under [`SaturationMode::Chunked`], whose
+    /// mirrors answer membership exactly for every term kind; `Naive`
+    /// dedups only here, `SemiNaive` keeps it behind the mirror pre-check
+    /// exactly as the retained baseline always did).
+    seen: Option<FxHashSet<TermId>>,
+    /// Delta-mode state (`None` = [`SaturationMode::Naive`]).
     delta: Option<DeltaState>,
+    /// Profile-guided rule ordering (`None` = [`RuleSchedule::Declared`]).
+    sched: Option<Scheduler>,
     /// Demand mode: slice filter + goal tracking (`None` = full saturation).
     demand: Option<DemandState<'p>>,
+    /// Reusable row buffer for the chunked scan prefilters
+    /// ([`DeltaStore::star_join_diff`] / [`DeltaStore::star_eq_transfer_diff`]);
+    /// taken out of the engine for the duration of a scan so the borrow
+    /// checker lets derive calls run against it.
+    scratch: Vec<u64>,
 }
 
 impl<'p, O: ClosureObserver> Engine<'p, O> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         prog: &'p NProgram,
         config: RuleConfig,
         limit: usize,
         mode: ProofMode,
         sat: SaturationMode,
+        schedule: RuleSchedule,
+        profile: Option<&ClosureStats>,
         obs: O,
     ) -> Engine<'p, O> {
         let n = prog.len() + 1; // ExprIds are 1-based
@@ -662,6 +1269,35 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             }
         }
 
+        // Profiled schedule: one permutation + counter array per operator,
+        // optionally pre-ordered by a prior run's per-rule insertion
+        // counters ("observed productivity"); ties and unseeded starts
+        // keep the declared order.
+        let sched = (schedule == RuleSchedule::Profiled).then(|| {
+            let mut op_index = FxHashMap::default();
+            let mut scheds = Vec::with_capacity(op_rules.len());
+            let mut ops: Vec<BasicOp> = op_rules.keys().copied().collect();
+            ops.sort_by_key(|op| format!("{op:?}"));
+            for op in ops {
+                let rules = &op_rules[&op];
+                let mut order: Vec<u32> = (0..rules.len() as u32).collect();
+                if let Some(stats) = profile {
+                    order.sort_by_key(|&i| {
+                        (
+                            std::cmp::Reverse(stats.firings_of(rules[i as usize].1.name)),
+                            i,
+                        )
+                    });
+                }
+                op_index.insert(op, scheds.len() as u32);
+                scheds.push(OpSched {
+                    order,
+                    inserts: vec![0u64; rules.len()],
+                });
+            }
+            Scheduler { op_index, scheds }
+        });
+
         Engine {
             prog,
             config,
@@ -669,7 +1305,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             mode,
             obs,
             out: Closure {
-                terms: FxHashSet::default(),
+                log: Vec::new(),
                 proofs: FxHashMap::default(),
                 mode,
                 ta: vec![false; n],
@@ -682,24 +1318,28 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 early_exit: false,
             },
             queue: VecDeque::new(),
-            basic_nodes,
+            basic_nodes: Csr::from_nested(basic_nodes),
             basic_info,
             diag_args,
             diag_by_pair,
-            read_by_recv,
+            read_by_recv: Csr::from_nested(read_by_recv),
             read_attr,
-            writes_by_recv,
-            ctor_args,
+            writes_by_recv: Csr::from_nested(writes_by_recv),
+            ctor_args: Csr::from_nested(ctor_args),
             op_rules,
-            delta: (sat == SaturationMode::SemiNaive).then(|| DeltaState::new(n)),
+            seen: (sat != SaturationMode::Chunked).then(FxHashSet::default),
+            delta: (sat != SaturationMode::Naive)
+                .then(|| DeltaState::new(n, sat == SaturationMode::Chunked)),
+            sched,
             demand: None,
+            scratch: Vec::new(),
         }
     }
 
     fn run(mut self) -> (Result<Closure, ClosureError>, O) {
         let result = self.saturate();
         self.obs
-            .interner(self.out.terms.capacity(), self.mode == ProofMode::Full);
+            .interner(self.out.log.capacity(), self.mode == ProofMode::Full);
         if let Some(d) = &self.demand {
             self.obs.demand(d.plan.slice_len(), self.out.early_exit);
         }
@@ -752,6 +1392,12 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         while let Some(t) = self.queue.pop_front() {
             self.out.rounds += 1;
             self.obs.round();
+            // Re-sort the profiled schedule on a fixed round cadence,
+            // *before* propagating: the schedule is then a function of
+            // (round, insertion counts) only, both mode-invariant.
+            if self.sched.is_some() && self.out.rounds.is_multiple_of(PROFILE_CADENCE) {
+                self.resort_schedule();
+            }
             self.propagate(t)?;
             if self.goals_decided() {
                 self.out.early_exit = true;
@@ -761,26 +1407,50 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         Ok(())
     }
 
+    /// Stable re-sort of every operator's rule order by observed
+    /// productivity: descending insertions, original index as tie-break.
+    fn resort_schedule(&mut self) {
+        let Some(s) = &mut self.sched else {
+            return;
+        };
+        for os in &mut s.scheds {
+            let inserts = &os.inserts;
+            os.order
+                .sort_by_key(|&i| (std::cmp::Reverse(inserts[i as usize]), i));
+        }
+    }
+
     /// The constructor argument feeding attribute `attr` when `e` is a
     /// `new C(…)` node (unfolding pairs each constructor argument with the
     /// attribute it initialises).
     fn ctor_arg(&self, e: ExprId, attr: AttrId) -> Option<ExprId> {
-        self.ctor_args[e as usize]
+        self.ctor_args
+            .row(e as usize)
             .iter()
             .find(|(a, _)| *a == attr)
             .map(|(_, id)| *id)
     }
 
+    /// Internal membership probe: the mirrors answer exactly in the delta
+    /// modes; `Naive` keeps the hash-set probe.
     #[inline]
     fn has_term(&self, t: Term) -> bool {
-        self.out.terms.contains(&TermId::new(t))
+        if self.delta.is_some() {
+            self.mirror_contains(&t)
+        } else {
+            self.seen
+                .as_ref()
+                .expect("naive mode keeps a hash set")
+                .contains(&TermId::new(t))
+        }
     }
 
-    /// Semi-naive dedup pre-check: do the bit mirrors prove the term is
+    /// Delta-mode dedup pre-check: do the bit mirrors prove the term is
     /// already in the closure? Exact, never over-approximate: bits are set
     /// only when a term actually lands in the tables (after the budget
-    /// check), so a hit here implies the hash probe would have deduped.
-    /// Always `false` in `Naive` mode.
+    /// check), so a hit here implies a hash probe would have deduped —
+    /// which is why `Chunked` needs no hash set at all. Always `false` in
+    /// `Naive` mode.
     #[inline]
     fn mirror_contains(&self, t: &Term) -> bool {
         let Some(delta) = &self.delta else {
@@ -789,12 +1459,10 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         match *t {
             Term::Ta(e) => self.out.ta[e as usize],
             Term::Pa(e) => self.out.pa[e as usize],
-            Term::Ti(e, o) => delta.ti.get(e as usize, origin_bit(o)),
-            Term::Pi(e, o) => delta.pi.get(e as usize, origin_bit(o)),
-            Term::Eq(a, b) => delta.eq.get(a as usize, b as usize),
-            Term::PiStar(a, b, o) => delta
-                .star(origin_bit(o))
-                .is_some_and(|g| g.get(a as usize, b as usize)),
+            Term::Ti(e, o) => delta.store.ti_get(e as usize, origin_bit(o)),
+            Term::Pi(e, o) => delta.store.pi_get(e as usize, origin_bit(o)),
+            Term::Eq(a, b) => delta.store.eq_get(a as usize, b as usize),
+            Term::PiStar(a, b, o) => delta.store.star_get(origin_bit(o), a as usize, b as usize),
         }
     }
 
@@ -810,39 +1478,40 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         };
         match *t {
             Term::Ta(e) => {
-                for &node in &self.basic_nodes[e as usize] {
+                delta.store.alter_mark(e as usize, true);
+                for &node in self.basic_nodes.row(e as usize) {
                     delta.dirty[node as usize] |= kind::TA;
                 }
             }
             Term::Pa(e) => {
-                for &node in &self.basic_nodes[e as usize] {
+                delta.store.alter_mark(e as usize, false);
+                for &node in self.basic_nodes.row(e as usize) {
                     delta.dirty[node as usize] |= kind::PA;
                 }
             }
             Term::Ti(e, o) => {
-                delta.ti.set(e as usize, origin_bit(o));
-                for &node in &self.basic_nodes[e as usize] {
+                delta.store.ti_set(e as usize, origin_bit(o));
+                for &node in self.basic_nodes.row(e as usize) {
                     delta.dirty[node as usize] |= kind::TI;
                 }
             }
             Term::Pi(e, o) => {
-                delta.pi.set(e as usize, origin_bit(o));
-                for &node in &self.basic_nodes[e as usize] {
+                delta.store.pi_set(e as usize, origin_bit(o));
+                for &node in self.basic_nodes.row(e as usize) {
                     delta.dirty[node as usize] |= kind::PI;
                 }
             }
             Term::PiStar(a, b, o) => {
-                for (x, y) in [(a, b), (b, a)] {
-                    delta.star_any.set(x as usize, y as usize);
-                    if o != Origin::AXIOM {
-                        delta.star_mixed[x as usize] = true;
-                    }
+                delta.store.star_any_set_sym(a as usize, b as usize);
+                if o != Origin::AXIOM {
+                    delta.star_mixed[a as usize] = true;
+                    delta.star_mixed[b as usize] = true;
                 }
-                let g = delta.star_mut(origin_bit(o));
-                g.set(a as usize, b as usize);
-                g.set(b as usize, a as usize);
+                delta
+                    .store
+                    .star_set_sym(origin_bit(o), a as usize, b as usize);
                 for e in [a, b] {
-                    for &node in &self.basic_nodes[e as usize] {
+                    for &node in self.basic_nodes.row(e as usize) {
                         delta.dirty[node as usize] |= kind::PISTAR;
                     }
                 }
@@ -851,18 +1520,19 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 // Both directions: the mirror probe only needs the
                 // normalised `(a, b)` bit, but the bulk transitivity test
                 // reads rows as adjacency sets.
-                delta.eq.set(a as usize, b as usize);
-                delta.eq.set(b as usize, a as usize);
+                delta.store.eq_set_sym(a as usize, b as usize);
             }
         }
     }
 
+    /// Attempt one conclusion; returns whether it was a *new* insertion
+    /// (the profiled schedule's productivity signal).
     fn derive(
         &mut self,
         t: Term,
         rule: &'static str,
         premises: &[Term],
-    ) -> Result<(), ClosureError> {
+    ) -> Result<bool, ClosureError> {
         // Demand filter, ahead of `derive_attempt` so the stats invariant
         // `derive_calls == dedup_hits + total_terms` holds in every mode.
         // Dropping the term is sound: the slice is closed under the rule
@@ -871,27 +1541,35 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         if let Some(d) = &self.demand {
             if !d.plan.covers(&t) {
                 self.obs.sliced_out();
-                return Ok(());
+                return Ok(false);
             }
         }
         self.obs.derive_attempt();
         self.obs.rule_fired(rule);
-        // Semi-naive: the bit mirrors prove membership without hashing —
+        // Delta modes: the bit mirrors prove membership without hashing —
         // the dominant outcome on equality-dense programs, where >99% of
-        // derive calls are dedup-rejected re-derivations.
+        // derive calls are dedup-rejected re-derivations. The mirrors are
+        // exact, so under `Chunked` (no hash set) this is the *only* dedup
+        // check.
         if self.mirror_contains(&t) {
             self.obs.dedup_hit();
-            return Ok(());
+            return Ok(false);
         }
         let id = TermId::new(t);
-        if !self.out.terms.insert(id) {
-            self.obs.dedup_hit();
-            return Ok(());
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert(id) {
+                self.obs.dedup_hit();
+                return Ok(false);
+            }
         }
-        if self.out.terms.len() > self.limit {
-            self.out.terms.remove(&id);
+        if self.out.log.len() >= self.limit {
+            // An aborted insert must leave no trace.
+            if let Some(seen) = &mut self.seen {
+                seen.remove(&id);
+            }
             return Err(ClosureError::TermLimit { limit: self.limit });
         }
+        self.out.log.push(id);
         self.obs.term_inserted(&t, rule);
         if self.mode == ProofMode::Full {
             self.out.proofs.insert(
@@ -926,7 +1604,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         }
         self.queue.push_back(t);
         self.obs.worklist_len(self.queue.len());
-        Ok(())
+        Ok(true)
     }
 
     fn propagate(&mut self, t: Term) -> Result<(), ClosureError> {
@@ -938,16 +1616,16 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 // extent reaches at least the attribute values already
                 // present — partial alterability (total comes only through
                 // write-read equality).
-                for k in 0..self.read_by_recv[e as usize].len() {
-                    let n = self.read_by_recv[e as usize][k];
+                for k in 0..self.read_by_recv.row(e as usize).len() {
+                    let n = self.read_by_recv.row(e as usize)[k];
                     self.derive(Term::Pa(n), labels::READ_RECEIVER, &[t])?;
                 }
                 self.transfer_by_eq(t, e)?;
                 self.fire_local_rules(e)?;
             }
             Term::Pa(e) => {
-                for k in 0..self.read_by_recv[e as usize].len() {
-                    let n = self.read_by_recv[e as usize][k];
+                for k in 0..self.read_by_recv.row(e as usize).len() {
+                    let n = self.read_by_recv.row(e as usize)[k];
                     self.derive(Term::Pa(n), labels::READ_RECEIVER, &[t])?;
                 }
                 self.transfer_by_eq(t, e)?;
@@ -976,34 +1654,67 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                     // Joint constraint on equals (see the Eq arm).
                     if o != Origin::AXIOM && self.has_term(Term::Eq(a, b)) {
                         let eq = Term::Eq(a, b);
-                        self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, &[eq, t])?;
-                        self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, &[eq, t])?;
+                        if !self.pi_mirrored_chunked(a, o) {
+                            self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, &[eq, t])?;
+                        }
+                        if !self.pi_mirrored_chunked(b, o) {
+                            self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, &[eq, t])?;
+                        }
                     }
                     // Compose pi* chains. The snapshot length bounds the
                     // loop: anything appended mid-loop is requeued anyway.
-                    // Bulk pre-check: every composition `pi*[(end,c), o]`
-                    // already mirrored means the scan would dedup entirely.
                     // The entries' own origins don't matter: the conclusion
                     // carries the popped origin `o`, so `star_any[via]`
                     // lists the candidate `c`s and the `o` pair grid proves
                     // presence (it exists — the popped term is mirrored).
+                    //
+                    // Chunked: one `row_diff_into` materializes the
+                    // not-yet-mirrored candidates; an empty diff skips the
+                    // scan outright, a non-empty one prefilters each entry
+                    // with a single bit test instead of a derive call (the
+                    // adjacency walk order — hence insertion order and
+                    // witnesses — is untouched). SemiNaive keeps the
+                    // original all-or-nothing row pre-check.
+                    let mut scratch = std::mem::take(&mut self.scratch);
                     for (end, via) in [(a, b), (b, a)] {
+                        let mut filtered = false;
                         if let Some(d) = &self.delta {
-                            if d.star(origin_bit(o)).is_some_and(|g| {
-                                row_diff_is_empty(
-                                    &d.star_any,
-                                    via as usize,
-                                    g,
-                                    end as usize,
-                                    &[end as usize, via as usize],
-                                )
-                            }) {
-                                continue;
+                            match d.store.star_join_diff(
+                                origin_bit(o),
+                                via as usize,
+                                end as usize,
+                                &mut scratch,
+                            ) {
+                                Some(false) => continue,
+                                Some(true) => filtered = true,
+                                None => {
+                                    if d.store.star_join_skip(
+                                        origin_bit(o),
+                                        via as usize,
+                                        end as usize,
+                                    ) {
+                                        continue;
+                                    }
+                                }
                             }
                         }
                         let len = self.out.pistar[via as usize].len();
                         for k in 0..len {
                             let (c, o2) = self.out.pistar[via as usize][k];
+                            if filtered {
+                                // The adjacency list repeats a candidate
+                                // once per origin it was inserted under,
+                                // but the conclusion depends only on `c`:
+                                // after the first visit it is mirrored
+                                // either way, so clear the bit and let the
+                                // duplicates fall through the prefilter
+                                // (exactly the entries the scalar scan
+                                // burns a dedup derive call on).
+                                if !kernels::row_bit(&scratch, c as usize) {
+                                    continue;
+                                }
+                                kernels::row_clear_bit(&mut scratch, c as usize);
+                            }
                             if c != end && c != via {
                                 if let Some(nt) = Term::pi_star(end, c, o) {
                                     let other =
@@ -1013,6 +1724,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                             }
                         }
                     }
+                    self.scratch = scratch;
                     // Transfer across equalities.
                     self.transfer_by_eq(t, a)?;
                     self.transfer_by_eq(t, b)?;
@@ -1028,7 +1740,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 // time.
                 for (x, y) in [(a, b), (b, a)] {
                     if let Some(d) = &self.delta {
-                        if row_diff_is_empty(&d.eq, x as usize, &d.eq, y as usize, &[y as usize]) {
+                        if d.store.eq_trans_skip(x as usize, y as usize) {
                             continue;
                         }
                     }
@@ -1042,10 +1754,10 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                     }
                 }
                 // Attribute congruence: r_att(a) = r_att(b).
-                for i in 0..self.read_by_recv[a as usize].len() {
-                    let ra = self.read_by_recv[a as usize][i];
-                    for j in 0..self.read_by_recv[b as usize].len() {
-                        let rb = self.read_by_recv[b as usize][j];
+                for i in 0..self.read_by_recv.row(a as usize).len() {
+                    let ra = self.read_by_recv.row(a as usize)[i];
+                    for j in 0..self.read_by_recv.row(b as usize).len() {
+                        let rb = self.read_by_recv.row(b as usize)[j];
                         if self.read_attr[ra as usize] == self.read_attr[rb as usize] {
                             if let Some(nt) = Term::eq(ra, rb) {
                                 self.derive(nt, labels::RULE_EQ, &[t])?;
@@ -1056,10 +1768,10 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 if self.config.write_read {
                     // Write-read: w_att(a, v) and r_att(b) ⇒ v = r_att(b).
                     for (wrecv, rrecv) in [(a, b), (b, a)] {
-                        for i in 0..self.writes_by_recv[wrecv as usize].len() {
-                            let (attr, val) = self.writes_by_recv[wrecv as usize][i];
-                            for j in 0..self.read_by_recv[rrecv as usize].len() {
-                                let r = self.read_by_recv[rrecv as usize][j];
+                        for i in 0..self.writes_by_recv.row(wrecv as usize).len() {
+                            let (attr, val) = self.writes_by_recv.row(wrecv as usize)[i];
+                            for j in 0..self.read_by_recv.row(rrecv as usize).len() {
+                                let r = self.read_by_recv.row(rrecv as usize)[j];
                                 if self.read_attr[r as usize] == Some(attr) {
                                     if let Some(nt) = Term::eq(val, r) {
                                         self.derive(nt, labels::RULE_EQ, &[t])?;
@@ -1068,8 +1780,8 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                             }
                         }
                         // Constructor-read: new C(…,a_j,…) = wrecv side.
-                        for j in 0..self.read_by_recv[rrecv as usize].len() {
-                            let r = self.read_by_recv[rrecv as usize][j];
+                        for j in 0..self.read_by_recv.row(rrecv as usize).len() {
+                            let r = self.read_by_recv.row(rrecv as usize)[j];
                             if let Some(attr) = self.read_attr[r as usize] {
                                 if let Some(arg) = self.ctor_arg(wrecv, attr) {
                                     if let Some(nt) = Term::eq(arg, r) {
@@ -1095,8 +1807,12 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                         let (x, o) = self.out.pistar[a as usize][k];
                         if x == b && o != Origin::AXIOM {
                             let star = Term::pi_star(a, b, o).expect("stored pi* is proper");
-                            self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, &[t, star])?;
-                            self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, &[t, star])?;
+                            if !self.pi_mirrored_chunked(a, o) {
+                                self.derive(Term::Pi(a, o), labels::PI_STAR_ON_EQUALS, &[t, star])?;
+                            }
+                            if !self.pi_mirrored_chunked(b, o) {
+                                self.derive(Term::Pi(b, o), labels::PI_STAR_ON_EQUALS, &[t, star])?;
+                            }
                         }
                     }
                 }
@@ -1108,10 +1824,23 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                     let node = self.diag_by_pair[&(a, b)][k];
                     self.try_diagonal(node)?;
                 }
-                // pi* from equality.
+                // pi* from equality. On a large clique almost every pop
+                // re-derives an existing axiom pair; the chunked pair grid
+                // answers that in one probe (conservative: a miss just
+                // means derive runs and dedups as before).
                 if self.config.pi_star {
                     if let Some(nt) = Term::pi_star(a, b, Origin::AXIOM) {
-                        self.derive(nt, labels::PI_STAR_FROM_EQ, &[t])?;
+                        let mirrored = self.delta.as_ref().is_some_and(|d| {
+                            matches!(d.store, DeltaStore::Chunked(_))
+                                && d.store.star_get(
+                                    origin_bit(Origin::AXIOM),
+                                    a as usize,
+                                    b as usize,
+                                )
+                        });
+                        if !mirrored {
+                            self.derive(nt, labels::PI_STAR_FROM_EQ, &[t])?;
+                        }
                     }
                 }
                 // Capability transfer in both directions.
@@ -1183,16 +1912,34 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         Ok(())
     }
 
+    /// Chunked-only dedup pre-test: is `pi[e, o]` already mirrored?
+    ///
+    /// Always false outside the chunked store so the scalar baseline keeps
+    /// running every derive unfiltered.
+    fn pi_mirrored_chunked(&self, e: ExprId, o: Origin) -> bool {
+        self.delta.as_ref().is_some_and(|d| {
+            matches!(d.store, DeltaStore::Chunked(_)) && d.store.pi_get(e as usize, origin_bit(o))
+        })
+    }
+
     fn transfer_all_caps(
         &mut self,
         from: ExprId,
         to: ExprId,
         eq: Term,
     ) -> Result<(), ClosureError> {
-        if self.out.ta[from as usize] {
+        // `out.ta`/`out.pa` are the authoritative membership tables, so a
+        // set bit at `to` means the conclusion already exists and derive
+        // could only dedup; chunked skips the whole ceremony for it.
+        // SemiNaive deliberately stays on the unfiltered baseline.
+        let chunked = self
+            .delta
+            .as_ref()
+            .is_some_and(|d| matches!(d.store, DeltaStore::Chunked(_)));
+        if self.out.ta[from as usize] && !(chunked && self.out.ta[to as usize]) {
             self.derive(Term::Ta(to), labels::ALTER_BY_EQ, &[eq, Term::Ta(from)])?;
         }
-        if self.out.pa[from as usize] {
+        if self.out.pa[from as usize] && !(chunked && self.out.pa[to as usize]) {
             self.derive(Term::Pa(to), labels::ALTER_BY_EQ, &[eq, Term::Pa(from)])?;
         }
         // Bulk pre-checks (semi-naive): when `to` already mirrors every
@@ -1200,11 +1947,19 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         let skip_ti = self
             .delta
             .as_ref()
-            .is_some_and(|d| row_diff_is_empty(&d.ti, from as usize, &d.ti, to as usize, &[]));
+            .is_some_and(|d| d.store.ti_transfer_skip(from as usize, to as usize));
         if !skip_ti {
             let n_ti = self.out.ti[from as usize].len();
             for k in 0..n_ti {
                 let o = self.out.ti[from as usize][k];
+                // The row pre-check above is all-or-nothing; when it fails,
+                // chunked still skips each individually-mirrored origin.
+                if chunked {
+                    let d = self.delta.as_ref().expect("chunked implies delta");
+                    if d.store.ti_get(to as usize, origin_bit(o)) {
+                        continue;
+                    }
+                }
                 self.derive(
                     Term::Ti(to, o),
                     labels::INFER_BY_EQ,
@@ -1215,11 +1970,17 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         let skip_pi = self
             .delta
             .as_ref()
-            .is_some_and(|d| row_diff_is_empty(&d.pi, from as usize, &d.pi, to as usize, &[]));
+            .is_some_and(|d| d.store.pi_transfer_skip(from as usize, to as usize));
         if !skip_pi {
             let n_pi = self.out.pi[from as usize].len();
             for k in 0..n_pi {
                 let o = self.out.pi[from as usize][k];
+                if chunked {
+                    let d = self.delta.as_ref().expect("chunked implies delta");
+                    if d.store.pi_get(to as usize, origin_bit(o)) {
+                        continue;
+                    }
+                }
                 self.derive(
                     Term::Pi(to, o),
                     labels::INFER_BY_EQ,
@@ -1232,21 +1993,38 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             // grid can then prove presence of each conclusion).
             let skip_star = self.delta.as_ref().is_some_and(|d| {
                 !d.star_mixed[from as usize]
-                    && d.star(origin_bit(Origin::AXIOM)).is_some_and(|g| {
-                        row_diff_is_empty(
-                            &d.star_any,
-                            from as usize,
-                            g,
-                            to as usize,
-                            &[to as usize],
-                        )
-                    })
+                    && d.store.star_axiom_transfer_skip(
+                        origin_bit(Origin::AXIOM),
+                        from as usize,
+                        to as usize,
+                    )
             });
             if !skip_star {
+                // Mixed-origin rows can't use a single-row pre-check (each
+                // entry's conclusion carries its own origin), but the
+                // chunked mirrors can still answer per entry: a mirrored
+                // conclusion would dedup inside derive anyway, so test the
+                // one bit here and skip the whole derive ceremony (term
+                // normalization, premise construction, stats) for it.
+                // SemiNaive deliberately stays on the unfiltered baseline.
+                let per_entry = self
+                    .delta
+                    .as_ref()
+                    .is_some_and(|d| matches!(d.store, DeltaStore::Chunked(_)));
                 let n_star = self.out.pistar[from as usize].len();
                 for k in 0..n_star {
                     let (other, o) = self.out.pistar[from as usize][k];
                     if other != to {
+                        if per_entry
+                            && self
+                                .delta
+                                .as_ref()
+                                .expect("per_entry implies delta")
+                                .store
+                                .star_get(origin_bit(o), to as usize, other as usize)
+                        {
+                            continue;
+                        }
                         if let Some(nt) = Term::pi_star(to, other, o) {
                             let prem = Term::pi_star(from, other, o).expect("stored pi* is proper");
                             self.derive(nt, labels::INFER_BY_EQ, &[eq, prem])?;
@@ -1266,20 +2044,94 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         // Bulk pre-check for `pi*` pops (the high-volume case on equality
         // cliques, where `pi*` terms mirror the full clique): every
         // eq-partner `p` of `e` already carrying `pi*[(p,other), o]` means
-        // the scan below would dedup entirely.
-        if let Term::PiStar(x, y, o) = t {
-            let other = if x == e { y } else { x };
-            if let Some(d) = &self.delta {
-                if d.star(origin_bit(o)).is_some_and(|g| {
-                    row_diff_is_empty(&d.eq, e as usize, g, other as usize, &[other as usize])
-                }) {
-                    return Ok(());
+        // the scan below would dedup entirely. Chunked additionally keeps
+        // the materialized difference row as a per-partner prefilter when
+        // the scan does run (same order-preservation argument as the `pi*`
+        // join in `propagate`).
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut filtered = false;
+        match t {
+            Term::PiStar(x, y, o) => {
+                let other = if x == e { y } else { x };
+                if let Some(d) = &self.delta {
+                    match d.store.star_eq_transfer_diff(
+                        origin_bit(o),
+                        e as usize,
+                        other as usize,
+                        &mut scratch,
+                    ) {
+                        Some(false) => {
+                            self.scratch = scratch;
+                            return Ok(());
+                        }
+                        Some(true) => filtered = true,
+                        None => {
+                            if d.store.star_eq_transfer_skip(
+                                origin_bit(o),
+                                e as usize,
+                                other as usize,
+                            ) {
+                                self.scratch = scratch;
+                                return Ok(());
+                            }
+                        }
+                    }
                 }
             }
+            // Alterability rides the same equality cliques (each `ta`/`pa`
+            // pop rescans the full clique, almost always to dedup); the
+            // chunked single-row mirrors prefilter it the same way.
+            Term::Ta(_) | Term::Pa(_) => {
+                if let Some(d) = &self.delta {
+                    match d.store.alter_transfer_diff(
+                        matches!(t, Term::Ta(_)),
+                        e as usize,
+                        &mut scratch,
+                    ) {
+                        Some(false) => {
+                            self.scratch = scratch;
+                            return Ok(());
+                        }
+                        Some(true) => filtered = true,
+                        None => {}
+                    }
+                }
+            }
+            _ => {}
         }
+        // `ti`/`pi` pops derive a single-origin conclusion per clique
+        // member, but the capability mirrors are per-*expression* rows
+        // (origin bits as columns), so no row diff applies — test the one
+        // mirror bit per entry instead, chunked only (a set bit means the
+        // conclusion exists and derive could only dedup).
+        let pre_test = match t {
+            Term::Ti(_, o) | Term::Pi(_, o)
+                if self
+                    .delta
+                    .as_ref()
+                    .is_some_and(|d| matches!(d.store, DeltaStore::Chunked(_))) =>
+            {
+                Some((matches!(t, Term::Ti(..)), origin_bit(o)))
+            }
+            _ => None,
+        };
         let len = self.out.eq[e as usize].len();
         for k in 0..len {
             let b = self.out.eq[e as usize][k];
+            if filtered && !kernels::row_bit(&scratch, b as usize) {
+                continue;
+            }
+            if let Some((is_ti, ob)) = pre_test {
+                let d = self.delta.as_ref().expect("pre_test implies delta");
+                let mirrored = if is_ti {
+                    d.store.ti_get(b as usize, ob)
+                } else {
+                    d.store.pi_get(b as usize, ob)
+                };
+                if mirrored {
+                    continue;
+                }
+            }
             let eq_term = Term::eq(e, b).expect("adjacency implies distinct");
             let (derived, label) = match t {
                 Term::Ta(_) => (Some(Term::Ta(b)), labels::ALTER_BY_EQ),
@@ -1300,6 +2152,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 self.derive(nt, label, &[eq_term, t])?;
             }
         }
+        self.scratch = scratch;
         Ok(())
     }
 
@@ -1319,8 +2172,8 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         if !self.config.basic_rules {
             return Ok(());
         }
-        for k in 0..self.basic_nodes[e as usize].len() {
-            let node = self.basic_nodes[e as usize][k];
+        for k in 0..self.basic_nodes.row(e as usize).len() {
+            let node = self.basic_nodes.row(e as usize)[k];
             let want = match &mut self.delta {
                 Some(delta) => {
                     let mask = delta.dirty[node as usize];
@@ -1343,6 +2196,23 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         };
         let args = &buf[..len as usize];
         let rules = Rc::clone(self.op_rules.get(&op).expect("rules built for every op"));
+        // Profiled schedule: evaluate the operator's rules in the current
+        // productivity permutation, feeding each insertion back into the
+        // slot counter the next re-sort ranks by.
+        if let Some(s) = &self.sched {
+            let si = s.op_index[&op] as usize;
+            for k in 0..rules.len() {
+                let idx = self.sched.as_ref().expect("checked above").scheds[si].order[k] as usize;
+                let (premise_mask, rule) = &rules[idx];
+                if premise_mask & want == 0 {
+                    continue;
+                }
+                if self.try_rule(node, args, rule)? {
+                    self.sched.as_mut().expect("checked above").scheds[si].inserts[idx] += 1;
+                }
+            }
+            return Ok(());
+        }
         for (premise_mask, rule) in rules.iter() {
             if premise_mask & want == 0 {
                 continue;
@@ -1359,12 +2229,14 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         }
     }
 
+    /// Evaluate one local rule at `node`; returns whether its conclusion
+    /// was a new insertion (the profiled schedule's feedback signal).
     fn try_rule(
         &mut self,
         node: ExprId,
         args: &[ExprId],
         rule: &LocalRule,
-    ) -> Result<(), ClosureError> {
+    ) -> Result<bool, ClosureError> {
         // Direction of the conclusion decides the feedback guard.
         let conclusion_down = match rule.conclusion {
             LTerm::Cap(_, Slot::Ret) => true,
@@ -1430,7 +2302,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                     pbuf[pn] = t;
                     pn += 1;
                 }
-                None => return Ok(()),
+                None => return Ok(false),
             }
         }
 
@@ -1455,9 +2327,9 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         };
         if let Some(c) = conclusion {
             let premises = &pbuf[..pn];
-            self.derive(c, rule.name, premises)?;
+            return self.derive(c, rule.name, premises);
         }
-        Ok(())
+        Ok(false)
     }
 }
 
@@ -1727,6 +2599,87 @@ mod tests {
     }
 
     #[test]
+    fn chunked_is_byte_identical_to_scalar_modes() {
+        // The chunked mode swaps storage (arena grids, no hash set) and
+        // skips derive calls only when the mirrors prove they would dedup
+        // — never reordering what does run: insertion order, rounds,
+        // witnesses and proofs all match the scalar baselines bit for bit.
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let cfg = RuleConfig::default();
+        let compute = |sat| {
+            Closure::compute_with_saturation(&prog, &cfg, DEFAULT_TERM_LIMIT, ProofMode::Full, sat)
+                .unwrap()
+        };
+        let semi = compute(SaturationMode::SemiNaive);
+        let chunked = compute(SaturationMode::Chunked);
+        assert_eq!(chunked.len(), semi.len());
+        assert_eq!(chunked.rounds(), semi.rounds());
+        let t1: Vec<Term> = semi.iter().collect();
+        let t2: Vec<Term> = chunked.iter().collect();
+        assert_eq!(t1, t2, "insertion order must match exactly");
+        for e in 1..=prog.len() as ExprId {
+            assert_eq!(chunked.ti_witness(e), semi.ti_witness(e));
+            assert_eq!(chunked.pi_witness(e), semi.pi_witness(e));
+            assert_eq!(chunked.equal_to(e), semi.equal_to(e));
+        }
+        for t in semi.iter() {
+            assert!(chunked.contains(&t));
+            assert_eq!(chunked.proof(&t), semi.proof(&t), "proof of {t} differs");
+        }
+        // Un-normalised pair probes answer false, as they always did.
+        assert!(!chunked.contains(&Term::Eq(8, 1)));
+    }
+
+    #[test]
+    fn profiled_schedule_is_set_identical_and_mode_invariant() {
+        // Reordering rules changes which conclusion enters the worklist
+        // first, so Profiled is only *set*-identical to Declared — but
+        // across saturation modes (whose byte-identity the differential
+        // suites pin) a profiled run must stay byte-identical, because the
+        // schedule is a function of mode-invariant insertion counts.
+        let schema = parse_schema(STOCKBROKER).unwrap();
+        let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
+        let cfg = RuleConfig::default();
+        let declared = Closure::compute(&prog).unwrap();
+        // Seed the profile from a prior run's stats, like the bench does.
+        let (_, stats) = Closure::compute_with_stats(&prog, &cfg, DEFAULT_TERM_LIMIT);
+        for profile in [None, Some(&stats)] {
+            let runs: Vec<Closure> = [
+                SaturationMode::Naive,
+                SaturationMode::SemiNaive,
+                SaturationMode::Chunked,
+            ]
+            .into_iter()
+            .map(|sat| {
+                Closure::compute_scheduled(
+                    &prog,
+                    &cfg,
+                    DEFAULT_TERM_LIMIT,
+                    ProofMode::Full,
+                    sat,
+                    RuleSchedule::Profiled,
+                    profile,
+                )
+                .unwrap()
+            })
+            .collect();
+            let order0: Vec<Term> = runs[0].iter().collect();
+            for r in &runs[1..] {
+                let order: Vec<Term> = r.iter().collect();
+                assert_eq!(order, order0, "profiled runs diverged across modes");
+                assert_eq!(r.rounds(), runs[0].rounds());
+            }
+            // Same closure as Declared, as a set.
+            let mut profiled: Vec<Term> = order0;
+            let mut base: Vec<Term> = declared.iter().collect();
+            profiled.sort();
+            base.sort();
+            assert_eq!(profiled, base, "profiled schedule changed the fixpoint");
+        }
+    }
+
+    #[test]
     fn semi_naive_skips_attempts_not_insertions() {
         let schema = parse_schema(STOCKBROKER).unwrap();
         let prog = NProgram::unfold(&schema, schema.user_str("clerk").unwrap()).unwrap();
@@ -1789,13 +2742,27 @@ mod tests {
                 ProofMode::Off,
                 SaturationMode::SemiNaive,
             );
+            let (chunked, chunked_stats) = Closure::compute_with_stats_saturation(
+                &prog,
+                &cfg,
+                limit,
+                ProofMode::Off,
+                SaturationMode::Chunked,
+            );
             assert!(matches!(naive, Err(ClosureError::TermLimit { .. })));
-            assert_eq!(naive.unwrap_err(), semi.unwrap_err(), "limit {limit}");
+            let semi_err = semi.unwrap_err();
+            assert_eq!(naive.unwrap_err(), semi_err, "limit {limit}");
+            assert_eq!(semi_err, chunked.unwrap_err(), "limit {limit}");
             // Same insertion sequence up to the abort, so identical term
             // counts; semi-naive may have skipped some dedup attempts.
             assert_eq!(
                 naive_stats.total_terms(),
                 semi_stats.total_terms(),
+                "limit {limit}"
+            );
+            assert_eq!(
+                semi_stats.total_terms(),
+                chunked_stats.total_terms(),
                 "limit {limit}"
             );
             assert!(semi_stats.derive_calls <= naive_stats.derive_calls);

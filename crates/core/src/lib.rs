@@ -48,11 +48,13 @@
 
 pub mod advisor;
 pub mod algorithm;
+pub mod arena;
 pub mod basics;
 pub mod checker;
 pub mod closure;
 pub mod demand;
 pub mod fxhash;
+pub mod kernels;
 pub mod provenance;
 pub mod reference;
 pub mod report;

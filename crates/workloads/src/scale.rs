@@ -646,6 +646,28 @@ mod tests {
     }
 
     #[test]
+    fn scale_families_reach_thousands_of_nodes() {
+        // The saturation bench leans on these families at kernel-stressing
+        // sizes; pin the unfolded program size so "thousands of numbered
+        // occurrences" stays true if the generators change shape.
+        use secflow::unfold::NProgram;
+        let wide = wide_grants(512);
+        let prog = NProgram::unfold(&wide.schema, wide.schema.user_str("u").unwrap()).unwrap();
+        assert!(
+            prog.len() >= 2_000,
+            "wide_grants(512) shrank: {}",
+            prog.len()
+        );
+        let dense = dense_equalities(48);
+        let prog = NProgram::unfold(&dense.schema, dense.schema.user_str("u").unwrap()).unwrap();
+        assert!(
+            prog.len() >= 250,
+            "dense_equalities(48) shrank: {}",
+            prog.len()
+        );
+    }
+
+    #[test]
     fn attr_fanout_detects_direct_grant() {
         let case = attr_fanout(4);
         let v = analyze(&case.schema, &case.requirement).unwrap();

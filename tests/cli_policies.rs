@@ -15,6 +15,7 @@ fn check_stockbroker_policy_file() {
         full_saturation: false,
         certify: false,
         stream: false,
+        ndjson: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (clerk, r_salary(x):ti)"));
@@ -35,6 +36,7 @@ fn check_hospital_policy_file() {
         full_saturation: false,
         certify: false,
         stream: false,
+        ndjson: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (auditor, r_bill(x):ti)"));
@@ -52,6 +54,7 @@ fn bank_policy_shows_pessimism() {
         full_saturation: false,
         certify: false,
         stream: false,
+        ndjson: false,
     });
     assert_eq!(code, 1);
     assert!(report.contains("FLAW  (teller, r_balance(x):ti)"));
@@ -98,6 +101,7 @@ fn missing_file_exits_three() {
         full_saturation: false,
         certify: false,
         stream: false,
+        ndjson: false,
     });
     assert_eq!(code, secflow_cli::exit::INPUT);
     assert!(report.contains("cannot read"));
@@ -114,6 +118,7 @@ fn exit_codes_are_distinct_per_outcome_class() {
         full_saturation: false,
         certify: false,
         stream: false,
+        ndjson: false,
     });
     // 1: a policy with a flaw.
     let (_, violated) = run(&Command::Check {
@@ -123,6 +128,7 @@ fn exit_codes_are_distinct_per_outcome_class() {
         full_saturation: false,
         certify: false,
         stream: false,
+        ndjson: false,
     });
     // 2: a usage error (unknown flag) — rejected at parse time; the binary
     // shim maps this to exit::USAGE.
@@ -135,6 +141,7 @@ fn exit_codes_are_distinct_per_outcome_class() {
         full_saturation: false,
         certify: false,
         stream: false,
+        ndjson: false,
     });
     assert_eq!(ok, exit::OK);
     assert_eq!(violated, exit::VIOLATION);
@@ -165,6 +172,7 @@ fn certify_passes_on_every_policy_file() {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         });
         let (report, code) = run(&Command::Check {
             file: policy(name),
@@ -173,6 +181,7 @@ fn certify_passes_on_every_policy_file() {
             full_saturation: false,
             certify: true,
             stream: false,
+            ndjson: false,
         });
         assert_eq!(code, plain.1, "{name}: --certify changed the exit code");
         assert!(
@@ -196,6 +205,7 @@ fn full_saturation_matches_demand_on_policy_files() {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         });
         let full = run(&Command::Check {
             file: policy(name),
@@ -204,6 +214,7 @@ fn full_saturation_matches_demand_on_policy_files() {
             full_saturation: true,
             certify: false,
             stream: false,
+            ndjson: false,
         });
         assert_eq!(demand, full, "{name}: --full-saturation changed the output");
     }
@@ -287,6 +298,7 @@ fn audit_agrees_with_check_on_every_policy_file() {
             full_saturation: false,
             certify: false,
             stream: false,
+            ndjson: false,
         });
         let (_, audit_code) = audit(policy(name), AuditFormat::Text);
         assert_eq!(

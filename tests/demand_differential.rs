@@ -86,10 +86,11 @@ fn assert_demand_is_sliced_full(prog: &NProgram, plan: &DemandPlan, label: &str)
     }
 }
 
-/// The demand engine in both saturation modes on one plan: the delta
+/// The demand engine in every saturation mode on one plan: the delta
 /// bookkeeping must not change the sliced insertion sequence either, so
 /// the runs match in term sets, rounds, early-exit behaviour and
-/// witnesses.
+/// witnesses — with the chunked engine tracking the scalar baseline in
+/// exact insertion order.
 fn assert_demand_modes_identical(prog: &NProgram, plan: &DemandPlan, label: &str) {
     let cfg = secflow::rules::RuleConfig::default();
     let naive = Closure::compute_demand_saturation(
@@ -108,6 +109,41 @@ fn assert_demand_modes_identical(prog: &NProgram, plan: &DemandPlan, label: &str
         SaturationMode::SemiNaive,
     )
     .unwrap_or_else(|e| panic!("{label}: semi-naive demand: {e}"));
+    let chunked = Closure::compute_demand_saturation(
+        prog,
+        &cfg,
+        DEFAULT_TERM_LIMIT,
+        plan,
+        SaturationMode::Chunked,
+    )
+    .unwrap_or_else(|e| panic!("{label}: chunked demand: {e}"));
+    assert_eq!(
+        semi.iter().collect::<Vec<Term>>(),
+        chunked.iter().collect::<Vec<Term>>(),
+        "{label}: chunked demand insertion order diverges from the scalar baseline"
+    );
+    assert_eq!(
+        semi.rounds(),
+        chunked.rounds(),
+        "{label}: chunked demand rounds differ"
+    );
+    assert_eq!(
+        semi.early_exited(),
+        chunked.early_exited(),
+        "{label}: chunked early-exit behaviour differs"
+    );
+    for e in 1..=prog.len() as ExprId {
+        assert_eq!(
+            semi.ti_witness(e),
+            chunked.ti_witness(e),
+            "{label}: chunked ti witness differs at {e}"
+        );
+        assert_eq!(
+            semi.pi_witness(e),
+            chunked.pi_witness(e),
+            "{label}: chunked pi witness differs at {e}"
+        );
+    }
     assert_eq!(naive.len(), semi.len(), "{label}: term counts differ");
     assert_eq!(naive.rounds(), semi.rounds(), "{label}: rounds differ");
     assert_eq!(

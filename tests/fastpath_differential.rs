@@ -47,9 +47,11 @@ fn assert_closures_identical(prog: &NProgram, label: &str) {
     }
 }
 
-/// Naive full-sweep saturation vs the semi-naive delta engine on one
-/// program: the delta bookkeeping must not change the insertion sequence,
-/// so term sets, rounds, witnesses and proofs all match.
+/// Naive full-sweep saturation vs the semi-naive delta engine vs the
+/// chunked-kernel engine on one program: the delta bookkeeping must not
+/// change the insertion sequence, so term sets, rounds, witnesses and
+/// proofs all match — and the chunked engine must track the scalar
+/// baseline in *exact insertion order*, not just as a set.
 fn assert_saturation_modes_identical(prog: &NProgram, label: &str) {
     let cfg = RuleConfig::default();
     let naive = Closure::compute_with_saturation(
@@ -68,6 +70,43 @@ fn assert_saturation_modes_identical(prog: &NProgram, label: &str) {
         SaturationMode::SemiNaive,
     )
     .unwrap_or_else(|e| panic!("{label}: semi-naive: {e}"));
+    let chunked = Closure::compute_with_saturation(
+        prog,
+        &cfg,
+        DEFAULT_TERM_LIMIT,
+        ProofMode::Full,
+        SaturationMode::Chunked,
+    )
+    .unwrap_or_else(|e| panic!("{label}: chunked: {e}"));
+    assert_eq!(
+        semi.iter().collect::<Vec<Term>>(),
+        chunked.iter().collect::<Vec<Term>>(),
+        "{label}: chunked insertion order diverges from the scalar baseline"
+    );
+    assert_eq!(
+        semi.rounds(),
+        chunked.rounds(),
+        "{label}: chunked rounds differ"
+    );
+    for e in 1..=prog.len() as ExprId {
+        assert_eq!(
+            semi.ti_witness(e),
+            chunked.ti_witness(e),
+            "{label}: chunked ti witness differs at {e}"
+        );
+        assert_eq!(
+            semi.pi_witness(e),
+            chunked.pi_witness(e),
+            "{label}: chunked pi witness differs at {e}"
+        );
+    }
+    for t in semi.iter() {
+        assert_eq!(
+            semi.proof(&t),
+            chunked.proof(&t),
+            "{label}: chunked proof differs for {t}"
+        );
+    }
     assert_eq!(naive.len(), semi.len(), "{label}: term counts differ");
     assert_eq!(naive.rounds(), semi.rounds(), "{label}: rounds differ");
     let mut tn: Vec<Term> = naive.iter().collect();
@@ -94,9 +133,13 @@ fn assert_saturation_modes_identical(prog: &NProgram, label: &str) {
             "{label}: proof differs for {t}"
         );
     }
-    // Both runs recorded proofs, so both must certify: every derivation
+    // All runs recorded proofs, so all must certify: every derivation
     // re-validates against the Table-2 schemas independently of the engine.
-    for (mode, c) in [("naive", &naive), ("semi-naive", &semi)] {
+    for (mode, c) in [
+        ("naive", &naive),
+        ("semi-naive", &semi),
+        ("chunked", &chunked),
+    ] {
         let cert = c
             .certify(prog, &cfg)
             .unwrap_or_else(|e| panic!("{label}: {mode} closure fails certification: {e}"));

@@ -1,0 +1,143 @@
+//! Differential testing of the chunked bitset kernels against the
+//! retained scalar reference (`secflow::kernels::reference`).
+//!
+//! The chunked kernels process rows in fixed [`CHUNK_WORDS`]-lane blocks
+//! with the exception set precompiled into branch-free `(word, mask)`
+//! slots; the reference keeps the original word-at-a-time loops with a
+//! linear exception scan. Both must agree bit-for-bit on every row pair
+//! and exception set, so random duels pin the kernels to the scalar
+//! semantics the delta engine was verified against.
+
+use proptest::prelude::*;
+use secflow::kernels::{self, padded_words, reference, ExceptMask, CHUNK_BITS, CHUNK_WORDS};
+
+/// A chunk-padded row with the given bits set.
+fn row_with(bits: &[usize], words: usize) -> Vec<u64> {
+    let mut row = vec![0u64; words];
+    for &b in bits {
+        row[b / 64] |= 1u64 << (b % 64);
+    }
+    row
+}
+
+/// Materialize `a \ (b ∪ except)` the slow, obvious way: bit by bit.
+fn naive_diff(a: &[u64], b: &[u64], except: &[usize], words: usize) -> Vec<u64> {
+    let mut out = vec![0u64; words];
+    for bit in 0..words * 64 {
+        let get = |row: &[u64]| row[bit / 64] >> (bit % 64) & 1 != 0;
+        if get(a) && !get(b) && !except.contains(&bit) {
+            out[bit / 64] |= 1u64 << (bit % 64);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `row_diff_is_empty` agrees with the scalar reference on random
+    /// rows and exception sets of every supported arity (0, 1, 2).
+    #[test]
+    fn diff_emptiness_duels_the_scalar_reference(
+        a_bits in proptest::collection::vec(0usize..CHUNK_BITS * 3, 0..24),
+        b_bits in proptest::collection::vec(0usize..CHUNK_BITS * 3, 0..24),
+        except in proptest::collection::vec(0usize..CHUNK_BITS * 3, 0..3),
+    ) {
+        let words = padded_words(CHUNK_BITS * 3);
+        prop_assert_eq!(words % CHUNK_WORDS, 0);
+        let a = row_with(&a_bits, words);
+        let b = row_with(&b_bits, words);
+        let chunked = kernels::row_diff_is_empty(&a, &b, ExceptMask::from_bits(&except));
+        let scalar = reference::row_diff_is_empty(&a, &b, &except);
+        prop_assert_eq!(chunked, scalar, "a={:?} b={:?} except={:?}", a_bits, b_bits, except);
+    }
+
+    /// `row_diff_into` materializes exactly the difference the bit-by-bit
+    /// model computes, and its emptiness flag matches `row_diff_is_empty`.
+    #[test]
+    fn materialized_diff_matches_the_bitwise_model(
+        a_bits in proptest::collection::vec(0usize..CHUNK_BITS * 2, 0..24),
+        b_bits in proptest::collection::vec(0usize..CHUNK_BITS * 2, 0..24),
+        except in proptest::collection::vec(0usize..CHUNK_BITS * 2, 0..3),
+    ) {
+        let words = padded_words(CHUNK_BITS * 2);
+        let a = row_with(&a_bits, words);
+        let b = row_with(&b_bits, words);
+        let mask = ExceptMask::from_bits(&except);
+        let mut out = Vec::new();
+        let any = kernels::row_diff_into(&a, &b, mask, &mut out);
+        let expected = naive_diff(&a, &b, &except, words);
+        prop_assert_eq!(&out, &expected);
+        prop_assert_eq!(any, expected.iter().any(|w| *w != 0));
+        prop_assert_eq!(any, !kernels::row_diff_is_empty(&a, &b, mask));
+    }
+
+    /// `row_copy_except_into` is `row_diff_into` against an all-zero
+    /// subtrahend.
+    #[test]
+    fn copy_except_is_diff_against_zero(
+        a_bits in proptest::collection::vec(0usize..CHUNK_BITS * 2, 0..24),
+        except in proptest::collection::vec(0usize..CHUNK_BITS * 2, 0..3),
+    ) {
+        let words = padded_words(CHUNK_BITS * 2);
+        let a = row_with(&a_bits, words);
+        let zero = vec![0u64; words];
+        let mask = ExceptMask::from_bits(&except);
+        let mut via_copy = Vec::new();
+        let mut via_diff = Vec::new();
+        let any_copy = kernels::row_copy_except_into(&a, mask, &mut via_copy);
+        let any_diff = kernels::row_diff_into(&a, &zero, mask, &mut via_diff);
+        prop_assert_eq!(via_copy, via_diff);
+        prop_assert_eq!(any_copy, any_diff);
+    }
+
+    /// `row_or_into` agrees with the scalar reference.
+    #[test]
+    fn row_or_duels_the_scalar_reference(
+        a_bits in proptest::collection::vec(0usize..CHUNK_BITS * 2, 0..24),
+        b_bits in proptest::collection::vec(0usize..CHUNK_BITS * 2, 0..24),
+    ) {
+        let words = padded_words(CHUNK_BITS * 2);
+        let src = row_with(&b_bits, words);
+        let mut chunked = row_with(&a_bits, words);
+        let mut scalar = chunked.clone();
+        kernels::row_or_into(&mut chunked, &src);
+        reference::row_or_into(&mut scalar, &src);
+        prop_assert_eq!(chunked, scalar);
+    }
+
+    /// Single-bit probes and clears round-trip through the row helpers.
+    #[test]
+    fn bit_probe_and_clear_are_inverse(
+        bits in proptest::collection::vec(0usize..CHUNK_BITS, 1..8),
+    ) {
+        let mut bits = bits;
+        bits.sort_unstable();
+        bits.dedup();
+        let words = padded_words(CHUNK_BITS);
+        let mut row = row_with(&bits, words);
+        for &b in &bits {
+            prop_assert!(kernels::row_bit(&row, b));
+            kernels::row_clear_bit(&mut row, b);
+            prop_assert!(!kernels::row_bit(&row, b));
+        }
+        prop_assert!(row.iter().all(|w| *w == 0), "every set bit was cleared");
+    }
+}
+
+/// The exception mask holds at most two slots — the widest set the engine
+/// compiles (`end`/`via` in the pi* join) — and coinciding slots behave
+/// like a single exception.
+#[test]
+fn except_mask_slots_may_coincide() {
+    let words = padded_words(CHUNK_BITS);
+    let a = row_with(&[7, 9], words);
+    let b = row_with(&[], words);
+    assert!(kernels::row_diff_is_empty(&a, &b, ExceptMask::two(7, 9)));
+    assert!(!kernels::row_diff_is_empty(&a, &b, ExceptMask::two(7, 7)));
+    assert!(kernels::row_diff_is_empty(
+        &row_with(&[7], words),
+        &b,
+        ExceptMask::two(7, 7)
+    ));
+}
