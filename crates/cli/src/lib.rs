@@ -11,6 +11,7 @@
 //! secflow attack policy.sfl [--steps N]        # bounded concrete attacker
 //! secflow fix    policy.sfl                    # minimal revocation repairs
 //! secflow fmt    policy.sfl                    # parse + pretty-print
+//! secflow serve  policy.sfl                    # resident NDJSON grant/revoke session
 //! ```
 //!
 //! Every command also accepts `--metrics[=text|json]` (pipeline statistics
@@ -32,11 +33,13 @@
 #![warn(missing_docs)]
 
 use oodb_lang::{check_schema, parse_schema, Schema};
+use oodb_model::{FnRef, UserName};
 use secflow::algorithm::{
     analyze_batch_cached, analyze_batch_streaming, occurrences, AnalysisConfig, AnalysisSink,
     BatchOptions, BatchOutcome, CacheStats, ClosureCache, GroupRecord,
 };
 use secflow::closure::{Closure, ProofMode};
+use secflow::incremental::IncrementalUser;
 use secflow::provenance::{audit_witness, render_path, ProvenanceOptions, Severity, WalkMode};
 use secflow::report::{render_derivation, render_term, Verdict};
 use secflow::stats::ClosureStats;
@@ -142,6 +145,17 @@ pub enum Command {
         /// Policy file path.
         file: String,
     },
+    /// `serve <file>` — a long-lived resident session. Reads NDJSON
+    /// requests (`check` / `grant` / `revoke` / `stats` / `shutdown`) from
+    /// stdin and streams NDJSON responses — including per-requirement
+    /// verdict *deltas* after each capability edit — to stdout. Edited
+    /// users are maintained incrementally ([`secflow::IncrementalUser`]);
+    /// un-edited users are answered through the process-wide
+    /// [`ClosureCache`].
+    Serve {
+        /// Policy file path.
+        file: String,
+    },
     /// `--help` or no arguments.
     Help,
 }
@@ -239,6 +253,18 @@ USAGE:
   secflow attack <policy-file> [--steps N]   try to realise each flaw concretely
   secflow fix    <policy-file>               suggest minimal revocations per flaw
   secflow fmt    <policy-file>               parse and pretty-print the policy
+  secflow serve  <policy-file>               resident incremental session: read one
+                                             NDJSON request per stdin line —
+                                             {\"op\":\"check\",\"user\":U},
+                                             {\"op\":\"grant\"|\"revoke\",\"user\":U,\"fn\":F},
+                                             {\"op\":\"stats\"}, {\"op\":\"shutdown\"} —
+                                             and stream NDJSON responses; grant/revoke
+                                             maintain the edited user's closure
+                                             incrementally (proof-guided retraction +
+                                             warm restart) and report only the verdicts
+                                             that *changed*; malformed requests get an
+                                             {\"error\":…} record and the session
+                                             continues; exit 0 on shutdown/EOF
 
 OBSERVABILITY (any command; stdout is unchanged):
   --metrics[=text|json]   pipeline statistics on stderr: per-phase timings,
@@ -517,6 +543,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let file = it.next().ok_or("fmt: missing policy file")?;
             Ok(Command::Fmt { file: file.clone() })
         }
+        "serve" => {
+            let mut file = None;
+            for a in it {
+                match a.as_str() {
+                    _ if file.is_none() && !a.starts_with('-') => file = Some(a.clone()),
+                    other => {
+                        return Err(format!(
+                            "unexpected argument `{other}` (serve takes only the policy file; \
+                             the session is driven by NDJSON requests on stdin)"
+                        ))
+                    }
+                }
+            }
+            Ok(Command::Serve {
+                file: file.ok_or("serve: missing policy file")?,
+            })
+        }
         other => Err(format!("unknown command `{other}` (try --help)")),
     }
 }
@@ -591,6 +634,10 @@ pub fn run_on_source(cmd: &Command, src: &str) -> (String, i32) {
             Ok(schema) => fix_report(&schema),
             Err(e) => (format!("error: {e}\n"), exit::INPUT),
         },
+        Command::Serve { .. } => match load_str(src) {
+            Ok(schema) => serve_stdin(&schema),
+            Err(e) => (format!("error: {e}\n"), exit::INPUT),
+        },
     }
 }
 
@@ -603,7 +650,8 @@ pub fn run(cmd: &Command) -> (String, i32) {
         | Command::Unfold { file, .. }
         | Command::Attack { file, .. }
         | Command::Fix { file }
-        | Command::Fmt { file } => match std::fs::read_to_string(file) {
+        | Command::Fmt { file }
+        | Command::Serve { file } => match std::fs::read_to_string(file) {
             Ok(src) => run_on_source(cmd, &src),
             Err(e) => (format!("error: cannot read `{file}`: {e}\n"), exit::INPUT),
         },
@@ -831,7 +879,8 @@ pub fn run_with_obs(cmd: &Command, obs: &ObsOptions) -> CliOutput {
         | Command::Unfold { file, .. }
         | Command::Attack { file, .. }
         | Command::Fix { file }
-        | Command::Fmt { file } => match std::fs::read_to_string(file) {
+        | Command::Fmt { file }
+        | Command::Serve { file } => match std::fs::read_to_string(file) {
             Ok(src) => {
                 let mut out = run_on_source_with_obs(cmd, &src, obs);
                 if let (Some(trace), Some(doc)) = (&obs.trace, &out.trace_output) {
@@ -908,6 +957,7 @@ fn instrumented(cmd: &Command, src: &str, col: &mut Collected) -> (String, i32) 
             col.phases.time("attack", || attack_report(&schema, *steps))
         }
         Command::Fix { .. } => col.phases.time("fix", || fix_report(&schema)),
+        Command::Serve { .. } => col.phases.time("serve", || serve_stdin(&schema)),
     }
 }
 
@@ -1870,6 +1920,452 @@ fn fix_report(schema: &Schema) -> (String, i32) {
         }
     }
     (out, i32::from(flawed > 0))
+}
+
+// ---------------------------------------------------------------------------
+// serve — the resident incremental session
+// ---------------------------------------------------------------------------
+
+/// A scanner over one NDJSON request line: a flat JSON object whose values
+/// are all strings, e.g. `{"op":"grant","user":"clerk","fn":"w_budget"}`.
+/// Anything else — nested values, numbers, trailing garbage — is a
+/// per-request error; the session keeps running.
+struct ReqScanner {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl ReqScanner {
+    fn ws(&mut self) {
+        while self.chars.get(self.pos).is_some_and(|c| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected `{want}`, found `{c}`")),
+            None => Err(format!("expected `{want}`, found end of line")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some(other) => return Err(format!("unsupported escape `\\{other}`")),
+                    None => return Err("unterminated string escape".into()),
+                },
+                Some(c) => s.push(c),
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+}
+
+/// Parse one request line into its `(key, value)` fields, preserving order.
+fn parse_request(line: &str) -> Result<Vec<(String, String)>, String> {
+    let mut p = ReqScanner {
+        chars: line.chars().collect(),
+        pos: 0,
+    };
+    p.ws();
+    p.expect('{').map_err(|e| format!("bad request: {e}"))?;
+    let mut fields = Vec::new();
+    p.ws();
+    if p.chars.get(p.pos) == Some(&'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.ws();
+            let key = p.string().map_err(|e| format!("bad request key: {e}"))?;
+            p.ws();
+            p.expect(':').map_err(|e| format!("bad request: {e}"))?;
+            p.ws();
+            let value = p
+                .string()
+                .map_err(|e| format!("bad request value for `{key}` (string values only): {e}"))?;
+            fields.push((key, value));
+            p.ws();
+            match p.bump() {
+                Some(',') => continue,
+                Some('}') => break,
+                Some(c) => return Err(format!("bad request: expected `,` or `}}`, found `{c}`")),
+                None => return Err("bad request: unterminated object".into()),
+            }
+        }
+    }
+    p.ws();
+    if p.pos != p.chars.len() {
+        return Err("bad request: trailing characters after the object".into());
+    }
+    Ok(fields)
+}
+
+/// A requirement's verdict reduced to what the serve records carry —
+/// deliberately witness-free (status + occurrence count), so the resident
+/// incremental path and the cached batch path (whose closures pick
+/// witnesses in different orders) produce identical records.
+#[derive(Clone, PartialEq, Eq)]
+enum ReqStatus {
+    Satisfied,
+    Violated(u64),
+    Error(String),
+}
+
+impl ReqStatus {
+    fn of(v: &Result<Verdict, secflow::algorithm::AnalysisError>) -> ReqStatus {
+        match v {
+            Ok(Verdict::Satisfied) => ReqStatus::Satisfied,
+            Ok(Verdict::Violated(vs)) => ReqStatus::Violated(vs.len() as u64),
+            Err(e) => ReqStatus::Error(e.to_string()),
+        }
+    }
+}
+
+/// The state behind one `secflow serve` session: per-user incremental
+/// closures materialised on first edit, the last-reported statuses the
+/// edit deltas are diffed against, and the process-wide [`ClosureCache`]
+/// answering checks of users that were never edited.
+struct ServeState<'s> {
+    schema: &'s Schema,
+    config: AnalysisConfig,
+    resident: std::collections::BTreeMap<UserName, IncrementalUser>,
+    last: std::collections::BTreeMap<UserName, Vec<(usize, ReqStatus)>>,
+    requests: u64,
+    edits: u64,
+}
+
+impl<'s> ServeState<'s> {
+    fn new(schema: &'s Schema) -> ServeState<'s> {
+        ServeState {
+            schema,
+            config: AnalysisConfig::default(),
+            resident: std::collections::BTreeMap::new(),
+            last: std::collections::BTreeMap::new(),
+            requests: 0,
+            edits: 0,
+        }
+    }
+
+    fn ready_line(&self) -> String {
+        let obj = Json::Obj(vec![(
+            "ready".to_owned(),
+            Json::Obj(vec![
+                (
+                    "users".to_owned(),
+                    Json::count(self.schema.users.len() as u64),
+                ),
+                (
+                    "requirements".to_owned(),
+                    Json::count(self.schema.requirements.len() as u64),
+                ),
+            ]),
+        )]);
+        format!("{obj}\n")
+    }
+
+    fn shutdown_line(&self) -> String {
+        let obj = Json::Obj(vec![(
+            "shutdown".to_owned(),
+            Json::Obj(vec![
+                ("requests".to_owned(), Json::count(self.requests)),
+                ("edits".to_owned(), Json::count(self.edits)),
+            ]),
+        )]);
+        format!("{obj}\n")
+    }
+
+    /// Current statuses of every requirement naming `user`: read through
+    /// the maintained incremental closure when the user is resident, the
+    /// cached batch path otherwise.
+    fn statuses(&self, user: &UserName) -> Vec<(usize, ReqStatus)> {
+        let idxs: Vec<usize> = self
+            .schema
+            .requirements
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| &r.user == user)
+            .map(|(i, _)| i)
+            .collect();
+        if let Some(inc) = self.resident.get(user) {
+            idxs.into_iter()
+                .map(|i| {
+                    let v = inc.check(&self.schema.requirements[i]);
+                    (i, ReqStatus::of(&Ok(v)))
+                })
+                .collect()
+        } else {
+            let reqs: Vec<_> = idxs
+                .iter()
+                .map(|&i| self.schema.requirements[i].clone())
+                .collect();
+            let outcome = analyze_batch_cached(
+                self.schema,
+                &reqs,
+                &self.config,
+                &BatchOptions::default(),
+                Some(closure_cache()),
+            );
+            idxs.iter()
+                .zip(&outcome.verdicts)
+                .map(|(&i, v)| (i, ReqStatus::of(v)))
+                .collect()
+        }
+    }
+
+    /// One verdict object, shaped exactly like the `check --stream
+    /// --format=ndjson` per-verdict records.
+    fn verdict_json(&self, idx: usize, st: &ReqStatus) -> Json {
+        let req = &self.schema.requirements[idx];
+        let mut fields = vec![
+            ("requirement".to_owned(), Json::count(idx as u64)),
+            ("require".to_owned(), Json::str(&req.to_string())),
+        ];
+        match st {
+            ReqStatus::Satisfied => fields.push(("status".to_owned(), Json::str("satisfied"))),
+            ReqStatus::Violated(n) => {
+                fields.push(("status".to_owned(), Json::str("violated")));
+                fields.push(("occurrences".to_owned(), Json::count(*n)));
+            }
+            ReqStatus::Error(e) => {
+                fields.push(("status".to_owned(), Json::str("error")));
+                fields.push(("error".to_owned(), Json::str(e)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    fn field<'a>(fields: &'a [(String, String)], key: &str) -> Option<&'a str> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn need<'a>(fields: &'a [(String, String)], key: &str, op: &str) -> Result<&'a str, String> {
+        Self::field(fields, key).ok_or_else(|| format!("`{op}` needs a `{key}` field"))
+    }
+
+    fn user_named(&self, name: &str) -> Result<UserName, String> {
+        let user = UserName::new(name);
+        if self.schema.users.contains_key(&user) {
+            Ok(user)
+        } else {
+            Err(format!("unknown user `{name}`"))
+        }
+    }
+
+    /// Handle one request line. Returns the response text (empty for blank
+    /// lines) and whether the session should end.
+    fn handle(&mut self, line: &str) -> (String, bool) {
+        if line.trim().is_empty() {
+            return (String::new(), false);
+        }
+        self.requests += 1;
+        let seq = self.requests;
+        match self.dispatch(line) {
+            Ok(resp) => resp,
+            Err(msg) => {
+                let obj = Json::Obj(vec![
+                    ("error".to_owned(), Json::str(&msg)),
+                    ("request".to_owned(), Json::count(seq)),
+                ]);
+                (format!("{obj}\n"), false)
+            }
+        }
+    }
+
+    fn dispatch(&mut self, line: &str) -> Result<(String, bool), String> {
+        let fields = parse_request(line)?;
+        let op = Self::need(&fields, "op", "request")?.to_owned();
+        match op.as_str() {
+            "check" => {
+                let user = self.user_named(Self::need(&fields, "user", "check")?)?;
+                let statuses = self.statuses(&user);
+                let verdicts: Vec<Json> = statuses
+                    .iter()
+                    .map(|(i, st)| self.verdict_json(*i, st))
+                    .collect();
+                let obj = Json::Obj(vec![
+                    ("op".to_owned(), Json::str("check")),
+                    ("user".to_owned(), Json::str(user.as_str())),
+                    ("verdicts".to_owned(), Json::Arr(verdicts)),
+                ]);
+                self.last.insert(user, statuses);
+                Ok((format!("{obj}\n"), false))
+            }
+            "grant" | "revoke" => {
+                let user = self.user_named(Self::need(&fields, "user", &op)?)?;
+                let f: FnRef = Self::need(&fields, "fn", &op)?.parse()?;
+                self.edit(&op, user, &f)
+            }
+            "stats" => Ok((self.stats_line(), false)),
+            "shutdown" => Ok((self.shutdown_line(), true)),
+            other => Err(format!(
+                "unknown op `{other}` (use check, grant, revoke, stats or shutdown)"
+            )),
+        }
+    }
+
+    /// Apply one grant/revoke: materialise the user's incremental state if
+    /// this is their first edit, establish the delta baseline, run the
+    /// edit, and report only the verdicts that changed.
+    fn edit(&mut self, op: &str, user: UserName, f: &FnRef) -> Result<(String, bool), String> {
+        if !self.resident.contains_key(&user) {
+            let inc = IncrementalUser::new(self.schema, &user, &self.config)
+                .map_err(|e| format!("cannot materialise `{}`: {e}", user.as_str()))?;
+            self.resident.insert(user.clone(), inc);
+        }
+        // The delta baseline is what this session last reported for the
+        // user — computed now, pre-edit, if they were never checked.
+        if !self.last.contains_key(&user) {
+            let base = self.statuses(&user);
+            self.last.insert(user.clone(), base);
+        }
+        let inc = self.resident.get_mut(&user).expect("resident just ensured");
+        let outcome = match op {
+            "grant" => inc.grant(self.schema, f),
+            _ => inc.revoke(self.schema, f),
+        }
+        .map_err(|e| format!("{op} {f} failed: {e}"))?;
+        if outcome.changed {
+            self.edits += 1;
+        }
+        let terms = inc.closure().len() as u64;
+        let now = self.statuses(&user);
+        let before = self.last.get(&user).expect("baseline just ensured");
+        let deltas: Vec<Json> = now
+            .iter()
+            .filter(|(i, st)| {
+                before
+                    .iter()
+                    .find(|(j, _)| j == i)
+                    .is_none_or(|(_, old)| old != st)
+            })
+            .map(|(i, st)| self.verdict_json(*i, st))
+            .collect();
+        let obj = Json::Obj(vec![
+            ("op".to_owned(), Json::str(op)),
+            ("user".to_owned(), Json::str(user.as_str())),
+            ("fn".to_owned(), Json::str(&f.to_string())),
+            ("changed".to_owned(), Json::Bool(outcome.changed)),
+            ("deleted".to_owned(), Json::count(outcome.deleted as u64)),
+            (
+                "survivors".to_owned(),
+                Json::count(outcome.survivors as u64),
+            ),
+            (
+                "rederived".to_owned(),
+                Json::count(outcome.rederived as u64),
+            ),
+            ("terms".to_owned(), Json::count(terms)),
+            ("deltas".to_owned(), Json::Arr(deltas)),
+        ]);
+        self.last.insert(user, now);
+        Ok((format!("{obj}\n"), false))
+    }
+
+    fn stats_line(&self) -> String {
+        let cache = closure_cache();
+        let cs = cache.stats();
+        let resident_terms: u64 = self
+            .resident
+            .values()
+            .map(|i| i.closure().len() as u64)
+            .sum();
+        let obj = Json::Obj(vec![(
+            "stats".to_owned(),
+            Json::Obj(vec![
+                ("requests".to_owned(), Json::count(self.requests)),
+                ("edits".to_owned(), Json::count(self.edits)),
+                (
+                    "resident".to_owned(),
+                    Json::count(self.resident.len() as u64),
+                ),
+                ("resident_terms".to_owned(), Json::count(resident_terms)),
+                (
+                    "cache".to_owned(),
+                    Json::Obj(vec![
+                        ("entries".to_owned(), Json::count(cache.len() as u64)),
+                        ("capacity".to_owned(), Json::count(cache.capacity() as u64)),
+                        ("shards".to_owned(), Json::count(cache.shard_count() as u64)),
+                        ("hits".to_owned(), Json::count(cs.hits)),
+                        ("misses".to_owned(), Json::count(cs.misses)),
+                        ("evictions".to_owned(), Json::count(cs.evictions)),
+                    ]),
+                ),
+            ]),
+        )]);
+        format!("{obj}\n")
+    }
+}
+
+/// Drive a full serve session over an in-memory request script — the
+/// unit-testable core of `secflow serve`. Returns the concatenated NDJSON
+/// response stream and the exit code. The stream opens with a
+/// `{"ready":…}` line and always ends with a `{"shutdown":…}` line,
+/// whether the script asked for it or simply ran out (EOF).
+pub fn serve_session<I>(schema: &Schema, requests: I) -> (String, i32)
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let mut state = ServeState::new(schema);
+    let mut out = state.ready_line();
+    for line in requests {
+        let (resp, done) = state.handle(line.as_ref());
+        out.push_str(&resp);
+        if done {
+            return (out, exit::OK);
+        }
+    }
+    out.push_str(&state.shutdown_line());
+    (out, exit::OK)
+}
+
+/// The real `secflow serve` loop: NDJSON requests from stdin, responses
+/// written (and flushed) to stdout line by line — a watch mode or editor
+/// integration sees each verdict delta the moment the edit lands. The
+/// buffered `(report, code)` return stays empty; everything was already
+/// streamed.
+fn serve_stdin(schema: &Schema) -> (String, i32) {
+    use std::io::{BufRead as _, Write as _};
+    let mut state = ServeState::new(schema);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = out.write_all(state.ready_line().as_bytes());
+    let _ = out.flush();
+    for line in std::io::stdin().lock().lines() {
+        let Ok(line) = line else { break };
+        let (resp, done) = state.handle(&line);
+        let _ = out.write_all(resp.as_bytes());
+        let _ = out.flush();
+        if done {
+            return (String::new(), exit::OK);
+        }
+    }
+    let _ = out.write_all(state.shutdown_line().as_bytes());
+    let _ = out.flush();
+    (String::new(), exit::OK)
 }
 
 #[cfg(test)]
@@ -2971,5 +3467,163 @@ mod tests {
         // Metrics remain a single valid JSON document on stderr.
         let metrics = Json::parse(&out.stderr).expect("stderr is one JSON document");
         assert!(metrics.get("counters").is_some());
+    }
+
+    // -----------------------------------------------------------------
+    // serve — the resident incremental session
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn serve_arg_parsing() {
+        assert_eq!(
+            parse_args(&s(&["serve", "p.sfl"])),
+            Ok(Command::Serve {
+                file: "p.sfl".into()
+            })
+        );
+        assert!(parse_args(&s(&["serve"])).is_err());
+        assert!(parse_args(&s(&["serve", "p.sfl", "--jobs", "2"])).is_err());
+        assert!(parse_args(&s(&["serve", "p.sfl", "extra.sfl"])).is_err());
+    }
+
+    /// Run a request script through a fresh session, parsing every NDJSON
+    /// response line.
+    fn serve_lines(requests: &[&str]) -> (Vec<Json>, i32) {
+        let schema = load_str(POLICY).expect("test policy loads");
+        let (out, code) = serve_session(&schema, requests.iter().copied());
+        let lines = out
+            .lines()
+            .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad NDJSON line `{l}`: {e}")))
+            .collect();
+        (lines, code)
+    }
+
+    fn delta_statuses(obj: &Json, key: &str) -> Vec<(u64, String)> {
+        obj.get(key)
+            .and_then(Json::as_arr)
+            .expect("verdict array")
+            .iter()
+            .map(|v| {
+                (
+                    v.get("requirement").and_then(Json::as_u64).expect("index"),
+                    v.get("status")
+                        .and_then(Json::as_str)
+                        .expect("status")
+                        .to_owned(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn serve_streams_verdict_deltas_for_edits() {
+        let (lines, code) = serve_lines(&[
+            r#"{"op":"check","user":"clerk"}"#,
+            r#"{"op":"revoke","user":"clerk","fn":"w_budget"}"#,
+            r#"{"op":"grant","user":"clerk","fn":"w_budget"}"#,
+            r#"{"op":"stats"}"#,
+            r#"{"op":"shutdown"}"#,
+        ]);
+        assert_eq!(code, exit::OK);
+        assert_eq!(lines.len(), 6, "ready + 5 responses");
+        assert!(lines[0].get("ready").is_some());
+
+        // clerk holds {checkBudget, w_budget}: requirement 0 is violated.
+        assert_eq!(
+            delta_statuses(&lines[1], "verdicts"),
+            vec![(0, "violated".to_owned())]
+        );
+
+        // Revoking w_budget makes clerk identical to safe_clerk: the
+        // verdict flips, and the flip is the only delta reported.
+        let revoke = &lines[2];
+        assert_eq!(revoke.get("changed"), Some(&Json::Bool(true)));
+        assert!(revoke.get("deleted").and_then(Json::as_u64).unwrap() > 0);
+        assert_eq!(
+            delta_statuses(revoke, "deltas"),
+            vec![(0, "satisfied".to_owned())]
+        );
+
+        // Granting it back flips the verdict again, with occurrences.
+        let grant = &lines[3];
+        assert_eq!(grant.get("changed"), Some(&Json::Bool(true)));
+        assert_eq!(
+            delta_statuses(grant, "deltas"),
+            vec![(0, "violated".to_owned())]
+        );
+        let delta = &grant.get("deltas").and_then(Json::as_arr).unwrap()[0];
+        assert!(delta.get("occurrences").and_then(Json::as_u64).unwrap() > 0);
+
+        let stats = lines[4].get("stats").expect("stats record");
+        assert_eq!(stats.get("resident").and_then(Json::as_u64), Some(1));
+        assert!(stats.get("resident_terms").and_then(Json::as_u64).unwrap() > 0);
+        assert!(stats.get("cache").is_some());
+
+        let shutdown = lines[5].get("shutdown").expect("shutdown record");
+        assert_eq!(shutdown.get("requests").and_then(Json::as_u64), Some(5));
+        assert_eq!(shutdown.get("edits").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn serve_noop_edit_reports_no_deltas() {
+        let (lines, code) = serve_lines(&[
+            r#"{"op":"check","user":"clerk"}"#,
+            r#"{"op":"grant","user":"clerk","fn":"checkBudget"}"#,
+        ]);
+        assert_eq!(code, exit::OK);
+        let grant = &lines[2];
+        assert_eq!(grant.get("changed"), Some(&Json::Bool(false)));
+        assert_eq!(grant.get("deltas").and_then(Json::as_arr), Some(&[][..]));
+        // EOF without an explicit shutdown request still closes cleanly.
+        assert!(lines[3].get("shutdown").is_some());
+    }
+
+    #[test]
+    fn serve_bad_requests_error_and_session_continues() {
+        let (lines, code) = serve_lines(&[
+            "not json at all",
+            r#"{"op":"zap"}"#,
+            r#"{"op":"check"}"#,
+            r#"{"op":"check","user":"nobody"}"#,
+            r#"{"op":"grant","user":"clerk","fn":"no_such_fn"}"#,
+            r#"{"op":"check","user":"clerk","extra":42}"#,
+            r#"{"op":"check","user":"clerk"}"#,
+        ]);
+        assert_eq!(code, exit::OK, "request errors never kill the session");
+        for (i, line) in lines[1..7].iter().enumerate() {
+            let msg = line
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or_else(|| panic!("line {} should be an error record", i + 1));
+            assert!(!msg.is_empty());
+            assert_eq!(
+                line.get("request").and_then(Json::as_u64),
+                Some(i as u64 + 1),
+                "error records carry the request sequence number"
+            );
+        }
+        // The failed grant was transactional: the follow-up check still
+        // answers, and with the original (violated) verdict.
+        assert_eq!(
+            delta_statuses(&lines[7], "verdicts"),
+            vec![(0, "violated".to_owned())]
+        );
+        assert!(lines[8].get("shutdown").is_some());
+    }
+
+    #[test]
+    fn serve_edits_match_batch_verdicts_for_edited_caps() {
+        // A session that revokes w_budget from clerk must report exactly
+        // the statuses a from-scratch batch run over the edited policy
+        // reports (safe_clerk *is* that edited policy, statically).
+        let (lines, _) = serve_lines(&[
+            r#"{"op":"revoke","user":"clerk","fn":"w_budget"}"#,
+            r#"{"op":"check","user":"clerk"}"#,
+            r#"{"op":"check","user":"safe_clerk"}"#,
+        ]);
+        let clerk = delta_statuses(&lines[2], "verdicts");
+        let safe = delta_statuses(&lines[3], "verdicts");
+        assert_eq!(clerk[0].1, safe[0].1, "edited clerk ≡ safe_clerk");
+        assert_eq!(clerk[0].1, "satisfied");
     }
 }

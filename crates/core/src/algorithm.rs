@@ -22,7 +22,7 @@
 //!   `ta`/`pa` always, `ti`/`pi` exactly for basic-typed parameters) and
 //!   capabilities on the returned value are read off the body root.
 
-use crate::closure::{Closure, ClosureError, ProofMode, DEFAULT_TERM_LIMIT};
+use crate::closure::{Closure, ClosureError, ProofMode, SaturationMode, DEFAULT_TERM_LIMIT};
 use crate::demand::{goal_exprs, DemandPlan};
 use crate::report::{Occurrence, OccurrenceKind, Verdict, Violation};
 use crate::rules::RuleConfig;
@@ -50,6 +50,12 @@ pub struct AnalysisConfig {
     pub term_limit: usize,
     /// Unfolding node budget.
     pub node_limit: usize,
+    /// Saturation strategy for the closure phase. Every mode computes the
+    /// same closure (identical terms, witnesses and verdicts — see
+    /// [`SaturationMode`]), so this knob is deliberately **excluded** from
+    /// the cache identity ([`semantic_fingerprint`]): switching it must hit
+    /// existing [`ClosureCache`] entries, not invalidate them.
+    pub saturation: SaturationMode,
 }
 
 impl Default for AnalysisConfig {
@@ -58,8 +64,33 @@ impl Default for AnalysisConfig {
             rules: RuleConfig::default(),
             term_limit: DEFAULT_TERM_LIMIT,
             node_limit: DEFAULT_NODE_LIMIT,
+            saturation: SaturationMode::default(),
         }
     }
+}
+
+/// Fingerprint of exactly the [`AnalysisConfig`] fields that can change
+/// closure *contents*: the rule-group toggles and the two budgets. Spelled
+/// out field by field — earlier revisions hashed `format!("{config:?}")`,
+/// so any `Debug`-visible but semantically neutral addition (such as
+/// [`AnalysisConfig::saturation`]) silently changed cache identity and
+/// spuriously invalidated every entry.
+fn semantic_fingerprint(config: &AnalysisConfig) -> (u64, u64) {
+    let r = &config.rules;
+    let text = format!(
+        "eq_transfer={} pi_join={} pi_star={} write_read={} basic_rules={} \
+         feedback_guard={} printable_oids={} term_limit={} node_limit={}",
+        r.eq_transfer,
+        r.pi_join,
+        r.pi_star,
+        r.write_read,
+        r.basic_rules,
+        r.feedback_guard,
+        r.printable_oids,
+        config.term_limit,
+        config.node_limit,
+    );
+    fingerprint("config", &text)
 }
 
 /// Analysis failure.
@@ -136,7 +167,13 @@ pub fn analyze_with_config(
     let prog = NProgram::unfold_with_limit(schema, caps, config.node_limit)?;
     let occs = occurrences(&prog, &req.target);
     let plan = DemandPlan::build(&prog, [(req, occs.as_slice())]);
-    let closure = Closure::compute_demand(&prog, &config.rules, config.term_limit, &plan)?;
+    let closure = Closure::compute_demand_saturation(
+        &prog,
+        &config.rules,
+        config.term_limit,
+        &plan,
+        config.saturation,
+    )?;
     Ok(check_with_occurrences(&prog, &closure, req, &occs))
 }
 
@@ -156,8 +193,13 @@ pub fn analyze_full(
     let prog = NProgram::unfold_with_limit(schema, caps, config.node_limit)?;
     // Membership-only closure: verdicts never read derivations, so the
     // proof map would be pure allocation overhead here.
-    let closure =
-        Closure::compute_with_mode(&prog, &config.rules, config.term_limit, ProofMode::Off)?;
+    let closure = Closure::compute_with_saturation(
+        &prog,
+        &config.rules,
+        config.term_limit,
+        ProofMode::Off,
+        config.saturation,
+    )?;
     Ok(check_against(&prog, &closure, req))
 }
 
@@ -207,7 +249,13 @@ pub fn analyze_with_stats(
         let occs = occurrences(&prog, &req.target);
         let (closure, cstats) = stats.phases.time("closure", || {
             let plan = DemandPlan::build(&prog, [(req, occs.as_slice())]);
-            Closure::compute_demand_with_stats(&prog, &config.rules, config.term_limit, &plan)
+            Closure::compute_demand_with_stats_saturation(
+                &prog,
+                &config.rules,
+                config.term_limit,
+                &plan,
+                config.saturation,
+            )
         });
         stats.closure = cstats;
         let closure = closure?;
@@ -707,10 +755,21 @@ impl ClosureCache {
     }
 
     fn shard_for(&self, key: &CacheKey) -> &Mutex<CacheShard> {
-        // Stripe by the capability-list fingerprint alone: the schema and
-        // config fingerprints are constant across a batch's groups, so they
-        // carry no distinguishing bits here.
-        let idx = (key.caps_fp.0 ^ key.caps_fp.1) as usize % self.shards.len();
+        // Stripe on every key component. Within one batch the schema and
+        // config fingerprints are constant, but the cache outlives batches:
+        // a resident process serving several policies (or re-checking one
+        // policy under different budgets) holds entries whose keys differ
+        // *only* in those components, and striping on `caps_fp` alone
+        // pigeonholed all of them onto a single shard — one mutex carrying
+        // every lookup and one shard's LRU share bounding the whole cache.
+        // The rotations keep the three double-hashes from cancelling.
+        let mix = key.caps_fp.0
+            ^ key.caps_fp.1.rotate_left(11)
+            ^ key.schema_fp.0.rotate_left(23)
+            ^ key.schema_fp.1.rotate_left(31)
+            ^ key.config_fp.0.rotate_left(43)
+            ^ key.config_fp.1.rotate_left(53);
+        let idx = mix as usize % self.shards.len();
         &self.shards[idx]
     }
 
@@ -876,11 +935,12 @@ fn demand_shared_cached(
             .collect();
         DemandPlan::build(&prog, pairs.iter().map(|(r, o)| (*r, o.as_slice())))
     };
-    let closure = Arc::new(Closure::compute_demand(
+    let closure = Arc::new(Closure::compute_demand_saturation(
         &prog,
         &config.rules,
         config.term_limit,
         &plan,
+        config.saturation,
     )?);
     let drained = !closure.early_exited();
     ctx.cache.store(
@@ -967,7 +1027,7 @@ pub fn analyze_batch_cached(
     let ctx = cache.map(|cache| CacheCtx {
         cache,
         schema_fp: fingerprint("schema", &schema.to_string()),
-        config_fp: fingerprint("config", &format!("{config:?}")),
+        config_fp: semantic_fingerprint(config),
     });
     let grouped = group_by_user(reqs);
     let n_groups = grouped.len();
@@ -1229,7 +1289,7 @@ pub fn analyze_batch_streaming(
     let ctx = cache.map(|cache| CacheCtx {
         cache,
         schema_fp: fingerprint("schema", &schema.to_string()),
-        config_fp: fingerprint("config", &format!("{config:?}")),
+        config_fp: semantic_fingerprint(config),
     });
     let grouped = group_by_user(reqs);
     let n_groups = grouped.len();
@@ -1391,11 +1451,12 @@ fn run_group(
                         &prog,
                         pairs.iter().map(|(i, o)| (&reqs[*i], o.as_slice())),
                     );
-                    Closure::compute_demand_with_stats(
+                    Closure::compute_demand_with_stats_saturation(
                         &prog,
                         &config.rules,
                         config.term_limit,
                         &plan,
+                        config.saturation,
                     )
                 });
                 group.stats.closure = cstats;
@@ -1406,7 +1467,13 @@ fn run_group(
                         &prog,
                         pairs.iter().map(|(i, o)| (&reqs[*i], o.as_slice())),
                     );
-                    Closure::compute_demand(&prog, &config.rules, config.term_limit, &plan)
+                    Closure::compute_demand_saturation(
+                        &prog,
+                        &config.rules,
+                        config.term_limit,
+                        &plan,
+                        config.saturation,
+                    )
                 })?
             };
             return Ok(SharedArtifacts::Owned(Box::new((prog, closure))));
@@ -1420,18 +1487,25 @@ fn run_group(
         group.stats.program_nodes = prog.len() as u64;
         let closure = if opts.collect_stats {
             let (c, cstats) = group.stats.phases.time("closure", || {
-                Closure::compute_with_stats_mode(
+                Closure::compute_with_stats_saturation(
                     &prog,
                     &config.rules,
                     config.term_limit,
                     opts.proofs,
+                    config.saturation,
                 )
             });
             group.stats.closure = cstats;
             c?
         } else {
             group.stats.phases.time("closure", || {
-                Closure::compute_with_mode(&prog, &config.rules, config.term_limit, opts.proofs)
+                Closure::compute_with_saturation(
+                    &prog,
+                    &config.rules,
+                    config.term_limit,
+                    opts.proofs,
+                    config.saturation,
+                )
             })?
         };
         Ok(SharedArtifacts::Owned(Box::new((prog, closure))))
@@ -1942,6 +2016,82 @@ mod tests {
         let r = [parse_requirement("(reader, r_salary(x) : ti)").unwrap()];
         analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
         assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn shard_striping_spreads_keys_differing_only_in_config() {
+        // Regression: shard selection once striped on `caps_fp` alone, so
+        // every key a resident process accumulates for one capability list
+        // under different budgets (or one policy under several configs)
+        // pigeonholed onto a single shard — one mutex carried every lookup
+        // and that shard's LRU share bounded the whole cache.
+        let cache = ClosureCache::with_shards(16, 4);
+        let s = schema();
+        let opts = BatchOptions::default();
+        let r = [parse_requirement("(clerk, r_salary(x) : ti)").unwrap()];
+        let limits = [1_000, 1_001, 1_002, 1_003, 1_004, 1_005, 1_006, 1_007];
+        for limit in limits {
+            let config = AnalysisConfig {
+                term_limit: limit,
+                ..AnalysisConfig::default()
+            };
+            analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        }
+        // Eight distinct keys over 4 shards of 4: under caps-only striping
+        // they all hit one shard, which evicts down to 4 entries; mixed
+        // striping keeps all 8 and no shard holds them all.
+        assert_eq!(cache.len(), limits.len(), "no pigeonhole evictions");
+        assert!(
+            cache.max_shard_len() < limits.len(),
+            "keys differing only in config landed on one shard \
+             (max_shard_len {})",
+            cache.max_shard_len()
+        );
+        // Entries stay findable after the striping change: repeats hit.
+        let before = cache.stats().hits;
+        let config = AnalysisConfig {
+            term_limit: limits[0],
+            ..AnalysisConfig::default()
+        };
+        analyze_batch_cached(&s, &r, &config, &opts, Some(&cache));
+        assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn saturation_mode_toggle_keeps_cache_identity() {
+        // Regression: `config_fp` once hashed the whole `Debug` rendering
+        // of `AnalysisConfig`, so any semantically neutral knob — every
+        // [`SaturationMode`] computes an identical closure — changed cache
+        // identity and spuriously invalidated entries.
+        let cache = ClosureCache::new(8);
+        let s = schema();
+        let opts = BatchOptions::default();
+        let r = [parse_requirement("(clerk, r_salary(x) : ti)").unwrap()];
+        let scalar = AnalysisConfig {
+            saturation: SaturationMode::SemiNaive,
+            ..AnalysisConfig::default()
+        };
+        let first = analyze_batch_cached(&s, &r, &scalar, &opts, Some(&cache));
+        assert_eq!(cache.stats().misses, 1, "cold miss saturates once");
+        let chunked = AnalysisConfig {
+            saturation: SaturationMode::Chunked,
+            ..AnalysisConfig::default()
+        };
+        let second = analyze_batch_cached(&s, &r, &chunked, &opts, Some(&cache));
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (1, 1),
+            "a saturation-mode toggle must hit the cached closure"
+        );
+        assert_eq!(first.verdicts, second.verdicts);
+        // A field that can change closure contents still misses.
+        let tighter = AnalysisConfig {
+            term_limit: DEFAULT_TERM_LIMIT - 1,
+            ..AnalysisConfig::default()
+        };
+        analyze_batch_cached(&s, &r, &tighter, &opts, Some(&cache));
+        assert_eq!(cache.stats().misses, 2, "budget changes are semantic");
     }
 
     #[test]

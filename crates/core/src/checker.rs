@@ -40,19 +40,20 @@
 //!
 //! It reads the closure only through its public query API (`iter`,
 //! `proof`, `contains`, `proof_mode`), builds its own structural indexes
-//! from the [`NProgram`] with `std` collections, and never invokes any
-//! engine evaluation path. An engine bug therefore cannot hide itself: to
+//! from the [`NProgram`] (hashed with the crate's plain Fx hasher — a
+//! utility, not an evaluation path), and never invokes any engine
+//! evaluation path. An engine bug therefore cannot hide itself: to
 //! fool the checker it would have to fabricate a derivation that *is* a
 //! valid schema instance — i.e. not be a bug in the sense of Theorem 1.
 
 use crate::basics::{rules_for, LCap, LTerm, LocalRule, Slot};
 use crate::closure::{Closure, Derivation, ProofMode};
+use crate::fxhash::FxHashMap;
 use crate::rules::{labels, RuleConfig};
 use crate::term::{Dir, Origin, Term};
 use crate::unfold::{ExprId, NExpr, NKind, NProgram};
 use oodb_lang::BasicOp;
 use oodb_model::AttrName;
-use std::collections::HashMap;
 use std::fmt;
 
 /// A successful certification: every proof in the closure re-validated
@@ -153,7 +154,7 @@ impl Closure {
 
         let mut axioms = 0usize;
         let mut derived = 0usize;
-        let mut counts: HashMap<&'static str, u64> = HashMap::new();
+        let mut counts: FxHashMap<&'static str, u64> = FxHashMap::default();
         for &t in &terms {
             let d = self.proof(&t).ok_or(CheckError::MissingProof { term: t })?;
             for p in &d.premises {
@@ -182,7 +183,7 @@ impl Closure {
         // Acyclicity: iterative tri-colour DFS over the proof DAG. Every
         // premise is in the closure and every closure term has a checked
         // proof, so acyclicity grounds the whole DAG in the axioms.
-        let mut colour: HashMap<Term, u8> = HashMap::new(); // 1 = on stack, 2 = done
+        let mut colour: FxHashMap<Term, u8> = FxHashMap::default(); // 1 = on stack, 2 = done
         for &root in &terms {
             if colour.get(&root).copied() == Some(2) {
                 continue;
@@ -226,14 +227,15 @@ struct Checker<'p> {
     prog: &'p NProgram,
     config: &'p RuleConfig,
     /// Write sites by receiver: recv → (attribute, written value).
-    writes_by_recv: HashMap<ExprId, Vec<(&'p AttrName, ExprId)>>,
+    writes_by_recv: FxHashMap<ExprId, Vec<(&'p AttrName, ExprId)>>,
     /// Metarule tables per operator, materialised once.
-    rules: HashMap<BasicOp, Vec<LocalRule>>,
+    rules: FxHashMap<BasicOp, Vec<LocalRule>>,
 }
 
 impl<'p> Checker<'p> {
     fn new(prog: &'p NProgram, config: &'p RuleConfig) -> Checker<'p> {
-        let mut writes_by_recv: HashMap<ExprId, Vec<(&'p AttrName, ExprId)>> = HashMap::new();
+        let mut writes_by_recv: FxHashMap<ExprId, Vec<(&'p AttrName, ExprId)>> =
+            FxHashMap::default();
         for e in prog.iter() {
             if let NKind::Write(attr, recv, val) = &e.kind {
                 writes_by_recv.entry(*recv).or_default().push((attr, *val));
@@ -243,7 +245,7 @@ impl<'p> Checker<'p> {
             prog,
             config,
             writes_by_recv,
-            rules: HashMap::new(),
+            rules: FxHashMap::default(),
         }
     }
 

@@ -174,7 +174,15 @@ pub const DEFAULT_TERM_LIMIT: usize = 2_000_000;
 #[derive(Debug)]
 pub struct Closure {
     log: Vec<TermId>,
-    proofs: FxHashMap<TermId, Derivation>,
+    /// Positional proof store: aligned with `log` under
+    /// [`ProofMode::Full`] (entry `i` proves `log[i]`), empty under
+    /// [`ProofMode::Off`]. Appending is a plain push — no hashing on the
+    /// insertion path, which warm restarts re-absorbing whole closures
+    /// care about. By-term lookup goes through a lazily built index.
+    proofs: Vec<Derivation>,
+    /// Term → `log` position, built on first [`Closure::proof`] call (the
+    /// cold provenance/report paths); never built by saturation itself.
+    proof_index: std::sync::OnceLock<FxHashMap<TermId, u32>>,
     mode: ProofMode,
     ta: Vec<bool>,
     pa: Vec<bool>,
@@ -427,6 +435,57 @@ impl Closure {
         (result, stats)
     }
 
+    /// Warm-restart saturation for incremental maintenance
+    /// (see [`crate::incremental`]): rebuild the fixpoint of `prog` from a
+    /// set of already-proved `survivors` instead of from the axioms alone.
+    ///
+    /// Every survivor (with its translated [`Derivation`]) is *absorbed* —
+    /// inserted into the log, proof store, tables and delta mirrors without
+    /// being scheduled for propagation. The axioms are then re-seeded
+    /// (survivor axioms dedup to no-ops; axioms new to `prog` enqueue), the
+    /// caller's `frontier` terms are pushed onto the worklist, and the
+    /// engine drains to fixpoint. Soundness needs only that the survivors
+    /// are genuinely derivable in `prog`; completeness needs the frontier
+    /// to contain every survivor that could feed a rule instance whose
+    /// conclusion is missing — the retraction layer's frontier computation
+    /// establishes exactly that.
+    ///
+    /// Proofs are always recorded ([`ProofMode::Full`]): the incremental
+    /// layer's deletion cascade walks them on the next edit, and
+    /// [`certify`](crate::checker) re-validates them. Works in every
+    /// [`SaturationMode`] — absorb maintains the same mirrors and dirty
+    /// masks `derive` would.
+    pub fn saturate_from(
+        prog: &NProgram,
+        config: &RuleConfig,
+        limit: usize,
+        sat: SaturationMode,
+        survivors: impl IntoIterator<Item = (Term, Derivation)>,
+        frontier: &[Term],
+    ) -> Result<Closure, ClosureError> {
+        let mut engine = Engine::new(
+            prog,
+            *config,
+            limit,
+            ProofMode::Full,
+            sat,
+            RuleSchedule::Declared,
+            None,
+            NoopObserver,
+        );
+        for (t, d) in survivors {
+            engine.absorb(t, d)?;
+        }
+        engine.seed()?;
+        for &t in frontier {
+            engine.queue.push_back(t);
+        }
+        engine.drain()?;
+        let mut out = engine.out;
+        out.early_exit = false;
+        Ok(out)
+    }
+
     /// Number of terms in the closure.
     pub fn len(&self) -> usize {
         self.log.len()
@@ -509,7 +568,24 @@ impl Closure {
     /// The derivation of a term, if it is in the closure and proofs were
     /// recorded ([`ProofMode::Full`]).
     pub fn proof(&self, t: &Term) -> Option<&Derivation> {
-        self.proofs.get(&TermId::new(*t))
+        let i = *self.index().get(&TermId::new(*t))?;
+        self.proofs.get(i as usize)
+    }
+
+    /// Iterate `(term, derivation)` pairs in insertion order without any
+    /// per-term hashing. Empty under [`ProofMode::Off`].
+    pub fn iter_proofs(&self) -> impl Iterator<Item = (Term, &Derivation)> {
+        self.log.iter().map(|id| id.term()).zip(self.proofs.iter())
+    }
+
+    fn index(&self) -> &FxHashMap<TermId, u32> {
+        self.proof_index.get_or_init(|| {
+            self.log
+                .iter()
+                .enumerate()
+                .map(|(i, id)| (*id, i as u32))
+                .collect()
+        })
     }
 
     /// Any `ti` term (with its origin) on the occurrence — the witness used
@@ -529,6 +605,19 @@ impl Closure {
             .map(|o| Term::Pi(e, *o))
     }
 
+    /// Every `ti` origin recorded on the occurrence, in derivation order.
+    /// The incremental layer needs the whole row — its canonical witness is
+    /// the *minimum* origin, which is insertion-order independent, unlike
+    /// [`Closure::ti_witness`]'s first-derived pick.
+    pub fn ti_origins(&self, e: ExprId) -> &[Origin] {
+        self.ti.get(e as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Every `pi` origin recorded on the occurrence, in derivation order.
+    pub fn pi_origins(&self, e: ExprId) -> &[Origin] {
+        self.pi.get(e as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Iterate over all terms in insertion order (decoded from the
     /// interned keys).
     pub fn iter(&self) -> impl Iterator<Item = Term> + '_ {
@@ -545,8 +634,10 @@ impl Closure {
         if !self.contains(t) {
             return false;
         }
-        self.proofs
-            .insert(TermId::new(*t), Derivation { rule, premises });
+        let Some(&i) = self.index().get(&TermId::new(*t)) else {
+            return false;
+        };
+        self.proofs[i as usize] = Derivation { rule, premises };
         true
     }
 }
@@ -1176,8 +1267,9 @@ struct Engine<'p, O: ClosureObserver> {
     op_rules: FxHashMap<BasicOp, Rc<[(u8, LocalRule)]>>,
     /// Hash-set dedup (`None` under [`SaturationMode::Chunked`], whose
     /// mirrors answer membership exactly for every term kind; `Naive`
-    /// dedups only here, `SemiNaive` keeps it behind the mirror pre-check
-    /// exactly as the retained baseline always did).
+    /// dedups only here; the delta modes drop the set entirely — their bit
+    /// mirrors answer membership exactly for every term kind, so a second
+    /// hash probe per insertion would buy nothing).
     seen: Option<FxHashSet<TermId>>,
     /// Delta-mode state (`None` = [`SaturationMode::Naive`]).
     delta: Option<DeltaState>,
@@ -1306,7 +1398,8 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             obs,
             out: Closure {
                 log: Vec::new(),
-                proofs: FxHashMap::default(),
+                proofs: Vec::new(),
+                proof_index: std::sync::OnceLock::new(),
                 mode,
                 ta: vec![false; n],
                 pa: vec![false; n],
@@ -1327,7 +1420,7 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             writes_by_recv: Csr::from_nested(writes_by_recv),
             ctor_args: Csr::from_nested(ctor_args),
             op_rules,
-            seen: (sat != SaturationMode::Chunked).then(FxHashSet::default),
+            seen: (sat == SaturationMode::Naive).then(FxHashSet::default),
             delta: (sat != SaturationMode::Naive)
                 .then(|| DeltaState::new(n, sat == SaturationMode::Chunked)),
             sched,
@@ -1360,6 +1453,19 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
             self.out.early_exit = true;
             return Ok(());
         }
+        self.seed()?;
+        if self.out.early_exit {
+            return Ok(());
+        }
+        self.drain()
+    }
+
+    /// Derive the program's premise-free facts: the Table-2 axioms plus the
+    /// constructor-read direct equalities. Both are functions of program
+    /// structure alone, which is what lets a warm restart
+    /// ([`Closure::saturate_from`]) re-seed them against an absorbed term
+    /// set — survivors dedup to no-ops, genuinely new facts enqueue.
+    fn seed(&mut self) -> Result<(), ClosureError> {
         for (t, rule) in axioms_with(self.prog, self.config.printable_oids) {
             self.derive(t, rule, &[])?;
             if self.goals_decided() {
@@ -1385,6 +1491,12 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 self.derive(t, labels::RULE_EQ, &[])?;
             }
         }
+        Ok(())
+    }
+
+    /// Pop-and-propagate until the worklist is empty (or, in demand mode,
+    /// until every goal is decided).
+    fn drain(&mut self) -> Result<(), ClosureError> {
         if self.goals_decided() {
             self.out.early_exit = true;
             return Ok(());
@@ -1404,6 +1516,54 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 return Ok(());
             }
         }
+        Ok(())
+    }
+
+    /// Insert a term **without** scheduling it for propagation: the warm
+    /// path of [`Closure::saturate_from`]. The term lands in the log, the
+    /// proof store, the dense tables and — in the delta modes — the bit
+    /// mirrors and dirty kind-masks, exactly as [`Engine::derive`] would
+    /// put it there, but the worklist is left alone. Re-marking the dirty
+    /// masks for every absorbed term is deliberate: local rules only
+    /// re-evaluate when a later *popped* term visits the node, so the cost
+    /// stays proportional to what actually propagates while the masks never
+    /// under-approximate what an absorbed premise could feed.
+    fn absorb(&mut self, t: Term, deriv: Derivation) -> Result<(), ClosureError> {
+        debug_assert!(self.demand.is_none(), "warm restarts are full-saturation");
+        if self.mirror_contains(&t) {
+            return Ok(());
+        }
+        let id = TermId::new(t);
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert(id) {
+                return Ok(());
+            }
+        }
+        if self.out.log.len() >= self.limit {
+            if let Some(seen) = &mut self.seen {
+                seen.remove(&id);
+            }
+            return Err(ClosureError::TermLimit { limit: self.limit });
+        }
+        self.out.log.push(id);
+        if self.mode == ProofMode::Full {
+            self.out.proofs.push(deriv);
+        }
+        match t {
+            Term::Ta(e) => self.out.ta[e as usize] = true,
+            Term::Pa(e) => self.out.pa[e as usize] = true,
+            Term::Ti(e, o) => self.out.ti[e as usize].push(o),
+            Term::Pi(e, o) => self.out.pi[e as usize].push(o),
+            Term::PiStar(a, b, o) => {
+                self.out.pistar[a as usize].push((b, o));
+                self.out.pistar[b as usize].push((a, o));
+            }
+            Term::Eq(a, b) => {
+                self.out.eq[a as usize].push(b);
+                self.out.eq[b as usize].push(a);
+            }
+        }
+        self.note_delta(&t);
         Ok(())
     }
 
@@ -1572,13 +1732,10 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
         self.out.log.push(id);
         self.obs.term_inserted(&t, rule);
         if self.mode == ProofMode::Full {
-            self.out.proofs.insert(
-                id,
-                Derivation {
-                    rule,
-                    premises: premises.to_vec(),
-                },
-            );
+            self.out.proofs.push(Derivation {
+                rule,
+                premises: premises.to_vec(),
+            });
         }
         match t {
             Term::Ta(e) => self.out.ta[e as usize] = true,
@@ -1638,11 +1795,17 @@ impl<'p, O: ClosureObserver> Engine<'p, O> {
                 self.try_diagonal(e)?;
             }
             Term::Pi(e, o) => {
-                // pi-join: another pi with a different origin → ti.
+                // pi-join: another pi with a different origin → ti. The
+                // join fires symmetrically — the partner origin may have
+                // been popped before any second origin existed, so its own
+                // ti would otherwise depend on queue order. Deriving both
+                // sides keeps the closure a function of the term set alone,
+                // which warm restarts (incremental maintenance) rely on.
                 if self.config.pi_join {
                     let other = self.out.pi[e as usize].iter().find(|o2| **o2 != o).copied();
                     if let Some(o2) = other {
                         self.derive(Term::Ti(e, o), labels::PI_JOIN, &[Term::Pi(e, o2), t])?;
+                        self.derive(Term::Ti(e, o2), labels::PI_JOIN, &[t, Term::Pi(e, o2)])?;
                     }
                 }
                 self.transfer_by_eq(t, e)?;

@@ -27,6 +27,9 @@
 //! * [`algorithm`] — `A(R)` (§4.1 Definition 6): a requirement `R` is
 //!   *not satisfied* iff some occurrence of its target function carries all
 //!   the specified capability terms in the closure.
+//! * [`incremental`] — incremental maintenance: grant/revoke edits update a
+//!   user's closure in time proportional to the edit (proof-guided
+//!   retraction + warm-restart saturation) instead of the closure.
 //! * [`demand`] — the demand-driven mode: a conservative relevance slice
 //!   over `S'(F)` plus goal tracking, so the engine derives only what the
 //!   verdict can observe and stops as soon as every occurrence is decided.
@@ -54,6 +57,7 @@ pub mod checker;
 pub mod closure;
 pub mod demand;
 pub mod fxhash;
+pub mod incremental;
 pub mod kernels;
 pub mod provenance;
 pub mod reference;
@@ -70,8 +74,9 @@ pub use algorithm::{
     BatchOutcome, CacheStats, CapabilityView, ClosureCache,
 };
 pub use checker::{Certificate, CheckError};
-pub use closure::{Closure, ProofMode};
+pub use closure::{Closure, ProofMode, SaturationMode};
 pub use demand::{DemandPlan, GoalTracker};
+pub use incremental::{CanonicalView, EditOutcome, IncrementalUser};
 pub use provenance::{
     audit_witness, flaw_paths, FlawPath, PathStep, ProvenanceError, ProvenanceOptions, Severity,
     SourceKind, WalkMode, WitnessReport,

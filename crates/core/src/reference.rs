@@ -356,6 +356,9 @@ impl<'p> RefEngine<'p> {
                         .and_then(|os| os.iter().find(|o2| **o2 != o).copied());
                     if let Some(o2) = other {
                         self.derive(Term::Ti(e, o), labels::PI_JOIN, vec![Term::Pi(e, o2), t])?;
+                        // Symmetric join: the partner's ti must not depend
+                        // on which origin happened to pop first.
+                        self.derive(Term::Ti(e, o2), labels::PI_JOIN, vec![t, Term::Pi(e, o2)])?;
                     }
                 }
                 self.transfer_by_eq(t, e)?;

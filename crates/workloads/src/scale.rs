@@ -562,6 +562,163 @@ pub fn attr_fanout(n: usize) -> ScaleCase {
     finish(schema, caps, req)
 }
 
+/// One capability-list edit against user `u`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EditOp {
+    /// Grant the function.
+    Grant(FnRef),
+    /// Revoke the function.
+    Revoke(FnRef),
+}
+
+/// An edit-trace case for the incremental-maintenance experiment: a
+/// [`wide_grants`]-shaped schema whose user `u` starts with `width` granted
+/// probes out of a larger pool, plus a deterministic script of small
+/// grant/revoke edits to replay against the closure.
+#[derive(Clone, Debug)]
+pub struct EditTraceCase {
+    /// Type-checked schema with user `u` holding the base grant set.
+    pub schema: Schema,
+    /// The requirement to re-check after every edit (`r_a0 : ti`).
+    pub requirement: Requirement,
+    /// The edit script, in order. Every referenced function exists in the
+    /// schema; whether an op is a grant or a revoke tracks the evolving
+    /// list, so each edit actually changes it.
+    pub edits: Vec<EditOp>,
+}
+
+/// `width` granted probes (plus `w_a0`) from a pool half again as large;
+/// `edits` single-function toggles drawn uniformly over the pool, with an
+/// occasional `w_a0` toggle (1 in 8) so verdicts flip mid-trace. Each edit
+/// adds or removes one small probe against a closure that scales with
+/// `width` — the regime where incremental maintenance should beat a
+/// from-scratch recompute by a wide margin.
+pub fn edit_trace(width: usize, edits: usize, seed: u64) -> EditTraceCase {
+    edit_trace_with_core(width, 0, edits, seed)
+}
+
+/// [`edit_trace`] with a [`dense_equalities`]-style always-granted core:
+/// `core` functions `q{j}` sharing the parameter name `x` and an `r_a0(c)`
+/// read, so rule *S7* links every `x` occurrence and every `a0` read into
+/// `=`-cliques with `O(core²)` equality edges and the transfer storm on
+/// top. The edit script still only toggles the small probes — small edits
+/// against a closure whose from-scratch saturation is dominated by rule
+/// re-attempts the maintenance path never pays again. This is the headline
+/// family of the `incremental` experiment.
+pub fn edit_trace_dense(width: usize, core: usize, edits: usize, seed: u64) -> EditTraceCase {
+    edit_trace_with_core(width, core, edits, seed)
+}
+
+fn edit_trace_with_core(width: usize, core: usize, edits: usize, seed: u64) -> EditTraceCase {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let width = width.max(2);
+    let pool = width + width / 2 + 1;
+    let mut schema = Schema::new();
+    schema
+        .classes
+        .insert(single_int_class(pool))
+        .expect("one class");
+    let mut caps = CapabilityList::new();
+    for i in 0..pool {
+        schema.functions.insert(
+            format!("p{i}").into(),
+            AccessFnDef {
+                name: format!("p{i}").into(),
+                params: vec![(VarName::new("c"), Type::class("C"))],
+                ret: Type::BOOL,
+                body: Expr::bin(
+                    BasicOp::Ge,
+                    Expr::read(format!("a{i}"), Expr::var("c")),
+                    Expr::int(i as i64),
+                ),
+            },
+        );
+        if i < width {
+            caps.grant(FnRef::access(format!("p{i}")));
+        }
+    }
+    if core > 0 {
+        // The core lives on its own class `D`: outer-argument equality
+        // axioms pair ArgVars by *type*, so `d: D` params clique with each
+        // other but never with the probes' `c: C` params. A probe toggle
+        // therefore touches only the probe's own block (plus the small
+        // probe-side `c` clique), while a from-scratch recompute still
+        // re-pays the core's O(core²) equality/transfer storm every time.
+        schema
+            .classes
+            .insert(ClassDef::new("D", vec![("b0".into(), Type::INT)]).expect("one attr"))
+            .expect("distinct class");
+    }
+    for j in 0..core {
+        schema.functions.insert(
+            format!("q{j}").into(),
+            AccessFnDef {
+                name: format!("q{j}").into(),
+                params: vec![
+                    (VarName::new("x"), Type::INT),
+                    (VarName::new("d"), Type::class("D")),
+                ],
+                ret: Type::BOOL,
+                body: Expr::bin(
+                    BasicOp::Ge,
+                    Expr::bin(
+                        BasicOp::Add,
+                        Expr::var("x"),
+                        Expr::read("b0", Expr::var("d")),
+                    ),
+                    Expr::int(j as i64),
+                ),
+            },
+        );
+        caps.grant(FnRef::access(format!("q{j}")));
+    }
+    // `w_a0` is the sparse family's verdict flipper. The dense family
+    // leaves it out entirely: the write function's int-typed value param
+    // would clique (by type) with the core's `x` params and bridge every
+    // probe into the core's equality storm — exactly the coupling the `D`
+    // class exists to prevent.
+    if core == 0 {
+        caps.grant(FnRef::write("a0"));
+    }
+    let mut granted: Vec<bool> = (0..pool).map(|i| i < width).collect();
+    let mut write_granted = true;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut script = Vec::with_capacity(edits);
+    for _ in 0..edits {
+        // With a dense core every `a0` read feeds the equality cliques, so
+        // a `w_a0` toggle rewrites nearly the whole closure — not the
+        // small-edit regime this family measures. Dense traces toggle
+        // probes only; the sparse family keeps the occasional write flip.
+        if core == 0 && rng.gen_range(0u32..8) == 0 {
+            let f = FnRef::write("a0");
+            script.push(if write_granted {
+                EditOp::Revoke(f)
+            } else {
+                EditOp::Grant(f)
+            });
+            write_granted = !write_granted;
+        } else {
+            let i = rng.gen_range(0..pool as u64) as usize;
+            let f = FnRef::access(format!("p{i}"));
+            script.push(if granted[i] {
+                EditOp::Revoke(f)
+            } else {
+                EditOp::Grant(f)
+            });
+            granted[i] = !granted[i];
+        }
+    }
+    let requirement = Requirement::on_return("u", FnRef::read("a0"), 1, vec![Cap::Ti]);
+    schema.users.insert("u".into(), caps);
+    oodb_lang::check_schema(&schema).expect("edit-trace schema checks");
+    EditTraceCase {
+        schema,
+        requirement,
+        edits: script,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +756,21 @@ mod tests {
             // Each user writes its probed attribute — always flagged.
             assert!(v.is_violated(), "{req}");
         }
+    }
+
+    #[test]
+    fn edit_trace_script_toggles_consistently() {
+        let case = edit_trace(4, 24, 7);
+        // Replay: every op must actually change the evolving list, and only
+        // reference functions the schema defines.
+        let mut caps = case.schema.user_str("u").unwrap().clone();
+        for op in &case.edits {
+            match op {
+                EditOp::Grant(f) => assert!(caps.grant(f.clone()), "no-op grant {f}"),
+                EditOp::Revoke(f) => assert!(caps.revoke(f), "no-op revoke {f}"),
+            }
+        }
+        assert_eq!(case.edits.len(), 24);
     }
 
     #[test]

@@ -314,3 +314,85 @@ fn usage_documents_audit() {
     assert!(secflow_cli::USAGE.contains("--severity"));
     assert!(secflow_cli::USAGE.contains("--trace"));
 }
+
+#[test]
+fn stream_ndjson_artifact_flags_stay_usage_errors() {
+    // `--stream --format=ndjson` buffers no per-group artifacts, so the
+    // artifact-hungry flags must keep being rejected at parse time — the
+    // binary shim maps these to exit 2 (USAGE), never to a late runtime
+    // failure with a different class.
+    fn args(extra: &str) -> Vec<String> {
+        ["check", "p.sfl", "--stream", "--format=ndjson", extra]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+    let explain = secflow_cli::parse_args(&args("--explain"));
+    let certify = secflow_cli::parse_args(&args("--certify"));
+    assert!(explain.is_err(), "--stream --explain must be a usage error");
+    assert!(certify.is_err(), "--stream --certify must be a usage error");
+    // The message names the conflicting flag so scripts fail loudly.
+    assert!(explain.unwrap_err().contains("--stream"));
+    assert!(certify.unwrap_err().contains("--stream"));
+    // `--format=ndjson` without `--stream` is equally a parse-time reject.
+    let bare: Vec<String> = ["check", "p.sfl", "--format=ndjson"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(secflow_cli::parse_args(&bare).is_err());
+}
+
+#[test]
+fn serve_exit_code_classes_are_preserved() {
+    use secflow_cli::exit;
+    // Usage errors (exit 2 via the shim): missing file, stray flag.
+    assert!(secflow_cli::parse_args(&["serve".into()]).is_err());
+    assert!(secflow_cli::parse_args(&["serve".into(), "p.sfl".into(), "--jobs".into()]).is_err());
+    // Input error (exit 3): unreadable policy file.
+    let (report, code) = run(&Command::Serve {
+        file: policy("does_not_exist"),
+    });
+    assert_eq!(code, exit::INPUT);
+    assert!(report.contains("cannot read"));
+    // A bad *request* is not a process failure: the session answers with an
+    // error record and still exits 0 on shutdown.
+    let src = std::fs::read_to_string(policy("stockbroker")).unwrap();
+    let schema = secflow_cli::load_str(&src).unwrap();
+    let (out, code) =
+        secflow_cli::serve_session(&schema, [r#"{"op":"frobnicate"}"#, r#"{"op":"shutdown"}"#]);
+    assert_eq!(code, exit::OK);
+    assert!(out.contains("\"error\":"));
+    assert!(out.contains("\"shutdown\":"));
+}
+
+#[test]
+fn serve_session_maintains_stockbroker_verdicts() {
+    // Drive the real stockbroker policy through a grant/revoke session:
+    // revoking the flaw-carrying capability flips the verdict delta, and
+    // re-granting it flips it back — the scripted CI smoke runs the same
+    // session through the binary.
+    let src = std::fs::read_to_string(policy("stockbroker")).unwrap();
+    let schema = secflow_cli::load_str(&src).unwrap();
+    let (out, code) = secflow_cli::serve_session(
+        &schema,
+        [
+            r#"{"op":"check","user":"clerk"}"#,
+            r#"{"op":"revoke","user":"clerk","fn":"w_budget"}"#,
+            r#"{"op":"grant","user":"clerk","fn":"w_budget"}"#,
+            r#"{"op":"shutdown"}"#,
+        ],
+    );
+    assert_eq!(code, secflow_cli::exit::OK);
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 5, "ready + 4 responses:\n{out}");
+    assert!(lines[1].contains("\"status\":\"violated\""));
+    assert!(lines[2].contains("\"changed\":true"));
+    assert!(lines[2].contains("\"status\":\"satisfied\""));
+    assert!(lines[3].contains("\"status\":\"violated\""));
+}
+
+#[test]
+fn usage_documents_serve() {
+    assert!(secflow_cli::USAGE.contains("serve"));
+    assert!(secflow_cli::USAGE.contains("shutdown"));
+}
